@@ -1,0 +1,163 @@
+//! Accelerator configurations.
+//!
+//! [`ArchConfig`] couples a [`TechConfig`] (Table IV component constants and
+//! high-level parameters) with the dataflow / parallelisation decisions of
+//! Section V and the optimisation toggles swept in Figure 10.
+
+use pf_photonics::params::TechConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+use crate::parallel::ParallelScheme;
+
+/// A complete accelerator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Component power constants and high-level parameters (Table IV).
+    pub tech: TechConfig,
+    /// How PFCUs are parallelised (input broadcasting vs channel
+    /// parallelisation), Section V-D.
+    pub parallel: ParallelScheme,
+    /// Whether the two-stage PFCU pipeline (Section IV-A) is enabled.
+    pub pipelined: bool,
+    /// Whether negative weights are handled with the pseudo-negative method
+    /// (doubling filter count, Section VI-A).
+    pub pseudo_negative: bool,
+    /// Chip area budget in mm² used by the design-space exploration
+    /// (Section V-E uses 100 mm²).
+    pub area_budget_mm2: f64,
+}
+
+impl ArchConfig {
+    /// PhotoFourier-CG: 8 PFCUs, 14 nm CMOS chiplet, photodetector + MRR
+    /// square function, full input broadcasting.
+    pub fn photofourier_cg() -> Self {
+        let tech = TechConfig::photofourier_cg();
+        Self {
+            parallel: ParallelScheme::input_broadcast(tech.num_pfcus),
+            tech,
+            pipelined: true,
+            pseudo_negative: true,
+            area_budget_mm2: 100.0,
+        }
+    }
+
+    /// PhotoFourier-NG: 16 PFCUs, 7 nm monolithic, passive non-linearity.
+    pub fn photofourier_ng() -> Self {
+        let tech = TechConfig::photofourier_ng();
+        Self {
+            parallel: ParallelScheme::input_broadcast(tech.num_pfcus),
+            tech,
+            pipelined: true,
+            pseudo_negative: true,
+            area_budget_mm2: 100.0,
+        }
+    }
+
+    /// The un-optimised 1-PFCU baseline of Section V-B (Figure 6): a DAC on
+    /// every waveguide, no temporal accumulation, full-rate ADCs, no
+    /// pipelining.
+    pub fn baseline_single_pfcu() -> Self {
+        let tech = TechConfig::baseline_single_pfcu();
+        Self {
+            parallel: ParallelScheme::input_broadcast(1),
+            tech,
+            pipelined: false,
+            pseudo_negative: true,
+            area_budget_mm2: 100.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] if the parallelisation scheme is
+    /// inconsistent with the PFCU count, the area budget is non-positive, or
+    /// the underlying technology parameters are invalid.
+    pub fn validated(self) -> Result<Self, ArchError> {
+        self.tech
+            .clone()
+            .validated()
+            .map_err(ArchError::Photonics)?;
+        if self.area_budget_mm2 <= 0.0 {
+            return Err(ArchError::InvalidConfig {
+                name: "area_budget_mm2",
+                requirement: "must be positive".to_string(),
+            });
+        }
+        if self.parallel.input_broadcast * self.parallel.channel_parallel != self.tech.num_pfcus {
+            return Err(ArchError::InvalidConfig {
+                name: "parallel",
+                requirement: format!(
+                    "input_broadcast ({}) x channel_parallel ({}) must equal num_pfcus ({})",
+                    self.parallel.input_broadcast,
+                    self.parallel.channel_parallel,
+                    self.tech.num_pfcus
+                ),
+            });
+        }
+        Ok(self)
+    }
+
+    /// Sets the number of PFCUs (keeping full input broadcasting) and the
+    /// number of input waveguides per PFCU — used by the design-space sweep.
+    pub fn with_pfcus_and_waveguides(mut self, num_pfcus: usize, waveguides: usize) -> Self {
+        self.tech.num_pfcus = num_pfcus;
+        self.tech.input_waveguides = waveguides;
+        self.parallel = ParallelScheme::input_broadcast(num_pfcus);
+        self
+    }
+
+    /// Human-readable name of this design point.
+    pub fn name(&self) -> &str {
+        &self.tech.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_points_are_valid() {
+        assert!(ArchConfig::photofourier_cg().validated().is_ok());
+        assert!(ArchConfig::photofourier_ng().validated().is_ok());
+        assert!(ArchConfig::baseline_single_pfcu().validated().is_ok());
+    }
+
+    #[test]
+    fn design_point_parameters() {
+        let cg = ArchConfig::photofourier_cg();
+        assert_eq!(cg.tech.num_pfcus, 8);
+        assert!(cg.pipelined);
+        assert!(cg.pseudo_negative);
+        assert_eq!(cg.parallel.input_broadcast, 8);
+        let ng = ArchConfig::photofourier_ng();
+        assert_eq!(ng.tech.num_pfcus, 16);
+        assert!(ng.tech.passive_nonlinearity);
+        let baseline = ArchConfig::baseline_single_pfcu();
+        assert_eq!(baseline.tech.num_pfcus, 1);
+        assert!(!baseline.pipelined);
+        assert_eq!(baseline.tech.temporal_accumulation, 1);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_parallelism() {
+        let mut cfg = ArchConfig::photofourier_cg();
+        cfg.parallel.input_broadcast = 4; // 4 * 1 != 8
+        assert!(cfg.validated().is_err());
+        let mut cfg = ArchConfig::photofourier_cg();
+        cfg.area_budget_mm2 = 0.0;
+        assert!(cfg.validated().is_err());
+    }
+
+    #[test]
+    fn with_pfcus_and_waveguides_overrides() {
+        let cfg = ArchConfig::photofourier_cg().with_pfcus_and_waveguides(32, 105);
+        assert_eq!(cfg.tech.num_pfcus, 32);
+        assert_eq!(cfg.tech.input_waveguides, 105);
+        assert_eq!(cfg.parallel.input_broadcast, 32);
+        assert!(cfg.validated().is_ok());
+    }
+}

@@ -1,0 +1,152 @@
+//! Design-space exploration: waveguides per PFCU vs number of PFCUs under a
+//! fixed area budget (Section V-E, Table III).
+
+use pf_nn::models::NetworkSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::area::AreaModel;
+use crate::config::ArchConfig;
+use crate::error::ArchError;
+use crate::simulator::Simulator;
+
+/// One row of the Table III sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Number of PFCUs.
+    pub num_pfcus: usize,
+    /// Maximum input waveguides per PFCU under the area budget.
+    pub waveguides: usize,
+    /// Geometric mean FPS/W over the benchmark networks.
+    pub geomean_fps_per_watt: f64,
+    /// Same value normalised to the best point of the sweep.
+    pub normalized_fps_per_watt: f64,
+}
+
+/// Sweeps the PFCU counts of Table III for one base design point (CG or NG),
+/// finding the maximum waveguide count under `area_budget_mm2` and the
+/// resulting efficiency on `networks`.
+///
+/// # Errors
+///
+/// Propagates area-model and simulation errors; PFCU counts whose minimal
+/// configuration exceeds the budget are skipped.
+pub fn sweep_pfcu_counts(
+    base: &ArchConfig,
+    pfcu_counts: &[usize],
+    area_budget_mm2: f64,
+    networks: &[NetworkSpec],
+) -> Result<Vec<DesignPoint>, ArchError> {
+    if networks.is_empty() {
+        return Err(ArchError::InvalidConfig {
+            name: "networks",
+            requirement: "must not be empty".to_string(),
+        });
+    }
+    let area_model = AreaModel::for_tech(&base.tech);
+    let mut points = Vec::new();
+    for &n in pfcu_counts {
+        let waveguides = match area_model.max_waveguides(&base.tech, n, area_budget_mm2) {
+            Ok(w) => w,
+            Err(_) => continue, // does not fit the budget at all
+        };
+        let config = base.clone().with_pfcus_and_waveguides(n, waveguides);
+        let sim = Simulator::new(config)?;
+        let geomean = sim.geomean_fps_per_watt(networks)?;
+        points.push(DesignPoint {
+            num_pfcus: n,
+            waveguides,
+            geomean_fps_per_watt: geomean,
+            normalized_fps_per_watt: 0.0,
+        });
+    }
+    let best = points
+        .iter()
+        .map(|p| p.geomean_fps_per_watt)
+        .fold(0.0f64, f64::max);
+    if best > 0.0 {
+        for p in &mut points {
+            p.normalized_fps_per_watt = p.geomean_fps_per_watt / best;
+        }
+    }
+    Ok(points)
+}
+
+/// The PFCU counts Table III evaluates.
+pub const TABLE3_PFCU_COUNTS: [usize; 5] = [4, 8, 16, 32, 64];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_nn::models::cifar::{crosslight_cnn, resnet_s};
+    use pf_nn::models::imagenet::resnet18;
+
+    fn quick_networks() -> Vec<NetworkSpec> {
+        // Small networks keep the sweep fast in unit tests; the bench uses
+        // the full five-CNN suite.
+        vec![resnet_s(), crosslight_cnn()]
+    }
+
+    #[test]
+    fn sweep_produces_monotone_waveguide_counts() {
+        let base = ArchConfig::photofourier_cg();
+        let points =
+            sweep_pfcu_counts(&base, &TABLE3_PFCU_COUNTS, 100.0, &quick_networks()).unwrap();
+        assert!(points.len() >= 3);
+        for pair in points.windows(2) {
+            assert!(pair[0].waveguides > pair[1].waveguides);
+            assert!(pair[0].num_pfcus < pair[1].num_pfcus);
+        }
+    }
+
+    #[test]
+    fn normalization_is_relative_to_best() {
+        let base = ArchConfig::photofourier_cg();
+        let points =
+            sweep_pfcu_counts(&base, &TABLE3_PFCU_COUNTS, 100.0, &quick_networks()).unwrap();
+        let max_norm = points
+            .iter()
+            .map(|p| p.normalized_fps_per_watt)
+            .fold(0.0f64, f64::max);
+        assert!((max_norm - 1.0).abs() < 1e-12);
+        assert!(points.iter().all(|p| p.normalized_fps_per_watt > 0.0));
+        assert!(points.iter().all(|p| p.normalized_fps_per_watt <= 1.0));
+    }
+
+    #[test]
+    fn best_point_is_an_intermediate_pfcu_count() {
+        // Table III: the optimum is neither the fewest (4) nor the most (64)
+        // PFCUs for PhotoFourier-CG; with ImageNet-scale layers the sweet
+        // spot sits in the middle of the sweep.
+        let base = ArchConfig::photofourier_cg();
+        let points =
+            sweep_pfcu_counts(&base, &TABLE3_PFCU_COUNTS, 100.0, &[resnet18()]).unwrap();
+        let best = points
+            .iter()
+            .max_by(|a, b| {
+                a.geomean_fps_per_watt
+                    .partial_cmp(&b.geomean_fps_per_watt)
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            best.num_pfcus > 4 && best.num_pfcus < 64,
+            "best at {} PFCUs",
+            best.num_pfcus
+        );
+    }
+
+    #[test]
+    fn empty_networks_rejected() {
+        let base = ArchConfig::photofourier_cg();
+        assert!(sweep_pfcu_counts(&base, &TABLE3_PFCU_COUNTS, 100.0, &[]).is_err());
+    }
+
+    #[test]
+    fn tiny_budget_skips_large_counts() {
+        let base = ArchConfig::photofourier_cg();
+        let points = sweep_pfcu_counts(&base, &[4, 64], 20.0, &quick_networks()).unwrap();
+        // 64 PFCUs cannot fit 20 mm^2; only the 4-PFCU point remains (or
+        // none, but 4 PFCUs at 32 waveguides fit comfortably).
+        assert!(points.iter().all(|p| p.num_pfcus == 4));
+    }
+}

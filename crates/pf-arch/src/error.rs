@@ -1,0 +1,93 @@
+//! Error type for the architecture simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the architecture simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Requirement description.
+        requirement: String,
+    },
+    /// A layer cannot be scheduled on the configured hardware.
+    Unschedulable {
+        /// Layer name.
+        layer: String,
+        /// Reason.
+        reason: String,
+    },
+    /// Propagated tiling error.
+    Tiling(pf_tiling::TilingError),
+    /// Propagated photonic component error.
+    Photonics(pf_photonics::PhotonicsError),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidConfig { name, requirement } => {
+                write!(f, "invalid configuration {name}: {requirement}")
+            }
+            ArchError::Unschedulable { layer, reason } => {
+                write!(f, "layer {layer} cannot be scheduled: {reason}")
+            }
+            ArchError::Tiling(e) => write!(f, "tiling error: {e}"),
+            ArchError::Photonics(e) => write!(f, "photonics error: {e}"),
+        }
+    }
+}
+
+impl Error for ArchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArchError::Tiling(e) => Some(e),
+            ArchError::Photonics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pf_tiling::TilingError> for ArchError {
+    fn from(e: pf_tiling::TilingError) -> Self {
+        ArchError::Tiling(e)
+    }
+}
+
+impl From<pf_photonics::PhotonicsError> for ArchError {
+    fn from(e: pf_photonics::PhotonicsError) -> Self {
+        ArchError::Photonics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ArchError::InvalidConfig {
+            name: "num_pfcus",
+            requirement: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("num_pfcus"));
+        assert!(Error::source(&e).is_none());
+        let e = ArchError::from(pf_tiling::TilingError::EmptyOperand { what: "input" });
+        assert!(Error::source(&e).is_some());
+        let e = ArchError::Unschedulable {
+            layer: "conv1".into(),
+            reason: "kernel too large".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

@@ -1,0 +1,126 @@
+//! On-chip memory capacity checks and traffic summaries (Section V-A).
+//!
+//! PhotoFourier sizes its 512 KiB per-tile weight SRAM to hold the weights
+//! of an entire layer (doubled by pseudo-negative storage) and its 4 MiB
+//! shared activation SRAM to hold two copies of the largest activation map
+//! (ping-pong buffering), so DRAM is touched only for weights.
+
+use pf_nn::models::NetworkSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ArchConfig;
+
+/// Result of checking a network against the configured SRAM capacities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Network name.
+    pub network: String,
+    /// Bytes needed to hold the largest layer's weights (with
+    /// pseudo-negative doubling when enabled).
+    pub max_layer_weight_bytes: u64,
+    /// Weight SRAM capacity in bytes (per tile).
+    pub weight_sram_bytes: u64,
+    /// Bytes needed for double-buffered activations of the largest layer.
+    pub max_activation_bytes: u64,
+    /// Activation SRAM capacity in bytes.
+    pub activation_sram_bytes: u64,
+}
+
+impl MemoryReport {
+    /// Whether the largest layer's weights fit the per-tile weight SRAM.
+    pub fn weights_fit(&self) -> bool {
+        self.max_layer_weight_bytes <= self.weight_sram_bytes
+    }
+
+    /// Whether double-buffered activations fit the activation SRAM.
+    pub fn activations_fit(&self) -> bool {
+        self.max_activation_bytes <= self.activation_sram_bytes
+    }
+
+    /// Whether the whole network can execute without spilling activations or
+    /// per-layer weights to DRAM mid-layer.
+    pub fn fits(&self) -> bool {
+        self.weights_fit() && self.activations_fit()
+    }
+}
+
+/// Checks a network against the memory capacities of a configuration
+/// (8-bit values: one byte per weight / activation).
+pub fn check_network(network: &NetworkSpec, config: &ArchConfig) -> MemoryReport {
+    let pn = if config.pseudo_negative { 2 } else { 1 };
+    MemoryReport {
+        network: network.name.clone(),
+        max_layer_weight_bytes: network.max_layer_weights() * pn,
+        weight_sram_bytes: config.tech.weight_sram_kib as u64 * 1024,
+        max_activation_bytes: network.max_activation_values() * 2,
+        activation_sram_bytes: config.tech.activation_sram_kib as u64 * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_nn::models::imagenet::{alexnet, resnet18, vgg16};
+    use pf_nn::models::cifar::resnet_s;
+
+    #[test]
+    fn common_cnn_activations_fit_the_4mib_sram() {
+        // Section V-A: the activation memory is sized to hold the
+        // activations of common CNNs with ping-pong buffering.
+        let cfg = ArchConfig::photofourier_cg();
+        for net in [resnet18(), resnet_s()] {
+            let report = check_network(&net, &cfg);
+            assert!(
+                report.activations_fit(),
+                "{} activations do not fit: {} > {}",
+                net.name,
+                report.max_activation_bytes,
+                report.activation_sram_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn vgg_early_layers_exceed_activation_sram() {
+        // VGG-16's 64x224x224 activations (6.4 MB double-buffered) are the
+        // stress case; the check correctly reports the overflow.
+        let cfg = ArchConfig::photofourier_cg();
+        let report = check_network(&vgg16(), &cfg);
+        assert!(!report.activations_fit());
+    }
+
+    #[test]
+    fn weight_sram_holds_most_layers_with_pseudo_negative() {
+        let cfg = ArchConfig::photofourier_cg();
+        for net in [alexnet(), resnet_s()] {
+            let report = check_network(&net, &cfg);
+            // Pseudo-negative doubling is accounted for.
+            assert_eq!(
+                report.max_layer_weight_bytes,
+                net.max_layer_weights() * 2
+            );
+            assert!(report.weight_sram_bytes == 512 * 1024);
+        }
+    }
+
+    #[test]
+    fn disabling_pseudo_negative_halves_weight_footprint() {
+        let mut cfg = ArchConfig::photofourier_cg();
+        let with_pn = check_network(&resnet18(), &cfg);
+        cfg.pseudo_negative = false;
+        let without = check_network(&resnet18(), &cfg);
+        assert_eq!(with_pn.max_layer_weight_bytes, 2 * without.max_layer_weight_bytes);
+    }
+
+    #[test]
+    fn report_fits_combines_both_checks() {
+        let cfg = ArchConfig::photofourier_cg();
+        let report = check_network(&resnet_s(), &cfg);
+        assert!(report.fits());
+        let vgg_report = check_network(&vgg16(), &cfg);
+        assert_eq!(
+            vgg_report.fits(),
+            vgg_report.weights_fit() && vgg_report.activations_fit()
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! The cumulative-optimisation study of Figure 10.
+//!
+//! Starting from a single-PFCU baseline with CG component powers, each step
+//! adds one optimisation (keeping all previous ones):
+//!
+//! 1. **Baseline** — 1 PFCU, a DAC on every waveguide, ADCs at the photonic
+//!    clock, no pipelining.
+//! 2. **+ Small filter** — weight DACs reduced to the 25 active waveguides.
+//! 3. **+ PFCU parallelisation** — 8 PFCUs with input broadcasting share the
+//!    input DACs/MRRs.
+//! 4. **+ Temporal accumulation** — 16-channel accumulation cuts ADC
+//!    frequency (and conversion count) by 16×.
+//! 5. **+ Non-linear material** — the Fourier-plane photodetector/MRR pairs
+//!    are replaced by a passive non-linearity (the NG-only optimisation,
+//!    evaluated here with CG power numbers to exclude technology scaling).
+
+use pf_photonics::params::TechConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ArchConfig;
+use crate::parallel::ParallelScheme;
+
+/// One rung of the Figure 10 ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptimizationStep {
+    /// Un-optimised single-PFCU system.
+    Baseline,
+    /// Remove DACs from inactive weight waveguides (Section IV-B).
+    SmallFilter,
+    /// 8 PFCUs with input broadcasting (Section V-D).
+    PfcuParallelization,
+    /// 16-channel temporal accumulation (Section V-C).
+    TemporalAccumulation,
+    /// Passive non-linear material replaces the Fourier-plane rings
+    /// (Section II-C3).
+    NonlinearMaterial,
+}
+
+impl OptimizationStep {
+    /// All steps in the order Figure 10 plots them.
+    pub const ALL: [OptimizationStep; 5] = [
+        OptimizationStep::Baseline,
+        OptimizationStep::SmallFilter,
+        OptimizationStep::PfcuParallelization,
+        OptimizationStep::TemporalAccumulation,
+        OptimizationStep::NonlinearMaterial,
+    ];
+
+    /// Display label used in the figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            OptimizationStep::Baseline => "baseline",
+            OptimizationStep::SmallFilter => "+small filter",
+            OptimizationStep::PfcuParallelization => "+PFCU parallelization",
+            OptimizationStep::TemporalAccumulation => "+temporal accumulation",
+            OptimizationStep::NonlinearMaterial => "+non-linear material",
+        }
+    }
+
+    /// Builds the accelerator configuration for this step (cumulative: each
+    /// step includes all previous optimisations), using CG component powers
+    /// throughout so technology scaling does not interfere.
+    pub fn config(self) -> ArchConfig {
+        let mut tech = TechConfig::photofourier_cg();
+        // Start from the un-optimised baseline and re-enable optimisations.
+        tech.name = format!("Fig10 {}", self.label());
+        tech.num_pfcus = 1;
+        tech.weight_waveguides = tech.input_waveguides;
+        tech.temporal_accumulation = 1;
+        tech.adc_frequency_ghz = tech.photonic_clock_ghz;
+        tech.adc_power_mw *= pf_photonics::params::BASELINE_ADC_POWER_FACTOR;
+        tech.passive_nonlinearity = false;
+
+        let mut rank = 0;
+        for (i, step) in OptimizationStep::ALL.iter().enumerate() {
+            if *step == self {
+                rank = i;
+            }
+        }
+        if rank >= 1 {
+            tech.weight_waveguides = pf_photonics::params::ACTIVE_WEIGHT_WAVEGUIDES;
+        }
+        if rank >= 2 {
+            tech.num_pfcus = 8;
+        }
+        if rank >= 3 {
+            tech.temporal_accumulation = pf_photonics::params::TEMPORAL_ACCUMULATION_DEPTH;
+            tech.adc_frequency_ghz = 0.625;
+            tech.adc_power_mw = TechConfig::photofourier_cg().adc_power_mw;
+        }
+        if rank >= 4 {
+            tech.passive_nonlinearity = true;
+        }
+
+        ArchConfig {
+            parallel: ParallelScheme::input_broadcast(tech.num_pfcus),
+            tech,
+            pipelined: true,
+            pseudo_negative: true,
+            area_budget_mm2: 100.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Simulator;
+    use pf_nn::models::imagenet::{resnet18, vgg16};
+
+    #[test]
+    fn ladder_configs_are_cumulative() {
+        let baseline = OptimizationStep::Baseline.config();
+        assert_eq!(baseline.tech.num_pfcus, 1);
+        assert_eq!(baseline.tech.weight_waveguides, 256);
+        assert_eq!(baseline.tech.temporal_accumulation, 1);
+        assert!(!baseline.tech.passive_nonlinearity);
+
+        let small = OptimizationStep::SmallFilter.config();
+        assert_eq!(small.tech.weight_waveguides, 25);
+        assert_eq!(small.tech.num_pfcus, 1);
+
+        let parallel = OptimizationStep::PfcuParallelization.config();
+        assert_eq!(parallel.tech.weight_waveguides, 25);
+        assert_eq!(parallel.tech.num_pfcus, 8);
+        assert_eq!(parallel.tech.temporal_accumulation, 1);
+
+        let temporal = OptimizationStep::TemporalAccumulation.config();
+        assert_eq!(temporal.tech.temporal_accumulation, 16);
+        assert_eq!(temporal.tech.adc_frequency_ghz, 0.625);
+
+        let nonlinear = OptimizationStep::NonlinearMaterial.config();
+        assert!(nonlinear.tech.passive_nonlinearity);
+        assert_eq!(nonlinear.tech.num_pfcus, 8);
+    }
+
+    #[test]
+    fn all_configs_validate() {
+        for step in OptimizationStep::ALL {
+            assert!(step.config().validated().is_ok(), "{}", step.label());
+        }
+    }
+
+    #[test]
+    fn every_step_improves_efficiency() {
+        // The Figure 10 staircase: each added optimisation increases the
+        // geometric-mean FPS/W (evaluated here on two networks for speed).
+        let networks = [vgg16(), resnet18()];
+        let mut previous = 0.0;
+        for step in OptimizationStep::ALL {
+            let sim = Simulator::new(step.config()).unwrap();
+            let value = sim.geomean_fps_per_watt(&networks).unwrap();
+            assert!(
+                value > previous,
+                "{} ({value}) should improve on the previous step ({previous})",
+                step.label()
+            );
+            previous = value;
+        }
+    }
+
+    #[test]
+    fn full_ladder_gives_an_order_of_magnitude() {
+        // Paper: the optimisations combined are ~15x better than the
+        // baseline. Accept anything within a reasonably wide band.
+        let networks = [vgg16(), resnet18()];
+        let base = Simulator::new(OptimizationStep::Baseline.config())
+            .unwrap()
+            .geomean_fps_per_watt(&networks)
+            .unwrap();
+        let full = Simulator::new(OptimizationStep::NonlinearMaterial.config())
+            .unwrap()
+            .geomean_fps_per_watt(&networks)
+            .unwrap();
+        let gain = full / base;
+        assert!(
+            (5.0..60.0).contains(&gain),
+            "cumulative optimisation gain {gain}"
+        );
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<&str> = OptimizationStep::ALL.iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

@@ -1,0 +1,176 @@
+//! Parallelisation-scheme analysis (Section V-D, Figure 8).
+//!
+//! Given `N_PFCU` compute units, inputs can be broadcast to `IB` of them
+//! (sharing the input DACs and MRRs) while groups of `CP = N_PFCU / IB`
+//! units process different input channels and share one set of ADCs. The
+//! paper minimises `IB / N_TA + CP` — the normalised ADC+DAC power — subject
+//! to `IB · CP = N_PFCU`, and finds that with `N_TA = 16` full input
+//! broadcasting (`IB = N_PFCU`) is optimal for up to 32 PFCUs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ArchError;
+
+/// A concrete assignment of the two parallelisation dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelScheme {
+    /// Number of PFCUs the input activations are broadcast to (`IB`).
+    pub input_broadcast: usize,
+    /// Number of PFCUs that share one set of ADCs via channel
+    /// parallelisation (`CP`).
+    pub channel_parallel: usize,
+}
+
+impl ParallelScheme {
+    /// Full input broadcasting over `num_pfcus` units (the PhotoFourier
+    /// default).
+    pub fn input_broadcast(num_pfcus: usize) -> Self {
+        Self {
+            input_broadcast: num_pfcus.max(1),
+            channel_parallel: 1,
+        }
+    }
+
+    /// Total number of PFCUs covered by this scheme.
+    pub fn num_pfcus(&self) -> usize {
+        self.input_broadcast * self.channel_parallel
+    }
+}
+
+/// The objective of the Section V-D minimisation: `IB / N_TA + CP`,
+/// proportional to the sum of ADC and DAC power (both converter types have
+/// similar power at equal frequency, so their absolute power cancels).
+pub fn power_objective(input_broadcast: usize, num_pfcus: usize, temporal_depth: usize) -> f64 {
+    assert!(input_broadcast > 0 && num_pfcus > 0 && temporal_depth > 0);
+    let cp = num_pfcus as f64 / input_broadcast as f64;
+    input_broadcast as f64 / temporal_depth as f64 + cp
+}
+
+/// One point of the Figure 8 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Input-broadcast factor.
+    pub input_broadcast: usize,
+    /// Objective value `IB / N_TA + CP`.
+    pub objective: f64,
+}
+
+/// Sweeps all valid power-of-two `IB` values for a given PFCU count,
+/// reproducing one curve of Figure 8.
+///
+/// # Errors
+///
+/// Returns [`ArchError::InvalidConfig`] if `num_pfcus` is not a power of two
+/// or `temporal_depth` is zero.
+pub fn sweep_input_broadcast(
+    num_pfcus: usize,
+    temporal_depth: usize,
+) -> Result<Vec<SweepPoint>, ArchError> {
+    if num_pfcus == 0 || !num_pfcus.is_power_of_two() {
+        return Err(ArchError::InvalidConfig {
+            name: "num_pfcus",
+            requirement: "must be a non-zero power of two".to_string(),
+        });
+    }
+    if temporal_depth == 0 {
+        return Err(ArchError::InvalidConfig {
+            name: "temporal_depth",
+            requirement: "must be at least 1".to_string(),
+        });
+    }
+    let mut points = Vec::new();
+    let mut ib = 1;
+    while ib <= num_pfcus {
+        points.push(SweepPoint {
+            input_broadcast: ib,
+            objective: power_objective(ib, num_pfcus, temporal_depth),
+        });
+        ib *= 2;
+    }
+    Ok(points)
+}
+
+/// Returns the optimal parallelisation scheme (minimum objective; ties go to
+/// the larger `IB`, matching the paper's choice of input broadcasting when
+/// `IB = 16` and `IB = 32` are equivalent at `N_PFCU = 32`).
+///
+/// # Errors
+///
+/// Same conditions as [`sweep_input_broadcast`].
+pub fn optimal_scheme(
+    num_pfcus: usize,
+    temporal_depth: usize,
+) -> Result<ParallelScheme, ArchError> {
+    let sweep = sweep_input_broadcast(num_pfcus, temporal_depth)?;
+    let best = sweep
+        .iter()
+        .fold(None::<SweepPoint>, |acc, &p| match acc {
+            None => Some(p),
+            Some(b) if p.objective <= b.objective + 1e-12 => Some(p),
+            Some(b) => Some(b),
+        })
+        .expect("sweep is never empty");
+    Ok(ParallelScheme {
+        input_broadcast: best.input_broadcast,
+        channel_parallel: num_pfcus / best.input_broadcast,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_matches_formula() {
+        // IB = 8, N_PFCU = 8, N_TA = 16: 8/16 + 1 = 1.5.
+        assert!((power_objective(8, 8, 16) - 1.5).abs() < 1e-12);
+        // IB = 1, N_PFCU = 8: 1/16 + 8 = 8.0625.
+        assert!((power_objective(1, 8, 16) - 8.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_validation() {
+        assert!(sweep_input_broadcast(0, 16).is_err());
+        assert!(sweep_input_broadcast(12, 16).is_err());
+        assert!(sweep_input_broadcast(8, 0).is_err());
+        let sweep = sweep_input_broadcast(8, 16).unwrap();
+        assert_eq!(sweep.len(), 4); // IB in {1, 2, 4, 8}
+    }
+
+    #[test]
+    fn paper_figure8_conclusions() {
+        // For 8 and 16 PFCUs the minimum is at IB = N_PFCU.
+        for n in [8usize, 16] {
+            let best = optimal_scheme(n, 16).unwrap();
+            assert_eq!(best.input_broadcast, n, "N_PFCU = {n}");
+            assert_eq!(best.channel_parallel, 1);
+        }
+        // For 32 PFCUs, IB = 16 and IB = 32 tie; the paper picks input
+        // broadcasting (the larger IB).
+        let sweep = sweep_input_broadcast(32, 16).unwrap();
+        let at16 = sweep.iter().find(|p| p.input_broadcast == 16).unwrap();
+        let at32 = sweep.iter().find(|p| p.input_broadcast == 32).unwrap();
+        assert!((at16.objective - at32.objective).abs() < 1e-12);
+        let best = optimal_scheme(32, 16).unwrap();
+        assert_eq!(best.input_broadcast, 32);
+    }
+
+    #[test]
+    fn beyond_32_pfcus_channel_parallelism_wins() {
+        // With 64 PFCUs the optimum moves away from pure input broadcasting,
+        // consistent with the paper's "less than or equal to 32" statement.
+        let best = optimal_scheme(64, 16).unwrap();
+        assert!(best.input_broadcast < 64);
+        assert!(best.channel_parallel > 1);
+        assert_eq!(best.num_pfcus(), 64);
+    }
+
+    #[test]
+    fn scheme_constructor() {
+        let s = ParallelScheme::input_broadcast(8);
+        assert_eq!(s.input_broadcast, 8);
+        assert_eq!(s.channel_parallel, 1);
+        assert_eq!(s.num_pfcus(), 8);
+        assert_eq!(ParallelScheme::input_broadcast(0).input_broadcast, 1);
+    }
+}

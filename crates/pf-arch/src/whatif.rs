@@ -1,0 +1,140 @@
+//! What-if studies for the directions discussed in Section VII.
+//!
+//! The paper's discussion argues that once the optical compute is cheap
+//! (PhotoFourier-NG), *data movement* becomes the bottleneck, and points at
+//! photonic memory / interconnect and 3D integration as remedies. This
+//! module quantifies that argument: it sweeps the SRAM/DRAM access energy
+//! (the knob those technologies would turn) and reports how far FPS/W can
+//! still scale for each design point.
+
+use pf_nn::models::NetworkSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ArchConfig;
+use crate::error::ArchError;
+use crate::simulator::Simulator;
+
+/// One point of the data-movement sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataMovementPoint {
+    /// Factor applied to SRAM and DRAM access energy (1.0 = today).
+    pub memory_energy_scale: f64,
+    /// Geometric-mean FPS/W at that scaling.
+    pub geomean_fps_per_watt: f64,
+    /// Fraction of total energy spent on memory (SRAM + DRAM).
+    pub memory_energy_share: f64,
+}
+
+/// Sweeps the memory access energy of a design point by the given factors,
+/// modelling future memory technologies (3D stacking, photonic interconnect)
+/// as cheaper data movement.
+///
+/// # Errors
+///
+/// Propagates simulation errors; rejects an empty network or factor list.
+pub fn data_movement_sweep(
+    base: &ArchConfig,
+    scales: &[f64],
+    networks: &[NetworkSpec],
+) -> Result<Vec<DataMovementPoint>, ArchError> {
+    if networks.is_empty() || scales.is_empty() {
+        return Err(ArchError::InvalidConfig {
+            name: "networks/scales",
+            requirement: "must not be empty".to_string(),
+        });
+    }
+    let mut points = Vec::with_capacity(scales.len());
+    for &scale in scales {
+        if scale <= 0.0 {
+            return Err(ArchError::InvalidConfig {
+                name: "memory_energy_scale",
+                requirement: "must be positive".to_string(),
+            });
+        }
+        let mut config = base.clone();
+        config.tech.sram_energy_pj_per_byte *= scale;
+        config.tech.sram_leakage_mw *= scale;
+        config.tech.dram_energy_pj_per_byte *= scale;
+        let sim = Simulator::new(config)?;
+
+        let mut fps_per_watt = Vec::with_capacity(networks.len());
+        let mut memory_pj = 0.0;
+        let mut total_pj = 0.0;
+        for network in networks {
+            let perf = sim.evaluate_network(network)?;
+            fps_per_watt.push(perf.fps_per_watt);
+            memory_pj += perf.breakdown.sram_pj + perf.breakdown.dram_pj;
+            total_pj += perf.breakdown.total_pj();
+        }
+        points.push(DataMovementPoint {
+            memory_energy_scale: scale,
+            geomean_fps_per_watt: pf_dsp::util::geometric_mean(&fps_per_watt).unwrap_or(0.0),
+            memory_energy_share: memory_pj / total_pj,
+        });
+    }
+    Ok(points)
+}
+
+/// The sweep factors used by the Section VII discussion experiment: from
+/// today's memories down to a hypothetical 16× cheaper photonic / 3D-stacked
+/// hierarchy.
+pub const DISCUSSION_SCALES: [f64; 5] = [1.0, 0.5, 0.25, 0.125, 0.0625];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_nn::models::imagenet::resnet18;
+
+    #[test]
+    fn sweep_validation() {
+        let base = ArchConfig::photofourier_ng();
+        assert!(data_movement_sweep(&base, &[], &[resnet18()]).is_err());
+        assert!(data_movement_sweep(&base, &[1.0], &[]).is_err());
+        assert!(data_movement_sweep(&base, &[0.0], &[resnet18()]).is_err());
+    }
+
+    #[test]
+    fn cheaper_memory_always_helps_and_share_shrinks() {
+        let base = ArchConfig::photofourier_ng();
+        let points =
+            data_movement_sweep(&base, &DISCUSSION_SCALES, &[resnet18()]).unwrap();
+        assert_eq!(points.len(), DISCUSSION_SCALES.len());
+        for pair in points.windows(2) {
+            assert!(pair[1].geomean_fps_per_watt > pair[0].geomean_fps_per_watt);
+            assert!(pair[1].memory_energy_share < pair[0].memory_energy_share);
+        }
+    }
+
+    #[test]
+    fn ng_gains_more_from_cheap_memory_than_cg() {
+        // Section VII: data movement dominates NG, so NG benefits more from
+        // cheaper memory than CG does.
+        let nets = [resnet18()];
+        let gain = |base: &ArchConfig| {
+            let points = data_movement_sweep(base, &[1.0, 0.0625], &nets).unwrap();
+            points[1].geomean_fps_per_watt / points[0].geomean_fps_per_watt
+        };
+        let cg_gain = gain(&ArchConfig::photofourier_cg());
+        let ng_gain = gain(&ArchConfig::photofourier_ng());
+        assert!(
+            ng_gain > cg_gain,
+            "NG gain {ng_gain} should exceed CG gain {cg_gain}"
+        );
+    }
+
+    #[test]
+    fn memory_share_matches_paper_observation() {
+        // Paper: data movement consumes more than 30% of NG system power.
+        let points = data_movement_sweep(
+            &ArchConfig::photofourier_ng(),
+            &[1.0],
+            &[resnet18()],
+        )
+        .unwrap();
+        assert!(
+            points[0].memory_energy_share > 0.3,
+            "NG memory share {}",
+            points[0].memory_energy_share
+        );
+    }
+}

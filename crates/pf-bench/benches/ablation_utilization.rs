@@ -1,0 +1,68 @@
+//! Ablation — waveguide utilisation and strided-convolution waste per
+//! network (the effects behind PhotoFourier's AlexNet inefficiency and the
+//! waveguide-count trade-off of Section V-E).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_arch::config::ArchConfig;
+use pf_arch::dataflow::LayerSchedule;
+use pf_bench::{ablation_utilization, Table};
+use pf_nn::layers::ConvLayerSpec;
+
+fn print_results() {
+    let rows = ablation_utilization().expect("ablation experiment");
+    let mut table = Table::new(vec![
+        "network",
+        "avg waveguide utilisation (%)",
+        "strided output waste (%)",
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.network.clone(),
+            format!("{:.1}", row.avg_waveguide_utilization * 100.0),
+            format!("{:.1}", row.strided_waste * 100.0),
+        ]);
+    }
+    println!("\n== Ablation: utilisation and strided-convolution waste (PhotoFourier-CG) ==\n{table}");
+
+    // Section VII what-if: how much cheaper data movement (photonic memory,
+    // 3D integration) would still buy for each design point.
+    use pf_arch::whatif::{data_movement_sweep, DISCUSSION_SCALES};
+    use pf_nn::models::imagenet::resnet18;
+    let mut sweep = Table::new(vec![
+        "design",
+        "memory energy scale",
+        "FPS/W (ResNet-18)",
+        "memory share (%)",
+    ]);
+    for (label, base) in [
+        ("CG", ArchConfig::photofourier_cg()),
+        ("NG", ArchConfig::photofourier_ng()),
+    ] {
+        let points = data_movement_sweep(&base, &DISCUSSION_SCALES, &[resnet18()])
+            .expect("data-movement sweep");
+        for p in points {
+            sweep.row(vec![
+                label.to_string(),
+                format!("{:.4}", p.memory_energy_scale),
+                format!("{:.1}", p.geomean_fps_per_watt),
+                format!("{:.1}", p.memory_energy_share * 100.0),
+            ]);
+        }
+    }
+    println!("== Section VII what-if: cheaper data movement ==\n{sweep}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let cfg = ArchConfig::photofourier_cg();
+    let spec = ConvLayerSpec::new("resnet_block", 128, 128, 3, 1, 28, true).expect("spec");
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(50);
+    group.bench_function("layer_schedule", |b| {
+        b.iter(|| LayerSchedule::new(&spec, &cfg).expect("schedule"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

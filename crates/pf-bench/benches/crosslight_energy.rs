@@ -1,0 +1,41 @@
+//! CrossLight comparison (Section VI-E) — energy per inference on the
+//! 4-layer CIFAR-10 CNN.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_arch::config::ArchConfig;
+use pf_arch::simulator::Simulator;
+use pf_bench::{crosslight_energy, Table};
+use pf_nn::models::cifar::crosslight_cnn;
+
+fn print_results() {
+    let result = crosslight_energy().expect("crosslight experiment");
+    let mut table = Table::new(vec!["accelerator", "energy per inference (uJ)"]);
+    table.row(vec![
+        "PhotoFourier-CG (simulated)".to_string(),
+        format!("{:.2}", result.photofourier_cg_uj),
+    ]);
+    table.row(vec![
+        "CrossLight (published)".to_string(),
+        format!("{:.1}", result.crosslight_uj),
+    ]);
+    println!("\n== CrossLight comparison (4-layer CIFAR-10 CNN) ==\n{table}");
+    println!(
+        "advantage: {:.0}x (paper: 4.76 uJ vs 427 uJ, ~90x)\n",
+        result.advantage()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let sim = Simulator::new(ArchConfig::photofourier_cg()).expect("simulator");
+    let net = crosslight_cnn();
+    let mut group = c.benchmark_group("crosslight");
+    group.sample_size(50);
+    group.bench_function("evaluate_crosslight_cnn", |b| {
+        b.iter(|| sim.evaluate_network(&net).expect("evaluation"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 6 — power contribution of the components of the un-optimised
+//! 1-PFCU baseline system on VGG-16.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_arch::config::ArchConfig;
+use pf_arch::power::EnergyBreakdown;
+use pf_arch::simulator::Simulator;
+use pf_bench::{fig06_baseline_power, Table};
+use pf_nn::models::imagenet::vgg16;
+
+fn print_results() {
+    let profile = fig06_baseline_power().expect("figure 6 experiment");
+    let mut table = Table::new(vec!["component", "share of total power (%)"]);
+    let shares = profile.breakdown.shares();
+    for (label, share) in EnergyBreakdown::COMPONENT_LABELS.iter().zip(shares) {
+        table.row(vec![label.to_string(), format!("{:.1}", share * 100.0)]);
+    }
+    println!("\n== Figure 6: 1-PFCU baseline power breakdown (VGG-16) ==\n{table}");
+    println!(
+        "DAC + ADC share: {:.1}% (paper: > 80%)\naverage power: {:.1} W\n",
+        profile.breakdown.converter_share() * 100.0,
+        profile.avg_power_w
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let sim = Simulator::new(ArchConfig::baseline_single_pfcu()).expect("simulator");
+    let net = vgg16();
+    let mut group = c.benchmark_group("fig06");
+    group.sample_size(30);
+    group.bench_function("baseline_vgg16_power_model", |b| {
+        b.iter(|| sim.evaluate_network(&net).expect("evaluation"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 7 — accuracy (and partial-sum error) versus temporal accumulation
+//! depth with an 8-bit partial-sum ADC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_bench::{fig07_temporal_accumulation, Table};
+use pf_jtc::temporal::accumulate_with_depth;
+use pf_photonics::adc::Adc;
+
+fn print_results() {
+    let result = fig07_temporal_accumulation().expect("figure 7 experiment");
+    let mut table = Table::new(vec![
+        "temporal depth",
+        "psum rel. error",
+        "proxy accuracy (%)",
+    ]);
+    for point in &result.points {
+        table.row(vec![
+            point.depth.to_string(),
+            format!("{:.4}", point.psum_relative_error),
+            format!("{:.1}", point.accuracy * 100.0),
+        ]);
+    }
+    println!("\n== Figure 7: temporal accumulation depth sweep (8-bit ADC) ==\n{table}");
+    println!(
+        "fp psum accuracy: {:.1}%   reference (fp64) accuracy: {:.1}%\n",
+        result.fp_psum_accuracy * 100.0,
+        result.reference_accuracy * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let adc = Adc::new(8, 0.625, 0.93).expect("adc");
+    let cycles: Vec<Vec<f64>> = (0..64)
+        .map(|i| (0..128).map(|j| (((i * 37 + j * 11) % 101) as f64 / 50.0) - 1.0).collect())
+        .collect();
+    let mut group = c.benchmark_group("fig07");
+    group.sample_size(30);
+    for depth in [1usize, 16] {
+        group.bench_function(format!("accumulate_depth_{depth}"), |b| {
+            b.iter(|| accumulate_with_depth(&cycles, depth, &adc, Some(16.0)).expect("accumulate"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

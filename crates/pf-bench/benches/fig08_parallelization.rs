@@ -1,0 +1,41 @@
+//! Figure 8 — the parallelisation objective IB/N_TA + CP for 8/16/32 PFCUs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_arch::parallel::optimal_scheme;
+use pf_bench::{fig08_parallelization, Table};
+
+fn print_results() {
+    let sweeps = fig08_parallelization().expect("figure 8 experiment");
+    let mut table = Table::new(vec!["N_PFCU", "IB", "IB/N_TA + CP"]);
+    for (n, points) in &sweeps {
+        for p in points {
+            table.row(vec![
+                n.to_string(),
+                p.input_broadcast.to_string(),
+                format!("{:.4}", p.objective),
+            ]);
+        }
+    }
+    println!("\n== Figure 8: parallelisation scheme objective (N_TA = 16) ==\n{table}");
+    for (n, _) in &sweeps {
+        let best = optimal_scheme(*n, 16).expect("scheme");
+        println!(
+            "N_PFCU = {n}: optimal IB = {}, CP = {}",
+            best.input_broadcast, best.channel_parallel
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let mut group = c.benchmark_group("fig08");
+    group.sample_size(50);
+    group.bench_function("parallelization_sweep", |b| {
+        b.iter(|| fig08_parallelization().expect("sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

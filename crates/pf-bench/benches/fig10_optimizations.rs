@@ -1,0 +1,42 @@
+//! Figure 10 — geometric-mean FPS/W as the PhotoFourier optimisations are
+//! applied cumulatively.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_arch::optimizations::OptimizationStep;
+use pf_arch::simulator::Simulator;
+use pf_bench::{fig10_optimizations, Table};
+use pf_nn::models::imagenet::resnet18;
+
+fn print_results() {
+    let points = fig10_optimizations().expect("figure 10 experiment");
+    let mut table = Table::new(vec!["optimisation", "geomean FPS/W", "vs baseline"]);
+    for p in &points {
+        table.row(vec![
+            p.label.clone(),
+            format!("{:.1}", p.geomean_fps_per_watt),
+            format!("{:.1}x", p.speedup_over_baseline),
+        ]);
+    }
+    println!("\n== Figure 10: effect of cumulative optimisations (5 CNNs) ==\n{table}");
+    println!(
+        "total improvement: {:.1}x (paper: ~15x)\n",
+        points.last().map(|p| p.speedup_over_baseline).unwrap_or(0.0)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let net = resnet18();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(20);
+    for step in [OptimizationStep::Baseline, OptimizationStep::NonlinearMaterial] {
+        let sim = Simulator::new(step.config()).expect("simulator");
+        group.bench_function(format!("evaluate_{}", step.label().replace(' ', "_")), |b| {
+            b.iter(|| sim.evaluate_network(&net).expect("evaluation"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

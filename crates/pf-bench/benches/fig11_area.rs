@@ -1,0 +1,53 @@
+//! Figure 11 — area breakdown of PhotoFourier-CG and PhotoFourier-NG.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_arch::area::AreaModel;
+use pf_bench::{fig11_area, Table};
+use pf_photonics::params::TechConfig;
+
+fn print_results() {
+    let areas = fig11_area();
+    let mut table = Table::new(vec![
+        "design",
+        "MRR",
+        "photodetector",
+        "lens",
+        "waveguide routing",
+        "laser/splitter",
+        "PIC total",
+        "SRAM",
+        "CMOS tile",
+        "total (mm^2)",
+    ]);
+    for (name, b) in &areas {
+        table.row(vec![
+            name.clone(),
+            format!("{:.2}", b.mrr_mm2),
+            format!("{:.2}", b.photodetector_mm2),
+            format!("{:.2}", b.lens_mm2),
+            format!("{:.2}", b.waveguide_routing_mm2),
+            format!("{:.2}", b.laser_splitter_mm2),
+            format!("{:.1}", b.pic_mm2()),
+            format!("{:.2}", b.sram_mm2),
+            format!("{:.2}", b.cmos_mm2),
+            format!("{:.1}", b.total_mm2()),
+        ]);
+    }
+    println!("\n== Figure 11: area breakdown ==\n{table}");
+    println!("paper reference: CG PIC 92.2 mm², SRAM 5.85, CMOS 10.15; NG PFCU 93.5, SRAM 5.3, CMOS 16.5\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let tech = TechConfig::photofourier_cg();
+    let model = AreaModel::for_tech(&tech);
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(50);
+    group.bench_function("max_waveguides_under_budget", |b| {
+        b.iter(|| model.max_waveguides(&tech, 8, 100.0).expect("fits"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 12 — power breakdown of PhotoFourier-CG and -NG over the five
+//! benchmark CNNs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_arch::config::ArchConfig;
+use pf_arch::power::EnergyBreakdown;
+use pf_arch::simulator::Simulator;
+use pf_bench::{fig12_power_breakdown, Table};
+use pf_nn::models::paper_benchmark_suite;
+
+fn print_results() {
+    let profiles = fig12_power_breakdown().expect("figure 12 experiment");
+    let mut table = Table::new(vec![
+        "design",
+        "avg power (W)",
+        "laser %",
+        "MRR %",
+        "DAC %",
+        "ADC %",
+        "SRAM %",
+        "CMOS %",
+        "DRAM %",
+    ]);
+    for p in &profiles {
+        let shares = p.breakdown.shares();
+        let mut row = vec![p.design_point.clone(), format!("{:.2}", p.avg_power_w)];
+        row.extend(shares.iter().map(|s| format!("{:.1}", s * 100.0)));
+        table.row(row);
+    }
+    let _ = EnergyBreakdown::COMPONENT_LABELS;
+    println!("\n== Figure 12: power breakdown (5 CNNs) ==\n{table}");
+    println!("paper reference: CG average 26.0 W, NG average 8.42 W; SRAM becomes the largest NG contributor\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let sim = Simulator::new(ArchConfig::photofourier_ng()).expect("simulator");
+    let nets = paper_benchmark_suite();
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("evaluate_five_cnns_ng", |b| {
+        b.iter(|| {
+            nets.iter()
+                .map(|n| sim.evaluate_network(n).expect("evaluation").avg_power_w)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 13 — throughput (FPS), efficiency (FPS/W) and 1/EDP of
+//! PhotoFourier against prior accelerators on AlexNet / VGG-16 / ResNet-18.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_arch::config::ArchConfig;
+use pf_arch::simulator::Simulator;
+use pf_bench::{fig13_comparison, report::fmt_sig, Table};
+use pf_nn::models::comparison_suite;
+
+fn print_results() {
+    let rows = fig13_comparison().expect("figure 13 experiment");
+    for network in ["AlexNet", "VGG-16", "ResNet-18"] {
+        let mut table = Table::new(vec!["accelerator", "FPS", "FPS/W", "1/EDP (1/J·s)"]);
+        for row in rows.iter().filter(|r| r.network == network) {
+            table.row(vec![
+                row.accelerator.clone(),
+                fmt_sig(row.fps),
+                fmt_sig(row.fps_per_watt),
+                fmt_sig(row.inverse_edp),
+            ]);
+        }
+        println!("\n== Figure 13: {network} ==\n{table}");
+    }
+    println!("prior-accelerator bars are anchored reference points (see pf-baselines docs)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let cg = Simulator::new(ArchConfig::photofourier_cg()).expect("simulator");
+    let nets = comparison_suite();
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(20);
+    group.bench_function("evaluate_comparison_suite_cg", |b| {
+        b.iter(|| {
+            nets.iter()
+                .map(|n| cg.evaluate_network(n).expect("evaluation").fps)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Table I — accuracy / fidelity of the row tiling method.
+//!
+//! Prints per-network fidelity of the row-tiled 8-bit pipeline and the
+//! synthetic end-to-end accuracy proxy, and benches a single-layer fidelity
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_bench::{report::fmt_sig, tab1_row_tiling_accuracy, Table};
+use pf_nn::executor::PipelineConfig;
+use pf_nn::fidelity::{evaluate_layer, FidelityConfig};
+use pf_nn::layers::ConvLayerSpec;
+use pf_tiling::DigitalEngine;
+
+fn print_results() {
+    let result = tab1_row_tiling_accuracy().expect("table 1 experiment");
+
+    let mut table = Table::new(vec![
+        "network",
+        "mean rel. error",
+        "max rel. error",
+        "min SNR (dB)",
+    ]);
+    for report in &result.fidelity {
+        table.row(vec![
+            report.network.clone(),
+            fmt_sig(report.mean_relative_error()),
+            fmt_sig(report.max_relative_error()),
+            fmt_sig(report.min_snr_db()),
+        ]);
+    }
+    println!("\n== Table I (part a): per-layer fidelity of the PhotoFourier pipeline ==\n{table}");
+
+    let mut proxy = Table::new(vec!["configuration", "accuracy (%)", "drop vs reference (%)"]);
+    let reference = result.accuracy_proxy[0].1;
+    for (label, acc) in &result.accuracy_proxy {
+        proxy.row(vec![
+            label.clone(),
+            format!("{:.1}", acc * 100.0),
+            format!("{:+.1}", (reference - acc) * 100.0),
+        ]);
+    }
+    println!("== Table I (part b): end-to-end accuracy proxy (synthetic task) ==\n{proxy}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let spec = ConvLayerSpec::new("resnet_block", 16, 4, 3, 1, 32, true).expect("spec");
+    let mut group = c.benchmark_group("tab1");
+    group.sample_size(10);
+    group.bench_function("single_layer_fidelity", |b| {
+        b.iter(|| {
+            evaluate_layer(
+                &spec,
+                DigitalEngine,
+                256,
+                PipelineConfig::photofourier_default(),
+                &FidelityConfig::default(),
+            )
+            .expect("fidelity")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

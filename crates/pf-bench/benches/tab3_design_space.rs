@@ -1,0 +1,47 @@
+//! Table III — maximum waveguides per PFCU and geometric-mean FPS/W for
+//! 4–64 PFCUs under a 100 mm² area budget (PhotoFourier-CG and -NG, five
+//! benchmark CNNs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pf_arch::config::ArchConfig;
+use pf_arch::design_space::sweep_pfcu_counts;
+use pf_bench::{tab3_design_space, Table};
+use pf_nn::models::imagenet::resnet18;
+
+fn print_results() {
+    let result = tab3_design_space().expect("table 3 experiment");
+    let mut table = Table::new(vec![
+        "design",
+        "# PFCU",
+        "# waveguides",
+        "geomean FPS/W",
+        "normalised",
+    ]);
+    for (label, points) in [("CG", &result.cg), ("NG", &result.ng)] {
+        for p in points {
+            table.row(vec![
+                label.to_string(),
+                p.num_pfcus.to_string(),
+                p.waveguides.to_string(),
+                format!("{:.1}", p.geomean_fps_per_watt),
+                format!("{:.2}", p.normalized_fps_per_watt),
+            ]);
+        }
+    }
+    println!("\n== Table III: design-space sweep (100 mm² budget, 5 CNNs) ==\n{table}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_results();
+    let base = ArchConfig::photofourier_cg();
+    let nets = [resnet18()];
+    let mut group = c.benchmark_group("tab3");
+    group.sample_size(10);
+    group.bench_function("design_space_sweep_resnet18", |b| {
+        b.iter(|| sweep_pfcu_counts(&base, &[4, 8, 16, 32, 64], 100.0, &nets).expect("sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

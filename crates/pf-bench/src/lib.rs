@@ -1,0 +1,15 @@
+//! Experiment implementations for the PhotoFourier benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation has a function here that
+//! computes its rows/series; the Criterion benches under `benches/` print
+//! those results and time the underlying computation. EXPERIMENTS.md records
+//! the paper-vs-measured comparison for each one.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::Table;

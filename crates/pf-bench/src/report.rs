@@ -1,0 +1,123 @@
+//! Minimal fixed-width table formatting for benchmark output.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (extra cells are dropped, missing cells padded).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        row.truncate(self.header.len());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (w, cell) in widths.iter().zip(cells) {
+                let _ = write!(out, "| {cell:>w$} ");
+            }
+            out.push_str("|\n");
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for tables.
+pub fn fmt_sig(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 1000.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 10.0 {
+        format!("{value:.1}")
+    } else if value.abs() >= 0.01 {
+        format!("{value:.3}")
+    } else {
+        format!("{value:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["alpha", "1"]);
+        t.row(vec!["b", "123456"]);
+        let rendered = t.render();
+        assert!(rendered.contains("alpha"));
+        assert!(rendered.contains("123456"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // All lines have the same length.
+        let lens: Vec<usize> = rendered.lines().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn row_padding_and_truncation() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+        t.row(vec!["one", "two", "three"]);
+        assert!(t.render().contains("only one"));
+        assert!(!t.render().contains("three"));
+    }
+
+    #[test]
+    fn sig_formatting() {
+        assert_eq!(fmt_sig(0.0), "0");
+        assert_eq!(fmt_sig(12345.6), "12346");
+        assert_eq!(fmt_sig(12.34), "12.3");
+        assert_eq!(fmt_sig(0.5), "0.500");
+        assert_eq!(fmt_sig(0.0001), "1.00e-4");
+    }
+}

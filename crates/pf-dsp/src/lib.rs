@@ -1,0 +1,36 @@
+//! Signal-processing substrate for the PhotoFourier reproduction.
+//!
+//! The PhotoFourier accelerator computes convolutions optically through a
+//! Joint Transform Correlator (JTC): a Fourier lens, a square-law
+//! non-linearity and a second Fourier lens. Simulating that chain — and
+//! validating the row-tiling algorithm against digital references — requires
+//! a small, dependency-free DSP toolbox:
+//!
+//! * [`Complex`] — complex arithmetic used by the Fourier transforms.
+//! * [`fft`] — radix-2 FFT/IFFT plus a direct DFT for arbitrary sizes.
+//! * [`conv`] — reference 1D/2D convolution and cross-correlation kernels in
+//!   `full`/`same`/`valid` modes, and FFT-accelerated 1D convolution.
+//! * [`util`] — numeric helpers (padding, error metrics, power-of-two math).
+//!
+//! # Examples
+//!
+//! ```
+//! use pf_dsp::conv::{conv1d, PaddingMode};
+//!
+//! let signal = [1.0, 2.0, 3.0];
+//! let kernel = [1.0, 1.0];
+//! let full = conv1d(&signal, &kernel, PaddingMode::Full);
+//! assert_eq!(full, vec![1.0, 3.0, 5.0, 3.0]);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod complex;
+pub mod conv;
+pub mod error;
+pub mod fft;
+pub mod util;
+
+pub use complex::Complex;
+pub use error::DspError;

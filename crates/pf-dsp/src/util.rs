@@ -1,0 +1,217 @@
+//! Numeric helpers shared across the PhotoFourier crates.
+
+/// Returns the smallest power of two greater than or equal to `n`.
+///
+/// Returns `1` for `n == 0`.
+///
+/// ```
+/// assert_eq!(pf_dsp::util::next_pow2(0), 1);
+/// assert_eq!(pf_dsp::util::next_pow2(1), 1);
+/// assert_eq!(pf_dsp::util::next_pow2(5), 8);
+/// assert_eq!(pf_dsp::util::next_pow2(256), 256);
+/// ```
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Returns `true` if `n` is a power of two (and non-zero).
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// Zero-pads `data` on the right to length `len`.
+///
+/// If `data` is already at least `len` elements long, it is returned
+/// unchanged (truncated copies are never produced).
+pub fn zero_pad(data: &[f64], len: usize) -> Vec<f64> {
+    let mut out = data.to_vec();
+    if out.len() < len {
+        out.resize(len, 0.0);
+    }
+    out
+}
+
+/// Maximum absolute difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff requires equal lengths");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Relative L2 error `||a - b|| / ||b||`.
+///
+/// Returns the absolute L2 norm of `a` when `b` is (numerically) zero so the
+/// metric stays finite.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relative_l2_error(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "relative_l2_error requires equal lengths");
+    let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    let den: f64 = b.iter().map(|y| y * y).sum();
+    if den <= f64::EPSILON {
+        num.sqrt()
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Mean squared error between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "mse requires equal lengths");
+    assert!(!a.is_empty(), "mse requires non-empty inputs");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
+}
+
+/// Signal-to-noise ratio in dB of `signal` against an error slice
+/// `signal - reference`.
+///
+/// Defined as `10 log10(sum(ref^2) / sum((sig-ref)^2))`. Returns
+/// `f64::INFINITY` when the error energy is zero.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn snr_db(signal: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(signal.len(), reference.len(), "snr_db requires equal lengths");
+    let sig: f64 = reference.iter().map(|x| x * x).sum();
+    let err: f64 = signal
+        .iter()
+        .zip(reference)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    if err <= 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / err).log10()
+    }
+}
+
+/// Index of the element with the largest value. Returns `None` for an empty
+/// slice. Ties resolve to the first occurrence.
+pub fn argmax(data: &[f64]) -> Option<usize> {
+    if data.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in data.iter().enumerate() {
+        if v > data[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// Returns `None` if the slice is empty or any value is non-positive.
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Linearly spaced values from `start` to `end` inclusive.
+///
+/// Returns an empty vector for `n == 0` and `[start]` for `n == 1`.
+pub fn linspace(start: f64, end: f64, n: usize) -> Vec<f64> {
+    match n {
+        0 => Vec::new(),
+        1 => vec![start],
+        _ => {
+            let step = (end - start) / (n - 1) as f64;
+            (0..n).map(|i| start + step * i as f64).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(255), 256);
+        assert_eq!(next_pow2(257), 512);
+    }
+
+    #[test]
+    fn is_pow2_values() {
+        assert!(!is_pow2(0));
+        assert!(is_pow2(1));
+        assert!(is_pow2(64));
+        assert!(!is_pow2(63));
+    }
+
+    #[test]
+    fn zero_pad_extends_and_preserves() {
+        assert_eq!(zero_pad(&[1.0, 2.0], 4), vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(zero_pad(&[1.0, 2.0, 3.0], 2), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(max_abs_diff(&a, &b), 0.0);
+        assert_eq!(relative_l2_error(&a, &b), 0.0);
+        assert_eq!(mse(&a, &b), 0.0);
+        assert_eq!(snr_db(&a, &b), f64::INFINITY);
+
+        let c = [1.0, 2.0, 4.0];
+        assert_eq!(max_abs_diff(&c, &b), 1.0);
+        assert!(relative_l2_error(&c, &b) > 0.0);
+        assert!((mse(&c, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(snr_db(&c, &b) > 10.0);
+    }
+
+    #[test]
+    fn relative_error_zero_reference() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 0.0];
+        assert!((relative_l2_error(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_cases() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[3.0]), Some(0));
+        assert_eq!(argmax(&[1.0, 5.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[5.0, 5.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    fn geometric_mean_cases() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[2.0, -1.0]), None);
+        let g = geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+        let g = geometric_mean(&[2.0, 2.0, 2.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linspace_cases() {
+        assert!(linspace(0.0, 1.0, 0).is_empty());
+        assert_eq!(linspace(3.0, 9.0, 1), vec![3.0]);
+        let v = linspace(0.0, 1.0, 5);
+        assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Numerical simulation of the optical JTC chain.
+//!
+//! The simulation follows the physics described in Section II-A:
+//!
+//! 1. the signal and the kernel are placed side by side on the input plane
+//!    with a spatial separation large enough that the output terms do not
+//!    overlap;
+//! 2. the first lens computes the Fourier transform of the joint input;
+//! 3. the square-law non-linearity (photodetector + EOM pair in CG, passive
+//!    non-linear material in NG) produces the Fourier-plane intensity
+//!    `|F[s + k]|²`;
+//! 4. the second lens transforms again, yielding Equation 1: the two
+//!    cross-correlation terms at `±(x_s + x_k)` plus the central
+//!    non-convolution term `O(x)`.
+//!
+//! The simulation grid is larger than the physical number of waveguides so
+//! the discrete transform behaves like the continuous optics (no circular
+//! aliasing between the three terms); the physical capacity only limits how
+//! long the signal and kernel may be.
+
+use pf_dsp::complex::Complex;
+use pf_dsp::fft::{fft, fftshift};
+use pf_dsp::util::next_pow2;
+use serde::{Deserialize, Serialize};
+
+use crate::error::JtcError;
+
+/// The complete output plane of one JTC pass, as a photodetector array would
+/// record it (Figure 2), plus the bookkeeping needed to pull the convolution
+/// result back out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JtcOutput {
+    /// Field amplitude on the output plane (length = simulation grid size),
+    /// *not* shifted: index 0 is the optical axis.
+    pub field: Vec<f64>,
+    /// Index of the centre of the `+` correlation lobe on the output plane.
+    pub correlation_center: usize,
+    /// Length of the signal that produced this output.
+    pub signal_len: usize,
+    /// Length of the kernel that produced this output.
+    pub kernel_len: usize,
+}
+
+impl JtcOutput {
+    /// Output-plane intensity with the optical axis moved to the middle, the
+    /// way Figure 2 plots it. The three lobes (conjugate correlation,
+    /// central `O(x)` term, correlation) appear left, centre and right.
+    pub fn intensity_shifted(&self) -> Vec<f64> {
+        fftshift(&self.field.iter().map(|x| x * x).collect::<Vec<_>>())
+    }
+
+    /// Extracts the *valid* cross-correlation `c[j] = Σ_q s[j+q]·k[q]`
+    /// (length `signal_len - kernel_len + 1`) from the `+` correlation lobe.
+    ///
+    /// Returns an empty vector if the kernel was longer than the signal.
+    pub fn valid_correlation(&self) -> Vec<f64> {
+        if self.kernel_len > self.signal_len {
+            return Vec::new();
+        }
+        let n = self.field.len();
+        let len = self.signal_len - self.kernel_len + 1;
+        (0..len)
+            .map(|j| self.field[(self.correlation_center + n - j) % n])
+            .collect()
+    }
+
+    /// Extracts the *full* cross-correlation (length
+    /// `signal_len + kernel_len - 1`), lag running from `-(kernel_len-1)` to
+    /// `signal_len - 1`.
+    pub fn full_correlation(&self) -> Vec<f64> {
+        let n = self.field.len();
+        let len = self.signal_len + self.kernel_len - 1;
+        // lag j runs from -(kernel_len - 1) .. signal_len - 1; c[j] sits at
+        // correlation_center - j.
+        (0..len)
+            .map(|i| {
+                let j = i as isize - (self.kernel_len as isize - 1);
+                let idx = (self.correlation_center as isize - j).rem_euclid(n as isize);
+                self.field[idx as usize]
+            })
+            .collect()
+    }
+
+    /// Checks that the three output terms are spatially separated: the
+    /// maximum absolute field value in the guard bands between the lobes is
+    /// below `threshold` times the peak value. This is the property Figure 2
+    /// demonstrates.
+    pub fn terms_are_separated(&self, threshold: f64) -> bool {
+        let n = self.field.len();
+        let peak = self.field.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        if peak == 0.0 {
+            return true;
+        }
+        // Guard band: between the end of the central term and the start of
+        // the + lobe (and symmetrically for the - lobe).
+        let central_halfwidth = self.signal_len.max(self.kernel_len);
+        let lobe_start = self.correlation_center - (self.signal_len - 1).min(self.correlation_center);
+        if lobe_start <= central_halfwidth + 1 {
+            return false;
+        }
+        let guard = &self.field[central_halfwidth + 1..lobe_start - 1];
+        let guard_max = guard.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        // Symmetric guard on the conjugate side.
+        let conj_center = n - self.correlation_center;
+        let conj_end = conj_center + (self.signal_len - 1).min(n - conj_center - 1);
+        let guard2 = &self.field[(conj_end + 1).min(n - 1)..(n - central_halfwidth - 1).max(conj_end + 1)];
+        let guard2_max = guard2.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        guard_max.max(guard2_max) <= threshold * peak
+    }
+}
+
+/// Numerical model of a 1D on-chip JTC with a given input-plane capacity
+/// (number of input waveguides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JtcSimulator {
+    capacity: usize,
+    grid: usize,
+}
+
+impl JtcSimulator {
+    /// Creates a simulator for a JTC whose input plane holds `capacity`
+    /// samples (waveguides).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JtcError::InvalidConfig`] if `capacity` is zero.
+    pub fn new(capacity: usize) -> Result<Self, JtcError> {
+        if capacity == 0 {
+            return Err(JtcError::InvalidConfig {
+                name: "capacity",
+                requirement: "must be at least 1".to_string(),
+            });
+        }
+        // Grid large enough that the central term, the two correlation lobes
+        // and their guard bands never alias: 8x the capacity rounded to a
+        // power of two keeps every case used by PhotoFourier comfortably
+        // separated.
+        let grid = next_pow2(8 * capacity.max(8));
+        Ok(Self { capacity, grid })
+    }
+
+    /// Input-plane capacity in samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Size of the numerical simulation grid.
+    pub fn grid_size(&self) -> usize {
+        self.grid
+    }
+
+    /// Runs the full optics chain and returns the output plane.
+    ///
+    /// # Errors
+    ///
+    /// * [`JtcError::EmptyOperand`] if the signal or kernel is empty.
+    /// * [`JtcError::InputTooLarge`] if `signal.len() > capacity` or the
+    ///   kernel is longer than the signal (the JTC input plane places the
+    ///   kernel in the slot reserved by the row-tiling layout, which is never
+    ///   longer than the signal).
+    pub fn output_plane(&self, signal: &[f64], kernel: &[f64]) -> Result<JtcOutput, JtcError> {
+        if signal.is_empty() {
+            return Err(JtcError::EmptyOperand { what: "signal" });
+        }
+        if kernel.is_empty() {
+            return Err(JtcError::EmptyOperand { what: "kernel" });
+        }
+        if signal.len() > self.capacity || kernel.len() > self.capacity {
+            return Err(JtcError::InputTooLarge {
+                signal_len: signal.len(),
+                kernel_len: kernel.len(),
+                capacity: self.capacity,
+            });
+        }
+
+        // Separation between the signal origin and the kernel origin. Large
+        // enough that the correlation lobes clear the central term.
+        let d = 2 * signal.len() + kernel.len() + 2;
+        // Grow the grid if an unusually long kernel needs more guard space.
+        let n = self.grid.max(next_pow2(2 * d + 2 * kernel.len() + 4));
+
+        // Joint input plane: signal at the origin, kernel at offset d.
+        let mut joint = vec![Complex::ZERO; n];
+        for (i, &s) in signal.iter().enumerate() {
+            joint[i] = Complex::from_real(s);
+        }
+        for (i, &k) in kernel.iter().enumerate() {
+            joint[d + i] += Complex::from_real(k);
+        }
+
+        // First lens.
+        let fourier_plane = fft(&joint)?;
+        // Square-law non-linearity in the Fourier plane.
+        let intensity: Vec<Complex> = fourier_plane
+            .iter()
+            .map(|z| Complex::from_real(z.norm_sqr()))
+            .collect();
+        // Second lens; normalise the double-transform gain of N.
+        let output = fft(&intensity)?;
+        let field: Vec<f64> = output.iter().map(|z| z.re / n as f64).collect();
+
+        Ok(JtcOutput {
+            field,
+            correlation_center: d,
+            signal_len: signal.len(),
+            kernel_len: kernel.len(),
+        })
+    }
+
+    /// Convenience wrapper: runs the optics and extracts the valid
+    /// cross-correlation in one call.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`JtcSimulator::output_plane`].
+    pub fn correlate(&self, signal: &[f64], kernel: &[f64]) -> Result<Vec<f64>, JtcError> {
+        Ok(self.output_plane(signal, kernel)?.valid_correlation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_dsp::conv::{correlate1d, PaddingMode};
+    use pf_dsp::util::max_abs_diff;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(JtcSimulator::new(0).is_err());
+        let jtc = JtcSimulator::new(256).unwrap();
+        assert_eq!(jtc.capacity(), 256);
+        assert!(jtc.grid_size() >= 2048);
+        assert!(jtc.grid_size().is_power_of_two());
+    }
+
+    #[test]
+    fn rejects_bad_operands() {
+        let jtc = JtcSimulator::new(16).unwrap();
+        assert!(matches!(
+            jtc.correlate(&[], &[1.0]),
+            Err(JtcError::EmptyOperand { .. })
+        ));
+        assert!(matches!(
+            jtc.correlate(&[1.0], &[]),
+            Err(JtcError::EmptyOperand { .. })
+        ));
+        assert!(matches!(
+            jtc.correlate(&vec![1.0; 17], &[1.0]),
+            Err(JtcError::InputTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn correlation_matches_digital_reference() {
+        let jtc = JtcSimulator::new(64).unwrap();
+        let signal: Vec<f64> = (0..40).map(|i| ((i as f64) * 0.3).sin() + 0.5).collect();
+        let kernel = vec![0.25, 0.5, 1.0, 0.5, 0.25];
+        let optical = jtc.correlate(&signal, &kernel).unwrap();
+        let digital = correlate1d(&signal, &kernel, PaddingMode::Valid);
+        assert_eq!(optical.len(), digital.len());
+        assert!(max_abs_diff(&optical, &digital) < 1e-8);
+    }
+
+    #[test]
+    fn correlation_handles_signed_values() {
+        // The field-level math is linear, so signed inputs (pseudo-negative
+        // weights are handled at a higher level, but the simulation itself
+        // must stay exact for signed data used in fidelity studies).
+        let jtc = JtcSimulator::new(32).unwrap();
+        let signal = vec![1.0, -2.0, 3.0, -4.0, 5.0, 0.0, 1.5, -0.5];
+        let kernel = vec![-1.0, 2.0, -1.0];
+        let optical = jtc.correlate(&signal, &kernel).unwrap();
+        let digital = correlate1d(&signal, &kernel, PaddingMode::Valid);
+        assert!(max_abs_diff(&optical, &digital) < 1e-9);
+    }
+
+    #[test]
+    fn full_correlation_matches_digital_reference() {
+        let jtc = JtcSimulator::new(32).unwrap();
+        let signal = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let kernel = vec![1.0, 0.0, -1.0];
+        let out = jtc.output_plane(&signal, &kernel).unwrap();
+        let optical_full = out.full_correlation();
+        let digital_full = correlate1d(&signal, &kernel, PaddingMode::Full);
+        assert_eq!(optical_full.len(), digital_full.len());
+        assert!(max_abs_diff(&optical_full, &digital_full) < 1e-9);
+    }
+
+    #[test]
+    fn kernel_of_length_one_is_scaling() {
+        let jtc = JtcSimulator::new(16).unwrap();
+        let signal = vec![1.0, 2.0, 3.0];
+        let corr = jtc.correlate(&signal, &[2.0]).unwrap();
+        assert!(max_abs_diff(&corr, &[2.0, 4.0, 6.0]) < 1e-9);
+    }
+
+    #[test]
+    fn output_terms_are_spatially_separated() {
+        // The Figure 2 property: correlation lobes clear the central term.
+        let jtc = JtcSimulator::new(256).unwrap();
+        let signal: Vec<f64> = (0..256).map(|i| ((i % 13) as f64) / 13.0).collect();
+        let kernel: Vec<f64> = vec![0.2; 13];
+        let out = jtc.output_plane(&signal, &kernel).unwrap();
+        assert!(out.terms_are_separated(1e-6));
+    }
+
+    #[test]
+    fn central_term_contains_signal_energy() {
+        // O(x) = F[|S|^2 + |K|^2]: its DC sample equals the total energy of
+        // signal and kernel plus the correlation contribution is far away.
+        let jtc = JtcSimulator::new(32).unwrap();
+        let signal = vec![1.0, 2.0, 2.0, 1.0];
+        let kernel = vec![1.0, 1.0];
+        let out = jtc.output_plane(&signal, &kernel).unwrap();
+        let energy: f64 = signal.iter().map(|x| x * x).sum::<f64>()
+            + kernel.iter().map(|x| x * x).sum::<f64>();
+        assert!((out.field[0] - energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_shifted_has_three_lobes() {
+        let jtc = JtcSimulator::new(64).unwrap();
+        let signal: Vec<f64> = (0..48).map(|i| if i % 5 == 0 { 1.0 } else { 0.2 }).collect();
+        let kernel = vec![1.0, 0.5, 0.25];
+        let out = jtc.output_plane(&signal, &kernel).unwrap();
+        let shifted = out.intensity_shifted();
+        assert_eq!(shifted.len(), jtc.grid_size());
+        // Centre lobe at the middle of the shifted plot.
+        let mid = shifted.len() / 2;
+        let center_peak: f64 = shifted[mid - 2..mid + 2].iter().cloned().fold(0.0, f64::max);
+        assert!(center_peak > 0.0);
+        // Energy exists away from the centre (the correlation lobes).
+        let side_energy: f64 = shifted[..mid - 200].iter().sum::<f64>()
+            + shifted[mid + 200..].iter().sum::<f64>();
+        assert!(side_energy > 0.0);
+    }
+
+    #[test]
+    fn valid_correlation_empty_when_kernel_longer() {
+        let out = JtcOutput {
+            field: vec![0.0; 64],
+            correlation_center: 16,
+            signal_len: 2,
+            kernel_len: 5,
+        };
+        assert!(out.valid_correlation().is_empty());
+    }
+}

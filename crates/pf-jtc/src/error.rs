@@ -1,0 +1,104 @@
+//! Error type for the JTC simulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the JTC and PFCU simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JtcError {
+    /// The combined signal and kernel do not fit on the JTC input plane.
+    InputTooLarge {
+        /// Signal length supplied.
+        signal_len: usize,
+        /// Kernel length supplied.
+        kernel_len: usize,
+        /// Number of input-plane samples (waveguides) available.
+        capacity: usize,
+    },
+    /// An empty signal or kernel was supplied.
+    EmptyOperand {
+        /// Which operand was empty.
+        what: &'static str,
+    },
+    /// A configuration parameter is invalid.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Explanation of the requirement.
+        requirement: String,
+    },
+    /// An error propagated from the underlying DSP layer.
+    Dsp(pf_dsp::DspError),
+    /// An error propagated from the photonic component models.
+    Photonics(pf_photonics::PhotonicsError),
+}
+
+impl fmt::Display for JtcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JtcError::InputTooLarge {
+                signal_len,
+                kernel_len,
+                capacity,
+            } => write!(
+                f,
+                "signal ({signal_len}) plus kernel ({kernel_len}) exceed the JTC input plane capacity ({capacity})"
+            ),
+            JtcError::EmptyOperand { what } => write!(f, "{what} must not be empty"),
+            JtcError::InvalidConfig { name, requirement } => {
+                write!(f, "invalid configuration {name}: {requirement}")
+            }
+            JtcError::Dsp(e) => write!(f, "dsp error: {e}"),
+            JtcError::Photonics(e) => write!(f, "photonics error: {e}"),
+        }
+    }
+}
+
+impl Error for JtcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JtcError::Dsp(e) => Some(e),
+            JtcError::Photonics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pf_dsp::DspError> for JtcError {
+    fn from(e: pf_dsp::DspError) -> Self {
+        JtcError::Dsp(e)
+    }
+}
+
+impl From<pf_photonics::PhotonicsError> for JtcError {
+    fn from(e: pf_photonics::PhotonicsError) -> Self {
+        JtcError::Photonics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = JtcError::InputTooLarge {
+            signal_len: 200,
+            kernel_len: 100,
+            capacity: 256,
+        };
+        assert!(e.to_string().contains("256"));
+        let e = JtcError::from(pf_dsp::DspError::EmptyInput { what: "signal" });
+        assert!(e.to_string().contains("dsp error"));
+        assert!(Error::source(&e).is_some());
+        let e = JtcError::EmptyOperand { what: "kernel" };
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<JtcError>();
+    }
+}

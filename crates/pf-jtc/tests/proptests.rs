@@ -1,0 +1,113 @@
+//! Property-based tests for the JTC optics simulation: the optical
+//! correlation must agree with the digital reference for arbitrary signals,
+//! and the temporal accumulator must never lose precision before read-out.
+
+use pf_dsp::conv::{correlate1d, PaddingMode};
+use pf_dsp::util::max_abs_diff;
+use pf_jtc::correlator::JtcSimulator;
+use pf_jtc::engine::{JtcEngine, JtcEngineConfig};
+use pf_jtc::temporal::{accumulate_with_depth, TemporalAccumulator};
+use pf_photonics::adc::Adc;
+use proptest::prelude::*;
+
+fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, 4..=max_len)
+}
+
+fn kernel_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-2.0f64..2.0, 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optical_correlation_equals_digital(
+        signal in signal_strategy(64),
+        kernel in kernel_strategy(9),
+    ) {
+        prop_assume!(kernel.len() <= signal.len());
+        let jtc = JtcSimulator::new(64).unwrap();
+        let optical = jtc.correlate(&signal, &kernel).unwrap();
+        let digital = correlate1d(&signal, &kernel, PaddingMode::Valid);
+        prop_assert_eq!(optical.len(), digital.len());
+        let scale = digital.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        prop_assert!(max_abs_diff(&optical, &digital) < 1e-7 * scale.max(1.0));
+    }
+
+    #[test]
+    fn output_plane_terms_always_separate(
+        signal in signal_strategy(48),
+        kernel in kernel_strategy(5),
+    ) {
+        prop_assume!(kernel.len() <= signal.len());
+        prop_assume!(signal.iter().any(|&v| v != 0.0));
+        let jtc = JtcSimulator::new(48).unwrap();
+        let output = jtc.output_plane(&signal, &kernel).unwrap();
+        prop_assert!(output.terms_are_separated(1e-6));
+    }
+
+    #[test]
+    fn quantized_engine_error_is_bounded(
+        signal in prop::collection::vec(0.0f64..1.0, 8..48),
+        kernel in prop::collection::vec(0.0f64..1.0, 1..6),
+    ) {
+        prop_assume!(kernel.len() <= signal.len());
+        prop_assume!(signal.iter().any(|&v| v > 1e-3));
+        prop_assume!(kernel.iter().any(|&v| v > 1e-3));
+        let engine = JtcEngine::new(JtcEngineConfig {
+            capacity: 64,
+            dac_bits: Some(8),
+            adc_bits: Some(8),
+            sensing_snr_db: None,
+            noise_seed: 0,
+        }).unwrap();
+        let optical = engine.correlate(&signal, &kernel).unwrap();
+        let digital = correlate1d(&signal, &kernel, PaddingMode::Valid);
+        let scale = digital.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        // 8-bit quantisation of inputs, weights and outputs stays within a
+        // few percent of full scale.
+        prop_assert!(max_abs_diff(&optical, &digital) <= 0.05 * scale.max(1e-6));
+    }
+
+    #[test]
+    fn temporal_accumulator_is_exact_before_readout(
+        cycles in prop::collection::vec(
+            prop::collection::vec(-1.0f64..1.0, 4usize..=4),
+            1..16,
+        ),
+    ) {
+        let mut acc = TemporalAccumulator::new(4, 16).unwrap();
+        for cycle in &cycles {
+            acc.accumulate(cycle).unwrap();
+        }
+        let exact: Vec<f64> = (0..4)
+            .map(|lane| cycles.iter().map(|c| c[lane]).sum())
+            .collect();
+        let read = acc.read_out_ideal();
+        prop_assert!(max_abs_diff(&read, &exact) < 1e-12);
+    }
+
+    #[test]
+    fn deeper_accumulation_never_hurts(
+        seed in 0u64..500,
+        channels in 8usize..48,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let lanes = 16;
+        let cycles: Vec<Vec<f64>> = (0..channels)
+            .map(|_| (0..lanes).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let exact: Vec<f64> = (0..lanes)
+            .map(|l| cycles.iter().map(|c| c[l]).sum())
+            .collect();
+        let adc = Adc::new(8, 0.625, 0.93).unwrap();
+        let fs = Some(16.0);
+        let shallow = accumulate_with_depth(&cycles, 1, &adc, fs).unwrap();
+        let deep = accumulate_with_depth(&cycles, 16, &adc, fs).unwrap();
+        let err_shallow = pf_dsp::util::relative_l2_error(&shallow, &exact);
+        let err_deep = pf_dsp::util::relative_l2_error(&deep, &exact);
+        prop_assert!(err_deep <= err_shallow + 1e-9);
+    }
+}

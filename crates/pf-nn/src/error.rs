@@ -1,0 +1,78 @@
+//! Error type for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by tensor and layer operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor shape does not match what the operation expects.
+    ShapeMismatch {
+        /// Expected shape description.
+        expected: String,
+        /// Found shape description.
+        found: String,
+    },
+    /// A layer or model parameter is invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Requirement description.
+        requirement: String,
+    },
+    /// An error from the tiling layer.
+    Tiling(pf_tiling::TilingError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            NnError::InvalidParameter { name, requirement } => {
+                write!(f, "invalid parameter {name}: {requirement}")
+            }
+            NnError::Tiling(e) => write!(f, "tiling error: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tiling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pf_tiling::TilingError> for NnError {
+    fn from(e: pf_tiling::TilingError) -> Self {
+        NnError::Tiling(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::ShapeMismatch {
+            expected: "3x32x32".into(),
+            found: "1x28x28".into(),
+        };
+        assert!(e.to_string().contains("shape mismatch"));
+        assert!(Error::source(&e).is_none());
+        let e = NnError::from(pf_tiling::TilingError::EmptyOperand { what: "input" });
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

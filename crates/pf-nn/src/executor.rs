@@ -1,0 +1,489 @@
+//! Convolution-layer executors.
+//!
+//! [`ReferenceExecutor`] is the exact digital reference (what a GPU would
+//! compute). [`TiledExecutor`] runs every convolution through the row-tiling
+//! algorithm on a pluggable 1D backend and reproduces the full PhotoFourier
+//! numeric pipeline:
+//!
+//! * optional 8-bit quantisation of weights and activations,
+//! * pseudo-negative weight splitting (negative weights become a second
+//!   all-positive filter whose result is subtracted digitally, Section VI-A),
+//! * channel-wise accumulation with a configurable temporal-accumulation
+//!   depth and partial-sum ADC (Section V-C), which is the knob Figure 7
+//!   sweeps.
+
+use pf_dsp::conv::{correlate2d, Matrix, PaddingMode};
+use pf_photonics::adc::Adc;
+use pf_tiling::{Conv1dEngine, EdgeHandling, TiledConvolver};
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+use crate::layers::Conv2d;
+use crate::quant::{quantize_tensor, QuantConfig};
+use crate::tensor::Tensor;
+
+/// Anything that can execute a convolution layer on a `(C, H, W)` activation
+/// tensor.
+pub trait Conv2dExecutor: std::fmt::Debug {
+    /// Runs the layer and returns the `(out_channels, H', W')` activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if the input shape does not match the layer.
+    fn forward(&self, input: &Tensor, layer: &Conv2d) -> Result<Tensor, NnError>;
+}
+
+/// Exact digital reference executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReferenceExecutor;
+
+impl Conv2dExecutor for ReferenceExecutor {
+    fn forward(&self, input: &Tensor, layer: &Conv2d) -> Result<Tensor, NnError> {
+        check_input(input, layer)?;
+        let mode = if layer.padded {
+            PaddingMode::Same
+        } else {
+            PaddingMode::Valid
+        };
+        let mut channels = Vec::with_capacity(layer.out_channels());
+        for o in 0..layer.out_channels() {
+            let mut acc: Option<Matrix> = None;
+            for i in 0..layer.in_channels() {
+                let partial = correlate2d(&input.channel(i), &layer.weights.filter_plane(o, i), mode);
+                acc = Some(match acc {
+                    None => partial,
+                    Some(mut a) => {
+                        for r in 0..a.rows() {
+                            for c in 0..a.cols() {
+                                a.set(r, c, a.get(r, c) + partial.get(r, c));
+                            }
+                        }
+                        a
+                    }
+                });
+            }
+            let mut plane = acc.expect("layer has at least one input channel");
+            if layer.bias[o] != 0.0 {
+                for r in 0..plane.rows() {
+                    for c in 0..plane.cols() {
+                        plane.set(r, c, plane.get(r, c) + layer.bias[o]);
+                    }
+                }
+            }
+            channels.push(subsample(&plane, layer.stride));
+        }
+        Ok(Tensor::from_channels(&channels)?)
+    }
+}
+
+/// Configuration of the PhotoFourier numeric pipeline applied by
+/// [`TiledExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Quantisation applied to weights before execution.
+    pub weight_quant: QuantConfig,
+    /// Quantisation applied to input activations before execution.
+    pub activation_quant: QuantConfig,
+    /// Temporal accumulation depth: number of input channels whose partial
+    /// sums are accumulated in the analog domain before one ADC read-out.
+    /// `1` models the no-temporal-accumulation baseline.
+    pub temporal_depth: usize,
+    /// Partial-sum ADC resolution; `None` disables partial-sum quantisation
+    /// entirely (the `fp psum` reference of Figure 7).
+    pub psum_adc_bits: Option<u32>,
+    /// Whether negative weights are split into positive/negative filter pairs
+    /// executed separately (pseudo-negative method).
+    pub pseudo_negative: bool,
+    /// How `same`-mode horizontal edges are handled by row tiling.
+    pub edge_handling: EdgeHandling,
+}
+
+impl PipelineConfig {
+    /// Full-precision pipeline: no quantisation, no pseudo-negative overhead.
+    pub fn ideal() -> Self {
+        Self {
+            weight_quant: QuantConfig::disabled(),
+            activation_quant: QuantConfig::disabled(),
+            temporal_depth: 1,
+            psum_adc_bits: None,
+            pseudo_negative: false,
+            edge_handling: EdgeHandling::Wraparound,
+        }
+    }
+
+    /// The PhotoFourier default: 8-bit weights/activations, 8-bit partial-sum
+    /// ADC, temporal accumulation depth 16, pseudo-negative weights.
+    pub fn photofourier_default() -> Self {
+        Self {
+            weight_quant: QuantConfig::int8(),
+            activation_quant: QuantConfig::int8(),
+            temporal_depth: pf_photonics::params::TEMPORAL_ACCUMULATION_DEPTH,
+            psum_adc_bits: Some(8),
+            pseudo_negative: true,
+            edge_handling: EdgeHandling::Wraparound,
+        }
+    }
+
+    /// Same as [`PipelineConfig::photofourier_default`] but with the given
+    /// temporal accumulation depth (Figure 7 sweep).
+    pub fn with_temporal_depth(depth: usize) -> Self {
+        Self {
+            temporal_depth: depth.max(1),
+            ..Self::photofourier_default()
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::photofourier_default()
+    }
+}
+
+/// Row-tiled executor running on a 1D convolution backend.
+#[derive(Debug)]
+pub struct TiledExecutor<E> {
+    convolver: TiledConvolver<E>,
+    config: PipelineConfig,
+}
+
+impl<E: Conv1dEngine> TiledExecutor<E> {
+    /// Creates an executor around a 1D backend with capacity `n_conv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Tiling`] if the capacity is invalid for the
+    /// backend, or [`NnError::InvalidParameter`] if the temporal depth is 0.
+    pub fn new(engine: E, n_conv: usize, config: PipelineConfig) -> Result<Self, NnError> {
+        if config.temporal_depth == 0 {
+            return Err(NnError::InvalidParameter {
+                name: "temporal_depth",
+                requirement: "must be at least 1".to_string(),
+            });
+        }
+        Ok(Self {
+            convolver: TiledConvolver::new(engine, n_conv)?,
+            config,
+        })
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    fn conv_plane(&self, input: &Matrix, kernel: &Matrix, padded: bool) -> Result<Matrix, NnError> {
+        let out = if padded {
+            self.convolver
+                .correlate2d_same(input, kernel, self.config.edge_handling)?
+        } else {
+            self.convolver.correlate2d_valid(input, kernel)?
+        };
+        Ok(out)
+    }
+}
+
+impl<E: Conv1dEngine> Conv2dExecutor for TiledExecutor<E> {
+    fn forward(&self, input: &Tensor, layer: &Conv2d) -> Result<Tensor, NnError> {
+        check_input(input, layer)?;
+        let weights = quantize_tensor(&layer.weights, self.config.weight_quant);
+        let activations = quantize_tensor(input, self.config.activation_quant);
+
+        let psum_adc = self
+            .config
+            .psum_adc_bits
+            .map(|bits| Adc::new(bits, 0.625, 0.93).expect("valid ADC resolution"));
+
+        let mut out_channels = Vec::with_capacity(layer.out_channels());
+        for o in 0..layer.out_channels() {
+            // Compute the per-input-channel partial planes, then accumulate
+            // them in groups of `temporal_depth`: within a group the sum
+            // stays analog (full precision); at the group boundary the ADC
+            // quantises once; groups are summed digitally (the two-level
+            // accumulation of Section V-F).
+            let mut partials = Vec::with_capacity(layer.in_channels());
+            for i in 0..layer.in_channels() {
+                let kernel = weights.filter_plane(o, i);
+                let partial = if self.config.pseudo_negative {
+                    let (pos, neg) = split_pseudo_negative(&kernel);
+                    let p = self.conv_plane(&activations.channel(i), &pos, layer.padded)?;
+                    let n = self.conv_plane(&activations.channel(i), &neg, layer.padded)?;
+                    subtract(&p, &n)
+                } else {
+                    self.conv_plane(&activations.channel(i), &kernel, layer.padded)?
+                };
+                partials.push(partial);
+            }
+
+            let mut plane = accumulate_partials(
+                &partials,
+                self.config.temporal_depth,
+                psum_adc.as_ref(),
+            );
+            if layer.bias[o] != 0.0 {
+                for r in 0..plane.rows() {
+                    for c in 0..plane.cols() {
+                        plane.set(r, c, plane.get(r, c) + layer.bias[o]);
+                    }
+                }
+            }
+            out_channels.push(subsample(&plane, layer.stride));
+        }
+        Ok(Tensor::from_channels(&out_channels)?)
+    }
+}
+
+fn check_input(input: &Tensor, layer: &Conv2d) -> Result<(), NnError> {
+    if input.shape().len() != 3 {
+        return Err(NnError::ShapeMismatch {
+            expected: "(channels, height, width)".to_string(),
+            found: format!("{:?}", input.shape()),
+        });
+    }
+    if input.shape()[0] != layer.in_channels() {
+        return Err(NnError::ShapeMismatch {
+            expected: format!("{} input channels", layer.in_channels()),
+            found: format!("{} input channels", input.shape()[0]),
+        });
+    }
+    Ok(())
+}
+
+/// Accumulates per-channel partial-sum planes with temporal accumulation of
+/// the given depth and an optional partial-sum ADC.
+///
+/// The ADC full scale is a hardware design constant sized for the deepest
+/// supported group (16 channels, the capacitor capacity of the PhotoFourier
+/// photodetectors), independent of the depth actually used — shallow depths
+/// therefore waste dynamic range on every read-out, which is precisely why
+/// Figure 7 shows accuracy improving with depth.
+fn accumulate_partials(partials: &[Matrix], depth: usize, adc: Option<&Adc>) -> Matrix {
+    let depth = depth.max(1);
+    let max_partial = partials
+        .iter()
+        .flat_map(|p| p.data().iter())
+        .fold(0.0f64, |m, &v| m.max(v.abs()));
+    let full_scale = (max_partial
+        * pf_photonics::params::TEMPORAL_ACCUMULATION_DEPTH as f64)
+        .max(f64::EPSILON);
+
+    let mut digital_acc: Option<Matrix> = None;
+    let mut analog_acc: Option<Matrix> = None;
+    let mut in_group = 0usize;
+    for (i, partial) in partials.iter().enumerate() {
+        analog_acc = Some(match analog_acc {
+            None => partial.clone(),
+            Some(a) => add(&a, partial),
+        });
+        in_group += 1;
+        let last = i + 1 == partials.len();
+        if in_group == depth || last {
+            let mut group = analog_acc.take().expect("group has at least one channel");
+            if let Some(adc) = adc {
+                let quantised = adc.quantize_slice(group.data(), full_scale);
+                group = Matrix::new(group.rows(), group.cols(), quantised)
+                    .expect("quantised data keeps its shape");
+            }
+            digital_acc = Some(match digital_acc {
+                None => group,
+                Some(a) => add(&a, &group),
+            });
+            in_group = 0;
+        }
+    }
+    digital_acc.expect("at least one partial plane")
+}
+
+/// Splits a filter into its positive part and the magnitude of its negative
+/// part so that `filter = positive - negative` (the pseudo-negative method).
+pub fn split_pseudo_negative(kernel: &Matrix) -> (Matrix, Matrix) {
+    let pos: Vec<f64> = kernel.data().iter().map(|&v| v.max(0.0)).collect();
+    let neg: Vec<f64> = kernel.data().iter().map(|&v| (-v).max(0.0)).collect();
+    (
+        Matrix::new(kernel.rows(), kernel.cols(), pos).expect("same shape"),
+        Matrix::new(kernel.rows(), kernel.cols(), neg).expect("same shape"),
+    )
+}
+
+fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    let data: Vec<f64> = a.data().iter().zip(b.data()).map(|(x, y)| x + y).collect();
+    Matrix::new(a.rows(), a.cols(), data).expect("same shape")
+}
+
+fn subtract(a: &Matrix, b: &Matrix) -> Matrix {
+    let data: Vec<f64> = a.data().iter().zip(b.data()).map(|(x, y)| x - y).collect();
+    Matrix::new(a.rows(), a.cols(), data).expect("same shape")
+}
+
+/// Subsamples a unit-stride output plane to the requested stride, which is
+/// how PhotoFourier executes strided convolutions (compute at stride 1,
+/// discard, Section VI-E).
+fn subsample(plane: &Matrix, stride: usize) -> Matrix {
+    if stride <= 1 {
+        return plane.clone();
+    }
+    let rows = plane.rows().div_ceil(stride);
+    let cols = plane.cols().div_ceil(stride);
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            out.set(r, c, plane.get(r * stride, c * stride));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_dsp::util::{max_abs_diff, relative_l2_error};
+    use pf_tiling::DigitalEngine;
+
+    fn small_layer(padded: bool, stride: usize, seed: u64) -> Conv2d {
+        Conv2d::random(3, 4, 3, stride, padded, 0.5, seed).unwrap()
+    }
+
+    fn small_input(seed: u64) -> Tensor {
+        Tensor::random(vec![3, 12, 12], -1.0, 1.0, seed)
+    }
+
+    #[test]
+    fn reference_executor_shapes() {
+        let layer = small_layer(true, 1, 1);
+        let out = ReferenceExecutor.forward(&small_input(2), &layer).unwrap();
+        assert_eq!(out.shape(), &[4, 12, 12]);
+        let layer = small_layer(false, 1, 3);
+        let out = ReferenceExecutor.forward(&small_input(4), &layer).unwrap();
+        assert_eq!(out.shape(), &[4, 10, 10]);
+        let layer = small_layer(true, 2, 5);
+        let out = ReferenceExecutor.forward(&small_input(6), &layer).unwrap();
+        assert_eq!(out.shape(), &[4, 6, 6]);
+    }
+
+    #[test]
+    fn reference_rejects_bad_input() {
+        let layer = small_layer(true, 1, 7);
+        let bad = Tensor::random(vec![2, 12, 12], -1.0, 1.0, 8);
+        assert!(ReferenceExecutor.forward(&bad, &layer).is_err());
+        let bad = Tensor::random(vec![3, 12], -1.0, 1.0, 8);
+        assert!(ReferenceExecutor.forward(&bad, &layer).is_err());
+    }
+
+    #[test]
+    fn tiled_ideal_matches_reference_valid() {
+        let layer = small_layer(false, 1, 11);
+        let input = small_input(12);
+        let reference = ReferenceExecutor.forward(&input, &layer).unwrap();
+        let tiled = TiledExecutor::new(DigitalEngine, 256, PipelineConfig::ideal())
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        assert_eq!(tiled.shape(), reference.shape());
+        assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-9);
+    }
+
+    #[test]
+    fn tiled_ideal_matches_reference_same_interior() {
+        let layer = small_layer(true, 1, 21);
+        let input = small_input(22);
+        let reference = ReferenceExecutor.forward(&input, &layer).unwrap();
+        let mut cfg = PipelineConfig::ideal();
+        cfg.edge_handling = EdgeHandling::ZeroPad;
+        let tiled = TiledExecutor::new(DigitalEngine, 256, cfg)
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_negative_is_numerically_identical_when_ideal() {
+        let layer = small_layer(false, 1, 31);
+        let input = small_input(32);
+        let mut cfg = PipelineConfig::ideal();
+        cfg.pseudo_negative = true;
+        let with_pn = TiledExecutor::new(DigitalEngine, 256, cfg)
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        let without = TiledExecutor::new(DigitalEngine, 256, PipelineConfig::ideal())
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        assert!(max_abs_diff(with_pn.data(), without.data()) < 1e-9);
+    }
+
+    #[test]
+    fn split_pseudo_negative_reconstructs_filter() {
+        let kernel = Matrix::new(2, 2, vec![1.0, -2.0, 0.0, 3.0]).unwrap();
+        let (p, n) = split_pseudo_negative(&kernel);
+        assert!(p.data().iter().all(|&v| v >= 0.0));
+        assert!(n.data().iter().all(|&v| v >= 0.0));
+        for i in 0..4 {
+            assert_eq!(p.data()[i] - n.data()[i], kernel.data()[i]);
+        }
+    }
+
+    #[test]
+    fn quantized_pipeline_is_close_to_reference() {
+        let layer = Conv2d::random(8, 2, 3, 1, false, 0.3, 41).unwrap();
+        let input = Tensor::random(vec![8, 10, 10], -1.0, 1.0, 42);
+        let reference = ReferenceExecutor.forward(&input, &layer).unwrap();
+        let tiled = TiledExecutor::new(DigitalEngine, 128, PipelineConfig::photofourier_default())
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        let err = relative_l2_error(tiled.data(), reference.data());
+        assert!(err > 0.0);
+        assert!(err < 0.1, "8-bit pipeline error too large: {err}");
+    }
+
+    #[test]
+    fn deeper_temporal_accumulation_reduces_error() {
+        // Many input channels so partial-sum quantisation matters.
+        let layer = Conv2d::random(32, 1, 3, 1, false, 0.3, 51).unwrap();
+        let input = Tensor::random(vec![32, 8, 8], -1.0, 1.0, 52);
+        let reference = ReferenceExecutor.forward(&input, &layer).unwrap();
+
+        let mut errors = Vec::new();
+        for depth in [1usize, 4, 16] {
+            let tiled = TiledExecutor::new(
+                DigitalEngine,
+                128,
+                PipelineConfig::with_temporal_depth(depth),
+            )
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+            errors.push(relative_l2_error(tiled.data(), reference.data()));
+        }
+        assert!(
+            errors[0] > errors[2],
+            "depth-16 error {} should be below depth-1 error {}",
+            errors[2],
+            errors[0]
+        );
+    }
+
+    #[test]
+    fn executor_rejects_zero_depth() {
+        let mut cfg = PipelineConfig::ideal();
+        cfg.temporal_depth = 0;
+        assert!(TiledExecutor::new(DigitalEngine, 64, cfg).is_err());
+    }
+
+    #[test]
+    fn strided_subsampling_matches_reference() {
+        let layer = small_layer(true, 2, 61);
+        let input = small_input(62);
+        let reference = ReferenceExecutor.forward(&input, &layer).unwrap();
+        let mut cfg = PipelineConfig::ideal();
+        cfg.edge_handling = EdgeHandling::ZeroPad;
+        let tiled = TiledExecutor::new(DigitalEngine, 256, cfg)
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        assert_eq!(tiled.shape(), reference.shape());
+        assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-9);
+    }
+}

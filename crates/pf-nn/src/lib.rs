@@ -1,0 +1,41 @@
+//! Neural-network substrate for the PhotoFourier reproduction.
+//!
+//! The paper evaluates PhotoFourier on standard CNNs (AlexNet, VGG-16, the
+//! ResNet family, a pruned ResNet-s and CrossLight's 4-layer CIFAR-10
+//! network). Rather than depending on an external ML framework, this crate
+//! provides the minimal substrate those experiments need:
+//!
+//! * [`tensor::Tensor`] — a small dense tensor type (channels × height ×
+//!   width activations, OIHW weights);
+//! * [`layers`] — convolution / pooling / activation / linear layers plus the
+//!   [`layers::ConvLayerSpec`] shape descriptions that the architecture
+//!   simulator consumes;
+//! * [`models`] — the layer inventories of every network used in the paper's
+//!   evaluation;
+//! * [`executor`] — runs convolution layers through either the exact digital
+//!   reference or the row-tiled (optionally photonic) path, including
+//!   pseudo-negative weight splitting and channel-wise temporal
+//!   accumulation;
+//! * [`quant`] — symmetric fixed-point quantisation of weights/activations;
+//! * [`fidelity`] — per-layer numerical-fidelity comparison between the
+//!   reference and tiled pipelines (the reproduction's stand-in for the
+//!   ImageNet accuracy-drop numbers of Table I, see DESIGN.md);
+//! * [`dataset`] / [`train`] — a synthetic image-classification task and a
+//!   linear-probe trainer used to obtain end-to-end accuracy trends
+//!   (Figure 7's accuracy-vs-accumulation-depth experiment).
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod dataset;
+pub mod error;
+pub mod executor;
+pub mod fidelity;
+pub mod layers;
+pub mod models;
+pub mod quant;
+pub mod tensor;
+pub mod train;
+
+pub use error::NnError;
+pub use tensor::Tensor;

@@ -1,0 +1,94 @@
+//! CIFAR-10-scale networks: ResNet-s (the pruned ResNet used by the
+//! temporal-accumulation accuracy study of Figure 7, taken from the MLPerf
+//! Tiny suite) and the 4-layer CNN used by the CrossLight comparison.
+
+use crate::layers::ConvLayerSpec;
+use crate::models::NetworkSpec;
+
+fn conv(
+    name: &str,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    input_size: usize,
+) -> ConvLayerSpec {
+    ConvLayerSpec::new(name, in_channels, out_channels, kernel, stride, input_size, true)
+        .expect("static layer definitions are valid")
+}
+
+/// ResNet-s: the compressed CIFAR-10 ResNet (MLPerf Tiny image
+/// classification model, a ResNet-8) that the paper uses to study temporal
+/// accumulation because compressed networks are more quantisation-sensitive
+/// (Section V-C1).
+pub fn resnet_s() -> NetworkSpec {
+    NetworkSpec {
+        name: "ResNet-s".to_string(),
+        input_size: 32,
+        num_classes: 10,
+        conv_layers: vec![
+            conv("conv1", 3, 16, 3, 1, 32),
+            // Stage 1: 16 channels at 32x32.
+            conv("block1_conv1", 16, 16, 3, 1, 32),
+            conv("block1_conv2", 16, 16, 3, 1, 32),
+            // Stage 2: 32 channels at 16x16 with a strided entry.
+            conv("block2_conv1", 16, 32, 3, 2, 32),
+            conv("block2_conv2", 32, 32, 3, 1, 16),
+            conv("block2_downsample", 16, 32, 1, 2, 32),
+            // Stage 3: 64 channels at 8x8.
+            conv("block3_conv1", 32, 64, 3, 2, 16),
+            conv("block3_conv2", 64, 64, 3, 1, 8),
+            conv("block3_downsample", 32, 64, 1, 2, 16),
+        ],
+    }
+}
+
+/// The 4-layer CIFAR-10 CNN used by CrossLight (Sunny et al., DAC 2021),
+/// which the paper re-uses for its energy-per-inference comparison
+/// (Section VI-E: 4.76 µJ vs 427 µJ).
+pub fn crosslight_cnn() -> NetworkSpec {
+    NetworkSpec {
+        name: "CrossLight-CNN".to_string(),
+        input_size: 32,
+        num_classes: 10,
+        conv_layers: vec![
+            conv("conv1", 3, 32, 3, 1, 32),
+            conv("conv2", 32, 32, 3, 1, 32),
+            conv("conv3", 32, 64, 3, 1, 16),
+            conv("conv4", 64, 64, 3, 1, 16),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_s_inventory() {
+        let net = resnet_s();
+        assert_eq!(net.input_size, 32);
+        assert_eq!(net.num_classes, 10);
+        assert_eq!(net.num_conv_layers(), 9);
+        // A compressed network: comfortably below 100 MMACs.
+        assert!(net.total_macs() < 100_000_000);
+        // Channel counts stay small.
+        assert!(net.conv_layers.iter().all(|l| l.out_channels <= 64));
+    }
+
+    #[test]
+    fn crosslight_inventory() {
+        let net = crosslight_cnn();
+        assert_eq!(net.num_conv_layers(), 4);
+        assert!(net.conv_layers.iter().all(|l| l.kernel == 3));
+        assert_eq!(net.conv_layers[0].in_channels, 3);
+        assert_eq!(net.conv_layers[3].out_channels, 64);
+    }
+
+    #[test]
+    fn cifar_networks_are_much_smaller_than_imagenet() {
+        let vgg = crate::models::imagenet::vgg16();
+        assert!(resnet_s().total_macs() * 100 < vgg.total_macs());
+        assert!(crosslight_cnn().total_macs() * 100 < vgg.total_macs());
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the neural-network substrate: executor
+//! equivalence, quantisation error bounds and model-zoo consistency.
+
+use pf_dsp::util::{max_abs_diff, relative_l2_error};
+use pf_nn::executor::{Conv2dExecutor, PipelineConfig, ReferenceExecutor, TiledExecutor};
+use pf_nn::layers::Conv2d;
+use pf_nn::models::paper_benchmark_suite;
+use pf_nn::quant::{quantization_step, quantize_tensor, QuantConfig};
+use pf_nn::tensor::Tensor;
+use pf_tiling::{DigitalEngine, EdgeHandling};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tiled_executor_matches_reference_for_any_shape(
+        in_channels in 1usize..6,
+        out_channels in 1usize..4,
+        size in 6usize..14,
+        kernel in prop::sample::select(vec![1usize, 3, 5]),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(kernel <= size);
+        let layer = Conv2d::random(in_channels, out_channels, kernel, 1, true, 0.5, seed).unwrap();
+        let input = Tensor::random(vec![in_channels, size, size], -1.0, 1.0, seed + 1);
+        let reference = ReferenceExecutor.forward(&input, &layer).unwrap();
+        let mut cfg = PipelineConfig::ideal();
+        cfg.edge_handling = EdgeHandling::ZeroPad;
+        let tiled = TiledExecutor::new(DigitalEngine, 256, cfg)
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        prop_assert_eq!(tiled.shape(), reference.shape());
+        prop_assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_negative_never_changes_ideal_results(
+        in_channels in 1usize..4,
+        size in 6usize..12,
+        seed in 0u64..1000,
+    ) {
+        let layer = Conv2d::random(in_channels, 2, 3, 1, false, 0.5, seed).unwrap();
+        let input = Tensor::random(vec![in_channels, size, size], -1.0, 1.0, seed + 7);
+        let mut with_pn = PipelineConfig::ideal();
+        with_pn.pseudo_negative = true;
+        let a = TiledExecutor::new(DigitalEngine, 256, with_pn)
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        let b = TiledExecutor::new(DigitalEngine, 256, PipelineConfig::ideal())
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        prop_assert!(max_abs_diff(a.data(), b.data()) < 1e-9);
+    }
+
+    #[test]
+    fn quantization_error_is_within_one_step(
+        values in prop::collection::vec(-10.0f64..10.0, 1..256),
+        bits in 2u32..12,
+    ) {
+        let tensor = Tensor::new(vec![values.len()], values.clone()).unwrap();
+        let quantised = quantize_tensor(&tensor, QuantConfig { bits, enabled: true });
+        let max_abs = tensor.max_abs();
+        let step = max_abs * quantization_step(bits);
+        for (a, b) in tensor.data().iter().zip(quantised.data()) {
+            prop_assert!((a - b).abs() <= step / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantized_pipeline_error_stays_bounded(
+        seed in 0u64..200,
+    ) {
+        let layer = Conv2d::random(8, 2, 3, 1, false, 0.4, seed).unwrap();
+        let input = Tensor::random(vec![8, 10, 10], 0.0, 1.0, seed + 3);
+        let reference = ReferenceExecutor.forward(&input, &layer).unwrap();
+        let tiled = TiledExecutor::new(DigitalEngine, 128, PipelineConfig::photofourier_default())
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        prop_assert!(relative_l2_error(tiled.data(), reference.data()) < 0.15);
+    }
+}
+
+#[test]
+fn model_zoo_activation_shapes_chain() {
+    // Each network's layer list must be internally consistent: output size
+    // of a layer can never exceed its input size, and channel counts are
+    // positive.
+    for network in paper_benchmark_suite() {
+        for layer in &network.conv_layers {
+            assert!(layer.output_size() <= layer.input_size, "{}", layer.name);
+            assert!(layer.macs() > 0);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the photonic component models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by fallible component-model operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PhotonicsError {
+    /// A configuration parameter is outside its physically meaningful range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Requirement description.
+        requirement: &'static str,
+    },
+    /// A converter was asked for a resolution it does not support.
+    UnsupportedResolution {
+        /// Requested number of bits.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for PhotonicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhotonicsError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "invalid parameter {name} = {value}: {requirement}"),
+            PhotonicsError::UnsupportedResolution { bits } => {
+                write!(f, "unsupported converter resolution: {bits} bits")
+            }
+        }
+    }
+}
+
+impl Error for PhotonicsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PhotonicsError::InvalidParameter {
+            name: "frequency_ghz",
+            value: -1.0,
+            requirement: "must be positive",
+        };
+        assert!(e.to_string().contains("frequency_ghz"));
+        let e = PhotonicsError::UnsupportedResolution { bits: 97 };
+        assert!(e.to_string().contains("97"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PhotonicsError>();
+    }
+}

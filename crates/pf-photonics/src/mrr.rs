@@ -1,0 +1,198 @@
+//! Micro-ring resonator (MRR) modulator model.
+//!
+//! MRRs convert electrical drive levels into optical amplitude modulation.
+//! Each input/weight waveguide of a PFCU carries one MRR; in the baseline
+//! system additional MRRs re-modulate the Fourier-plane signal as part of the
+//! square-law non-linearity. Inactive MRRs can be power-gated
+//! (Section IV-B).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::PhotonicsError;
+use crate::units::Milliwatts;
+
+/// An MRR amplitude modulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mrr {
+    power_mw: f64,
+    insertion_loss_db: f64,
+    extinction_ratio_db: f64,
+    gated: bool,
+}
+
+impl Mrr {
+    /// Creates an MRR with the given static power, insertion loss and
+    /// extinction ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the power is negative, or either loss figure is
+    /// negative.
+    pub fn new(
+        power_mw: f64,
+        insertion_loss_db: f64,
+        extinction_ratio_db: f64,
+    ) -> Result<Self, PhotonicsError> {
+        if power_mw < 0.0 {
+            return Err(PhotonicsError::InvalidParameter {
+                name: "power_mw",
+                value: power_mw,
+                requirement: "must be non-negative",
+            });
+        }
+        if insertion_loss_db < 0.0 {
+            return Err(PhotonicsError::InvalidParameter {
+                name: "insertion_loss_db",
+                value: insertion_loss_db,
+                requirement: "must be non-negative",
+            });
+        }
+        if extinction_ratio_db < 0.0 {
+            return Err(PhotonicsError::InvalidParameter {
+                name: "extinction_ratio_db",
+                value: extinction_ratio_db,
+                requirement: "must be non-negative",
+            });
+        }
+        Ok(Self {
+            power_mw,
+            insertion_loss_db,
+            extinction_ratio_db,
+            gated: false,
+        })
+    }
+
+    /// The CG-generation MRR (3.1 mW, typical 1 dB insertion loss, 20 dB
+    /// extinction).
+    pub fn photofourier_cg_default() -> Self {
+        Self {
+            power_mw: 3.1,
+            insertion_loss_db: 1.0,
+            extinction_ratio_db: 20.0,
+            gated: false,
+        }
+    }
+
+    /// The NG-generation MRR (0.42 mW).
+    pub fn photofourier_ng_default() -> Self {
+        Self {
+            power_mw: 0.42,
+            insertion_loss_db: 1.0,
+            extinction_ratio_db: 20.0,
+            gated: false,
+        }
+    }
+
+    /// Power drawn right now (zero when power-gated).
+    pub fn power(&self) -> Milliwatts {
+        if self.gated {
+            Milliwatts::ZERO
+        } else {
+            Milliwatts(self.power_mw)
+        }
+    }
+
+    /// Whether the MRR is currently power-gated.
+    pub fn is_gated(&self) -> bool {
+        self.gated
+    }
+
+    /// Power-gates or un-gates the MRR (inactive weight waveguides are gated
+    /// to save power, Section IV-B).
+    pub fn set_gated(&mut self, gated: bool) {
+        self.gated = gated;
+    }
+
+    /// Insertion loss as a linear transmission factor.
+    pub fn transmission(&self) -> f64 {
+        10f64.powf(-self.insertion_loss_db / 10.0)
+    }
+
+    /// Minimum transmission achievable (set by the extinction ratio).
+    pub fn floor_transmission(&self) -> f64 {
+        self.transmission() * 10f64.powf(-self.extinction_ratio_db / 10.0)
+    }
+
+    /// Modulates an optical carrier of amplitude `carrier` with a drive level
+    /// in `[0, 1]`.
+    ///
+    /// A gated MRR transmits nothing. The finite extinction ratio means a
+    /// drive of 0 still leaks a small floor amplitude — one of the physical
+    /// non-idealities the functional simulation can model.
+    pub fn modulate(&self, carrier: f64, drive: f64) -> f64 {
+        if self.gated {
+            return 0.0;
+        }
+        let drive = drive.clamp(0.0, 1.0);
+        let t_max = self.transmission();
+        let t_min = self.floor_transmission();
+        carrier * (t_min + (t_max - t_min) * drive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Mrr::new(-1.0, 0.0, 0.0).is_err());
+        assert!(Mrr::new(1.0, -0.1, 0.0).is_err());
+        assert!(Mrr::new(1.0, 0.0, -0.1).is_err());
+        assert!(Mrr::new(3.1, 1.0, 20.0).is_ok());
+    }
+
+    #[test]
+    fn defaults_match_table_iv() {
+        assert_eq!(Mrr::photofourier_cg_default().power(), Milliwatts(3.1));
+        assert_eq!(Mrr::photofourier_ng_default().power(), Milliwatts(0.42));
+    }
+
+    #[test]
+    fn power_gating_removes_power_and_light() {
+        let mut mrr = Mrr::photofourier_cg_default();
+        assert!(!mrr.is_gated());
+        mrr.set_gated(true);
+        assert!(mrr.is_gated());
+        assert_eq!(mrr.power(), Milliwatts::ZERO);
+        assert_eq!(mrr.modulate(1.0, 1.0), 0.0);
+        mrr.set_gated(false);
+        assert!(mrr.power().value() > 0.0);
+    }
+
+    #[test]
+    fn modulation_is_monotonic_in_drive() {
+        let mrr = Mrr::photofourier_cg_default();
+        let mut prev = -1.0;
+        for i in 0..=10 {
+            let out = mrr.modulate(1.0, i as f64 / 10.0);
+            assert!(out > prev);
+            prev = out;
+        }
+    }
+
+    #[test]
+    fn modulation_clips_drive() {
+        let mrr = Mrr::photofourier_cg_default();
+        assert_eq!(mrr.modulate(1.0, 2.0), mrr.modulate(1.0, 1.0));
+        assert_eq!(mrr.modulate(1.0, -3.0), mrr.modulate(1.0, 0.0));
+    }
+
+    #[test]
+    fn extinction_floor_is_nonzero_but_small() {
+        let mrr = Mrr::photofourier_cg_default();
+        let floor = mrr.modulate(1.0, 0.0);
+        let peak = mrr.modulate(1.0, 1.0);
+        assert!(floor > 0.0);
+        assert!(floor < peak / 50.0); // 20 dB extinction -> 100x
+    }
+
+    #[test]
+    fn ideal_mrr_passes_carrier() {
+        let mrr = Mrr::new(1.0, 0.0, f64::MAX.log10() * 10.0).unwrap_or_else(|_| {
+            Mrr::new(1.0, 0.0, 300.0).unwrap()
+        });
+        let out = mrr.modulate(2.0, 1.0);
+        assert!((out - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the mixed-signal component models.
+
+use pf_photonics::adc::Adc;
+use pf_photonics::dac::Dac;
+use pf_photonics::detector::{DetectorConfig, Photodetector, SensingNoise};
+use pf_photonics::mrr::Mrr;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn adc_error_is_within_half_lsb(
+        value in -1.0f64..1.0,
+        bits in 4u32..14,
+        full_scale in 0.5f64..8.0,
+    ) {
+        let adc = Adc::new(bits, 1.0, 1.0).unwrap();
+        let clipped = value * full_scale;
+        let q = adc.quantize(clipped, full_scale);
+        let lsb = 2.0 * full_scale / adc.levels() as f64;
+        prop_assert!((q - clipped).abs() <= lsb, "error beyond one LSB");
+        // Quantisation is idempotent.
+        prop_assert!((adc.quantize(q, full_scale) - q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adc_power_scaling_is_linear(
+        freq_a in 0.1f64..20.0,
+        freq_b in 0.1f64..20.0,
+    ) {
+        let adc = Adc::new(8, freq_a, 1.0).unwrap();
+        let scaled = adc.scaled_to(freq_b).unwrap();
+        let expected = freq_b / freq_a;
+        prop_assert!((scaled.power().value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dac_output_is_monotone(
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+        bits in 2u32..12,
+    ) {
+        let dac = Dac::new(bits, 10.0, 10.0).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(dac.generate(lo) <= dac.generate(hi) + 1e-12);
+    }
+
+    #[test]
+    fn detector_accumulation_is_linear(
+        currents in prop::collection::vec(0.0f64..10.0, 1..16),
+    ) {
+        let mut pd = Photodetector::with_defaults();
+        for &c in &currents {
+            pd.accumulate(c).unwrap();
+        }
+        let expected: f64 = currents.iter().sum();
+        prop_assert!((pd.read_out() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snr_increases_with_signal(
+        signal_a in 1.0f64..1e6,
+        factor in 1.1f64..100.0,
+    ) {
+        let pd = Photodetector::new(DetectorConfig::default()).unwrap();
+        prop_assert!(pd.snr_db(signal_a * factor) > pd.snr_db(signal_a));
+    }
+
+    #[test]
+    fn mrr_modulation_is_bounded_by_carrier(
+        carrier in 0.0f64..10.0,
+        drive in -1.0f64..2.0,
+    ) {
+        let mrr = Mrr::photofourier_cg_default();
+        let out = mrr.modulate(carrier, drive);
+        prop_assert!(out >= 0.0);
+        prop_assert!(out <= carrier + 1e-12);
+    }
+
+    #[test]
+    fn sensing_noise_mean_is_near_zero(sigma in 0.01f64..1.0, seed in 0u64..100) {
+        let mut noise = SensingNoise::new(sigma, seed).unwrap();
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| noise.perturb(0.0)).sum::<f64>() / n as f64;
+        prop_assert!(mean.abs() < 5.0 * sigma / (n as f64).sqrt() + 1e-3);
+    }
+}

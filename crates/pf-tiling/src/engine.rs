@@ -1,0 +1,82 @@
+//! The 1D convolution backend abstraction.
+//!
+//! Row tiling "can be applied to any hardware that supports 1D convolution"
+//! (Section III). The executor therefore only needs a backend that slides a
+//! kernel over a signal; the digital reference backend lives here and the
+//! photonic JTC backend (with square-law detection, quantisation and noise)
+//! lives in `pf-jtc`.
+
+use std::fmt::Debug;
+
+use pf_dsp::conv::{correlate1d, PaddingMode};
+
+/// A backend that computes 1D *valid* cross-correlation:
+/// `out[p] = Σ_j signal[p + j] · kernel[j]` for
+/// `p = 0 .. signal.len() - kernel.len()`.
+///
+/// Implementations may introduce numerical error (quantisation, optical
+/// noise); the contract is only about shape: the output must have
+/// `signal.len() - kernel.len() + 1` elements whenever
+/// `kernel.len() <= signal.len()`, and must be empty otherwise.
+pub trait Conv1dEngine: Debug {
+    /// Computes the valid cross-correlation of `signal` with `kernel`.
+    fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64>;
+
+    /// Maximum signal length the backend supports (for the PFCU this is the
+    /// number of input waveguides). `None` means unbounded.
+    fn max_signal_len(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Exact digital reference backend built on [`pf_dsp::conv::correlate1d`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DigitalEngine;
+
+impl Conv1dEngine for DigitalEngine {
+    fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+        correlate1d(signal, kernel, PaddingMode::Valid)
+    }
+}
+
+impl<E: Conv1dEngine + ?Sized> Conv1dEngine for &E {
+    fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+        (**self).correlate_valid(signal, kernel)
+    }
+
+    fn max_signal_len(&self) -> Option<usize> {
+        (**self).max_signal_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digital_engine_known_values() {
+        let signal = [1.0, 2.0, 3.0, 4.0];
+        let kernel = [1.0, 1.0];
+        let out = DigitalEngine.correlate_valid(&signal, &kernel);
+        assert_eq!(out, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn digital_engine_empty_when_kernel_longer() {
+        let out = DigitalEngine.correlate_valid(&[1.0], &[1.0, 2.0]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn digital_engine_unbounded() {
+        assert_eq!(DigitalEngine.max_signal_len(), None);
+    }
+
+    #[test]
+    fn reference_impl_through_reference() {
+        let engine = DigitalEngine;
+        let by_ref: &dyn Conv1dEngine = &engine;
+        let out = by_ref.correlate_valid(&[1.0, 0.0, 1.0], &[1.0]);
+        assert_eq!(out, vec![1.0, 0.0, 1.0]);
+    }
+}

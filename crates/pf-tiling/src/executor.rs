@@ -1,0 +1,654 @@
+//! Execution of 2D convolutions through tiled 1D convolutions.
+//!
+//! [`TiledConvolver`] drives a [`Conv1dEngine`] according to a
+//! [`TilingPlan`]:
+//!
+//! * [`TiledConvolver::correlate2d_valid`] reproduces 2D `valid`
+//!   cross-correlation **exactly** (the identity proved in Section III-A),
+//! * [`TiledConvolver::correlate2d_same`] reproduces 2D `same`
+//!   cross-correlation either approximately (the paper's default, with the
+//!   documented *edge effect* at row boundaries) or exactly (with horizontal
+//!   zero-padding, at the cost of longer tiles).
+
+use pf_dsp::conv::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Conv1dEngine;
+use crate::error::TilingError;
+use crate::plan::{TilingPlan, TilingVariant};
+use crate::tiler::{tile_input_rows, tile_kernel_rows};
+
+/// How `same`-mode horizontal boundaries are handled (Section III-A, "Edge
+/// effect").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EdgeHandling {
+    /// The paper's default: rows are tiled without horizontal padding, so a
+    /// kernel row that slides past the end of an input row picks up values
+    /// from the beginning of the next row instead of zeros. Cheap, slightly
+    /// approximate at the left/right image borders.
+    #[default]
+    Wraparound,
+    /// Each input row is zero-padded horizontally before tiling, making the
+    /// result identical to 2D `same` convolution at the cost of
+    /// `kernel_cols - 1` extra elements per tiled row.
+    ZeroPad,
+}
+
+/// Executes 2D convolutions on a 1D convolution backend via row tiling.
+#[derive(Debug, Clone)]
+pub struct TiledConvolver<E> {
+    engine: E,
+    n_conv: usize,
+}
+
+impl<E: Conv1dEngine> TiledConvolver<E> {
+    /// Creates a convolver for a backend with 1D capacity `n_conv`
+    /// (the number of input waveguides of a PFCU).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::CapacityTooSmall`] if `n_conv` is zero or
+    /// exceeds the backend's own maximum signal length.
+    pub fn new(engine: E, n_conv: usize) -> Result<Self, TilingError> {
+        if n_conv == 0 {
+            return Err(TilingError::CapacityTooSmall {
+                n_conv,
+                required: 1,
+            });
+        }
+        if let Some(max) = engine.max_signal_len() {
+            if n_conv > max {
+                return Err(TilingError::CapacityTooSmall {
+                    n_conv: max,
+                    required: n_conv,
+                });
+            }
+        }
+        Ok(Self { engine, n_conv })
+    }
+
+    /// The configured 1D capacity.
+    pub fn n_conv(&self) -> usize {
+        self.n_conv
+    }
+
+    /// A reference to the underlying backend.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Builds the tiling plan this convolver would use for the given shapes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TilingPlan::new`].
+    pub fn plan(&self, input: &Matrix, kernel: &Matrix) -> Result<TilingPlan, TilingError> {
+        TilingPlan::new(
+            input.rows(),
+            input.cols(),
+            kernel.rows(),
+            kernel.cols(),
+            self.n_conv,
+        )
+    }
+
+    /// 2D `valid` cross-correlation computed through tiled 1D convolutions.
+    ///
+    /// The result is bit-identical (up to backend numerics) to
+    /// [`pf_dsp::conv::correlate2d`] with [`pf_dsp::conv::PaddingMode::Valid`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TilingPlan::new`].
+    pub fn correlate2d_valid(
+        &self,
+        input: &Matrix,
+        kernel: &Matrix,
+    ) -> Result<Matrix, TilingError> {
+        let plan = self.plan(input, kernel)?;
+        let out_rows = input.rows() - kernel.rows() + 1;
+        let out_cols = input.cols() - kernel.cols() + 1;
+        let mut out = Matrix::zeros(out_rows, out_cols);
+
+        match plan.variant {
+            TilingVariant::RowTiling => {
+                self.valid_by_row_tiling(input, kernel, &plan, &mut out);
+            }
+            TilingVariant::PartialRowTiling => {
+                self.valid_by_partial_tiling(input, kernel, &plan, &mut out);
+            }
+            TilingVariant::RowPartitioning => {
+                self.valid_by_partitioning(input, kernel, &mut out);
+            }
+        }
+        Ok(out)
+    }
+
+    /// 2D `same` cross-correlation (output has the input's shape) computed
+    /// through tiled 1D convolutions.
+    ///
+    /// With [`EdgeHandling::ZeroPad`] the result equals the digital reference
+    /// exactly; with [`EdgeHandling::Wraparound`] the left/right image
+    /// borders differ slightly (the paper's edge effect), which is what the
+    /// Table I accuracy evaluation quantifies.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TilingPlan::new`]. With `ZeroPad` the padded row
+    /// length must still fit the 1D capacity.
+    pub fn correlate2d_same(
+        &self,
+        input: &Matrix,
+        kernel: &Matrix,
+        edges: EdgeHandling,
+    ) -> Result<Matrix, TilingError> {
+        let working = match edges {
+            EdgeHandling::Wraparound => input.clone(),
+            EdgeHandling::ZeroPad => pad_columns(input, (kernel.cols() - 1) / 2, kernel.cols() / 2),
+        };
+        let plan = TilingPlan::new(
+            working.rows(),
+            working.cols(),
+            kernel.rows(),
+            kernel.cols(),
+            self.n_conv,
+        )?;
+
+        let pr = (kernel.rows() - 1) / 2;
+        let pc = (kernel.cols() - 1) / 2;
+        let mut out = Matrix::zeros(input.rows(), input.cols());
+
+        match plan.variant {
+            TilingVariant::RowTiling => {
+                self.same_by_row_tiling(&working, kernel, &plan, pr, pc, edges, &mut out);
+            }
+            _ => {
+                // For the partial/partitioned variants the per-row splitting
+                // below is already exact row-by-row, so reuse it.
+                self.same_by_row_accumulation(&working, kernel, &plan, pr, pc, edges, &mut out);
+            }
+        }
+        Ok(out)
+    }
+
+    // ----- valid-mode implementations ------------------------------------
+
+    fn valid_by_row_tiling(
+        &self,
+        input: &Matrix,
+        kernel: &Matrix,
+        plan: &TilingPlan,
+        out: &mut Matrix,
+    ) {
+        let si = input.cols();
+        let n_or = plan.valid_output_rows_per_conv;
+        let tiled_kernel =
+            tile_kernel_rows(kernel, 0, kernel.rows(), si, plan.tiled_kernel_len());
+        let mut r0 = 0;
+        while r0 < out.rows() {
+            let tiled_input = tile_input_rows(input, r0 as isize, plan.rows_per_tile, self.n_conv);
+            let signal = &tiled_input[..plan.rows_per_tile * si];
+            let corr = self.engine.correlate_valid(signal, &tiled_kernel);
+            for rr in 0..n_or {
+                let out_r = r0 + rr;
+                if out_r >= out.rows() {
+                    break;
+                }
+                for c in 0..out.cols() {
+                    out.set(out_r, c, corr[rr * si + c]);
+                }
+            }
+            r0 += n_or;
+        }
+    }
+
+    fn valid_by_partial_tiling(
+        &self,
+        input: &Matrix,
+        kernel: &Matrix,
+        plan: &TilingPlan,
+        out: &mut Matrix,
+    ) {
+        // One output row at a time; kernel rows are processed in groups of
+        // `rows_per_tile` and their contributions accumulated (Section III-B).
+        let si = input.cols();
+        let n_ir = plan.rows_per_tile.max(1);
+        for out_r in 0..out.rows() {
+            let mut acc = vec![0.0; out.cols()];
+            let mut k_start = 0;
+            while k_start < kernel.rows() {
+                let count = n_ir.min(kernel.rows() - k_start);
+                let tiled_input =
+                    tile_input_rows(input, (out_r + k_start) as isize, count, self.n_conv);
+                let signal = &tiled_input[..count * si];
+                let tiled_kernel = tile_kernel_rows(
+                    kernel,
+                    k_start,
+                    count,
+                    si,
+                    (count - 1) * si + kernel.cols(),
+                );
+                let corr = self.engine.correlate_valid(signal, &tiled_kernel);
+                for (c, a) in acc.iter_mut().enumerate() {
+                    *a += corr[c];
+                }
+                k_start += count;
+            }
+            for (c, a) in acc.iter().enumerate() {
+                out.set(out_r, c, *a);
+            }
+        }
+    }
+
+    fn valid_by_partitioning(&self, input: &Matrix, kernel: &Matrix, out: &mut Matrix) {
+        // Overlap-save over columns: each kernel row is correlated with
+        // partitions of the matching input row and results accumulated
+        // (Section III-C).
+        let step = self.n_conv - kernel.cols() + 1;
+        for out_r in 0..out.rows() {
+            let mut acc = vec![0.0; out.cols()];
+            for dr in 0..kernel.rows() {
+                let row = input.row(out_r + dr);
+                let krow = kernel.row(dr);
+                let mut start = 0;
+                while start < out.cols() {
+                    let end = (start + self.n_conv).min(row.len());
+                    let corr = self.engine.correlate_valid(&row[start..end], krow);
+                    for (i, v) in corr.iter().enumerate() {
+                        if start + i < out.cols() {
+                            acc[start + i] += v;
+                        }
+                    }
+                    start += step;
+                }
+            }
+            for (c, a) in acc.iter().enumerate() {
+                out.set(out_r, c, *a);
+            }
+        }
+    }
+
+    // ----- same-mode implementations --------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn same_by_row_tiling(
+        &self,
+        working: &Matrix,
+        kernel: &Matrix,
+        plan: &TilingPlan,
+        pr: usize,
+        pc: usize,
+        edges: EdgeHandling,
+        out: &mut Matrix,
+    ) {
+        let si = working.cols();
+        let n_or = plan.valid_output_rows_per_conv;
+        let tiled_kernel =
+            tile_kernel_rows(kernel, 0, kernel.rows(), si, plan.tiled_kernel_len());
+        // Column of `working` that corresponds to output column 0.
+        let col_base = match edges {
+            EdgeHandling::Wraparound => 0isize,
+            EdgeHandling::ZeroPad => 0isize, // padding already shifted columns
+        };
+        let mut r0 = 0usize;
+        while r0 < out.rows() {
+            let tile_start = r0 as isize - pr as isize;
+            let tiled_input = tile_input_rows(working, tile_start, plan.rows_per_tile, self.n_conv);
+            let signal = &tiled_input[..plan.rows_per_tile * si];
+            let corr = self.engine.correlate_valid(signal, &tiled_kernel);
+            for rr in 0..n_or {
+                let out_r = r0 + rr;
+                if out_r >= out.rows() {
+                    break;
+                }
+                for c in 0..out.cols() {
+                    // Window top-left column in `working` coordinates.
+                    let wc = match edges {
+                        EdgeHandling::Wraparound => c as isize - pc as isize,
+                        EdgeHandling::ZeroPad => c as isize, // already padded left by pc
+                    } + col_base;
+                    let p = rr as isize * si as isize + wc;
+                    let value = if p >= 0 && (p as usize) < corr.len() {
+                        corr[p as usize]
+                    } else {
+                        // The window starts before this tile (left border of
+                        // the tile's first output row) or runs past its end
+                        // (right border of its last output row). In hardware
+                        // these samples come from the neighbouring tile's
+                        // output; reproduce them exactly with a direct dot
+                        // product so the only approximation left is the
+                        // genuine wraparound edge effect.
+                        window_dot(working, kernel, out_r as isize - pr as isize, wc)
+                    };
+                    out.set(out_r, c, value);
+                }
+            }
+            r0 += n_or;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn same_by_row_accumulation(
+        &self,
+        working: &Matrix,
+        kernel: &Matrix,
+        plan: &TilingPlan,
+        pr: usize,
+        pc: usize,
+        edges: EdgeHandling,
+        out: &mut Matrix,
+    ) {
+        // Valid-style execution row by row with vertical zero rows; identical
+        // maths to the partial/partitioned valid paths but with offset rows.
+        let si = working.cols();
+        let n_ir = plan.rows_per_tile.max(1);
+        for out_r in 0..out.rows() {
+            let top = out_r as isize - pr as isize;
+            let mut acc = vec![0.0; out.cols()];
+            if plan.variant == TilingVariant::PartialRowTiling {
+                let mut k_start = 0;
+                while k_start < kernel.rows() {
+                    let count = n_ir.min(kernel.rows() - k_start);
+                    let tiled_input =
+                        tile_input_rows(working, top + k_start as isize, count, self.n_conv);
+                    let signal = &tiled_input[..count * si];
+                    let tiled_kernel = tile_kernel_rows(
+                        kernel,
+                        k_start,
+                        count,
+                        si,
+                        (count - 1) * si + kernel.cols(),
+                    );
+                    let corr = self.engine.correlate_valid(signal, &tiled_kernel);
+                    for c in 0..out.cols() {
+                        let wc = match edges {
+                            EdgeHandling::Wraparound => c as isize - pc as isize,
+                            EdgeHandling::ZeroPad => c as isize,
+                        };
+                        acc[c] += if wc >= 0 && (wc as usize) < corr.len() {
+                            corr[wc as usize]
+                        } else {
+                            partial_window_dot(working, kernel, top, wc, k_start, count)
+                        };
+                    }
+                    k_start += count;
+                }
+            } else {
+                // Row partitioning.
+                let step = self.n_conv - kernel.cols() + 1;
+                for dr in 0..kernel.rows() {
+                    let r = top + dr as isize;
+                    if r < 0 || r >= working.rows() as isize {
+                        continue;
+                    }
+                    let row = working.row(r as usize);
+                    let krow = kernel.row(dr);
+                    let mut corr_row = vec![0.0; row.len().saturating_sub(kernel.cols()) + 1];
+                    let mut start = 0;
+                    while start < corr_row.len() {
+                        let end = (start + self.n_conv).min(row.len());
+                        let corr = self.engine.correlate_valid(&row[start..end], krow);
+                        for (i, v) in corr.iter().enumerate() {
+                            if start + i < corr_row.len() {
+                                corr_row[start + i] = *v;
+                            }
+                        }
+                        start += step;
+                    }
+                    for c in 0..out.cols() {
+                        let wc = match edges {
+                            EdgeHandling::Wraparound => c as isize - pc as isize,
+                            EdgeHandling::ZeroPad => c as isize,
+                        };
+                        if wc >= 0 && (wc as usize) < corr_row.len() {
+                            acc[c] += corr_row[wc as usize];
+                        } else {
+                            acc[c] += row_window_dot(row, krow, wc);
+                        }
+                    }
+                }
+            }
+            for (c, a) in acc.iter().enumerate() {
+                out.set(out_r, c, *a);
+            }
+        }
+    }
+}
+
+/// Zero-pads a matrix horizontally by `left`/`right` columns.
+fn pad_columns(input: &Matrix, left: usize, right: usize) -> Matrix {
+    let mut out = Matrix::zeros(input.rows(), input.cols() + left + right);
+    for r in 0..input.rows() {
+        for c in 0..input.cols() {
+            out.set(r, c + left, input.get(r, c));
+        }
+    }
+    out
+}
+
+/// Direct dot product of the kernel with the window whose top-left corner is
+/// at (`top_row`, `left_col`) of `input`, out-of-range elements reading as
+/// the row-major "flat" continuation (the wraparound semantics of the tiled
+/// 1D view) when inside the matrix, or zero when outside it entirely.
+fn window_dot(input: &Matrix, kernel: &Matrix, top_row: isize, left_col: isize) -> f64 {
+    let mut acc = 0.0;
+    for dr in 0..kernel.rows() {
+        let r = top_row + dr as isize;
+        if r < 0 || r >= input.rows() as isize {
+            continue;
+        }
+        acc += row_window_dot(input.row(r as usize), kernel.row(dr), left_col);
+    }
+    acc
+}
+
+fn partial_window_dot(
+    input: &Matrix,
+    kernel: &Matrix,
+    top_row: isize,
+    left_col: isize,
+    k_start: usize,
+    count: usize,
+) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..count {
+        let dr = k_start + i;
+        let r = top_row + dr as isize;
+        if r < 0 || r >= input.rows() as isize {
+            continue;
+        }
+        acc += row_window_dot(input.row(r as usize), kernel.row(dr), left_col);
+    }
+    acc
+}
+
+fn row_window_dot(row: &[f64], krow: &[f64], left_col: isize) -> f64 {
+    let mut acc = 0.0;
+    for (dc, &k) in krow.iter().enumerate() {
+        let c = left_col + dc as isize;
+        if c >= 0 && (c as usize) < row.len() {
+            acc += row[c as usize] * k;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DigitalEngine;
+    use pf_dsp::conv::{correlate2d, PaddingMode};
+    use pf_dsp::util::{max_abs_diff, relative_l2_error};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::new(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .unwrap()
+    }
+
+    fn convolver(n_conv: usize) -> TiledConvolver<DigitalEngine> {
+        TiledConvolver::new(DigitalEngine, n_conv).unwrap()
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(TiledConvolver::new(DigitalEngine, 0).is_err());
+        assert!(TiledConvolver::new(DigitalEngine, 256).is_ok());
+        assert_eq!(convolver(256).n_conv(), 256);
+    }
+
+    #[test]
+    fn valid_mode_equals_reference_row_tiling() {
+        // Figure 3 setting: 5x5, 3x3, capacity 20.
+        let input = random_matrix(5, 5, 1);
+        let kernel = random_matrix(3, 3, 2);
+        let tiled = convolver(20).correlate2d_valid(&input, &kernel).unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+        assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-12);
+    }
+
+    #[test]
+    fn valid_mode_equals_reference_many_shapes() {
+        for (rows, cols, k, n_conv, seed) in [
+            (8, 8, 3, 256, 3u64),
+            (12, 9, 3, 64, 4),
+            (7, 7, 5, 49, 5),
+            (16, 16, 1, 32, 6),
+            (10, 10, 3, 30, 7), // exactly sk*si
+            (6, 6, 5, 30, 8),
+        ] {
+            let input = random_matrix(rows, cols, seed);
+            let kernel = random_matrix(k, k, seed + 100);
+            let tiled = convolver(n_conv).correlate2d_valid(&input, &kernel).unwrap();
+            let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+            assert!(
+                max_abs_diff(tiled.data(), reference.data()) < 1e-10,
+                "mismatch for {rows}x{cols} k{k} n{n_conv}"
+            );
+        }
+    }
+
+    #[test]
+    fn valid_mode_partial_row_tiling_matches_reference() {
+        // si = 10, sk*si = 30 > n_conv = 15 >= si -> partial row tiling.
+        let input = random_matrix(10, 10, 11);
+        let kernel = random_matrix(3, 3, 12);
+        let c = convolver(15);
+        assert_eq!(
+            c.plan(&input, &kernel).unwrap().variant,
+            TilingVariant::PartialRowTiling
+        );
+        let tiled = c.correlate2d_valid(&input, &kernel).unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+        assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-10);
+    }
+
+    #[test]
+    fn valid_mode_row_partitioning_matches_reference() {
+        // n_conv = 7 < si = 12 -> row partitioning.
+        let input = random_matrix(12, 12, 21);
+        let kernel = random_matrix(3, 3, 22);
+        let c = convolver(7);
+        assert_eq!(
+            c.plan(&input, &kernel).unwrap().variant,
+            TilingVariant::RowPartitioning
+        );
+        let tiled = c.correlate2d_valid(&input, &kernel).unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+        assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-10);
+    }
+
+    #[test]
+    fn same_mode_zero_pad_is_exact() {
+        for (rows, cols, k, n_conv, seed) in [
+            (8, 8, 3, 256, 31u64),
+            (10, 10, 5, 256, 32),
+            (12, 12, 3, 48, 33),
+            (9, 9, 3, 16, 34), // partial tiling path (padded cols = 11 < 16 < 33)
+        ] {
+            let input = random_matrix(rows, cols, seed);
+            let kernel = random_matrix(k, k, seed + 1000);
+            let tiled = convolver(n_conv)
+                .correlate2d_same(&input, &kernel, EdgeHandling::ZeroPad)
+                .unwrap();
+            let reference = correlate2d(&input, &kernel, PaddingMode::Same);
+            assert!(
+                max_abs_diff(tiled.data(), reference.data()) < 1e-10,
+                "mismatch for {rows}x{cols} k{k} n{n_conv}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_mode_wraparound_interior_is_exact() {
+        let input = random_matrix(10, 10, 41);
+        let kernel = random_matrix(3, 3, 42);
+        let tiled = convolver(256)
+            .correlate2d_same(&input, &kernel, EdgeHandling::Wraparound)
+            .unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Same);
+        // Interior (excluding one-pixel border) must match exactly.
+        for r in 1..9 {
+            for c in 1..9 {
+                assert!(
+                    (tiled.get(r, c) - reference.get(r, c)).abs() < 1e-10,
+                    "interior mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_mode_wraparound_edge_error_is_small() {
+        // The paper argues the edge effect has minimal impact; check the
+        // relative error across the whole output stays small for a smooth
+        // input.
+        let input = Matrix::new(
+            16,
+            16,
+            (0..256)
+                .map(|i| ((i as f64) * 0.05).sin() + 1.5)
+                .collect(),
+        )
+        .unwrap();
+        let kernel = random_matrix(3, 3, 52);
+        let tiled = convolver(256)
+            .correlate2d_same(&input, &kernel, EdgeHandling::Wraparound)
+            .unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Same);
+        let err = relative_l2_error(tiled.data(), reference.data());
+        assert!(err < 0.25, "edge-effect error unexpectedly large: {err}");
+        // And strictly larger than zero: the approximation is real.
+        assert!(err > 0.0);
+    }
+
+    #[test]
+    fn same_mode_row_partitioning_zero_pad_matches_reference() {
+        let input = random_matrix(12, 12, 61);
+        let kernel = random_matrix(3, 3, 62);
+        let c = convolver(7);
+        let tiled = c
+            .correlate2d_same(&input, &kernel, EdgeHandling::ZeroPad)
+            .unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Same);
+        assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-10);
+    }
+
+    #[test]
+    fn plan_is_exposed() {
+        let input = random_matrix(32, 32, 71);
+        let kernel = random_matrix(3, 3, 72);
+        let plan = convolver(256).plan(&input, &kernel).unwrap();
+        assert_eq!(plan.variant, TilingVariant::RowTiling);
+        assert_eq!(plan.rows_per_tile, 8);
+    }
+
+    #[test]
+    fn kernel_larger_than_input_is_rejected() {
+        let input = random_matrix(3, 3, 81);
+        let kernel = random_matrix(5, 5, 82);
+        assert!(convolver(256).correlate2d_valid(&input, &kernel).is_err());
+    }
+}

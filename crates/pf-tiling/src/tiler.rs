@@ -1,0 +1,183 @@
+//! Construction of the tiled 1D input and kernel vectors (Figure 3 (b)).
+
+use pf_dsp::conv::Matrix;
+
+/// Tiles `count` input rows of `input` starting at `start_row` into one 1D
+/// vector, zero-padded on the right to `n_conv` elements.
+///
+/// Rows beyond the end of the input contribute zeros (this is how the
+/// boundary tiles of a `same`-mode convolution are expressed).
+///
+/// # Panics
+///
+/// Panics if `count == 0` or if the tiled length `count * input.cols()`
+/// exceeds `n_conv`.
+pub fn tile_input_rows(input: &Matrix, start_row: isize, count: usize, n_conv: usize) -> Vec<f64> {
+    assert!(count > 0, "must tile at least one row");
+    assert!(
+        count * input.cols() <= n_conv,
+        "tiled input ({} elements) exceeds 1D capacity {n_conv}",
+        count * input.cols()
+    );
+    let mut out = vec![0.0; n_conv];
+    for i in 0..count {
+        let r = start_row + i as isize;
+        if r < 0 || r >= input.rows() as isize {
+            continue; // implicit zero row
+        }
+        let dst = i * input.cols();
+        out[dst..dst + input.cols()].copy_from_slice(input.row(r as usize));
+    }
+    out
+}
+
+/// Tiles all kernel rows into one 1D vector with `input_cols - kernel_cols`
+/// zeros of separation so each kernel row lines up with its input row after
+/// tiling, zero-padded on the right to `n_conv` (Figure 3 (b)).
+///
+/// # Panics
+///
+/// Panics if the kernel has more columns than `input_cols`, or if the tiled
+/// kernel does not fit in `n_conv`.
+pub fn tile_kernel(kernel: &Matrix, input_cols: usize, n_conv: usize) -> Vec<f64> {
+    assert!(
+        kernel.cols() <= input_cols,
+        "kernel columns ({}) exceed input columns ({input_cols})",
+        kernel.cols()
+    );
+    let tiled_len = (kernel.rows() - 1) * input_cols + kernel.cols();
+    assert!(
+        tiled_len <= n_conv,
+        "tiled kernel ({tiled_len} elements) exceeds 1D capacity {n_conv}"
+    );
+    let mut out = vec![0.0; n_conv];
+    for r in 0..kernel.rows() {
+        let dst = r * input_cols;
+        out[dst..dst + kernel.cols()].copy_from_slice(kernel.row(r));
+    }
+    out
+}
+
+/// Tiles a subset of kernel rows `[start_row, start_row + count)` — used by
+/// partial row tiling where one cycle only processes `N_ir` kernel rows.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`tile_kernel`], or if the requested
+/// row range is out of bounds.
+pub fn tile_kernel_rows(
+    kernel: &Matrix,
+    start_row: usize,
+    count: usize,
+    input_cols: usize,
+    n_conv: usize,
+) -> Vec<f64> {
+    assert!(count > 0, "must tile at least one kernel row");
+    assert!(
+        start_row + count <= kernel.rows(),
+        "kernel row range {start_row}..{} out of bounds",
+        start_row + count
+    );
+    assert!(
+        kernel.cols() <= input_cols,
+        "kernel columns ({}) exceed input columns ({input_cols})",
+        kernel.cols()
+    );
+    let tiled_len = (count - 1) * input_cols + kernel.cols();
+    assert!(
+        tiled_len <= n_conv,
+        "tiled kernel ({tiled_len} elements) exceeds 1D capacity {n_conv}"
+    );
+    let mut out = vec![0.0; n_conv];
+    for i in 0..count {
+        let dst = i * input_cols;
+        out[dst..dst + kernel.cols()].copy_from_slice(kernel.row(start_row + i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input_5x5() -> Matrix {
+        Matrix::new(5, 5, (1..=25).map(|x| x as f64).collect()).unwrap()
+    }
+
+    fn kernel_3x3() -> Matrix {
+        Matrix::new(3, 3, (1..=9).map(|x| x as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn tile_input_matches_figure3() {
+        // Figure 3: 4 rows of the 5x5 input tiled into a 20-element vector.
+        let tiled = tile_input_rows(&input_5x5(), 0, 4, 20);
+        let expected: Vec<f64> = (1..=20).map(|x| x as f64).collect();
+        assert_eq!(tiled, expected);
+    }
+
+    #[test]
+    fn tile_input_pads_to_capacity() {
+        let tiled = tile_input_rows(&input_5x5(), 0, 2, 16);
+        assert_eq!(tiled.len(), 16);
+        assert_eq!(&tiled[..10], &(1..=10).map(|x| x as f64).collect::<Vec<_>>()[..]);
+        assert!(tiled[10..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn tile_input_out_of_range_rows_are_zero() {
+        let tiled = tile_input_rows(&input_5x5(), -1, 3, 20);
+        // first row of the tile is the implicit zero row above the input
+        assert!(tiled[..5].iter().all(|&x| x == 0.0));
+        assert_eq!(&tiled[5..10], input_5x5().row(0));
+        let tiled = tile_input_rows(&input_5x5(), 4, 3, 20);
+        assert_eq!(&tiled[..5], input_5x5().row(4));
+        assert!(tiled[5..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1D capacity")]
+    fn tile_input_rejects_overflow() {
+        let _ = tile_input_rows(&input_5x5(), 0, 5, 20);
+    }
+
+    #[test]
+    fn tile_kernel_matches_figure3() {
+        // Kernel rows (a,b,c), (d,e,f), (g,h,i) separated by 2 zeros each.
+        let tiled = tile_kernel(&kernel_3x3(), 5, 20);
+        let expected = [
+            1.0, 2.0, 3.0, 0.0, 0.0, // row 1 + separation
+            4.0, 5.0, 6.0, 0.0, 0.0, // row 2 + separation
+            7.0, 8.0, 9.0, // row 3
+            0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, // padding to 20
+        ];
+        assert_eq!(tiled, expected);
+    }
+
+    #[test]
+    fn tile_kernel_single_row() {
+        let k = Matrix::new(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        let tiled = tile_kernel(&k, 5, 8);
+        assert_eq!(tiled, vec![1.0, 2.0, 3.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel columns")]
+    fn tile_kernel_rejects_wide_kernel() {
+        let k = Matrix::new(1, 6, vec![1.0; 6]).unwrap();
+        let _ = tile_kernel(&k, 5, 20);
+    }
+
+    #[test]
+    fn tile_kernel_rows_subset() {
+        let tiled = tile_kernel_rows(&kernel_3x3(), 1, 2, 5, 12);
+        let expected = [4.0, 5.0, 6.0, 0.0, 0.0, 7.0, 8.0, 9.0, 0.0, 0.0, 0.0, 0.0];
+        assert_eq!(tiled, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn tile_kernel_rows_rejects_bad_range() {
+        let _ = tile_kernel_rows(&kernel_3x3(), 2, 2, 5, 20);
+    }
+}

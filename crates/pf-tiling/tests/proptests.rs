@@ -1,0 +1,109 @@
+//! Property-based tests for the row tiling algorithms: the central identity
+//! of the paper (tiled 1D convolution == 2D convolution) must hold for every
+//! shape and capacity combination.
+
+use pf_dsp::conv::{correlate2d, Matrix, PaddingMode};
+use pf_dsp::util::max_abs_diff;
+use pf_tiling::{DigitalEngine, EdgeHandling, TiledConvolver, TilingPlan};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn valid_mode_identity_holds_for_all_variants(
+        rows in 3usize..14,
+        cols in 3usize..14,
+        k in 1usize..4,
+        n_conv in 3usize..200,
+        seed in 0u64..1000,
+    ) {
+        let ksize = 2 * k + 1; // 3, 5, 7
+        prop_assume!(ksize <= rows && ksize <= cols);
+        prop_assume!(n_conv >= ksize);
+        let mut rng_data = Vec::new();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for _ in 0..rows * cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            rng_data.push(((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0);
+        }
+        let input = Matrix::new(rows, cols, rng_data).unwrap();
+        let mut kdata = Vec::new();
+        for i in 0..ksize * ksize {
+            kdata.push(((i * 7 + seed as usize) % 11) as f64 / 11.0 - 0.5);
+        }
+        let kernel = Matrix::new(ksize, ksize, kdata).unwrap();
+
+        let convolver = TiledConvolver::new(DigitalEngine, n_conv).unwrap();
+        let tiled = convolver.correlate2d_valid(&input, &kernel).unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+        prop_assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-9);
+    }
+
+    #[test]
+    fn same_mode_zero_pad_identity(
+        rows in 4usize..12,
+        cols in 4usize..12,
+        n_conv in 40usize..300,
+        seed in 0u64..1000,
+    ) {
+        let mut data = Vec::new();
+        let mut state = seed.wrapping_add(17);
+        for _ in 0..rows * cols {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            data.push(((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0);
+        }
+        let input = Matrix::new(rows, cols, data).unwrap();
+        let kernel = Matrix::new(3, 3, (0..9).map(|i| (i as f64 - 4.0) / 4.0).collect()).unwrap();
+        let convolver = TiledConvolver::new(DigitalEngine, n_conv).unwrap();
+        let tiled = convolver.correlate2d_same(&input, &kernel, EdgeHandling::ZeroPad).unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Same);
+        prop_assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-9);
+    }
+
+    #[test]
+    fn plan_cycle_counts_are_consistent(
+        rows in 3usize..64,
+        cols in 3usize..64,
+        k in 1usize..3,
+        n_conv in 8usize..600,
+    ) {
+        let ksize = 2 * k + 1;
+        prop_assume!(ksize <= rows && ksize <= cols && n_conv >= ksize);
+        let plan = TilingPlan::new(rows, cols, ksize, ksize, n_conv).unwrap();
+        // Cycle count is at least 1 and at most what row partitioning would need.
+        prop_assert!(plan.convs_per_output_plane >= 1);
+        prop_assert!(plan.convs_per_output_plane <= rows * ksize * cols.div_ceil(n_conv).max(1));
+        // The tiled kernel always fits the capacity for the tiling variants.
+        if plan.variant != pf_tiling::TilingVariant::RowPartitioning {
+            prop_assert!(plan.rows_per_tile * cols <= n_conv || plan.variant == pf_tiling::TilingVariant::PartialRowTiling);
+        }
+        // Efficiency is a fraction.
+        prop_assert!(plan.efficiency() > 0.0 && plan.efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn same_mode_wraparound_interior_matches_reference(
+        rows in 6usize..12,
+        cols in 6usize..12,
+        seed in 0u64..500,
+    ) {
+        let mut data = Vec::new();
+        let mut state = seed.wrapping_add(99);
+        for _ in 0..rows * cols {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push((state >> 33) as f64 / (1u64 << 31) as f64);
+        }
+        let input = Matrix::new(rows, cols, data).unwrap();
+        let kernel = Matrix::new(3, 3, (0..9).map(|i| ((i * 3 + 1) % 7) as f64 / 7.0).collect()).unwrap();
+        let convolver = TiledConvolver::new(DigitalEngine, 256).unwrap();
+        let tiled = convolver.correlate2d_same(&input, &kernel, EdgeHandling::Wraparound).unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Same);
+        for r in 1..rows - 1 {
+            for c in 1..cols - 1 {
+                prop_assert!((tiled.get(r, c) - reference.get(r, c)).abs() < 1e-9,
+                    "interior mismatch at ({}, {})", r, c);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end accuracy experiment on the synthetic dataset: how much
+//! classification accuracy the PhotoFourier numeric pipeline (8-bit
+//! quantisation, pseudo-negative weights, partial-sum ADC) costs, and how
+//! temporal accumulation restores it — the reproduction's counterpart of
+//! Table I and Figure 7 (see DESIGN.md for the substitution rationale).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example accuracy_pipeline
+//! ```
+
+use photofourier::prelude::*;
+use pf_nn::dataset::{DatasetConfig, SyntheticDataset};
+use pf_nn::models::small::SmallCnn;
+use pf_nn::train::{accuracy, train_linear_probe, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Synthetic classification task, deliberately made hard enough (many
+    // classes, heavy noise) that numerical error in the feature extractor
+    // shows up as an accuracy drop, and a fixed random CNN feature extractor.
+    let dataset = SyntheticDataset::new(DatasetConfig {
+        num_classes: 8,
+        image_size: 16,
+        noise_sigma: 0.5,
+        max_shift: 3,
+        seed: 7,
+    })?;
+    let train_set = dataset.generate(25, 1);
+    let test_set = dataset.generate(40, 2);
+    let cnn = SmallCnn::new(1, 16, 42)?;
+
+    // Train a linear probe on exact (reference) features.
+    let train_features = cnn.features_batch(&train_set.images, &ReferenceExecutor)?;
+    let probe = train_linear_probe(
+        &train_features,
+        &train_set.labels,
+        train_set.num_classes,
+        TrainConfig::default(),
+    )?;
+    let reference_test = cnn.features_batch(&test_set.images, &ReferenceExecutor)?;
+    let reference_accuracy = accuracy(&probe, &reference_test, &test_set.labels)?;
+    println!("reference (fp64) accuracy: {:.1}%", reference_accuracy * 100.0);
+
+    // Re-extract test features through the PhotoFourier pipeline at several
+    // temporal accumulation depths and measure the accuracy drop.
+    println!("\n{:>22} {:>12} {:>12}", "temporal depth", "accuracy", "drop");
+    for depth in [1usize, 2, 4, 8, 16] {
+        let executor = TiledExecutor::new(
+            DigitalEngine,
+            256,
+            PipelineConfig::with_temporal_depth(depth),
+        )?;
+        let features = cnn.features_batch(&test_set.images, &executor)?;
+        let acc = accuracy(&probe, &features, &test_set.labels)?;
+        println!(
+            "{:>22} {:>11.1}% {:>11.1}%",
+            depth,
+            acc * 100.0,
+            (reference_accuracy - acc) * 100.0
+        );
+    }
+
+    // Full-precision partial sums (the "fp psum" reference line of Figure 7).
+    let mut ideal = PipelineConfig::photofourier_default();
+    ideal.psum_adc_bits = None;
+    let executor = TiledExecutor::new(DigitalEngine, 256, ideal)?;
+    let features = cnn.features_batch(&test_set.images, &executor)?;
+    let acc = accuracy(&probe, &features, &test_set.labels)?;
+    println!(
+        "{:>22} {:>11.1}% {:>11.1}%",
+        "fp psum", acc * 100.0, (reference_accuracy - acc) * 100.0
+    );
+
+    Ok(())
+}

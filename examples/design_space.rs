@@ -1,0 +1,61 @@
+//! Design-space exploration (Table III and Figure 8): how many waveguides
+//! per PFCU fit a 100 mm² budget for different PFCU counts, which
+//! configuration maximises FPS/W, and why input broadcasting is the chosen
+//! parallelisation scheme.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use photofourier::prelude::*;
+use pf_arch::parallel::{optimal_scheme, sweep_input_broadcast};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // Figure 8: the parallelisation objective IB/NTA + CP.
+    // ------------------------------------------------------------------
+    println!("== Figure 8: parallelisation scheme analysis (N_TA = 16) ==\n");
+    for num_pfcus in [8usize, 16, 32] {
+        let sweep = sweep_input_broadcast(num_pfcus, 16)?;
+        let values: Vec<String> = sweep
+            .iter()
+            .map(|p| format!("IB={:<3} -> {:>6.3}", p.input_broadcast, p.objective))
+            .collect();
+        let best = optimal_scheme(num_pfcus, 16)?;
+        println!(
+            "N_PFCU = {num_pfcus:>2}: {}   best: IB={} CP={}",
+            values.join("  "),
+            best.input_broadcast,
+            best.channel_parallel
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Table III: waveguides per PFCU and FPS/W under a 100 mm² budget.
+    // A reduced network suite keeps the example quick; the bench harness
+    // runs the full five-CNN suite.
+    // ------------------------------------------------------------------
+    let networks = vec![alexnet(), resnet18()];
+    println!("\n== Table III: design-space sweep (100 mm² budget) ==\n");
+    for (label, base) in [
+        ("PhotoFourier-CG", ArchConfig::photofourier_cg()),
+        ("PhotoFourier-NG", ArchConfig::photofourier_ng()),
+    ] {
+        println!("{label}:");
+        println!(
+            "  {:>8} {:>12} {:>16} {:>12}",
+            "# PFCU", "# waveguides", "FPS/W (geomean)", "normalised"
+        );
+        let points = sweep_pfcu_counts(&base, &TABLE3_PFCU_COUNTS, base.area_budget_mm2, &networks)?;
+        for p in &points {
+            println!(
+                "  {:>8} {:>12} {:>16.1} {:>12.2}",
+                p.num_pfcus, p.waveguides, p.geomean_fps_per_watt, p.normalized_fps_per_watt
+            );
+        }
+        println!();
+    }
+
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Reproduces Figure 2: the output plane of the on-chip JTC for a
+//! 256-element row-tiled input and a tiled 3×3 kernel, showing the three
+//! spatially separated terms (conjugate correlation lobe, central
+//! non-convolution term `O(x)`, correlation lobe).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example jtc_visualize
+//! ```
+
+use photofourier::prelude::*;
+use pf_tiling::{tile_input_rows, tile_kernel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A CIFAR-10-like 32x32 single-channel image (synthetic smooth pattern),
+    // partitioned and row-tiled onto the 256 input waveguides exactly as
+    // Section II-A / Figure 2 describe.
+    let image = Matrix::new(
+        32,
+        32,
+        (0..1024)
+            .map(|i| {
+                let (r, c) = (i / 32, i % 32);
+                (((r as f64) * 0.35).sin() * ((c as f64) * 0.22).cos()).abs()
+            })
+            .collect(),
+    )?;
+    let kernel = Matrix::new(3, 3, vec![0.1, 0.3, 0.1, 0.3, 1.0, 0.3, 0.1, 0.3, 0.1])?;
+
+    // Row tiling: 8 rows of the image fit on 256 waveguides.
+    let tiled_input = tile_input_rows(&image, 0, 8, 256);
+    let tiled_kernel_full = tile_kernel(&kernel, 32, 256);
+    let tiled_kernel: Vec<f64> = tiled_kernel_full[..2 * 32 + 3].to_vec();
+
+    let jtc = JtcSimulator::new(256)?;
+    let output = jtc.output_plane(&tiled_input, &tiled_kernel)?;
+    let intensity = output.intensity_shifted();
+
+    println!("== Figure 2: simulated JTC output plane ==\n");
+    println!("input: 256-element row-tiled CIFAR-sized image, tiled 3x3 kernel");
+    println!("simulation grid: {} samples\n", intensity.len());
+
+    // ASCII rendering of the output plane intensity (log scale), downsampled
+    // into 96 columns.
+    let columns = 96;
+    let bucket = intensity.len() / columns;
+    let maxima: Vec<f64> = (0..columns)
+        .map(|b| {
+            intensity[b * bucket..(b + 1) * bucket]
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max)
+        })
+        .collect();
+    let peak = maxima.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    let height = 16;
+    for level in (0..height).rev() {
+        let mut line = String::new();
+        for &m in &maxima {
+            let magnitude = (m / peak).max(1e-12).log10(); // 0 .. -12
+            let bar = ((magnitude + 6.0) / 6.0 * height as f64).ceil() as i64; // show 60 dB
+            line.push(if bar > level { '#' } else { ' ' });
+        }
+        println!("|{line}|");
+    }
+    println!("{}", "-".repeat(columns + 2));
+    println!(
+        "{:^32}{:^32}{:^32}",
+        "conjugate correlation", "O(x) term", "correlation term"
+    );
+
+    // Quantitative check that the correlation term is clean.
+    let extracted = output.valid_correlation();
+    let reference = correlate1d(&tiled_input, &tiled_kernel, PaddingMode::Valid);
+    let error = pf_dsp::util::relative_l2_error(&extracted, &reference);
+    println!("\ncorrelation term vs digital reference: relative L2 error = {error:.2e}");
+    println!(
+        "terms spatially separated (guard band < 1e-6 of peak): {}",
+        output.terms_are_separated(1e-6)
+    );
+    Ok(())
+}

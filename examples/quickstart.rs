@@ -1,0 +1,69 @@
+//! Quickstart: simulate PhotoFourier-CG and PhotoFourier-NG on the paper's
+//! benchmark CNNs and print throughput / power / efficiency, then verify the
+//! functional path (row tiling on the simulated JTC optics) against the
+//! digital reference.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use photofourier::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== PhotoFourier quickstart ==\n");
+
+    // ------------------------------------------------------------------
+    // 1. Architecture-level simulation: the paper's headline metrics.
+    // ------------------------------------------------------------------
+    let networks = [alexnet(), vgg16(), resnet18()];
+    println!(
+        "{:<12} {:>14} {:>12} {:>12} {:>14}",
+        "network", "design point", "FPS", "power (W)", "FPS/W"
+    );
+    for config in [ArchConfig::photofourier_cg(), ArchConfig::photofourier_ng()] {
+        let simulator = Simulator::new(config)?;
+        for network in &networks {
+            let perf = simulator.evaluate_network(network)?;
+            println!(
+                "{:<12} {:>14} {:>12.1} {:>12.2} {:>14.1}",
+                perf.network, perf.design_point, perf.fps, perf.avg_power_w, perf.fps_per_watt
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Functional check: a 2D convolution executed through the simulated
+    //    JTC optics via row tiling equals the exact digital convolution.
+    // ------------------------------------------------------------------
+    let input = Matrix::new(
+        16,
+        16,
+        (0..256).map(|i| ((i as f64) * 0.07).sin().abs()).collect(),
+    )?;
+    let kernel = Matrix::new(3, 3, vec![0.1, 0.2, 0.1, 0.2, 0.4, 0.2, 0.1, 0.2, 0.1])?;
+
+    let photonic = TiledConvolver::new(JtcEngine::ideal(256)?, 256)?;
+    let optical = photonic.correlate2d_valid(&input, &kernel)?;
+    let digital = correlate2d(&input, &kernel, PaddingMode::Valid);
+    let error = pf_dsp::util::max_abs_diff(optical.data(), digital.data());
+
+    println!("\nrow-tiled convolution on the simulated JTC:");
+    println!("  output shape        : {}x{}", optical.rows(), optical.cols());
+    println!("  max |optical-digital|: {error:.2e}");
+    assert!(error < 1e-7, "optical convolution should match the digital reference");
+
+    // ------------------------------------------------------------------
+    // 3. The row-tiling plan the hardware would use for this layer shape.
+    // ------------------------------------------------------------------
+    let plan = TilingPlan::new(16, 16, 3, 3, 256)?;
+    println!("\nrow tiling plan for a 16x16 input, 3x3 kernel, 256 waveguides:");
+    println!("  variant                  : {:?}", plan.variant);
+    println!("  input rows per tile      : {}", plan.rows_per_tile);
+    println!("  valid output rows / conv : {}", plan.valid_output_rows_per_conv);
+    println!("  1D convolutions per plane: {}", plan.convs_per_output_plane);
+    println!("  compute efficiency       : {:.1}%", plan.efficiency() * 100.0);
+
+    println!("\nOK");
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! # PhotoFourier
+//!
+//! A Rust reproduction of **"PhotoFourier: A Photonic Joint Transform
+//! Correlator-Based Neural Network Accelerator"** (HPCA 2023).
+//!
+//! PhotoFourier accelerates CNN inference with on-chip Fourier optics: a
+//! Joint Transform Correlator (JTC) computes 1D convolutions "for free"
+//! (time of flight through two lenses and a square-law non-linearity), the
+//! *row tiling* algorithm maps 2D convolutions onto those 1D convolutions,
+//! and *temporal accumulation* at the photodetectors keeps partial sums in
+//! the analog domain so 8-bit ADCs running at 1/16th of the photonic clock
+//! suffice.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`dsp`] | complex numbers, FFT, reference convolutions |
+//! | [`photonics`] | MRR / photodetector / DAC / ADC / laser models, Table IV & V constants |
+//! | [`tiling`] | row tiling, partial row tiling, row partitioning (Section III) |
+//! | [`jtc`] | JTC optics simulation, PFCU, temporal accumulation (Sections II & IV) |
+//! | [`nn`] | tensors, layers, the CNN model zoo, quantisation, fidelity & accuracy experiments |
+//! | [`arch`] | the architecture simulator: dataflow, power, area, design-space exploration (Sections V & VI) |
+//! | [`baselines`] | prior-accelerator reference models for the Figure 13 comparison |
+//!
+//! # Quickstart
+//!
+//! Estimate the performance of ResNet-18 on PhotoFourier-CG and check that a
+//! convolution computed through the simulated optics matches the digital
+//! reference:
+//!
+//! ```
+//! use photofourier::prelude::*;
+//!
+//! // Architecture-level: throughput and efficiency of a full CNN.
+//! let simulator = Simulator::new(ArchConfig::photofourier_cg())?;
+//! let perf = simulator.evaluate_network(&resnet18())?;
+//! assert!(perf.fps > 0.0 && perf.fps_per_watt > 0.0);
+//!
+//! // Functional level: a 2D convolution through the photonic JTC via row
+//! // tiling equals the exact digital result.
+//! let input = Matrix::new(8, 8, (0..64).map(|x| x as f64 * 0.1).collect())?;
+//! let kernel = Matrix::new(3, 3, vec![0.5; 9])?;
+//! let photonic = TiledConvolver::new(JtcEngine::ideal(64)?, 64)?;
+//! let optical = photonic.correlate2d_valid(&input, &kernel)?;
+//! let digital = correlate2d(&input, &kernel, PaddingMode::Valid);
+//! assert!(pf_dsp::util::max_abs_diff(optical.data(), digital.data()) < 1e-8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub use pf_arch as arch;
+pub use pf_baselines as baselines;
+pub use pf_dsp as dsp;
+pub use pf_jtc as jtc;
+pub use pf_nn as nn;
+pub use pf_photonics as photonics;
+pub use pf_tiling as tiling;
+
+/// Commonly used items re-exported in one place.
+pub mod prelude {
+    pub use pf_arch::config::ArchConfig;
+    pub use pf_arch::design_space::{sweep_pfcu_counts, TABLE3_PFCU_COUNTS};
+    pub use pf_arch::optimizations::OptimizationStep;
+    pub use pf_arch::simulator::{NetworkPerformance, Simulator};
+    pub use pf_baselines::AcceleratorModel;
+    pub use pf_dsp::conv::{conv1d, correlate1d, correlate2d, Matrix, PaddingMode};
+    pub use pf_jtc::correlator::JtcSimulator;
+    pub use pf_jtc::engine::{JtcEngine, JtcEngineConfig};
+    pub use pf_jtc::pfcu::{Pfcu, PfcuConfig};
+    pub use pf_nn::executor::{PipelineConfig, ReferenceExecutor, TiledExecutor};
+    pub use pf_nn::models::cifar::{crosslight_cnn, resnet_s};
+    pub use pf_nn::models::imagenet::{alexnet, resnet18, resnet34, resnet50, vgg16};
+    pub use pf_nn::models::NetworkSpec;
+    pub use pf_nn::Tensor;
+    pub use pf_photonics::params::{ComponentDims, TechConfig};
+    pub use pf_tiling::{DigitalEngine, EdgeHandling, TiledConvolver, TilingPlan, TilingVariant};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let cfg = ArchConfig::photofourier_cg();
+        assert_eq!(cfg.tech.num_pfcus, 8);
+        let plan = TilingPlan::new(5, 5, 3, 3, 20).unwrap();
+        assert_eq!(plan.variant, TilingVariant::RowTiling);
+    }
+}

@@ -1,0 +1,118 @@
+//! Integration tests for the accuracy-oriented experiments (Table I and
+//! Figure 7 proxies): dataset generation, linear-probe training and feature
+//! extraction through the photonic pipeline all have to compose.
+
+use photofourier::prelude::*;
+use pf_nn::dataset::{DatasetConfig, SyntheticDataset};
+use pf_nn::fidelity::{evaluate_network, FidelityConfig};
+use pf_nn::models::small::SmallCnn;
+use pf_nn::train::{accuracy, train_linear_probe, TrainConfig};
+
+/// The linear probe trained on reference features classifies the synthetic
+/// task well, and features produced through the quantised photonic pipeline
+/// lose only a limited amount of accuracy.
+#[test]
+fn linear_probe_survives_the_photonic_pipeline() {
+    let dataset = SyntheticDataset::new(DatasetConfig::default()).unwrap();
+    let train_set = dataset.generate(20, 1);
+    let test_set = dataset.generate(10, 2);
+    let cnn = SmallCnn::new(1, 16, 3).unwrap();
+
+    let train_features = cnn
+        .features_batch(&train_set.images, &ReferenceExecutor)
+        .unwrap();
+    let probe = train_linear_probe(
+        &train_features,
+        &train_set.labels,
+        train_set.num_classes,
+        TrainConfig::default(),
+    )
+    .unwrap();
+
+    let reference_features = cnn
+        .features_batch(&test_set.images, &ReferenceExecutor)
+        .unwrap();
+    let reference_acc = accuracy(&probe, &reference_features, &test_set.labels).unwrap();
+    assert!(
+        reference_acc > 0.8,
+        "reference accuracy too low: {reference_acc}"
+    );
+
+    let executor = TiledExecutor::new(DigitalEngine, 256, PipelineConfig::photofourier_default())
+        .unwrap();
+    let photonic_features = cnn.features_batch(&test_set.images, &executor).unwrap();
+    let photonic_acc = accuracy(&probe, &photonic_features, &test_set.labels).unwrap();
+    assert!(
+        reference_acc - photonic_acc < 0.15,
+        "accuracy drop too large: {reference_acc} -> {photonic_acc}"
+    );
+}
+
+/// Per-layer fidelity of the three Table I networks stays in the "small
+/// error" regime under the default PhotoFourier pipeline (sampled channels,
+/// reduced resolution; see FidelityConfig).
+#[test]
+fn table1_networks_have_small_per_layer_error() {
+    let config = FidelityConfig {
+        max_input_size: 16,
+        max_in_channels: 8,
+        max_out_channels: 2,
+        seed: 5,
+    };
+    // AlexNet's 11x11 first layer suffers a proportionally larger wraparound
+    // edge effect at the reduced evaluation resolution, so it gets a looser
+    // bound than the all-3x3 ResNet-18.
+    for (network, bound) in [(alexnet(), 0.4), (resnet18(), 0.3)] {
+        let report = evaluate_network(
+            &network,
+            || DigitalEngine,
+            256,
+            PipelineConfig::photofourier_default(),
+            &config,
+        )
+        .unwrap();
+        assert_eq!(report.layers.len(), network.num_conv_layers());
+        assert!(
+            report.mean_relative_error() < bound,
+            "{} mean relative error {}",
+            network.name,
+            report.mean_relative_error()
+        );
+        assert!(report.min_snr_db() > 5.0, "{}", network.name);
+    }
+}
+
+/// Feature-space error decreases monotonically (within tolerance) as the
+/// temporal accumulation depth grows — the Figure 7 mechanism, measured on
+/// the feature extractor end to end.
+#[test]
+fn temporal_depth_reduces_feature_error() {
+    let dataset = SyntheticDataset::new(DatasetConfig::default()).unwrap();
+    let images = dataset.generate(4, 3).images;
+    let cnn = SmallCnn::new(1, 16, 11).unwrap();
+    let reference = cnn.features_batch(&images, &ReferenceExecutor).unwrap();
+
+    let mut errors = Vec::new();
+    for depth in [1usize, 4, 16] {
+        let executor = TiledExecutor::new(
+            DigitalEngine,
+            256,
+            PipelineConfig::with_temporal_depth(depth),
+        )
+        .unwrap();
+        let features = cnn.features_batch(&images, &executor).unwrap();
+        let err: f64 = reference
+            .iter()
+            .zip(&features)
+            .map(|(a, b)| pf_dsp::util::relative_l2_error(b, a))
+            .sum::<f64>()
+            / reference.len() as f64;
+        errors.push(err);
+    }
+    assert!(
+        errors[0] >= errors[2],
+        "depth-16 error {} should not exceed depth-1 error {}",
+        errors[2],
+        errors[0]
+    );
+}

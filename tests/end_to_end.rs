@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: the full PhotoFourier stack from the
+//! simulated optics up to the architecture-level metrics.
+
+use photofourier::prelude::*;
+use pf_dsp::util::{max_abs_diff, relative_l2_error};
+
+/// A convolution layer executed on the simulated JTC optics through row
+/// tiling matches the exact digital reference (the paper's core identity,
+/// across three crates: pf-dsp, pf-tiling, pf-jtc).
+#[test]
+fn photonic_row_tiled_convolution_matches_reference() {
+    let input = Matrix::new(
+        12,
+        12,
+        (0..144).map(|i| ((i as f64) * 0.13).sin().abs()).collect(),
+    )
+    .unwrap();
+    let kernel = Matrix::new(3, 3, (0..9).map(|i| (i as f64 - 4.0) / 10.0).collect()).unwrap();
+
+    let photonic = TiledConvolver::new(JtcEngine::ideal(128).unwrap(), 128).unwrap();
+    let optical = photonic.correlate2d_valid(&input, &kernel).unwrap();
+    let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+    assert!(max_abs_diff(optical.data(), reference.data()) < 1e-7);
+}
+
+/// The PFCU hardware model (256 waveguides, 25 weight DACs, pipelined) can
+/// execute a row-tiled CNN layer end to end and stays close to the digital
+/// result even with its capacity constraints.
+#[test]
+fn pfcu_executes_row_tiled_layer() {
+    let pfcu = Pfcu::photofourier_default();
+    let convolver = TiledConvolver::new(&pfcu, 256).unwrap();
+    let input = Matrix::new(
+        16,
+        16,
+        (0..256).map(|i| ((i % 7) as f64) / 7.0).collect(),
+    )
+    .unwrap();
+    let kernel = Matrix::new(5, 5, (0..25).map(|i| (i as f64) / 50.0).collect()).unwrap();
+    let out = convolver.correlate2d_valid(&input, &kernel).unwrap();
+    let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+    assert_eq!(out.rows(), reference.rows());
+    assert!(max_abs_diff(out.data(), reference.data()) < 1e-6);
+}
+
+/// Full CNN-layer execution through the photonic pipeline with the paper's
+/// default settings stays within a few percent of the reference — the
+/// numerical basis of the "<1% accuracy drop" claim of Table I.
+#[test]
+fn photofourier_pipeline_fidelity_on_resnet_layer() {
+    use pf_nn::executor::{Conv2dExecutor, PipelineConfig, ReferenceExecutor, TiledExecutor};
+    use pf_nn::layers::Conv2d;
+    use pf_nn::Tensor;
+
+    let layer = Conv2d::random(16, 4, 3, 1, true, 0.4, 7).unwrap();
+    let input = Tensor::random(vec![16, 28, 28], 0.0, 1.0, 8);
+
+    let reference = ReferenceExecutor.forward(&input, &layer).unwrap();
+    let photonic = TiledExecutor::new(
+        JtcEngine::ideal(256).unwrap(),
+        256,
+        PipelineConfig::photofourier_default(),
+    )
+    .unwrap()
+    .forward(&input, &layer)
+    .unwrap();
+
+    // Residual error comes from 8-bit quantisation, the partial-sum ADC and
+    // the wraparound edge effect at the 28x28 borders.
+    let err = relative_l2_error(photonic.data(), reference.data());
+    assert!(err < 0.15, "pipeline error too large: {err}");
+}
+
+/// The architecture simulator reproduces the headline comparison shape:
+/// PhotoFourier-NG beats PhotoFourier-CG, which beats the un-optimised
+/// baseline, on both efficiency and EDP for every comparison network.
+#[test]
+fn design_point_ordering_holds_across_networks() {
+    let baseline = Simulator::new(ArchConfig::baseline_single_pfcu()).unwrap();
+    let cg = Simulator::new(ArchConfig::photofourier_cg()).unwrap();
+    let ng = Simulator::new(ArchConfig::photofourier_ng()).unwrap();
+
+    for network in [alexnet(), vgg16(), resnet18()] {
+        let b = baseline.evaluate_network(&network).unwrap();
+        let c = cg.evaluate_network(&network).unwrap();
+        let n = ng.evaluate_network(&network).unwrap();
+        assert!(c.fps_per_watt > b.fps_per_watt, "{}", network.name);
+        assert!(n.fps_per_watt > c.fps_per_watt, "{}", network.name);
+        assert!(c.edp < b.edp, "{}", network.name);
+        assert!(n.edp < c.edp, "{}", network.name);
+    }
+}
+
+/// PhotoFourier-CG beats the anchored prior-work reference points on EDP
+/// (Figure 13(c): PhotoFourier-NG best everywhere, CG best in most cases).
+#[test]
+fn comparison_with_prior_work_preserves_orderings() {
+    use pf_baselines::published::prior_photonic_accelerators;
+    use pf_baselines::AcceleratorModel;
+
+    let cg = Simulator::new(ArchConfig::photofourier_cg()).unwrap();
+    let ng = Simulator::new(ArchConfig::photofourier_ng()).unwrap();
+    let networks = [alexnet(), vgg16(), resnet18()];
+    let cg_results: Vec<_> = networks
+        .iter()
+        .map(|n| cg.evaluate_network(n).unwrap())
+        .collect();
+
+    for reference in prior_photonic_accelerators() {
+        let anchored = reference.anchored(&cg_results);
+        for (network, cg_perf) in networks.iter().zip(&cg_results) {
+            let ng_perf = ng.evaluate_network(network).unwrap();
+            let prior_edp = anchored.edp(network).unwrap();
+            // NG achieves the best EDP against every prior design.
+            assert!(
+                ng_perf.edp < prior_edp,
+                "{} should lose to NG on {}",
+                reference.name,
+                network.name
+            );
+            // CG is within the claimed factors of Albireo-c (28x better EDP).
+            if reference.name == "Albireo-c" {
+                let gain = prior_edp / cg_perf.edp;
+                assert!(
+                    gain > 5.0,
+                    "CG EDP gain over Albireo-c on {} is only {gain}",
+                    network.name
+                );
+            }
+        }
+    }
+}
+
+/// The UNPU-like digital baseline has far lower throughput than
+/// PhotoFourier-CG but comparable-order efficiency (Figure 13(a)/(b)).
+#[test]
+fn digital_baseline_relationship() {
+    use pf_baselines::digital::SystolicArray;
+    use pf_baselines::AcceleratorModel;
+
+    let cg = Simulator::new(ArchConfig::photofourier_cg()).unwrap();
+    let unpu = SystolicArray::unpu_like();
+    for network in [vgg16(), resnet18()] {
+        let pf = cg.evaluate_network(&network).unwrap();
+        let unpu_fps = unpu.fps(&network).unwrap();
+        assert!(
+            pf.fps > 10.0 * unpu_fps,
+            "PhotoFourier should be much faster than UNPU on {}",
+            network.name
+        );
+        let unpu_eff = unpu.fps_per_watt(&network).unwrap();
+        let ratio = pf.fps_per_watt / unpu_eff;
+        assert!(
+            (0.05..50.0).contains(&ratio),
+            "efficiency ratio CG/UNPU on {} is {ratio}",
+            network.name
+        );
+    }
+}
+
+/// Memory capacity checks reflect the paper's sizing rationale.
+#[test]
+fn memory_sizing_is_consistent() {
+    use pf_arch::memory::check_network;
+
+    let cfg = ArchConfig::photofourier_cg();
+    let report = check_network(&resnet_s(), &cfg);
+    assert!(report.fits());
+    let vgg_report = check_network(&vgg16(), &cfg);
+    // VGG-16's early activations exceed 2 MiB x 2, the known stress case.
+    assert!(!vgg_report.activations_fit());
+}
+
+/// The full optimisation ladder of Figure 10 is monotone when evaluated
+/// through the public facade.
+#[test]
+fn optimisation_ladder_is_monotone() {
+    let networks = [resnet18()];
+    let mut last = 0.0;
+    for step in OptimizationStep::ALL {
+        let sim = Simulator::new(step.config()).unwrap();
+        let value = sim.geomean_fps_per_watt(&networks).unwrap();
+        assert!(value > last, "{} did not improve", step.label());
+        last = value;
+    }
+}
