@@ -175,8 +175,7 @@ impl AreaModel {
         num_pfcus: usize,
         budget_mm2: f64,
     ) -> Result<usize, ArchError> {
-        let fits =
-            |w: usize| self.breakdown_for(tech, num_pfcus, w).pic_mm2() <= budget_mm2;
+        let fits = |w: usize| self.breakdown_for(tech, num_pfcus, w).pic_mm2() <= budget_mm2;
         if !fits(32) {
             return Err(ArchError::InvalidConfig {
                 name: "budget_mm2",
@@ -194,7 +193,7 @@ impl AreaModel {
         }
         hi *= 2;
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if fits(mid) {
                 lo = mid;
             } else {

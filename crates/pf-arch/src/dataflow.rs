@@ -78,8 +78,7 @@ impl LayerSchedule {
         let channel_iterations = spec.in_channels.div_ceil(cp);
 
         let convs_per_plane = plan.convs_per_output_plane as u64;
-        let issue_cycles =
-            convs_per_plane * channel_iterations as u64 * filter_groups as u64;
+        let issue_cycles = convs_per_plane * channel_iterations as u64 * filter_groups as u64;
         let total_cycles = if config.pipelined {
             issue_cycles + 1
         } else {
@@ -99,10 +98,9 @@ impl LayerSchedule {
         // after read-out (Section VI-E). Each value needs one conversion per
         // temporal-accumulation group of input channels.
         let unit_stride_outputs = (spec.input_size * spec.input_size) as u64;
-        let groups_per_output = spec
-            .in_channels
-            .div_ceil(config.tech.temporal_accumulation.max(1))
-            as u64;
+        let groups_per_output =
+            spec.in_channels
+                .div_ceil(config.tech.temporal_accumulation.max(1)) as u64;
         let adc_conversions = unit_stride_outputs * effective_filters as u64 * groups_per_output;
 
         // SRAM traffic (8-bit values = 1 byte each).
@@ -111,9 +109,9 @@ impl LayerSchedule {
         let input_sram_bytes = active_input_waveguides as u64 * cp as u64 * issue_cycles
             / channel_iterations.max(1) as u64
             * channel_iterations as u64; // = active * cp * issue_cycles
-        // Weights: reused across the convolutions of one output plane
-        // (weight broadcasting within the PFCU), so only one fetch per
-        // (filter, channel) pair per group.
+                                         // Weights: reused across the convolutions of one output plane
+                                         // (weight broadcasting within the PFCU), so only one fetch per
+                                         // (filter, channel) pair per group.
         let weight_sram_bytes = active_weight_dacs as u64
             * config.tech.num_pfcus as u64
             * channel_iterations as u64

@@ -118,8 +118,7 @@ mod tests {
         // PFCUs for PhotoFourier-CG; with ImageNet-scale layers the sweet
         // spot sits in the middle of the sweep.
         let base = ArchConfig::photofourier_cg();
-        let points =
-            sweep_pfcu_counts(&base, &TABLE3_PFCU_COUNTS, 100.0, &[resnet18()]).unwrap();
+        let points = sweep_pfcu_counts(&base, &TABLE3_PFCU_COUNTS, 100.0, &[resnet18()]).unwrap();
         let best = points
             .iter()
             .max_by(|a, b| {

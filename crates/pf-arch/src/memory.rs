@@ -60,8 +60,8 @@ pub fn check_network(network: &NetworkSpec, config: &ArchConfig) -> MemoryReport
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pf_nn::models::imagenet::{alexnet, resnet18, vgg16};
     use pf_nn::models::cifar::resnet_s;
+    use pf_nn::models::imagenet::{alexnet, resnet18, vgg16};
 
     #[test]
     fn common_cnn_activations_fit_the_4mib_sram() {
@@ -95,10 +95,7 @@ mod tests {
         for net in [alexnet(), resnet_s()] {
             let report = check_network(&net, &cfg);
             // Pseudo-negative doubling is accounted for.
-            assert_eq!(
-                report.max_layer_weight_bytes,
-                net.max_layer_weights() * 2
-            );
+            assert_eq!(report.max_layer_weight_bytes, net.max_layer_weights() * 2);
             assert!(report.weight_sram_bytes == 512 * 1024);
         }
     }
@@ -109,7 +106,10 @@ mod tests {
         let with_pn = check_network(&resnet18(), &cfg);
         cfg.pseudo_negative = false;
         let without = check_network(&resnet18(), &cfg);
-        assert_eq!(with_pn.max_layer_weight_bytes, 2 * without.max_layer_weight_bytes);
+        assert_eq!(
+            with_pn.max_layer_weight_bytes,
+            2 * without.max_layer_weight_bytes
+        );
     }
 
     #[test]

@@ -153,9 +153,8 @@ pub fn layer_energy(
     let adc_pj = schedule.adc_conversions as f64 * adc_energy_per_conversion / cp;
 
     // --- SRAM --------------------------------------------------------------
-    let sram_bytes = schedule.input_sram_bytes
-        + schedule.weight_sram_bytes
-        + schedule.output_sram_bytes;
+    let sram_bytes =
+        schedule.input_sram_bytes + schedule.weight_sram_bytes + schedule.output_sram_bytes;
     let sram_pj =
         sram_bytes as f64 * tech.sram_energy_pj_per_byte + tech.sram_leakage_mw * active_ns;
 

@@ -232,7 +232,10 @@ mod tests {
             (5.0..80.0).contains(&cg_power),
             "CG average power {cg_power} W"
         );
-        assert!(ng_power < cg_power, "NG ({ng_power} W) should be below CG ({cg_power} W)");
+        assert!(
+            ng_power < cg_power,
+            "NG ({ng_power} W) should be below CG ({cg_power} W)"
+        );
     }
 
     #[test]

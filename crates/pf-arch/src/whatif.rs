@@ -96,8 +96,7 @@ mod tests {
     #[test]
     fn cheaper_memory_always_helps_and_share_shrinks() {
         let base = ArchConfig::photofourier_ng();
-        let points =
-            data_movement_sweep(&base, &DISCUSSION_SCALES, &[resnet18()]).unwrap();
+        let points = data_movement_sweep(&base, &DISCUSSION_SCALES, &[resnet18()]).unwrap();
         assert_eq!(points.len(), DISCUSSION_SCALES.len());
         for pair in points.windows(2) {
             assert!(pair[1].geomean_fps_per_watt > pair[0].geomean_fps_per_watt);
@@ -125,12 +124,8 @@ mod tests {
     #[test]
     fn memory_share_matches_paper_observation() {
         // Paper: data movement consumes more than 30% of NG system power.
-        let points = data_movement_sweep(
-            &ArchConfig::photofourier_ng(),
-            &[1.0],
-            &[resnet18()],
-        )
-        .unwrap();
+        let points =
+            data_movement_sweep(&ArchConfig::photofourier_ng(), &[1.0], &[resnet18()]).unwrap();
         assert!(
             points[0].memory_energy_share > 0.3,
             "NG memory share {}",

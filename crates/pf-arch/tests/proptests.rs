@@ -12,10 +12,10 @@ use proptest::prelude::*;
 
 fn layer_strategy() -> impl Strategy<Value = ConvLayerSpec> {
     (
-        1usize..256,  // in channels
-        1usize..256,  // out channels
-        0usize..3,    // kernel selector -> 1, 3, 5
-        1usize..3,    // stride
+        1usize..256, // in channels
+        1usize..256, // out channels
+        0usize..3,   // kernel selector -> 1, 3, 5
+        1usize..3,   // stride
         prop::sample::select(vec![7usize, 14, 28, 32, 56, 112, 224]),
     )
         .prop_filter_map("kernel must fit", |(in_c, out_c, k_sel, stride, size)| {

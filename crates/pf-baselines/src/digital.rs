@@ -77,8 +77,7 @@ impl SystolicArray {
     /// Inference latency in seconds.
     pub fn latency_s(&self, network: &NetworkSpec) -> f64 {
         let macs = network.total_macs() as f64;
-        let macs_per_second =
-            self.num_pes as f64 * self.clock_ghz * 1e9 * self.utilization;
+        let macs_per_second = self.num_pes as f64 * self.clock_ghz * 1e9 * self.utilization;
         macs / macs_per_second
     }
 

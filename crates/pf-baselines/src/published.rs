@@ -16,13 +16,15 @@ use std::collections::HashMap;
 
 use pf_arch::simulator::NetworkPerformance;
 use pf_nn::models::NetworkSpec;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::AcceleratorModel;
 
 /// Relative factors of one accelerator on one network, versus
 /// PhotoFourier-CG.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+// `Serialize` only: the `&'static str` fields cannot be deserialized from
+// owned data (this is static reference data, never read back).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct NetworkFactors {
     /// Network name the factors apply to.
     pub network: &'static str,
@@ -33,7 +35,7 @@ pub struct NetworkFactors {
 }
 
 /// A prior accelerator described by its factors relative to PhotoFourier-CG.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RelativeReference {
     /// Accelerator name.
     pub name: &'static str,
@@ -59,7 +61,10 @@ impl RelativeReference {
             if let Some(f) = self.factors_for(&perf.network) {
                 points.insert(
                     perf.network.clone(),
-                    (perf.fps * f.fps_vs_cg, perf.fps_per_watt * f.fps_per_watt_vs_cg),
+                    (
+                        perf.fps * f.fps_vs_cg,
+                        perf.fps_per_watt * f.fps_per_watt_vs_cg,
+                    ),
                 );
             }
         }
@@ -100,9 +105,21 @@ pub fn prior_photonic_accelerators() -> Vec<RelativeReference> {
             precision: "8-bit",
             factors: vec![
                 // CG is 5-10x faster and 3-5x more efficient than Albireo-c.
-                NetworkFactors { network: "AlexNet", fps_vs_cg: 1.0 / 6.0, fps_per_watt_vs_cg: 1.0 / 3.0 },
-                NetworkFactors { network: "VGG-16", fps_vs_cg: 1.0 / 8.0, fps_per_watt_vs_cg: 1.0 / 5.0 },
-                NetworkFactors { network: "ResNet-18", fps_vs_cg: 1.0 / 7.0, fps_per_watt_vs_cg: 1.0 / 4.0 },
+                NetworkFactors {
+                    network: "AlexNet",
+                    fps_vs_cg: 1.0 / 6.0,
+                    fps_per_watt_vs_cg: 1.0 / 3.0,
+                },
+                NetworkFactors {
+                    network: "VGG-16",
+                    fps_vs_cg: 1.0 / 8.0,
+                    fps_per_watt_vs_cg: 1.0 / 5.0,
+                },
+                NetworkFactors {
+                    network: "ResNet-18",
+                    fps_vs_cg: 1.0 / 7.0,
+                    fps_per_watt_vs_cg: 1.0 / 4.0,
+                },
             ],
         },
         RelativeReference {
@@ -111,9 +128,21 @@ pub fn prior_photonic_accelerators() -> Vec<RelativeReference> {
             factors: vec![
                 // Albireo-a sits close to PhotoFourier-NG (~2-3x CG): slightly
                 // ahead of NG on AlexNet, slightly behind on VGG-16.
-                NetworkFactors { network: "AlexNet", fps_vs_cg: 0.4, fps_per_watt_vs_cg: 3.0 },
-                NetworkFactors { network: "VGG-16", fps_vs_cg: 0.3, fps_per_watt_vs_cg: 2.2 },
-                NetworkFactors { network: "ResNet-18", fps_vs_cg: 0.35, fps_per_watt_vs_cg: 2.5 },
+                NetworkFactors {
+                    network: "AlexNet",
+                    fps_vs_cg: 0.4,
+                    fps_per_watt_vs_cg: 3.0,
+                },
+                NetworkFactors {
+                    network: "VGG-16",
+                    fps_vs_cg: 0.3,
+                    fps_per_watt_vs_cg: 2.2,
+                },
+                NetworkFactors {
+                    network: "ResNet-18",
+                    fps_vs_cg: 0.35,
+                    fps_per_watt_vs_cg: 2.5,
+                },
             ],
         },
         RelativeReference {
@@ -121,9 +150,21 @@ pub fn prior_photonic_accelerators() -> Vec<RelativeReference> {
             precision: "8-bit",
             factors: vec![
                 // 532x less efficient than CG; low throughput.
-                NetworkFactors { network: "AlexNet", fps_vs_cg: 0.05, fps_per_watt_vs_cg: 1.0 / 532.0 },
-                NetworkFactors { network: "VGG-16", fps_vs_cg: 0.05, fps_per_watt_vs_cg: 1.0 / 532.0 },
-                NetworkFactors { network: "ResNet-18", fps_vs_cg: 0.05, fps_per_watt_vs_cg: 1.0 / 532.0 },
+                NetworkFactors {
+                    network: "AlexNet",
+                    fps_vs_cg: 0.05,
+                    fps_per_watt_vs_cg: 1.0 / 532.0,
+                },
+                NetworkFactors {
+                    network: "VGG-16",
+                    fps_vs_cg: 0.05,
+                    fps_per_watt_vs_cg: 1.0 / 532.0,
+                },
+                NetworkFactors {
+                    network: "ResNet-18",
+                    fps_vs_cg: 0.05,
+                    fps_per_watt_vs_cg: 1.0 / 532.0,
+                },
             ],
         },
         RelativeReference {
@@ -132,9 +173,21 @@ pub fn prior_photonic_accelerators() -> Vec<RelativeReference> {
             factors: vec![
                 // Quantised design: more throughput than CG (on par with NG
                 // for AlexNet), but less efficient than both PF versions.
-                NetworkFactors { network: "AlexNet", fps_vs_cg: 2.2, fps_per_watt_vs_cg: 0.6 },
-                NetworkFactors { network: "VGG-16", fps_vs_cg: 1.5, fps_per_watt_vs_cg: 0.55 },
-                NetworkFactors { network: "ResNet-18", fps_vs_cg: 1.6, fps_per_watt_vs_cg: 0.6 },
+                NetworkFactors {
+                    network: "AlexNet",
+                    fps_vs_cg: 2.2,
+                    fps_per_watt_vs_cg: 0.6,
+                },
+                NetworkFactors {
+                    network: "VGG-16",
+                    fps_vs_cg: 1.5,
+                    fps_per_watt_vs_cg: 0.55,
+                },
+                NetworkFactors {
+                    network: "ResNet-18",
+                    fps_vs_cg: 1.6,
+                    fps_per_watt_vs_cg: 0.6,
+                },
             ],
         },
         RelativeReference {
@@ -142,9 +195,21 @@ pub fn prior_photonic_accelerators() -> Vec<RelativeReference> {
             precision: "7-bit",
             factors: vec![
                 // 704x less efficient than CG.
-                NetworkFactors { network: "AlexNet", fps_vs_cg: 0.08, fps_per_watt_vs_cg: 1.0 / 704.0 },
-                NetworkFactors { network: "VGG-16", fps_vs_cg: 0.08, fps_per_watt_vs_cg: 1.0 / 704.0 },
-                NetworkFactors { network: "ResNet-18", fps_vs_cg: 0.08, fps_per_watt_vs_cg: 1.0 / 704.0 },
+                NetworkFactors {
+                    network: "AlexNet",
+                    fps_vs_cg: 0.08,
+                    fps_per_watt_vs_cg: 1.0 / 704.0,
+                },
+                NetworkFactors {
+                    network: "VGG-16",
+                    fps_vs_cg: 0.08,
+                    fps_per_watt_vs_cg: 1.0 / 704.0,
+                },
+                NetworkFactors {
+                    network: "ResNet-18",
+                    fps_vs_cg: 0.08,
+                    fps_per_watt_vs_cg: 1.0 / 704.0,
+                },
             ],
         },
         RelativeReference {
@@ -153,9 +218,21 @@ pub fn prior_photonic_accelerators() -> Vec<RelativeReference> {
             factors: vec![
                 // Binary design: high throughput, efficiency below both PF
                 // versions.
-                NetworkFactors { network: "AlexNet", fps_vs_cg: 1.8, fps_per_watt_vs_cg: 0.7 },
-                NetworkFactors { network: "VGG-16", fps_vs_cg: 1.4, fps_per_watt_vs_cg: 0.6 },
-                NetworkFactors { network: "ResNet-18", fps_vs_cg: 1.5, fps_per_watt_vs_cg: 0.65 },
+                NetworkFactors {
+                    network: "AlexNet",
+                    fps_vs_cg: 1.8,
+                    fps_per_watt_vs_cg: 0.7,
+                },
+                NetworkFactors {
+                    network: "VGG-16",
+                    fps_vs_cg: 1.4,
+                    fps_per_watt_vs_cg: 0.6,
+                },
+                NetworkFactors {
+                    network: "ResNet-18",
+                    fps_vs_cg: 1.5,
+                    fps_per_watt_vs_cg: 0.65,
+                },
             ],
         },
     ]
@@ -218,7 +295,11 @@ mod tests {
             .collect();
 
         let refs = prior_photonic_accelerators();
-        let albireo_c = refs.iter().find(|r| r.name == "Albireo-c").unwrap().anchored(&cg);
+        let albireo_c = refs
+            .iter()
+            .find(|r| r.name == "Albireo-c")
+            .unwrap()
+            .anchored(&cg);
         let resnet = resnet18();
         let cg_resnet = cg.iter().find(|p| p.network == "ResNet-18").unwrap();
         let ratio = cg_resnet.fps_per_watt / albireo_c.fps_per_watt(&resnet).unwrap();
@@ -230,6 +311,8 @@ mod tests {
 
     #[test]
     fn crosslight_constants() {
-        assert!(CROSSLIGHT_ENERGY_PER_INFERENCE_UJ / PHOTOFOURIER_CG_CROSSLIGHT_ENERGY_UJ > 80.0);
+        let ratio = std::hint::black_box(CROSSLIGHT_ENERGY_PER_INFERENCE_UJ)
+            / PHOTOFOURIER_CG_CROSSLIGHT_ENERGY_UJ;
+        assert!(ratio > 80.0);
     }
 }

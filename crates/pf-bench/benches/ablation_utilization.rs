@@ -22,7 +22,9 @@ fn print_results() {
             format!("{:.1}", row.strided_waste * 100.0),
         ]);
     }
-    println!("\n== Ablation: utilisation and strided-convolution waste (PhotoFourier-CG) ==\n{table}");
+    println!(
+        "\n== Ablation: utilisation and strided-convolution waste (PhotoFourier-CG) ==\n{table}"
+    );
 
     // Section VII what-if: how much cheaper data movement (photonic memory,
     // 3D integration) would still buy for each design point.

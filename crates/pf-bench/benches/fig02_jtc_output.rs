@@ -28,7 +28,9 @@ fn bench(c: &mut Criterion) {
     print_results();
     let jtc = JtcSimulator::new(256).expect("simulator");
     let signal: Vec<f64> = (0..256).map(|i| ((i % 13) as f64) / 13.0).collect();
-    let kernel: Vec<f64> = (0..67).map(|i| if i % 32 < 3 { 0.3 } else { 0.0 }).collect();
+    let kernel: Vec<f64> = (0..67)
+        .map(|i| if i % 32 < 3 { 0.3 } else { 0.0 })
+        .collect();
     let mut group = c.benchmark_group("fig02");
     group.sample_size(20);
     group.bench_function("jtc_output_plane_256", |b| {

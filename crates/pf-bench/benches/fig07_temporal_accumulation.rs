@@ -32,7 +32,11 @@ fn bench(c: &mut Criterion) {
     print_results();
     let adc = Adc::new(8, 0.625, 0.93).expect("adc");
     let cycles: Vec<Vec<f64>> = (0..64)
-        .map(|i| (0..128).map(|j| (((i * 37 + j * 11) % 101) as f64 / 50.0) - 1.0).collect())
+        .map(|i| {
+            (0..128)
+                .map(|j| (((i * 37 + j * 11) % 101) as f64 / 50.0) - 1.0)
+                .collect()
+        })
         .collect();
     let mut group = c.benchmark_group("fig07");
     group.sample_size(30);

@@ -20,7 +20,10 @@ fn print_results() {
     println!("\n== Figure 10: effect of cumulative optimisations (5 CNNs) ==\n{table}");
     println!(
         "total improvement: {:.1}x (paper: ~15x)\n",
-        points.last().map(|p| p.speedup_over_baseline).unwrap_or(0.0)
+        points
+            .last()
+            .map(|p| p.speedup_over_baseline)
+            .unwrap_or(0.0)
     );
 }
 
@@ -29,11 +32,15 @@ fn bench(c: &mut Criterion) {
     let net = resnet18();
     let mut group = c.benchmark_group("fig10");
     group.sample_size(20);
-    for step in [OptimizationStep::Baseline, OptimizationStep::NonlinearMaterial] {
+    for step in [
+        OptimizationStep::Baseline,
+        OptimizationStep::NonlinearMaterial,
+    ] {
         let sim = Simulator::new(step.config()).expect("simulator");
-        group.bench_function(format!("evaluate_{}", step.label().replace(' ', "_")), |b| {
-            b.iter(|| sim.evaluate_network(&net).expect("evaluation"))
-        });
+        group.bench_function(
+            format!("evaluate_{}", step.label().replace(' ', "_")),
+            |b| b.iter(|| sim.evaluate_network(&net).expect("evaluation")),
+        );
     }
     group.finish();
 }

@@ -30,7 +30,11 @@ fn print_results() {
     }
     println!("\n== Table I (part a): per-layer fidelity of the PhotoFourier pipeline ==\n{table}");
 
-    let mut proxy = Table::new(vec!["configuration", "accuracy (%)", "drop vs reference (%)"]);
+    let mut proxy = Table::new(vec![
+        "configuration",
+        "accuracy (%)",
+        "drop vs reference (%)",
+    ]);
     let reference = result.accuracy_proxy[0].1;
     for (label, acc) in &result.accuracy_proxy {
         proxy.row(vec![

@@ -9,20 +9,18 @@ use pf_arch::power::EnergyBreakdown;
 use pf_arch::simulator::{NetworkPerformance, Simulator};
 use pf_arch::ArchError;
 use pf_baselines::digital::SystolicArray;
-use pf_baselines::published::{
-    prior_photonic_accelerators, CROSSLIGHT_ENERGY_PER_INFERENCE_UJ,
-};
+use pf_baselines::published::{prior_photonic_accelerators, CROSSLIGHT_ENERGY_PER_INFERENCE_UJ};
 use pf_baselines::AcceleratorModel;
 use pf_dsp::conv::Matrix;
 use pf_jtc::correlator::JtcSimulator;
-use pf_jtc::temporal::{accumulate_with_depth, accumulate_quantized_per_cycle};
+use pf_jtc::temporal::{accumulate_quantized_per_cycle, accumulate_with_depth};
 use pf_nn::dataset::{DatasetConfig, SyntheticDataset};
 use pf_nn::executor::{PipelineConfig, ReferenceExecutor, TiledExecutor};
 use pf_nn::fidelity::{evaluate_network, FidelityConfig, FidelityReport};
 use pf_nn::models::cifar::{crosslight_cnn, resnet_s};
 use pf_nn::models::imagenet::{alexnet, resnet18, vgg16};
-use pf_nn::models::{comparison_suite, paper_benchmark_suite, NetworkSpec};
 use pf_nn::models::small::SmallCnn;
+use pf_nn::models::{comparison_suite, paper_benchmark_suite, NetworkSpec};
 use pf_nn::train::{accuracy, train_linear_probe, TrainConfig};
 use pf_photonics::adc::Adc;
 use pf_tiling::{tile_input_rows, tile_kernel, DigitalEngine};
@@ -74,8 +72,11 @@ pub fn fig02_jtc_output() -> Result<Fig2Result, pf_jtc::JtcError> {
     let jtc = JtcSimulator::new(256)?;
     let output = jtc.output_plane(&tiled_input, &tiled_kernel)?;
     let extracted = output.valid_correlation();
-    let reference =
-        pf_dsp::conv::correlate1d(&tiled_input, &tiled_kernel, pf_dsp::conv::PaddingMode::Valid);
+    let reference = pf_dsp::conv::correlate1d(
+        &tiled_input,
+        &tiled_kernel,
+        pf_dsp::conv::PaddingMode::Valid,
+    );
     Ok(Fig2Result {
         intensity: output.intensity_shifted(),
         terms_separated: output.terms_are_separated(1e-6),
@@ -301,8 +302,11 @@ pub fn fig07_temporal_accumulation() -> Result<Fig7Result, Box<dyn std::error::E
         let accumulated = accumulate_with_depth(&cycles, depth, &adc, full_scale)?;
         let psum_relative_error = pf_dsp::util::relative_l2_error(&accumulated, &exact);
 
-        let executor =
-            TiledExecutor::new(DigitalEngine, 256, PipelineConfig::with_temporal_depth(depth))?;
+        let executor = TiledExecutor::new(
+            DigitalEngine,
+            256,
+            PipelineConfig::with_temporal_depth(depth),
+        )?;
         let features = cnn.features_batch(&test_set.images, &executor)?;
         let acc = accuracy(&probe, &features, &test_set.labels)?;
         points.push(Fig7Point {
@@ -542,11 +546,16 @@ pub fn fig13_comparison() -> Result<Vec<ComparisonRow>, ArchError> {
         rows.push(ComparisonRow {
             accelerator: unpu.name().to_string(),
             network: network.name.clone(),
-            fps: unpu.fps(network).expect("systolic model covers all networks"),
+            fps: unpu
+                .fps(network)
+                .expect("systolic model covers all networks"),
             fps_per_watt: unpu
                 .fps_per_watt(network)
                 .expect("systolic model covers all networks"),
-            inverse_edp: 1.0 / unpu.edp(network).expect("systolic model covers all networks"),
+            inverse_edp: 1.0
+                / unpu
+                    .edp(network)
+                    .expect("systolic model covers all networks"),
         });
     }
     Ok(rows)
@@ -619,7 +628,8 @@ pub fn ablation_utilization() -> Result<Vec<UtilizationRow>, ArchError> {
             .layers
             .iter()
             .map(|l| {
-                l.schedule.waveguide_utilization(config.tech.input_waveguides)
+                l.schedule
+                    .waveguide_utilization(config.tech.input_waveguides)
                     * l.schedule.total_cycles as f64
             })
             .sum::<f64>()
@@ -629,7 +639,11 @@ pub fn ablation_utilization() -> Result<Vec<UtilizationRow>, ArchError> {
             .iter()
             .map(|l| (l.input_size * l.input_size) as u64 * l.out_channels as u64)
             .sum();
-        let kept: u64 = network.conv_layers.iter().map(|l| l.output_activations()).sum();
+        let kept: u64 = network
+            .conv_layers
+            .iter()
+            .map(|l| l.output_activations())
+            .sum();
         rows.push(UtilizationRow {
             network: network.name.clone(),
             avg_waveguide_utilization: weighted_util,
@@ -664,7 +678,10 @@ mod tests {
         assert_eq!(sweeps.len(), 3);
         let (n, points) = &sweeps[0];
         assert_eq!(*n, 8);
-        let best = points.iter().map(|p| p.objective).fold(f64::INFINITY, f64::min);
+        let best = points
+            .iter()
+            .map(|p| p.objective)
+            .fold(f64::INFINITY, f64::min);
         assert!((best - 1.5).abs() < 1e-12);
     }
 
@@ -703,10 +720,10 @@ mod tests {
                 .iter()
                 .find(|r| r.accelerator == "PhotoFourier-NG" && r.network == network)
                 .unwrap();
-            for row in rows.iter().filter(|r| {
-                r.network == network
-                    && !r.accelerator.starts_with("PhotoFourier")
-            }) {
+            for row in rows
+                .iter()
+                .filter(|r| r.network == network && !r.accelerator.starts_with("PhotoFourier"))
+            {
                 assert!(
                     ng.inverse_edp > row.inverse_edp,
                     "{} beats NG on {network}",

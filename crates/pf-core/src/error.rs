@@ -1,0 +1,180 @@
+//! The unified error type of the PhotoFourier facade.
+//!
+//! Every sub-crate keeps its own focused error enum; [`PfError`] wraps all
+//! six behind `From` impls so facade-level code (and downstream users) can
+//! use one `Result<_, PfError>` end to end with `?`.
+
+use std::error::Error;
+use std::fmt;
+
+use pf_arch::ArchError;
+use pf_dsp::DspError;
+use pf_jtc::JtcError;
+use pf_nn::NnError;
+use pf_photonics::PhotonicsError;
+use pf_tiling::TilingError;
+
+/// Any error the PhotoFourier stack can produce, from the DSP substrate up
+/// to the architecture simulator, plus facade-level configuration errors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PfError {
+    /// Error from the DSP substrate (`pf-dsp`).
+    Dsp(DspError),
+    /// Error from the photonic component models (`pf-photonics`).
+    Photonics(PhotonicsError),
+    /// Error from the row-tiling algorithms (`pf-tiling`).
+    Tiling(TilingError),
+    /// Error from the JTC optics simulation (`pf-jtc`).
+    Jtc(JtcError),
+    /// Error from the neural-network substrate (`pf-nn`).
+    Nn(NnError),
+    /// Error from the architecture simulator (`pf-arch`).
+    Arch(ArchError),
+    /// A scenario or session was configured inconsistently.
+    InvalidScenario {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A scenario file could not be parsed or serialized.
+    Format {
+        /// The serialization format involved.
+        format: &'static str,
+        /// Parser / serializer message.
+        reason: String,
+    },
+}
+
+impl PfError {
+    /// Convenience constructor for facade-level configuration errors.
+    pub fn invalid_scenario(reason: impl Into<String>) -> Self {
+        PfError::InvalidScenario {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for PfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfError::Dsp(e) => write!(f, "dsp: {e}"),
+            PfError::Photonics(e) => write!(f, "photonics: {e}"),
+            PfError::Tiling(e) => write!(f, "tiling: {e}"),
+            PfError::Jtc(e) => write!(f, "jtc: {e}"),
+            PfError::Nn(e) => write!(f, "nn: {e}"),
+            PfError::Arch(e) => write!(f, "arch: {e}"),
+            PfError::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            PfError::Format { format, reason } => write!(f, "{format} error: {reason}"),
+        }
+    }
+}
+
+impl Error for PfError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PfError::Dsp(e) => Some(e),
+            PfError::Photonics(e) => Some(e),
+            PfError::Tiling(e) => Some(e),
+            PfError::Jtc(e) => Some(e),
+            PfError::Nn(e) => Some(e),
+            PfError::Arch(e) => Some(e),
+            PfError::InvalidScenario { .. } | PfError::Format { .. } => None,
+        }
+    }
+}
+
+impl From<DspError> for PfError {
+    fn from(e: DspError) -> Self {
+        PfError::Dsp(e)
+    }
+}
+
+impl From<PhotonicsError> for PfError {
+    fn from(e: PhotonicsError) -> Self {
+        PfError::Photonics(e)
+    }
+}
+
+impl From<TilingError> for PfError {
+    fn from(e: TilingError) -> Self {
+        PfError::Tiling(e)
+    }
+}
+
+impl From<JtcError> for PfError {
+    fn from(e: JtcError) -> Self {
+        PfError::Jtc(e)
+    }
+}
+
+impl From<NnError> for PfError {
+    fn from(e: NnError) -> Self {
+        PfError::Nn(e)
+    }
+}
+
+impl From<ArchError> for PfError {
+    fn from(e: ArchError) -> Self {
+        PfError::Arch(e)
+    }
+}
+
+impl From<serde_json::Error> for PfError {
+    fn from(e: serde_json::Error) -> Self {
+        PfError::Format {
+            format: "json",
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<toml::Error> for PfError {
+    fn from(e: toml::Error) -> Self {
+        PfError::Format {
+            format: "toml",
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_subcrate_error() {
+        let errors: Vec<PfError> = vec![
+            DspError::EmptyInput { what: "signal" }.into(),
+            PhotonicsError::UnsupportedResolution { bits: 99 }.into(),
+            TilingError::EmptyOperand { what: "kernel" }.into(),
+            JtcError::EmptyOperand { what: "kernel" }.into(),
+            NnError::InvalidParameter {
+                name: "depth",
+                requirement: "positive".into(),
+            }
+            .into(),
+            ArchError::InvalidConfig {
+                name: "pfcus",
+                requirement: "positive".into(),
+            }
+            .into(),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn source_chains_are_preserved() {
+        let e = PfError::from(JtcError::from(DspError::EmptyInput { what: "signal" }));
+        let source = Error::source(&e).expect("jtc error has a source");
+        assert!(source.to_string().contains("dsp error"));
+        assert!(Error::source(&PfError::invalid_scenario("x")).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PfError>();
+    }
+}

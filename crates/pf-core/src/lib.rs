@@ -1,0 +1,30 @@
+//! Core facade types for the PhotoFourier reproduction: one error, one
+//! backend abstraction, one declarative scenario format.
+//!
+//! The workspace's sub-crates each expose a focused API with its own error
+//! enum; this crate is the glue that makes them feel like one system:
+//!
+//! * [`PfError`] — a unified error with `From` impls from every sub-crate
+//!   error (`DspError`, `PhotonicsError`, `TilingError`, `JtcError`,
+//!   `NnError`, `ArchError`), so facade code composes with `?`;
+//! * [`Backend`] — a trait object unifying the digital reference engine and
+//!   the ideal / noisy simulated JTC engines behind a string/enum registry
+//!   ([`BackendKind`], [`BackendSpec`]);
+//! * [`Scenario`] — a serde-backed experiment description (network +
+//!   backend + architecture + pipeline options) loadable from TOML or JSON,
+//!   so experiments are data, not code.
+//!
+//! The `photofourier` facade crate builds its `Session` API on these types.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod backend;
+pub mod error;
+pub mod scenario;
+
+pub use backend::{Backend, BackendKind, BackendSpec};
+pub use error::PfError;
+pub use scenario::{
+    network_by_name, ArchPreset, ArchSpec, FunctionalSpec, Scenario, NETWORK_REGISTRY,
+};

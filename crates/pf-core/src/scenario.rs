@@ -1,0 +1,396 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] captures everything a PhotoFourier experiment needs —
+//! which network, which compute backend, which accelerator design point and
+//! which numeric-pipeline options — as plain data, loadable from TOML or
+//! JSON. Experiments become files instead of code, the way large
+//! characterization studies drive many configurations through one harness.
+
+use pf_arch::config::ArchConfig;
+use pf_nn::executor::PipelineConfig;
+use pf_nn::models::{self, NetworkSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::backend::BackendSpec;
+use crate::error::PfError;
+
+/// Registry of the networks a scenario can reference by name.
+pub const NETWORK_REGISTRY: [&str; 7] = [
+    "alexnet",
+    "vgg16",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "resnet_s",
+    "crosslight_cnn",
+];
+
+/// Resolves a network registry name to its layer inventory.
+///
+/// # Errors
+///
+/// Returns [`PfError::InvalidScenario`] for unknown names.
+pub fn network_by_name(name: &str) -> Result<NetworkSpec, PfError> {
+    match name {
+        "alexnet" => Ok(models::imagenet::alexnet()),
+        "vgg16" => Ok(models::imagenet::vgg16()),
+        "resnet18" => Ok(models::imagenet::resnet18()),
+        "resnet34" => Ok(models::imagenet::resnet34()),
+        "resnet50" => Ok(models::imagenet::resnet50()),
+        "resnet_s" => Ok(models::cifar::resnet_s()),
+        "crosslight_cnn" => Ok(models::cifar::crosslight_cnn()),
+        other => Err(PfError::invalid_scenario(format!(
+            "unknown network `{other}` (known: {})",
+            NETWORK_REGISTRY.join(", ")
+        ))),
+    }
+}
+
+/// The accelerator design points a scenario can start from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ArchPreset {
+    /// PhotoFourier-CG: 8 PFCUs, 14 nm CMOS chiplet.
+    #[default]
+    PhotofourierCg,
+    /// PhotoFourier-NG: 16 PFCUs, 7 nm monolithic, passive non-linearity.
+    PhotofourierNg,
+    /// The un-optimised single-PFCU baseline of Section V-B.
+    BaselineSinglePfcu,
+}
+
+impl ArchPreset {
+    /// The base configuration of this preset.
+    pub fn base_config(self) -> ArchConfig {
+        match self {
+            ArchPreset::PhotofourierCg => ArchConfig::photofourier_cg(),
+            ArchPreset::PhotofourierNg => ArchConfig::photofourier_ng(),
+            ArchPreset::BaselineSinglePfcu => ArchConfig::baseline_single_pfcu(),
+        }
+    }
+}
+
+/// Declarative accelerator selection: a named design point plus optional
+/// overrides for the knobs the design-space exploration sweeps.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArchSpec {
+    /// Which design point to start from.
+    pub preset: ArchPreset,
+    /// Overrides the PFCU count (keeping full input broadcasting).
+    pub num_pfcus: Option<usize>,
+    /// Overrides the number of input waveguides per PFCU.
+    pub input_waveguides: Option<usize>,
+    /// Overrides the chip area budget in mm².
+    pub area_budget_mm2: Option<f64>,
+}
+
+impl ArchSpec {
+    /// A spec selecting a preset with no overrides.
+    pub fn preset(preset: ArchPreset) -> Self {
+        Self {
+            preset,
+            ..Self::default()
+        }
+    }
+
+    /// Resolves the spec into a validated [`ArchConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::Arch`] if the overridden configuration is
+    /// inconsistent.
+    pub fn resolve(&self) -> Result<ArchConfig, PfError> {
+        let mut config = self.preset.base_config();
+        match (self.num_pfcus, self.input_waveguides) {
+            (None, None) => {}
+            (pfcus, waveguides) => {
+                let pfcus = pfcus.unwrap_or(config.tech.num_pfcus);
+                let waveguides = waveguides.unwrap_or(config.tech.input_waveguides);
+                config = config.with_pfcus_and_waveguides(pfcus, waveguides);
+            }
+        }
+        if let Some(budget) = self.area_budget_mm2 {
+            config.area_budget_mm2 = budget;
+        }
+        Ok(config.validated()?)
+    }
+}
+
+/// The runnable functional network (a seeded random two-layer CNN feature
+/// extractor — the reproduction's stand-in for shipping ImageNet weights;
+/// see `pf_nn::models::small`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionalSpec {
+    /// Input image channels.
+    pub input_channels: usize,
+    /// Input image height/width (must be a multiple of 4).
+    pub input_size: usize,
+    /// Seed of the fixed random extractor weights.
+    pub weight_seed: u64,
+}
+
+impl Default for FunctionalSpec {
+    fn default() -> Self {
+        Self {
+            input_channels: 1,
+            input_size: 16,
+            weight_seed: 42,
+        }
+    }
+}
+
+/// A complete, declarative experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (for reports).
+    pub name: String,
+    /// Network registry name, e.g. `"resnet18"` (drives the performance
+    /// model; see [`NETWORK_REGISTRY`]).
+    pub network: String,
+    /// Which 1D convolution substrate functional execution runs on.
+    pub backend: BackendSpec,
+    /// Which accelerator design point the performance model evaluates.
+    pub arch: ArchSpec,
+    /// Numeric-pipeline options for functional execution.
+    pub pipeline: PipelineConfig,
+    /// Shape/seed of the runnable functional network.
+    pub functional: FunctionalSpec,
+}
+
+impl Scenario {
+    /// A scenario with the given name, network and backend, and default
+    /// architecture/pipeline settings.
+    pub fn new(name: impl Into<String>, network: impl Into<String>, backend: BackendSpec) -> Self {
+        Self {
+            name: name.into(),
+            network: network.into(),
+            backend,
+            arch: ArchSpec::default(),
+            pipeline: PipelineConfig::ideal(),
+            functional: FunctionalSpec::default(),
+        }
+    }
+
+    /// Checks internal consistency without instantiating anything heavy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] (or a propagated sub-crate
+    /// error) describing the first problem found.
+    pub fn validate(&self) -> Result<(), PfError> {
+        if self.name.is_empty() {
+            return Err(PfError::invalid_scenario("scenario name must not be empty"));
+        }
+        network_by_name(&self.network)?;
+        if self.backend.capacity == 0 {
+            return Err(PfError::invalid_scenario(
+                "backend capacity must be at least 1",
+            ));
+        }
+        if self.pipeline.temporal_depth == 0 {
+            return Err(PfError::invalid_scenario(
+                "pipeline temporal_depth must be at least 1",
+            ));
+        }
+        if self.functional.input_channels == 0 {
+            return Err(PfError::invalid_scenario(
+                "functional input_channels must be at least 1",
+            ));
+        }
+        if self.functional.input_size == 0 || !self.functional.input_size.is_multiple_of(4) {
+            return Err(PfError::invalid_scenario(
+                "functional input_size must be a non-zero multiple of 4",
+            ));
+        }
+        self.arch.resolve()?;
+        Ok(())
+    }
+
+    /// Resolves the network registry name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] for unknown names.
+    pub fn network_spec(&self) -> Result<NetworkSpec, PfError> {
+        network_by_name(&self.network)
+    }
+
+    /// Serializes to TOML.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::Format`] on serialization failure.
+    pub fn to_toml(&self) -> Result<String, PfError> {
+        Ok(toml::to_string(self)?)
+    }
+
+    /// Parses a scenario from TOML and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::Format`] for malformed TOML or
+    /// [`PfError::InvalidScenario`] for inconsistent contents.
+    pub fn from_toml(text: &str) -> Result<Self, PfError> {
+        let scenario: Scenario = toml::from_str(text)?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Serializes to pretty-printed JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::Format`] on serialization failure.
+    pub fn to_json(&self) -> Result<String, PfError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses a scenario from JSON and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::Format`] for malformed JSON or
+    /// [`PfError::InvalidScenario`] for inconsistent contents.
+    pub fn from_json(text: &str) -> Result<Self, PfError> {
+        let scenario: Scenario = serde_json::from_str(text)?;
+        scenario.validate()?;
+        Ok(scenario)
+    }
+
+    /// Loads a scenario from a `.toml` or `.json` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::Format`] for unreadable files or unknown
+    /// extensions, and the usual parse/validation errors otherwise.
+    pub fn from_path(path: impl AsRef<std::path::Path>) -> Result<Self, PfError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| PfError::Format {
+            format: "file",
+            reason: format!("{}: {e}", path.display()),
+        })?;
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("toml") => Self::from_toml(&text),
+            Some("json") => Self::from_json(&text),
+            other => Err(PfError::Format {
+                format: "file",
+                reason: format!("unsupported scenario extension {other:?} (use .toml or .json)"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendKind;
+
+    fn demo() -> Scenario {
+        let mut scenario = Scenario::new("demo", "resnet18", BackendSpec::photofourier_cg(256));
+        scenario.arch = ArchSpec {
+            preset: ArchPreset::PhotofourierNg,
+            num_pfcus: Some(32),
+            input_waveguides: Some(105),
+            area_budget_mm2: Some(80.0),
+        };
+        scenario.pipeline = PipelineConfig::photofourier_default();
+        scenario
+    }
+
+    #[test]
+    fn registry_is_complete() {
+        for name in NETWORK_REGISTRY {
+            assert!(network_by_name(name).is_ok(), "{name}");
+        }
+        assert!(network_by_name("lenet").is_err());
+    }
+
+    #[test]
+    fn toml_round_trip_preserves_everything() {
+        let scenario = demo();
+        let text = scenario.to_toml().unwrap();
+        let back = Scenario::from_toml(&text).unwrap();
+        assert_eq!(back, scenario);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let scenario = demo();
+        let text = scenario.to_json().unwrap();
+        let back = Scenario::from_json(&text).unwrap();
+        assert_eq!(back, scenario);
+    }
+
+    #[test]
+    fn validation_rejects_bad_scenarios() {
+        let mut s = demo();
+        s.network = "lenet".into();
+        assert!(s.validate().is_err());
+
+        let mut s = demo();
+        s.backend.capacity = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = demo();
+        s.pipeline.temporal_depth = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = demo();
+        s.functional.input_size = 15;
+        assert!(s.validate().is_err());
+
+        let mut s = demo();
+        s.arch.num_pfcus = Some(0);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn arch_overrides_apply() {
+        let config = demo().arch.resolve().unwrap();
+        assert_eq!(config.tech.num_pfcus, 32);
+        assert_eq!(config.tech.input_waveguides, 105);
+        assert_eq!(config.area_budget_mm2, 80.0);
+        // Preset with no overrides resolves to the stock design point.
+        let stock = ArchSpec::preset(ArchPreset::PhotofourierCg)
+            .resolve()
+            .unwrap();
+        assert_eq!(stock, ArchConfig::photofourier_cg());
+    }
+
+    #[test]
+    fn handwritten_toml_parses() {
+        let text = r#"
+name = "hand"
+network = "crosslight_cnn"
+
+[backend]
+kind = "JtcIdeal"
+capacity = 256
+
+[arch]
+preset = "PhotofourierCg"
+
+[pipeline]
+temporal_depth = 16
+psum_adc_bits = 8
+pseudo_negative = true
+edge_handling = "Wraparound"
+
+[pipeline.weight_quant]
+bits = 8
+enabled = true
+
+[pipeline.activation_quant]
+bits = 8
+enabled = true
+
+[functional]
+input_channels = 1
+input_size = 16
+weight_seed = 42
+"#;
+        let scenario = Scenario::from_toml(text).unwrap();
+        assert_eq!(scenario.backend.kind, BackendKind::JtcIdeal);
+        assert_eq!(scenario.pipeline.temporal_depth, 16);
+        assert_eq!(scenario.arch.num_pfcus, None);
+    }
+}

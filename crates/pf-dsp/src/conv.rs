@@ -206,7 +206,11 @@ pub fn conv2d(input: &Matrix, kernel: &Matrix, mode: PaddingMode) -> Matrix {
     let mut flipped = Matrix::zeros(kernel.rows(), kernel.cols());
     for r in 0..kernel.rows() {
         for c in 0..kernel.cols() {
-            flipped.set(r, c, kernel.get(kernel.rows() - 1 - r, kernel.cols() - 1 - c));
+            flipped.set(
+                r,
+                c,
+                kernel.get(kernel.rows() - 1 - r, kernel.cols() - 1 - c),
+            );
         }
     }
     correlate2d(input, &flipped, mode)
@@ -375,12 +379,7 @@ mod tests {
     #[test]
     fn conv2d_separable_matches_two_1d() {
         // A separable kernel k = u v^T gives conv2d(x,k) = conv over rows then cols.
-        let input = Matrix::new(
-            4,
-            4,
-            (0..16).map(|x| (x as f64 * 0.37).sin()).collect(),
-        )
-        .unwrap();
+        let input = Matrix::new(4, 4, (0..16).map(|x| (x as f64 * 0.37).sin()).collect()).unwrap();
         let u = [1.0, 2.0, 1.0];
         let v = [0.5, 0.0, -0.5];
         let mut kdata = Vec::new();

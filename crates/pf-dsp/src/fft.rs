@@ -203,10 +203,7 @@ mod tests {
 
     #[test]
     fn fft_rejects_bad_lengths() {
-        assert!(matches!(
-            fft(&[]),
-            Err(DspError::EmptyInput { .. })
-        ));
+        assert!(matches!(fft(&[]), Err(DspError::EmptyInput { .. })));
         let x = vec![Complex::ONE; 3];
         assert!(matches!(fft(&x), Err(DspError::InvalidLength { .. })));
     }

@@ -84,7 +84,11 @@ pub fn mse(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn snr_db(signal: &[f64], reference: &[f64]) -> f64 {
-    assert_eq!(signal.len(), reference.len(), "snr_db requires equal lengths");
+    assert_eq!(
+        signal.len(),
+        reference.len(),
+        "snr_db requires equal lengths"
+    );
     let sig: f64 = reference.iter().map(|x| x * x).sum();
     let err: f64 = signal
         .iter()

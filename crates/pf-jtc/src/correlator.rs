@@ -94,7 +94,8 @@ impl JtcOutput {
         // Guard band: between the end of the central term and the start of
         // the + lobe (and symmetrically for the - lobe).
         let central_halfwidth = self.signal_len.max(self.kernel_len);
-        let lobe_start = self.correlation_center - (self.signal_len - 1).min(self.correlation_center);
+        let lobe_start =
+            self.correlation_center - (self.signal_len - 1).min(self.correlation_center);
         if lobe_start <= central_halfwidth + 1 {
             return false;
         }
@@ -103,7 +104,8 @@ impl JtcOutput {
         // Symmetric guard on the conjugate side.
         let conj_center = n - self.correlation_center;
         let conj_end = conj_center + (self.signal_len - 1).min(n - conj_center - 1);
-        let guard2 = &self.field[(conj_end + 1).min(n - 1)..(n - central_halfwidth - 1).max(conj_end + 1)];
+        let guard2 =
+            &self.field[(conj_end + 1).min(n - 1)..(n - central_halfwidth - 1).max(conj_end + 1)];
         let guard2_max = guard2.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         guard_max.max(guard2_max) <= threshold * peak
     }
@@ -245,7 +247,7 @@ mod tests {
             Err(JtcError::EmptyOperand { .. })
         ));
         assert!(matches!(
-            jtc.correlate(&vec![1.0; 17], &[1.0]),
+            jtc.correlate(&[1.0; 17], &[1.0]),
             Err(JtcError::InputTooLarge { .. })
         ));
     }
@@ -312,26 +314,31 @@ mod tests {
         let signal = vec![1.0, 2.0, 2.0, 1.0];
         let kernel = vec![1.0, 1.0];
         let out = jtc.output_plane(&signal, &kernel).unwrap();
-        let energy: f64 = signal.iter().map(|x| x * x).sum::<f64>()
-            + kernel.iter().map(|x| x * x).sum::<f64>();
+        let energy: f64 =
+            signal.iter().map(|x| x * x).sum::<f64>() + kernel.iter().map(|x| x * x).sum::<f64>();
         assert!((out.field[0] - energy).abs() < 1e-9);
     }
 
     #[test]
     fn intensity_shifted_has_three_lobes() {
         let jtc = JtcSimulator::new(64).unwrap();
-        let signal: Vec<f64> = (0..48).map(|i| if i % 5 == 0 { 1.0 } else { 0.2 }).collect();
+        let signal: Vec<f64> = (0..48)
+            .map(|i| if i % 5 == 0 { 1.0 } else { 0.2 })
+            .collect();
         let kernel = vec![1.0, 0.5, 0.25];
         let out = jtc.output_plane(&signal, &kernel).unwrap();
         let shifted = out.intensity_shifted();
         assert_eq!(shifted.len(), jtc.grid_size());
         // Centre lobe at the middle of the shifted plot.
         let mid = shifted.len() / 2;
-        let center_peak: f64 = shifted[mid - 2..mid + 2].iter().cloned().fold(0.0, f64::max);
+        let center_peak: f64 = shifted[mid - 2..mid + 2]
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
         assert!(center_peak > 0.0);
         // Energy exists away from the centre (the correlation lobes).
-        let side_energy: f64 = shifted[..mid - 200].iter().sum::<f64>()
-            + shifted[mid + 200..].iter().sum::<f64>();
+        let side_energy: f64 =
+            shifted[..mid - 200].iter().sum::<f64>() + shifted[mid + 200..].iter().sum::<f64>();
         assert!(side_energy > 0.0);
     }
 

@@ -189,15 +189,10 @@ impl JtcEngine {
 
 impl Conv1dEngine for JtcEngine {
     fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
-        match self.correlate(signal, kernel) {
-            Ok(v) => v,
-            Err(_) => {
-                // The Conv1dEngine contract is shape-only; an oversized or
-                // empty call degenerates to an empty result, matching the
-                // digital reference behaviour.
-                Vec::new()
-            }
-        }
+        // The Conv1dEngine contract is shape-only; an oversized or empty
+        // call degenerates to an empty result, matching the digital
+        // reference behaviour.
+        self.correlate(signal, kernel).unwrap_or_default()
     }
 
     fn max_signal_len(&self) -> Option<usize> {
@@ -248,7 +243,10 @@ mod tests {
         let digital = correlate1d(&signal, &kernel, PaddingMode::Valid);
         let err = relative_l2_error(&optical, &digital);
         assert!(err > 0.0, "quantisation should introduce some error");
-        assert!(err < 0.05, "8-bit quantisation error should stay small: {err}");
+        assert!(
+            err < 0.05,
+            "8-bit quantisation error should stay small: {err}"
+        );
     }
 
     #[test]

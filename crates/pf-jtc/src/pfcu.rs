@@ -91,10 +91,7 @@ impl Pfcu {
         if config.engine.capacity != config.input_waveguides {
             return Err(JtcError::InvalidConfig {
                 name: "engine.capacity",
-                requirement: format!(
-                    "must equal input_waveguides ({})",
-                    config.input_waveguides
-                ),
+                requirement: format!("must equal input_waveguides ({})", config.input_waveguides),
             });
         }
         let engine = JtcEngine::new(config.engine.clone())?;

@@ -159,10 +159,10 @@ fn smooth_pattern(size: usize, rng: &mut StdRng) -> Tensor {
     let components: Vec<(f64, f64, f64, f64)> = (0..4)
         .map(|_| {
             (
-                rng.gen_range(0.5..2.5),                       // fx
-                rng.gen_range(0.5..2.5),                       // fy
-                rng.gen_range(0.0..std::f64::consts::TAU),     // phase
-                rng.gen_range(0.3..1.0),                       // amplitude
+                rng.gen_range(0.5..2.5),                   // fx
+                rng.gen_range(0.5..2.5),                   // fy
+                rng.gen_range(0.0..std::f64::consts::TAU), // phase
+                rng.gen_range(0.3..1.0),                   // amplitude
             )
         })
         .collect();
@@ -194,11 +194,15 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let mut cfg = DatasetConfig::default();
-        cfg.num_classes = 1;
+        let cfg = DatasetConfig {
+            num_classes: 1,
+            ..Default::default()
+        };
         assert!(SyntheticDataset::new(cfg).is_err());
-        let mut cfg = DatasetConfig::default();
-        cfg.image_size = 0;
+        let cfg = DatasetConfig {
+            image_size: 0,
+            ..Default::default()
+        };
         assert!(SyntheticDataset::new(cfg).is_err());
         assert!(SyntheticDataset::new(DatasetConfig::default()).is_ok());
     }

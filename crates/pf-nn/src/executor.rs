@@ -49,7 +49,8 @@ impl Conv2dExecutor for ReferenceExecutor {
         for o in 0..layer.out_channels() {
             let mut acc: Option<Matrix> = None;
             for i in 0..layer.in_channels() {
-                let partial = correlate2d(&input.channel(i), &layer.weights.filter_plane(o, i), mode);
+                let partial =
+                    correlate2d(&input.channel(i), &layer.weights.filter_plane(o, i), mode);
                 acc = Some(match acc {
                     None => partial,
                     Some(mut a) => {
@@ -72,7 +73,7 @@ impl Conv2dExecutor for ReferenceExecutor {
             }
             channels.push(subsample(&plane, layer.stride));
         }
-        Ok(Tensor::from_channels(&channels)?)
+        Tensor::from_channels(&channels)
     }
 }
 
@@ -215,11 +216,8 @@ impl<E: Conv1dEngine> Conv2dExecutor for TiledExecutor<E> {
                 partials.push(partial);
             }
 
-            let mut plane = accumulate_partials(
-                &partials,
-                self.config.temporal_depth,
-                psum_adc.as_ref(),
-            );
+            let mut plane =
+                accumulate_partials(&partials, self.config.temporal_depth, psum_adc.as_ref());
             if layer.bias[o] != 0.0 {
                 for r in 0..plane.rows() {
                     for c in 0..plane.cols() {
@@ -229,7 +227,7 @@ impl<E: Conv1dEngine> Conv2dExecutor for TiledExecutor<E> {
             }
             out_channels.push(subsample(&plane, layer.stride));
         }
-        Ok(Tensor::from_channels(&out_channels)?)
+        Tensor::from_channels(&out_channels)
     }
 }
 
@@ -263,9 +261,8 @@ fn accumulate_partials(partials: &[Matrix], depth: usize, adc: Option<&Adc>) -> 
         .iter()
         .flat_map(|p| p.data().iter())
         .fold(0.0f64, |m, &v| m.max(v.abs()));
-    let full_scale = (max_partial
-        * pf_photonics::params::TEMPORAL_ACCUMULATION_DEPTH as f64)
-        .max(f64::EPSILON);
+    let full_scale =
+        (max_partial * pf_photonics::params::TEMPORAL_ACCUMULATION_DEPTH as f64).max(f64::EPSILON);
 
     let mut digital_acc: Option<Matrix> = None;
     let mut analog_acc: Option<Matrix> = None;

@@ -316,7 +316,11 @@ pub fn avg_pool2d(input: &Tensor, window: usize) -> Tensor {
 ///
 /// Panics if the input is not 3D.
 pub fn global_avg_pool(input: &Tensor) -> Vec<f64> {
-    assert_eq!(input.shape().len(), 3, "global_avg_pool requires a 3D tensor");
+    assert_eq!(
+        input.shape().len(),
+        3,
+        "global_avg_pool requires a 3D tensor"
+    );
     let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
     (0..c)
         .map(|ch| {

@@ -13,8 +13,16 @@ fn conv(
     stride: usize,
     input_size: usize,
 ) -> ConvLayerSpec {
-    ConvLayerSpec::new(name, in_channels, out_channels, kernel, stride, input_size, true)
-        .expect("static layer definitions are valid")
+    ConvLayerSpec::new(
+        name,
+        in_channels,
+        out_channels,
+        kernel,
+        stride,
+        input_size,
+        true,
+    )
+    .expect("static layer definitions are valid")
 }
 
 /// ResNet-s: the compressed CIFAR-10 ResNet (MLPerf Tiny image

@@ -15,8 +15,16 @@ fn conv(
     stride: usize,
     input_size: usize,
 ) -> ConvLayerSpec {
-    ConvLayerSpec::new(name, in_channels, out_channels, kernel, stride, input_size, true)
-        .expect("static layer definitions are valid")
+    ConvLayerSpec::new(
+        name,
+        in_channels,
+        out_channels,
+        kernel,
+        stride,
+        input_size,
+        true,
+    )
+    .expect("static layer definitions are valid")
 }
 
 /// AlexNet (Krizhevsky et al., 2012): five convolution layers, the first
@@ -217,7 +225,10 @@ mod tests {
     fn vgg16_shape_inventory() {
         let net = vgg16();
         assert_eq!(net.num_conv_layers(), 13);
-        assert!(net.conv_layers.iter().all(|l| l.kernel == 3 && l.stride == 1));
+        assert!(net
+            .conv_layers
+            .iter()
+            .all(|l| l.kernel == 3 && l.stride == 1));
         // VGG-16 convolution MACs ~ 15.3 GMACs.
         let gmacs = net.total_macs() as f64 / 1e9;
         assert!((14.0..17.0).contains(&gmacs), "VGG-16 GMACs {gmacs}");

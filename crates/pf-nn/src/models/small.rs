@@ -34,7 +34,7 @@ impl SmallCnn {
     /// Returns [`NnError::InvalidParameter`] if the input size is not a
     /// multiple of 4 (two 2× poolings) or any dimension is zero.
     pub fn new(input_channels: usize, input_size: usize, seed: u64) -> Result<Self, NnError> {
-        if input_channels == 0 || input_size == 0 || input_size % 4 != 0 {
+        if input_channels == 0 || input_size == 0 || !input_size.is_multiple_of(4) {
             return Err(NnError::InvalidParameter {
                 name: "input_size",
                 requirement: "must be a non-zero multiple of 4".to_string(),
@@ -101,7 +101,10 @@ impl SmallCnn {
         images: &[Tensor],
         executor: &dyn Conv2dExecutor,
     ) -> Result<Vec<Vec<f64>>, NnError> {
-        images.iter().map(|img| self.features(img, executor)).collect()
+        images
+            .iter()
+            .map(|img| self.features(img, executor))
+            .collect()
     }
 }
 

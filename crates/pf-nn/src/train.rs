@@ -113,8 +113,8 @@ pub fn train_linear_probe(
             let logits = probe.forward(x)?;
             let probs = softmax(&logits);
             // Gradient of cross-entropy w.r.t. logits: p - onehot(y).
-            for class in 0..num_classes {
-                let grad = probs[class] - if class == y { 1.0 } else { 0.0 };
+            for (class, &prob) in probs.iter().enumerate() {
+                let grad = prob - if class == y { 1.0 } else { 0.0 };
                 let row_start = class * dim;
                 // Matrix stores row-major (out_features x in_features).
                 let mut row: Vec<f64> = probe.weights.row(class).to_vec();
@@ -136,10 +136,10 @@ pub fn train_linear_probe(
     let mut folded = Linear::random(dim, num_classes, 1e-6, config.seed)?;
     for class in 0..num_classes {
         let mut bias = probe.bias[class];
-        for j in 0..dim {
+        for (j, &m) in mean.iter().enumerate() {
             let w = probe.weights.get(class, j) / scale;
             folded.weights.set(class, j, w);
-            bias -= w * mean[j];
+            bias -= w * m;
         }
         folded.bias[class] = bias;
     }
@@ -266,7 +266,12 @@ mod tests {
 
     #[test]
     fn training_is_deterministic() {
-        let features = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0], vec![0.0, 0.0]];
+        let features = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+        ];
         let labels = vec![0, 1, 0, 1];
         let a = train_linear_probe(&features, &labels, 2, TrainConfig::default()).unwrap();
         let b = train_linear_probe(&features, &labels, 2, TrainConfig::default()).unwrap();

@@ -125,7 +125,10 @@ impl Adc {
     ///
     /// Panics if `full_scale` is not positive.
     pub fn quantize_slice(&self, values: &[f64], full_scale: f64) -> Vec<f64> {
-        values.iter().map(|&v| self.quantize(v, full_scale)).collect()
+        values
+            .iter()
+            .map(|&v| self.quantize(v, full_scale))
+            .collect()
     }
 
     /// Worst-case quantisation error (half an LSB) for the given full scale.
@@ -136,7 +139,11 @@ impl Adc {
     /// Estimates converter power from the Walden figure of merit
     /// `P = FoM * 2^bits * f_s` where `fom_fj_per_conv` is in
     /// femtojoules per conversion step.
-    pub fn power_from_walden_fom(bits: u32, frequency_ghz: f64, fom_fj_per_conv: f64) -> Milliwatts {
+    pub fn power_from_walden_fom(
+        bits: u32,
+        frequency_ghz: f64,
+        fom_fj_per_conv: f64,
+    ) -> Milliwatts {
         // fJ/step * steps * GHz = 1e-15 J * 1e9 /s = 1e-6 W = 1e-3 mW per fJ*GHz
         let steps = (1u64 << bits) as f64;
         Milliwatts(fom_fj_per_conv * steps * frequency_ghz * 1e-3)

@@ -83,7 +83,9 @@ impl Laser {
 
     /// Electrical (wall-plug) power drawn by the laser.
     pub fn electrical_power(&self) -> Milliwatts {
-        Milliwatts(self.power_per_waveguide_mw * self.num_waveguides as f64 / self.wall_plug_efficiency)
+        Milliwatts(
+            self.power_per_waveguide_mw * self.num_waveguides as f64 / self.wall_plug_efficiency,
+        )
     }
 
     /// Number of waveguides fed.

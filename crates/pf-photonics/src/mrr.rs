@@ -189,9 +189,8 @@ mod tests {
 
     #[test]
     fn ideal_mrr_passes_carrier() {
-        let mrr = Mrr::new(1.0, 0.0, f64::MAX.log10() * 10.0).unwrap_or_else(|_| {
-            Mrr::new(1.0, 0.0, 300.0).unwrap()
-        });
+        let mrr = Mrr::new(1.0, 0.0, f64::MAX.log10() * 10.0)
+            .unwrap_or_else(|_| Mrr::new(1.0, 0.0, 300.0).unwrap());
         let out = mrr.modulate(2.0, 1.0);
         assert!((out - 2.0).abs() < 1e-9);
     }

@@ -207,7 +207,10 @@ impl TechConfig {
         use crate::PhotonicsError::InvalidParameter;
         let positive = [
             ("mrr_power_mw", self.mrr_power_mw),
-            ("laser_power_per_waveguide_mw", self.laser_power_per_waveguide_mw),
+            (
+                "laser_power_per_waveguide_mw",
+                self.laser_power_per_waveguide_mw,
+            ),
             ("adc_power_mw", self.adc_power_mw),
             ("adc_frequency_ghz", self.adc_frequency_ghz),
             ("dac_power_mw", self.dac_power_mw),

@@ -182,8 +182,7 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
     ) {
         let si = input.cols();
         let n_or = plan.valid_output_rows_per_conv;
-        let tiled_kernel =
-            tile_kernel_rows(kernel, 0, kernel.rows(), si, plan.tiled_kernel_len());
+        let tiled_kernel = tile_kernel_rows(kernel, 0, kernel.rows(), si, plan.tiled_kernel_len());
         let mut r0 = 0;
         while r0 < out.rows() {
             let tiled_input = tile_input_rows(input, r0 as isize, plan.rows_per_tile, self.n_conv);
@@ -221,13 +220,8 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                 let tiled_input =
                     tile_input_rows(input, (out_r + k_start) as isize, count, self.n_conv);
                 let signal = &tiled_input[..count * si];
-                let tiled_kernel = tile_kernel_rows(
-                    kernel,
-                    k_start,
-                    count,
-                    si,
-                    (count - 1) * si + kernel.cols(),
-                );
+                let tiled_kernel =
+                    tile_kernel_rows(kernel, k_start, count, si, (count - 1) * si + kernel.cols());
                 let corr = self.engine.correlate_valid(signal, &tiled_kernel);
                 for (c, a) in acc.iter_mut().enumerate() {
                     *a += corr[c];
@@ -283,8 +277,7 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
     ) {
         let si = working.cols();
         let n_or = plan.valid_output_rows_per_conv;
-        let tiled_kernel =
-            tile_kernel_rows(kernel, 0, kernel.rows(), si, plan.tiled_kernel_len());
+        let tiled_kernel = tile_kernel_rows(kernel, 0, kernel.rows(), si, plan.tiled_kernel_len());
         // Column of `working` that corresponds to output column 0.
         let col_base = match edges {
             EdgeHandling::Wraparound => 0isize,
@@ -360,12 +353,12 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                         (count - 1) * si + kernel.cols(),
                     );
                     let corr = self.engine.correlate_valid(signal, &tiled_kernel);
-                    for c in 0..out.cols() {
+                    for (c, slot) in acc.iter_mut().enumerate() {
                         let wc = match edges {
                             EdgeHandling::Wraparound => c as isize - pc as isize,
                             EdgeHandling::ZeroPad => c as isize,
                         };
-                        acc[c] += if wc >= 0 && (wc as usize) < corr.len() {
+                        *slot += if wc >= 0 && (wc as usize) < corr.len() {
                             corr[wc as usize]
                         } else {
                             partial_window_dot(working, kernel, top, wc, k_start, count)
@@ -395,15 +388,15 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                         }
                         start += step;
                     }
-                    for c in 0..out.cols() {
+                    for (c, slot) in acc.iter_mut().enumerate() {
                         let wc = match edges {
                             EdgeHandling::Wraparound => c as isize - pc as isize,
                             EdgeHandling::ZeroPad => c as isize,
                         };
                         if wc >= 0 && (wc as usize) < corr_row.len() {
-                            acc[c] += corr_row[wc as usize];
+                            *slot += corr_row[wc as usize];
                         } else {
-                            acc[c] += row_window_dot(row, krow, wc);
+                            *slot += row_window_dot(row, krow, wc);
                         }
                     }
                 }
@@ -484,8 +477,12 @@ mod tests {
 
     fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        Matrix::new(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
-            .unwrap()
+        Matrix::new(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap()
     }
 
     fn convolver(n_conv: usize) -> TiledConvolver<DigitalEngine> {
@@ -521,7 +518,9 @@ mod tests {
         ] {
             let input = random_matrix(rows, cols, seed);
             let kernel = random_matrix(k, k, seed + 100);
-            let tiled = convolver(n_conv).correlate2d_valid(&input, &kernel).unwrap();
+            let tiled = convolver(n_conv)
+                .correlate2d_valid(&input, &kernel)
+                .unwrap();
             let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
             assert!(
                 max_abs_diff(tiled.data(), reference.data()) < 1e-10,
@@ -608,12 +607,14 @@ mod tests {
         let input = Matrix::new(
             16,
             16,
-            (0..256)
-                .map(|i| ((i as f64) * 0.05).sin() + 1.5)
-                .collect(),
+            (0..256).map(|i| ((i as f64) * 0.05).sin() + 1.5).collect(),
         )
         .unwrap();
-        let kernel = random_matrix(3, 3, 52);
+        // A fixed mixed-sign kernel with a clearly non-zero sum: a random
+        // kernel can sum to ~0, which deflates the reference norm and blows
+        // up the *relative* error regardless of the edge effect under test.
+        let kernel =
+            Matrix::new(3, 3, vec![0.2, -0.1, 0.3, 0.4, 1.0, -0.2, 0.1, 0.3, 0.2]).unwrap();
         let tiled = convolver(256)
             .correlate2d_same(&input, &kernel, EdgeHandling::Wraparound)
             .unwrap();

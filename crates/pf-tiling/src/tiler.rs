@@ -120,7 +120,10 @@ mod tests {
     fn tile_input_pads_to_capacity() {
         let tiled = tile_input_rows(&input_5x5(), 0, 2, 16);
         assert_eq!(tiled.len(), 16);
-        assert_eq!(&tiled[..10], &(1..=10).map(|x| x as f64).collect::<Vec<_>>()[..]);
+        assert_eq!(
+            &tiled[..10],
+            &(1..=10).map(|x| x as f64).collect::<Vec<_>>()[..]
+        );
         assert!(tiled[10..].iter().all(|&x| x == 0.0));
     }
 

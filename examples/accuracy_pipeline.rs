@@ -4,20 +4,32 @@
 //! temporal accumulation restores it — the reproduction's counterpart of
 //! Table I and Figure 7 (see DESIGN.md for the substitution rationale).
 //!
+//! Each pipeline variant is expressed as a [`Scenario`] and executed
+//! through [`Session::run_batch`], so the sweep is a loop over declarative
+//! configurations rather than hand-built executors.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example accuracy_pipeline
 //! ```
 
-use photofourier::prelude::*;
 use pf_nn::dataset::{DatasetConfig, SyntheticDataset};
-use pf_nn::models::small::SmallCnn;
 use pf_nn::train::{accuracy, train_linear_probe, TrainConfig};
+use photofourier::prelude::*;
+
+/// Extracts features for a whole image set through one session.
+fn features_of(session: &Session, images: &[Tensor]) -> Result<Vec<Vec<f64>>, PfError> {
+    Ok(session
+        .run_batch(images)?
+        .into_iter()
+        .map(|t| t.data().to_vec())
+        .collect())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Synthetic classification task, deliberately made hard enough (many
     // classes, heavy noise) that numerical error in the feature extractor
-    // shows up as an accuracy drop, and a fixed random CNN feature extractor.
+    // shows up as an accuracy drop.
     let dataset = SyntheticDataset::new(DatasetConfig {
         num_classes: 8,
         image_size: 16,
@@ -27,30 +39,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     let train_set = dataset.generate(25, 1);
     let test_set = dataset.generate(40, 2);
-    let cnn = SmallCnn::new(1, 16, 42)?;
+
+    // The base scenario: digital backend, reference (ideal) pipeline, and
+    // the fixed random feature extractor every variant shares.
+    let mut base = Scenario::new("accuracy_pipeline", "resnet_s", BackendSpec::digital(256));
+    base.functional = FunctionalSpec {
+        input_channels: 1,
+        input_size: 16,
+        weight_seed: 42,
+    };
 
     // Train a linear probe on exact (reference) features.
-    let train_features = cnn.features_batch(&train_set.images, &ReferenceExecutor)?;
+    let reference_session = Session::builder().scenario(base.clone()).build()?;
+    let train_features = features_of(&reference_session, &train_set.images)?;
     let probe = train_linear_probe(
         &train_features,
         &train_set.labels,
         train_set.num_classes,
         TrainConfig::default(),
     )?;
-    let reference_test = cnn.features_batch(&test_set.images, &ReferenceExecutor)?;
+    let reference_test = features_of(&reference_session, &test_set.images)?;
     let reference_accuracy = accuracy(&probe, &reference_test, &test_set.labels)?;
-    println!("reference (fp64) accuracy: {:.1}%", reference_accuracy * 100.0);
+    println!(
+        "reference (fp64) accuracy: {:.1}%",
+        reference_accuracy * 100.0
+    );
 
     // Re-extract test features through the PhotoFourier pipeline at several
     // temporal accumulation depths and measure the accuracy drop.
-    println!("\n{:>22} {:>12} {:>12}", "temporal depth", "accuracy", "drop");
+    println!(
+        "\n{:>22} {:>12} {:>12}",
+        "temporal depth", "accuracy", "drop"
+    );
     for depth in [1usize, 2, 4, 8, 16] {
-        let executor = TiledExecutor::new(
-            DigitalEngine,
-            256,
-            PipelineConfig::with_temporal_depth(depth),
-        )?;
-        let features = cnn.features_batch(&test_set.images, &executor)?;
+        let mut scenario = base.clone();
+        scenario.name = format!("accuracy_pipeline_depth{depth}");
+        scenario.pipeline = PipelineConfig::with_temporal_depth(depth);
+        let session = Session::builder().scenario(scenario).build()?;
+        let features = features_of(&session, &test_set.images)?;
         let acc = accuracy(&probe, &features, &test_set.labels)?;
         println!(
             "{:>22} {:>11.1}% {:>11.1}%",
@@ -61,14 +87,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Full-precision partial sums (the "fp psum" reference line of Figure 7).
-    let mut ideal = PipelineConfig::photofourier_default();
-    ideal.psum_adc_bits = None;
-    let executor = TiledExecutor::new(DigitalEngine, 256, ideal)?;
-    let features = cnn.features_batch(&test_set.images, &executor)?;
+    let mut scenario = base.clone();
+    scenario.name = "accuracy_pipeline_fp_psum".to_string();
+    scenario.pipeline = PipelineConfig::photofourier_default();
+    scenario.pipeline.psum_adc_bits = None;
+    let session = Session::builder().scenario(scenario).build()?;
+    let features = features_of(&session, &test_set.images)?;
     let acc = accuracy(&probe, &features, &test_set.labels)?;
     println!(
         "{:>22} {:>11.1}% {:>11.1}%",
-        "fp psum", acc * 100.0, (reference_accuracy - acc) * 100.0
+        "fp psum",
+        acc * 100.0,
+        (reference_accuracy - acc) * 100.0
     );
 
     Ok(())

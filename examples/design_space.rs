@@ -3,13 +3,17 @@
 //! configuration maximises FPS/W, and why input broadcasting is the chosen
 //! parallelisation scheme.
 //!
+//! Design points are expressed as [`ArchSpec`] overrides inside scenarios,
+//! so the sweep drives many accelerator configurations through the same
+//! [`Session`] entry point.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
-use photofourier::prelude::*;
 use pf_arch::parallel::{optimal_scheme, sweep_input_broadcast};
+use photofourier::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
@@ -32,22 +36,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // ------------------------------------------------------------------
+    // Session-driven override sweep: the same scenario evaluated at
+    // several PFCU counts, demonstrating declarative design points.
+    // ------------------------------------------------------------------
+    println!("\n== Session override sweep: ResNet-18 on PhotoFourier-CG ==\n");
+    println!(
+        "  {:>8} {:>12} {:>12} {:>12}",
+        "# PFCU", "FPS", "power (W)", "FPS/W"
+    );
+    for num_pfcus in [4usize, 8, 16, 32] {
+        let mut scenario = Scenario::new(
+            format!("cg_{num_pfcus}pfcu"),
+            "resnet18",
+            BackendSpec::digital(256),
+        );
+        scenario.arch = ArchSpec {
+            preset: ArchPreset::PhotofourierCg,
+            num_pfcus: Some(num_pfcus),
+            input_waveguides: None,
+            area_budget_mm2: None,
+        };
+        let session = Session::builder().scenario(scenario).build()?;
+        let perf = session.evaluate_performance()?;
+        println!(
+            "  {:>8} {:>12.1} {:>12.2} {:>12.1}",
+            num_pfcus, perf.fps, perf.avg_power_w, perf.fps_per_watt
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Table III: waveguides per PFCU and FPS/W under a 100 mm² budget.
     // A reduced network suite keeps the example quick; the bench harness
     // runs the full five-CNN suite.
     // ------------------------------------------------------------------
     let networks = vec![alexnet(), resnet18()];
     println!("\n== Table III: design-space sweep (100 mm² budget) ==\n");
-    for (label, base) in [
-        ("PhotoFourier-CG", ArchConfig::photofourier_cg()),
-        ("PhotoFourier-NG", ArchConfig::photofourier_ng()),
-    ] {
-        println!("{label}:");
+    for preset in [ArchPreset::PhotofourierCg, ArchPreset::PhotofourierNg] {
+        let base = ArchSpec::preset(preset).resolve()?;
+        println!("{}:", base.name());
         println!(
             "  {:>8} {:>12} {:>16} {:>12}",
             "# PFCU", "# waveguides", "FPS/W (geomean)", "normalised"
         );
-        let points = sweep_pfcu_counts(&base, &TABLE3_PFCU_COUNTS, base.area_budget_mm2, &networks)?;
+        let points =
+            sweep_pfcu_counts(&base, &TABLE3_PFCU_COUNTS, base.area_budget_mm2, &networks)?;
         for p in &points {
             println!(
                 "  {:>8} {:>12} {:>16.1} {:>12.2}",

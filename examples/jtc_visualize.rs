@@ -3,13 +3,18 @@
 //! spatially separated terms (conjugate correlation lobe, central
 //! non-convolution term `O(x)`, correlation lobe).
 //!
+//! This example deliberately works *below* the `Session` facade — the
+//! per-crate APIs (`JtcSimulator`, `tile_input_rows`, ...) remain public —
+//! and finishes with a `Session::conv2d` cross-check that the facade
+//! drives the same optics.
+//!
 //! Run with:
 //! ```text
 //! cargo run --release --example jtc_visualize
 //! ```
 
-use photofourier::prelude::*;
 use pf_tiling::{tile_input_rows, tile_kernel};
+use photofourier::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A CIFAR-10-like 32x32 single-channel image (synthetic smooth pattern),
@@ -77,6 +82,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "terms spatially separated (guard band < 1e-6 of peak): {}",
         output.terms_are_separated(1e-6)
+    );
+
+    // The same 2D convolution through the facade: one Session built on the
+    // ideal-JTC backend reproduces the digital reference end to end.
+    let session = Session::builder()
+        .scenario(Scenario::new(
+            "jtc_visualize",
+            "crosslight_cnn",
+            BackendSpec::jtc_ideal(256),
+        ))
+        .build()?;
+    let via_session = session.conv2d(&image, &kernel)?;
+    let reference2d = correlate2d(&image, &kernel, PaddingMode::Valid);
+    let session_error = pf_dsp::util::max_abs_diff(via_session.data(), reference2d.data());
+    println!(
+        "\nSession::conv2d on {} vs digital reference: max abs error = {session_error:.2e}",
+        session.backend_id()
     );
     Ok(())
 }

@@ -1,7 +1,11 @@
-//! Quickstart: simulate PhotoFourier-CG and PhotoFourier-NG on the paper's
-//! benchmark CNNs and print throughput / power / efficiency, then verify the
-//! functional path (row tiling on the simulated JTC optics) against the
-//! digital reference.
+//! Quickstart: one `Scenario`, one `Session`, both sides of the paper.
+//!
+//! Loads `scenarios/resnet18_cg.toml`, builds a single [`Session`] from it,
+//! and demonstrates the two-call flow the facade exists for: a functional
+//! 2D convolution through the simulated optics (validated against the
+//! digital reference) and the analytical performance report for the same
+//! configuration. Then sweeps design points and networks through builder
+//! overrides.
 //!
 //! Run with:
 //! ```text
@@ -14,27 +18,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== PhotoFourier quickstart ==\n");
 
     // ------------------------------------------------------------------
-    // 1. Architecture-level simulation: the paper's headline metrics.
+    // 1. One declarative scenario file -> one session.
     // ------------------------------------------------------------------
-    let networks = [alexnet(), vgg16(), resnet18()];
+    let session = Session::builder()
+        .scenario_path("scenarios/resnet18_cg.toml")?
+        .build()?;
     println!(
-        "{:<12} {:>14} {:>12} {:>12} {:>14}",
-        "network", "design point", "FPS", "power (W)", "FPS/W"
+        "scenario `{}`: network {}, backend {}, design point {:?}",
+        session.scenario().name,
+        session.network().name,
+        session.backend_id(),
+        session.scenario().arch.preset,
     );
-    for config in [ArchConfig::photofourier_cg(), ArchConfig::photofourier_ng()] {
-        let simulator = Simulator::new(config)?;
-        for network in &networks {
-            let perf = simulator.evaluate_network(network)?;
-            println!(
-                "{:<12} {:>14} {:>12.1} {:>12.2} {:>14.1}",
-                perf.network, perf.design_point, perf.fps, perf.avg_power_w, perf.fps_per_watt
-            );
-        }
-    }
 
     // ------------------------------------------------------------------
-    // 2. Functional check: a 2D convolution executed through the simulated
-    //    JTC optics via row tiling equals the exact digital convolution.
+    // 2. Functional: a 2D convolution through the scenario's backend via
+    //    row tiling. The CG chain quantises, so compare against an
+    //    ideal-optics session of the *same* scenario to show the override
+    //    mechanism, and validate that one against the digital reference.
     // ------------------------------------------------------------------
     let input = Matrix::new(
         16,
@@ -43,26 +44,75 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let kernel = Matrix::new(3, 3, vec![0.1, 0.2, 0.1, 0.2, 0.4, 0.2, 0.1, 0.2, 0.1])?;
 
-    let photonic = TiledConvolver::new(JtcEngine::ideal(256)?, 256)?;
-    let optical = photonic.correlate2d_valid(&input, &kernel)?;
+    let ideal = Session::builder()
+        .scenario(session.scenario().clone())
+        .backend(BackendSpec::jtc_ideal(256))
+        .build()?;
+    let optical = ideal.conv2d(&input, &kernel)?;
     let digital = correlate2d(&input, &kernel, PaddingMode::Valid);
     let error = pf_dsp::util::max_abs_diff(optical.data(), digital.data());
-
-    println!("\nrow-tiled convolution on the simulated JTC:");
-    println!("  output shape        : {}x{}", optical.rows(), optical.cols());
+    println!(
+        "\nrow-tiled convolution on the simulated JTC ({}):",
+        ideal.backend_id()
+    );
+    println!(
+        "  output shape         : {}x{}",
+        optical.rows(),
+        optical.cols()
+    );
     println!("  max |optical-digital|: {error:.2e}");
-    assert!(error < 1e-7, "optical convolution should match the digital reference");
+    assert!(
+        error < 1e-8,
+        "ideal optics should match the digital reference"
+    );
+
+    let noisy = session.conv2d(&input, &kernel)?;
+    let noisy_err = pf_dsp::util::relative_l2_error(noisy.data(), digital.data());
+    println!("  CG signal chain rel. L2 error: {noisy_err:.2e} (quantisation + noise)");
 
     // ------------------------------------------------------------------
-    // 3. The row-tiling plan the hardware would use for this layer shape.
+    // 3. Analytical: the paper's headline metrics for the same scenario,
+    //    then the other design points / networks via builder overrides.
     // ------------------------------------------------------------------
-    let plan = TilingPlan::new(16, 16, 3, 3, 256)?;
-    println!("\nrow tiling plan for a 16x16 input, 3x3 kernel, 256 waveguides:");
-    println!("  variant                  : {:?}", plan.variant);
-    println!("  input rows per tile      : {}", plan.rows_per_tile);
-    println!("  valid output rows / conv : {}", plan.valid_output_rows_per_conv);
-    println!("  1D convolutions per plane: {}", plan.convs_per_output_plane);
-    println!("  compute efficiency       : {:.1}%", plan.efficiency() * 100.0);
+    let perf = session.evaluate_performance()?;
+    println!(
+        "\n{}: {:.0} FPS, {:.2} W, {:.1} FPS/W on {}",
+        perf.network, perf.fps, perf.avg_power_w, perf.fps_per_watt, perf.design_point
+    );
+
+    println!(
+        "\n{:<12} {:>16} {:>12} {:>12} {:>14}",
+        "network", "design point", "FPS", "power (W)", "FPS/W"
+    );
+    for preset in [ArchPreset::PhotofourierCg, ArchPreset::PhotofourierNg] {
+        for network in ["alexnet", "vgg16", "resnet18"] {
+            let mut scenario = session.scenario().clone();
+            scenario.arch = ArchSpec::preset(preset);
+            let sweep_session = Session::builder()
+                .scenario(scenario)
+                .network(network)
+                .build()?;
+            let perf = sweep_session.evaluate_performance()?;
+            println!(
+                "{:<12} {:>16} {:>12.1} {:>12.2} {:>14.1}",
+                perf.network, perf.design_point, perf.fps, perf.avg_power_w, perf.fps_per_watt
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Batch inference through the numeric pipeline (rayon-parallel).
+    // ------------------------------------------------------------------
+    let images: Vec<Tensor> = (0..8)
+        .map(|i| Tensor::random(vec![1, 16, 16], 0.0, 1.0, 1000 + i))
+        .collect();
+    let features = session.run_batch(&images)?;
+    println!(
+        "\nbatch inference: {} images -> {} feature vectors of length {}",
+        images.len(),
+        features.len(),
+        features[0].numel()
+    );
 
     println!("\nOK");
     Ok(())

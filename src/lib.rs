@@ -11,10 +11,64 @@
 //! the analog domain so 8-bit ADCs running at 1/16th of the photonic clock
 //! suffice.
 //!
-//! This crate is a facade over the workspace:
+//! # The `Session` API
+//!
+//! The facade is organised around three types from [`pf_core`]:
+//!
+//! * [`Scenario`] — a declarative experiment description (network, backend,
+//!   accelerator design point, numeric-pipeline options), loadable from
+//!   TOML or JSON (see the `scenarios/` directory);
+//! * [`Backend`](core::Backend) — the registry of 1D convolution
+//!   substrates: the exact digital reference, the ideal simulated JTC
+//!   optics, and the full PhotoFourier-CG signal chain;
+//! * [`Session`] — built from one scenario, exposing **functional**
+//!   execution ([`Session::conv2d`], [`Session::run_inference`],
+//!   [`Session::run_batch`]) and **analytical** performance modeling
+//!   ([`Session::evaluate_performance`]) for the same configuration.
+//!
+//! # Quickstart
+//!
+//! One scenario, two calls — a functional convolution through the simulated
+//! optics that matches the digital reference, and the paper's headline
+//! performance metrics:
+//!
+//! ```
+//! use photofourier::prelude::*;
+//!
+//! let scenario = Scenario::new("quickstart", "resnet18", BackendSpec::jtc_ideal(256));
+//! let session = Session::builder().scenario(scenario).build()?;
+//!
+//! // Functional: row-tiled 2D convolution on the simulated JTC optics.
+//! let input = Matrix::new(8, 8, (0..64).map(|x| x as f64 * 0.1).collect())?;
+//! let kernel = Matrix::new(3, 3, vec![0.5; 9])?;
+//! let optical = session.conv2d(&input, &kernel)?;
+//! let digital = correlate2d(&input, &kernel, PaddingMode::Valid);
+//! assert!(pf_dsp::util::max_abs_diff(optical.data(), digital.data()) < 1e-8);
+//!
+//! // Analytical: throughput and efficiency of ResNet-18 on PhotoFourier-CG.
+//! let perf = session.evaluate_performance()?;
+//! assert!(perf.fps > 0.0 && perf.fps_per_watt > 0.0);
+//! # Ok::<(), photofourier::PfError>(())
+//! ```
+//!
+//! Scenarios can equally be loaded from files:
+//!
+//! ```no_run
+//! use photofourier::prelude::*;
+//!
+//! let session = Session::builder()
+//!     .scenario_path("scenarios/resnet18_cg.toml")?
+//!     .build()?;
+//! let perf = session.evaluate_performance()?;
+//! println!("{}: {:.0} FPS, {:.1} FPS/W", perf.network, perf.fps, perf.fps_per_watt);
+//! # Ok::<(), photofourier::PfError>(())
+//! ```
+//!
+//! # Workspace map
 //!
 //! | crate | contents |
 //! |---|---|
+//! | [`core`] | `PfError`, the `Backend` registry, `Scenario` |
 //! | [`dsp`] | complex numbers, FFT, reference convolutions |
 //! | [`photonics`] | MRR / photodetector / DAC / ADC / laser models, Table IV & V constants |
 //! | [`tiling`] | row tiling, partial row tiling, row partitioning (Section III) |
@@ -23,43 +77,38 @@
 //! | [`arch`] | the architecture simulator: dataflow, power, area, design-space exploration (Sections V & VI) |
 //! | [`baselines`] | prior-accelerator reference models for the Figure 13 comparison |
 //!
-//! # Quickstart
-//!
-//! Estimate the performance of ResNet-18 on PhotoFourier-CG and check that a
-//! convolution computed through the simulated optics matches the digital
-//! reference:
-//!
-//! ```
-//! use photofourier::prelude::*;
-//!
-//! // Architecture-level: throughput and efficiency of a full CNN.
-//! let simulator = Simulator::new(ArchConfig::photofourier_cg())?;
-//! let perf = simulator.evaluate_network(&resnet18())?;
-//! assert!(perf.fps > 0.0 && perf.fps_per_watt > 0.0);
-//!
-//! // Functional level: a 2D convolution through the photonic JTC via row
-//! // tiling equals the exact digital result.
-//! let input = Matrix::new(8, 8, (0..64).map(|x| x as f64 * 0.1).collect())?;
-//! let kernel = Matrix::new(3, 3, vec![0.5; 9])?;
-//! let photonic = TiledConvolver::new(JtcEngine::ideal(64)?, 64)?;
-//! let optical = photonic.correlate2d_valid(&input, &kernel)?;
-//! let digital = correlate2d(&input, &kernel, PaddingMode::Valid);
-//! assert!(pf_dsp::util::max_abs_diff(optical.data(), digital.data()) < 1e-8);
-//! # Ok::<(), Box<dyn std::error::Error>>(())
-//! ```
+//! The per-crate APIs remain available underneath the facade — the
+//! `Session` API composes them and deprecates nothing.
 
 #![deny(missing_docs)]
 
+pub mod session;
+
 pub use pf_arch as arch;
 pub use pf_baselines as baselines;
+pub use pf_core as core;
 pub use pf_dsp as dsp;
 pub use pf_jtc as jtc;
 pub use pf_nn as nn;
 pub use pf_photonics as photonics;
 pub use pf_tiling as tiling;
 
+pub use pf_core::{
+    network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FunctionalSpec,
+    PfError, Scenario, NETWORK_REGISTRY,
+};
+pub use session::{Session, SessionBuilder};
+
 /// Commonly used items re-exported in one place.
 pub mod prelude {
+    // The unified facade API.
+    pub use crate::session::{Session, SessionBuilder};
+    pub use pf_core::{
+        network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FunctionalSpec,
+        PfError, Scenario, NETWORK_REGISTRY,
+    };
+
+    // The per-crate building blocks the facade composes.
     pub use pf_arch::config::ArchConfig;
     pub use pf_arch::design_space::{sweep_pfcu_counts, TABLE3_PFCU_COUNTS};
     pub use pf_arch::optimizations::OptimizationStep;
@@ -87,5 +136,7 @@ mod tests {
         assert_eq!(cfg.tech.num_pfcus, 8);
         let plan = TilingPlan::new(5, 5, 3, 3, 20).unwrap();
         assert_eq!(plan.variant, TilingVariant::RowTiling);
+        let scenario = Scenario::new("t", "resnet_s", BackendSpec::digital(64));
+        assert!(Session::builder().scenario(scenario).build().is_ok());
     }
 }

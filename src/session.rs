@@ -1,0 +1,384 @@
+//! The unified entry point spanning functional optics simulation and
+//! analytical performance modeling.
+//!
+//! A [`Session`] is built from one [`Scenario`] and exposes both sides of
+//! the reproduction for the *same* configuration:
+//!
+//! * **functional** — [`Session::conv2d`] runs a 2D convolution through row
+//!   tiling on the scenario's backend, [`Session::run_inference`] /
+//!   [`Session::run_batch`] run the runnable feature-extractor CNN through
+//!   the full numeric pipeline (quantisation, pseudo-negative weights,
+//!   temporal accumulation);
+//! * **analytical** — [`Session::evaluate_performance`] runs the
+//!   architecture simulator on the scenario's network and design point.
+//!
+//! "Functional accuracy + analytical performance for one configuration" is
+//! therefore a two-call flow:
+//!
+//! ```
+//! use photofourier::prelude::*;
+//!
+//! let scenario = Scenario::new("demo", "resnet18", BackendSpec::jtc_ideal(256));
+//! let session = Session::builder().scenario(scenario).build()?;
+//!
+//! let input = Matrix::new(8, 8, (0..64).map(|x| x as f64 * 0.1).collect())?;
+//! let kernel = Matrix::new(3, 3, vec![0.5; 9])?;
+//! let optical = session.conv2d(&input, &kernel)?;          // functional
+//! let perf = session.evaluate_performance()?;              // analytical
+//! assert!(perf.fps > 0.0);
+//! # assert_eq!(optical.rows(), 6);
+//! # Ok::<(), photofourier::PfError>(())
+//! ```
+
+use pf_arch::simulator::{NetworkPerformance, Simulator};
+use pf_core::{Backend, BackendSpec, PfError, Scenario};
+use pf_dsp::conv::Matrix;
+use pf_nn::executor::TiledExecutor;
+use pf_nn::models::small::SmallCnn;
+use pf_nn::models::NetworkSpec;
+use pf_nn::Tensor;
+use pf_tiling::TiledConvolver;
+use rayon::prelude::*;
+
+/// Builder for [`Session`].
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    scenario: Option<Scenario>,
+    backend_override: Option<BackendSpec>,
+    network_override: Option<String>,
+}
+
+impl SessionBuilder {
+    /// Uses the given scenario.
+    pub fn scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
+        self
+    }
+
+    /// Loads the scenario from a `.toml` or `.json` file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scenario parse/validation error, deferred to
+    /// [`SessionBuilder::build`].
+    pub fn scenario_path(self, path: impl AsRef<std::path::Path>) -> Result<Self, PfError> {
+        let scenario = Scenario::from_path(path)?;
+        Ok(self.scenario(scenario))
+    }
+
+    /// Overrides the scenario's backend (useful for cross-backend
+    /// comparisons of one scenario).
+    pub fn backend(mut self, spec: BackendSpec) -> Self {
+        self.backend_override = Some(spec);
+        self
+    }
+
+    /// Overrides the scenario's network registry name.
+    pub fn network(mut self, name: impl Into<String>) -> Self {
+        self.network_override = Some(name.into());
+        self
+    }
+
+    /// Validates the configuration and instantiates the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] if no scenario was supplied or
+    /// the (possibly overridden) scenario is inconsistent, and propagates
+    /// backend/simulator construction errors.
+    pub fn build(self) -> Result<Session, PfError> {
+        let mut scenario = self
+            .scenario
+            .ok_or_else(|| PfError::invalid_scenario("Session::builder() needs a scenario"))?;
+        if let Some(backend) = self.backend_override {
+            scenario.backend = backend;
+        }
+        if let Some(network) = self.network_override {
+            scenario.network = network;
+        }
+        Session::from_scenario(scenario)
+    }
+}
+
+/// A configured PhotoFourier session: one scenario, one backend instance,
+/// one architecture simulator.
+#[derive(Debug)]
+pub struct Session {
+    scenario: Scenario,
+    network: NetworkSpec,
+    backend_id: String,
+    convolver: TiledConvolver<Box<dyn Backend>>,
+    executor: TiledExecutor<Box<dyn Backend>>,
+    cnn: SmallCnn,
+    simulator: Simulator,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// Builds a session directly from a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionBuilder::build`].
+    pub fn from_scenario(scenario: Scenario) -> Result<Self, PfError> {
+        scenario.validate()?;
+        let network = scenario.network_spec()?;
+        // Two backend instances: the convolver and the executor each own
+        // theirs (construction is cheap; the optics chain is stateless
+        // apart from the noise RNG).
+        let conv_backend = scenario.backend.instantiate()?;
+        let exec_backend = scenario.backend.instantiate()?;
+        let backend_id = conv_backend.id();
+        let capacity = scenario.backend.capacity;
+        let convolver = TiledConvolver::new(conv_backend, capacity)?;
+        let executor = TiledExecutor::new(exec_backend, capacity, scenario.pipeline)?;
+        let cnn = SmallCnn::new(
+            scenario.functional.input_channels,
+            scenario.functional.input_size,
+            scenario.functional.weight_seed,
+        )?;
+        let simulator = Simulator::new(scenario.arch.resolve()?)?;
+        Ok(Self {
+            scenario,
+            network,
+            backend_id,
+            convolver,
+            executor,
+            cnn,
+            simulator,
+        })
+    }
+
+    /// The scenario this session was built from (including any builder
+    /// overrides).
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Identity of the instantiated backend, e.g. `jtc_ideal(256)`.
+    pub fn backend_id(&self) -> &str {
+        &self.backend_id
+    }
+
+    /// The resolved network the performance model evaluates.
+    pub fn network(&self) -> &NetworkSpec {
+        &self.network
+    }
+
+    /// 2D `valid` cross-correlation through row tiling on the session
+    /// backend — the functional core of the paper (Section III).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::Tiling`] if the kernel does not fit the input or
+    /// the backend capacity.
+    pub fn conv2d(&self, input: &Matrix, kernel: &Matrix) -> Result<Matrix, PfError> {
+        Ok(self.convolver.correlate2d_valid(input, kernel)?)
+    }
+
+    /// Runs one image through the runnable feature-extractor CNN on the
+    /// session backend with the scenario's numeric pipeline, returning the
+    /// flattened feature tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::Nn`] if the image does not match the scenario's
+    /// functional input shape.
+    pub fn run_inference(&self, image: &Tensor) -> Result<Tensor, PfError> {
+        let features = self.cnn.features(image, &self.executor)?;
+        let len = features.len();
+        Ok(Tensor::new(vec![len], features)?)
+    }
+
+    /// Runs a batch of images with per-image parallel dispatch.
+    ///
+    /// Deterministic regardless of thread scheduling: stochastic backends
+    /// (the CG signal chain's sensing noise) get one independently-seeded
+    /// engine per image, keyed by `noise_seed = image index`, instead of
+    /// sharing the session engine's single noise stream across threads.
+    /// For deterministic backends the result equals per-image
+    /// [`Session::run_inference`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-image error in input order, if any.
+    pub fn run_batch(&self, images: &[Tensor]) -> Result<Vec<Tensor>, PfError> {
+        let results: Vec<Result<Tensor, PfError>> = if self.scenario.backend.kind.is_stochastic() {
+            let indices: Vec<usize> = (0..images.len()).collect();
+            indices
+                .par_iter()
+                .map(|&i| self.run_seeded(&images[i], i as u64))
+                .collect()
+        } else {
+            images
+                .par_iter()
+                .map(|image| self.run_inference(image))
+                .collect()
+        };
+        results.into_iter().collect()
+    }
+
+    /// Runs one image on a fresh engine seeded with `noise_seed`.
+    fn run_seeded(&self, image: &Tensor, noise_seed: u64) -> Result<Tensor, PfError> {
+        let backend = self.scenario.backend.instantiate_seeded(noise_seed)?;
+        let executor = TiledExecutor::new(
+            backend,
+            self.scenario.backend.capacity,
+            self.scenario.pipeline,
+        )?;
+        let features = self.cnn.features(image, &executor)?;
+        let len = features.len();
+        Ok(Tensor::new(vec![len], features)?)
+    }
+
+    /// Evaluates the scenario's network on the scenario's accelerator
+    /// design point (the paper's performance/power/area model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::Arch`] if a layer cannot be scheduled.
+    pub fn evaluate_performance(&self) -> Result<NetworkPerformance, PfError> {
+        Ok(self.simulator.evaluate_network(&self.network)?)
+    }
+
+    /// Evaluates one specific layer of the scenario's network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] for an out-of-range index, or
+    /// propagates scheduling errors.
+    pub fn evaluate_layer(
+        &self,
+        index: usize,
+    ) -> Result<pf_arch::simulator::LayerPerformance, PfError> {
+        let spec = self.network.conv_layers.get(index).ok_or_else(|| {
+            PfError::invalid_scenario(format!(
+                "layer index {index} out of range for {} ({} layers)",
+                self.network.name,
+                self.network.conv_layers.len()
+            ))
+        })?;
+        Ok(self.simulator.evaluate_layer(spec)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_core::BackendKind;
+    use pf_dsp::conv::{correlate2d, PaddingMode};
+    use pf_dsp::util::max_abs_diff;
+
+    fn scenario(kind: BackendKind) -> Scenario {
+        Scenario::new(
+            "test",
+            "resnet_s",
+            BackendSpec {
+                kind,
+                capacity: 256,
+            },
+        )
+    }
+
+    #[test]
+    fn builder_requires_a_scenario() {
+        assert!(Session::builder().build().is_err());
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let session = Session::builder()
+            .scenario(scenario(BackendKind::Digital))
+            .backend(BackendSpec::jtc_ideal(128))
+            .network("crosslight_cnn")
+            .build()
+            .unwrap();
+        assert_eq!(session.backend_id(), "jtc_ideal(128)");
+        assert_eq!(session.network().name, "CrossLight-CNN");
+    }
+
+    #[test]
+    fn conv2d_matches_reference_on_ideal_backend() {
+        let session = Session::builder()
+            .scenario(scenario(BackendKind::JtcIdeal))
+            .build()
+            .unwrap();
+        let input =
+            Matrix::new(10, 10, (0..100).map(|i| (i as f64 * 0.17).sin()).collect()).unwrap();
+        let kernel = Matrix::new(3, 3, (0..9).map(|i| (i as f64 - 4.0) / 9.0).collect()).unwrap();
+        let optical = session.conv2d(&input, &kernel).unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+        assert!(max_abs_diff(optical.data(), reference.data()) < 1e-8);
+    }
+
+    #[test]
+    fn inference_and_batch_agree() {
+        let session = Session::builder()
+            .scenario(scenario(BackendKind::Digital))
+            .build()
+            .unwrap();
+        let images: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::random(vec![1, 16, 16], 0.0, 1.0, 100 + i))
+            .collect();
+        let batch = session.run_batch(&images).unwrap();
+        assert_eq!(batch.len(), images.len());
+        for (image, features) in images.iter().zip(&batch) {
+            let single = session.run_inference(image).unwrap();
+            assert_eq!(&single, features);
+            assert_eq!(features.shape(), &[session_feature_len(&session)]);
+        }
+    }
+
+    #[test]
+    fn stochastic_batches_are_reproducible() {
+        // The CG chain draws sensing noise; run_batch must still be
+        // deterministic across calls (per-image seeded engines), regardless
+        // of how threads interleave.
+        let session = Session::builder()
+            .scenario(scenario(BackendKind::PhotofourierCg))
+            .build()
+            .unwrap();
+        let images: Vec<Tensor> = (0..4)
+            .map(|i| Tensor::random(vec![1, 16, 16], 0.0, 1.0, 300 + i))
+            .collect();
+        let a = session.run_batch(&images).unwrap();
+        let b = session.run_batch(&images).unwrap();
+        assert_eq!(a, b, "two identical batches must produce identical noise");
+        assert_eq!(a.len(), images.len());
+    }
+
+    fn session_feature_len(session: &Session) -> usize {
+        let size = session.scenario().functional.input_size;
+        16 * (size / 4) * (size / 4)
+    }
+
+    #[test]
+    fn performance_is_consistent_with_direct_simulator() {
+        let session = Session::builder()
+            .scenario(scenario(BackendKind::Digital))
+            .build()
+            .unwrap();
+        let perf = session.evaluate_performance().unwrap();
+        let direct = Simulator::new(pf_arch::ArchConfig::photofourier_cg())
+            .unwrap()
+            .evaluate_network(session.network())
+            .unwrap();
+        assert_eq!(perf, direct);
+        assert!(session.evaluate_layer(0).is_ok());
+        assert!(session.evaluate_layer(10_000).is_err());
+    }
+
+    #[test]
+    fn bad_input_shape_reports_nn_error() {
+        let session = Session::builder()
+            .scenario(scenario(BackendKind::Digital))
+            .build()
+            .unwrap();
+        let wrong = Tensor::random(vec![3, 16, 16], 0.0, 1.0, 5);
+        assert!(matches!(session.run_inference(&wrong), Err(PfError::Nn(_))));
+    }
+}

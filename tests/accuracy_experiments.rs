@@ -1,12 +1,25 @@
 //! Integration tests for the accuracy-oriented experiments (Table I and
 //! Figure 7 proxies): dataset generation, linear-probe training and feature
-//! extraction through the photonic pipeline all have to compose.
+//! extraction through the photonic pipeline all have to compose — driven
+//! through `Session::run_batch` with per-variant scenarios.
 
-use photofourier::prelude::*;
 use pf_nn::dataset::{DatasetConfig, SyntheticDataset};
 use pf_nn::fidelity::{evaluate_network, FidelityConfig};
-use pf_nn::models::small::SmallCnn;
 use pf_nn::train::{accuracy, train_linear_probe, TrainConfig};
+use photofourier::prelude::*;
+
+fn base_scenario() -> Scenario {
+    Scenario::new("accuracy", "resnet_s", BackendSpec::digital(256))
+}
+
+fn features_of(session: &Session, images: &[Tensor]) -> Vec<Vec<f64>> {
+    session
+        .run_batch(images)
+        .unwrap()
+        .into_iter()
+        .map(|t| t.data().to_vec())
+        .collect()
+}
 
 /// The linear probe trained on reference features classifies the synthetic
 /// task well, and features produced through the quantised photonic pipeline
@@ -16,11 +29,15 @@ fn linear_probe_survives_the_photonic_pipeline() {
     let dataset = SyntheticDataset::new(DatasetConfig::default()).unwrap();
     let train_set = dataset.generate(20, 1);
     let test_set = dataset.generate(10, 2);
-    let cnn = SmallCnn::new(1, 16, 3).unwrap();
 
-    let train_features = cnn
-        .features_batch(&train_set.images, &ReferenceExecutor)
+    let mut scenario = base_scenario();
+    scenario.functional.weight_seed = 3;
+    let reference_session = Session::builder()
+        .scenario(scenario.clone())
+        .build()
         .unwrap();
+
+    let train_features = features_of(&reference_session, &train_set.images);
     let probe = train_linear_probe(
         &train_features,
         &train_set.labels,
@@ -29,18 +46,16 @@ fn linear_probe_survives_the_photonic_pipeline() {
     )
     .unwrap();
 
-    let reference_features = cnn
-        .features_batch(&test_set.images, &ReferenceExecutor)
-        .unwrap();
+    let reference_features = features_of(&reference_session, &test_set.images);
     let reference_acc = accuracy(&probe, &reference_features, &test_set.labels).unwrap();
     assert!(
         reference_acc > 0.8,
         "reference accuracy too low: {reference_acc}"
     );
 
-    let executor = TiledExecutor::new(DigitalEngine, 256, PipelineConfig::photofourier_default())
-        .unwrap();
-    let photonic_features = cnn.features_batch(&test_set.images, &executor).unwrap();
+    scenario.pipeline = PipelineConfig::photofourier_default();
+    let photonic_session = Session::builder().scenario(scenario).build().unwrap();
+    let photonic_features = features_of(&photonic_session, &test_set.images);
     let photonic_acc = accuracy(&probe, &photonic_features, &test_set.labels).unwrap();
     assert!(
         reference_acc - photonic_acc < 0.15,
@@ -84,23 +99,28 @@ fn table1_networks_have_small_per_layer_error() {
 
 /// Feature-space error decreases monotonically (within tolerance) as the
 /// temporal accumulation depth grows — the Figure 7 mechanism, measured on
-/// the feature extractor end to end.
+/// the feature extractor end to end through per-depth scenarios.
 #[test]
 fn temporal_depth_reduces_feature_error() {
     let dataset = SyntheticDataset::new(DatasetConfig::default()).unwrap();
     let images = dataset.generate(4, 3).images;
-    let cnn = SmallCnn::new(1, 16, 11).unwrap();
-    let reference = cnn.features_batch(&images, &ReferenceExecutor).unwrap();
+
+    let mut scenario = base_scenario();
+    scenario.functional.weight_seed = 11;
+    let reference_session = Session::builder()
+        .scenario(scenario.clone())
+        .build()
+        .unwrap();
+    let reference = features_of(&reference_session, &images);
 
     let mut errors = Vec::new();
     for depth in [1usize, 4, 16] {
-        let executor = TiledExecutor::new(
-            DigitalEngine,
-            256,
-            PipelineConfig::with_temporal_depth(depth),
-        )
-        .unwrap();
-        let features = cnn.features_batch(&images, &executor).unwrap();
+        scenario.pipeline = PipelineConfig::with_temporal_depth(depth);
+        let session = Session::builder()
+            .scenario(scenario.clone())
+            .build()
+            .unwrap();
+        let features = features_of(&session, &images);
         let err: f64 = reference
             .iter()
             .zip(&features)

@@ -1,12 +1,20 @@
 //! Cross-crate integration tests: the full PhotoFourier stack from the
-//! simulated optics up to the architecture-level metrics.
+//! simulated optics up to the architecture-level metrics, driven through
+//! the `Session`/`Scenario` facade.
 
-use photofourier::prelude::*;
 use pf_dsp::util::{max_abs_diff, relative_l2_error};
+use photofourier::prelude::*;
+
+fn session(network: &str, backend: BackendSpec) -> Session {
+    Session::builder()
+        .scenario(Scenario::new("e2e", network, backend))
+        .build()
+        .unwrap()
+}
 
 /// A convolution layer executed on the simulated JTC optics through row
 /// tiling matches the exact digital reference (the paper's core identity,
-/// across three crates: pf-dsp, pf-tiling, pf-jtc).
+/// across three crates: pf-dsp, pf-tiling, pf-jtc) — through one Session.
 #[test]
 fn photonic_row_tiled_convolution_matches_reference() {
     let input = Matrix::new(
@@ -17,25 +25,48 @@ fn photonic_row_tiled_convolution_matches_reference() {
     .unwrap();
     let kernel = Matrix::new(3, 3, (0..9).map(|i| (i as f64 - 4.0) / 10.0).collect()).unwrap();
 
-    let photonic = TiledConvolver::new(JtcEngine::ideal(128).unwrap(), 128).unwrap();
-    let optical = photonic.correlate2d_valid(&input, &kernel).unwrap();
+    let photonic = session("resnet18", BackendSpec::jtc_ideal(128));
+    let optical = photonic.conv2d(&input, &kernel).unwrap();
     let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
     assert!(max_abs_diff(optical.data(), reference.data()) < 1e-7);
 }
 
+/// One scenario file drives both sides of the paper: the functional conv2d
+/// result matches the digital reference (ideal backend) and the analytical
+/// model produces a full performance report — the facade's two-call flow.
+#[test]
+fn scenario_file_yields_functional_and_analytical_results() {
+    let session = Session::builder()
+        .scenario_path(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/scenarios/crosslight.toml"
+        ))
+        .unwrap()
+        .build()
+        .unwrap();
+
+    // Functional: ideal optics == digital reference.
+    let input = Matrix::new(16, 16, (0..256).map(|i| ((i % 11) as f64) / 11.0).collect()).unwrap();
+    let kernel = Matrix::new(3, 3, (0..9).map(|i| (i as f64 + 1.0) / 20.0).collect()).unwrap();
+    let optical = session.conv2d(&input, &kernel).unwrap();
+    let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+    assert!(max_abs_diff(optical.data(), reference.data()) < 1e-8);
+
+    // Analytical: a complete NetworkPerformance for the same configuration.
+    let perf = session.evaluate_performance().unwrap();
+    assert_eq!(perf.network, "CrossLight-CNN");
+    assert!(perf.fps > 0.0 && perf.fps_per_watt > 0.0 && perf.energy_j > 0.0);
+    assert_eq!(perf.layers.len(), session.network().num_conv_layers());
+}
+
 /// The PFCU hardware model (256 waveguides, 25 weight DACs, pipelined) can
 /// execute a row-tiled CNN layer end to end and stays close to the digital
-/// result even with its capacity constraints.
+/// result even with its capacity constraints. (Sub-facade APIs stay public.)
 #[test]
 fn pfcu_executes_row_tiled_layer() {
     let pfcu = Pfcu::photofourier_default();
     let convolver = TiledConvolver::new(&pfcu, 256).unwrap();
-    let input = Matrix::new(
-        16,
-        16,
-        (0..256).map(|i| ((i % 7) as f64) / 7.0).collect(),
-    )
-    .unwrap();
+    let input = Matrix::new(16, 16, (0..256).map(|i| ((i % 7) as f64) / 7.0).collect()).unwrap();
     let kernel = Matrix::new(5, 5, (0..25).map(|i| (i as f64) / 50.0).collect()).unwrap();
     let out = convolver.correlate2d_valid(&input, &kernel).unwrap();
     let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
@@ -48,9 +79,8 @@ fn pfcu_executes_row_tiled_layer() {
 /// numerical basis of the "<1% accuracy drop" claim of Table I.
 #[test]
 fn photofourier_pipeline_fidelity_on_resnet_layer() {
-    use pf_nn::executor::{Conv2dExecutor, PipelineConfig, ReferenceExecutor, TiledExecutor};
+    use pf_nn::executor::{Conv2dExecutor, ReferenceExecutor};
     use pf_nn::layers::Conv2d;
-    use pf_nn::Tensor;
 
     let layer = Conv2d::random(16, 4, 3, 1, true, 0.4, 7).unwrap();
     let input = Tensor::random(vec![16, 28, 28], 0.0, 1.0, 8);
@@ -73,21 +103,28 @@ fn photofourier_pipeline_fidelity_on_resnet_layer() {
 
 /// The architecture simulator reproduces the headline comparison shape:
 /// PhotoFourier-NG beats PhotoFourier-CG, which beats the un-optimised
-/// baseline, on both efficiency and EDP for every comparison network.
+/// baseline, on both efficiency and EDP for every comparison network —
+/// with every design point selected declaratively through ArchSpec.
 #[test]
 fn design_point_ordering_holds_across_networks() {
-    let baseline = Simulator::new(ArchConfig::baseline_single_pfcu()).unwrap();
-    let cg = Simulator::new(ArchConfig::photofourier_cg()).unwrap();
-    let ng = Simulator::new(ArchConfig::photofourier_ng()).unwrap();
-
-    for network in [alexnet(), vgg16(), resnet18()] {
-        let b = baseline.evaluate_network(&network).unwrap();
-        let c = cg.evaluate_network(&network).unwrap();
-        let n = ng.evaluate_network(&network).unwrap();
-        assert!(c.fps_per_watt > b.fps_per_watt, "{}", network.name);
-        assert!(n.fps_per_watt > c.fps_per_watt, "{}", network.name);
-        assert!(c.edp < b.edp, "{}", network.name);
-        assert!(n.edp < c.edp, "{}", network.name);
+    for network in ["alexnet", "vgg16", "resnet18"] {
+        let perf_of = |preset: ArchPreset| {
+            let mut scenario = Scenario::new("ordering", network, BackendSpec::digital(256));
+            scenario.arch = ArchSpec::preset(preset);
+            Session::builder()
+                .scenario(scenario)
+                .build()
+                .unwrap()
+                .evaluate_performance()
+                .unwrap()
+        };
+        let b = perf_of(ArchPreset::BaselineSinglePfcu);
+        let c = perf_of(ArchPreset::PhotofourierCg);
+        let n = perf_of(ArchPreset::PhotofourierNg);
+        assert!(c.fps_per_watt > b.fps_per_watt, "{network}");
+        assert!(n.fps_per_watt > c.fps_per_watt, "{network}");
+        assert!(c.edp < b.edp, "{network}");
+        assert!(n.edp < c.edp, "{network}");
     }
 }
 
@@ -96,7 +133,6 @@ fn design_point_ordering_holds_across_networks() {
 #[test]
 fn comparison_with_prior_work_preserves_orderings() {
     use pf_baselines::published::prior_photonic_accelerators;
-    use pf_baselines::AcceleratorModel;
 
     let cg = Simulator::new(ArchConfig::photofourier_cg()).unwrap();
     let ng = Simulator::new(ArchConfig::photofourier_ng()).unwrap();
@@ -136,19 +172,19 @@ fn comparison_with_prior_work_preserves_orderings() {
 #[test]
 fn digital_baseline_relationship() {
     use pf_baselines::digital::SystolicArray;
-    use pf_baselines::AcceleratorModel;
 
-    let cg = Simulator::new(ArchConfig::photofourier_cg()).unwrap();
     let unpu = SystolicArray::unpu_like();
-    for network in [vgg16(), resnet18()] {
-        let pf = cg.evaluate_network(&network).unwrap();
-        let unpu_fps = unpu.fps(&network).unwrap();
+    for name in ["vgg16", "resnet18"] {
+        let session = session(name, BackendSpec::digital(256));
+        let pf = session.evaluate_performance().unwrap();
+        let network = session.network();
+        let unpu_fps = unpu.fps(network).unwrap();
         assert!(
             pf.fps > 10.0 * unpu_fps,
             "PhotoFourier should be much faster than UNPU on {}",
             network.name
         );
-        let unpu_eff = unpu.fps_per_watt(&network).unwrap();
+        let unpu_eff = unpu.fps_per_watt(network).unwrap();
         let ratio = pf.fps_per_watt / unpu_eff;
         assert!(
             (0.05..50.0).contains(&ratio),
@@ -183,4 +219,25 @@ fn optimisation_ladder_is_monotone() {
         assert!(value > last, "{} did not improve", step.label());
         last = value;
     }
+}
+
+/// Batch inference through the facade is deterministic and parallel-safe.
+/// On a deterministic backend the rayon-dispatched batch equals per-image
+/// sequential execution; on the stochastic CG chain (per-image seeded noise
+/// engines) two identical batches must agree with each other.
+#[test]
+fn batch_inference_is_consistent_with_sequential() {
+    let digital = session("resnet_s", BackendSpec::digital(256));
+    let images: Vec<Tensor> = (0..6)
+        .map(|i| Tensor::random(vec![1, 16, 16], 0.0, 1.0, 50 + i))
+        .collect();
+    let batch = digital.run_batch(&images).unwrap();
+    for (image, batched) in images.iter().zip(&batch) {
+        assert_eq!(&digital.run_inference(image).unwrap(), batched);
+    }
+
+    let noisy = session("resnet_s", BackendSpec::photofourier_cg(256));
+    let a = noisy.run_batch(&images).unwrap();
+    let b = noisy.run_batch(&images).unwrap();
+    assert_eq!(a, b, "stochastic batches must be reproducible");
 }

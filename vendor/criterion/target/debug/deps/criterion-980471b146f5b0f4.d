@@ -1,0 +1,5 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-980471b146f5b0f4.d: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/criterion-980471b146f5b0f4: src/lib.rs
+
+src/lib.rs:

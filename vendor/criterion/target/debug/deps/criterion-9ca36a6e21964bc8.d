@@ -1,0 +1,7 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-9ca36a6e21964bc8.d: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-9ca36a6e21964bc8.rlib: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-9ca36a6e21964bc8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-08d7a076dc41c543.d: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/libparking_lot-08d7a076dc41c543.rlib: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/libparking_lot-08d7a076dc41c543.rmeta: src/lib.rs
+
+src/lib.rs:

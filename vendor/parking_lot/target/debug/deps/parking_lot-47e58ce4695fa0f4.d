@@ -1,0 +1,5 @@
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-47e58ce4695fa0f4.d: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-47e58ce4695fa0f4: src/lib.rs
+
+src/lib.rs:

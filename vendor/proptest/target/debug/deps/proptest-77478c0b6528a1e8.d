@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-77478c0b6528a1e8.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-77478c0b6528a1e8.rlib: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/libproptest-77478c0b6528a1e8.rmeta: src/lib.rs
+
+src/lib.rs:

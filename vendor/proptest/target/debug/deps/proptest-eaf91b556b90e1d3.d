@@ -1,0 +1,5 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-eaf91b556b90e1d3.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-eaf91b556b90e1d3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/proptest/target/debug/deps/rand-b14d10c590a6ea24.d: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-b14d10c590a6ea24.rlib: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/librand-b14d10c590a6ea24.rmeta: /root/repo/vendor/rand/src/lib.rs
+
+/root/repo/vendor/rand/src/lib.rs:

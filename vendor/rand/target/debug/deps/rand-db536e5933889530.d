@@ -1,0 +1,7 @@
+/root/repo/vendor/rand/target/debug/deps/rand-db536e5933889530.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-db536e5933889530.rlib: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/librand-db536e5933889530.rmeta: src/lib.rs
+
+src/lib.rs:

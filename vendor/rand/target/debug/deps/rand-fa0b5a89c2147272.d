@@ -1,0 +1,5 @@
+/root/repo/vendor/rand/target/debug/deps/rand-fa0b5a89c2147272.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-fa0b5a89c2147272: src/lib.rs
+
+src/lib.rs:

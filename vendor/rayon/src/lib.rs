@@ -1,0 +1,164 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the `par_iter().map(..).collect()` subset on slices using
+//! `std::thread::scope`: the input is split into one contiguous chunk per
+//! available core and mapped in parallel, preserving order. There is no work
+//! stealing — good enough for the coarse per-image parallelism the facade
+//! uses it for.
+
+use std::num::NonZeroUsize;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Borrowing conversion into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// Returns a parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`], consumed by `collect`.
+#[derive(Debug, Clone, Copy)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Runs the map across threads and collects the results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    fn run(self) -> Vec<R> {
+        let items = self.items;
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let f = &self.f;
+        let workers = worker_count(items.len());
+        if workers == 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk_len = items.len().div_ceil(workers);
+        let mut results: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map worker panicked"))
+                .collect();
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_in_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u64> = Vec::new();
+        let out: Vec<u64> = input.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_runs_concurrently_when_possible() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        let input: Vec<usize> = (0..64).collect();
+        let _: Vec<()> = input
+            .par_iter()
+            .map(|_| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                live.fetch_sub(1, Ordering::SeqCst);
+            })
+            .collect();
+        // On a multi-core machine at least two workers must have overlapped.
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(peak.load(Ordering::SeqCst) > 1);
+        }
+    }
+}

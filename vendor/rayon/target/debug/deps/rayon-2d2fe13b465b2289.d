@@ -1,0 +1,7 @@
+/root/repo/vendor/rayon/target/debug/deps/rayon-2d2fe13b465b2289.d: src/lib.rs
+
+/root/repo/vendor/rayon/target/debug/deps/librayon-2d2fe13b465b2289.rlib: src/lib.rs
+
+/root/repo/vendor/rayon/target/debug/deps/librayon-2d2fe13b465b2289.rmeta: src/lib.rs
+
+src/lib.rs:

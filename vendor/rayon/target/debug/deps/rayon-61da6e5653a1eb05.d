@@ -1,0 +1,5 @@
+/root/repo/vendor/rayon/target/debug/deps/rayon-61da6e5653a1eb05.d: src/lib.rs
+
+/root/repo/vendor/rayon/target/debug/deps/rayon-61da6e5653a1eb05: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,450 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach a crates registry, so this vendored
+//! crate provides the subset of serde the workspace relies on: the
+//! `Serialize`/`Deserialize` trait pair (re-exported together with derive
+//! macros of the same names, exactly like real serde) built on a
+//! self-describing [`Value`] tree instead of serde's visitor machinery.
+//! The vendored `serde_json` and `toml` crates read and write this model.
+
+// Lets the `::serde::` paths emitted by the derive macros resolve inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate so `u64` survives round trips).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key-value map with stable insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the string slice if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `f64` (ints, uints and floats all qualify).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Numeric coercion to `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::UInt(u) => Some(*u),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => Some(*f as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for DeError {}
+
+/// Types that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the serde data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the serde data model.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Helpers used by the generated derive code.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Extracts and deserializes a named field from a `Map` value.
+    pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+        match value.get(name) {
+            Some(v) => T::from_value(v).map_err(|e| DeError::new(format!("field `{name}`: {e}"))),
+            None => {
+                // Missing keys deserialize as Null so Option fields work.
+                T::from_value(&Value::Null)
+                    .map_err(|_| DeError::new(format!("missing field `{name}`")))
+            }
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let i = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::new(format!("expected an integer, found {value:?}")))?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError::new(format!("integer {i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let u = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::new(format!("expected an unsigned integer, found {value:?}")))?;
+                <$t>::try_from(u).map_err(|_| {
+                    DeError::new(format!("integer {u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::new(format!("expected a number, found {value:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected a bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new(format!("expected a string, found {value:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::new(format!(
+                "expected a sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::new(format!("expected {N} elements, found {len}")))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::new(format!("expected a pair, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected a map, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!("expected a map, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&Value::UInt(7)).unwrap(), 7);
+        assert_eq!(f64::from_value(&Value::Int(3)).unwrap(), 3.0);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn option_round_trips() {
+        let none: Option<f64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Float(1.5)).unwrap(),
+            Some(1.5)
+        );
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Demo {
+            x: f64,
+            n: Option<u32>,
+            tag: String,
+        }
+        let d = Demo {
+            x: 2.5,
+            n: Some(8),
+            tag: "t".into(),
+        };
+        let v = d.to_value();
+        assert_eq!(v.get("x"), Some(&Value::Float(2.5)));
+        assert_eq!(Demo::from_value(&v).unwrap(), d);
+    }
+
+    #[test]
+    fn derive_unit_enum() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum Mode {
+            Fast,
+            Slow,
+        }
+        assert_eq!(Mode::Fast.to_value(), Value::Str("Fast".into()));
+        assert_eq!(
+            Mode::from_value(&Value::Str("Slow".into())).unwrap(),
+            Mode::Slow
+        );
+        assert!(Mode::from_value(&Value::Str("Medium".into())).is_err());
+    }
+
+    #[test]
+    fn derive_newtype() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Watts(f64);
+        assert_eq!(Watts(3.0).to_value(), Value::Float(3.0));
+        assert_eq!(Watts::from_value(&Value::Float(3.0)).unwrap(), Watts(3.0));
+    }
+}

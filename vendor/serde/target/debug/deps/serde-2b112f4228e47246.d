@@ -1,0 +1,5 @@
+/root/repo/vendor/serde/target/debug/deps/serde-2b112f4228e47246.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/serde-2b112f4228e47246: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/serde/target/debug/deps/serde-44fd0d534e964cec.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-44fd0d534e964cec.rlib: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-44fd0d534e964cec.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde/target/debug/deps/serde_derive-600e3232a4ee7fdc.d: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde_derive-600e3232a4ee7fdc.so: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde_derive/src/lib.rs:

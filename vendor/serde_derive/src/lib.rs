@@ -1,0 +1,285 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serde whose data model is a self-describing `Value` tree. These
+//! derives cover exactly the shapes the codebase uses:
+//!
+//! * structs with named fields,
+//! * one-field tuple structs (newtypes, e.g. the `pf-photonics` unit types),
+//! * enums whose variants all carry no data (serialized as strings).
+//!
+//! Anything else (generics, data-carrying enums) is rejected with a compile
+//! error rather than silently miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the type a derive was applied to.
+enum Shape {
+    /// `struct Name { a: A, b: B }` — the listed field names.
+    NamedStruct(Vec<String>),
+    /// `struct Name(Inner);`
+    Newtype,
+    /// `enum Name { A, B, C }` — the listed variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips `#[...]` attribute groups (including doc comments) starting at
+/// `idx`, returning the first non-attribute index.
+fn skip_attributes(tokens: &[TokenTree], mut idx: usize) -> usize {
+    while idx + 1 < tokens.len() {
+        match (&tokens[idx], &tokens[idx + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                idx += 2;
+            }
+            _ => break,
+        }
+    }
+    idx
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_visibility(tokens: &[TokenTree], mut idx: usize) -> usize {
+    if let Some(TokenTree::Ident(i)) = tokens.get(idx) {
+        if i.to_string() == "pub" {
+            idx += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(idx) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    idx += 1;
+                }
+            }
+        }
+    }
+    idx
+}
+
+/// Parses the field names of a `{ ... }` named-field body. Commas nested in
+/// angle brackets (`Vec<(A, B)>` is fine on its own, but e.g. a two-parameter
+/// generic type would not be) are not split because we only scan for the
+/// field-name ident directly before a `:` at angle depth zero.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < body.len() {
+        idx = skip_attributes(body, idx);
+        if idx >= body.len() {
+            break;
+        }
+        idx = skip_visibility(body, idx);
+        let name = match body.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        idx += 1;
+        match body.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => idx += 1,
+            other => return Err(format!("expected ':' after field name, found {other:?}")),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while idx < body.len() {
+            match &body[idx] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    idx += 1;
+                    break;
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Parses the variant names of an enum body, requiring every variant to be a
+/// unit variant.
+fn parse_unit_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < body.len() {
+        idx = skip_attributes(body, idx);
+        if idx >= body.len() {
+            break;
+        }
+        let name = match body.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        idx += 1;
+        match body.get(idx) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => idx += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant {name} carries data; the vendored serde derive only supports unit variants"
+                ));
+            }
+            other => return Err(format!("unexpected token after variant {name}: {other:?}")),
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = skip_attributes(&tokens, 0);
+    idx = skip_visibility(&tokens, idx);
+
+    let kind = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    idx += 1;
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    idx += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "{name} is generic; the vendored serde derive only supports concrete types"
+            ));
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::NamedStruct(parse_named_fields(&body)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                // Count top-level commas separating actual fields.
+                let mut depth = 0i32;
+                let mut field_count = if body.is_empty() { 0 } else { 1 };
+                for t in &body {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => field_count += 1,
+                        _ => {}
+                    }
+                }
+                if field_count != 1 {
+                    return Err(format!(
+                        "{name} has {field_count} unnamed fields; only one-field newtypes are supported"
+                    ));
+                }
+                Shape::Newtype
+            }
+            other => return Err(format!("unsupported struct body for {name}: {other:?}")),
+        },
+        "enum" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::UnitEnum(parse_unit_variants(&body)?)
+            }
+            other => return Err(format!("unsupported enum body for {name}: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+/// Derives the vendored `serde::Serialize` (`fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut map = ::std::vec::Vec::new(); {} ::serde::Value::Map(map)",
+                entries.join(" ")
+            )
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives the vendored `serde::Deserialize`
+/// (`fn from_value(&Value) -> Result<Self, DeError>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(value, {f:?})?,"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "let s = value.as_str().ok_or_else(|| ::serde::DeError::new(\
+                     ::std::format!(\"expected a string for enum {name}, found {{value:?}}\")))?;\n\
+                 match s {{ {} other => ::std::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"unknown {name} variant: {{other}}\"))) }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,7 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-163e91ddb6159488.d: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-163e91ddb6159488.rlib: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-163e91ddb6159488.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-24f4af8ffc43fe41.d: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-24f4af8ffc43fe41: src/lib.rs
+
+src/lib.rs:

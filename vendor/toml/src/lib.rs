@@ -1,0 +1,624 @@
+//! Offline stand-in for the `toml` crate over the vendored serde [`Value`]
+//! model.
+//!
+//! Supports the subset of TOML the workspace's scenario files use: nested
+//! tables (`[a.b]`), arrays of tables (`[[a.b]]`), bare and quoted keys,
+//! strings, booleans, integers, floats, and (possibly multi-line) arrays.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// TOML serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // No "toml error:" prefix — wrappers (e.g. PfError::Format) add
+        // their own and would double it.
+        f.write_str(&self.message)
+    }
+}
+
+impl StdError for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes a value (whose data model root must be a map) to TOML.
+///
+/// # Errors
+///
+/// Returns an error if the root is not a map or a value cannot be
+/// represented in TOML (e.g. a non-finite float).
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    match value.to_value() {
+        Value::Map(entries) => {
+            let mut out = String::new();
+            write_table(&entries, "", &mut out)?;
+            Ok(out)
+        }
+        other => Err(Error::new(format!(
+            "TOML documents must be tables at the root, found {other:?}"
+        ))),
+    }
+}
+
+/// Alias for [`to_string`] (real `toml` offers a prettier variant; the
+/// vendored output is already block-formatted).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Parses a TOML document into `T`.
+///
+/// # Errors
+///
+/// Returns an error for malformed TOML or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_document(input)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_table(entries: &[(String, Value)], path: &str, out: &mut String) -> Result<(), Error> {
+    // Scalars and inline arrays first, then sub-tables, then table arrays —
+    // the order TOML requires so scalar keys bind to the right table.
+    for (key, value) in entries {
+        match value {
+            Value::Null | Value::Map(_) => {}
+            Value::Seq(items) if items.iter().any(|i| matches!(i, Value::Map(_))) => {}
+            _ => {
+                out.push_str(&format_key(key));
+                out.push_str(" = ");
+                write_inline(value, out)?;
+                out.push('\n');
+            }
+        }
+    }
+    for (key, value) in entries {
+        let child_path = join_path(path, key);
+        match value {
+            Value::Map(child) => {
+                out.push_str(&format!("\n[{child_path}]\n"));
+                write_table(child, &child_path, out)?;
+            }
+            Value::Seq(items) if items.iter().any(|i| matches!(i, Value::Map(_))) => {
+                for item in items {
+                    match item {
+                        Value::Map(child) => {
+                            out.push_str(&format!("\n[[{child_path}]]\n"));
+                            write_table(child, &child_path, out)?;
+                        }
+                        other => {
+                            return Err(Error::new(format!(
+                                "array `{child_path}` mixes tables and scalars: {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn join_path(path: &str, key: &str) -> String {
+    let key = format_key(key);
+    if path.is_empty() {
+        key
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn format_key(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        toml_quote(key)
+    }
+}
+
+/// Quotes a string as a TOML basic string. Control characters use TOML's
+/// `\uXXXX` escape (Rust's `{:?}` would emit `\u{1b}`, which TOML rejects).
+fn toml_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
+                out.push_str(&format!("\\u{:04X}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn write_inline(value: &Value, out: &mut String) -> Result<(), Error> {
+    match value {
+        Value::Null => return Err(Error::new("null cannot be represented in TOML")),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(Error::new(format!("non-finite float {f}")));
+            }
+            let text = format!("{f}");
+            out.push_str(&text);
+            if !text.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => out.push_str(&toml_quote(s)),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(_) => {
+            return Err(Error::new(
+                "nested tables must be emitted as [table] sections, not inline",
+            ))
+        }
+    }
+    Ok(())
+}
+
+/// Parses a TOML document into the generic [`Value`] model.
+///
+/// # Errors
+///
+/// Returns an error for syntax this subset does not understand.
+pub fn parse_document(input: &str) -> Result<Value, Error> {
+    let mut root: Vec<(String, Value)> = Vec::new();
+    // Path of the table currently receiving `key = value` lines.
+    let mut current_path: Vec<String> = Vec::new();
+
+    let mut lines = input.lines().enumerate();
+    while let Some((line_no, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[") {
+            let header = header
+                .strip_suffix("]]")
+                .ok_or_else(|| Error::new(format!("line {}: malformed [[table]]", line_no + 1)))?;
+            current_path = parse_path(header)?;
+            append_table_array(&mut root, &current_path, line_no)?;
+        } else if let Some(header) = line.strip_prefix('[') {
+            let header = header
+                .strip_suffix(']')
+                .ok_or_else(|| Error::new(format!("line {}: malformed [table]", line_no + 1)))?;
+            current_path = parse_path(header)?;
+            ensure_table(&mut root, &current_path, line_no)?;
+        } else {
+            let (key, mut rest) = split_key_value(&line, line_no)?;
+            // Accumulate continuation lines for multi-line arrays.
+            while bracket_balance(&rest) > 0 {
+                let (_, next) = lines.next().ok_or_else(|| {
+                    Error::new(format!("line {}: unterminated array", line_no + 1))
+                })?;
+                rest.push(' ');
+                rest.push_str(strip_comment(next).trim());
+            }
+            let value = parse_inline_value(rest.trim(), line_no)?;
+            let table = resolve_table(&mut root, &current_path, line_no)?;
+            table.push((key, value));
+        }
+    }
+    Ok(Value::Map(root))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_string => {
+                escaped = !escaped;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn bracket_balance(text: &str) -> i32 {
+    let mut balance = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        match c {
+            '\\' if in_string => {
+                escaped = !escaped;
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => balance += 1,
+            ']' if !in_string => balance -= 1,
+            _ => {}
+        }
+        escaped = false;
+    }
+    balance
+}
+
+fn parse_path(header: &str) -> Result<Vec<String>, Error> {
+    header
+        .split('.')
+        .map(|part| {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(Error::new(format!("empty path segment in `{header}`")));
+            }
+            Ok(unquote_key(part))
+        })
+        .collect()
+}
+
+fn unquote_key(part: &str) -> String {
+    if part.len() >= 2 && part.starts_with('"') && part.ends_with('"') {
+        part[1..part.len() - 1].to_string()
+    } else {
+        part.to_string()
+    }
+}
+
+fn split_key_value(line: &str, line_no: usize) -> Result<(String, String), Error> {
+    let eq = line
+        .find('=')
+        .ok_or_else(|| Error::new(format!("line {}: expected `key = value`", line_no + 1)))?;
+    let key = unquote_key(line[..eq].trim());
+    if key.is_empty() {
+        return Err(Error::new(format!("line {}: empty key", line_no + 1)));
+    }
+    Ok((key, line[eq + 1..].to_string()))
+}
+
+fn ensure_table<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'a mut Vec<(String, Value)>, Error> {
+    let mut table = root;
+    for segment in path {
+        if !table.iter().any(|(k, _)| k == segment) {
+            table.push((segment.clone(), Value::Map(Vec::new())));
+        }
+        let entry = table
+            .iter_mut()
+            .find(|(k, _)| k == segment)
+            .map(|(_, v)| v)
+            .expect("just ensured the key exists");
+        table = match entry {
+            Value::Map(child) => child,
+            Value::Seq(items) => match items.last_mut() {
+                Some(Value::Map(child)) => child,
+                _ => {
+                    return Err(Error::new(format!(
+                        "line {}: `{segment}` is not a table",
+                        line_no + 1
+                    )))
+                }
+            },
+            _ => {
+                return Err(Error::new(format!(
+                    "line {}: `{segment}` is not a table",
+                    line_no + 1
+                )))
+            }
+        };
+    }
+    Ok(table)
+}
+
+fn append_table_array(
+    root: &mut Vec<(String, Value)>,
+    path: &[String],
+    line_no: usize,
+) -> Result<(), Error> {
+    let (last, parents) = path
+        .split_last()
+        .ok_or_else(|| Error::new(format!("line {}: empty [[table]] path", line_no + 1)))?;
+    let parent = ensure_table(root, parents, line_no)?;
+    if !parent.iter().any(|(k, _)| k == last) {
+        parent.push((last.clone(), Value::Seq(Vec::new())));
+    }
+    let entry = parent
+        .iter_mut()
+        .find(|(k, _)| k == last)
+        .map(|(_, v)| v)
+        .expect("just ensured the key exists");
+    match entry {
+        Value::Seq(items) => {
+            items.push(Value::Map(Vec::new()));
+            Ok(())
+        }
+        _ => Err(Error::new(format!(
+            "line {}: `{last}` is not an array of tables",
+            line_no + 1
+        ))),
+    }
+}
+
+fn resolve_table<'a>(
+    root: &'a mut Vec<(String, Value)>,
+    path: &[String],
+    line_no: usize,
+) -> Result<&'a mut Vec<(String, Value)>, Error> {
+    ensure_table(root, path, line_no)
+}
+
+fn parse_inline_value(text: &str, line_no: usize) -> Result<Value, Error> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(Error::new(format!("line {}: missing value", line_no + 1)));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        return parse_basic_string(rest, line_no);
+    }
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if text.starts_with('[') {
+        let inner = text
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| Error::new(format!("line {}: malformed array", line_no + 1)))?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_inline_value(part, line_no)?);
+        }
+        return Ok(Value::Seq(items));
+    }
+    let cleaned = text.replace('_', "");
+    if !cleaned.contains(['.', 'e', 'E']) {
+        if let Ok(u) = cleaned.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        if let Ok(i) = cleaned.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+    }
+    if let Ok(f) = cleaned.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(Error::new(format!(
+        "line {}: cannot parse value `{text}`",
+        line_no + 1
+    )))
+}
+
+fn parse_basic_string(rest: &str, line_no: usize) -> Result<Value, Error> {
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                let tail: String = chars.collect();
+                if !tail.trim().is_empty() {
+                    return Err(Error::new(format!(
+                        "line {}: trailing characters after string",
+                        line_no + 1
+                    )));
+                }
+                return Ok(Value::Str(out));
+            }
+            '\\' => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = (hex.len() == 4)
+                        .then(|| u32::from_str_radix(&hex, 16).ok())
+                        .flatten()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| {
+                            Error::new(format!(
+                                "line {}: invalid \\u escape `\\u{hex}`",
+                                line_no + 1
+                            ))
+                        })?;
+                    out.push(code);
+                }
+                Some(other) => {
+                    return Err(Error::new(format!(
+                        "line {}: unknown escape `\\{other}`",
+                        line_no + 1
+                    )))
+                }
+                None => {
+                    return Err(Error::new(format!(
+                        "line {}: unterminated escape",
+                        line_no + 1
+                    )))
+                }
+            },
+            c => out.push(c),
+        }
+    }
+    Err(Error::new(format!(
+        "line {}: unterminated string",
+        line_no + 1
+    )))
+}
+
+/// Splits an array body on commas that are not nested in brackets or strings.
+fn split_top_level(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut depth = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        match c {
+            '\\' if in_string => {
+                escaped = !escaped;
+                current.push(c);
+                continue;
+            }
+            '"' if !escaped => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            ',' if !in_string && depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+                escaped = false;
+                continue;
+            }
+            _ => {}
+        }
+        escaped = false;
+        current.push(c);
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_nested_tables() {
+        let value = Value::Map(vec![
+            ("name".into(), Value::Str("demo".into())),
+            ("count".into(), Value::UInt(8)),
+            ("scale".into(), Value::Float(2.0)),
+            (
+                "weights".into(),
+                Value::Seq(vec![Value::Float(0.5), Value::Float(-1.25)]),
+            ),
+            (
+                "arch".into(),
+                Value::Map(vec![
+                    ("pipelined".into(), Value::Bool(true)),
+                    (
+                        "tech".into(),
+                        Value::Map(vec![("node".into(), Value::Str("Nm14".into()))]),
+                    ),
+                ]),
+            ),
+            (
+                "layers".into(),
+                Value::Seq(vec![
+                    Value::Map(vec![("k".into(), Value::UInt(3))]),
+                    Value::Map(vec![("k".into(), Value::UInt(5))]),
+                ]),
+            ),
+        ]);
+        let text = to_string(&value).unwrap();
+        assert_eq!(parse_document(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn parses_comments_and_multiline_arrays() {
+        let doc = "# header\nvalues = [1, 2, # inline\n 3]\n[t] # table\nflag = false # off\n";
+        let parsed = parse_document(doc).unwrap();
+        assert_eq!(
+            parsed.get("values"),
+            Some(&Value::Seq(vec![
+                Value::UInt(1),
+                Value::UInt(2),
+                Value::UInt(3)
+            ]))
+        );
+        assert_eq!(
+            parsed.get("t").and_then(|t| t.get("flag")),
+            Some(&Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_document("[unclosed\n").is_err());
+        assert!(parse_document("key").is_err());
+        assert!(parse_document("x = @\n").is_err());
+    }
+
+    #[test]
+    fn control_characters_round_trip() {
+        let value = Value::Map(vec![(
+            "name".into(),
+            Value::Str("esc \u{1b} nul \0 tab\tquote \" done".into()),
+        )]);
+        let text = to_string(&value).unwrap();
+        assert!(
+            text.contains("\\u001B"),
+            "control chars use TOML \\uXXXX: {text}"
+        );
+        assert_eq!(parse_document(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Inner {
+            bits: Option<u32>,
+            label: String,
+        }
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Demo {
+            x: f64,
+            inner: Inner,
+        }
+        let d = Demo {
+            x: 0.25,
+            inner: Inner {
+                bits: Some(8),
+                label: "hi there".into(),
+            },
+        };
+        let text = to_string(&d).unwrap();
+        assert_eq!(from_str::<Demo>(&text).unwrap(), d);
+    }
+}

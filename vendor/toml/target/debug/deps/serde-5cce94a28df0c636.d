@@ -1,0 +1,7 @@
+/root/repo/vendor/toml/target/debug/deps/serde-5cce94a28df0c636.d: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/toml/target/debug/deps/libserde-5cce94a28df0c636.rlib: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/toml/target/debug/deps/libserde-5cce94a28df0c636.rmeta: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde/src/lib.rs:

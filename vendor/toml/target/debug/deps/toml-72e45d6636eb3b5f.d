@@ -1,0 +1,5 @@
+/root/repo/vendor/toml/target/debug/deps/toml-72e45d6636eb3b5f.d: src/lib.rs
+
+/root/repo/vendor/toml/target/debug/deps/toml-72e45d6636eb3b5f: src/lib.rs
+
+src/lib.rs:

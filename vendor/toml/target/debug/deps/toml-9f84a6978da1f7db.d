@@ -1,0 +1,7 @@
+/root/repo/vendor/toml/target/debug/deps/toml-9f84a6978da1f7db.d: src/lib.rs
+
+/root/repo/vendor/toml/target/debug/deps/libtoml-9f84a6978da1f7db.rlib: src/lib.rs
+
+/root/repo/vendor/toml/target/debug/deps/libtoml-9f84a6978da1f7db.rmeta: src/lib.rs
+
+src/lib.rs:
