@@ -6,9 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pf_bench::{report::fmt_sig, tab1_row_tiling_accuracy, Table};
-use pf_nn::executor::PipelineConfig;
-use pf_nn::fidelity::{evaluate_layer, FidelityConfig};
-use pf_nn::layers::ConvLayerSpec;
+use pf_nn::executor::{Conv2dExecutor, PipelineConfig, TiledExecutor};
+use pf_nn::layers::Conv2d;
+use pf_nn::Tensor;
 use pf_tiling::DigitalEngine;
 
 fn print_results() {
@@ -48,20 +48,17 @@ fn print_results() {
 
 fn bench(c: &mut Criterion) {
     print_results();
-    let spec = ConvLayerSpec::new("resnet_block", 16, 4, 3, 1, 32, true).expect("spec");
+    // Hoist layer/input generation and executor construction out of the
+    // timed closure so the bench measures the row-tiled convolution, not
+    // random-weight allocation (evaluate_layer regenerates both per call).
+    let layer = Conv2d::random(16, 4, 3, 1, true, 0.5, 7).expect("layer");
+    let input = Tensor::random(vec![16, 32, 32], -1.0, 1.0, 8);
+    let tiled = TiledExecutor::new(DigitalEngine, 256, PipelineConfig::photofourier_default())
+        .expect("executor");
     let mut group = c.benchmark_group("tab1");
     group.sample_size(10);
-    group.bench_function("single_layer_fidelity", |b| {
-        b.iter(|| {
-            evaluate_layer(
-                &spec,
-                DigitalEngine,
-                256,
-                PipelineConfig::photofourier_default(),
-                &FidelityConfig::default(),
-            )
-            .expect("fidelity")
-        })
+    group.bench_function("single_layer_row_tiled_forward", |b| {
+        b.iter(|| tiled.forward(&input, &layer).expect("forward"))
     });
     group.finish();
 }

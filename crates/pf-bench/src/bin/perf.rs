@@ -1,0 +1,142 @@
+//! `cargo run -p pf-bench --bin perf` — the throughput perf harness.
+//!
+//! Measures batched conv2d and batched inference on every backend, writes
+//! `BENCH_throughput.json`, and (with `--check`) gates against the
+//! committed `benches/baseline.json`. See the README "Performance" section
+//! for the schema and the CI wiring.
+//!
+//! Flags:
+//!
+//! * `--smoke`          small shapes / few reps (the CI bench-smoke job)
+//! * `--out PATH`       report path (default `BENCH_throughput.json`)
+//! * `--check PATH`     compare against a committed baseline; non-zero exit
+//!   on regression
+//! * `--tolerance F`    allowed fractional regression for `--check`
+//!   (default 0.30 = 30%)
+
+use std::process::ExitCode;
+
+use pf_bench::perf::{check_against_baseline, run_suite, Baseline, PerfReport};
+
+fn usage() {
+    eprintln!("usage: perf [--smoke] [--out PATH] [--check BASELINE] [--tolerance FRACTION]");
+}
+
+fn print_report(report: &PerfReport) {
+    println!(
+        "\n== PhotoFourier throughput ({} mode, {} host thread(s)) ==",
+        report.mode, report.host_threads
+    );
+    println!(
+        "{:<22} {:<16} {:>6} {:>12} {:>12} {:>10} {:>14}",
+        "scenario", "backend", "batch", "imgs/s", "seed imgs/s", "us/conv", "speedup_vs_seed"
+    );
+    for r in &report.results {
+        println!(
+            "{:<22} {:<16} {:>6} {:>12.2} {:>12.2} {:>10.2} {:>14.2}",
+            r.scenario,
+            r.backend,
+            r.batch,
+            r.images_per_s,
+            r.seed_images_per_s,
+            r.us_per_conv,
+            r.speedup_vs_seed
+        );
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = "BENCH_throughput.json".to_string();
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.30f64;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--full" => smoke = false,
+            "--out" | "--check" | "--tolerance" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("{flag} needs a value");
+                    usage();
+                    return ExitCode::from(2);
+                };
+                match flag.as_str() {
+                    "--out" => out = value.clone(),
+                    "--check" => check = Some(value.clone()),
+                    _ => match value.parse::<f64>() {
+                        Ok(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                        _ => {
+                            eprintln!("--tolerance needs a fraction in [0, 1)");
+                            return ExitCode::from(2);
+                        }
+                    },
+                }
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let report = match run_suite(smoke) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("perf suite failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_report(&report);
+
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("failed to serialise report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if let Some(baseline_path) = check {
+        let baseline: Baseline = match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+        {
+            Ok(baseline) => baseline,
+            Err(e) => {
+                eprintln!("failed to read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let failures = check_against_baseline(&report, &baseline, tolerance);
+        if failures.is_empty() {
+            println!(
+                "bench gate passed against {baseline_path} ({}% tolerance)",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("bench gate FAILED against {baseline_path}:");
+            for failure in &failures {
+                eprintln!("  - {failure}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
 pub use experiments::*;

@@ -1,0 +1,431 @@
+//! The throughput perf harness behind `cargo run -p pf-bench --bin perf`.
+//!
+//! Drives batched 2D convolution and batched (ResNet-18-shaped scenario)
+//! inference through each backend via the [`photofourier::Session`] facade
+//! and emits a machine-readable `BENCH_throughput.json` — the repo's
+//! performance trajectory. Every record carries `speedup_vs_seed`: measured
+//! throughput divided by the throughput of a **seed reference path** run on
+//! the same host in the same process, so the number is comparable across
+//! machines (and is what the CI bench gate checks).
+//!
+//! Seed reference paths:
+//!
+//! * **conv2d on the ideal JTC** — the [`seed`] module below, a frozen copy
+//!   of the pre-engine hot path (per-call complex FFTs with incrementally
+//!   computed twiddles, joint-plane assembly per tile, serial tiling). It
+//!   is deliberately kept verbatim so future optimisation PRs measure
+//!   against the same origin.
+//! * **conv2d on the digital backend** — the same frozen serial tiling over
+//!   the dot-product engine.
+//! * **batched inference** — the current engines driven *without* the
+//!   prepared-kernel fast path and without cross-image parallelism (the
+//!   pre-engine execution structure), via a prepare-hiding adapter.
+//! * **stochastic (CG) scenarios** — serial per-image execution on the real
+//!   session; the noisy chain has no prepared fast path by design, so its
+//!   speedup is expected to hover near 1.
+
+pub mod seed;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pf_nn::models::small::SmallCnn;
+use pf_nn::Tensor;
+use pf_tiling::Conv1dEngine;
+use photofourier::prelude::*;
+use photofourier::PfError;
+use serde::{Deserialize, Serialize};
+
+/// Schema identifier written into the report.
+pub const SCHEMA: &str = "pf-bench/throughput-v1";
+
+/// One measured scenario/backend combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfRecord {
+    /// Scenario name, e.g. `conv2d_batch` or `resnet18_batch_infer`.
+    pub scenario: String,
+    /// Backend registry name (`digital`, `jtc_ideal`, `photofourier_cg`).
+    pub backend: String,
+    /// Images per batch.
+    pub batch: usize,
+    /// Timing repetitions (the best repetition is reported).
+    pub reps: usize,
+    /// Measured engine throughput in images per second.
+    pub images_per_s: f64,
+    /// Mean microseconds per 1D convolution on the engine path.
+    pub us_per_conv: f64,
+    /// 1D convolutions needed per image.
+    pub convs_per_image: usize,
+    /// Throughput of the seed reference path in images per second.
+    pub seed_images_per_s: f64,
+    /// `images_per_s / seed_images_per_s` — the host-independent metric the
+    /// CI bench gate tracks.
+    pub speedup_vs_seed: f64,
+}
+
+/// The full report serialised to `BENCH_throughput.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Schema identifier ([`SCHEMA`]).
+    pub schema: String,
+    /// `smoke` (CI) or `full`.
+    pub mode: String,
+    /// Worker threads available to rayon-style dispatch on this host.
+    pub host_threads: usize,
+    /// Measured records.
+    pub results: Vec<PerfRecord>,
+}
+
+/// Expected floor for one scenario/backend pair, committed in
+/// `benches/baseline.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Scenario name to match.
+    pub scenario: String,
+    /// Backend registry name to match.
+    pub backend: String,
+    /// Committed `speedup_vs_seed` floor for this combination.
+    pub min_speedup_vs_seed: f64,
+}
+
+/// The committed baseline file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Per-scenario floors.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Compares a report against the committed baseline.
+///
+/// A record regresses when its measured `speedup_vs_seed` falls more than
+/// `tolerance` (e.g. `0.30` = 30%) below the committed floor; a baseline
+/// entry with no matching record is also a failure. Returns human-readable
+/// failure descriptions (empty = gate passes).
+pub fn check_against_baseline(
+    report: &PerfReport,
+    baseline: &Baseline,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for entry in &baseline.entries {
+        let Some(record) = report
+            .results
+            .iter()
+            .find(|r| r.scenario == entry.scenario && r.backend == entry.backend)
+        else {
+            failures.push(format!(
+                "baseline entry {}/{} has no measured record",
+                entry.scenario, entry.backend
+            ));
+            continue;
+        };
+        let floor = entry.min_speedup_vs_seed * (1.0 - tolerance);
+        if record.speedup_vs_seed < floor {
+            failures.push(format!(
+                "{}/{}: speedup_vs_seed {:.2} fell below {:.2} (committed {:.2} - {:.0}% tolerance)",
+                entry.scenario,
+                entry.backend,
+                record.speedup_vs_seed,
+                floor,
+                entry.min_speedup_vs_seed,
+                tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
+/// Times `f` `reps` times and returns the best (minimum) duration — the
+/// standard way to suppress scheduler noise on shared CI hosts.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Engine adapter that hides the prepared-kernel fast path, reproducing the
+/// seed execution structure (per-tile joint FFT, no spectrum reuse) on the
+/// current backend.
+#[derive(Debug)]
+struct NoPrep<E>(E);
+
+impl<E: Conv1dEngine> Conv1dEngine for NoPrep<E> {
+    fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+        self.0.correlate_valid(signal, kernel)
+    }
+
+    fn max_signal_len(&self) -> Option<usize> {
+        self.0.max_signal_len()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.0.is_deterministic()
+    }
+    // prepare_kernel deliberately left at the `None` default.
+}
+
+/// Engine adapter counting 1D convolution calls (used once per scenario to
+/// establish `convs_per_image`; the prepared path is hidden so every
+/// convolution goes through the counted method).
+#[derive(Debug)]
+struct Counting<E> {
+    inner: E,
+    calls: Arc<AtomicUsize>,
+}
+
+impl<E: Conv1dEngine> Conv1dEngine for Counting<E> {
+    fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.correlate_valid(signal, kernel)
+    }
+
+    fn max_signal_len(&self) -> Option<usize> {
+        self.inner.max_signal_len()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.inner.is_deterministic()
+    }
+}
+
+fn backend_scenario(kind: BackendKind) -> Scenario {
+    Scenario::new(
+        format!("perf_{kind}"),
+        "resnet18",
+        BackendSpec {
+            kind,
+            capacity: 256,
+        },
+    )
+}
+
+fn conv2d_inputs(batch: usize, size: usize) -> Vec<Matrix> {
+    (0..batch)
+        .map(|b| {
+            Matrix::new(
+                size,
+                size,
+                (0..size * size)
+                    .map(|i| ((i + 13 * b) as f64 * 0.17).sin() + 0.4)
+                    .collect(),
+            )
+            .expect("well-formed perf input")
+        })
+        .collect()
+}
+
+fn conv2d_kernel() -> Matrix {
+    Matrix::new(3, 3, (0..9).map(|i| (i as f64 - 4.0) / 9.0).collect()).expect("3x3 kernel")
+}
+
+/// Runs the batched-conv2d scenario on one backend.
+///
+/// # Errors
+///
+/// Propagates session construction and convolution errors.
+pub fn conv2d_scenario(
+    kind: BackendKind,
+    batch: usize,
+    reps: usize,
+    size: usize,
+) -> Result<PerfRecord, PfError> {
+    let session = Session::from_scenario(backend_scenario(kind))?;
+    let inputs = conv2d_inputs(batch, size);
+    let kernel = conv2d_kernel();
+
+    // Engine path: prepared kernels + (on multicore hosts) parallel tiles
+    // and images. Warm the prepared-kernel cache once so the timing
+    // measures the steady state a batch pipeline runs in.
+    let _ = session.conv2d(&inputs[0], &kernel)?;
+    let (_, stats) = session.conv2d_with_stats(&inputs[0], &kernel)?;
+    let engine_time = best_of(reps, || {
+        session
+            .conv2d_batch(&inputs, &kernel)
+            .expect("perf conv2d batch");
+    });
+
+    // Seed path.
+    let seed_time = match kind {
+        BackendKind::JtcIdeal => {
+            let jtc = seed::SeedJtc::new(256);
+            best_of(reps, || {
+                for input in &inputs {
+                    let _ =
+                        seed::seed_conv2d_valid(&seed::SeedEngine::Jtc(&jtc), input, &kernel, 256);
+                }
+            })
+        }
+        BackendKind::Digital => best_of(reps, || {
+            for input in &inputs {
+                let _ = seed::seed_conv2d_valid(&seed::SeedEngine::Digital, input, &kernel, 256);
+            }
+        }),
+        // The noisy chain has no frozen seed (its RNG is part of the
+        // engine); serial per-image session calls are the pre-batch path.
+        BackendKind::PhotofourierCg => best_of(reps, || {
+            for input in &inputs {
+                let _ = session.conv2d(input, &kernel).expect("perf conv2d");
+            }
+        }),
+    };
+
+    let images_per_s = batch as f64 / engine_time.as_secs_f64().max(1e-12);
+    let seed_images_per_s = batch as f64 / seed_time.as_secs_f64().max(1e-12);
+    Ok(PerfRecord {
+        scenario: "conv2d_batch".to_string(),
+        backend: kind.name().to_string(),
+        batch,
+        reps,
+        images_per_s,
+        us_per_conv: engine_time.as_secs_f64() * 1e6 / (stats.convs_1d * batch).max(1) as f64,
+        convs_per_image: stats.convs_1d,
+        seed_images_per_s,
+        speedup_vs_seed: images_per_s / seed_images_per_s.max(1e-12),
+    })
+}
+
+/// Runs the batched-inference scenario (the ResNet-18-shaped session
+/// configuration: 256-waveguide backend, the scenario's feature-extractor
+/// CNN) on one backend.
+///
+/// # Errors
+///
+/// Propagates session construction and inference errors.
+pub fn inference_scenario(
+    kind: BackendKind,
+    batch: usize,
+    reps: usize,
+) -> Result<PerfRecord, PfError> {
+    let scenario = backend_scenario(kind);
+    let session = Session::from_scenario(scenario.clone())?;
+    let images: Vec<Tensor> = (0..batch)
+        .map(|i| {
+            Tensor::random(
+                vec![
+                    scenario.functional.input_channels,
+                    scenario.functional.input_size,
+                    scenario.functional.input_size,
+                ],
+                0.0,
+                1.0,
+                1000 + i as u64,
+            )
+        })
+        .collect();
+
+    // Engine path: batched, prepared kernels shared across the batch.
+    let _ = session.run_batch(&images[..1])?; // warm the prepared cache
+    let engine_time = best_of(reps, || {
+        session.run_batch(&images).expect("perf batch inference");
+    });
+
+    // Seed path: per-image serial execution without the prepared fast path.
+    let cnn = SmallCnn::new(
+        scenario.functional.input_channels,
+        scenario.functional.input_size,
+        scenario.functional.weight_seed,
+    )?;
+    let seed_exec = pf_nn::executor::TiledExecutor::new(
+        NoPrep(scenario.backend.instantiate()?),
+        scenario.backend.capacity,
+        scenario.pipeline,
+    )?;
+    let seed_time = best_of(reps, || {
+        for image in &images {
+            let _ = cnn
+                .features(image, &seed_exec)
+                .expect("perf seed inference");
+        }
+    });
+
+    // Conv count per image, via a counting engine (prepared path hidden so
+    // every 1D convolution goes through the counted call).
+    let calls = Arc::new(AtomicUsize::new(0));
+    let counting = Counting {
+        inner: scenario.backend.instantiate()?,
+        calls: Arc::clone(&calls),
+    };
+    let count_exec = pf_nn::executor::TiledExecutor::new(
+        counting,
+        scenario.backend.capacity,
+        scenario.pipeline,
+    )?;
+    let _ = cnn.features(&images[0], &count_exec)?;
+    let convs_per_image = calls.load(Ordering::Relaxed);
+
+    let images_per_s = batch as f64 / engine_time.as_secs_f64().max(1e-12);
+    let seed_images_per_s = batch as f64 / seed_time.as_secs_f64().max(1e-12);
+    Ok(PerfRecord {
+        scenario: "resnet18_batch_infer".to_string(),
+        backend: kind.name().to_string(),
+        batch,
+        reps,
+        images_per_s,
+        us_per_conv: engine_time.as_secs_f64() * 1e6 / (convs_per_image * batch).max(1) as f64,
+        convs_per_image,
+        seed_images_per_s,
+        speedup_vs_seed: images_per_s / seed_images_per_s.max(1e-12),
+    })
+}
+
+/// Runs the full scenario matrix for one mode.
+///
+/// # Errors
+///
+/// Propagates the first scenario error.
+pub fn run_suite(smoke: bool) -> Result<PerfReport, PfError> {
+    let mode = if smoke { "smoke" } else { "full" };
+    let (conv_batch, conv_reps) = if smoke { (8, 3) } else { (32, 5) };
+    let (infer_batch, infer_reps) = if smoke { (4, 2) } else { (16, 3) };
+
+    let mut results = Vec::new();
+    results.push(conv2d_scenario(
+        BackendKind::Digital,
+        conv_batch,
+        conv_reps,
+        32,
+    )?);
+    results.push(conv2d_scenario(
+        BackendKind::JtcIdeal,
+        conv_batch,
+        conv_reps,
+        32,
+    )?);
+    results.push(inference_scenario(
+        BackendKind::JtcIdeal,
+        infer_batch,
+        infer_reps,
+    )?);
+    if !smoke {
+        results.push(conv2d_scenario(
+            BackendKind::PhotofourierCg,
+            conv_batch,
+            conv_reps,
+            32,
+        )?);
+        results.push(inference_scenario(
+            BackendKind::Digital,
+            infer_batch,
+            infer_reps,
+        )?);
+        results.push(inference_scenario(
+            BackendKind::PhotofourierCg,
+            infer_batch,
+            infer_reps,
+        )?);
+    }
+
+    Ok(PerfReport {
+        schema: SCHEMA.to_string(),
+        mode: mode.to_string(),
+        host_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        results,
+    })
+}

@@ -9,9 +9,10 @@
 //! compute substrate declaratively.
 
 use std::fmt;
+use std::sync::Arc;
 
 use pf_jtc::{JtcEngine, JtcEngineConfig};
-use pf_tiling::{Conv1dEngine, DigitalEngine};
+use pf_tiling::{Conv1dEngine, DigitalEngine, PreparedConv1d};
 use serde::{Deserialize, Serialize};
 
 use crate::error::PfError;
@@ -265,6 +266,18 @@ impl Conv1dEngine for Box<dyn Backend> {
     fn max_signal_len(&self) -> Option<usize> {
         (**self).max_signal_len()
     }
+
+    fn is_deterministic(&self) -> bool {
+        (**self).is_deterministic()
+    }
+
+    fn prefers_parallel_tiles(&self) -> bool {
+        (**self).prefers_parallel_tiles()
+    }
+
+    fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        (**self).prepare_kernel(kernel, signal_len)
+    }
 }
 
 /// [`Backend`] wrapper around the exact digital reference.
@@ -297,6 +310,18 @@ impl Conv1dEngine for JtcBackend {
 
     fn max_signal_len(&self) -> Option<usize> {
         self.engine.max_signal_len()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.engine.is_deterministic()
+    }
+
+    fn prefers_parallel_tiles(&self) -> bool {
+        self.engine.prefers_parallel_tiles()
+    }
+
+    fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        self.engine.prepare_kernel(kernel, signal_len)
     }
 }
 

@@ -14,6 +14,7 @@
 
 use crate::complex::Complex;
 use crate::error::DspError;
+use crate::plan::FftPlan;
 use crate::util::is_pow2;
 
 /// Computes the forward FFT of `input`.
@@ -47,6 +48,8 @@ pub fn ifft(input: &[Complex]) -> Result<Vec<Complex>, DspError> {
     fft_dir(input, true)
 }
 
+/// Thin wrapper routing through the shared [`FftPlan`] registry, so free
+/// calls and plan-based calls are numerically identical by construction.
 fn fft_dir(input: &[Complex], inverse: bool) -> Result<Vec<Complex>, DspError> {
     if input.is_empty() {
         return Err(DspError::EmptyInput { what: "fft input" });
@@ -57,54 +60,10 @@ fn fft_dir(input: &[Complex], inverse: bool) -> Result<Vec<Complex>, DspError> {
             requirement: "radix-2 FFT requires a power-of-two length",
         });
     }
-    let n = input.len();
+    let plan = FftPlan::shared(input.len())?;
     let mut data = input.to_vec();
-
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = reverse_bits(i, bits);
-        if j > i {
-            data.swap(i, j);
-        }
-    }
-
-    // Iterative Cooley-Tukey butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::cis(ang);
-        let half = len / 2;
-        for start in (0..n).step_by(len) {
-            let mut w = Complex::ONE;
-            for k in 0..half {
-                let u = data[start + k];
-                let v = data[start + k + half] * w;
-                data[start + k] = u + v;
-                data[start + k + half] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
-
-    if inverse {
-        let scale = 1.0 / n as f64;
-        for z in &mut data {
-            *z = z.scale(scale);
-        }
-    }
+    plan.process(&mut data, inverse)?;
     Ok(data)
-}
-
-fn reverse_bits(mut x: usize, bits: u32) -> usize {
-    let mut r = 0;
-    for _ in 0..bits {
-        r = (r << 1) | (x & 1);
-        x >>= 1;
-    }
-    r
 }
 
 /// Computes the forward FFT of a real signal.

@@ -8,6 +8,9 @@
 //!
 //! * [`Complex`] — complex arithmetic used by the Fourier transforms.
 //! * [`fft`] — radix-2 FFT/IFFT plus a direct DFT for arbitrary sizes.
+//! * [`plan`] — precomputed FFT plans (bit-reversal + twiddle tables, plus a
+//!   real-input half-spectrum transform) shared through a process-wide
+//!   registry; the hot path of the JTC simulation.
 //! * [`conv`] — reference 1D/2D convolution and cross-correlation kernels in
 //!   `full`/`same`/`valid` modes, and FFT-accelerated 1D convolution.
 //! * [`util`] — numeric helpers (padding, error metrics, power-of-two math).
@@ -30,7 +33,9 @@ pub mod complex;
 pub mod conv;
 pub mod error;
 pub mod fft;
+pub mod plan;
 pub mod util;
 
 pub use complex::Complex;
 pub use error::DspError;
+pub use plan::{fft_with_plan, ifft_with_plan, FftPlan, RealFftPlan};

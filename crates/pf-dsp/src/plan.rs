@@ -1,0 +1,509 @@
+//! Reusable FFT execution plans.
+//!
+//! The free functions in [`crate::fft`] recompute the bit-reversal
+//! permutation and the twiddle factors on every call. That is fine for
+//! one-off transforms, but the JTC simulation runs *millions* of
+//! fixed-length transforms (two per row tile), so this module provides:
+//!
+//! * [`FftPlan`] — a precomputed bit-reversal table plus twiddle-factor
+//!   table for one power-of-two length, with allocation-free in-place
+//!   execution ([`FftPlan::process`]) and convenience wrappers
+//!   ([`fft_with_plan`] / [`ifft_with_plan`]);
+//! * [`RealFftPlan`] — the classic real-input packing trick: an `n`-point
+//!   transform of real data computed through one `n/2`-point complex FFT
+//!   plus an O(n) unpacking pass, returning the non-redundant half spectrum
+//!   (bins `0..=n/2`). Both lenses of the JTC chain transform real
+//!   sequences, so this roughly halves the simulation's FFT cost;
+//! * a process-wide plan registry ([`FftPlan::shared`] /
+//!   [`RealFftPlan::shared`]) guarded by a `parking_lot` mutex, so every
+//!   caller transforming the same length shares one set of tables.
+//!
+//! Plans are bit-for-bit deterministic: the free [`crate::fft::fft`] /
+//! [`crate::fft::ifft`] functions are thin wrappers over the shared plans,
+//! so mixing the two APIs can never produce diverging numerics.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use crate::complex::Complex;
+use crate::error::DspError;
+use crate::util::is_pow2;
+
+/// A precomputed radix-2 FFT plan for one power-of-two length.
+///
+/// # Examples
+///
+/// ```
+/// use pf_dsp::plan::{fft_with_plan, FftPlan};
+/// use pf_dsp::Complex;
+///
+/// let plan = FftPlan::shared(8)?;
+/// let x = vec![Complex::ONE; 8];
+/// let y = fft_with_plan(&plan, &x)?;
+/// assert!((y[0].re - 8.0).abs() < 1e-12);
+/// # Ok::<(), pf_dsp::DspError>(())
+/// ```
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// `bit_rev[i]` is the bit-reversed image of `i` within `log2(n)` bits.
+    bit_rev: Vec<u32>,
+    /// `twiddles[k] = exp(-2πik/n)` for `k in 0..n/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for `n == 0` and
+    /// [`DspError::InvalidLength`] when `n` is not a power of two.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyInput {
+                what: "fft plan length",
+            });
+        }
+        if !is_pow2(n) {
+            return Err(DspError::InvalidLength {
+                len: n,
+                requirement: "radix-2 FFT plans require a power-of-two length",
+            });
+        }
+        let bits = n.trailing_zeros();
+        let mut bit_rev = vec![0u32; n];
+        for (i, slot) in bit_rev.iter_mut().enumerate() {
+            let mut x = i;
+            let mut r = 0usize;
+            for _ in 0..bits {
+                r = (r << 1) | (x & 1);
+                x >>= 1;
+            }
+            *slot = r as u32;
+        }
+        let half = n / 2;
+        let mut twiddles = Vec::with_capacity(half);
+        for k in 0..half {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            twiddles.push(Complex::cis(ang));
+        }
+        Ok(Self {
+            n,
+            bit_rev,
+            twiddles,
+        })
+    }
+
+    /// Fetches (building on first use) the process-wide shared plan for
+    /// length `n` from the `parking_lot`-guarded registry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FftPlan::new`].
+    pub fn shared(n: usize) -> Result<Arc<FftPlan>, DspError> {
+        static REGISTRY: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(plan) = registry.lock().get(&n) {
+            return Ok(plan.clone());
+        }
+        // Build outside the lock: table construction is O(n) and the map is
+        // shared process-wide.
+        let plan = Arc::new(FftPlan::new(n)?);
+        let mut guard = registry.lock();
+        Ok(guard.entry(n).or_insert(plan).clone())
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan length is zero (never true for a constructed plan;
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Executes the transform in place, without allocating.
+    ///
+    /// A forward transform computes `X[k] = Σ_j x[j]·exp(-2πijk/n)`; the
+    /// inverse additionally scales by `1/n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] if `data.len()` differs from the
+    /// plan length.
+    pub fn process(&self, data: &mut [Complex], inverse: bool) -> Result<(), DspError> {
+        if data.len() != self.n {
+            return Err(DspError::InvalidLength {
+                len: data.len(),
+                requirement: "input length must match the FFT plan length",
+            });
+        }
+        let n = self.n;
+        for i in 0..n {
+            let j = self.bit_rev[i] as usize;
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let u = data[start + k];
+                    let v = data[start + k + half] * w;
+                    data[start + k] = u + v;
+                    data[start + k + half] = u - v;
+                }
+            }
+            len <<= 1;
+        }
+        if inverse {
+            let scale = 1.0 / n as f64;
+            for z in data.iter_mut() {
+                *z = z.scale(scale);
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward FFT of `input` (must have the plan length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] on a length mismatch.
+    pub fn fft(&self, input: &[Complex]) -> Result<Vec<Complex>, DspError> {
+        let mut data = input.to_vec();
+        self.process(&mut data, false)?;
+        Ok(data)
+    }
+
+    /// Inverse FFT of `input` (must have the plan length).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] on a length mismatch.
+    pub fn ifft(&self, input: &[Complex]) -> Result<Vec<Complex>, DspError> {
+        let mut data = input.to_vec();
+        self.process(&mut data, true)?;
+        Ok(data)
+    }
+}
+
+/// Computes the forward FFT of `input` through a prepared plan.
+///
+/// Numerically identical to [`crate::fft::fft`] (which is itself a wrapper
+/// over the shared plan of the input's length).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty input and
+/// [`DspError::InvalidLength`] when the input length differs from the plan
+/// length.
+pub fn fft_with_plan(plan: &FftPlan, input: &[Complex]) -> Result<Vec<Complex>, DspError> {
+    if input.is_empty() {
+        return Err(DspError::EmptyInput { what: "fft input" });
+    }
+    plan.fft(input)
+}
+
+/// Computes the inverse FFT of `input` through a prepared plan.
+///
+/// # Errors
+///
+/// Same conditions as [`fft_with_plan`].
+pub fn ifft_with_plan(plan: &FftPlan, input: &[Complex]) -> Result<Vec<Complex>, DspError> {
+    if input.is_empty() {
+        return Err(DspError::EmptyInput { what: "fft input" });
+    }
+    plan.ifft(input)
+}
+
+/// A plan computing `n`-point transforms of *real* inputs through one
+/// `n/2`-point complex FFT (the even/odd packing trick).
+///
+/// Only the non-redundant bins `0..=n/2` are produced; the remaining bins
+/// follow from conjugate symmetry (`X[n-k] = conj(X[k])`).
+///
+/// # Examples
+///
+/// ```
+/// use pf_dsp::plan::RealFftPlan;
+/// use pf_dsp::fft::fft_real;
+///
+/// let x: Vec<f64> = (0..16).map(|k| (k as f64 * 0.4).sin()).collect();
+/// let plan = RealFftPlan::shared(16)?;
+/// let mut scratch = Vec::new();
+/// let mut half = Vec::new();
+/// plan.forward_real_into(&x, &mut scratch, &mut half)?;
+/// let full = fft_real(&x)?;
+/// for k in 0..=8 {
+///     assert!((half[k] - full[k]).abs() < 1e-10);
+/// }
+/// # Ok::<(), pf_dsp::DspError>(())
+/// ```
+#[derive(Debug)]
+pub struct RealFftPlan {
+    n: usize,
+    /// Complex plan of length `n/2` executing the packed transform.
+    half_plan: Arc<FftPlan>,
+    /// `exp(-2πik/n)` for `k in 0..=n/2`, used by the unpacking pass.
+    unpack: Vec<Complex>,
+}
+
+impl RealFftPlan {
+    /// Builds a real-input plan for transforms of length `n`
+    /// (`n` must be a power of two and at least 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for `n == 0` and
+    /// [`DspError::InvalidLength`] when `n` is not a power of two or is 1.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyInput {
+                what: "real fft plan length",
+            });
+        }
+        if !is_pow2(n) || n < 2 {
+            return Err(DspError::InvalidLength {
+                len: n,
+                requirement: "real-input FFT plans require a power-of-two length >= 2",
+            });
+        }
+        let half_plan = FftPlan::shared(n / 2)?;
+        let mut unpack = Vec::with_capacity(n / 2 + 1);
+        for k in 0..=(n / 2) {
+            let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            unpack.push(Complex::cis(ang));
+        }
+        Ok(Self {
+            n,
+            half_plan,
+            unpack,
+        })
+    }
+
+    /// Fetches (building on first use) the process-wide shared plan for
+    /// length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RealFftPlan::new`].
+    pub fn shared(n: usize) -> Result<Arc<RealFftPlan>, DspError> {
+        static REGISTRY: OnceLock<Mutex<HashMap<usize, Arc<RealFftPlan>>>> = OnceLock::new();
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(plan) = registry.lock().get(&n) {
+            return Ok(plan.clone());
+        }
+        let plan = Arc::new(RealFftPlan::new(n)?);
+        let mut guard = registry.lock();
+        Ok(guard.entry(n).or_insert(plan).clone())
+    }
+
+    /// Transform length `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan length is zero (never true for a constructed plan;
+    /// provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of produced spectrum bins (`n/2 + 1`).
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Computes bins `0..=n/2` of the `n`-point DFT of `input`, treating
+    /// `input` as zero-padded on the right to the plan length.
+    ///
+    /// `scratch` and `out` are caller-owned buffers that are cleared and
+    /// refilled, so steady-state execution performs no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] if `input` is longer than the
+    /// plan length.
+    pub fn forward_real_into(
+        &self,
+        input: &[f64],
+        scratch: &mut Vec<Complex>,
+        out: &mut Vec<Complex>,
+    ) -> Result<(), DspError> {
+        if input.len() > self.n {
+            return Err(DspError::InvalidLength {
+                len: input.len(),
+                requirement: "real FFT input must not exceed the plan length",
+            });
+        }
+        let m = self.n / 2;
+        // Pack x[2j] + i·x[2j+1] into a length-m complex sequence; indices
+        // beyond the input read as the implicit zero padding.
+        scratch.clear();
+        scratch.reserve(m);
+        let at = |idx: usize| -> f64 {
+            if idx < input.len() {
+                input[idx]
+            } else {
+                0.0
+            }
+        };
+        for j in 0..m {
+            scratch.push(Complex::new(at(2 * j), at(2 * j + 1)));
+        }
+        self.half_plan.process(scratch, false)?;
+
+        // Unpack: X[k] = E[k] + w_n^k · O[k] with E/O the spectra of the
+        // even/odd subsequences recovered from the packed transform.
+        out.clear();
+        out.reserve(m + 1);
+        for k in 0..=m {
+            let zk = scratch[k % m];
+            let zmk = scratch[(m - k) % m].conj();
+            let even = (zk + zmk).scale(0.5);
+            let odd_times_i = (zk - zmk).scale(0.5);
+            // odd = -i · odd_times_i
+            let odd = Complex::new(odd_times_i.im, -odd_times_i.re);
+            out.push(even + self.unpack[k] * odd);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{dft, fft, fft_real};
+
+    #[test]
+    fn plan_rejects_bad_lengths() {
+        assert!(matches!(FftPlan::new(0), Err(DspError::EmptyInput { .. })));
+        assert!(matches!(
+            FftPlan::new(12),
+            Err(DspError::InvalidLength { .. })
+        ));
+        assert!(matches!(
+            RealFftPlan::new(0),
+            Err(DspError::EmptyInput { .. })
+        ));
+        assert!(matches!(
+            RealFftPlan::new(1),
+            Err(DspError::InvalidLength { .. })
+        ));
+        assert!(matches!(
+            RealFftPlan::new(6),
+            Err(DspError::InvalidLength { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_matches_free_fft_bit_for_bit() {
+        for log in 0..9u32 {
+            let n = 1usize << log;
+            let x: Vec<Complex> = (0..n)
+                .map(|k| Complex::new((k as f64 * 0.37).sin(), (k as f64 * 0.21).cos()))
+                .collect();
+            let plan = FftPlan::shared(n).unwrap();
+            let a = fft_with_plan(&plan, &x).unwrap();
+            let b = fft(&x).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (p, q) in a.iter().zip(&b) {
+                assert_eq!(p.re.to_bits(), q.re.to_bits(), "re mismatch at n={n}");
+                assert_eq!(p.im.to_bits(), q.im.to_bits(), "im mismatch at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_matches_dft() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n)
+            .map(|k| Complex::new((k as f64 * 0.13).cos(), (k as f64 * 0.41).sin()))
+            .collect();
+        let plan = FftPlan::new(n).unwrap();
+        let a = plan.fft(&x).unwrap();
+        let b = dft(&x).unwrap();
+        for (p, q) in a.iter().zip(&b) {
+            assert!((*p - *q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips_in_place() {
+        let n = 32;
+        let x: Vec<Complex> = (0..n)
+            .map(|k| Complex::new(k as f64, -(k as f64) * 0.3))
+            .collect();
+        let plan = FftPlan::new(n).unwrap();
+        let mut data = x.clone();
+        plan.process(&mut data, false).unwrap();
+        plan.process(&mut data, true).unwrap();
+        for (a, b) in x.iter().zip(&data) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn shared_registry_reuses_plans() {
+        let a = FftPlan::shared(256).unwrap();
+        let b = FftPlan::shared(256).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let ra = RealFftPlan::shared(256).unwrap();
+        let rb = RealFftPlan::shared(256).unwrap();
+        assert!(Arc::ptr_eq(&ra, &rb));
+    }
+
+    #[test]
+    fn real_plan_matches_complex_fft() {
+        for n in [2usize, 4, 16, 128, 2048] {
+            let x: Vec<f64> = (0..n).map(|k| (k as f64 * 0.7).sin() + 0.25).collect();
+            let plan = RealFftPlan::shared(n).unwrap();
+            let mut scratch = Vec::new();
+            let mut half = Vec::new();
+            plan.forward_real_into(&x, &mut scratch, &mut half).unwrap();
+            assert_eq!(half.len(), n / 2 + 1);
+            let full = fft_real(&x).unwrap();
+            for k in 0..=(n / 2) {
+                assert!(
+                    (half[k] - full[k]).abs() < 1e-9 * (n as f64),
+                    "bin {k} of n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_plan_zero_pads_short_inputs() {
+        let n = 64;
+        let x: Vec<f64> = (0..20).map(|k| (k as f64 * 0.3).cos()).collect();
+        let mut padded = x.clone();
+        padded.resize(n, 0.0);
+        let plan = RealFftPlan::new(n).unwrap();
+        let mut scratch = Vec::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        plan.forward_real_into(&x, &mut scratch, &mut a).unwrap();
+        plan.forward_real_into(&padded, &mut scratch, &mut b)
+            .unwrap();
+        for (p, q) in a.iter().zip(&b) {
+            assert_eq!(p.re.to_bits(), q.re.to_bits());
+            assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
+        assert!(matches!(
+            plan.forward_real_into(&vec![0.0; n + 1], &mut scratch, &mut a),
+            Err(DspError::InvalidLength { .. })
+        ));
+    }
+}

@@ -2,7 +2,8 @@
 
 use pf_dsp::complex::Complex;
 use pf_dsp::conv::{conv1d, conv1d_fft, correlate2d, Matrix, PaddingMode};
-use pf_dsp::fft::{dft, fft, fftshift, ifft, ifftshift};
+use pf_dsp::fft::{dft, fft, fft_real, fftshift, ifft, ifftshift};
+use pf_dsp::plan::{fft_with_plan, ifft_with_plan, FftPlan, RealFftPlan};
 use pf_dsp::util::{max_abs_diff, next_pow2};
 use proptest::prelude::*;
 
@@ -49,6 +50,53 @@ proptest! {
     #[test]
     fn fftshift_roundtrips(x in real_vec(64)) {
         prop_assert_eq!(ifftshift(&fftshift(&x)), x);
+    }
+
+    #[test]
+    fn fft_with_plan_matches_fft_bit_for_bit(x in complex_vec_pow2()) {
+        // The free functions are thin wrappers over the shared plan, so the
+        // two APIs must agree exactly — not within a tolerance.
+        let plan = FftPlan::shared(x.len()).unwrap();
+        let a = fft_with_plan(&plan, &x).unwrap();
+        let b = fft(&x).unwrap();
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert_eq!(p.re.to_bits(), q.re.to_bits());
+            prop_assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
+        let ai = ifft_with_plan(&plan, &x).unwrap();
+        let bi = ifft(&x).unwrap();
+        for (p, q) in ai.iter().zip(&bi) {
+            prop_assert_eq!(p.re.to_bits(), q.re.to_bits());
+            prop_assert_eq!(p.im.to_bits(), q.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn fft_with_plan_matches_dft(x in complex_vec_pow2()) {
+        let plan = FftPlan::shared(x.len()).unwrap();
+        let a = fft_with_plan(&plan, &x).unwrap();
+        let b = dft(&x).unwrap();
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((*p - *q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn real_fft_plan_matches_full_fft(x in real_vec(63), log in 6u32..9) {
+        // Half-spectrum of the real-input plan == the matching bins of the
+        // full complex transform of the zero-padded signal.
+        let n = 1usize << log;
+        let plan = RealFftPlan::shared(n).unwrap();
+        let mut scratch = Vec::new();
+        let mut half = Vec::new();
+        plan.forward_real_into(&x, &mut scratch, &mut half).unwrap();
+        let mut padded = x.clone();
+        padded.resize(n, 0.0);
+        let full = fft_real(&padded).unwrap();
+        prop_assert_eq!(half.len(), n / 2 + 1);
+        for k in 0..=(n / 2) {
+            prop_assert!((half[k] - full[k]).abs() < 1e-8, "bin {} of n={}", k, n);
+        }
     }
 
     #[test]

@@ -175,11 +175,7 @@ impl JtcSimulator {
             });
         }
 
-        // Separation between the signal origin and the kernel origin. Large
-        // enough that the correlation lobes clear the central term.
-        let d = 2 * signal.len() + kernel.len() + 2;
-        // Grow the grid if an unusually long kernel needs more guard space.
-        let n = self.grid.max(next_pow2(2 * d + 2 * kernel.len() + 4));
+        let (d, n) = joint_geometry(signal.len(), kernel.len(), self.grid);
 
         // Joint input plane: signal at the origin, kernel at offset d.
         let mut joint = vec![Complex::ZERO; n];
@@ -218,6 +214,17 @@ impl JtcSimulator {
     pub fn correlate(&self, signal: &[f64], kernel: &[f64]) -> Result<Vec<f64>, JtcError> {
         Ok(self.output_plane(signal, kernel)?.valid_correlation())
     }
+}
+
+/// Joint input-plane geometry shared by the per-call and prepared paths:
+/// the signal→kernel separation `d` (large enough that the correlation
+/// lobes clear the central term) and the simulation grid size `n` (the
+/// simulator's base grid, grown if an unusually long kernel needs more
+/// guard space). Tuning either formula here retunes both execution paths.
+pub(crate) fn joint_geometry(signal_len: usize, kernel_len: usize, grid: usize) -> (usize, usize) {
+    let d = 2 * signal_len + kernel_len + 2;
+    let n = grid.max(next_pow2(2 * d + 2 * kernel_len + 4));
+    (d, n)
 }
 
 #[cfg(test)]

@@ -11,15 +11,18 @@
 //!   accumulation defers the read-out, which is exactly the mechanism that
 //!   restores accuracy in Figure 7.
 
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 use pf_photonics::adc::Adc;
 use pf_photonics::dac::Dac;
 use pf_photonics::detector::SensingNoise;
-use pf_tiling::Conv1dEngine;
+use pf_tiling::{Conv1dEngine, PreparedConv1d};
 use serde::{Deserialize, Serialize};
 
 use crate::correlator::JtcSimulator;
 use crate::error::JtcError;
+use crate::prepared::PreparedKernel;
 
 /// Configuration of the non-idealities applied by a [`JtcEngine`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -130,8 +133,8 @@ impl JtcEngine {
     ///
     /// Same conditions as [`JtcSimulator::output_plane`].
     pub fn correlate(&self, signal: &[f64], kernel: &[f64]) -> Result<Vec<f64>, JtcError> {
-        let (signal_q, s_scale) = self.quantize_operand(signal);
-        let (kernel_q, k_scale) = self.quantize_operand(kernel);
+        let (signal_q, s_scale) = quantize_through_dac(self.input_dac.as_ref(), signal);
+        let (kernel_q, k_scale) = quantize_through_dac(self.input_dac.as_ref(), kernel);
         let mut out = self.simulator.correlate(&signal_q, &kernel_q)?;
 
         // Undo the normalisation applied before the DACs.
@@ -139,8 +142,63 @@ impl JtcEngine {
         for v in &mut out {
             *v *= rescale;
         }
+        self.apply_noise(&mut out);
+        apply_output_adc(&mut out, self.output_adc.as_ref());
+        Ok(out)
+    }
 
-        // Photodetector sensing noise, relative to the output RMS.
+    /// Prepares `kernel` (DAC-quantised once, spectrum computed once) for
+    /// repeated correlation against signals of exactly `signal_len` samples.
+    ///
+    /// See [`PreparedKernel`] and [`JtcEngine::correlate_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`JtcSimulator::prepare_kernel`](crate::correlator::JtcSimulator::prepare_kernel).
+    pub fn prepare(&self, kernel: &[f64], signal_len: usize) -> Result<PreparedKernel, JtcError> {
+        let (kernel_q, k_scale) = quantize_through_dac(self.input_dac.as_ref(), kernel);
+        let spectrum = self.simulator.prepare_kernel(&kernel_q, signal_len)?;
+        Ok(PreparedKernel::new(
+            spectrum,
+            k_scale,
+            self.input_dac.clone(),
+            self.output_adc.clone(),
+        ))
+    }
+
+    /// Runs one JTC correlation through a kernel prepared with
+    /// [`JtcEngine::prepare`], with the engine's full signal chain (DAC
+    /// quantisation, sensing noise, ADC quantisation).
+    ///
+    /// Equivalent to [`JtcEngine::correlate`] with the prepared kernel, up
+    /// to FFT rounding (the prepared optics path is documented on
+    /// [`JtcSimulator::correlate_prepared`](crate::correlator::JtcSimulator::correlate_prepared)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`crate::prepared::PreparedSpectrum::correlate`].
+    pub fn correlate_prepared(
+        &self,
+        signal: &[f64],
+        prepared: &PreparedKernel,
+    ) -> Result<Vec<f64>, JtcError> {
+        let (signal_q, s_scale) = quantize_through_dac(self.input_dac.as_ref(), signal);
+        let mut out = self
+            .simulator
+            .correlate_prepared(&signal_q, prepared.spectrum())?;
+        let rescale = s_scale * prepared.kernel_scale();
+        for v in &mut out {
+            *v *= rescale;
+        }
+        self.apply_noise(&mut out);
+        apply_output_adc(&mut out, self.output_adc.as_ref());
+        Ok(out)
+    }
+
+    /// Adds photodetector sensing noise, relative to the output RMS.
+    fn apply_noise(&self, out: &mut [f64]) {
         if let Some(noise) = &self.noise {
             let rms = (out.iter().map(|x| x * x).sum::<f64>() / out.len().max(1) as f64).sqrt();
             if rms > 0.0 {
@@ -151,40 +209,51 @@ impl JtcEngine {
                 }
             }
         }
+    }
+}
 
-        // Output ADC quantisation.
-        if let Some(adc) = &self.output_adc {
-            let full_scale = out
+/// Normalises an operand to `[-1, 1]`, passes it through the DAC (if
+/// present) and returns the quantised values together with the scale factor
+/// to undo the normalisation.
+pub(crate) fn quantize_through_dac(dac: Option<&Dac>, values: &[f64]) -> (Vec<f64>, f64) {
+    let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return (values.to_vec(), 1.0);
+    }
+    match dac {
+        None => (values.to_vec(), 1.0),
+        Some(dac) => {
+            // The DAC generates magnitudes; signs ride along as the phase
+            // of the modulated field (or as the pseudo-negative split at
+            // the architecture level).
+            let quantised: Vec<f64> = values
                 .iter()
-                .fold(0.0f64, |m, &v| m.max(v.abs()))
-                .max(f64::EPSILON);
-            out = adc.quantize_slice(&out, full_scale);
+                .map(|&v| dac.generate(v.abs() / max_abs) * v.signum())
+                .collect();
+            (quantised, max_abs)
         }
-        Ok(out)
     }
+}
 
-    /// Normalises an operand to `[-1, 1]`, passes it through the DAC (if
-    /// configured) and returns the quantised values together with the scale
-    /// factor to undo the normalisation.
-    fn quantize_operand(&self, values: &[f64]) -> (Vec<f64>, f64) {
-        let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
-        if max_abs == 0.0 {
-            return (values.to_vec(), 1.0);
-        }
-        match &self.input_dac {
-            None => (values.to_vec(), 1.0),
-            Some(dac) => {
-                // The DAC generates magnitudes; signs ride along as the phase
-                // of the modulated field (or as the pseudo-negative split at
-                // the architecture level).
-                let quantised: Vec<f64> = values
-                    .iter()
-                    .map(|&v| dac.generate(v.abs() / max_abs) * v.signum())
-                    .collect();
-                (quantised, max_abs)
-            }
-        }
+/// Output ADC quantisation against the batch's own full scale.
+pub(crate) fn apply_output_adc(out: &mut Vec<f64>, adc: Option<&Adc>) {
+    if let Some(adc) = adc {
+        let full_scale = out
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(f64::EPSILON);
+        *out = adc.quantize_slice(out, full_scale);
     }
+}
+
+/// Deterministic output conditioning shared with [`PreparedKernel`]:
+/// rescale, then ADC-quantise (no noise — prepared trait-object kernels are
+/// only handed out by deterministic engines).
+pub(crate) fn condition_output(out: &mut Vec<f64>, rescale: f64, adc: Option<&Adc>) {
+    for v in out.iter_mut() {
+        *v *= rescale;
+    }
+    apply_output_adc(out, adc);
 }
 
 impl Conv1dEngine for JtcEngine {
@@ -197,6 +266,29 @@ impl Conv1dEngine for JtcEngine {
 
     fn max_signal_len(&self) -> Option<usize> {
         Some(self.config.capacity)
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.noise.is_none()
+    }
+
+    fn prefers_parallel_tiles(&self) -> bool {
+        // Each tile runs two FFTs over a >=2048-sample grid — far above the
+        // cost of a thread spawn, unlike a digital dot product.
+        true
+    }
+
+    fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        // The prepared trait-object path runs without access to the engine's
+        // noise stream, so only noise-free configurations hand one out;
+        // noisy engines fall back to `correlate_valid`, preserving their
+        // serial noise-stream order.
+        if self.noise.is_some() {
+            return None;
+        }
+        self.prepare(kernel, signal_len)
+            .ok()
+            .map(|p| Arc::new(p) as Arc<dyn PreparedConv1d>)
     }
 }
 
@@ -303,6 +395,82 @@ mod tests {
         assert_eq!(cg.dac_bits, Some(8));
         assert_eq!(cg.adc_bits, Some(8));
         assert_eq!(cg.sensing_snr_db, Some(20.0));
+    }
+
+    #[test]
+    fn prepared_kernel_reuse_across_100_tiles_matches_per_call() {
+        // One prepared kernel reused for 100 different tiles must agree with
+        // the per-call path on every tile (the per-call path runs the joint
+        // FFT; the prepared path splits it, so agreement is to FFT rounding).
+        let engine = JtcEngine::ideal(64).unwrap();
+        let kernel = vec![0.4, -0.1, 0.8, 0.2, -0.3];
+        let prepared = engine.prepare(&kernel, 48).unwrap();
+        for tile in 0..100u64 {
+            let signal: Vec<f64> = (0..48)
+                .map(|i| ((i as f64 + tile as f64 * 0.7) * 0.21).sin() + 0.1)
+                .collect();
+            let fast = engine.correlate_prepared(&signal, &prepared).unwrap();
+            let slow = engine.correlate(&signal, &kernel).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            assert!(
+                max_abs_diff(&fast, &slow) < 1e-9,
+                "tile {tile} diverged from the per-call path"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_trait_path_matches_inherent_path() {
+        let engine = JtcEngine::ideal(32).unwrap();
+        let kernel = vec![0.5, 1.0, 0.5];
+        let signal: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4).cos()).collect();
+        let via_trait = Conv1dEngine::prepare_kernel(&engine, &kernel, 24).unwrap();
+        assert_eq!(via_trait.signal_len(), 24);
+        let a = via_trait.correlate_valid(&signal);
+        let b = engine
+            .correlate_prepared(&signal, &engine.prepare(&kernel, 24).unwrap())
+            .unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantized_prepared_path_stays_close() {
+        let config = JtcEngineConfig {
+            capacity: 64,
+            dac_bits: Some(8),
+            adc_bits: Some(8),
+            sensing_snr_db: None,
+            noise_seed: 0,
+        };
+        let engine = JtcEngine::new(config).unwrap();
+        assert!(engine.is_deterministic());
+        let kernel = vec![0.3, -0.2, 0.7, 0.1];
+        let prepared = engine.prepare(&kernel, 48).unwrap();
+        let signal: Vec<f64> = (0..48).map(|i| ((i as f64) * 0.23).sin()).collect();
+        let fast = engine.correlate_prepared(&signal, &prepared).unwrap();
+        let digital = correlate1d(&signal, &kernel, PaddingMode::Valid);
+        let err = relative_l2_error(&fast, &digital);
+        assert!(err < 0.05, "8-bit prepared path error too large: {err}");
+    }
+
+    #[test]
+    fn noisy_engine_declines_trait_preparation() {
+        let engine = JtcEngine::new(JtcEngineConfig {
+            capacity: 32,
+            dac_bits: None,
+            adc_bits: None,
+            sensing_snr_db: Some(20.0),
+            noise_seed: 1,
+        })
+        .unwrap();
+        assert!(!engine.is_deterministic());
+        assert!(Conv1dEngine::prepare_kernel(&engine, &[1.0, 2.0], 16).is_none());
+        // The inherent prepared API still works (noise applied on top).
+        let prepared = engine.prepare(&[1.0, 2.0], 16).unwrap();
+        let out = engine.correlate_prepared(&[1.0; 16], &prepared).unwrap();
+        assert_eq!(out.len(), 15);
     }
 
     #[test]

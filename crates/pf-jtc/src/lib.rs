@@ -21,6 +21,10 @@
 //!   tiling can run on the simulated optics, with optional DAC quantisation
 //!   of inputs/weights, ADC quantisation of outputs and photodetector
 //!   sensing noise;
+//! * [`prepared::PreparedKernel`] / [`prepared::PreparedSpectrum`] — the
+//!   throughput fast path: a kernel's padded spectrum computed once per
+//!   `(kernel, tile length)` pair and reused across every row tile (and,
+//!   through the row-tiling cache, every image of a batch);
 //! * [`pfcu::Pfcu`] — the hardware-shaped wrapper (256 input waveguides, 25
 //!   weight waveguides, two pipeline stages) used by the architecture model;
 //! * [`temporal::TemporalAccumulator`] — analog partial-sum accumulation at
@@ -50,10 +54,12 @@ pub mod correlator;
 pub mod engine;
 pub mod error;
 pub mod pfcu;
+pub mod prepared;
 pub mod temporal;
 
 pub use correlator::{JtcOutput, JtcSimulator};
 pub use engine::{JtcEngine, JtcEngineConfig};
 pub use error::JtcError;
 pub use pfcu::{Pfcu, PfcuConfig};
+pub use prepared::{PreparedKernel, PreparedSpectrum};
 pub use temporal::TemporalAccumulator;

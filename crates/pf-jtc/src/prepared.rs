@@ -1,0 +1,398 @@
+//! Prepared kernel spectra — the throughput fast path of the JTC simulation.
+//!
+//! Row tiling drives the JTC with **one fixed kernel against many tiles of
+//! equal length**: every tile of a convolution layer (and every image of a
+//! batch) reuses the same tiled filter. The baseline
+//! [`JtcSimulator::correlate`](crate::correlator::JtcSimulator::correlate)
+//! path rebuilds the joint input plane and runs two full-grid complex FFTs
+//! per tile. This module amortises and shrinks that work:
+//!
+//! * [`PreparedSpectrum`] fixes the input-plane geometry (separation `d`,
+//!   grid size `n`) for one `(kernel, signal_len)` pair and precomputes the
+//!   kernel's padded half-spectrum once;
+//! * per tile, the first lens is computed as a **real-input half-spectrum
+//!   FFT of the signal alone** (one `n/2`-point complex FFT instead of an
+//!   `n`-point one) and the kernel spectrum is added — the Fourier transform
+//!   is linear, so `F[s + k] = F[s] + F[k]`;
+//! * the square-law intensity of a real input's spectrum is symmetric
+//!   (`I[n-k] = I[k]`), so the second lens is again a real-input
+//!   half-spectrum FFT, and only the bins the correlation lobe occupies are
+//!   ever read.
+//!
+//! Together this replaces two `n`-point complex FFTs per tile with two
+//! `n/2`-point ones plus O(n) bookkeeping, and skips all per-kernel work
+//! after the first tile. [`PreparedKernel`] layers the engine's DAC/ADC
+//! quantisation on top and plugs into row tiling through
+//! [`pf_tiling::PreparedConv1d`].
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use pf_dsp::complex::Complex;
+use pf_dsp::plan::RealFftPlan;
+use pf_photonics::adc::Adc;
+use pf_photonics::dac::Dac;
+use pf_tiling::PreparedConv1d;
+
+use crate::correlator::JtcSimulator;
+use crate::error::JtcError;
+
+/// Per-thread working buffers for [`PreparedSpectrum::correlate`].
+#[derive(Debug, Default)]
+struct CorrelateScratch {
+    fft_scratch: Vec<Complex>,
+    joint: Vec<Complex>,
+    intensity: Vec<f64>,
+    field_half: Vec<Complex>,
+}
+
+/// The precomputed optics-level state for correlating one fixed kernel with
+/// signals of one fixed length: input-plane geometry plus the kernel's
+/// padded half-spectrum.
+#[derive(Debug, Clone)]
+pub struct PreparedSpectrum {
+    signal_len: usize,
+    kernel_len: usize,
+    /// Offset of the kernel origin on the joint input plane.
+    d: usize,
+    /// Simulation grid size.
+    n: usize,
+    /// Bins `0..=n/2` of the `n`-point DFT of the kernel placed at offset
+    /// `d` (the rest of the spectrum follows from conjugate symmetry).
+    kernel_half_spec: Vec<Complex>,
+    plan: Arc<RealFftPlan>,
+}
+
+impl PreparedSpectrum {
+    /// Builds the prepared state for `kernel` against signals of exactly
+    /// `signal_len` samples, using the same geometry as
+    /// [`JtcSimulator::output_plane`](crate::correlator::JtcSimulator::output_plane).
+    ///
+    /// # Errors
+    ///
+    /// * [`JtcError::EmptyOperand`] if the kernel is empty or `signal_len`
+    ///   is zero.
+    /// * [`JtcError::InputTooLarge`] if either operand exceeds `capacity`.
+    pub fn new(
+        kernel: &[f64],
+        signal_len: usize,
+        capacity: usize,
+        grid: usize,
+    ) -> Result<Self, JtcError> {
+        if signal_len == 0 {
+            return Err(JtcError::EmptyOperand { what: "signal" });
+        }
+        if kernel.is_empty() {
+            return Err(JtcError::EmptyOperand { what: "kernel" });
+        }
+        if signal_len > capacity || kernel.len() > capacity {
+            return Err(JtcError::InputTooLarge {
+                signal_len,
+                kernel_len: kernel.len(),
+                capacity,
+            });
+        }
+        // Same geometry as the per-call path: signal at the origin, kernel
+        // at offset d, grid grown if the kernel needs more guard space.
+        let (d, n) = crate::correlator::joint_geometry(signal_len, kernel.len(), grid);
+        let plan = RealFftPlan::shared(n)?;
+
+        // Kernel half-spectrum, computed once: the kernel occupies
+        // [d, d + kernel_len) of the otherwise-zero input plane.
+        let mut padded = vec![0.0; d + kernel.len()];
+        padded[d..].copy_from_slice(kernel);
+        let mut scratch = Vec::new();
+        let mut kernel_half_spec = Vec::new();
+        plan.forward_real_into(&padded, &mut scratch, &mut kernel_half_spec)?;
+
+        Ok(Self {
+            signal_len,
+            kernel_len: kernel.len(),
+            d,
+            n,
+            kernel_half_spec,
+            plan,
+        })
+    }
+
+    /// The signal length this spectrum was prepared for.
+    pub fn signal_len(&self) -> usize {
+        self.signal_len
+    }
+
+    /// The prepared kernel's length.
+    pub fn kernel_len(&self) -> usize {
+        self.kernel_len
+    }
+
+    /// The simulation grid size used by this prepared geometry.
+    pub fn grid_size(&self) -> usize {
+        self.n
+    }
+
+    /// Runs the optics chain against `signal` and extracts the valid
+    /// cross-correlation, reusing the prepared kernel spectrum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JtcError::InvalidConfig`] if `signal.len()` differs from
+    /// the prepared [`PreparedSpectrum::signal_len`], and
+    /// [`JtcError::EmptyOperand`] for an empty signal.
+    pub fn correlate(&self, signal: &[f64]) -> Result<Vec<f64>, JtcError> {
+        if signal.is_empty() {
+            return Err(JtcError::EmptyOperand { what: "signal" });
+        }
+        if signal.len() != self.signal_len {
+            return Err(JtcError::InvalidConfig {
+                name: "signal_len",
+                requirement: format!(
+                    "prepared for signals of {} samples, got {}",
+                    self.signal_len,
+                    signal.len()
+                ),
+            });
+        }
+        if self.kernel_len > self.signal_len {
+            return Ok(Vec::new());
+        }
+        let m = self.n / 2;
+
+        // Tile-rate hot path: reuse one set of per-thread buffers instead
+        // of allocating four vectors per call (threads are how the row
+        // tiler dispatches tiles, so per-thread state needs no locking).
+        thread_local! {
+            static SCRATCH: RefCell<CorrelateScratch> = RefCell::new(CorrelateScratch::default());
+        }
+        SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+
+            // First lens on the signal alone (real input, implicit zero
+            // padding), then add the prepared kernel spectrum:
+            // F[s+k] = F[s] + F[k].
+            self.plan
+                .forward_real_into(signal, &mut s.fft_scratch, &mut s.joint)?;
+            for (j, k) in s.joint.iter_mut().zip(&self.kernel_half_spec) {
+                *j += *k;
+            }
+
+            // Square-law non-linearity. The joint input is real, so its
+            // intensity spectrum is symmetric: I[n-k] = I[k]; materialise
+            // the full-length sequence for the second lens from the half
+            // spectrum.
+            s.intensity.clear();
+            s.intensity.resize(self.n, 0.0);
+            for (k, z) in s.joint.iter().enumerate() {
+                let v = z.norm_sqr();
+                s.intensity[k] = v;
+                if k != 0 && k != m {
+                    s.intensity[self.n - k] = v;
+                }
+            }
+
+            // Second lens (again a real input); normalise the
+            // double-transform gain of N. The correlation lobe lives at
+            // indices d-len+1..=d, all within the produced half spectrum
+            // (d < n/2 by construction).
+            self.plan
+                .forward_real_into(&s.intensity, &mut s.fft_scratch, &mut s.field_half)?;
+            let len = self.signal_len - self.kernel_len + 1;
+            let inv_n = 1.0 / self.n as f64;
+            Ok((0..len)
+                .map(|j| s.field_half[self.d - j].re * inv_n)
+                .collect())
+        })
+    }
+}
+
+impl JtcSimulator {
+    /// Prepares `kernel` for repeated correlation against signals of
+    /// exactly `signal_len` samples (one spectrum computation amortised
+    /// over every subsequent [`JtcSimulator::correlate_prepared`] call).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedSpectrum::new`].
+    pub fn prepare_kernel(
+        &self,
+        kernel: &[f64],
+        signal_len: usize,
+    ) -> Result<PreparedSpectrum, JtcError> {
+        PreparedSpectrum::new(kernel, signal_len, self.capacity(), self.grid_size())
+    }
+
+    /// Correlates `signal` against a kernel prepared with
+    /// [`JtcSimulator::prepare_kernel`].
+    ///
+    /// Numerically equivalent to [`JtcSimulator::correlate`] up to FFT
+    /// rounding (~1e-12 relative): the prepared path exploits the linearity
+    /// of the Fourier transform and real-input symmetry, so the floating
+    /// point operation order differs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedSpectrum::correlate`].
+    pub fn correlate_prepared(
+        &self,
+        signal: &[f64],
+        prepared: &PreparedSpectrum,
+    ) -> Result<Vec<f64>, JtcError> {
+        prepared.correlate(signal)
+    }
+}
+
+/// An engine-level prepared kernel: the optics-level [`PreparedSpectrum`]
+/// plus the DAC/ADC quantisation state of the
+/// [`JtcEngine`](crate::engine::JtcEngine) that prepared it.
+///
+/// Implements [`pf_tiling::PreparedConv1d`], so row tiling can reuse it
+/// across every tile of a convolution — and, through the convolver's
+/// prepared-kernel cache, across every image of a batch.
+#[derive(Debug, Clone)]
+pub struct PreparedKernel {
+    spectrum: PreparedSpectrum,
+    /// Scale undoing the kernel's pre-DAC normalisation.
+    k_scale: f64,
+    /// Copy of the engine's input DAC (quantises incoming signals).
+    dac: Option<Dac>,
+    /// Copy of the engine's output ADC.
+    adc: Option<Adc>,
+}
+
+impl PreparedKernel {
+    pub(crate) fn new(
+        spectrum: PreparedSpectrum,
+        k_scale: f64,
+        dac: Option<Dac>,
+        adc: Option<Adc>,
+    ) -> Self {
+        Self {
+            spectrum,
+            k_scale,
+            dac,
+            adc,
+        }
+    }
+
+    /// The optics-level prepared state.
+    pub fn spectrum(&self) -> &PreparedSpectrum {
+        &self.spectrum
+    }
+
+    /// Scale factor undoing the kernel's pre-DAC normalisation.
+    pub fn kernel_scale(&self) -> f64 {
+        self.k_scale
+    }
+
+    /// Runs the deterministic signal chain (DAC → optics → rescale → ADC)
+    /// against `signal`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedSpectrum::correlate`].
+    pub fn correlate(&self, signal: &[f64]) -> Result<Vec<f64>, JtcError> {
+        let (signal_q, s_scale) = crate::engine::quantize_through_dac(self.dac.as_ref(), signal);
+        let mut out = self.spectrum.correlate(&signal_q)?;
+        crate::engine::condition_output(&mut out, s_scale * self.k_scale, self.adc.as_ref());
+        Ok(out)
+    }
+}
+
+impl PreparedConv1d for PreparedKernel {
+    fn signal_len(&self) -> usize {
+        self.spectrum.signal_len
+    }
+
+    fn correlate_valid(&self, signal: &[f64]) -> Vec<f64> {
+        // Shape-only contract, like `Conv1dEngine::correlate_valid`: a
+        // mismatched call degenerates to an empty result.
+        self.correlate(signal).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pf_dsp::conv::{correlate1d, PaddingMode};
+    use pf_dsp::util::max_abs_diff;
+
+    #[test]
+    fn prepared_matches_per_call_optics() {
+        let jtc = JtcSimulator::new(64).unwrap();
+        let kernel = vec![0.25, 0.5, 1.0, 0.5, 0.25];
+        let prep = jtc.prepare_kernel(&kernel, 40).unwrap();
+        assert_eq!(prep.signal_len(), 40);
+        assert_eq!(prep.kernel_len(), 5);
+        for seed in 0..5u64 {
+            let signal: Vec<f64> = (0..40)
+                .map(|i| ((i as f64 + seed as f64) * 0.3).sin() + 0.5)
+                .collect();
+            let fast = jtc.correlate_prepared(&signal, &prep).unwrap();
+            let slow = jtc.correlate(&signal, &kernel).unwrap();
+            assert_eq!(fast.len(), slow.len());
+            assert!(max_abs_diff(&fast, &slow) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prepared_matches_digital_reference() {
+        let jtc = JtcSimulator::new(128).unwrap();
+        let kernel = vec![-1.0, 2.0, -1.0];
+        let prep = jtc.prepare_kernel(&kernel, 100).unwrap();
+        let signal: Vec<f64> = (0..100).map(|i| ((i as f64) * 0.17).cos()).collect();
+        let fast = jtc.correlate_prepared(&signal, &prep).unwrap();
+        let digital = correlate1d(&signal, &kernel, PaddingMode::Valid);
+        assert!(max_abs_diff(&fast, &digital) < 1e-9);
+    }
+
+    #[test]
+    fn prepared_validates_inputs() {
+        let jtc = JtcSimulator::new(16).unwrap();
+        assert!(matches!(
+            jtc.prepare_kernel(&[], 8),
+            Err(JtcError::EmptyOperand { .. })
+        ));
+        assert!(matches!(
+            jtc.prepare_kernel(&[1.0], 0),
+            Err(JtcError::EmptyOperand { .. })
+        ));
+        assert!(matches!(
+            jtc.prepare_kernel(&[1.0], 17),
+            Err(JtcError::InputTooLarge { .. })
+        ));
+        let prep = jtc.prepare_kernel(&[1.0, 1.0], 8).unwrap();
+        assert!(matches!(
+            jtc.correlate_prepared(&[1.0; 7], &prep),
+            Err(JtcError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            jtc.correlate_prepared(&[], &prep),
+            Err(JtcError::EmptyOperand { .. })
+        ));
+    }
+
+    #[test]
+    fn kernel_longer_than_signal_is_empty() {
+        let jtc = JtcSimulator::new(16).unwrap();
+        let prep = jtc.prepare_kernel(&[1.0; 5], 3).unwrap();
+        assert!(prep.correlate(&[1.0; 3]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn prepared_is_deterministic_across_calls() {
+        let jtc = JtcSimulator::new(32).unwrap();
+        let kernel = vec![0.3, -0.2, 0.7];
+        let prep = jtc.prepare_kernel(&kernel, 20).unwrap();
+        let signal: Vec<f64> = (0..20).map(|i| (i as f64 * 0.9).sin()).collect();
+        let a = prep.correlate(&signal).unwrap();
+        let b = prep.correlate(&signal).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // A freshly prepared spectrum is bit-identical too.
+        let prep2 = jtc.prepare_kernel(&kernel, 20).unwrap();
+        let c = prep2.correlate(&signal).unwrap();
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

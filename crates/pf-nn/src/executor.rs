@@ -162,8 +162,12 @@ impl<E: Conv1dEngine> TiledExecutor<E> {
                 requirement: "must be at least 1".to_string(),
             });
         }
+        // Tile-level parallelism stays off inside the executor: callers
+        // parallelise at the per-image grain (`Session::run_batch`), and the
+        // executor's many small convolutions would only fight that for
+        // threads. Kernel-spectrum preparation is still cached and shared.
         Ok(Self {
-            convolver: TiledConvolver::new(engine, n_conv)?,
+            convolver: TiledConvolver::new(engine, n_conv)?.with_parallel(false),
             config,
         })
     }

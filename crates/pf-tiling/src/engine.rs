@@ -7,6 +7,7 @@
 //! lives in `pf-jtc`.
 
 use std::fmt::Debug;
+use std::sync::Arc;
 
 use pf_dsp::conv::{correlate1d, PaddingMode};
 
@@ -18,7 +19,10 @@ use pf_dsp::conv::{correlate1d, PaddingMode};
 /// noise); the contract is only about shape: the output must have
 /// `signal.len() - kernel.len() + 1` elements whenever
 /// `kernel.len() <= signal.len()`, and must be empty otherwise.
-pub trait Conv1dEngine: Debug {
+///
+/// Engines are required to be `Sync` so the tiled executor can dispatch
+/// independent tiles across rayon worker threads.
+pub trait Conv1dEngine: Debug + Sync {
     /// Computes the valid cross-correlation of `signal` with `kernel`.
     fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64>;
 
@@ -27,6 +31,48 @@ pub trait Conv1dEngine: Debug {
     fn max_signal_len(&self) -> Option<usize> {
         None
     }
+
+    /// Whether [`Conv1dEngine::correlate_valid`] is a pure function of its
+    /// inputs. Engines with internal RNG state (optical sensing noise) must
+    /// return `false`; the tiled executor then keeps its call order identical
+    /// to the serial path so noise streams stay reproducible.
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    /// Whether one 1D convolution is expensive enough that spawning a
+    /// thread per tile pays off. Defaults to `false`: a memory-bound dot
+    /// product costs far less than a thread spawn, so cheap engines run
+    /// tiles serially even when the executor's parallelism is enabled.
+    /// FFT-backed optics simulations should return `true`.
+    fn prefers_parallel_tiles(&self) -> bool {
+        false
+    }
+
+    /// Prepares `kernel` for repeated correlation against signals of exactly
+    /// `signal_len` samples, amortising per-kernel work (spectrum
+    /// computation, quantisation) across many tiles.
+    ///
+    /// Returning `None` (the default) means the engine has no prepared fast
+    /// path and callers should fall back to
+    /// [`Conv1dEngine::correlate_valid`]. Implementations must guarantee the
+    /// prepared path computes exactly what `correlate_valid` would, up to
+    /// the engine's own numerical tolerance.
+    fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        let _ = (kernel, signal_len);
+        None
+    }
+}
+
+/// A kernel prepared by [`Conv1dEngine::prepare_kernel`]: correlates one
+/// fixed kernel against many signals of one fixed length.
+pub trait PreparedConv1d: Debug + Send + Sync {
+    /// The signal length this kernel was prepared for.
+    fn signal_len(&self) -> usize;
+
+    /// Valid cross-correlation of `signal` (which must have
+    /// [`PreparedConv1d::signal_len`] samples) with the prepared kernel.
+    fn correlate_valid(&self, signal: &[f64]) -> Vec<f64>;
 }
 
 /// Exact digital reference backend built on [`pf_dsp::conv::correlate1d`].
@@ -46,6 +92,18 @@ impl<E: Conv1dEngine + ?Sized> Conv1dEngine for &E {
 
     fn max_signal_len(&self) -> Option<usize> {
         (**self).max_signal_len()
+    }
+
+    fn is_deterministic(&self) -> bool {
+        (**self).is_deterministic()
+    }
+
+    fn prefers_parallel_tiles(&self) -> bool {
+        (**self).prefers_parallel_tiles()
+    }
+
+    fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        (**self).prepare_kernel(kernel, signal_len)
     }
 }
 

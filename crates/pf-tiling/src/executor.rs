@@ -9,11 +9,34 @@
 //!   cross-correlation either approximately (the paper's default, with the
 //!   documented *edge effect* at row boundaries) or exactly (with horizontal
 //!   zero-padding, at the cost of longer tiles).
+//!
+//! # Throughput engineering
+//!
+//! The convolver is built for batch throughput:
+//!
+//! * the tiled kernel is prepared **once** per 2D convolution through
+//!   [`Conv1dEngine::prepare_kernel`] and cached (keyed by the exact kernel
+//!   bits and the tile length) so repeated convolutions with the same
+//!   weights — every image of a batch — skip the per-kernel work entirely;
+//! * independent tiles/rows are dispatched across rayon worker threads with
+//!   deterministic ordering (results are collected in tile order, and each
+//!   tile is a pure function of its inputs), so the parallel output is
+//!   bit-identical to the serial output. Engines that report
+//!   [`Conv1dEngine::is_deterministic`] `== false` (optical sensing noise)
+//!   are always driven serially so their noise streams stay reproducible;
+//! * [`ThroughputStats`] (tiles, 1D convolutions, wall time) is exposed via
+//!   the `*_with_stats` variants for the perf harness and the CI bench gate.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
 use pf_dsp::conv::Matrix;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::Conv1dEngine;
+use crate::engine::{Conv1dEngine, PreparedConv1d};
 use crate::error::TilingError;
 use crate::plan::{TilingPlan, TilingVariant};
 use crate::tiler::{tile_input_rows, tile_kernel_rows};
@@ -34,16 +57,71 @@ pub enum EdgeHandling {
     ZeroPad,
 }
 
+/// Execution statistics of one tiled 2D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThroughputStats {
+    /// Number of tiled 1D input vectors constructed.
+    pub tiles: usize,
+    /// Number of 1D convolutions executed on the backend.
+    pub convs_1d: usize,
+    /// Wall-clock time of the whole 2D convolution.
+    pub elapsed: Duration,
+}
+
+impl ThroughputStats {
+    /// Wall time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed.as_secs_f64()
+    }
+
+    /// Mean microseconds per 1D convolution (0 when no convolutions ran).
+    pub fn micros_per_conv(&self) -> f64 {
+        if self.convs_1d == 0 {
+            return 0.0;
+        }
+        self.elapsed.as_secs_f64() * 1e6 / self.convs_1d as f64
+    }
+
+    /// Accumulates another stats record (summing tiles, convs and time).
+    pub fn merge(&mut self, other: &ThroughputStats) {
+        self.tiles += other.tiles;
+        self.convs_1d += other.convs_1d;
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// Cache key: exact bit pattern of the tiled kernel plus the tile length it
+/// was prepared for.
+type PrepKey = (usize, Vec<u64>);
+
+type PrepMap = HashMap<PrepKey, Option<Arc<dyn PreparedConv1d>>>;
+
 /// Executes 2D convolutions on a 1D convolution backend via row tiling.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TiledConvolver<E> {
     engine: E,
     n_conv: usize,
+    parallel: bool,
+    /// Prepared kernels shared across clones (and therefore across a whole
+    /// batch): `None` entries record that the engine declined to prepare.
+    prep_cache: Arc<Mutex<PrepMap>>,
+}
+
+impl<E: Clone> Clone for TiledConvolver<E> {
+    fn clone(&self) -> Self {
+        Self {
+            engine: self.engine.clone(),
+            n_conv: self.n_conv,
+            parallel: self.parallel,
+            prep_cache: Arc::clone(&self.prep_cache),
+        }
+    }
 }
 
 impl<E: Conv1dEngine> TiledConvolver<E> {
     /// Creates a convolver for a backend with 1D capacity `n_conv`
-    /// (the number of input waveguides of a PFCU).
+    /// (the number of input waveguides of a PFCU). Parallel tile dispatch
+    /// is enabled by default; see [`TiledConvolver::with_parallel`].
     ///
     /// # Errors
     ///
@@ -64,7 +142,26 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                 });
             }
         }
-        Ok(Self { engine, n_conv })
+        Ok(Self {
+            engine,
+            n_conv,
+            parallel: true,
+            prep_cache: Arc::new(Mutex::new(HashMap::new())),
+        })
+    }
+
+    /// Enables or disables parallel tile dispatch. The results are
+    /// bit-identical either way; disabling is useful to avoid nested
+    /// parallelism when the caller already parallelises at a coarser grain
+    /// (e.g. per image of a batch).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Whether parallel tile dispatch is enabled.
+    pub fn parallel(&self) -> bool {
+        self.parallel
     }
 
     /// The configured 1D capacity.
@@ -105,23 +202,39 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         input: &Matrix,
         kernel: &Matrix,
     ) -> Result<Matrix, TilingError> {
+        Ok(self.correlate2d_valid_with_stats(input, kernel)?.0)
+    }
+
+    /// Like [`TiledConvolver::correlate2d_valid`], additionally returning
+    /// the execution statistics of this convolution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TilingPlan::new`].
+    pub fn correlate2d_valid_with_stats(
+        &self,
+        input: &Matrix,
+        kernel: &Matrix,
+    ) -> Result<(Matrix, ThroughputStats), TilingError> {
+        let start = Instant::now();
         let plan = self.plan(input, kernel)?;
         let out_rows = input.rows() - kernel.rows() + 1;
         let out_cols = input.cols() - kernel.cols() + 1;
         let mut out = Matrix::zeros(out_rows, out_cols);
 
-        match plan.variant {
-            TilingVariant::RowTiling => {
-                self.valid_by_row_tiling(input, kernel, &plan, &mut out);
-            }
+        let (tiles, convs) = match plan.variant {
+            TilingVariant::RowTiling => self.valid_by_row_tiling(input, kernel, &plan, &mut out),
             TilingVariant::PartialRowTiling => {
-                self.valid_by_partial_tiling(input, kernel, &plan, &mut out);
+                self.valid_by_partial_tiling(input, kernel, &plan, &mut out)
             }
-            TilingVariant::RowPartitioning => {
-                self.valid_by_partitioning(input, kernel, &mut out);
-            }
-        }
-        Ok(out)
+            TilingVariant::RowPartitioning => self.valid_by_partitioning(input, kernel, &mut out),
+        };
+        let stats = ThroughputStats {
+            tiles,
+            convs_1d: convs,
+            elapsed: start.elapsed(),
+        };
+        Ok((out, stats))
     }
 
     /// 2D `same` cross-correlation (output has the input's shape) computed
@@ -142,6 +255,22 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         kernel: &Matrix,
         edges: EdgeHandling,
     ) -> Result<Matrix, TilingError> {
+        Ok(self.correlate2d_same_with_stats(input, kernel, edges)?.0)
+    }
+
+    /// Like [`TiledConvolver::correlate2d_same`], additionally returning the
+    /// execution statistics of this convolution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TiledConvolver::correlate2d_same`].
+    pub fn correlate2d_same_with_stats(
+        &self,
+        input: &Matrix,
+        kernel: &Matrix,
+        edges: EdgeHandling,
+    ) -> Result<(Matrix, ThroughputStats), TilingError> {
+        let start = Instant::now();
         let working = match edges {
             EdgeHandling::Wraparound => input.clone(),
             EdgeHandling::ZeroPad => pad_columns(input, (kernel.cols() - 1) / 2, kernel.cols() / 2),
@@ -158,17 +287,87 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         let pc = (kernel.cols() - 1) / 2;
         let mut out = Matrix::zeros(input.rows(), input.cols());
 
-        match plan.variant {
+        let (tiles, convs) = match plan.variant {
             TilingVariant::RowTiling => {
-                self.same_by_row_tiling(&working, kernel, &plan, pr, pc, edges, &mut out);
+                self.same_by_row_tiling(&working, kernel, &plan, pr, pc, edges, &mut out)
             }
             _ => {
                 // For the partial/partitioned variants the per-row splitting
                 // below is already exact row-by-row, so reuse it.
-                self.same_by_row_accumulation(&working, kernel, &plan, pr, pc, edges, &mut out);
+                self.same_by_row_accumulation(&working, kernel, &plan, pr, pc, edges, &mut out)
             }
+        };
+        let stats = ThroughputStats {
+            tiles,
+            convs_1d: convs,
+            elapsed: start.elapsed(),
+        };
+        Ok((out, stats))
+    }
+
+    // ----- shared machinery ------------------------------------------------
+
+    /// Prepared-kernel cache size cap. A CNN batch touches a few hundred
+    /// distinct (kernel, tile length) pairs at most; a workload streaming
+    /// unbounded distinct kernels (template matching) would otherwise grow
+    /// the map forever, so the cache resets wholesale at the cap — crude,
+    /// but fixed-kernel workloads never hit it and preparation is cheap to
+    /// redo.
+    const PREP_CACHE_CAP: usize = 1024;
+
+    /// Looks up (or builds) the prepared form of `kernel` for tiles of
+    /// `signal_len` samples. `None` means the engine has no fast path.
+    fn prepared(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        let key: PrepKey = (signal_len, kernel.iter().map(|v| v.to_bits()).collect());
+        if let Some(entry) = self.prep_cache.lock().get(&key) {
+            return entry.clone();
         }
-        Ok(out)
+        // Build outside the lock: preparation may run an FFT.
+        let prep = self.engine.prepare_kernel(kernel, signal_len);
+        let mut cache = self.prep_cache.lock();
+        if cache.len() >= Self::PREP_CACHE_CAP {
+            cache.clear();
+        }
+        cache.entry(key).or_insert_with(|| prep.clone());
+        prep
+    }
+
+    /// Runs one 1D convolution through the prepared fast path when
+    /// available, falling back to the engine.
+    fn run1d(
+        &self,
+        prep: Option<&Arc<dyn PreparedConv1d>>,
+        signal: &[f64],
+        kernel: &[f64],
+    ) -> Vec<f64> {
+        match prep {
+            Some(p) => p.correlate_valid(signal),
+            None => self.engine.correlate_valid(signal, kernel),
+        }
+    }
+
+    /// Maps `f` over `items`, in parallel when the engine allows it.
+    /// Results are always collected in input order, so the parallel path is
+    /// indistinguishable from the serial one.
+    fn dispatch<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        // Three gates: the convolver's own switch, determinism (noise
+        // streams must keep their serial order), and the engine's own cost
+        // hint — the vendored rayon spawns scoped threads per call, so
+        // parallelising memory-bound dot-product tiles would lose outright.
+        if self.parallel
+            && items.len() > 1
+            && self.engine.is_deterministic()
+            && self.engine.prefers_parallel_tiles()
+        {
+            items.par_iter().map(f).collect()
+        } else {
+            items.iter().map(f).collect()
+        }
     }
 
     // ----- valid-mode implementations ------------------------------------
@@ -179,15 +378,19 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         kernel: &Matrix,
         plan: &TilingPlan,
         out: &mut Matrix,
-    ) {
+    ) -> (usize, usize) {
         let si = input.cols();
         let n_or = plan.valid_output_rows_per_conv;
         let tiled_kernel = tile_kernel_rows(kernel, 0, kernel.rows(), si, plan.tiled_kernel_len());
-        let mut r0 = 0;
-        while r0 < out.rows() {
+        let tile_len = plan.rows_per_tile * si;
+        let prep = self.prepared(&tiled_kernel, tile_len);
+
+        let starts: Vec<usize> = (0..out.rows()).step_by(n_or).collect();
+        let corrs = self.dispatch(&starts, |&r0| {
             let tiled_input = tile_input_rows(input, r0 as isize, plan.rows_per_tile, self.n_conv);
-            let signal = &tiled_input[..plan.rows_per_tile * si];
-            let corr = self.engine.correlate_valid(signal, &tiled_kernel);
+            self.run1d(prep.as_ref(), &tiled_input[..tile_len], &tiled_kernel)
+        });
+        for (corr, &r0) in corrs.iter().zip(&starts) {
             for rr in 0..n_or {
                 let out_r = r0 + rr;
                 if out_r >= out.rows() {
@@ -197,8 +400,8 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                     out.set(out_r, c, corr[rr * si + c]);
                 }
             }
-            r0 += n_or;
         }
+        (starts.len(), starts.len())
     }
 
     fn valid_by_partial_tiling(
@@ -207,59 +410,94 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         kernel: &Matrix,
         plan: &TilingPlan,
         out: &mut Matrix,
-    ) {
+    ) -> (usize, usize) {
         // One output row at a time; kernel rows are processed in groups of
         // `rows_per_tile` and their contributions accumulated (Section III-B).
+        // The per-group tiled kernels are prepared once, up front.
         let si = input.cols();
         let n_ir = plan.rows_per_tile.max(1);
-        for out_r in 0..out.rows() {
-            let mut acc = vec![0.0; out.cols()];
-            let mut k_start = 0;
-            while k_start < kernel.rows() {
-                let count = n_ir.min(kernel.rows() - k_start);
+        let mut groups = Vec::new();
+        let mut k_start = 0;
+        while k_start < kernel.rows() {
+            let count = n_ir.min(kernel.rows() - k_start);
+            let tiled_kernel =
+                tile_kernel_rows(kernel, k_start, count, si, (count - 1) * si + kernel.cols());
+            let prep = self.prepared(&tiled_kernel, count * si);
+            groups.push((k_start, count, tiled_kernel, prep));
+            k_start += count;
+        }
+
+        let rows: Vec<usize> = (0..out.rows()).collect();
+        let out_cols = out.cols();
+        let accs = self.dispatch(&rows, |&out_r| {
+            let mut acc = vec![0.0; out_cols];
+            for (k_start, count, tiled_kernel, prep) in &groups {
                 let tiled_input =
-                    tile_input_rows(input, (out_r + k_start) as isize, count, self.n_conv);
-                let signal = &tiled_input[..count * si];
-                let tiled_kernel =
-                    tile_kernel_rows(kernel, k_start, count, si, (count - 1) * si + kernel.cols());
-                let corr = self.engine.correlate_valid(signal, &tiled_kernel);
+                    tile_input_rows(input, (out_r + k_start) as isize, *count, self.n_conv);
+                let corr = self.run1d(prep.as_ref(), &tiled_input[..count * si], tiled_kernel);
                 for (c, a) in acc.iter_mut().enumerate() {
                     *a += corr[c];
                 }
-                k_start += count;
             }
+            acc
+        });
+        for (acc, &out_r) in accs.iter().zip(&rows) {
             for (c, a) in acc.iter().enumerate() {
                 out.set(out_r, c, *a);
             }
         }
+        let n = rows.len() * groups.len();
+        (n, n)
     }
 
-    fn valid_by_partitioning(&self, input: &Matrix, kernel: &Matrix, out: &mut Matrix) {
+    fn valid_by_partitioning(
+        &self,
+        input: &Matrix,
+        kernel: &Matrix,
+        out: &mut Matrix,
+    ) -> (usize, usize) {
         // Overlap-save over columns: each kernel row is correlated with
         // partitions of the matching input row and results accumulated
-        // (Section III-C).
+        // (Section III-C). Every row shares the same column partitioning,
+        // so the partition list and the per-(kernel row, partition) prepared
+        // kernels are hoisted out of the dispatch loop — no per-partition
+        // cache-key allocation or lock traffic on the hot path.
         let step = self.n_conv - kernel.cols() + 1;
-        for out_r in 0..out.rows() {
-            let mut acc = vec![0.0; out.cols()];
-            for dr in 0..kernel.rows() {
+        let rows: Vec<usize> = (0..out.rows()).collect();
+        let out_cols = out.cols();
+        let parts = column_partitions(out_cols, input.cols(), self.n_conv, step);
+        let preps: Vec<Vec<Option<Arc<dyn PreparedConv1d>>>> = (0..kernel.rows())
+            .map(|dr| {
+                let krow = kernel.row(dr);
+                parts
+                    .iter()
+                    .map(|&(s, e)| self.prepared(krow, e - s))
+                    .collect()
+            })
+            .collect();
+        let accs = self.dispatch(&rows, |&out_r| {
+            let mut acc = vec![0.0; out_cols];
+            for (dr, row_preps) in preps.iter().enumerate() {
                 let row = input.row(out_r + dr);
                 let krow = kernel.row(dr);
-                let mut start = 0;
-                while start < out.cols() {
-                    let end = (start + self.n_conv).min(row.len());
-                    let corr = self.engine.correlate_valid(&row[start..end], krow);
+                for (p, &(start, end)) in parts.iter().enumerate() {
+                    let corr = self.run1d(row_preps[p].as_ref(), &row[start..end], krow);
                     for (i, v) in corr.iter().enumerate() {
-                        if start + i < out.cols() {
+                        if start + i < out_cols {
                             acc[start + i] += v;
                         }
                     }
-                    start += step;
                 }
             }
+            acc
+        });
+        for (acc, &out_r) in accs.iter().zip(&rows) {
             for (c, a) in acc.iter().enumerate() {
                 out.set(out_r, c, *a);
             }
         }
+        // Row partitioning slices rows in place: no tiled vectors built.
+        (0, rows.len() * kernel.rows() * parts.len())
     }
 
     // ----- same-mode implementations --------------------------------------
@@ -274,21 +512,20 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         pc: usize,
         edges: EdgeHandling,
         out: &mut Matrix,
-    ) {
+    ) -> (usize, usize) {
         let si = working.cols();
         let n_or = plan.valid_output_rows_per_conv;
         let tiled_kernel = tile_kernel_rows(kernel, 0, kernel.rows(), si, plan.tiled_kernel_len());
-        // Column of `working` that corresponds to output column 0.
-        let col_base = match edges {
-            EdgeHandling::Wraparound => 0isize,
-            EdgeHandling::ZeroPad => 0isize, // padding already shifted columns
-        };
-        let mut r0 = 0usize;
-        while r0 < out.rows() {
+        let tile_len = plan.rows_per_tile * si;
+        let prep = self.prepared(&tiled_kernel, tile_len);
+
+        let starts: Vec<usize> = (0..out.rows()).step_by(n_or).collect();
+        let corrs = self.dispatch(&starts, |&r0| {
             let tile_start = r0 as isize - pr as isize;
             let tiled_input = tile_input_rows(working, tile_start, plan.rows_per_tile, self.n_conv);
-            let signal = &tiled_input[..plan.rows_per_tile * si];
-            let corr = self.engine.correlate_valid(signal, &tiled_kernel);
+            self.run1d(prep.as_ref(), &tiled_input[..tile_len], &tiled_kernel)
+        });
+        for (corr, &r0) in corrs.iter().zip(&starts) {
             for rr in 0..n_or {
                 let out_r = r0 + rr;
                 if out_r >= out.rows() {
@@ -299,7 +536,7 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                     let wc = match edges {
                         EdgeHandling::Wraparound => c as isize - pc as isize,
                         EdgeHandling::ZeroPad => c as isize, // already padded left by pc
-                    } + col_base;
+                    };
                     let p = rr as isize * si as isize + wc;
                     let value = if p >= 0 && (p as usize) < corr.len() {
                         corr[p as usize]
@@ -316,8 +553,8 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                     out.set(out_r, c, value);
                 }
             }
-            r0 += n_or;
         }
+        (starts.len(), starts.len())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -330,29 +567,37 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         pc: usize,
         edges: EdgeHandling,
         out: &mut Matrix,
-    ) {
+    ) -> (usize, usize) {
         // Valid-style execution row by row with vertical zero rows; identical
         // maths to the partial/partitioned valid paths but with offset rows.
         let si = working.cols();
         let n_ir = plan.rows_per_tile.max(1);
-        for out_r in 0..out.rows() {
-            let top = out_r as isize - pr as isize;
-            let mut acc = vec![0.0; out.cols()];
-            if plan.variant == TilingVariant::PartialRowTiling {
-                let mut k_start = 0;
-                while k_start < kernel.rows() {
-                    let count = n_ir.min(kernel.rows() - k_start);
+        let rows: Vec<usize> = (0..out.rows()).collect();
+        let out_cols = out.cols();
+
+        let mut tiles = 0usize;
+        let mut convs = 0usize;
+        let accs: Vec<Vec<f64>> = if plan.variant == TilingVariant::PartialRowTiling {
+            // Prepare the per-group tiled kernels once, like the valid path.
+            let mut groups = Vec::new();
+            let mut k_start = 0;
+            while k_start < kernel.rows() {
+                let count = n_ir.min(kernel.rows() - k_start);
+                let tiled_kernel =
+                    tile_kernel_rows(kernel, k_start, count, si, (count - 1) * si + kernel.cols());
+                let prep = self.prepared(&tiled_kernel, count * si);
+                groups.push((k_start, count, tiled_kernel, prep));
+                k_start += count;
+            }
+            convs += rows.len() * groups.len();
+            tiles += rows.len() * groups.len();
+            self.dispatch(&rows, |&out_r| {
+                let top = out_r as isize - pr as isize;
+                let mut acc = vec![0.0; out_cols];
+                for (k_start, count, tiled_kernel, prep) in &groups {
                     let tiled_input =
-                        tile_input_rows(working, top + k_start as isize, count, self.n_conv);
-                    let signal = &tiled_input[..count * si];
-                    let tiled_kernel = tile_kernel_rows(
-                        kernel,
-                        k_start,
-                        count,
-                        si,
-                        (count - 1) * si + kernel.cols(),
-                    );
-                    let corr = self.engine.correlate_valid(signal, &tiled_kernel);
+                        tile_input_rows(working, top + *k_start as isize, *count, self.n_conv);
+                    let corr = self.run1d(prep.as_ref(), &tiled_input[..count * si], tiled_kernel);
                     for (c, slot) in acc.iter_mut().enumerate() {
                         let wc = match edges {
                             EdgeHandling::Wraparound => c as isize - pc as isize,
@@ -361,32 +606,55 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                         *slot += if wc >= 0 && (wc as usize) < corr.len() {
                             corr[wc as usize]
                         } else {
-                            partial_window_dot(working, kernel, top, wc, k_start, count)
+                            partial_window_dot(working, kernel, top, wc, *k_start, *count)
                         };
                     }
-                    k_start += count;
                 }
-            } else {
-                // Row partitioning.
-                let step = self.n_conv - kernel.cols() + 1;
+                acc
+            })
+        } else {
+            // Row partitioning, with the same hoisting as the valid path.
+            let step = self.n_conv - kernel.cols() + 1;
+            let corr_len = working.cols().saturating_sub(kernel.cols()) + 1;
+            let parts = column_partitions(corr_len, working.cols(), self.n_conv, step);
+            let preps: Vec<Vec<Option<Arc<dyn PreparedConv1d>>>> = (0..kernel.rows())
+                .map(|dr| {
+                    let krow = kernel.row(dr);
+                    parts
+                        .iter()
+                        .map(|&(s, e)| self.prepared(krow, e - s))
+                        .collect()
+                })
+                .collect();
+            // Count only convolutions that actually run: border output rows
+            // skip kernel rows that fall outside the input.
+            for &out_r in &rows {
+                let top = out_r as isize - pr as isize;
                 for dr in 0..kernel.rows() {
+                    let r = top + dr as isize;
+                    if r >= 0 && r < working.rows() as isize {
+                        convs += parts.len();
+                    }
+                }
+            }
+            self.dispatch(&rows, |&out_r| {
+                let top = out_r as isize - pr as isize;
+                let mut acc = vec![0.0; out_cols];
+                for (dr, row_preps) in preps.iter().enumerate() {
                     let r = top + dr as isize;
                     if r < 0 || r >= working.rows() as isize {
                         continue;
                     }
                     let row = working.row(r as usize);
                     let krow = kernel.row(dr);
-                    let mut corr_row = vec![0.0; row.len().saturating_sub(kernel.cols()) + 1];
-                    let mut start = 0;
-                    while start < corr_row.len() {
-                        let end = (start + self.n_conv).min(row.len());
-                        let corr = self.engine.correlate_valid(&row[start..end], krow);
+                    let mut corr_row = vec![0.0; corr_len];
+                    for (p, &(start, end)) in parts.iter().enumerate() {
+                        let corr = self.run1d(row_preps[p].as_ref(), &row[start..end], krow);
                         for (i, v) in corr.iter().enumerate() {
-                            if start + i < corr_row.len() {
+                            if start + i < corr_len {
                                 corr_row[start + i] = *v;
                             }
                         }
-                        start += step;
                     }
                     for (c, slot) in acc.iter_mut().enumerate() {
                         let wc = match edges {
@@ -400,12 +668,34 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                         }
                     }
                 }
-            }
+                acc
+            })
+        };
+        for (acc, &out_r) in accs.iter().zip(&rows) {
             for (c, a) in acc.iter().enumerate() {
                 out.set(out_r, c, *a);
             }
         }
+        (tiles, convs)
     }
+}
+
+/// Overlap-save column partitions shared by every row: `(start, end)` input
+/// ranges stepping by `step` until the produced samples cover `needed`
+/// output columns, each clipped to the `row_len`-sample row.
+fn column_partitions(
+    needed: usize,
+    row_len: usize,
+    n_conv: usize,
+    step: usize,
+) -> Vec<(usize, usize)> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    while start < needed {
+        parts.push((start, (start + n_conv).min(row_len)));
+        start += step;
+    }
+    parts
 }
 
 /// Zero-pads a matrix horizontally by `left`/`right` columns.
@@ -494,6 +784,8 @@ mod tests {
         assert!(TiledConvolver::new(DigitalEngine, 0).is_err());
         assert!(TiledConvolver::new(DigitalEngine, 256).is_ok());
         assert_eq!(convolver(256).n_conv(), 256);
+        assert!(convolver(256).parallel());
+        assert!(!convolver(256).with_parallel(false).parallel());
     }
 
     #[test]
@@ -651,5 +943,71 @@ mod tests {
         let input = random_matrix(3, 3, 81);
         let kernel = random_matrix(5, 5, 82);
         assert!(convolver(256).correlate2d_valid(&input, &kernel).is_err());
+    }
+
+    #[test]
+    fn parallel_and_serial_are_bit_identical() {
+        for (rows, cols, k, n_conv, seed) in [
+            (32, 32, 3, 256, 91u64), // row tiling, several tiles
+            (10, 10, 3, 15, 92),     // partial row tiling
+            (12, 12, 3, 7, 93),      // row partitioning
+        ] {
+            let input = random_matrix(rows, cols, seed);
+            let kernel = random_matrix(k, k, seed + 500);
+            let par = convolver(n_conv)
+                .correlate2d_valid(&input, &kernel)
+                .unwrap();
+            let ser = convolver(n_conv)
+                .with_parallel(false)
+                .correlate2d_valid(&input, &kernel)
+                .unwrap();
+            for (a, b) in par.data().iter().zip(ser.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parallel/serial divergence");
+            }
+            let par = convolver(n_conv)
+                .correlate2d_same(&input, &kernel, EdgeHandling::Wraparound)
+                .unwrap();
+            let ser = convolver(n_conv)
+                .with_parallel(false)
+                .correlate2d_same(&input, &kernel, EdgeHandling::Wraparound)
+                .unwrap();
+            for (a, b) in par.data().iter().zip(ser.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parallel/serial divergence");
+            }
+        }
+    }
+
+    #[test]
+    fn same_mode_partitioning_stats_count_only_real_convolutions() {
+        // 12x12 input, 3x3 kernel, capacity 7 -> row partitioning in same
+        // mode. corr_len = 10, step = 5 -> 2 partitions per kernel row.
+        // Interior output rows run all 3 kernel rows (6 convs); the top and
+        // bottom border rows skip one out-of-range kernel row (4 convs):
+        // 10 * 6 + 2 * 4 = 68.
+        let input = random_matrix(12, 12, 111);
+        let kernel = random_matrix(3, 3, 112);
+        let (_, stats) = convolver(7)
+            .correlate2d_same_with_stats(&input, &kernel, EdgeHandling::Wraparound)
+            .unwrap();
+        assert_eq!(stats.convs_1d, 68);
+        // Row partitioning slices rows in place: no tiled vectors built.
+        assert_eq!(stats.tiles, 0);
+    }
+
+    #[test]
+    fn stats_count_convolutions() {
+        // Figure 3 setting: 3 tiles for a 5x5 input (see plan tests).
+        let input = random_matrix(5, 5, 101);
+        let kernel = random_matrix(3, 3, 102);
+        let (_, stats) = convolver(20)
+            .correlate2d_valid_with_stats(&input, &kernel)
+            .unwrap();
+        assert_eq!(stats.convs_1d, 2); // ceil(3 output rows / 2 per conv)
+        assert_eq!(stats.tiles, 2);
+        assert!(stats.micros_per_conv() >= 0.0);
+        let mut merged = ThroughputStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.convs_1d, 2 * stats.convs_1d);
     }
 }

@@ -2,10 +2,65 @@
 //! of the paper (tiled 1D convolution == 2D convolution) must hold for every
 //! shape and capacity combination.
 
-use pf_dsp::conv::{correlate2d, Matrix, PaddingMode};
+use std::sync::Arc;
+
+use pf_dsp::conv::{correlate1d, correlate2d, Matrix, PaddingMode};
 use pf_dsp::util::max_abs_diff;
-use pf_tiling::{DigitalEngine, EdgeHandling, TiledConvolver, TilingPlan};
+use pf_tiling::{
+    Conv1dEngine, DigitalEngine, EdgeHandling, PreparedConv1d, TiledConvolver, TilingPlan,
+};
 use proptest::prelude::*;
+
+/// A digital engine that also exposes the prepared fast path, so the
+/// determinism properties exercise preparation + caching + parallel
+/// dispatch together (the digital engine alone declines preparation).
+#[derive(Debug)]
+struct PreparingDigital;
+
+#[derive(Debug)]
+struct PreparedDigital {
+    kernel: Vec<f64>,
+    signal_len: usize,
+}
+
+impl PreparedConv1d for PreparedDigital {
+    fn signal_len(&self) -> usize {
+        self.signal_len
+    }
+
+    fn correlate_valid(&self, signal: &[f64]) -> Vec<f64> {
+        correlate1d(signal, &self.kernel, PaddingMode::Valid)
+    }
+}
+
+impl Conv1dEngine for PreparingDigital {
+    fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+        correlate1d(signal, kernel, PaddingMode::Valid)
+    }
+
+    fn prefers_parallel_tiles(&self) -> bool {
+        // Opt in so the determinism properties actually exercise the
+        // parallel dispatch branch.
+        true
+    }
+
+    fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        Some(Arc::new(PreparedDigital {
+            kernel: kernel.to_vec(),
+            signal_len,
+        }))
+    }
+}
+
+fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut data = Vec::new();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    for _ in 0..rows * cols {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        data.push(((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0);
+    }
+    Matrix::new(rows, cols, data).unwrap()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -80,6 +135,67 @@ proptest! {
         }
         // Efficiency is a fraction.
         prop_assert!(plan.efficiency() > 0.0 && plan.efficiency() <= 1.0);
+    }
+
+    #[test]
+    fn parallel_dispatch_equals_serial_bit_for_bit(
+        rows in 3usize..16,
+        cols in 3usize..16,
+        k in 1usize..4,
+        n_conv in 3usize..220,
+        seed in 0u64..1000,
+    ) {
+        // The determinism contract: rayon-parallel tile dispatch must be
+        // indistinguishable from the serial path — exact equality, not
+        // tolerance — across all three tiling variants, both with an engine
+        // that declines preparation and with one that prepares kernels.
+        let ksize = 2 * k + 1;
+        prop_assume!(ksize <= rows && ksize <= cols && n_conv >= ksize);
+        let input = lcg_matrix(rows, cols, seed);
+        let kernel = lcg_matrix(ksize, ksize, seed.wrapping_add(7));
+
+        let par = TiledConvolver::new(DigitalEngine, n_conv).unwrap()
+            .correlate2d_valid(&input, &kernel).unwrap();
+        let ser = TiledConvolver::new(DigitalEngine, n_conv).unwrap()
+            .with_parallel(false)
+            .correlate2d_valid(&input, &kernel).unwrap();
+        for (a, b) in par.data().iter().zip(ser.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let par_prep = TiledConvolver::new(PreparingDigital, n_conv).unwrap()
+            .correlate2d_valid(&input, &kernel).unwrap();
+        let ser_prep = TiledConvolver::new(PreparingDigital, n_conv).unwrap()
+            .with_parallel(false)
+            .correlate2d_valid(&input, &kernel).unwrap();
+        for (a, b) in par_prep.data().iter().zip(ser_prep.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The prepared engine computes the same maths as the plain one.
+        for (a, b) in par_prep.data().iter().zip(par.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn same_mode_parallel_equals_serial_bit_for_bit(
+        rows in 4usize..12,
+        cols in 4usize..12,
+        n_conv in 9usize..300,
+        seed in 0u64..500,
+    ) {
+        let input = lcg_matrix(rows, cols, seed);
+        let kernel = lcg_matrix(3, 3, seed.wrapping_add(13));
+        for edges in [EdgeHandling::Wraparound, EdgeHandling::ZeroPad] {
+            let par = TiledConvolver::new(PreparingDigital, n_conv).unwrap()
+                .correlate2d_same(&input, &kernel, edges).unwrap();
+            let ser = TiledConvolver::new(PreparingDigital, n_conv).unwrap()
+                .with_parallel(false)
+                .correlate2d_same(&input, &kernel, edges).unwrap();
+            for (a, b) in par.data().iter().zip(ser.data()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! * [`Scenario`] — a declarative experiment description (network, backend,
 //!   accelerator design point, numeric-pipeline options), loadable from
 //!   TOML or JSON (see the `scenarios/` directory);
-//! * [`Backend`](core::Backend) — the registry of 1D convolution
+//! * [`Backend`] — the registry of 1D convolution
 //!   substrates: the exact digital reference, the ideal simulated JTC
 //!   optics, and the full PhotoFourier-CG signal chain;
 //! * [`Session`] — built from one scenario, exposing **functional**

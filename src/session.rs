@@ -37,7 +37,7 @@ use pf_nn::executor::TiledExecutor;
 use pf_nn::models::small::SmallCnn;
 use pf_nn::models::NetworkSpec;
 use pf_nn::Tensor;
-use pf_tiling::TiledConvolver;
+use pf_tiling::{ThroughputStats, TiledConvolver};
 use rayon::prelude::*;
 
 /// Builder for [`Session`].
@@ -180,6 +180,39 @@ impl Session {
         Ok(self.convolver.correlate2d_valid(input, kernel)?)
     }
 
+    /// Like [`Session::conv2d`], additionally returning the tiling
+    /// executor's [`ThroughputStats`] (tiles, 1D convolutions, wall time)
+    /// for this convolution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::conv2d`].
+    pub fn conv2d_with_stats(
+        &self,
+        input: &Matrix,
+        kernel: &Matrix,
+    ) -> Result<(Matrix, ThroughputStats), PfError> {
+        Ok(self.convolver.correlate2d_valid_with_stats(input, kernel)?)
+    }
+
+    /// Runs one kernel over a batch of inputs through row tiling.
+    ///
+    /// The kernel's spectrum is prepared once (on backends with a prepared
+    /// fast path) and reused across every tile of every image. Images run
+    /// sequentially while each image's tiles fan out in parallel — one
+    /// level of parallelism, not two: the convolver already spreads tiles
+    /// across the available cores, and nesting an image-level `par_iter`
+    /// on top would oversubscribe them (the vendored rayon spawns scoped
+    /// threads per call rather than pooling). Results are identical to
+    /// calling [`Session::conv2d`] per image, in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first per-image error in input order, if any.
+    pub fn conv2d_batch(&self, inputs: &[Matrix], kernel: &Matrix) -> Result<Vec<Matrix>, PfError> {
+        inputs.iter().map(|m| self.conv2d(m, kernel)).collect()
+    }
+
     /// Runs one image through the runnable feature-extractor CNN on the
     /// session backend with the scenario's numeric pipeline, returning the
     /// flattened feature tensor.
@@ -202,6 +235,11 @@ impl Session {
     /// sharing the session engine's single noise stream across threads.
     /// For deterministic backends the result equals per-image
     /// [`Session::run_inference`] exactly.
+    ///
+    /// On backends with a prepared fast path (the JTC optics), each layer's
+    /// kernel spectra are prepared on first use and reused across **every
+    /// tile of every image of the batch** through the shared executor's
+    /// prepared-kernel cache.
     ///
     /// # Errors
     ///
@@ -354,6 +392,52 @@ mod tests {
     fn session_feature_len(session: &Session) -> usize {
         let size = session.scenario().functional.input_size;
         16 * (size / 4) * (size / 4)
+    }
+
+    #[test]
+    fn conv2d_batch_matches_per_image_calls() {
+        for kind in [BackendKind::JtcIdeal, BackendKind::PhotofourierCg] {
+            let session = Session::builder().scenario(scenario(kind)).build().unwrap();
+            let kernel =
+                Matrix::new(3, 3, (0..9).map(|i| (i as f64 - 4.0) / 9.0).collect()).unwrap();
+            let inputs: Vec<Matrix> = (0..3)
+                .map(|s| {
+                    Matrix::new(
+                        12,
+                        12,
+                        (0..144)
+                            .map(|i| ((i + s * 7) as f64 * 0.13).sin())
+                            .collect(),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let batch = session.conv2d_batch(&inputs, &kernel).unwrap();
+            assert_eq!(batch.len(), inputs.len());
+            if !kind.is_stochastic() {
+                for (input, out) in inputs.iter().zip(&batch) {
+                    let single = session.conv2d(input, &kernel).unwrap();
+                    for (a, b) in single.data().iter().zip(out.data()) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_stats_are_exposed() {
+        let session = Session::builder()
+            .scenario(scenario(BackendKind::JtcIdeal))
+            .build()
+            .unwrap();
+        let input =
+            Matrix::new(32, 32, (0..1024).map(|i| (i as f64 * 0.03).sin()).collect()).unwrap();
+        let kernel = Matrix::new(3, 3, vec![0.5; 9]).unwrap();
+        let (out, stats) = session.conv2d_with_stats(&input, &kernel).unwrap();
+        assert_eq!(out.rows(), 30);
+        assert!(stats.convs_1d > 0);
+        assert!(stats.elapsed_secs() >= 0.0);
     }
 
     #[test]

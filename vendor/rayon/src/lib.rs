@@ -7,6 +7,7 @@
 //! uses it for.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 /// Commonly used traits, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -14,9 +15,14 @@ pub mod prelude {
 }
 
 fn worker_count(items: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    // `available_parallelism` can cost ~10µs per call (it may read cgroup
+    // files); query it once per process, like rayon's global pool does.
+    static CORES: OnceLock<usize> = OnceLock::new();
+    let cores = *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    });
     cores.min(items).max(1)
 }
 
