@@ -109,6 +109,26 @@ impl ArchConfig {
         self
     }
 
+    /// Overrides the temporal-accumulation depth, re-deriving the ADC
+    /// sampling rate (photonic clock / depth) and scaling ADC power with a
+    /// `f^α` frequency law. `α` is anchored so that dropping from the
+    /// paper's 16× accumulation to none costs the
+    /// [`pf_photonics::params::BASELINE_ADC_POWER_FACTOR`] (30×) the
+    /// Section V-C discussion cites — the worse-than-linear penalty of
+    /// full-rate converters.
+    pub fn with_temporal_accumulation(mut self, depth: usize) -> Self {
+        debug_assert!(depth >= 1, "temporal accumulation depth must be >= 1");
+        let depth = depth.max(1);
+        let alpha = pf_photonics::params::BASELINE_ADC_POWER_FACTOR.ln()
+            / (pf_photonics::params::TEMPORAL_ACCUMULATION_DEPTH as f64).ln();
+        let old_freq = self.tech.adc_frequency_ghz;
+        let new_freq = self.tech.photonic_clock_ghz / depth as f64;
+        self.tech.adc_power_mw *= (new_freq / old_freq).powf(alpha);
+        self.tech.adc_frequency_ghz = new_freq;
+        self.tech.temporal_accumulation = depth;
+        self
+    }
+
     /// Human-readable name of this design point.
     pub fn name(&self) -> &str {
         &self.tech.name
@@ -159,5 +179,29 @@ mod tests {
         assert_eq!(cfg.tech.input_waveguides, 105);
         assert_eq!(cfg.parallel.input_broadcast, 32);
         assert!(cfg.validated().is_ok());
+    }
+
+    #[test]
+    fn temporal_accumulation_override_rederives_the_adc() {
+        let cg = ArchConfig::photofourier_cg();
+        // No accumulation: ADCs at the photonic clock, paying the 30×
+        // full-rate power factor the baseline design point also uses.
+        let full_rate = cg.clone().with_temporal_accumulation(1);
+        assert_eq!(full_rate.tech.temporal_accumulation, 1);
+        assert!(
+            (full_rate.tech.adc_frequency_ghz - full_rate.tech.photonic_clock_ghz).abs() < 1e-12
+        );
+        let factor = full_rate.tech.adc_power_mw / cg.tech.adc_power_mw;
+        assert!(
+            (factor - pf_photonics::params::BASELINE_ADC_POWER_FACTOR).abs() < 1e-9,
+            "full-rate ADC factor {factor}"
+        );
+        // Re-selecting the preset's own depth is an identity.
+        let same = cg.clone().with_temporal_accumulation(16);
+        assert!((same.tech.adc_power_mw - cg.tech.adc_power_mw).abs() < 1e-12);
+        assert!(same.validated().is_ok());
+        // Deeper accumulation keeps lowering ADC power.
+        let deeper = cg.clone().with_temporal_accumulation(32);
+        assert!(deeper.tech.adc_power_mw < cg.tech.adc_power_mw);
     }
 }

@@ -18,6 +18,25 @@
 //!   serve as the expected bar heights of Figure 13 so the benchmark can
 //!   verify the reproduction preserves the orderings and approximate factors
 //!   of the comparison. See DESIGN.md for the substitution note.
+//!
+//! # Examples
+//!
+//! Every baseline implements [`AcceleratorModel`], so it can be placed on
+//! the Figure 13 axes next to the simulated PhotoFourier results:
+//!
+//! ```
+//! use pf_baselines::digital::SystolicArray;
+//! use pf_baselines::AcceleratorModel;
+//! use pf_nn::models::imagenet::resnet18;
+//!
+//! let unpu = SystolicArray::unpu_like();
+//! let net = resnet18();
+//! let fps = unpu.fps(&net).unwrap();
+//! let fpw = unpu.fps_per_watt(&net).unwrap();
+//! let edp = unpu.edp(&net).unwrap();
+//! assert!(fps > 0.0 && fpw > 0.0);
+//! assert!((edp - 1.0 / (fps * fpw)).abs() < 1e-9 * edp);
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]

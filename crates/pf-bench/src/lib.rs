@@ -4,6 +4,25 @@
 //! computes its rows/series; the Criterion benches under `benches/` print
 //! those results and time the underlying computation. EXPERIMENTS.md records
 //! the paper-vs-measured comparison for each one.
+//!
+//! The crate also ships two standalone drivers: `--bin perf` (the batched
+//! throughput harness behind the CI bench gate, see [`perf`]) and
+//! `--bin sweep` (the declarative design-space sweep runner documented in
+//! `docs/SCENARIOS.md`).
+//!
+//! # Examples
+//!
+//! Experiment results render through the fixed-width [`Table`] the benches
+//! print:
+//!
+//! ```
+//! use pf_bench::Table;
+//!
+//! let mut table = Table::new(vec!["# PFCU", "FPS/W"]);
+//! table.row(vec!["8", "354.6"]).row(vec!["16", "418.7"]);
+//! assert_eq!(table.len(), 2);
+//! assert!(table.render().lines().count() >= 4); // header, rule, 2 rows
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]

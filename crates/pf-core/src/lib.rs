@@ -12,9 +12,34 @@
 //!   ([`BackendKind`], [`BackendSpec`]);
 //! * [`Scenario`] — a serde-backed experiment description (network +
 //!   backend + architecture + pipeline options) loadable from TOML or JSON,
-//!   so experiments are data, not code.
+//!   so experiments are data, not code;
+//! * [`SweepSpec`] / [`SweepPlan`] — the `[sweep]` section of a scenario:
+//!   declarative cartesian axes over backends, networks and design knobs,
+//!   expanded into concrete per-point scenarios.
 //!
-//! The `photofourier` facade crate builds its `Session` API on these types.
+//! The `photofourier` facade crate builds its `Session` and `SweepRunner`
+//! APIs on these types.
+//!
+//! # Examples
+//!
+//! A scenario is plain data; a `[sweep]` section turns it into a grid:
+//!
+//! ```
+//! use pf_core::{BackendSpec, Scenario, SweepPlan, SweepSpec};
+//!
+//! let mut scenario = Scenario::new("grid", "resnet18", BackendSpec::digital(256));
+//! scenario.sweep = Some(SweepSpec {
+//!     backends: Some(vec!["digital".into(), "jtc_ideal".into()]),
+//!     temporal_depths: Some(vec![1, 16]),
+//!     ..SweepSpec::default()
+//! });
+//!
+//! let plan = SweepPlan::expand(&scenario)?;
+//! assert_eq!(plan.points().len(), 4);
+//! assert_eq!(plan.points()[0].id, "backend=digital,td=1");
+//! assert_eq!(plan.points()[0].scenario.name, "grid/backend=digital,td=1");
+//! # Ok::<(), pf_core::PfError>(())
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -22,9 +47,11 @@
 pub mod backend;
 pub mod error;
 pub mod scenario;
+pub mod sweep;
 
 pub use backend::{Backend, BackendKind, BackendSpec};
 pub use error::PfError;
 pub use scenario::{
     network_by_name, ArchPreset, ArchSpec, FunctionalSpec, Scenario, NETWORK_REGISTRY,
 };
+pub use sweep::{SweepPlan, SweepPoint, SweepSpec, MAX_SWEEP_POINTS};

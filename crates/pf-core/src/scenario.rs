@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::BackendSpec;
 use crate::error::PfError;
+use crate::sweep::SweepSpec;
 
 /// Registry of the networks a scenario can reference by name.
 pub const NETWORK_REGISTRY: [&str; 7] = [
@@ -79,6 +80,10 @@ pub struct ArchSpec {
     pub num_pfcus: Option<usize>,
     /// Overrides the number of input waveguides per PFCU.
     pub input_waveguides: Option<usize>,
+    /// Overrides the temporal-accumulation depth, re-deriving the ADC
+    /// sampling rate and power (see
+    /// `ArchConfig::with_temporal_accumulation`).
+    pub temporal_accumulation: Option<usize>,
     /// Overrides the chip area budget in mm².
     pub area_budget_mm2: Option<f64>,
 }
@@ -107,6 +112,14 @@ impl ArchSpec {
                 let waveguides = waveguides.unwrap_or(config.tech.input_waveguides);
                 config = config.with_pfcus_and_waveguides(pfcus, waveguides);
             }
+        }
+        if let Some(depth) = self.temporal_accumulation {
+            if depth == 0 {
+                return Err(PfError::invalid_scenario(
+                    "arch temporal_accumulation must be at least 1",
+                ));
+            }
+            config = config.with_temporal_accumulation(depth);
         }
         if let Some(budget) = self.area_budget_mm2 {
             config.area_budget_mm2 = budget;
@@ -154,6 +167,9 @@ pub struct Scenario {
     pub pipeline: PipelineConfig,
     /// Shape/seed of the runnable functional network.
     pub functional: FunctionalSpec,
+    /// Optional design-space sweep axes; `None` (the key absent from the
+    /// file) means a single-point scenario. See [`crate::sweep::SweepPlan`].
+    pub sweep: Option<SweepSpec>,
 }
 
 impl Scenario {
@@ -167,6 +183,7 @@ impl Scenario {
             arch: ArchSpec::default(),
             pipeline: PipelineConfig::ideal(),
             functional: FunctionalSpec::default(),
+            sweep: None,
         }
     }
 
@@ -202,6 +219,9 @@ impl Scenario {
             ));
         }
         self.arch.resolve()?;
+        if let Some(sweep) = &self.sweep {
+            sweep.validate()?;
+        }
         Ok(())
     }
 
@@ -290,6 +310,7 @@ mod tests {
             preset: ArchPreset::PhotofourierNg,
             num_pfcus: Some(32),
             input_waveguides: Some(105),
+            temporal_accumulation: Some(8),
             area_budget_mm2: Some(80.0),
         };
         scenario.pipeline = PipelineConfig::photofourier_default();
@@ -348,7 +369,11 @@ mod tests {
         let config = demo().arch.resolve().unwrap();
         assert_eq!(config.tech.num_pfcus, 32);
         assert_eq!(config.tech.input_waveguides, 105);
+        assert_eq!(config.tech.temporal_accumulation, 8);
         assert_eq!(config.area_budget_mm2, 80.0);
+        let mut bad = demo();
+        bad.arch.temporal_accumulation = Some(0);
+        assert!(bad.arch.resolve().is_err());
         // Preset with no overrides resolves to the stock design point.
         let stock = ArchSpec::preset(ArchPreset::PhotofourierCg)
             .resolve()

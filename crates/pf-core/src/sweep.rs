@@ -1,0 +1,581 @@
+//! Declarative design-space sweeps over scenarios.
+//!
+//! The paper's headline results are design-space claims — FPS/W across PFCU
+//! counts, temporal-accumulation depths, ADC widths and networks. A
+//! [`SweepSpec`] (the `[sweep]` section of a scenario file) declares
+//! cartesian axes over those knobs; [`SweepPlan::expand`] materialises the
+//! grid into concrete single-point [`Scenario`]s, each tagged with a
+//! deterministic point id such as `pfcu=8,backend=jtc_ideal,td=16`. The
+//! `photofourier` facade executes plans through its `SweepRunner`.
+//!
+//! Absent axes keep the base scenario's value (an axis of cardinality one),
+//! so a scenario without a `[sweep]` section is simply a one-point sweep.
+
+use serde::{Deserialize, Serialize};
+
+use crate::backend::BackendKind;
+use crate::error::PfError;
+use crate::scenario::{network_by_name, ArchPreset, Scenario};
+
+/// Upper bound on the number of points one sweep may expand to; a guard
+/// against accidentally huge cartesian products in scenario files.
+pub const MAX_SWEEP_POINTS: usize = 4096;
+
+/// The `[sweep]` section of a scenario: one optional value list per swept
+/// knob. Every present axis multiplies the grid; the base scenario supplies
+/// the value for absent axes.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Accelerator design points to start from (`"PhotofourierCg"`,
+    /// `"PhotofourierNg"`, `"BaselineSinglePfcu"`).
+    pub arch_presets: Option<Vec<ArchPreset>>,
+    /// PFCU-count overrides applied on top of the design point.
+    pub pfcu_counts: Option<Vec<usize>>,
+    /// Network registry names (see [`crate::NETWORK_REGISTRY`]).
+    pub networks: Option<Vec<String>>,
+    /// Backend registry names (`"digital"`, `"jtc_ideal"`,
+    /// `"photofourier_cg"`); the base scenario's capacity is kept.
+    pub backends: Option<Vec<String>>,
+    /// Temporal-accumulation depths (each must be at least 1).
+    pub temporal_depths: Option<Vec<usize>>,
+    /// Partial-sum ADC resolutions in bits; `0` disables partial-sum
+    /// quantisation (the full-precision psum reference of Figure 7).
+    pub psum_adc_bits: Option<Vec<u32>>,
+    /// Weight/activation quantisation widths in bits (applied to both);
+    /// `0` disables quantisation entirely.
+    pub quant_bits: Option<Vec<u32>>,
+}
+
+/// The axes of a [`SweepSpec`], in expansion order (outermost first). The
+/// order is part of the report contract: points appear in the report in
+/// exactly this nesting order, serial or parallel.
+const AXIS_ORDER: [&str; 7] = [
+    "preset", "pfcu", "network", "backend", "td", "psum", "quant",
+];
+
+impl SweepSpec {
+    /// The number of concrete scenarios this spec expands to (product of
+    /// the axis lengths, absent axes counting as one).
+    pub fn cardinality(&self) -> usize {
+        self.axis_lens()
+            .iter()
+            .map(|&n| n.max(1))
+            .product::<usize>()
+    }
+
+    fn axis_lens(&self) -> [usize; 7] {
+        [
+            self.arch_presets.as_ref().map_or(0, Vec::len),
+            self.pfcu_counts.as_ref().map_or(0, Vec::len),
+            self.networks.as_ref().map_or(0, Vec::len),
+            self.backends.as_ref().map_or(0, Vec::len),
+            self.temporal_depths.as_ref().map_or(0, Vec::len),
+            self.psum_adc_bits.as_ref().map_or(0, Vec::len),
+            self.quant_bits.as_ref().map_or(0, Vec::len),
+        ]
+    }
+
+    /// Checks every axis for emptiness, duplicates and invalid values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] naming the first offending axis.
+    pub fn validate(&self) -> Result<(), PfError> {
+        fn check_axis<T: PartialEq + std::fmt::Debug>(
+            name: &str,
+            values: &Option<Vec<T>>,
+            mut valid: impl FnMut(&T) -> Result<(), PfError>,
+        ) -> Result<(), PfError> {
+            let Some(values) = values else {
+                return Ok(());
+            };
+            if values.is_empty() {
+                return Err(PfError::invalid_scenario(format!(
+                    "sweep axis `{name}` must not be an empty list (omit the key to keep the base value)"
+                )));
+            }
+            for (i, v) in values.iter().enumerate() {
+                if values[..i].contains(v) {
+                    return Err(PfError::invalid_scenario(format!(
+                        "sweep axis `{name}` lists {v:?} twice"
+                    )));
+                }
+                valid(v)?;
+            }
+            Ok(())
+        }
+
+        check_axis("arch_presets", &self.arch_presets, |_| Ok(()))?;
+        check_axis("pfcu_counts", &self.pfcu_counts, |&n| {
+            if n == 0 {
+                Err(PfError::invalid_scenario(
+                    "sweep axis `pfcu_counts` values must be at least 1",
+                ))
+            } else {
+                Ok(())
+            }
+        })?;
+        check_axis("networks", &self.networks, |name| {
+            network_by_name(name).map(|_| ())
+        })?;
+        check_axis("backends", &self.backends, |name| {
+            BackendKind::from_name(name).map(|_| ())
+        })?;
+        check_axis("temporal_depths", &self.temporal_depths, |&d| {
+            if d == 0 {
+                Err(PfError::invalid_scenario(
+                    "sweep axis `temporal_depths` values must be at least 1",
+                ))
+            } else {
+                Ok(())
+            }
+        })?;
+        check_axis("psum_adc_bits", &self.psum_adc_bits, |&b| {
+            if b > 32 {
+                Err(PfError::invalid_scenario(
+                    "sweep axis `psum_adc_bits` values must be at most 32 (0 = disabled)",
+                ))
+            } else {
+                Ok(())
+            }
+        })?;
+        check_axis("quant_bits", &self.quant_bits, |&b| {
+            if b > 32 {
+                Err(PfError::invalid_scenario(
+                    "sweep axis `quant_bits` values must be at most 32 (0 = disabled)",
+                ))
+            } else {
+                Ok(())
+            }
+        })?;
+
+        let cardinality = self.cardinality();
+        if cardinality > MAX_SWEEP_POINTS {
+            return Err(PfError::invalid_scenario(format!(
+                "sweep expands to {cardinality} points, above the {MAX_SWEEP_POINTS}-point limit"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One materialised grid point: a concrete scenario plus its deterministic
+/// id (the `axis=value` pairs of every declared axis, comma-joined in
+/// expansion order, e.g. `pfcu=8,backend=jtc_ideal,td=16`; `base` when the
+/// sweep declares no axes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Deterministic point id — the filter and report key.
+    pub id: String,
+    /// The concrete scenario (its `sweep` section cleared, its name
+    /// extended to `<base name>/<id>`).
+    pub scenario: Scenario,
+}
+
+/// A fully expanded sweep: the base scenario and every grid point, in
+/// deterministic expansion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    base: Scenario,
+    points: Vec<SweepPoint>,
+}
+
+/// One axis choice during expansion: the id fragment (`None` for an
+/// undeclared axis) and the mutation it applies to the base scenario.
+struct Choice<'a> {
+    fragment: Option<String>,
+    apply: Box<dyn Fn(&mut Scenario) + 'a>,
+}
+
+fn declared<'a, T, F>(
+    axis: &'static str,
+    values: &'a Option<Vec<T>>,
+    base: F,
+    show: impl Fn(&T) -> String + 'a,
+) -> Vec<Choice<'a>>
+where
+    F: Fn(&mut Scenario, &'a T) + Copy + 'a,
+{
+    match values {
+        None => vec![Choice {
+            fragment: None,
+            apply: Box::new(|_| {}),
+        }],
+        Some(values) => values
+            .iter()
+            .map(|v| Choice {
+                fragment: Some(format!("{axis}={}", show(v))),
+                apply: Box::new(move |s| base(s, v)),
+            })
+            .collect(),
+    }
+}
+
+impl SweepPlan {
+    /// Expands a scenario's `[sweep]` section into the full cartesian grid.
+    /// A scenario without a sweep section yields a single point with id
+    /// `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] for invalid axes (see
+    /// [`SweepSpec::validate`]) or when any expanded point fails
+    /// [`Scenario::validate`] (e.g. a PFCU override inconsistent with the
+    /// selected preset); the error names the offending point id.
+    pub fn expand(base: &Scenario) -> Result<Self, PfError> {
+        let spec = base.sweep.clone().unwrap_or_default();
+        spec.validate()?;
+
+        let quant_config = |&bits: &u32| pf_nn::quant::QuantConfig {
+            bits: if bits == 0 { 32 } else { bits },
+            enabled: bits > 0,
+        };
+
+        // Axes in AXIS_ORDER; each entry is the list of choices along one
+        // axis. The cartesian product nests left-to-right (leftmost
+        // outermost), which fixes both point order and id fragment order.
+        let axes: Vec<Vec<Choice>> = vec![
+            declared(
+                AXIS_ORDER[0],
+                &spec.arch_presets,
+                |s: &mut Scenario, &p| s.arch.preset = p,
+                |p| preset_name(*p).to_string(),
+            ),
+            declared(
+                AXIS_ORDER[1],
+                &spec.pfcu_counts,
+                |s: &mut Scenario, &n| s.arch.num_pfcus = Some(n),
+                |n| n.to_string(),
+            ),
+            declared(
+                AXIS_ORDER[2],
+                &spec.networks,
+                |s: &mut Scenario, n: &String| s.network = n.clone(),
+                |n| n.clone(),
+            ),
+            declared(
+                AXIS_ORDER[3],
+                &spec.backends,
+                |s: &mut Scenario, n: &String| {
+                    // Validated above; a bad name cannot reach here.
+                    if let Ok(kind) = BackendKind::from_name(n) {
+                        s.backend.kind = kind;
+                    }
+                },
+                |n| n.clone(),
+            ),
+            declared(
+                AXIS_ORDER[4],
+                &spec.temporal_depths,
+                |s: &mut Scenario, &d| {
+                    // Both sides of the reproduction: the functional numeric
+                    // pipeline accumulates d partial sums per ADC read-out,
+                    // and the analytical model re-derives ADC rate/power.
+                    s.pipeline.temporal_depth = d;
+                    s.arch.temporal_accumulation = Some(d);
+                },
+                |d| d.to_string(),
+            ),
+            declared(
+                AXIS_ORDER[5],
+                &spec.psum_adc_bits,
+                |s: &mut Scenario, &b| {
+                    s.pipeline.psum_adc_bits = (b > 0).then_some(b);
+                },
+                |b| b.to_string(),
+            ),
+            declared(
+                AXIS_ORDER[6],
+                &spec.quant_bits,
+                move |s: &mut Scenario, b| {
+                    let q = quant_config(b);
+                    s.pipeline.weight_quant = q;
+                    s.pipeline.activation_quant = q;
+                },
+                |b| b.to_string(),
+            ),
+        ];
+
+        let mut points = Vec::with_capacity(spec.cardinality());
+        let mut stack: Vec<&Choice> = Vec::with_capacity(axes.len());
+        expand_rec(base, &axes, &mut stack, &mut points)?;
+        Ok(Self {
+            base: base.clone(),
+            points,
+        })
+    }
+
+    /// The scenario the plan was expanded from.
+    pub fn base(&self) -> &Scenario {
+        &self.base
+    }
+
+    /// The grid points, in deterministic expansion order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Keeps only points whose id contains `pattern` (plain substring
+    /// match, the CLI `--filter` semantics) and returns how many remain.
+    pub fn retain_matching(&mut self, pattern: &str) -> usize {
+        self.points.retain(|p| p.id.contains(pattern));
+        self.points.len()
+    }
+}
+
+fn expand_rec<'a, 'b>(
+    base: &Scenario,
+    axes: &'a [Vec<Choice<'b>>],
+    stack: &mut Vec<&'a Choice<'b>>,
+    points: &mut Vec<SweepPoint>,
+) -> Result<(), PfError> {
+    // Recursion depth is AXIS_ORDER.len() at most.
+    let Some((axis, rest)) = axes.split_first() else {
+        let fragments: Vec<&str> = stack.iter().filter_map(|c| c.fragment.as_deref()).collect();
+        let id = if fragments.is_empty() {
+            "base".to_string()
+        } else {
+            fragments.join(",")
+        };
+        let mut scenario = base.clone();
+        scenario.sweep = None;
+        for choice in stack.iter() {
+            (choice.apply)(&mut scenario);
+        }
+        scenario.name = format!("{}/{id}", base.name);
+        scenario.validate().map_err(|e| {
+            PfError::invalid_scenario(format!("sweep point `{id}` is invalid: {e}"))
+        })?;
+        points.push(SweepPoint { id, scenario });
+        return Ok(());
+    };
+    for choice in axis {
+        stack.push(choice);
+        expand_rec(base, rest, stack, points)?;
+        stack.pop();
+    }
+    Ok(())
+}
+
+/// Short registry-style name of a preset, used in point ids.
+fn preset_name(preset: ArchPreset) -> &'static str {
+    match preset {
+        ArchPreset::PhotofourierCg => "cg",
+        ArchPreset::PhotofourierNg => "ng",
+        ArchPreset::BaselineSinglePfcu => "baseline",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendSpec;
+
+    fn base() -> Scenario {
+        Scenario::new("grid", "resnet18", BackendSpec::digital(256))
+    }
+
+    fn with_sweep(sweep: SweepSpec) -> Scenario {
+        let mut s = base();
+        s.sweep = Some(sweep);
+        s
+    }
+
+    #[test]
+    fn no_sweep_is_a_single_base_point() {
+        let plan = SweepPlan::expand(&base()).unwrap();
+        assert_eq!(plan.points().len(), 1);
+        assert_eq!(plan.points()[0].id, "base");
+        assert_eq!(plan.points()[0].scenario.name, "grid/base");
+        assert_eq!(plan.points()[0].scenario.sweep, None);
+    }
+
+    #[test]
+    fn cardinality_is_the_product_of_declared_axes() {
+        let spec = SweepSpec {
+            backends: Some(vec!["digital".into(), "jtc_ideal".into()]),
+            temporal_depths: Some(vec![1, 4, 16]),
+            pfcu_counts: Some(vec![4, 8, 16, 32]),
+            ..SweepSpec::default()
+        };
+        assert_eq!(spec.cardinality(), 24);
+        let plan = SweepPlan::expand(&with_sweep(spec)).unwrap();
+        assert_eq!(plan.points().len(), 24);
+    }
+
+    #[test]
+    fn expansion_order_and_ids_are_deterministic() {
+        let spec = SweepSpec {
+            backends: Some(vec!["digital".into(), "jtc_ideal".into()]),
+            temporal_depths: Some(vec![1, 16]),
+            ..SweepSpec::default()
+        };
+        let plan = SweepPlan::expand(&with_sweep(spec)).unwrap();
+        let ids: Vec<&str> = plan.points().iter().map(|p| p.id.as_str()).collect();
+        // backend is outermost (earlier in AXIS_ORDER), td innermost.
+        assert_eq!(
+            ids,
+            [
+                "backend=digital,td=1",
+                "backend=digital,td=16",
+                "backend=jtc_ideal,td=1",
+                "backend=jtc_ideal,td=16",
+            ]
+        );
+    }
+
+    #[test]
+    fn point_scenarios_apply_every_axis() {
+        let spec = SweepSpec {
+            arch_presets: Some(vec![ArchPreset::PhotofourierNg]),
+            pfcu_counts: Some(vec![32]),
+            networks: Some(vec!["resnet_s".into()]),
+            backends: Some(vec!["photofourier_cg".into()]),
+            temporal_depths: Some(vec![4]),
+            psum_adc_bits: Some(vec![6]),
+            quant_bits: Some(vec![4]),
+        };
+        let plan = SweepPlan::expand(&with_sweep(spec)).unwrap();
+        assert_eq!(plan.points().len(), 1);
+        let s = &plan.points()[0].scenario;
+        assert_eq!(s.arch.preset, ArchPreset::PhotofourierNg);
+        assert_eq!(s.arch.num_pfcus, Some(32));
+        assert_eq!(s.network, "resnet_s");
+        assert_eq!(s.backend.kind, BackendKind::PhotofourierCg);
+        assert_eq!(s.backend.capacity, 256, "capacity comes from the base");
+        assert_eq!(s.pipeline.temporal_depth, 4);
+        assert_eq!(
+            s.arch.temporal_accumulation,
+            Some(4),
+            "the td axis drives the analytical ADC model too"
+        );
+        assert_eq!(s.pipeline.psum_adc_bits, Some(6));
+        assert!(s.pipeline.weight_quant.enabled);
+        assert_eq!(s.pipeline.weight_quant.bits, 4);
+        assert_eq!(s.pipeline.activation_quant.bits, 4);
+        assert_eq!(
+            plan.points()[0].id,
+            "preset=ng,pfcu=32,network=resnet_s,backend=photofourier_cg,td=4,psum=6,quant=4"
+        );
+    }
+
+    #[test]
+    fn zero_bits_disable_quantisation_and_psum_adc() {
+        let spec = SweepSpec {
+            psum_adc_bits: Some(vec![0]),
+            quant_bits: Some(vec![0]),
+            ..SweepSpec::default()
+        };
+        let mut scenario = with_sweep(spec);
+        scenario.pipeline = pf_nn::executor::PipelineConfig::photofourier_default();
+        scenario.sweep = Some(SweepSpec {
+            psum_adc_bits: Some(vec![0]),
+            quant_bits: Some(vec![0]),
+            ..SweepSpec::default()
+        });
+        let plan = SweepPlan::expand(&scenario).unwrap();
+        let s = &plan.points()[0].scenario;
+        assert_eq!(s.pipeline.psum_adc_bits, None);
+        assert!(!s.pipeline.weight_quant.enabled);
+        assert!(!s.pipeline.activation_quant.enabled);
+    }
+
+    #[test]
+    fn validation_rejects_bad_axes() {
+        let bad: &[SweepSpec] = &[
+            SweepSpec {
+                backends: Some(vec![]),
+                ..SweepSpec::default()
+            },
+            SweepSpec {
+                backends: Some(vec!["quantum".into()]),
+                ..SweepSpec::default()
+            },
+            SweepSpec {
+                backends: Some(vec!["digital".into(), "digital".into()]),
+                ..SweepSpec::default()
+            },
+            SweepSpec {
+                networks: Some(vec!["lenet".into()]),
+                ..SweepSpec::default()
+            },
+            SweepSpec {
+                temporal_depths: Some(vec![0]),
+                ..SweepSpec::default()
+            },
+            SweepSpec {
+                pfcu_counts: Some(vec![0]),
+                ..SweepSpec::default()
+            },
+            SweepSpec {
+                psum_adc_bits: Some(vec![64]),
+                ..SweepSpec::default()
+            },
+            SweepSpec {
+                quant_bits: Some(vec![33]),
+                ..SweepSpec::default()
+            },
+        ];
+        for spec in bad {
+            assert!(
+                SweepPlan::expand(&with_sweep(spec.clone())).is_err(),
+                "{spec:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn cardinality_guard_trips() {
+        let spec = SweepSpec {
+            temporal_depths: Some((1..=70).collect()),
+            pfcu_counts: Some((1..=70).collect()),
+            ..SweepSpec::default()
+        };
+        assert_eq!(spec.cardinality(), 4900);
+        let err = SweepPlan::expand(&with_sweep(spec)).unwrap_err();
+        assert!(err.to_string().contains("4900"), "{err}");
+    }
+
+    #[test]
+    fn invalid_points_name_the_offending_id() {
+        // BaselineSinglePfcu with a PFCU override of 0 is caught at axis
+        // level; an override inconsistency must instead come from the
+        // resolved config. 3000 PFCUs exceed any sane area/pairing check?
+        // Use a valid spec but an invalid base functional size to show the
+        // id is reported.
+        let mut scenario = with_sweep(SweepSpec {
+            temporal_depths: Some(vec![2]),
+            ..SweepSpec::default()
+        });
+        scenario.functional.input_size = 15; // not a multiple of 4
+        let err = SweepPlan::expand(&scenario).unwrap_err();
+        assert!(err.to_string().contains("td=2"), "{err}");
+    }
+
+    #[test]
+    fn retain_matching_filters_by_substring() {
+        let spec = SweepSpec {
+            backends: Some(vec!["digital".into(), "jtc_ideal".into()]),
+            temporal_depths: Some(vec![1, 16]),
+            ..SweepSpec::default()
+        };
+        let mut plan = SweepPlan::expand(&with_sweep(spec)).unwrap();
+        assert_eq!(plan.retain_matching("backend=jtc_ideal"), 2);
+        assert!(plan.points().iter().all(|p| p.id.contains("jtc_ideal")));
+        assert_eq!(plan.retain_matching("td=16"), 1);
+        assert_eq!(plan.retain_matching("nothing-matches"), 0);
+    }
+
+    #[test]
+    fn sweep_spec_round_trips_through_serde() {
+        let spec = SweepSpec {
+            arch_presets: Some(vec![ArchPreset::PhotofourierCg, ArchPreset::PhotofourierNg]),
+            pfcu_counts: Some(vec![4, 8]),
+            quant_bits: Some(vec![0, 8]),
+            ..SweepSpec::default()
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SweepSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -23,6 +23,23 @@
 //! * [`dataset`] / [`train`] — a synthetic image-classification task and a
 //!   linear-probe trainer used to obtain end-to-end accuracy trends
 //!   (Figure 7's accuracy-vs-accumulation-depth experiment).
+//!
+//! # Examples
+//!
+//! A convolution layer run through the exact digital reference executor:
+//!
+//! ```
+//! use pf_nn::executor::{Conv2dExecutor, ReferenceExecutor};
+//! use pf_nn::layers::Conv2d;
+//! use pf_nn::Tensor;
+//!
+//! // 1 input channel, 4 filters, 3x3 kernel, stride 1, `same` padding.
+//! let layer = Conv2d::random(1, 4, 3, 1, true, 0.5, 7)?;
+//! let image = Tensor::random(vec![1, 8, 8], 0.0, 1.0, 42);
+//! let out = ReferenceExecutor.forward(&image, &layer)?;
+//! assert_eq!(out.shape(), &[4, 8, 8]); // `same` padding keeps H and W
+//! # Ok::<(), pf_nn::NnError>(())
+//! ```
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]

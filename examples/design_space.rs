@@ -1,92 +1,88 @@
-//! Design-space exploration (Table III and Figure 8): how many waveguides
-//! per PFCU fit a 100 mm² budget for different PFCU counts, which
-//! configuration maximises FPS/W, and why input broadcasting is the chosen
-//! parallelisation scheme.
+//! Design-space exploration through the declarative sweep engine.
 //!
-//! Design points are expressed as [`ArchSpec`] overrides inside scenarios,
-//! so the sweep drives many accelerator configurations through the same
-//! [`Session`] entry point.
+//! The paper's Table III / Figure 7 results are grids: FPS/W across PFCU
+//! counts, temporal-accumulation depths and networks. This example declares
+//! those grids as `[sweep]` axes on ordinary scenarios and lets the
+//! [`SweepRunner`] expand and execute them — no `pf-arch` internals, the
+//! same path `cargo run -p pf-bench --bin sweep` drives from scenario
+//! files.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example design_space
 //! ```
 
-use pf_arch::parallel::{optimal_scheme, sweep_input_broadcast};
 use photofourier::prelude::*;
+
+fn print_points(title: &str, report: &SweepReport) {
+    println!("== {title} ==\n");
+    println!(
+        "  {:<44} {:>6} {:>4} {:>10} {:>10} {:>12}",
+        "point", "pfcu", "td", "FPS", "FPS/W", "conv2d err"
+    );
+    for p in &report.points {
+        println!(
+            "  {:<44} {:>6} {:>4} {:>10.1} {:>10.1} {:>12.2e}",
+            p.id, p.num_pfcus, p.temporal_depth, p.fps, p.fps_per_watt, p.conv2d_max_abs_err
+        );
+    }
+    println!();
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
-    // Figure 8: the parallelisation objective IB/NTA + CP.
+    // The committed design-space scenario: PFCU count × backend × temporal
+    // depth. Filtered to the ideal JTC backend here so the example stays
+    // quick; drop the filter (or use the sweep CLI) for the full grid.
     // ------------------------------------------------------------------
-    println!("== Figure 8: parallelisation scheme analysis (N_TA = 16) ==\n");
-    for num_pfcus in [8usize, 16, 32] {
-        let sweep = sweep_input_broadcast(num_pfcus, 16)?;
-        let values: Vec<String> = sweep
-            .iter()
-            .map(|p| format!("IB={:<3} -> {:>6.3}", p.input_broadcast, p.objective))
-            .collect();
-        let best = optimal_scheme(num_pfcus, 16)?;
-        println!(
-            "N_PFCU = {num_pfcus:>2}: {}   best: IB={} CP={}",
-            values.join("  "),
-            best.input_broadcast,
-            best.channel_parallel
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // Session-driven override sweep: the same scenario evaluated at
-    // several PFCU counts, demonstrating declarative design points.
-    // ------------------------------------------------------------------
-    println!("\n== Session override sweep: ResNet-18 on PhotoFourier-CG ==\n");
-    println!(
-        "  {:>8} {:>12} {:>12} {:>12}",
-        "# PFCU", "FPS", "power (W)", "FPS/W"
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/sweep_design_space.toml"
     );
-    for num_pfcus in [4usize, 8, 16, 32] {
-        let mut scenario = Scenario::new(
-            format!("cg_{num_pfcus}pfcu"),
-            "resnet18",
-            BackendSpec::digital(256),
-        );
-        scenario.arch = ArchSpec {
-            preset: ArchPreset::PhotofourierCg,
-            num_pfcus: Some(num_pfcus),
-            input_waveguides: None,
-            area_budget_mm2: None,
-        };
-        let session = Session::builder().scenario(scenario).build()?;
-        let perf = session.evaluate_performance()?;
-        println!(
-            "  {:>8} {:>12.1} {:>12.2} {:>12.1}",
-            num_pfcus, perf.fps, perf.avg_power_w, perf.fps_per_watt
-        );
-    }
+    let report = SweepRunner::new(Scenario::from_path(path)?)?
+        .filter("backend=jtc_ideal")
+        .smoke(true)
+        .run()?;
+    print_points(
+        "Table III territory: ResNet-18 FPS/W vs PFCU count (ideal JTC)",
+        &report,
+    );
 
     // ------------------------------------------------------------------
-    // Table III: waveguides per PFCU and FPS/W under a 100 mm² budget.
-    // A reduced network suite keeps the example quick; the bench harness
-    // runs the full five-CNN suite.
+    // An inline sweep: temporal depth is both a functional knob (partial
+    // sums per ADC read-out) and an analytical one (ADC rate and power) —
+    // the Figure 7 / Section V-C trade-off.
     // ------------------------------------------------------------------
-    let networks = vec![alexnet(), resnet18()];
-    println!("\n== Table III: design-space sweep (100 mm² budget) ==\n");
-    for preset in [ArchPreset::PhotofourierCg, ArchPreset::PhotofourierNg] {
-        let base = ArchSpec::preset(preset).resolve()?;
-        println!("{}:", base.name());
+    let mut scenario = Scenario::new("td_tradeoff", "resnet18", BackendSpec::photofourier_cg(256));
+    scenario.sweep = Some(SweepSpec {
+        temporal_depths: Some(vec![1, 4, 16, 64]),
+        ..SweepSpec::default()
+    });
+    let report = SweepRunner::new(scenario)?.smoke(true).run()?;
+    print_points(
+        "Temporal accumulation: deeper = cheaper ADCs (CG signal chain)",
+        &report,
+    );
+
+    // ------------------------------------------------------------------
+    // Cross-network sweep on both design points — the committed
+    // sweep_networks.toml scenario, filtered to the ResNet family.
+    // ------------------------------------------------------------------
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/sweep_networks.toml");
+    let report = SweepRunner::new(Scenario::from_path(path)?)?
+        .filter("network=resnet")
+        .smoke(true)
+        .run()?;
+    println!("== ResNet family on CG and NG ==\n");
+    println!(
+        "  {:<40} {:>14} {:>10} {:>10}",
+        "point", "design point", "FPS", "FPS/W"
+    );
+    for p in &report.points {
         println!(
-            "  {:>8} {:>12} {:>16} {:>12}",
-            "# PFCU", "# waveguides", "FPS/W (geomean)", "normalised"
+            "  {:<40} {:>14} {:>10.1} {:>10.1}",
+            p.id, p.design_point, p.fps, p.fps_per_watt
         );
-        let points =
-            sweep_pfcu_counts(&base, &TABLE3_PFCU_COUNTS, base.area_budget_mm2, &networks)?;
-        for p in &points {
-            println!(
-                "  {:>8} {:>12} {:>16.1} {:>12.2}",
-                p.num_pfcus, p.waveguides, p.geomean_fps_per_watt, p.normalized_fps_per_watt
-            );
-        }
-        println!();
     }
 
     Ok(())

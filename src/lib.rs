@@ -26,6 +26,11 @@
 //!   [`Session::run_batch`]) and **analytical** performance modeling
 //!   ([`Session::evaluate_performance`]) for the same configuration.
 //!
+//! Scenarios with a `[sweep]` section expand into design-space grids; the
+//! [`sweep::SweepRunner`] executes every point through per-point sessions
+//! and collects a JSON/CSV-serialisable [`sweep::SweepReport`] (see
+//! `docs/SCENARIOS.md`).
+//!
 //! # Quickstart
 //!
 //! One scenario, two calls — a functional convolution through the simulated
@@ -83,6 +88,7 @@
 #![deny(missing_docs)]
 
 pub mod session;
+pub mod sweep;
 
 pub use pf_arch as arch;
 pub use pf_baselines as baselines;
@@ -95,17 +101,19 @@ pub use pf_tiling as tiling;
 
 pub use pf_core::{
     network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FunctionalSpec,
-    PfError, Scenario, NETWORK_REGISTRY,
+    PfError, Scenario, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
 };
 pub use session::{Session, SessionBuilder};
+pub use sweep::{SweepPointResult, SweepReport, SweepRunner, SWEEP_SCHEMA};
 
 /// Commonly used items re-exported in one place.
 pub mod prelude {
     // The unified facade API.
     pub use crate::session::{Session, SessionBuilder};
+    pub use crate::sweep::{SweepPointResult, SweepReport, SweepRunner};
     pub use pf_core::{
         network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FunctionalSpec,
-        PfError, Scenario, NETWORK_REGISTRY,
+        PfError, Scenario, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
     };
 
     // The per-crate building blocks the facade composes.

@@ -11,6 +11,7 @@ fn demo_scenario() -> Scenario {
         preset: ArchPreset::PhotofourierNg,
         num_pfcus: Some(32),
         input_waveguides: Some(105),
+        temporal_accumulation: None,
         area_budget_mm2: Some(90.0),
     };
     scenario.pipeline = PipelineConfig::photofourier_default();
@@ -40,7 +41,12 @@ fn scenario_round_trips_through_json() {
 
 #[test]
 fn shipped_scenario_files_load_and_build() {
-    for file in ["resnet18_cg.toml", "crosslight.toml"] {
+    for file in [
+        "resnet18_cg.toml",
+        "crosslight.toml",
+        "sweep_design_space.toml",
+        "sweep_networks.toml",
+    ] {
         let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
         let scenario = Scenario::from_path(&path).unwrap();
         // Round trip: what we serialize parses back to the same scenario.
