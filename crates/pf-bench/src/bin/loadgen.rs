@@ -1,0 +1,177 @@
+//! `cargo run -p pf-bench --bin loadgen` — the serving load generator.
+//!
+//! Drives the `pf-serve` micro-batching inference server with closed- and
+//! open-loop traffic (seeded arrival RNG), prints a latency summary table
+//! and writes `BENCH_serving.json` (schema `pf-bench/serving-v1`). In
+//! `--smoke` mode (CI's serve-smoke job) the run also gates: any rejected
+//! or failed request, or any served result that is not bit-identical to
+//! the offline `Session` path, is a non-zero exit.
+//!
+//! Flags:
+//!
+//! * `--smoke`           small fixed request counts + the smoke gate (CI)
+//! * `--rps F`           open-loop target arrival rate (default 200)
+//! * `--concurrency N`   closed-loop submitter threads (default 4)
+//! * `--duration SECS`   full-mode wall-time budget per record (default 2)
+//! * `--backend NAME`    restrict to one backend (repeatable)
+//! * `--seed N`          arrival/image RNG seed (default 42)
+//! * `--out PATH`        report path (default `BENCH_serving.json`)
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use pf_bench::serving::{check_smoke, run_suite, LoadgenOptions, ServingReport};
+use pf_bench::Table;
+use photofourier::BackendKind;
+
+fn usage() {
+    eprintln!(
+        "usage: loadgen [--smoke] [--rps F] [--concurrency N] [--duration SECS] \
+         [--backend NAME]... [--seed N] [--out PATH]"
+    );
+}
+
+fn print_report(report: &ServingReport) {
+    println!(
+        "\n== PhotoFourier serving ({} mode, {} host thread(s)) ==\n",
+        report.mode, report.host_threads
+    );
+    let mut table = Table::new(vec![
+        "pattern",
+        "backend",
+        "submitted",
+        "served",
+        "rejected",
+        "rps",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "mean batch",
+        "offline match",
+    ]);
+    for r in &report.results {
+        table.row(vec![
+            r.pattern.clone(),
+            r.backend.clone(),
+            r.stats.submitted.to_string(),
+            r.stats.served.to_string(),
+            r.stats.rejected.to_string(),
+            format!("{:.1}", r.stats.throughput_rps),
+            format!("{:.3}", r.stats.latency.p50_ms),
+            format!("{:.3}", r.stats.latency.p95_ms),
+            format!("{:.3}", r.stats.latency.p99_ms),
+            format!("{:.2}", r.stats.mean_batch_size()),
+            if r.matches_offline { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = LoadgenOptions::default();
+    let mut out = "BENCH_serving.json".to_string();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => options.smoke = true,
+            "--full" => options.smoke = false,
+            "--rps" | "--concurrency" | "--duration" | "--backend" | "--seed" | "--out" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(value) = args.get(i) else {
+                    eprintln!("{flag} needs a value");
+                    usage();
+                    return ExitCode::from(2);
+                };
+                match flag.as_str() {
+                    "--rps" => match value.parse::<f64>() {
+                        Ok(rps) if rps > 0.0 => options.rps = rps,
+                        _ => {
+                            eprintln!("--rps needs a positive number");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--concurrency" => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => options.concurrency = n,
+                        _ => {
+                            eprintln!("--concurrency needs an integer >= 1");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--duration" => match value.parse::<f64>() {
+                        Ok(secs) if secs > 0.0 => {
+                            options.duration = Duration::from_secs_f64(secs);
+                        }
+                        _ => {
+                            eprintln!("--duration needs a positive number of seconds");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--backend" => match BackendKind::from_name(value) {
+                        Ok(kind) => options.backends.push(kind),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--seed" => match value.parse::<u64>() {
+                        Ok(seed) => options.seed = seed,
+                        Err(_) => {
+                            eprintln!("--seed needs an integer");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    _ => out = value.clone(),
+                }
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let report = match run_suite(&options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_report(&report);
+
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("failed to serialise report: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if options.smoke {
+        let failures = check_smoke(&report);
+        if failures.is_empty() {
+            println!("serve smoke gate passed");
+        } else {
+            eprintln!("serve smoke gate FAILED:");
+            for failure in &failures {
+                eprintln!("  - {failure}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

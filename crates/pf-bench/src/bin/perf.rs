@@ -13,13 +13,18 @@
 //!   on regression
 //! * `--tolerance F`    allowed fractional regression for `--check`
 //!   (default 0.30 = 30%)
+//! * `--threads N`      size the parallel-dispatch worker pool (default:
+//!   one worker per available core); the report's `host_threads` records
+//!   whichever pool size was actually used
 
 use std::process::ExitCode;
 
 use pf_bench::perf::{check_against_baseline, run_suite, Baseline, PerfReport};
 
 fn usage() {
-    eprintln!("usage: perf [--smoke] [--out PATH] [--check BASELINE] [--tolerance FRACTION]");
+    eprintln!(
+        "usage: perf [--smoke] [--out PATH] [--check BASELINE] [--tolerance FRACTION] [--threads N]"
+    );
 }
 
 fn print_report(report: &PerfReport) {
@@ -52,13 +57,14 @@ fn main() -> ExitCode {
     let mut out = "BENCH_throughput.json".to_string();
     let mut check: Option<String> = None;
     let mut tolerance = 0.30f64;
+    let mut threads: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
             "--full" => smoke = false,
-            "--out" | "--check" | "--tolerance" => {
+            "--out" | "--check" | "--tolerance" | "--threads" => {
                 let flag = args[i].clone();
                 i += 1;
                 let Some(value) = args.get(i) else {
@@ -69,6 +75,13 @@ fn main() -> ExitCode {
                 match flag.as_str() {
                     "--out" => out = value.clone(),
                     "--check" => check = Some(value.clone()),
+                    "--threads" => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => threads = Some(n),
+                        _ => {
+                            eprintln!("--threads needs an integer >= 1");
+                            return ExitCode::from(2);
+                        }
+                    },
                     _ => match value.parse::<f64>() {
                         Ok(t) if (0.0..1.0).contains(&t) => tolerance = t,
                         _ => {
@@ -89,6 +102,17 @@ fn main() -> ExitCode {
             }
         }
         i += 1;
+    }
+
+    if let Some(n) = threads {
+        if rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .is_err()
+        {
+            eprintln!("failed to configure a {n}-thread worker pool");
+            return ExitCode::FAILURE;
+        }
     }
 
     let report = match run_suite(smoke) {

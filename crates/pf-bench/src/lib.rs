@@ -5,10 +5,12 @@
 //! those results and time the underlying computation. EXPERIMENTS.md records
 //! the paper-vs-measured comparison for each one.
 //!
-//! The crate also ships two standalone drivers: `--bin perf` (the batched
-//! throughput harness behind the CI bench gate, see [`perf`]) and
-//! `--bin sweep` (the declarative design-space sweep runner documented in
-//! `docs/SCENARIOS.md`).
+//! The crate also ships three standalone drivers: `--bin perf` (the batched
+//! throughput harness behind the CI bench gate, see [`perf`]), `--bin
+//! sweep` (the declarative design-space sweep runner documented in
+//! `docs/SCENARIOS.md`) and `--bin loadgen` (the serving load generator
+//! driving the `pf-serve` micro-batching server, see [`serving`] and
+//! `docs/SERVING.md`).
 //!
 //! # Examples
 //!
@@ -30,6 +32,7 @@
 pub mod experiments;
 pub mod perf;
 pub mod report;
+pub mod serving;
 
 pub use experiments::*;
 pub use report::Table;

@@ -71,7 +71,9 @@ pub struct PerfReport {
     pub schema: String,
     /// `smoke` (CI) or `full`.
     pub mode: String,
-    /// Worker threads available to rayon-style dispatch on this host.
+    /// Worker threads rayon-style dispatch actually uses for this run: the
+    /// pool size configured through `--threads` /
+    /// `rayon::ThreadPoolBuilder`, or the host's available core count.
     pub host_threads: usize,
     /// Measured records.
     pub results: Vec<PerfRecord>,
@@ -423,9 +425,31 @@ pub fn run_suite(smoke: bool) -> Result<PerfReport, PfError> {
     Ok(PerfReport {
         schema: SCHEMA.to_string(),
         mode: mode.to_string(),
-        host_threads: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        // The pool size parallel dispatch really uses — honours a
+        // `ThreadPoolBuilder` override instead of assuming one worker per
+        // available core.
+        host_threads: rayon::current_num_threads(),
         results,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn host_threads_reports_the_real_pool_size() {
+        // With no override installed, the pool size is the core count...
+        let auto = rayon::current_num_threads();
+        assert!(auto >= 1);
+        // ...and an explicit configuration must be what the report records.
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build_global()
+            .unwrap();
+        assert_eq!(rayon::current_num_threads(), 2);
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert_eq!(rayon::current_num_threads(), auto);
+    }
 }

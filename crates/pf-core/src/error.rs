@@ -36,6 +36,14 @@ pub enum PfError {
         /// What was wrong.
         reason: String,
     },
+    /// An inference server's admission control rejected a request because
+    /// its bounded queue was full (`pf-serve`).
+    Overloaded {
+        /// Requests already queued when the request was rejected.
+        queued: usize,
+        /// The configured queue depth.
+        limit: usize,
+    },
     /// A scenario file could not be parsed or serialized.
     Format {
         /// The serialization format involved.
@@ -64,6 +72,10 @@ impl fmt::Display for PfError {
             PfError::Nn(e) => write!(f, "nn: {e}"),
             PfError::Arch(e) => write!(f, "arch: {e}"),
             PfError::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            PfError::Overloaded { queued, limit } => write!(
+                f,
+                "server overloaded: {queued} request(s) queued at the admission limit of {limit}"
+            ),
             PfError::Format { format, reason } => write!(f, "{format} error: {reason}"),
         }
     }
@@ -78,7 +90,9 @@ impl Error for PfError {
             PfError::Jtc(e) => Some(e),
             PfError::Nn(e) => Some(e),
             PfError::Arch(e) => Some(e),
-            PfError::InvalidScenario { .. } | PfError::Format { .. } => None,
+            PfError::InvalidScenario { .. }
+            | PfError::Overloaded { .. }
+            | PfError::Format { .. } => None,
         }
     }
 }
@@ -170,6 +184,16 @@ mod tests {
         let source = Error::source(&e).expect("jtc error has a source");
         assert!(source.to_string().contains("dsp error"));
         assert!(Error::source(&PfError::invalid_scenario("x")).is_none());
+    }
+
+    #[test]
+    fn overloaded_reports_queue_state() {
+        let e = PfError::Overloaded {
+            queued: 64,
+            limit: 64,
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(Error::source(&e).is_none());
     }
 
     #[test]

@@ -52,6 +52,6 @@ pub mod sweep;
 pub use backend::{Backend, BackendKind, BackendSpec};
 pub use error::PfError;
 pub use scenario::{
-    network_by_name, ArchPreset, ArchSpec, FunctionalSpec, Scenario, NETWORK_REGISTRY,
+    network_by_name, ArchPreset, ArchSpec, FunctionalSpec, Scenario, ServingSpec, NETWORK_REGISTRY,
 };
 pub use sweep::{SweepPlan, SweepPoint, SweepSpec, MAX_SWEEP_POINTS};

@@ -151,6 +151,64 @@ impl Default for FunctionalSpec {
     }
 }
 
+/// Declarative configuration of the `pf-serve` micro-batching inference
+/// server (the optional `[serving]` section of a scenario file).
+///
+/// `pf_serve::ServeConfig` is built from this spec; the fields mirror its
+/// knobs with serde-friendly types (the batch-formation timeout is in
+/// microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServingSpec {
+    /// Largest micro-batch the batcher dispatches in one engine call.
+    pub max_batch: usize,
+    /// How long the batcher waits for more requests before dispatching a
+    /// partial batch, in microseconds. `0` dispatches whatever is queued
+    /// immediately.
+    pub batch_timeout_us: u64,
+    /// Bounded queue depth: requests submitted while this many are already
+    /// queued are rejected with `PfError::Overloaded`.
+    pub queue_depth: usize,
+    /// Number of batcher/dispatch worker threads.
+    pub workers: usize,
+}
+
+impl Default for ServingSpec {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            batch_timeout_us: 2_000,
+            queue_depth: 64,
+            workers: 1,
+        }
+    }
+}
+
+impl ServingSpec {
+    /// Checks the spec's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] describing the first problem.
+    pub fn validate(&self) -> Result<(), PfError> {
+        if self.max_batch == 0 {
+            return Err(PfError::invalid_scenario(
+                "serving max_batch must be at least 1",
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(PfError::invalid_scenario(
+                "serving queue_depth must be at least 1",
+            ));
+        }
+        if self.workers == 0 {
+            return Err(PfError::invalid_scenario(
+                "serving workers must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A complete, declarative experiment description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -170,6 +228,9 @@ pub struct Scenario {
     /// Optional design-space sweep axes; `None` (the key absent from the
     /// file) means a single-point scenario. See [`crate::sweep::SweepPlan`].
     pub sweep: Option<SweepSpec>,
+    /// Optional inference-server configuration; `None` (the key absent from
+    /// the file) means the `pf-serve` defaults.
+    pub serving: Option<ServingSpec>,
 }
 
 impl Scenario {
@@ -184,6 +245,7 @@ impl Scenario {
             pipeline: PipelineConfig::ideal(),
             functional: FunctionalSpec::default(),
             sweep: None,
+            serving: None,
         }
     }
 
@@ -221,6 +283,9 @@ impl Scenario {
         self.arch.resolve()?;
         if let Some(sweep) = &self.sweep {
             sweep.validate()?;
+        }
+        if let Some(serving) = &self.serving {
+            serving.validate()?;
         }
         Ok(())
     }
@@ -314,6 +379,12 @@ mod tests {
             area_budget_mm2: Some(80.0),
         };
         scenario.pipeline = PipelineConfig::photofourier_default();
+        scenario.serving = Some(ServingSpec {
+            max_batch: 4,
+            batch_timeout_us: 500,
+            queue_depth: 32,
+            workers: 2,
+        });
         scenario
     }
 
@@ -362,6 +433,25 @@ mod tests {
         let mut s = demo();
         s.arch.num_pfcus = Some(0);
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn serving_spec_is_validated() {
+        for break_it in [
+            (|s: &mut ServingSpec| s.max_batch = 0) as fn(&mut ServingSpec),
+            |s| s.queue_depth = 0,
+            |s| s.workers = 0,
+        ] {
+            let mut s = demo();
+            let spec = s.serving.as_mut().unwrap();
+            break_it(spec);
+            assert!(s.validate().is_err());
+        }
+        // The whole section is optional.
+        let mut s = demo();
+        s.serving = None;
+        assert!(s.validate().is_ok());
+        assert_eq!(ServingSpec::default().max_batch, 8);
     }
 
     #[test]

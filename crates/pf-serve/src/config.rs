@@ -1,0 +1,103 @@
+//! Server configuration.
+
+use std::time::Duration;
+
+use pf_core::{PfError, ServingSpec};
+
+/// Configuration of a [`crate::Server`].
+///
+/// The serde-facing twin of this type is [`pf_core::ServingSpec`] (the
+/// `[serving]` section of a scenario file); [`ServeConfig::from_spec`]
+/// converts between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Largest micro-batch the batcher dispatches in one engine call.
+    pub max_batch: usize,
+    /// How long the batcher waits for more requests before dispatching a
+    /// partial batch. `Duration::ZERO` dispatches whatever is queued the
+    /// moment a worker picks work up — lowest latency, smallest batches.
+    pub batch_timeout: Duration,
+    /// Bounded queue depth: a request submitted while this many are already
+    /// waiting is rejected with [`PfError::Overloaded`]. This is the
+    /// server's only admission control — make it explicit in capacity
+    /// planning rather than letting the queue grow without bound.
+    pub queue_depth: usize,
+    /// Number of batcher/dispatch worker threads. Each worker forms and
+    /// dispatches its own micro-batches; more workers overlap engine calls
+    /// at the cost of competing for the engine's internal parallelism.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::from_spec(&ServingSpec::default())
+    }
+}
+
+impl ServeConfig {
+    /// Builds the config from its declarative scenario form.
+    pub fn from_spec(spec: &ServingSpec) -> Self {
+        Self {
+            max_batch: spec.max_batch,
+            batch_timeout: Duration::from_micros(spec.batch_timeout_us),
+            queue_depth: spec.queue_depth,
+            workers: spec.workers,
+        }
+    }
+
+    /// The declarative scenario form of this config (inverse of
+    /// [`ServeConfig::from_spec`], up to sub-microsecond timeout
+    /// truncation).
+    pub fn to_spec(&self) -> ServingSpec {
+        ServingSpec {
+            max_batch: self.max_batch,
+            batch_timeout_us: self.batch_timeout.as_micros() as u64,
+            queue_depth: self.queue_depth,
+            workers: self.workers,
+        }
+    }
+
+    /// Checks the configuration's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] describing the first problem.
+    pub fn validate(&self) -> Result<(), PfError> {
+        // One source of truth for the constraints: the scenario spec.
+        self.to_spec().validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid_and_match_the_spec_defaults() {
+        let config = ServeConfig::default();
+        config.validate().unwrap();
+        assert_eq!(config, ServeConfig::from_spec(&ServingSpec::default()));
+        assert_eq!(config.batch_timeout, Duration::from_micros(2_000));
+        // to_spec is from_spec's inverse.
+        assert_eq!(config.to_spec(), ServingSpec::default());
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        for break_it in [
+            (|c: &mut ServeConfig| c.max_batch = 0) as fn(&mut ServeConfig),
+            |c| c.queue_depth = 0,
+            |c| c.workers = 0,
+        ] {
+            let mut config = ServeConfig::default();
+            break_it(&mut config);
+            assert!(config.validate().is_err());
+        }
+        // A zero batch timeout is legal: immediate dispatch.
+        let config = ServeConfig {
+            batch_timeout: Duration::ZERO,
+            ..ServeConfig::default()
+        };
+        config.validate().unwrap();
+    }
+}

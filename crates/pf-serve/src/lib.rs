@@ -1,0 +1,36 @@
+//! Dynamic micro-batching inference server.
+//!
+//! The paper's JTC pipeline amortizes per-kernel FFT cost across batched,
+//! tiled work — a payoff that only materialises when many concurrent
+//! requests are formed into batches *under load*. This crate supplies that
+//! serving layer: a thread-based server (workers + `parking_lot` condvar
+//! queues, no async runtime) that accepts a stream of single-image
+//! requests, forms micro-batches, dispatches them through any
+//! [`InferenceEngine`], and accounts for every request's latency.
+//!
+//! * [`ServeConfig`] — batch size, batch-formation timeout, bounded queue
+//!   depth (admission control), worker count;
+//! * [`Server`] — [`Server::submit`] returns a per-request [`Ticket`];
+//!   [`Server::submit_blocking`] waits for the result in place;
+//! * [`ServerStats`] — per-request enqueue/dispatch/complete timestamps
+//!   aggregated into p50/p95/p99 latency, the achieved batch-size
+//!   histogram, throughput, and rejected-request counts;
+//! * overload is explicit: a full queue rejects the request with
+//!   [`pf_core::PfError::Overloaded`];
+//! * [`Server::shutdown`] drains deterministically — every accepted
+//!   request is completed before it returns.
+//!
+//! The engine abstraction keeps this crate below the `photofourier` facade:
+//! the facade implements [`InferenceEngine`] for its `Session` and
+//! re-exports everything here as `photofourier::serve`.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod config;
+pub mod server;
+pub mod stats;
+
+pub use config::ServeConfig;
+pub use server::{InferenceEngine, Server, Ticket};
+pub use stats::{BatchBucket, LatencySummary, ServerStats};

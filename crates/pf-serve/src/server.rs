@@ -1,0 +1,376 @@
+//! The micro-batching server: admission, batch formation, dispatch,
+//! tickets, and deterministic shutdown.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+use pf_core::PfError;
+use pf_nn::Tensor;
+
+use crate::config::ServeConfig;
+use crate::stats::{ServerStats, StatsCollector};
+
+/// The compute side of a [`Server`]: runs one micro-batch of requests.
+///
+/// `seqs[i]` is request `i`'s stable sequence number, assigned at admission
+/// in submission order. Deterministic engines may ignore it; engines with
+/// stochastic state (optical sensing noise) must derive each request's
+/// noise stream from its sequence number — **not** from its position in the
+/// batch — so a request's result does not depend on how the batcher happened
+/// to group it.
+pub trait InferenceEngine: Send + Sync {
+    /// Runs the micro-batch, returning one output per input, in order.
+    ///
+    /// # Errors
+    ///
+    /// An error fails every request of the batch (each ticket resolves to a
+    /// clone of the error).
+    fn infer_batch(&self, inputs: &[Tensor], seqs: &[u64]) -> Result<Vec<Tensor>, PfError>;
+}
+
+impl<E: InferenceEngine + ?Sized> InferenceEngine for Arc<E> {
+    fn infer_batch(&self, inputs: &[Tensor], seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
+        (**self).infer_batch(inputs, seqs)
+    }
+}
+
+/// Result slot shared between a [`Ticket`] and the worker that completes it.
+#[derive(Debug, Default)]
+struct TicketCell {
+    result: Mutex<Option<Result<Tensor, PfError>>>,
+    ready: Condvar,
+}
+
+impl TicketCell {
+    fn fulfill(&self, result: Result<Tensor, PfError>) {
+        *self.result.lock() = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle to one in-flight request, returned by [`Server::submit`].
+#[derive(Debug)]
+pub struct Ticket {
+    seq: u64,
+    cell: Arc<TicketCell>,
+}
+
+impl Ticket {
+    /// The request's admission sequence number (submission order). This is
+    /// the seed stochastic engines derive the request's noise stream from,
+    /// so recording it makes served results exactly reproducible offline.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Blocks until the request completes and returns its result.
+    pub fn wait(self) -> Result<Tensor, PfError> {
+        let mut slot = self.cell.result.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.cell.ready.wait(slot);
+        }
+    }
+
+    /// Returns the result if the request already completed, without
+    /// blocking. At most one call observes `Some` (the result is moved out).
+    pub fn try_take(&self) -> Option<Result<Tensor, PfError>> {
+        self.cell.result.lock().take()
+    }
+}
+
+/// One admitted request waiting in the queue.
+#[derive(Debug)]
+struct Request {
+    seq: u64,
+    input: Tensor,
+    enqueued: Instant,
+    cell: Arc<TicketCell>,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    pending: VecDeque<Request>,
+    /// Cleared by shutdown: no further admissions, workers drain and exit.
+    accepting: bool,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Shared<E> {
+    engine: E,
+    config: ServeConfig,
+    queue: Mutex<QueueState>,
+    /// Signalled on every admission and on shutdown.
+    work: Condvar,
+    stats: Mutex<StatsCollector>,
+}
+
+/// A thread-based micro-batching inference server.
+///
+/// Worker threads drain the bounded request queue into micro-batches (up to
+/// [`ServeConfig::max_batch`] requests, waiting at most
+/// [`ServeConfig::batch_timeout`] for a partial batch to fill) and dispatch
+/// each batch through the [`InferenceEngine`]. Admission control is a
+/// bounded queue: submissions beyond [`ServeConfig::queue_depth`] are
+/// rejected with [`PfError::Overloaded`].
+///
+/// Dropping the server also shuts it down (draining first), but
+/// [`Server::shutdown`] is preferred: it returns the final [`ServerStats`].
+#[derive(Debug)]
+pub struct Server<E: InferenceEngine + 'static> {
+    shared: Arc<Shared<E>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<E: InferenceEngine + 'static> Server<E> {
+    /// Validates `config` and starts the worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] for an inconsistent config.
+    pub fn new(engine: E, config: ServeConfig) -> Result<Self, PfError> {
+        config.validate()?;
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                accepting: true,
+                next_seq: 0,
+            }),
+            work: Condvar::new(),
+            stats: Mutex::new(StatsCollector::default()),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pf-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pf-serve worker")
+            })
+            .collect();
+        Ok(Self { shared, workers })
+    }
+
+    /// The configuration the server runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// A reference to the engine.
+    pub fn engine(&self) -> &E {
+        &self.shared.engine
+    }
+
+    /// Requests currently waiting in the queue (already-dispatched batches
+    /// excluded).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.lock().pending.len()
+    }
+
+    /// Submits one request, returning its [`Ticket`] immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::Overloaded`] when the queue is full (the request
+    /// is counted as rejected), or [`PfError::InvalidScenario`] when the
+    /// server is shutting down (not counted: shutdown is not load).
+    pub fn submit(&self, input: Tensor) -> Result<Ticket, PfError> {
+        let enqueued = Instant::now();
+        let mut queue = self.shared.queue.lock();
+        if !queue.accepting {
+            return Err(PfError::invalid_scenario(
+                "submit on a server that is shutting down",
+            ));
+        }
+        if queue.pending.len() >= self.shared.config.queue_depth {
+            let queued = queue.pending.len();
+            drop(queue);
+            self.shared.stats.lock().record_rejected();
+            return Err(PfError::Overloaded {
+                queued,
+                limit: self.shared.config.queue_depth,
+            });
+        }
+        let seq = queue.next_seq;
+        queue.next_seq += 1;
+        let cell = Arc::new(TicketCell::default());
+        queue.pending.push_back(Request {
+            seq,
+            input,
+            enqueued,
+            cell: Arc::clone(&cell),
+        });
+        drop(queue);
+        self.shared.stats.lock().record_submitted(enqueued);
+        self.shared.work.notify_one();
+        Ok(Ticket { seq, cell })
+    }
+
+    /// Submits one request and blocks until its result is ready.
+    ///
+    /// # Errors
+    ///
+    /// Same admission errors as [`Server::submit`], plus any engine error.
+    pub fn submit_blocking(&self, input: Tensor) -> Result<Tensor, PfError> {
+        self.submit(input)?.wait()
+    }
+
+    /// A snapshot of the accounting so far (may be mid-flight; totals only
+    /// settle after [`Server::shutdown`]).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.lock().snapshot()
+    }
+
+    /// Stops admissions, drains every queued request, joins the workers and
+    /// returns the final stats. Deterministic: every ticket handed out by
+    /// [`Server::submit`] is resolved by the time this returns. (Engine
+    /// panics are caught per batch — they fail that batch's tickets and
+    /// show up in [`ServerStats::failed`] rather than killing a worker.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panicked (a server bug, not an
+    /// engine failure).
+    pub fn shutdown(mut self) -> ServerStats {
+        self.begin_shutdown();
+        let mut worker_panicked = false;
+        for handle in self.workers.drain(..) {
+            worker_panicked |= handle.join().is_err();
+        }
+        assert!(!worker_panicked, "a pf-serve worker thread panicked");
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.queue.lock().accepting = false;
+        self.shared.work.notify_all();
+    }
+}
+
+impl<E: InferenceEngine + 'static> Drop for Server<E> {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            // Swallow worker panics here: propagating from drop would abort.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Takes requests off the queue into `batch` until it holds `max` requests.
+fn take_into(batch: &mut Vec<Request>, queue: &mut QueueState, max: usize) {
+    while batch.len() < max {
+        match queue.pending.pop_front() {
+            Some(request) => batch.push(request),
+            None => break,
+        }
+    }
+}
+
+fn worker_loop<E: InferenceEngine>(shared: &Shared<E>) {
+    let max_batch = shared.config.max_batch;
+    loop {
+        let mut queue = shared.queue.lock();
+        // Sleep until there is work; exit once shut down *and* drained.
+        loop {
+            if !queue.pending.is_empty() {
+                break;
+            }
+            if !queue.accepting {
+                return;
+            }
+            queue = shared.work.wait(queue);
+        }
+
+        let mut batch = Vec::with_capacity(max_batch);
+        take_into(&mut batch, &mut queue, max_batch);
+
+        // Batch formation: wait (bounded) for a partial batch to fill.
+        // Skipped during drain — shutdown flushes at full speed.
+        if batch.len() < max_batch && queue.accepting && !shared.config.batch_timeout.is_zero() {
+            let deadline = Instant::now() + shared.config.batch_timeout;
+            loop {
+                take_into(&mut batch, &mut queue, max_batch);
+                if batch.len() >= max_batch || !queue.accepting {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, wait) = shared.work.wait_for(queue, deadline - now);
+                queue = guard;
+                if wait.timed_out() {
+                    take_into(&mut batch, &mut queue, max_batch);
+                    break;
+                }
+            }
+        }
+        drop(queue);
+        dispatch(shared, batch);
+    }
+}
+
+fn dispatch<E: InferenceEngine>(shared: &Shared<E>, batch: Vec<Request>) {
+    if batch.is_empty() {
+        return;
+    }
+    let dispatched = Instant::now();
+    let mut inputs = Vec::with_capacity(batch.len());
+    let mut seqs = Vec::with_capacity(batch.len());
+    let mut enqueues = Vec::with_capacity(batch.len());
+    let mut cells = Vec::with_capacity(batch.len());
+    for request in batch {
+        inputs.push(request.input);
+        seqs.push(request.seq);
+        enqueues.push(request.enqueued);
+        cells.push(request.cell);
+    }
+
+    // A panicking engine must not strand the batch's tickets (clients
+    // blocked in `Ticket::wait` would sleep forever) nor kill the worker
+    // (later submitters would hang just the same). Catch the unwind and
+    // fail the batch; the `failed` counter — which the loadgen smoke gate
+    // checks — is the panic's visible trace.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        shared.engine.infer_batch(&inputs, &seqs)
+    }));
+    let completed = Instant::now();
+
+    let outcome = match result {
+        Ok(Ok(outputs)) if outputs.len() == cells.len() => Ok(outputs),
+        Ok(Ok(outputs)) => Err(PfError::invalid_scenario(format!(
+            "engine returned {} result(s) for a batch of {}",
+            outputs.len(),
+            cells.len()
+        ))),
+        Ok(Err(e)) => Err(e),
+        Err(_panic) => Err(PfError::invalid_scenario(
+            "engine panicked while serving this batch",
+        )),
+    };
+    shared
+        .stats
+        .lock()
+        .record_batch(&enqueues, dispatched, completed, outcome.is_ok());
+    match outcome {
+        Ok(outputs) => {
+            for (cell, output) in cells.iter().zip(outputs) {
+                cell.fulfill(Ok(output));
+            }
+        }
+        Err(e) => {
+            for cell in &cells {
+                cell.fulfill(Err(e.clone()));
+            }
+        }
+    }
+}

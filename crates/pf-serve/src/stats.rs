@@ -1,0 +1,277 @@
+//! Latency accounting.
+//!
+//! Every request carries three timestamps — enqueue (admission), dispatch
+//! (its micro-batch left the queue) and complete (the engine returned) —
+//! collected by the server and aggregated here into the summaries a
+//! serving benchmark needs: latency percentiles, the achieved batch-size
+//! histogram, and throughput.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate of one per-request duration (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples aggregated.
+    pub count: u64,
+    /// Median, in milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile, in milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile, in milliseconds.
+    pub p99_ms: f64,
+    /// Mean, in milliseconds.
+    pub mean_ms: f64,
+    /// Maximum, in milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Aggregates raw samples (seconds) into a summary. Percentiles use the
+    /// nearest-rank definition on the sorted samples, so they are monotone
+    /// (`p50 <= p95 <= p99 <= max`) by construction.
+    pub fn from_samples_secs(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let ms = 1e3;
+        Self {
+            count: sorted.len() as u64,
+            p50_ms: percentile(&sorted, 50.0) * ms,
+            p95_ms: percentile(&sorted, 95.0) * ms,
+            p99_ms: percentile(&sorted, 99.0) * ms,
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64 * ms,
+            max_ms: sorted[sorted.len() - 1] * ms,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted non-empty slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One bar of the achieved batch-size histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchBucket {
+    /// Micro-batch size.
+    pub size: usize,
+    /// How many micro-batches of exactly this size were dispatched.
+    pub count: u64,
+}
+
+/// Snapshot of a server's accounting since construction.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Requests offered to admission control (accepted + rejected).
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub served: u64,
+    /// Requests rejected by admission control (queue full).
+    pub rejected: u64,
+    /// Requests accepted but failed by the engine. `served + rejected +
+    /// failed == submitted` once the server has drained.
+    pub failed: u64,
+    /// End-to-end request latency (enqueue → complete), served requests.
+    pub latency: LatencySummary,
+    /// Queueing delay (enqueue → dispatch), served requests.
+    pub queue_wait: LatencySummary,
+    /// Engine time (dispatch → complete), served requests.
+    pub service: LatencySummary,
+    /// Achieved micro-batch sizes, ascending by size.
+    pub batch_histogram: Vec<BatchBucket>,
+    /// Served requests divided by the wall time from the first enqueue to
+    /// the last completion. `0` until something completes.
+    pub throughput_rps: f64,
+}
+
+impl ServerStats {
+    /// Mean achieved micro-batch size (`0` before the first dispatch).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches: u64 = self.batch_histogram.iter().map(|b| b.count).sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let requests: u64 = self
+            .batch_histogram
+            .iter()
+            .map(|b| b.size as u64 * b.count)
+            .sum();
+        requests as f64 / batches as f64
+    }
+}
+
+/// Mutable accumulator behind the server's stats mutex.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCollector {
+    submitted: u64,
+    served: u64,
+    rejected: u64,
+    failed: u64,
+    latency_secs: Vec<f64>,
+    queue_wait_secs: Vec<f64>,
+    service_secs: Vec<f64>,
+    batch_sizes: BTreeMap<usize, u64>,
+    first_enqueue: Option<Instant>,
+    last_complete: Option<Instant>,
+}
+
+impl StatsCollector {
+    pub(crate) fn record_submitted(&mut self, enqueued: Instant) {
+        self.submitted += 1;
+        // Min, not first-recorded: concurrent submitters stamp `enqueued`
+        // before racing for this lock, so arrival order here can invert
+        // timestamp order — and an inflated window start would overstate
+        // throughput.
+        self.first_enqueue = Some(match self.first_enqueue {
+            Some(prev) => prev.min(enqueued),
+            None => enqueued,
+        });
+    }
+
+    pub(crate) fn record_rejected(&mut self) {
+        self.submitted += 1;
+        self.rejected += 1;
+    }
+
+    /// Records one dispatched micro-batch: its size, outcome, and each
+    /// request's (enqueue, dispatch, complete) timestamps.
+    pub(crate) fn record_batch(
+        &mut self,
+        enqueues: &[Instant],
+        dispatched: Instant,
+        completed: Instant,
+        succeeded: bool,
+    ) {
+        *self.batch_sizes.entry(enqueues.len()).or_insert(0) += 1;
+        if !succeeded {
+            self.failed += enqueues.len() as u64;
+            return;
+        }
+        self.served += enqueues.len() as u64;
+        for &enqueued in enqueues {
+            self.latency_secs.push((completed - enqueued).as_secs_f64());
+            self.queue_wait_secs
+                .push((dispatched - enqueued).as_secs_f64());
+            self.service_secs
+                .push((completed - dispatched).as_secs_f64());
+        }
+        self.last_complete = Some(match self.last_complete {
+            Some(prev) => prev.max(completed),
+            None => completed,
+        });
+    }
+
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        let wall = match (self.first_enqueue, self.last_complete) {
+            (Some(first), Some(last)) => (last - first).as_secs_f64(),
+            _ => 0.0,
+        };
+        ServerStats {
+            submitted: self.submitted,
+            served: self.served,
+            rejected: self.rejected,
+            failed: self.failed,
+            latency: LatencySummary::from_samples_secs(&self.latency_secs),
+            queue_wait: LatencySummary::from_samples_secs(&self.queue_wait_secs),
+            service: LatencySummary::from_samples_secs(&self.service_secs),
+            batch_histogram: self
+                .batch_sizes
+                .iter()
+                .map(|(&size, &count)| BatchBucket { size, count })
+                .collect(),
+            throughput_rps: if wall > 0.0 {
+                self.served as f64 / wall
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn percentiles_are_monotone_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64 / 1000.0).collect();
+        let summary = LatencySummary::from_samples_secs(&samples);
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.p50_ms, 50.0);
+        assert_eq!(summary.p95_ms, 95.0);
+        assert_eq!(summary.p99_ms, 99.0);
+        assert_eq!(summary.max_ms, 100.0);
+        assert!(summary.p50_ms <= summary.p95_ms && summary.p95_ms <= summary.p99_ms);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let summary = LatencySummary::from_samples_secs(&[0.002]);
+        assert_eq!(summary.p50_ms, 2.0);
+        assert_eq!(summary.p99_ms, 2.0);
+        assert_eq!(LatencySummary::from_samples_secs(&[]).count, 0);
+    }
+
+    #[test]
+    fn collector_accounts_every_request() {
+        let mut collector = StatsCollector::default();
+        let t0 = Instant::now();
+        let enqueues = vec![t0, t0 + Duration::from_millis(1)];
+        collector.record_submitted(enqueues[0]);
+        collector.record_submitted(enqueues[1]);
+        collector.record_rejected();
+        collector.record_batch(
+            &enqueues,
+            t0 + Duration::from_millis(2),
+            t0 + Duration::from_millis(5),
+            true,
+        );
+        let stats = collector.snapshot();
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(
+            stats.served + stats.rejected + stats.failed,
+            stats.submitted
+        );
+        assert_eq!(
+            stats.batch_histogram,
+            vec![BatchBucket { size: 2, count: 1 }]
+        );
+        assert_eq!(stats.mean_batch_size(), 2.0);
+        assert!(stats.throughput_rps > 0.0);
+        assert!(stats.latency.p99_ms >= stats.latency.p50_ms);
+        assert!(stats.latency.max_ms >= stats.queue_wait.max_ms);
+    }
+
+    #[test]
+    fn failed_batches_count_as_failed_not_served() {
+        let mut collector = StatsCollector::default();
+        let t0 = Instant::now();
+        collector.record_submitted(t0);
+        collector.record_batch(&[t0], t0, t0, false);
+        let stats = collector.snapshot();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.served, 0);
+        assert_eq!(stats.latency.count, 0);
+    }
+
+    #[test]
+    fn stats_serialize() {
+        let stats = ServerStats {
+            batch_histogram: vec![BatchBucket { size: 4, count: 9 }],
+            ..ServerStats::default()
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: ServerStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

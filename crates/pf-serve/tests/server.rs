@@ -1,0 +1,329 @@
+//! Behavioural tests of the micro-batching server against mock engines.
+//!
+//! The mocks make the asynchronous parts deterministic: a *gated* engine
+//! blocks inside `infer_batch` until the test grants it a permit, so the
+//! test controls exactly which requests are queued while a batch is in
+//! flight (overload, batch-formation and histogram assertions all hinge on
+//! that).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use pf_core::PfError;
+use pf_nn::Tensor;
+use pf_serve::{InferenceEngine, ServeConfig, Server};
+
+fn scalar(v: f64) -> Tensor {
+    Tensor::new(vec![1], vec![v]).unwrap()
+}
+
+/// Doubles every input; records the seqs it was handed.
+#[derive(Debug, Default)]
+struct EchoEngine {
+    seen_seqs: Mutex<Vec<u64>>,
+    calls: AtomicUsize,
+}
+
+impl InferenceEngine for EchoEngine {
+    fn infer_batch(&self, inputs: &[Tensor], seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.seen_seqs.lock().extend_from_slice(seqs);
+        Ok(inputs.iter().map(|t| t.map(|x| x * 2.0)).collect())
+    }
+}
+
+/// Blocks inside `infer_batch` until the test grants a permit; signals the
+/// test (with the batch size) the moment a batch arrives.
+#[derive(Debug)]
+struct GatedEngine {
+    entered: Mutex<mpsc::Sender<usize>>,
+    permits: Mutex<usize>,
+    released: Condvar,
+}
+
+impl GatedEngine {
+    fn new() -> (Arc<Self>, mpsc::Receiver<usize>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Arc::new(Self {
+                entered: Mutex::new(tx),
+                permits: Mutex::new(0),
+                released: Condvar::new(),
+            }),
+            rx,
+        )
+    }
+
+    fn grant(&self, permits: usize) {
+        *self.permits.lock() += permits;
+        self.released.notify_all();
+    }
+}
+
+impl InferenceEngine for GatedEngine {
+    fn infer_batch(&self, inputs: &[Tensor], _seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
+        self.entered.lock().send(inputs.len()).expect("test alive");
+        let mut permits = self.permits.lock();
+        while *permits == 0 {
+            permits = self.released.wait(permits);
+        }
+        *permits -= 1;
+        drop(permits);
+        Ok(inputs.to_vec())
+    }
+}
+
+/// Always errors.
+#[derive(Debug)]
+struct FailingEngine;
+
+impl InferenceEngine for FailingEngine {
+    fn infer_batch(&self, _inputs: &[Tensor], _seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
+        Err(PfError::invalid_scenario("engine down"))
+    }
+}
+
+/// Panics on the first batch, then echoes.
+#[derive(Debug, Default)]
+struct PanicOnceEngine {
+    panicked: AtomicUsize,
+}
+
+impl InferenceEngine for PanicOnceEngine {
+    fn infer_batch(&self, inputs: &[Tensor], _seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
+        if self.panicked.fetch_add(1, Ordering::Relaxed) == 0 {
+            panic!("engine blew up");
+        }
+        Ok(inputs.to_vec())
+    }
+}
+
+fn quick_config() -> ServeConfig {
+    ServeConfig {
+        max_batch: 4,
+        batch_timeout: Duration::from_micros(500),
+        queue_depth: 64,
+        workers: 1,
+    }
+}
+
+#[test]
+fn submit_blocking_round_trips() {
+    let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
+    let out = server.submit_blocking(scalar(21.0)).unwrap();
+    assert_eq!(out, scalar(42.0));
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn every_ticket_resolves_and_seqs_are_submission_order() {
+    let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
+    let tickets: Vec<_> = (0..20)
+        .map(|i| server.submit(scalar(i as f64)).unwrap())
+        .collect();
+    for (i, ticket) in tickets.iter().enumerate() {
+        assert_eq!(ticket.seq(), i as u64);
+    }
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        assert_eq!(ticket.wait().unwrap(), scalar(i as f64 * 2.0));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 20);
+    assert_eq!(
+        stats.served + stats.rejected + stats.failed,
+        stats.submitted
+    );
+}
+
+#[test]
+fn engine_sees_every_seq_exactly_once() {
+    let engine = Arc::new(EchoEngine::default());
+    let server = Server::new(Arc::clone(&engine), quick_config()).unwrap();
+    let tickets: Vec<_> = (0..16)
+        .map(|i| server.submit(scalar(i as f64)).unwrap())
+        .collect();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+    server.shutdown();
+    let mut seqs = engine.seen_seqs.lock().clone();
+    seqs.sort_unstable();
+    assert_eq!(seqs, (0..16).collect::<Vec<u64>>());
+}
+
+#[test]
+fn overload_is_deterministic_and_explicit() {
+    let (engine, entered) = GatedEngine::new();
+    let config = ServeConfig {
+        max_batch: 1,
+        batch_timeout: Duration::ZERO,
+        queue_depth: 2,
+        workers: 1,
+    };
+    let server = Server::new(Arc::clone(&engine), config).unwrap();
+
+    // First request is picked up by the worker and blocks in the engine...
+    let t1 = server.submit(scalar(1.0)).unwrap();
+    assert_eq!(entered.recv().unwrap(), 1);
+    // ...so these two fill the queue exactly to its depth...
+    let t2 = server.submit(scalar(2.0)).unwrap();
+    let t3 = server.submit(scalar(3.0)).unwrap();
+    assert_eq!(server.queue_len(), 2);
+    // ...and the next admission must be rejected.
+    match server.submit(scalar(4.0)) {
+        Err(PfError::Overloaded { queued, limit }) => {
+            assert_eq!(queued, 2);
+            assert_eq!(limit, 2);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    engine.grant(3);
+    assert_eq!(entered.recv().unwrap(), 1);
+    assert_eq!(entered.recv().unwrap(), 1);
+    assert_eq!(t1.wait().unwrap(), scalar(1.0));
+    assert_eq!(t2.wait().unwrap(), scalar(2.0));
+    assert_eq!(t3.wait().unwrap(), scalar(3.0));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(
+        stats.served + stats.rejected + stats.failed,
+        stats.submitted
+    );
+}
+
+#[test]
+fn batcher_forms_micro_batches_up_to_max_batch() {
+    let (engine, entered) = GatedEngine::new();
+    let config = ServeConfig {
+        max_batch: 4,
+        batch_timeout: Duration::from_millis(5),
+        queue_depth: 64,
+        workers: 1,
+    };
+    let server = Server::new(Arc::clone(&engine), config).unwrap();
+
+    // Lone request: dispatched as a batch of 1 once its formation window
+    // lapses; the engine then blocks, so everything submitted next queues up.
+    let t0 = server.submit(scalar(0.0)).unwrap();
+    assert_eq!(entered.recv().unwrap(), 1);
+    let tickets: Vec<_> = (1..=8)
+        .map(|i| server.submit(scalar(i as f64)).unwrap())
+        .collect();
+
+    // Release batch 1, then the two full batches of 4.
+    engine.grant(3);
+    assert_eq!(entered.recv().unwrap(), 4);
+    assert_eq!(entered.recv().unwrap(), 4);
+    t0.wait().unwrap();
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 9);
+    let histogram: Vec<(usize, u64)> = stats
+        .batch_histogram
+        .iter()
+        .map(|b| (b.size, b.count))
+        .collect();
+    assert_eq!(histogram, vec![(1, 1), (4, 2)]);
+    assert!(stats.mean_batch_size() > 1.0);
+    assert!(stats.latency.p99_ms >= stats.latency.p50_ms);
+}
+
+#[test]
+fn shutdown_drains_every_accepted_request() {
+    let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
+    let tickets: Vec<_> = (0..50)
+        .map(|i| server.submit(scalar(i as f64)).unwrap())
+        .collect();
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 50);
+    // Every ticket is already resolved — no blocking possible here.
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let result = ticket.try_take().expect("resolved by shutdown");
+        assert_eq!(result.unwrap(), scalar(i as f64 * 2.0));
+    }
+}
+
+#[test]
+fn mid_flight_snapshot_settles_at_shutdown() {
+    let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
+    let _ = server.submit_blocking(scalar(1.0)).unwrap();
+    let snapshot = server.stats();
+    assert_eq!(snapshot.submitted, 1);
+    assert_eq!(snapshot.served, 1);
+    let stats = server.shutdown();
+    assert_eq!(stats, snapshot, "nothing submitted in between");
+}
+
+#[test]
+fn engine_errors_fail_the_batch_but_keep_accounting() {
+    let server = Server::new(FailingEngine, quick_config()).unwrap();
+    let t = server.submit(scalar(1.0)).unwrap();
+    assert!(t.wait().is_err());
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.served, 0);
+    assert_eq!(
+        stats.served + stats.rejected + stats.failed,
+        stats.submitted
+    );
+}
+
+#[test]
+fn engine_panics_fail_the_batch_without_stranding_anyone() {
+    let server = Server::new(PanicOnceEngine::default(), quick_config()).unwrap();
+    // First request hits the panicking batch: its ticket must still
+    // resolve (to an error), not hang.
+    let err = server.submit_blocking(scalar(1.0)).unwrap_err();
+    assert!(err.to_string().contains("panicked"), "{err}");
+    // The worker survived: the server keeps serving.
+    assert_eq!(server.submit_blocking(scalar(2.0)).unwrap(), scalar(2.0));
+    let stats = server.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.served, 1);
+    assert_eq!(
+        stats.served + stats.rejected + stats.failed,
+        stats.submitted
+    );
+}
+
+#[test]
+fn multiple_workers_serve_concurrently() {
+    let engine = Arc::new(EchoEngine::default());
+    let config = ServeConfig {
+        workers: 3,
+        ..quick_config()
+    };
+    let server = Server::new(Arc::clone(&engine), config).unwrap();
+    std::thread::scope(|scope| {
+        for w in 0..3 {
+            let server = &server;
+            scope.spawn(move || {
+                for i in 0..10 {
+                    let v = (w * 100 + i) as f64;
+                    assert_eq!(server.submit_blocking(scalar(v)).unwrap(), scalar(v * 2.0));
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 30);
+    assert_eq!(stats.rejected, 0);
+    let mut seqs = engine.seen_seqs.lock().clone();
+    seqs.sort_unstable();
+    assert_eq!(seqs, (0..30).collect::<Vec<u64>>());
+}

@@ -977,6 +977,124 @@ mod tests {
         }
     }
 
+    /// Digital-reference engine that opts into the prepared fast path and
+    /// counts how many kernels it has prepared — the probe for the cache
+    /// tests below. Clones share the counter, mirroring how clones of the
+    /// convolver share the cache.
+    #[derive(Debug, Clone, Default)]
+    struct CountingPrepEngine {
+        prepares: Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    #[derive(Debug)]
+    struct PreparedDigital {
+        kernel: Vec<f64>,
+        signal_len: usize,
+    }
+
+    impl PreparedConv1d for PreparedDigital {
+        fn signal_len(&self) -> usize {
+            self.signal_len
+        }
+
+        fn correlate_valid(&self, signal: &[f64]) -> Vec<f64> {
+            DigitalEngine.correlate_valid(signal, &self.kernel)
+        }
+    }
+
+    impl Conv1dEngine for CountingPrepEngine {
+        fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+            DigitalEngine.correlate_valid(signal, kernel)
+        }
+
+        fn prepare_kernel(
+            &self,
+            kernel: &[f64],
+            signal_len: usize,
+        ) -> Option<Arc<dyn PreparedConv1d>> {
+            self.prepares
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Some(Arc::new(PreparedDigital {
+                kernel: kernel.to_vec(),
+                signal_len,
+            }))
+        }
+    }
+
+    #[test]
+    fn prep_cache_evicts_at_the_cap_and_reprepares_correctly() {
+        let cap = TiledConvolver::<CountingPrepEngine>::PREP_CACHE_CAP;
+        let engine = CountingPrepEngine::default();
+        let prepares = Arc::clone(&engine.prepares);
+        let c = TiledConvolver::new(engine, 64).unwrap();
+
+        // Fill the cache with `cap` distinct kernels; every one is a miss.
+        for i in 0..cap {
+            let kernel = [i as f64 + 0.5];
+            assert!(c.prepared(&kernel, 8).is_some());
+        }
+        assert_eq!(prepares.load(std::sync::atomic::Ordering::Relaxed), cap);
+        assert_eq!(c.prep_cache.lock().len(), cap);
+
+        // A repeat within the cap is a hit: no new preparation.
+        assert!(c.prepared(&[0.5], 8).is_some());
+        assert_eq!(prepares.load(std::sync::atomic::Ordering::Relaxed), cap);
+
+        // One more distinct kernel trips the cap: the cache resets
+        // wholesale and holds only the newcomer.
+        assert!(c.prepared(&[-1.0], 8).is_some());
+        assert_eq!(prepares.load(std::sync::atomic::Ordering::Relaxed), cap + 1);
+        assert_eq!(c.prep_cache.lock().len(), 1);
+
+        // A re-requested evicted kernel is re-prepared — and still computes
+        // the exact digital result.
+        let signal: Vec<f64> = (0..8).map(|i| i as f64 * 0.25).collect();
+        let before = prepares.load(std::sync::atomic::Ordering::Relaxed);
+        let prep = c.prepared(&[0.5], 8).expect("re-prepared");
+        assert_eq!(
+            prepares.load(std::sync::atomic::Ordering::Relaxed),
+            before + 1,
+            "evicted kernel must be prepared again"
+        );
+        assert_eq!(
+            prep.correlate_valid(&signal),
+            DigitalEngine.correlate_valid(&signal, &[0.5])
+        );
+        assert_eq!(c.prep_cache.lock().len(), 2);
+    }
+
+    #[test]
+    fn prep_cache_is_shared_across_clones() {
+        let engine = CountingPrepEngine::default();
+        let prepares = Arc::clone(&engine.prepares);
+        let original = TiledConvolver::new(engine, 20).unwrap();
+        let clone = original.clone();
+
+        let input = random_matrix(5, 5, 1);
+        let kernel = random_matrix(3, 3, 2);
+        let a = original.correlate2d_valid(&input, &kernel).unwrap();
+        let after_first = prepares.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(after_first >= 1);
+
+        // The clone reuses the original's prepared kernel: no new
+        // preparations, identical bits out.
+        let b = clone.correlate2d_valid(&input, &kernel).unwrap();
+        assert_eq!(
+            prepares.load(std::sync::atomic::Ordering::Relaxed),
+            after_first,
+            "clone must hit the shared cache"
+        );
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // One shared cache, not two copies. (Lengths read one at a time:
+        // both handles hold the *same* mutex.)
+        let original_len = original.prep_cache.lock().len();
+        let clone_len = clone.prep_cache.lock().len();
+        assert_eq!(original_len, clone_len);
+        assert!(Arc::ptr_eq(&original.prep_cache, &clone.prep_cache));
+    }
+
     #[test]
     fn same_mode_partitioning_stats_count_only_real_convolutions() {
         // 12x12 input, 3x3 kernel, capacity 7 -> row partitioning in same

@@ -31,6 +31,11 @@
 //! and collects a JSON/CSV-serialisable [`sweep::SweepReport`] (see
 //! `docs/SCENARIOS.md`).
 //!
+//! For live traffic, [`serve::serve_scenario`] wraps a session in the
+//! `pf-serve` micro-batching inference server: concurrent submissions are
+//! formed into micro-batches under load, with explicit overload rejection
+//! and p50/p95/p99 latency accounting (see `docs/SERVING.md`).
+//!
 //! # Quickstart
 //!
 //! One scenario, two calls — a functional convolution through the simulated
@@ -81,12 +86,14 @@
 //! | [`nn`] | tensors, layers, the CNN model zoo, quantisation, fidelity & accuracy experiments |
 //! | [`arch`] | the architecture simulator: dataflow, power, area, design-space exploration (Sections V & VI) |
 //! | [`baselines`] | prior-accelerator reference models for the Figure 13 comparison |
+//! | [`serve`] | the micro-batching inference server (`pf-serve`) wired to `Session` |
 //!
 //! The per-crate APIs remain available underneath the facade — the
 //! `Session` API composes them and deprecates nothing.
 
 #![deny(missing_docs)]
 
+pub mod serve;
 pub mod session;
 pub mod sweep;
 
@@ -101,19 +108,21 @@ pub use pf_tiling as tiling;
 
 pub use pf_core::{
     network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FunctionalSpec,
-    PfError, Scenario, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
+    PfError, Scenario, ServingSpec, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
 };
+pub use serve::{ServeConfig, Server, ServerStats, SessionServer, Ticket};
 pub use session::{Session, SessionBuilder};
 pub use sweep::{SweepPointResult, SweepReport, SweepRunner, SWEEP_SCHEMA};
 
 /// Commonly used items re-exported in one place.
 pub mod prelude {
     // The unified facade API.
+    pub use crate::serve::{ServeConfig, Server, ServerStats, SessionServer, Ticket};
     pub use crate::session::{Session, SessionBuilder};
     pub use crate::sweep::{SweepPointResult, SweepReport, SweepRunner};
     pub use pf_core::{
         network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FunctionalSpec,
-        PfError, Scenario, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
+        PfError, Scenario, ServingSpec, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
     };
 
     // The per-crate building blocks the facade composes.

@@ -164,6 +164,40 @@ impl Session {
         &self.backend_id
     }
 
+    /// Whether the session backend draws random noise samples
+    /// (`photofourier_cg`). Stochastic sessions are still reproducible —
+    /// batch and serving paths seed one engine per work item — but their
+    /// results differ from the digital reference by design.
+    pub fn is_stochastic(&self) -> bool {
+        self.scenario.backend.kind.is_stochastic()
+    }
+
+    /// Pre-populates the shared prepared-kernel cache from the functional
+    /// network's kernels by running one zero-valued image through the
+    /// pipeline, so the first real request doesn't pay the per-kernel
+    /// spectrum preparation (an inference server calls this before
+    /// accepting traffic).
+    ///
+    /// On stochastic backends this is a no-op: the noisy signal chain
+    /// declines kernel preparation by design, and running a throwaway image
+    /// would needlessly advance the session engine's noise stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the warm-up inference's error, if any.
+    pub fn warmup(&self) -> Result<(), PfError> {
+        if self.is_stochastic() {
+            return Ok(());
+        }
+        let zero = Tensor::zeros(vec![
+            self.scenario.functional.input_channels,
+            self.scenario.functional.input_size,
+            self.scenario.functional.input_size,
+        ]);
+        let _ = self.run_inference(&zero)?;
+        Ok(())
+    }
+
     /// The resolved network the performance model evaluates.
     pub fn network(&self) -> &NetworkSpec {
         &self.network
@@ -249,7 +283,7 @@ impl Session {
             let indices: Vec<usize> = (0..images.len()).collect();
             indices
                 .par_iter()
-                .map(|&i| self.run_seeded(&images[i], i as u64))
+                .map(|&i| self.run_inference_seeded(&images[i], i as u64))
                 .collect()
         } else {
             images
@@ -261,7 +295,21 @@ impl Session {
     }
 
     /// Runs one image on a fresh engine seeded with `noise_seed`.
-    fn run_seeded(&self, image: &Tensor, noise_seed: u64) -> Result<Tensor, PfError> {
+    ///
+    /// For deterministic backends this equals [`Session::run_inference`]
+    /// exactly (the seed is ignored). For stochastic backends it pins the
+    /// request's noise stream to the seed, which is how both
+    /// [`Session::run_batch`] (seed = image index) and the `pf-serve`
+    /// server (seed = admission sequence number) stay reproducible no
+    /// matter how work is grouped or scheduled.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::run_inference`].
+    pub fn run_inference_seeded(&self, image: &Tensor, noise_seed: u64) -> Result<Tensor, PfError> {
+        if !self.is_stochastic() {
+            return self.run_inference(image);
+        }
         let backend = self.scenario.backend.instantiate_seeded(noise_seed)?;
         let executor = TiledExecutor::new(
             backend,
@@ -438,6 +486,35 @@ mod tests {
         assert_eq!(out.rows(), 30);
         assert!(stats.convs_1d > 0);
         assert!(stats.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn warmup_and_seeded_inference() {
+        // Deterministic backend: warmup is invisible, seeds are ignored.
+        let session = Session::builder()
+            .scenario(scenario(BackendKind::JtcIdeal))
+            .build()
+            .unwrap();
+        assert!(!session.is_stochastic());
+        session.warmup().unwrap();
+        let image = Tensor::random(vec![1, 16, 16], 0.0, 1.0, 7);
+        let plain = session.run_inference(&image).unwrap();
+        let seeded = session.run_inference_seeded(&image, 99).unwrap();
+        assert_eq!(plain, seeded);
+
+        // Stochastic backend: warmup is a no-op that must not advance the
+        // session engine's noise stream, and seeds pin the result.
+        let session = Session::builder()
+            .scenario(scenario(BackendKind::PhotofourierCg))
+            .build()
+            .unwrap();
+        assert!(session.is_stochastic());
+        let a = session.run_inference_seeded(&image, 3).unwrap();
+        session.warmup().unwrap();
+        let b = session.run_inference_seeded(&image, 3).unwrap();
+        let c = session.run_inference_seeded(&image, 4).unwrap();
+        assert_eq!(a, b, "same seed must reproduce the same features");
+        assert_ne!(a, c, "different seeds must differ");
     }
 
     #[test]

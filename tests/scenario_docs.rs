@@ -97,6 +97,12 @@ fn every_schema_field_is_documented() {
         "input_channels",
         "input_size",
         "weight_seed",
+        // [serving]
+        "serving",
+        "max_batch",
+        "batch_timeout_us",
+        "queue_depth",
+        "workers",
         // [sweep]
         "sweep",
         "arch_presets",

@@ -2,10 +2,14 @@
 //!
 //! Matches parking_lot's ergonomics where the workspace relies on them:
 //! `lock()` returns the guard directly (no `Result`), and a poisoned mutex
-//! is transparently recovered rather than propagated.
+//! is transparently recovered rather than propagated. One deliberate
+//! deviation: [`Condvar::wait`] / [`Condvar::wait_for`] consume and return
+//! the guard (std style) instead of taking `&mut MutexGuard`, because the
+//! std-backed guard cannot be moved out through a mutable reference.
 
 use std::fmt;
 use std::sync::{self, TryLockError};
+use std::time::Duration;
 
 /// A mutex whose `lock` never fails.
 #[derive(Default)]
@@ -66,9 +70,81 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A condition variable whose waits never fail, paired with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed rather than a
+    /// notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Releases the guard's lock, blocks until notified, and re-acquires it.
+    ///
+    /// Spurious wakeups are possible, exactly as with the real crate: always
+    /// wait in a loop re-checking the condition.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Like [`Condvar::wait`] but gives up after `timeout`, reporting which
+    /// way the wait ended.
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let (guard, result) = self
+            .inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        (
+            guard,
+            WaitTimeoutResult {
+                timed_out: result.timed_out(),
+            },
+        )
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Condvar, Mutex};
 
     #[test]
     fn lock_round_trip() {
@@ -92,5 +168,31 @@ mod tests {
             }
         });
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn condvar_hands_a_value_across_threads() {
+        let slot = Mutex::new(None::<u32>);
+        let cv = Condvar::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                *slot.lock() = Some(7);
+                cv.notify_one();
+            });
+            let mut guard = slot.lock();
+            while guard.is_none() {
+                guard = cv.wait(guard);
+            }
+            assert_eq!(*guard, Some(7));
+        });
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let slot = Mutex::new(0u32);
+        let cv = Condvar::new();
+        let (guard, result) = cv.wait_for(slot.lock(), std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        assert_eq!(*guard, 0);
     }
 }

@@ -6,7 +6,9 @@
 //! stealing — good enough for the coarse per-image parallelism the facade
 //! uses it for.
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Commonly used traits, mirroring `rayon::prelude`.
@@ -14,16 +16,78 @@ pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
-fn worker_count(items: usize) -> usize {
+/// Explicit worker-count override installed by
+/// [`ThreadPoolBuilder::build_global`]; `0` means "auto" (one worker per
+/// available core).
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads parallel dispatch uses on this host: the
+/// count configured through [`ThreadPoolBuilder::build_global`], or the
+/// available core count when none was configured. Mirrors
+/// `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
     // `available_parallelism` can cost ~10µs per call (it may read cgroup
     // files); query it once per process, like rayon's global pool does.
     static CORES: OnceLock<usize> = OnceLock::new();
-    let cores = *CORES.get_or_init(|| {
+    *CORES.get_or_init(|| {
         std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1)
-    });
-    cores.min(items).max(1)
+    })
+}
+
+/// Configures the process-wide worker count, mirroring rayon's
+/// `ThreadPoolBuilder`. One deliberate deviation from the real crate: since
+/// this shim spawns scoped threads per call instead of keeping a pool,
+/// `build_global` may be called again to re-configure (the real crate errors
+/// on the second call).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] (never produced by the
+/// shim; kept so call sites match the real API).
+#[derive(Debug, Clone)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("global thread pool configuration failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with automatic (per-core) worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` restores the automatic per-core default.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Installs the configuration process-wide.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors the real API.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        CONFIGURED_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+fn worker_count(items: usize) -> usize {
+    current_num_threads().min(items).max(1)
 }
 
 /// Borrowing conversion into a parallel iterator.
@@ -141,6 +205,23 @@ mod tests {
         let input: Vec<u64> = Vec::new();
         let out: Vec<u64> = input.par_iter().map(|x| x + 1).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn configured_thread_count_is_reported() {
+        // Use a >1 count so the concurrency test (running in parallel in
+        // another test thread) still sees a multi-worker pool during the
+        // brief window this override is installed.
+        crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .unwrap();
+        assert_eq!(crate::current_num_threads(), 3);
+        crate::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(crate::current_num_threads() >= 1);
     }
 
     #[test]
