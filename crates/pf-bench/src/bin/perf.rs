@@ -16,6 +16,9 @@
 //! * `--threads N`      size the parallel-dispatch worker pool (default:
 //!   one worker per available core); the report's `host_threads` records
 //!   whichever pool size was actually used
+//! * `--stages`         additionally measure the per-backend stage
+//!   breakdown (signal-FFT / spectrum-apply / inverse / DAC-ADC shares)
+//!   and emit it under the report's `stages` key
 
 use std::process::ExitCode;
 
@@ -23,7 +26,7 @@ use pf_bench::perf::{check_against_baseline, run_suite, Baseline, PerfReport};
 
 fn usage() {
     eprintln!(
-        "usage: perf [--smoke] [--out PATH] [--check BASELINE] [--tolerance FRACTION] [--threads N]"
+        "usage: perf [--smoke] [--stages] [--out PATH] [--check BASELINE] [--tolerance FRACTION] [--threads N]"
     );
 }
 
@@ -48,12 +51,31 @@ fn print_report(report: &PerfReport) {
             r.speedup_vs_seed
         );
     }
+    if let Some(stages) = &report.stages {
+        println!("\n-- stage breakdown (shares of one prepared correlation) --");
+        println!(
+            "{:<16} {:>12} {:>15} {:>10} {:>10} {:>10}",
+            "backend", "signal_fft", "spectrum_apply", "inverse", "dac_adc", "other_us"
+        );
+        for s in stages {
+            println!(
+                "{:<16} {:>11.1}% {:>14.1}% {:>9.1}% {:>9.1}% {:>10.1}",
+                s.backend,
+                s.signal_fft_share * 100.0,
+                s.spectrum_apply_share * 100.0,
+                s.inverse_share * 100.0,
+                s.dac_adc_share * 100.0,
+                s.other_us
+            );
+        }
+    }
     println!();
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
+    let mut stages = false;
     let mut out = "BENCH_throughput.json".to_string();
     let mut check: Option<String> = None;
     let mut tolerance = 0.30f64;
@@ -64,6 +86,7 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--smoke" => smoke = true,
             "--full" => smoke = false,
+            "--stages" => stages = true,
             "--out" | "--check" | "--tolerance" | "--threads" => {
                 let flag = args[i].clone();
                 i += 1;
@@ -115,7 +138,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match run_suite(smoke) {
+    let report = match run_suite(smoke, stages) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("perf suite failed: {e}");

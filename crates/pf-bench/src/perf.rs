@@ -17,12 +17,20 @@
 //!   against the same origin.
 //! * **conv2d on the digital backend** — the same frozen serial tiling over
 //!   the dot-product engine.
+//! * **conv2d on the CG chain** — the frozen [`seed::SeedCg`] signal chain
+//!   (seed optics plus unprepared per-call DAC/noise/ADC), serial tiling;
+//!   the live path now caches prepared kernel spectra for noisy engines
+//!   too, which is exactly what this seed measures against.
+//! * **multi-kernel conv2d** — the frozen seed path run once per kernel;
+//!   the live path tiles each input once and shares every tile's signal
+//!   spectrum across the whole kernel set.
 //! * **batched inference** — the current engines driven *without* the
 //!   prepared-kernel fast path and without cross-image parallelism (the
 //!   pre-engine execution structure), via a prepare-hiding adapter.
-//! * **stochastic (CG) scenarios** — serial per-image execution on the real
-//!   session; the noisy chain has no prepared fast path by design, so its
-//!   speedup is expected to hover near 1.
+//!
+//! With `--stages`, the report additionally carries a per-backend
+//! wall-clock breakdown of one prepared correlation (signal FFT, spectrum
+//! apply, inverse lens, DAC/ADC conditioning) under a `stages` key.
 
 pub mod seed;
 
@@ -64,6 +72,38 @@ pub struct PerfRecord {
     pub speedup_vs_seed: f64,
 }
 
+/// Per-backend wall-clock share of one prepared correlation, by pipeline
+/// stage (the `--stages` breakdown). Stages that a backend does not have
+/// (the digital dot product has no optics chain) report zero and the whole
+/// correlation lands in `other_us`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageRecord {
+    /// Backend registry name.
+    pub backend: String,
+    /// Accumulated microseconds in the signal's first-lens FFT.
+    pub signal_fft_us: f64,
+    /// Accumulated microseconds adding the kernel spectrum and building the
+    /// square-law intensity.
+    pub spectrum_apply_us: f64,
+    /// Accumulated microseconds in the second (inverse) lens transform and
+    /// lobe extraction.
+    pub inverse_us: f64,
+    /// Accumulated microseconds in mixed-signal conditioning: DAC
+    /// quantisation, rescaling, sensing noise, ADC quantisation.
+    pub dac_adc_us: f64,
+    /// Time outside the staged optics chain (for the digital backend: the
+    /// whole direct convolution).
+    pub other_us: f64,
+    /// Fraction of the total spent in the signal FFT.
+    pub signal_fft_share: f64,
+    /// Fraction of the total spent applying the kernel spectrum.
+    pub spectrum_apply_share: f64,
+    /// Fraction of the total spent in the inverse transform.
+    pub inverse_share: f64,
+    /// Fraction of the total spent in DAC/ADC conditioning.
+    pub dac_adc_share: f64,
+}
+
 /// The full report serialised to `BENCH_throughput.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -77,6 +117,9 @@ pub struct PerfReport {
     pub host_threads: usize,
     /// Measured records.
     pub results: Vec<PerfRecord>,
+    /// Per-backend stage breakdown; present when the harness ran with
+    /// `--stages`.
+    pub stages: Option<Vec<StageRecord>>,
 }
 
 /// Expected floor for one scenario/backend pair, committed in
@@ -267,19 +310,118 @@ pub fn conv2d_scenario(
                 let _ = seed::seed_conv2d_valid(&seed::SeedEngine::Digital, input, &kernel, 256);
             }
         }),
-        // The noisy chain has no frozen seed (its RNG is part of the
-        // engine); serial per-image session calls are the pre-batch path.
-        BackendKind::PhotofourierCg => best_of(reps, || {
-            for input in &inputs {
-                let _ = session.conv2d(input, &kernel).expect("perf conv2d");
-            }
-        }),
+        // The frozen seed CG chain: seed optics, unprepared per-call
+        // DAC/noise/ADC, serial tiling — the structure the live path ran
+        // before prepared kernels were extended to noisy engines.
+        BackendKind::PhotofourierCg => {
+            let cg = parking_lot::Mutex::new(seed::SeedCg::new(256));
+            best_of(reps, || {
+                for input in &inputs {
+                    let _ =
+                        seed::seed_conv2d_valid(&seed::SeedEngine::Cg(&cg), input, &kernel, 256);
+                }
+            })
+        }
     };
 
     let images_per_s = batch as f64 / engine_time.as_secs_f64().max(1e-12);
     let seed_images_per_s = batch as f64 / seed_time.as_secs_f64().max(1e-12);
     Ok(PerfRecord {
         scenario: "conv2d_batch".to_string(),
+        backend: kind.name().to_string(),
+        batch,
+        reps,
+        images_per_s,
+        us_per_conv: engine_time.as_secs_f64() * 1e6 / (stats.convs_1d * batch).max(1) as f64,
+        convs_per_image: stats.convs_1d,
+        seed_images_per_s,
+        speedup_vs_seed: images_per_s / seed_images_per_s.max(1e-12),
+    })
+}
+
+/// Runs the multi-kernel conv2d scenario on one backend: every image of
+/// the batch is correlated against `n_kernels` distinct kernels through
+/// [`Session::conv2d_multi`], which tiles each input once and shares each
+/// tile's signal spectrum across the whole kernel set. The seed path runs
+/// the frozen per-kernel seed convolution `n_kernels` times per image.
+///
+/// # Errors
+///
+/// Propagates session construction and convolution errors.
+pub fn conv2d_multikernel_scenario(
+    kind: BackendKind,
+    batch: usize,
+    reps: usize,
+    size: usize,
+    n_kernels: usize,
+) -> Result<PerfRecord, PfError> {
+    let session = Session::from_scenario(backend_scenario(kind))?;
+    let inputs = conv2d_inputs(batch, size);
+    let kernels: Vec<Matrix> = (0..n_kernels)
+        .map(|k| {
+            Matrix::new(
+                3,
+                3,
+                (0..9)
+                    .map(|i| ((i + 2 * k) as f64 - 4.0) / (9.0 + k as f64))
+                    .collect(),
+            )
+            .expect("3x3 kernel")
+        })
+        .collect();
+
+    // Warm the prepared-kernel cache, then time the steady state.
+    let _ = session.conv2d_multi(&inputs[0], &kernels)?;
+    let (_, stats) = session.conv2d_multi_with_stats(&inputs[0], &kernels)?;
+    let engine_time = best_of(reps, || {
+        for input in &inputs {
+            let _ = session
+                .conv2d_multi(input, &kernels)
+                .expect("perf conv2d multi");
+        }
+    });
+
+    // Seed path: the frozen per-kernel seed convolution, once per kernel.
+    let seed_time = match kind {
+        BackendKind::JtcIdeal => {
+            let jtc = seed::SeedJtc::new(256);
+            best_of(reps, || {
+                for input in &inputs {
+                    for kernel in &kernels {
+                        let _ = seed::seed_conv2d_valid(
+                            &seed::SeedEngine::Jtc(&jtc),
+                            input,
+                            kernel,
+                            256,
+                        );
+                    }
+                }
+            })
+        }
+        BackendKind::Digital => best_of(reps, || {
+            for input in &inputs {
+                for kernel in &kernels {
+                    let _ = seed::seed_conv2d_valid(&seed::SeedEngine::Digital, input, kernel, 256);
+                }
+            }
+        }),
+        BackendKind::PhotofourierCg => {
+            let cg = parking_lot::Mutex::new(seed::SeedCg::new(256));
+            best_of(reps, || {
+                for input in &inputs {
+                    for kernel in &kernels {
+                        let _ =
+                            seed::seed_conv2d_valid(&seed::SeedEngine::Cg(&cg), input, kernel, 256);
+                    }
+                }
+            })
+        }
+    };
+
+    let images_per_s = batch as f64 / engine_time.as_secs_f64().max(1e-12);
+    let seed_images_per_s = batch as f64 / seed_time.as_secs_f64().max(1e-12);
+    Ok(PerfRecord {
+        scenario: "conv2d_multikernel".to_string(),
         backend: kind.name().to_string(),
         batch,
         reps,
@@ -375,41 +517,101 @@ pub fn inference_scenario(
     })
 }
 
-/// Runs the full scenario matrix for one mode.
+/// Collects the per-backend stage breakdown over the conv2d scenario's
+/// tile geometry (32×32 input, 3×3 kernel, 256-waveguide backend →
+/// 67-sample tiled kernel against 256-sample tiles).
+///
+/// # Errors
+///
+/// Propagates engine construction and correlation errors.
+pub fn stage_breakdown(smoke: bool) -> Result<Vec<StageRecord>, PfError> {
+    use pf_jtc::{JtcEngine, JtcEngineConfig, StageTimes};
+
+    let iters = if smoke { 64 } else { 512 };
+    let kernel2d = conv2d_kernel();
+    let tiled_kernel = pf_tiling::tile_kernel(&kernel2d, 32, 2 * 32 + 3);
+    let signal: Vec<f64> = (0..256).map(|i| (i as f64 * 0.17).sin() + 0.4).collect();
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+
+    let mut records = Vec::new();
+    // Digital: no optics chain — the whole prepared (sparse, structural
+    // zeros skipped) convolution is "other", matching what the shipped
+    // digital hot path actually runs.
+    let digital_prep = pf_tiling::DigitalEngine
+        .prepare_kernel(&tiled_kernel, signal.len())
+        .expect("digital engine prepares sparse kernels");
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _ = digital_prep.correlate_valid(&signal);
+    }
+    records.push(StageRecord {
+        backend: BackendKind::Digital.name().to_string(),
+        signal_fft_us: 0.0,
+        spectrum_apply_us: 0.0,
+        inverse_us: 0.0,
+        dac_adc_us: 0.0,
+        other_us: us(start.elapsed()),
+        signal_fft_share: 0.0,
+        spectrum_apply_share: 0.0,
+        inverse_share: 0.0,
+        dac_adc_share: 0.0,
+    });
+
+    for kind in [BackendKind::JtcIdeal, BackendKind::PhotofourierCg] {
+        let config = match kind {
+            BackendKind::JtcIdeal => JtcEngineConfig::ideal(256),
+            BackendKind::PhotofourierCg => JtcEngineConfig::photofourier_cg(256),
+            BackendKind::Digital => unreachable!("digital handled above"),
+        };
+        let engine = JtcEngine::new(config)?;
+        let prep = engine.prepare(&tiled_kernel, 256)?;
+        let mut times = StageTimes::default();
+        for _ in 0..iters {
+            let _ = prep.correlate_staged(&signal, &mut times)?;
+        }
+        let total = times.total().as_secs_f64().max(1e-12);
+        records.push(StageRecord {
+            backend: kind.name().to_string(),
+            signal_fft_us: us(times.signal_fft),
+            spectrum_apply_us: us(times.spectrum_apply),
+            inverse_us: us(times.inverse),
+            dac_adc_us: us(times.dac_adc),
+            other_us: 0.0,
+            signal_fft_share: times.signal_fft.as_secs_f64() / total,
+            spectrum_apply_share: times.spectrum_apply.as_secs_f64() / total,
+            inverse_share: times.inverse.as_secs_f64() / total,
+            dac_adc_share: times.dac_adc.as_secs_f64() / total,
+        });
+    }
+    Ok(records)
+}
+
+/// Runs the full scenario matrix for one mode, optionally collecting the
+/// per-backend stage breakdown.
 ///
 /// # Errors
 ///
 /// Propagates the first scenario error.
-pub fn run_suite(smoke: bool) -> Result<PerfReport, PfError> {
+pub fn run_suite(smoke: bool, with_stages: bool) -> Result<PerfReport, PfError> {
     let mode = if smoke { "smoke" } else { "full" };
     let (conv_batch, conv_reps) = if smoke { (8, 3) } else { (32, 5) };
     let (infer_batch, infer_reps) = if smoke { (4, 2) } else { (16, 3) };
+    let multi_kernels = 8;
 
-    let mut results = Vec::new();
-    results.push(conv2d_scenario(
-        BackendKind::Digital,
-        conv_batch,
-        conv_reps,
-        32,
-    )?);
-    results.push(conv2d_scenario(
-        BackendKind::JtcIdeal,
-        conv_batch,
-        conv_reps,
-        32,
-    )?);
-    results.push(inference_scenario(
-        BackendKind::JtcIdeal,
-        infer_batch,
-        infer_reps,
-    )?);
-    if !smoke {
-        results.push(conv2d_scenario(
-            BackendKind::PhotofourierCg,
+    let mut results = vec![
+        conv2d_scenario(BackendKind::Digital, conv_batch, conv_reps, 32)?,
+        conv2d_scenario(BackendKind::JtcIdeal, conv_batch, conv_reps, 32)?,
+        conv2d_scenario(BackendKind::PhotofourierCg, conv_batch, conv_reps, 32)?,
+        conv2d_multikernel_scenario(
+            BackendKind::JtcIdeal,
             conv_batch,
             conv_reps,
             32,
-        )?);
+            multi_kernels,
+        )?,
+        inference_scenario(BackendKind::JtcIdeal, infer_batch, infer_reps)?,
+    ];
+    if !smoke {
         results.push(inference_scenario(
             BackendKind::Digital,
             infer_batch,
@@ -422,6 +624,12 @@ pub fn run_suite(smoke: bool) -> Result<PerfReport, PfError> {
         )?);
     }
 
+    let stages = if with_stages {
+        Some(stage_breakdown(smoke)?)
+    } else {
+        None
+    };
+
     Ok(PerfReport {
         schema: SCHEMA.to_string(),
         mode: mode.to_string(),
@@ -430,6 +638,7 @@ pub fn run_suite(smoke: bool) -> Result<PerfReport, PfError> {
         // available core.
         host_threads: rayon::current_num_threads(),
         results,
+        stages,
     })
 }
 

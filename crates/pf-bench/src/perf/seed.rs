@@ -12,14 +12,23 @@
 //!   full-grid complex FFTs** per call — the original
 //!   `JtcSimulator::output_plane`;
 //! * strictly serial row tiling with no kernel preparation — the original
-//!   `TiledConvolver::valid_by_row_tiling`.
+//!   `TiledConvolver::valid_by_row_tiling`;
+//! * a CG signal chain ([`SeedCg`]) wrapping the seed optics in the
+//!   unprepared mixed-signal pipeline (per-call DAC quantisation of both
+//!   operands, sensing noise, output ADC) — the pre-preparation structure
+//!   the stochastic backend ran before prepared kernels were extended to
+//!   noisy engines.
 //!
 //! Do not "fix" or optimise this module; it is a measurement origin, not
 //! production code.
 
+use parking_lot::Mutex;
 use pf_dsp::complex::Complex;
 use pf_dsp::conv::{correlate1d, Matrix, PaddingMode};
 use pf_dsp::util::next_pow2;
+use pf_photonics::adc::Adc;
+use pf_photonics::dac::Dac;
+use pf_photonics::detector::SensingNoise;
 
 /// The seed FFT: per-call bit reversal, incremental twiddles.
 fn seed_fft(input: &[Complex]) -> Vec<Complex> {
@@ -109,6 +118,72 @@ impl SeedJtc {
     }
 }
 
+/// The seed PhotoFourier-CG signal chain: the seed joint-plane optics
+/// wrapped in the unprepared mixed-signal pipeline (8-bit DAC quantisation
+/// of signal and kernel per call, RMS-relative sensing noise, 8-bit output
+/// ADC). Frozen like the rest of this module: the live CG path now caches
+/// prepared kernel spectra and shares signal spectra, and its speedup is
+/// measured against *this* pre-preparation structure.
+#[derive(Debug)]
+pub struct SeedCg {
+    jtc: SeedJtc,
+    dac: Dac,
+    adc: Adc,
+    noise: SensingNoise,
+}
+
+impl SeedCg {
+    /// Builds the seed CG chain for `capacity` input-plane samples, with
+    /// the paper's signal-chain parameters (8-bit converters, 20 dB
+    /// sensing SNR, seed 0).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            jtc: SeedJtc::new(capacity),
+            dac: Dac::new(8, 10.0, 35.71).expect("seed DAC parameters are valid"),
+            adc: Adc::new(8, 0.625, 0.93).expect("seed ADC parameters are valid"),
+            noise: SensingNoise::from_snr_db(pf_photonics::params::TARGET_SNR_DB, 1.0, 0)
+                .expect("seed SNR is valid"),
+        }
+    }
+
+    /// The seed unprepared CG correlation: per-call DAC quantisation of
+    /// both operands, the seed joint-plane optics, rescale, sensing noise,
+    /// output ADC.
+    pub fn correlate(&mut self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+        let (signal_q, s_scale) = seed_quantize(&self.dac, signal);
+        let (kernel_q, k_scale) = seed_quantize(&self.dac, kernel);
+        let mut out = self.jtc.correlate(&signal_q, &kernel_q);
+        let rescale = s_scale * k_scale;
+        for v in &mut out {
+            *v *= rescale;
+        }
+        let rms = (out.iter().map(|x| x * x).sum::<f64>() / out.len().max(1) as f64).sqrt();
+        if rms > 0.0 {
+            for v in out.iter_mut() {
+                *v += self.noise.perturb(0.0) * rms;
+            }
+        }
+        let full_scale = out
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v.abs()))
+            .max(f64::EPSILON);
+        self.adc.quantize_slice(&out, full_scale)
+    }
+}
+
+/// The seed normalise-then-DAC operand quantisation.
+fn seed_quantize(dac: &Dac, values: &[f64]) -> (Vec<f64>, f64) {
+    let max_abs = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return (values.to_vec(), 1.0);
+    }
+    let quantised: Vec<f64> = values
+        .iter()
+        .map(|&v| dac.generate(v.abs() / max_abs) * v.signum())
+        .collect();
+    (quantised, max_abs)
+}
+
 /// The seed 1D backends.
 #[derive(Debug)]
 pub enum SeedEngine<'a> {
@@ -116,6 +191,9 @@ pub enum SeedEngine<'a> {
     Digital,
     /// The seed ideal-JTC optics chain.
     Jtc(&'a SeedJtc),
+    /// The seed CG signal chain (mutable noise state behind a mutex, like
+    /// the live engine).
+    Cg(&'a Mutex<SeedCg>),
 }
 
 impl SeedEngine<'_> {
@@ -123,6 +201,7 @@ impl SeedEngine<'_> {
         match self {
             SeedEngine::Digital => correlate1d(signal, kernel, PaddingMode::Valid),
             SeedEngine::Jtc(jtc) => jtc.correlate(signal, kernel),
+            SeedEngine::Cg(cg) => cg.lock().correlate(signal, kernel),
         }
     }
 }
@@ -219,5 +298,24 @@ mod tests {
         let jtc = SeedJtc::new(256);
         let optical = seed_conv2d_valid(&SeedEngine::Jtc(&jtc), &input, &kernel, 256);
         assert!(max_abs_diff(optical.data(), reference.data()) < 1e-7);
+    }
+
+    #[test]
+    fn seed_cg_is_noisy_but_close() {
+        use pf_dsp::util::relative_l2_error;
+
+        let input = Matrix::new(
+            16,
+            16,
+            (0..256).map(|i| (i as f64 * 0.13).sin() + 0.4).collect(),
+        )
+        .unwrap();
+        let kernel = Matrix::new(3, 3, (0..9).map(|i| (i as f64 - 4.0) / 9.0).collect()).unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+        let cg = Mutex::new(SeedCg::new(256));
+        let noisy = seed_conv2d_valid(&SeedEngine::Cg(&cg), &input, &kernel, 256);
+        let err = relative_l2_error(noisy.data(), reference.data());
+        assert!(err > 0.0, "the seed CG chain must actually inject noise");
+        assert!(err < 0.25, "seed CG error unexpectedly large: {err}");
     }
 }

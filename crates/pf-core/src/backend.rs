@@ -275,6 +275,10 @@ impl Conv1dEngine for Box<dyn Backend> {
         (**self).prefers_parallel_tiles()
     }
 
+    fn prepares_kernels(&self) -> bool {
+        (**self).prepares_kernels()
+    }
+
     fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
         (**self).prepare_kernel(kernel, signal_len)
     }
@@ -287,6 +291,14 @@ struct DigitalBackend;
 impl Conv1dEngine for DigitalBackend {
     fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
         DigitalEngine.correlate_valid(signal, kernel)
+    }
+
+    fn prepares_kernels(&self) -> bool {
+        DigitalEngine.prepares_kernels()
+    }
+
+    fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        DigitalEngine.prepare_kernel(kernel, signal_len)
     }
 }
 
@@ -318,6 +330,10 @@ impl Conv1dEngine for JtcBackend {
 
     fn prefers_parallel_tiles(&self) -> bool {
         self.engine.prefers_parallel_tiles()
+    }
+
+    fn prepares_kernels(&self) -> bool {
+        self.engine.prepares_kernels()
     }
 
     fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {

@@ -108,6 +108,17 @@ impl Matrix {
         assert!(r < self.rows, "row index out of bounds");
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
+
+    /// Returns row `r` as a mutable slice (the writeback path of the tiled
+    /// executor copies whole output rows at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
 }
 
 /// Direct 1D convolution of `signal` with `kernel`.

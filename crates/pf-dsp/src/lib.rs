@@ -13,6 +13,8 @@
 //!   registry; the hot path of the JTC simulation.
 //! * [`conv`] — reference 1D/2D convolution and cross-correlation kernels in
 //!   `full`/`same`/`valid` modes, and FFT-accelerated 1D convolution.
+//! * [`scratch`] — per-thread reusable working buffers for spectrum
+//!   pipelines, so steady-state transforms allocate nothing.
 //! * [`util`] — numeric helpers (padding, error metrics, power-of-two math).
 //!
 //! # Examples
@@ -34,6 +36,7 @@ pub mod conv;
 pub mod error;
 pub mod fft;
 pub mod plan;
+pub mod scratch;
 pub mod util;
 
 pub use complex::Complex;

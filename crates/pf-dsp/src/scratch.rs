@@ -1,0 +1,109 @@
+//! Per-thread scratch buffers for spectrum pipelines.
+//!
+//! The JTC hot path runs millions of fixed-size transforms whose
+//! intermediates (packed FFT inputs, half spectra, intensity sequences) are
+//! identical in shape from call to call. Allocating them per call would put
+//! the allocator on the critical path, and threading `&mut Vec` parameters
+//! through every layer would leak buffer management into the public
+//! signatures. This module provides the middle ground: one
+//! [`SpectrumScratch`] per thread, borrowed for the duration of a
+//! computation through [`with_spectrum_scratch`].
+//!
+//! Buffers keep their capacity across calls (steady-state execution
+//! performs no allocation) and are only ever *logically* cleared by the
+//! borrower — callers must not assume any particular content on entry.
+//!
+//! Threads are how the row tiler dispatches independent tiles, so
+//! thread-local state needs no locking and cannot alias across concurrent
+//! correlations.
+
+use std::cell::RefCell;
+
+use crate::complex::Complex;
+
+/// Reusable working buffers for one spectrum computation: two complex
+/// vectors (FFT packing scratch and a half spectrum) and one real vector
+/// (an intensity or padded-input sequence).
+#[derive(Debug, Default)]
+pub struct SpectrumScratch {
+    /// Packed-input scratch for [`crate::plan::RealFftPlan::forward_real_into`].
+    pub fft: Vec<Complex>,
+    /// Half-spectrum working buffer (e.g. the joint spectrum of a JTC pass).
+    pub half_a: Vec<Complex>,
+    /// Second half-spectrum working buffer (e.g. the output-plane field).
+    pub half_b: Vec<Complex>,
+    /// Real-valued working buffer (e.g. a square-law intensity sequence).
+    pub real: Vec<f64>,
+}
+
+/// Borrows the calling thread's [`SpectrumScratch`] for the duration of `f`.
+///
+/// # Panics
+///
+/// Panics if `f` re-enters `with_spectrum_scratch` on the same thread (the
+/// scratch is a single exclusive borrow by design: nested spectrum
+/// computations would silently clobber each other's buffers otherwise).
+///
+/// # Examples
+///
+/// ```
+/// use pf_dsp::scratch::with_spectrum_scratch;
+///
+/// let sum = with_spectrum_scratch(|s| {
+///     s.real.clear();
+///     s.real.extend([1.0, 2.0, 3.0]);
+///     s.real.iter().sum::<f64>()
+/// });
+/// assert_eq!(sum, 6.0);
+/// ```
+pub fn with_spectrum_scratch<R>(f: impl FnOnce(&mut SpectrumScratch) -> R) -> R {
+    thread_local! {
+        static SCRATCH: RefCell<SpectrumScratch> = RefCell::new(SpectrumScratch::default());
+    }
+    SCRATCH.with(|cell| {
+        let mut scratch = cell
+            .try_borrow_mut()
+            .expect("with_spectrum_scratch must not be re-entered on one thread");
+        f(&mut scratch)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_keeps_capacity_across_borrows() {
+        with_spectrum_scratch(|s| {
+            s.real.clear();
+            s.real.resize(1024, 1.0);
+            s.half_a.clear();
+            s.half_a.resize(64, Complex::ZERO);
+        });
+        with_spectrum_scratch(|s| {
+            assert!(s.real.capacity() >= 1024);
+            assert!(s.half_a.capacity() >= 64);
+        });
+    }
+
+    #[test]
+    fn nested_borrow_panics() {
+        let result = std::panic::catch_unwind(|| {
+            with_spectrum_scratch(|_| with_spectrum_scratch(|_| ()));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scratch_is_per_thread() {
+        with_spectrum_scratch(|s| {
+            s.real.clear();
+            s.real.push(42.0);
+        });
+        std::thread::spawn(|| {
+            with_spectrum_scratch(|s| assert!(s.real.is_empty()));
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -75,7 +75,11 @@ pub struct JtcEngine {
     config: JtcEngineConfig,
     input_dac: Option<Dac>,
     output_adc: Option<Adc>,
-    noise: Option<Mutex<SensingNoise>>,
+    /// The seeded sensing-noise stream, behind an `Arc` so prepared kernels
+    /// handed out by this engine draw from the *same* stream in call order
+    /// (which is what makes the cached-spectrum path replay bit-identically
+    /// to per-call preparation under a fixed seed).
+    noise: Option<Arc<Mutex<SensingNoise>>>,
 }
 
 impl JtcEngine {
@@ -96,11 +100,11 @@ impl JtcEngine {
             None => None,
         };
         let noise = match config.sensing_snr_db {
-            Some(snr) => Some(Mutex::new(SensingNoise::from_snr_db(
+            Some(snr) => Some(Arc::new(Mutex::new(SensingNoise::from_snr_db(
                 snr,
                 1.0,
                 config.noise_seed,
-            )?)),
+            )?))),
             None => None,
         };
         Ok(Self {
@@ -142,13 +146,17 @@ impl JtcEngine {
         for v in &mut out {
             *v *= rescale;
         }
-        self.apply_noise(&mut out);
+        apply_sensing_noise(&mut out, self.noise.as_deref());
         apply_output_adc(&mut out, self.output_adc.as_ref());
         Ok(out)
     }
 
     /// Prepares `kernel` (DAC-quantised once, spectrum computed once) for
     /// repeated correlation against signals of exactly `signal_len` samples.
+    ///
+    /// Noisy engines hand the prepared kernel a reference to their own
+    /// sensing-noise stream, so the prepared path consumes exactly the
+    /// stream the unprepared path would.
     ///
     /// See [`PreparedKernel`] and [`JtcEngine::correlate_prepared`].
     ///
@@ -164,12 +172,16 @@ impl JtcEngine {
             k_scale,
             self.input_dac.clone(),
             self.output_adc.clone(),
+            self.noise.clone(),
         ))
     }
 
     /// Runs one JTC correlation through a kernel prepared with
     /// [`JtcEngine::prepare`], with the engine's full signal chain (DAC
-    /// quantisation, sensing noise, ADC quantisation).
+    /// quantisation, sensing noise, ADC quantisation). The noise samples
+    /// are drawn from **this engine's** stream (which, for kernels prepared
+    /// by this engine, is the same stream [`PreparedKernel::correlate`]
+    /// uses).
     ///
     /// Equivalent to [`JtcEngine::correlate`] with the prepared kernel, up
     /// to FFT rounding (the prepared optics path is documented on
@@ -184,29 +196,22 @@ impl JtcEngine {
         signal: &[f64],
         prepared: &PreparedKernel,
     ) -> Result<Vec<f64>, JtcError> {
-        let (signal_q, s_scale) = quantize_through_dac(self.input_dac.as_ref(), signal);
-        let mut out = self
-            .simulator
-            .correlate_prepared(&signal_q, prepared.spectrum())?;
-        let rescale = s_scale * prepared.kernel_scale();
-        for v in &mut out {
-            *v *= rescale;
-        }
-        self.apply_noise(&mut out);
-        apply_output_adc(&mut out, self.output_adc.as_ref());
-        Ok(out)
+        prepared.correlate_with_noise(signal, self.noise.as_deref())
     }
+}
 
-    /// Adds photodetector sensing noise, relative to the output RMS.
-    fn apply_noise(&self, out: &mut [f64]) {
-        if let Some(noise) = &self.noise {
-            let rms = (out.iter().map(|x| x * x).sum::<f64>() / out.len().max(1) as f64).sqrt();
-            if rms > 0.0 {
-                let mut guard = noise.lock();
-                for v in out.iter_mut() {
-                    let sample = guard.perturb(0.0);
-                    *v += sample * rms;
-                }
+/// Adds photodetector sensing noise, relative to the output RMS, drawing
+/// from the given stream in output order. Shared by the engine's unprepared
+/// path and [`PreparedKernel`]'s prepared paths: both must consume the
+/// stream identically for seeded replay to hold.
+pub(crate) fn apply_sensing_noise(out: &mut [f64], noise: Option<&Mutex<SensingNoise>>) {
+    if let Some(noise) = noise {
+        let rms = (out.iter().map(|x| x * x).sum::<f64>() / out.len().max(1) as f64).sqrt();
+        if rms > 0.0 {
+            let mut guard = noise.lock();
+            for v in out.iter_mut() {
+                let sample = guard.perturb(0.0);
+                *v += sample * rms;
             }
         }
     }
@@ -246,16 +251,6 @@ pub(crate) fn apply_output_adc(out: &mut Vec<f64>, adc: Option<&Adc>) {
     }
 }
 
-/// Deterministic output conditioning shared with [`PreparedKernel`]:
-/// rescale, then ADC-quantise (no noise — prepared trait-object kernels are
-/// only handed out by deterministic engines).
-pub(crate) fn condition_output(out: &mut Vec<f64>, rescale: f64, adc: Option<&Adc>) {
-    for v in out.iter_mut() {
-        *v *= rescale;
-    }
-    apply_output_adc(out, adc);
-}
-
 impl Conv1dEngine for JtcEngine {
     fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
         // The Conv1dEngine contract is shape-only; an oversized or empty
@@ -278,14 +273,16 @@ impl Conv1dEngine for JtcEngine {
         true
     }
 
+    fn prepares_kernels(&self) -> bool {
+        true
+    }
+
     fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
-        // The prepared trait-object path runs without access to the engine's
-        // noise stream, so only noise-free configurations hand one out;
-        // noisy engines fall back to `correlate_valid`, preserving their
-        // serial noise-stream order.
-        if self.noise.is_some() {
-            return None;
-        }
+        // Noisy engines prepare too: the prepared kernel shares this
+        // engine's seeded noise stream and draws from it in call order, so
+        // under a fixed seed the cached deterministic spectrum stage is
+        // bit-identical to preparing afresh per call. Call order stays
+        // serial because `is_deterministic()` reports false.
         self.prepare(kernel, signal_len)
             .ok()
             .map(|p| Arc::new(p) as Arc<dyn PreparedConv1d>)
@@ -456,21 +453,37 @@ mod tests {
     }
 
     #[test]
-    fn noisy_engine_declines_trait_preparation() {
-        let engine = JtcEngine::new(JtcEngineConfig {
+    fn noisy_engine_prepares_and_replays_the_seeded_stream() {
+        let config = JtcEngineConfig {
             capacity: 32,
             dac_bits: None,
             adc_bits: None,
             sensing_snr_db: Some(20.0),
             noise_seed: 1,
-        })
-        .unwrap();
-        assert!(!engine.is_deterministic());
-        assert!(Conv1dEngine::prepare_kernel(&engine, &[1.0, 2.0], 16).is_none());
-        // The inherent prepared API still works (noise applied on top).
-        let prepared = engine.prepare(&[1.0, 2.0], 16).unwrap();
-        let out = engine.correlate_prepared(&[1.0; 16], &prepared).unwrap();
-        assert_eq!(out.len(), 15);
+        };
+        let cached = JtcEngine::new(config.clone()).unwrap();
+        let fresh = JtcEngine::new(config).unwrap();
+        assert!(!cached.is_deterministic());
+        assert!(cached.prepares_kernels());
+
+        // One engine reuses a single trait-prepared kernel (the cached
+        // deterministic spectrum stage); the other re-prepares per call.
+        // Under the same seed the noise stream advances identically, so the
+        // outputs are bit-identical call for call.
+        let prep = Conv1dEngine::prepare_kernel(&cached, &[1.0, 2.0], 16).expect("noisy prepares");
+        for round in 0..4u64 {
+            let signal: Vec<f64> = (0..16)
+                .map(|i| ((i as f64 + round as f64) * 0.4).sin() + 0.3)
+                .collect();
+            let a = prep.correlate_valid(&signal);
+            let b = fresh
+                .correlate_prepared(&signal, &fresh.prepare(&[1.0, 2.0], 16).unwrap())
+                .unwrap();
+            assert_eq!(a.len(), 15);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "round {round}");
+            }
+        }
     }
 
     #[test]

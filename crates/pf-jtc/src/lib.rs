@@ -24,7 +24,9 @@
 //! * [`prepared::PreparedKernel`] / [`prepared::PreparedSpectrum`] — the
 //!   throughput fast path: a kernel's padded spectrum computed once per
 //!   `(kernel, tile length)` pair and reused across every row tile (and,
-//!   through the row-tiling cache, every image of a batch);
+//!   through the row-tiling cache, every image of a batch), plus
+//!   [`prepared::SignalSpectrum`] — a signal tile's first-lens transform
+//!   computed once and replayed against many prepared kernels;
 //! * [`pfcu::Pfcu`] — the hardware-shaped wrapper (256 input waveguides, 25
 //!   weight waveguides, two pipeline stages) used by the architecture model;
 //! * [`temporal::TemporalAccumulator`] — analog partial-sum accumulation at
@@ -61,5 +63,5 @@ pub use correlator::{JtcOutput, JtcSimulator};
 pub use engine::{JtcEngine, JtcEngineConfig};
 pub use error::JtcError;
 pub use pfcu::{Pfcu, PfcuConfig};
-pub use prepared::{PreparedKernel, PreparedSpectrum};
+pub use prepared::{PreparedKernel, PreparedSpectrum, SignalSpectrum, StageTimes};
 pub use temporal::TemporalAccumulator;

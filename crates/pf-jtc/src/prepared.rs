@@ -17,34 +17,40 @@
 //! * the square-law intensity of a real input's spectrum is symmetric
 //!   (`I[n-k] = I[k]`), so the second lens is again a real-input
 //!   half-spectrum FFT, and only the bins the correlation lobe occupies are
-//!   ever read.
+//!   ever read;
+//! * the signal's half-spectrum is itself reusable: a CNN layer correlates
+//!   each input tile against **many** kernels (one per output channel, two
+//!   with pseudo-negative splitting), and `F[s]` does not depend on the
+//!   kernel. [`SignalSpectrum`] materialises that transform once
+//!   ([`PreparedSpectrum::signal_spectrum`]) and
+//!   [`PreparedSpectrum::correlate_spectrum`] replays it against any
+//!   prepared kernel with the same geometry — one spectrum-add plus one
+//!   inverse-lens transform per kernel instead of two transforms each.
 //!
-//! Together this replaces two `n`-point complex FFTs per tile with two
-//! `n/2`-point ones plus O(n) bookkeeping, and skips all per-kernel work
-//! after the first tile. [`PreparedKernel`] layers the engine's DAC/ADC
-//! quantisation on top and plugs into row tiling through
-//! [`pf_tiling::PreparedConv1d`].
+//! [`PreparedKernel`] layers the engine's DAC/ADC quantisation (and, for
+//! noisy engines, the shared sensing-noise stream) on top and plugs into
+//! row tiling through [`pf_tiling::PreparedConv1d`], including the
+//! signal-sharing half of that trait
+//! ([`prepare_signal`](pf_tiling::PreparedConv1d::prepare_signal) /
+//! [`correlate_with_signal`](pf_tiling::PreparedConv1d::correlate_with_signal)).
+//! Every fast path is bit-identical to its unshared counterpart: the shared
+//! transform is byte-copied, not recomputed, so the floating-point operation
+//! sequence does not change.
 
-use std::cell::RefCell;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
 use pf_dsp::complex::Complex;
 use pf_dsp::plan::RealFftPlan;
+use pf_dsp::scratch::{with_spectrum_scratch, SpectrumScratch};
 use pf_photonics::adc::Adc;
 use pf_photonics::dac::Dac;
-use pf_tiling::PreparedConv1d;
+use pf_photonics::detector::SensingNoise;
+use pf_tiling::{PreparedConv1d, PreparedSignal};
 
 use crate::correlator::JtcSimulator;
 use crate::error::JtcError;
-
-/// Per-thread working buffers for [`PreparedSpectrum::correlate`].
-#[derive(Debug, Default)]
-struct CorrelateScratch {
-    fft_scratch: Vec<Complex>,
-    joint: Vec<Complex>,
-    intensity: Vec<f64>,
-    field_half: Vec<Complex>,
-}
 
 /// The precomputed optics-level state for correlating one fixed kernel with
 /// signals of one fixed length: input-plane geometry plus the kernel's
@@ -61,6 +67,32 @@ pub struct PreparedSpectrum {
     /// `d` (the rest of the spectrum follows from conjugate symmetry).
     kernel_half_spec: Vec<Complex>,
     plan: Arc<RealFftPlan>,
+}
+
+/// The first-lens transform of one signal: bins `0..=n/2` of the `n`-point
+/// DFT of the signal placed at the input-plane origin.
+///
+/// Computed once per tile by [`PreparedSpectrum::signal_spectrum`] and
+/// consumed by [`PreparedSpectrum::correlate_spectrum`] for every kernel
+/// prepared with the same geometry, replacing the per-kernel signal FFT
+/// with an O(n) copy.
+#[derive(Debug, Clone)]
+pub struct SignalSpectrum {
+    signal_len: usize,
+    n: usize,
+    half_spec: Vec<Complex>,
+}
+
+impl SignalSpectrum {
+    /// The signal length this spectrum was computed from.
+    pub fn signal_len(&self) -> usize {
+        self.signal_len
+    }
+
+    /// The simulation grid size the transform was taken on.
+    pub fn grid_size(&self) -> usize {
+        self.n
+    }
 }
 
 impl PreparedSpectrum {
@@ -130,8 +162,52 @@ impl PreparedSpectrum {
         self.n
     }
 
+    fn check_signal_len(&self, len: usize) -> Result<(), JtcError> {
+        if len != self.signal_len {
+            return Err(JtcError::InvalidConfig {
+                name: "signal_len",
+                requirement: format!(
+                    "prepared for signals of {} samples, got {len}",
+                    self.signal_len
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Computes the first-lens transform of `signal` alone (real input,
+    /// implicit zero padding), reusable against every prepared kernel that
+    /// shares this geometry (same `signal_len` and grid size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JtcError::InvalidConfig`] if `signal.len()` differs from
+    /// the prepared [`PreparedSpectrum::signal_len`], and
+    /// [`JtcError::EmptyOperand`] for an empty signal.
+    pub fn signal_spectrum(&self, signal: &[f64]) -> Result<SignalSpectrum, JtcError> {
+        if signal.is_empty() {
+            return Err(JtcError::EmptyOperand { what: "signal" });
+        }
+        self.check_signal_len(signal.len())?;
+        let mut half_spec = Vec::new();
+        with_spectrum_scratch(|s| {
+            self.plan
+                .forward_real_into(signal, &mut s.fft, &mut half_spec)
+        })?;
+        Ok(SignalSpectrum {
+            signal_len: self.signal_len,
+            n: self.n,
+            half_spec,
+        })
+    }
+
     /// Runs the optics chain against `signal` and extracts the valid
     /// cross-correlation, reusing the prepared kernel spectrum.
+    ///
+    /// Bit-identical to
+    /// `self.correlate_spectrum(&self.signal_spectrum(signal)?)`: the
+    /// shared-spectrum path copies the transform instead of recomputing it,
+    /// so the floating-point operation sequence is the same.
     ///
     /// # Errors
     ///
@@ -142,65 +218,133 @@ impl PreparedSpectrum {
         if signal.is_empty() {
             return Err(JtcError::EmptyOperand { what: "signal" });
         }
-        if signal.len() != self.signal_len {
+        self.check_signal_len(signal.len())?;
+        if self.kernel_len > self.signal_len {
+            return Ok(Vec::new());
+        }
+        with_spectrum_scratch(|s| {
+            // First lens on the signal alone, directly into the joint
+            // buffer; the kernel spectrum is added in place.
+            self.plan
+                .forward_real_into(signal, &mut s.fft, &mut s.half_a)?;
+            let SpectrumScratch {
+                fft,
+                half_a,
+                half_b,
+                real,
+            } = s;
+            self.apply_kernel_spectrum(half_a, real);
+            self.second_lens(real, fft, half_b)
+        })
+    }
+
+    /// Runs the optics chain against a signal transform computed by
+    /// [`PreparedSpectrum::signal_spectrum`] — the multi-kernel fast path:
+    /// one spectrum-add plus one inverse-lens transform, no signal FFT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JtcError::InvalidConfig`] if the transform's geometry
+    /// (signal length or grid size) differs from this kernel's.
+    pub fn correlate_spectrum(&self, spectrum: &SignalSpectrum) -> Result<Vec<f64>, JtcError> {
+        self.correlate_spectrum_impl(spectrum, None)
+    }
+
+    /// Like [`PreparedSpectrum::correlate_spectrum`], accumulating the
+    /// spectrum-apply and inverse-lens stage durations into `times` (the
+    /// perf harness's `--stages` breakdown; not a hot path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedSpectrum::correlate_spectrum`].
+    pub fn correlate_spectrum_staged(
+        &self,
+        spectrum: &SignalSpectrum,
+        times: &mut StageTimes,
+    ) -> Result<Vec<f64>, JtcError> {
+        self.correlate_spectrum_impl(spectrum, Some(times))
+    }
+
+    fn correlate_spectrum_impl(
+        &self,
+        spectrum: &SignalSpectrum,
+        mut times: Option<&mut StageTimes>,
+    ) -> Result<Vec<f64>, JtcError> {
+        self.check_signal_len(spectrum.signal_len)?;
+        if spectrum.n != self.n {
             return Err(JtcError::InvalidConfig {
-                name: "signal_len",
+                name: "grid_size",
                 requirement: format!(
-                    "prepared for signals of {} samples, got {}",
-                    self.signal_len,
-                    signal.len()
+                    "signal spectrum taken on a {}-point grid, kernel prepared on {}",
+                    spectrum.n, self.n
                 ),
             });
         }
         if self.kernel_len > self.signal_len {
             return Ok(Vec::new());
         }
-        let m = self.n / 2;
-
-        // Tile-rate hot path: reuse one set of per-thread buffers instead
-        // of allocating four vectors per call (threads are how the row
-        // tiler dispatches tiles, so per-thread state needs no locking).
-        thread_local! {
-            static SCRATCH: RefCell<CorrelateScratch> = RefCell::new(CorrelateScratch::default());
-        }
-        SCRATCH.with(|cell| {
-            let s = &mut *cell.borrow_mut();
-
-            // First lens on the signal alone (real input, implicit zero
-            // padding), then add the prepared kernel spectrum:
-            // F[s+k] = F[s] + F[k].
-            self.plan
-                .forward_real_into(signal, &mut s.fft_scratch, &mut s.joint)?;
-            for (j, k) in s.joint.iter_mut().zip(&self.kernel_half_spec) {
-                *j += *k;
+        with_spectrum_scratch(|s| {
+            let SpectrumScratch {
+                fft,
+                half_a,
+                half_b,
+                real,
+            } = s;
+            // Byte-copy of the shared transform: `joint` then holds exactly
+            // the bits the unshared path's signal FFT would produce.
+            half_a.clear();
+            half_a.extend_from_slice(&spectrum.half_spec);
+            let t0 = times.as_ref().map(|_| Instant::now());
+            self.apply_kernel_spectrum(half_a, real);
+            if let (Some(times), Some(t0)) = (times.as_deref_mut(), t0) {
+                times.spectrum_apply += t0.elapsed();
             }
-
-            // Square-law non-linearity. The joint input is real, so its
-            // intensity spectrum is symmetric: I[n-k] = I[k]; materialise
-            // the full-length sequence for the second lens from the half
-            // spectrum.
-            s.intensity.clear();
-            s.intensity.resize(self.n, 0.0);
-            for (k, z) in s.joint.iter().enumerate() {
-                let v = z.norm_sqr();
-                s.intensity[k] = v;
-                if k != 0 && k != m {
-                    s.intensity[self.n - k] = v;
-                }
+            let t1 = times.as_ref().map(|_| Instant::now());
+            let out = self.second_lens(real, fft, half_b)?;
+            if let (Some(times), Some(t1)) = (times, t1) {
+                times.inverse += t1.elapsed();
             }
-
-            // Second lens (again a real input); normalise the
-            // double-transform gain of N. The correlation lobe lives at
-            // indices d-len+1..=d, all within the produced half spectrum
-            // (d < n/2 by construction).
-            self.plan
-                .forward_real_into(&s.intensity, &mut s.fft_scratch, &mut s.field_half)?;
-            let len = self.signal_len - self.kernel_len + 1;
-            let inv_n = 1.0 / self.n as f64;
-            Ok((0..len)
-                .map(|j| s.field_half[self.d - j].re * inv_n)
-                .collect())
+            Ok(out)
         })
+    }
+
+    /// Adds the prepared kernel spectrum into `joint` (which must hold the
+    /// signal's half spectrum) and materialises the full-length square-law
+    /// intensity — `F[s+k] = F[s] + F[k]`, and the joint input is real so
+    /// its intensity spectrum is symmetric: `I[n-k] = I[k]`.
+    fn apply_kernel_spectrum(&self, joint: &mut [Complex], intensity: &mut Vec<f64>) {
+        let m = self.n / 2;
+        for (j, k) in joint.iter_mut().zip(&self.kernel_half_spec) {
+            *j += *k;
+        }
+        intensity.clear();
+        intensity.resize(self.n, 0.0);
+        for (k, z) in joint.iter().enumerate() {
+            let v = z.norm_sqr();
+            intensity[k] = v;
+            if k != 0 && k != m {
+                intensity[self.n - k] = v;
+            }
+        }
+    }
+
+    /// Second lens (again a real input); normalises the double-transform
+    /// gain of N and extracts the correlation lobe, which lives at indices
+    /// `d-len+1..=d`, all within the produced half spectrum (`d < n/2` by
+    /// construction).
+    fn second_lens(
+        &self,
+        intensity: &[f64],
+        fft_scratch: &mut Vec<Complex>,
+        field_half: &mut Vec<Complex>,
+    ) -> Result<Vec<f64>, JtcError> {
+        self.plan
+            .forward_real_into(intensity, fft_scratch, field_half)?;
+        let len = self.signal_len - self.kernel_len + 1;
+        let inv_n = 1.0 / self.n as f64;
+        Ok((0..len)
+            .map(|j| field_half[self.d - j].re * inv_n)
+            .collect())
     }
 }
 
@@ -240,13 +384,44 @@ impl JtcSimulator {
     }
 }
 
+/// Wall-clock breakdown of one (or many accumulated) prepared correlations,
+/// by pipeline stage. Filled by [`PreparedKernel::correlate_staged`] for
+/// the perf harness's `--stages` report; the unstaged paths carry no timing
+/// overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// First lens: real-input FFT of the (quantised) signal.
+    pub signal_fft: Duration,
+    /// Kernel-spectrum add plus square-law intensity materialisation.
+    pub spectrum_apply: Duration,
+    /// Second lens (the "inverse" transform back to the output plane) plus
+    /// correlation-lobe extraction.
+    pub inverse: Duration,
+    /// Mixed-signal conditioning: DAC quantisation of the signal, output
+    /// rescaling, sensing noise and ADC quantisation.
+    pub dac_adc: Duration,
+}
+
+impl StageTimes {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.signal_fft + self.spectrum_apply + self.inverse + self.dac_adc
+    }
+}
+
 /// An engine-level prepared kernel: the optics-level [`PreparedSpectrum`]
-/// plus the DAC/ADC quantisation state of the
-/// [`JtcEngine`](crate::engine::JtcEngine) that prepared it.
+/// plus the mixed-signal state of the [`JtcEngine`](crate::engine::JtcEngine)
+/// that prepared it — DAC/ADC quantisation and, for noisy engines, a handle
+/// to the engine's seeded sensing-noise stream.
 ///
 /// Implements [`pf_tiling::PreparedConv1d`], so row tiling can reuse it
 /// across every tile of a convolution — and, through the convolver's
-/// prepared-kernel cache, across every image of a batch.
+/// prepared-kernel cache, across every image of a batch. Noisy engines'
+/// prepared kernels draw their per-call noise from the **engine's** stream
+/// in call order, so under a fixed seed the cached-spectrum path replays
+/// bit-identically to preparing the kernel afresh on every call; call order
+/// stays serial because the engine reports
+/// [`is_deterministic`](pf_tiling::Conv1dEngine::is_deterministic)` == false`.
 #[derive(Debug, Clone)]
 pub struct PreparedKernel {
     spectrum: PreparedSpectrum,
@@ -256,6 +431,26 @@ pub struct PreparedKernel {
     dac: Option<Dac>,
     /// Copy of the engine's output ADC.
     adc: Option<Adc>,
+    /// The preparing engine's sensing-noise stream (shared, not copied:
+    /// the prepared path must consume the same stream the unprepared
+    /// engine paths do).
+    noise: Option<Arc<Mutex<SensingNoise>>>,
+}
+
+/// The engine-level shared signal state handed out through
+/// [`pf_tiling::PreparedConv1d::prepare_signal`]: the DAC-quantised
+/// signal's first-lens transform plus the scale undoing its pre-DAC
+/// normalisation.
+#[derive(Debug)]
+struct SharedSignal {
+    spectrum: SignalSpectrum,
+    s_scale: f64,
+}
+
+impl PreparedSignal for SharedSignal {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 impl PreparedKernel {
@@ -264,12 +459,14 @@ impl PreparedKernel {
         k_scale: f64,
         dac: Option<Dac>,
         adc: Option<Adc>,
+        noise: Option<Arc<Mutex<SensingNoise>>>,
     ) -> Self {
         Self {
             spectrum,
             k_scale,
             dac,
             adc,
+            noise,
         }
     }
 
@@ -283,17 +480,69 @@ impl PreparedKernel {
         self.k_scale
     }
 
-    /// Runs the deterministic signal chain (DAC → optics → rescale → ADC)
-    /// against `signal`.
+    /// Runs the full signal chain (DAC → optics → rescale → sensing noise →
+    /// ADC) against `signal`. Deterministic engines carry no noise stream,
+    /// so their chain is a pure function of the input.
     ///
     /// # Errors
     ///
     /// Same conditions as [`PreparedSpectrum::correlate`].
     pub fn correlate(&self, signal: &[f64]) -> Result<Vec<f64>, JtcError> {
+        self.correlate_with_noise(signal, self.noise.as_deref())
+    }
+
+    /// The full chain with an explicit noise stream (used by
+    /// [`JtcEngine::correlate_prepared`](crate::engine::JtcEngine::correlate_prepared)
+    /// so the inherent and trait paths share one implementation and stay
+    /// bit-identical).
+    pub(crate) fn correlate_with_noise(
+        &self,
+        signal: &[f64],
+        noise: Option<&Mutex<SensingNoise>>,
+    ) -> Result<Vec<f64>, JtcError> {
         let (signal_q, s_scale) = crate::engine::quantize_through_dac(self.dac.as_ref(), signal);
         let mut out = self.spectrum.correlate(&signal_q)?;
-        crate::engine::condition_output(&mut out, s_scale * self.k_scale, self.adc.as_ref());
+        self.condition(&mut out, s_scale, noise);
         Ok(out)
+    }
+
+    /// Like [`PreparedKernel::correlate`], accumulating per-stage wall time
+    /// into `times`. Measurement-only: the staged signal-FFT stage goes
+    /// through [`PreparedSpectrum::signal_spectrum`], which is bit-identical
+    /// to the fused path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedSpectrum::correlate`].
+    pub fn correlate_staged(
+        &self,
+        signal: &[f64],
+        times: &mut StageTimes,
+    ) -> Result<Vec<f64>, JtcError> {
+        let t0 = Instant::now();
+        let (signal_q, s_scale) = crate::engine::quantize_through_dac(self.dac.as_ref(), signal);
+        times.dac_adc += t0.elapsed();
+
+        let t1 = Instant::now();
+        let spectrum = self.spectrum.signal_spectrum(&signal_q)?;
+        times.signal_fft += t1.elapsed();
+
+        let mut out = self.spectrum.correlate_spectrum_staged(&spectrum, times)?;
+
+        let t2 = Instant::now();
+        self.condition(&mut out, s_scale, self.noise.as_deref());
+        times.dac_adc += t2.elapsed();
+        Ok(out)
+    }
+
+    /// Output conditioning shared by every engine-level path: rescale,
+    /// sensing noise (when a stream is attached), ADC quantisation.
+    fn condition(&self, out: &mut Vec<f64>, s_scale: f64, noise: Option<&Mutex<SensingNoise>>) {
+        for v in out.iter_mut() {
+            *v *= s_scale * self.k_scale;
+        }
+        crate::engine::apply_sensing_noise(out, noise);
+        crate::engine::apply_output_adc(out, self.adc.as_ref());
     }
 }
 
@@ -306,6 +555,40 @@ impl PreparedConv1d for PreparedKernel {
         // Shape-only contract, like `Conv1dEngine::correlate_valid`: a
         // mismatched call degenerates to an empty result.
         self.correlate(signal).unwrap_or_default()
+    }
+
+    fn signal_key(&self) -> Option<u64> {
+        // Two prepared kernels accept each other's shared signal when the
+        // first-lens transform they expect is identical: same simulation
+        // grid and same input-DAC resolution (the transform is taken on
+        // the *quantised* signal). The geometry also fixes signal_len
+        // through the executor's per-(signal length) preparation, so
+        // (grid, dac bits) is a complete key.
+        let dac_code = match &self.dac {
+            Some(dac) => u64::from(dac.bits()) + 1,
+            None => 0,
+        };
+        Some(((self.spectrum.n as u64) << 8) | dac_code)
+    }
+
+    fn prepare_signal(&self, signal: &[f64]) -> Option<Arc<dyn PreparedSignal>> {
+        let (signal_q, s_scale) = crate::engine::quantize_through_dac(self.dac.as_ref(), signal);
+        let spectrum = self.spectrum.signal_spectrum(&signal_q).ok()?;
+        Some(Arc::new(SharedSignal { spectrum, s_scale }))
+    }
+
+    fn correlate_with_signal(&self, prepared: &dyn PreparedSignal, signal: &[f64]) -> Vec<f64> {
+        let Some(shared) = prepared.as_any().downcast_ref::<SharedSignal>() else {
+            return self.correlate_valid(signal);
+        };
+        match self.spectrum.correlate_spectrum(&shared.spectrum) {
+            Ok(mut out) => {
+                self.condition(&mut out, shared.s_scale, self.noise.as_deref());
+                out
+            }
+            // Geometry mismatch (foreign spectrum): recompute from scratch.
+            Err(_) => self.correlate_valid(signal),
+        }
     }
 }
 
@@ -368,6 +651,14 @@ mod tests {
             jtc.correlate_prepared(&[], &prep),
             Err(JtcError::EmptyOperand { .. })
         ));
+        assert!(matches!(
+            prep.signal_spectrum(&[1.0; 7]),
+            Err(JtcError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            prep.signal_spectrum(&[]),
+            Err(JtcError::EmptyOperand { .. })
+        ));
     }
 
     #[test]
@@ -375,6 +666,8 @@ mod tests {
         let jtc = JtcSimulator::new(16).unwrap();
         let prep = jtc.prepare_kernel(&[1.0; 5], 3).unwrap();
         assert!(prep.correlate(&[1.0; 3]).unwrap().is_empty());
+        let spec = prep.signal_spectrum(&[1.0; 3]).unwrap();
+        assert!(prep.correlate_spectrum(&spec).unwrap().is_empty());
     }
 
     #[test]
@@ -394,5 +687,70 @@ mod tests {
         for (x, y) in a.iter().zip(&c) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn shared_spectrum_path_is_bit_identical() {
+        // One signal transform applied against several kernels must produce
+        // exactly what the per-kernel fused path produces.
+        let jtc = JtcSimulator::new(64).unwrap();
+        let kernels: Vec<Vec<f64>> = vec![
+            vec![0.25, 0.5, 1.0, 0.5, 0.25],
+            vec![-1.0, 2.0, -1.0, 0.5, 0.0],
+            vec![0.1, 0.1, 0.1, 0.1, 0.1],
+        ];
+        let preps: Vec<PreparedSpectrum> = kernels
+            .iter()
+            .map(|k| jtc.prepare_kernel(k, 40).unwrap())
+            .collect();
+        let signal: Vec<f64> = (0..40).map(|i| (i as f64 * 0.31).sin() + 0.2).collect();
+        // All kernels share a geometry, so any of them can take the
+        // transform.
+        let spectrum = preps[0].signal_spectrum(&signal).unwrap();
+        assert_eq!(spectrum.signal_len(), 40);
+        assert_eq!(spectrum.grid_size(), preps[0].grid_size());
+        for prep in &preps {
+            let shared = prep.correlate_spectrum(&spectrum).unwrap();
+            let fused = prep.correlate(&signal).unwrap();
+            assert_eq!(shared.len(), fused.len());
+            for (a, b) in shared.iter().zip(&fused) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn correlate_spectrum_rejects_foreign_geometry() {
+        let jtc = JtcSimulator::new(64).unwrap();
+        let prep_a = jtc.prepare_kernel(&[1.0, 0.5], 40).unwrap();
+        let prep_b = jtc.prepare_kernel(&[1.0, 0.5], 32).unwrap();
+        let spectrum = prep_a
+            .signal_spectrum(&vec![1.0; 40])
+            .expect("valid spectrum");
+        assert!(matches!(
+            prep_b.correlate_spectrum(&spectrum),
+            Err(JtcError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn staged_correlation_matches_unstaged_and_accounts_time() {
+        let jtc = JtcSimulator::new(64).unwrap();
+        let prep = PreparedKernel::new(
+            jtc.prepare_kernel(&[0.3, -0.2, 0.7], 48).unwrap(),
+            1.0,
+            None,
+            None,
+            None,
+        );
+        let signal: Vec<f64> = (0..48).map(|i| (i as f64 * 0.21).cos()).collect();
+        let mut times = StageTimes::default();
+        let staged = prep.correlate_staged(&signal, &mut times).unwrap();
+        let unstaged = prep.correlate(&signal).unwrap();
+        for (a, b) in staged.iter().zip(&unstaged) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(times.total() > Duration::ZERO);
+        assert!(times.inverse > Duration::ZERO);
     }
 }

@@ -89,6 +89,124 @@ proptest! {
     }
 
     #[test]
+    fn shared_signal_spectrum_is_bit_identical_to_per_call_prepared(
+        seed in 0u64..1000,
+        signal_len in 8usize..64,
+        n_kernels in 1usize..6,
+        kernel_len in 1usize..6,
+    ) {
+        // One SignalSpectrum replayed against N prepared kernels must be
+        // bit-for-bit what the fused per-call prepared path computes, for
+        // the raw optics and for the full engine chain (DAC/ADC).
+        use rand::{Rng, SeedableRng};
+        prop_assume!(kernel_len <= signal_len);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let signal: Vec<f64> = (0..signal_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let kernels: Vec<Vec<f64>> = (0..n_kernels)
+            .map(|_| (0..kernel_len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+
+        let jtc = JtcSimulator::new(64).unwrap();
+        let preps: Vec<_> = kernels
+            .iter()
+            .map(|k| jtc.prepare_kernel(k, signal_len).unwrap())
+            .collect();
+        let spectrum = preps[0].signal_spectrum(&signal).unwrap();
+        for prep in &preps {
+            let shared = prep.correlate_spectrum(&spectrum).unwrap();
+            let fused = prep.correlate(&signal).unwrap();
+            prop_assert_eq!(shared.len(), fused.len());
+            for (a, b) in shared.iter().zip(&fused) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_kernel_tiling_matches_single_kernel_bitwise(
+        seed in 0u64..1000,
+        rows in 4usize..12,
+        n_kernels in 1usize..5,
+        // Capacity regimes: row tiling, partial row tiling, partitioned rows.
+        n_conv_sel in 0usize..3,
+    ) {
+        // The convolver's tile-grouped multi-kernel path (shared signal
+        // spectra, scratch cache) must reproduce per-kernel execution
+        // bit for bit on the real optics engine, in every tiling variant.
+        use pf_dsp::conv::Matrix;
+        use pf_tiling::TiledConvolver;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cols = rows;
+        let input = Matrix::new(
+            rows,
+            cols,
+            (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+        )
+        .unwrap();
+        let kernels: Vec<Matrix> = (0..n_kernels)
+            .map(|_| {
+                Matrix::new(3, 3, (0..9).map(|_| rng.gen_range(-1.0..1.0)).collect()).unwrap()
+            })
+            .collect();
+        prop_assume!(rows >= 3);
+        let n_conv = match n_conv_sel {
+            0 => 4 * cols,     // row tiling
+            1 => cols + 1,     // partial row tiling (for 3-row kernels)
+            _ => cols - 1,     // row partitioning
+        };
+        prop_assume!(n_conv >= 3);
+        let engine = JtcEngine::ideal(n_conv.max(16)).unwrap();
+        let convolver = TiledConvolver::new(engine, n_conv).unwrap();
+        let multi = convolver.correlate2d_valid_multi(&input, &kernels).unwrap();
+        for (kernel, plane) in kernels.iter().zip(&multi) {
+            let single = convolver.correlate2d_valid(&input, kernel).unwrap();
+            for (a, b) in single.data().iter().zip(plane.data()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_noisy_prepared_path_replays_the_unprepared_stream(
+        seed in 0u64..1000,
+        signal_len in 8usize..40,
+        kernel_len in 1usize..5,
+        calls in 1usize..5,
+    ) {
+        // Two engines with the same noise seed: one reuses a cached
+        // trait-prepared kernel, the other re-prepares on every call (the
+        // unprepared-spectrum path). The seeded noise stream advances
+        // identically, so outputs are bit-identical call for call.
+        use pf_tiling::Conv1dEngine;
+        use rand::{Rng, SeedableRng};
+        prop_assume!(kernel_len <= signal_len);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let kernel: Vec<f64> = (0..kernel_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let config = JtcEngineConfig {
+            capacity: 64,
+            dac_bits: Some(8),
+            adc_bits: Some(8),
+            sensing_snr_db: Some(20.0),
+            noise_seed: seed,
+        };
+        let cached_engine = JtcEngine::new(config.clone()).unwrap();
+        let fresh_engine = JtcEngine::new(config).unwrap();
+        let cached = Conv1dEngine::prepare_kernel(&cached_engine, &kernel, signal_len).unwrap();
+        for _ in 0..calls {
+            let signal: Vec<f64> =
+                (0..signal_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let a = cached.correlate_valid(&signal);
+            let fresh = fresh_engine.prepare(&kernel, signal_len).unwrap();
+            let b = fresh_engine.correlate_prepared(&signal, &fresh).unwrap();
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn deeper_accumulation_never_hurts(
         seed in 0u64..500,
         channels in 8usize..48,

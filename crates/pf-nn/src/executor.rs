@@ -149,6 +149,12 @@ pub struct TiledExecutor<E> {
 }
 
 impl<E: Conv1dEngine> TiledExecutor<E> {
+    /// How many output channels are convolved per multi-kernel call. Caps
+    /// the buffered partial planes at `OUT_CHANNEL_CHUNK × in_channels`
+    /// while still amortising each input tile's signal transform over up
+    /// to `2 × OUT_CHANNEL_CHUNK` kernels.
+    const OUT_CHANNEL_CHUNK: usize = 16;
+
     /// Creates an executor around a 1D backend with capacity `n_conv`.
     ///
     /// # Errors
@@ -177,12 +183,17 @@ impl<E: Conv1dEngine> TiledExecutor<E> {
         &self.config
     }
 
-    fn conv_plane(&self, input: &Matrix, kernel: &Matrix, padded: bool) -> Result<Matrix, NnError> {
+    fn conv_planes(
+        &self,
+        input: &Matrix,
+        kernels: &[Matrix],
+        padded: bool,
+    ) -> Result<Vec<Matrix>, NnError> {
         let out = if padded {
             self.convolver
-                .correlate2d_same(input, kernel, self.config.edge_handling)?
+                .correlate2d_same_multi(input, kernels, self.config.edge_handling)?
         } else {
-            self.convolver.correlate2d_valid(input, kernel)?
+            self.convolver.correlate2d_valid_multi(input, kernels)?
         };
         Ok(out)
     }
@@ -199,37 +210,85 @@ impl<E: Conv1dEngine> Conv2dExecutor for TiledExecutor<E> {
             .psum_adc_bits
             .map(|bits| Adc::new(bits, 0.625, 0.93).expect("valid ADC resolution"));
 
-        let mut out_channels = Vec::with_capacity(layer.out_channels());
-        for o in 0..layer.out_channels() {
-            // Compute the per-input-channel partial planes, then accumulate
-            // them in groups of `temporal_depth`: within a group the sum
-            // stays analog (full precision); at the group boundary the ADC
-            // quantises once; groups are summed digitally (the two-level
-            // accumulation of Section V-F).
-            let mut partials = Vec::with_capacity(layer.in_channels());
-            for i in 0..layer.in_channels() {
-                let kernel = weights.filter_plane(o, i);
-                let partial = if self.config.pseudo_negative {
-                    let (pos, neg) = split_pseudo_negative(&kernel);
-                    let p = self.conv_plane(&activations.channel(i), &pos, layer.padded)?;
-                    let n = self.conv_plane(&activations.channel(i), &neg, layer.padded)?;
-                    subtract(&p, &n)
-                } else {
-                    self.conv_plane(&activations.channel(i), &kernel, layer.padded)?
-                };
-                partials.push(partial);
-            }
+        let oc = layer.out_channels();
+        let ic = layer.in_channels();
 
-            let mut plane =
-                accumulate_partials(&partials, self.config.temporal_depth, psum_adc.as_ref());
-            if layer.bias[o] != 0.0 {
-                for r in 0..plane.rows() {
-                    for c in 0..plane.cols() {
-                        plane.set(r, c, plane.get(r, c) + layer.bias[o]);
+        // Grouped by *input channel*: every output channel's kernel for one
+        // input channel (two per channel with pseudo-negative splitting)
+        // runs through one multi-kernel convolution, so each input tile is
+        // built — and, on the JTC backends, Fourier-transformed — once for
+        // the whole kernel stack instead of once per output channel.
+        //
+        // Output channels are processed in chunks so the buffered partial
+        // planes stay O(chunk × in_channels) instead of O(out × in): the
+        // partial-sum ADC full scale needs every partial of an output
+        // channel before accumulation can start, so the per-(o, i) planes
+        // of one chunk must be materialised together. A chunk still
+        // amortises each tile's signal transform over up to
+        // `2 × OUT_CHANNEL_CHUNK` kernels, which captures almost all of the
+        // sharing win with bounded memory on wide layers.
+        //
+        // `partials[o_rel * ic + i]` holds the (o, i) partial plane; the
+        // accumulation consumes them in exactly the per-output-channel
+        // order of the kernel-grouped execution, so the result is
+        // bit-identical to it.
+        let mut out_channels = Vec::with_capacity(oc);
+        for chunk_start in (0..oc).step_by(Self::OUT_CHANNEL_CHUNK) {
+            let chunk = (chunk_start..oc.min(chunk_start + Self::OUT_CHANNEL_CHUNK))
+                .collect::<Vec<usize>>();
+            let mut partials: Vec<Option<Matrix>> = (0..chunk.len() * ic).map(|_| None).collect();
+            for i in 0..ic {
+                let mut kernels = Vec::with_capacity(if self.config.pseudo_negative {
+                    2 * chunk.len()
+                } else {
+                    chunk.len()
+                });
+                for &o in &chunk {
+                    let kernel = weights.filter_plane(o, i);
+                    if self.config.pseudo_negative {
+                        let (pos, neg) = split_pseudo_negative(&kernel);
+                        kernels.push(pos);
+                        kernels.push(neg);
+                    } else {
+                        kernels.push(kernel);
+                    }
+                }
+                let planes = self.conv_planes(&activations.channel(i), &kernels, layer.padded)?;
+                if self.config.pseudo_negative {
+                    for o_rel in 0..chunk.len() {
+                        partials[o_rel * ic + i] =
+                            Some(subtract(&planes[2 * o_rel], &planes[2 * o_rel + 1]));
+                    }
+                } else {
+                    for (o_rel, plane) in planes.into_iter().enumerate() {
+                        partials[o_rel * ic + i] = Some(plane);
                     }
                 }
             }
-            out_channels.push(subsample(&plane, layer.stride));
+
+            for (o_rel, &o) in chunk.iter().enumerate() {
+                // Accumulate the per-input-channel partial planes in groups
+                // of `temporal_depth`: within a group the sum stays analog
+                // (full precision); at the group boundary the ADC quantises
+                // once; groups are summed digitally (the two-level
+                // accumulation of Section V-F).
+                let channel_partials: Vec<Matrix> = (0..ic)
+                    .map(|i| partials[o_rel * ic + i].take().expect("partial computed"))
+                    .collect();
+                let mut plane = accumulate_partials(
+                    &channel_partials,
+                    self.config.temporal_depth,
+                    psum_adc.as_ref(),
+                );
+                if layer.bias[o] != 0.0 {
+                    for r in 0..plane.rows() {
+                        for c in 0..plane.cols() {
+                            plane.set(r, c, plane.get(r, c) + layer.bias[o]);
+                        }
+                    }
+                }
+                out_channels.push(subsample(&plane, layer.stride));
+            }
         }
         Tensor::from_channels(&out_channels)
     }
@@ -395,6 +454,31 @@ mod tests {
             .forward(&input, &layer)
             .unwrap();
         assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-9);
+    }
+
+    #[test]
+    fn wide_layers_straddle_the_output_channel_chunk() {
+        // More output channels than OUT_CHANNEL_CHUNK: the chunked
+        // multi-kernel grouping must keep every channel in its place.
+        let layer = Conv2d::random(3, 20, 3, 1, true, 0.4, 71).unwrap();
+        let input = small_input(72);
+        let reference = ReferenceExecutor.forward(&input, &layer).unwrap();
+        let mut cfg = PipelineConfig::ideal();
+        cfg.edge_handling = EdgeHandling::ZeroPad;
+        let tiled = TiledExecutor::new(DigitalEngine, 256, cfg)
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        assert_eq!(tiled.shape(), reference.shape());
+        assert!(max_abs_diff(tiled.data(), reference.data()) < 1e-9);
+        // Pseudo-negative splitting doubles the kernels per chunk; the
+        // pairing must survive chunking too.
+        cfg.pseudo_negative = true;
+        let tiled_pn = TiledExecutor::new(DigitalEngine, 256, cfg)
+            .unwrap()
+            .forward(&input, &layer)
+            .unwrap();
+        assert!(max_abs_diff(tiled_pn.data(), reference.data()) < 1e-9);
     }
 
     #[test]

@@ -49,6 +49,18 @@ pub trait Conv1dEngine: Debug + Sync {
         false
     }
 
+    /// Whether [`Conv1dEngine::prepare_kernel`] can ever return `Some` for
+    /// this engine. The tiled executor consults this before building a
+    /// prepared-kernel cache key (hashing the kernel's bit pattern), so
+    /// engines without a fast path — a digital dot product costs less than
+    /// the lookup — skip that bookkeeping entirely on the hot path.
+    ///
+    /// Implementations overriding [`Conv1dEngine::prepare_kernel`] must
+    /// override this too; the default is `false`.
+    fn prepares_kernels(&self) -> bool {
+        false
+    }
+
     /// Prepares `kernel` for repeated correlation against signals of exactly
     /// `signal_len` samples, amortising per-kernel work (spectrum
     /// computation, quantisation) across many tiles.
@@ -64,6 +76,19 @@ pub trait Conv1dEngine: Debug + Sync {
     }
 }
 
+/// An engine-specific transform of one *signal*, reusable across every
+/// prepared kernel that shares the same [`PreparedConv1d::signal_key`].
+///
+/// For the JTC optics this is the signal tile's quantised real-input
+/// half-spectrum: computing it once and applying it against N prepared
+/// kernel spectra replaces N signal FFTs with one. The executor treats the
+/// value as opaque; implementations downcast through
+/// [`PreparedSignal::as_any`].
+pub trait PreparedSignal: Debug + Send + Sync {
+    /// Downcasting hook for the owning engine.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
 /// A kernel prepared by [`Conv1dEngine::prepare_kernel`]: correlates one
 /// fixed kernel against many signals of one fixed length.
 pub trait PreparedConv1d: Debug + Send + Sync {
@@ -73,6 +98,37 @@ pub trait PreparedConv1d: Debug + Send + Sync {
     /// Valid cross-correlation of `signal` (which must have
     /// [`PreparedConv1d::signal_len`] samples) with the prepared kernel.
     fn correlate_valid(&self, signal: &[f64]) -> Vec<f64>;
+
+    /// Identifies the compatibility class of signal transforms this
+    /// prepared kernel can consume: two prepared kernels returning the same
+    /// `Some` key accept each other's [`PreparedConv1d::prepare_signal`]
+    /// output (for the JTC: same simulation grid size and same input-DAC
+    /// resolution). `None` (the default) opts out of signal sharing.
+    fn signal_key(&self) -> Option<u64> {
+        None
+    }
+
+    /// Computes the shareable transform of `signal` (e.g. its quantised
+    /// half-spectrum). Must be a pure function of `signal`; the executor
+    /// caches the result and replays it against many kernels.
+    fn prepare_signal(&self, signal: &[f64]) -> Option<Arc<dyn PreparedSignal>> {
+        let _ = signal;
+        None
+    }
+
+    /// Correlates using a transform produced by a compatible kernel's
+    /// [`PreparedConv1d::prepare_signal`]. `signal` is the original signal
+    /// the transform was computed from (kept available so implementations
+    /// can fall back on a foreign `prepared`).
+    ///
+    /// Must be **bit-identical** to `correlate_valid(signal)` whenever
+    /// `prepared` came from a kernel with the same
+    /// [`PreparedConv1d::signal_key`]; the default falls back to
+    /// [`PreparedConv1d::correlate_valid`].
+    fn correlate_with_signal(&self, prepared: &dyn PreparedSignal, signal: &[f64]) -> Vec<f64> {
+        let _ = prepared;
+        self.correlate_valid(signal)
+    }
 }
 
 /// Exact digital reference backend built on [`pf_dsp::conv::correlate1d`].
@@ -82,6 +138,83 @@ pub struct DigitalEngine;
 impl Conv1dEngine for DigitalEngine {
     fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
         correlate1d(signal, kernel, PaddingMode::Valid)
+    }
+
+    fn prepares_kernels(&self) -> bool {
+        true
+    }
+
+    fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        Some(Arc::new(SparseKernel::new(kernel, signal_len)))
+    }
+}
+
+/// A kernel prepared for the digital engine.
+///
+/// Row tiling pads kernels heavily with **structural zeros**: the tiled form
+/// of an `sk × sc` kernel over `si`-column rows is `(sk-1)·si + sc` samples
+/// long but has at most `sk · sc` non-zeros, and pseudo-negative splitting
+/// zeroes half of each filter pair on top. The dense dot product spends most
+/// of its time multiplying by those zeros, so preparation records the
+/// non-zero runs once and the per-tile correlation only touches them.
+///
+/// The accumulation visits the surviving terms in the same ascending-index
+/// order as the dense reference, and a skipped term contributes an exact
+/// `+0.0` there, so for finite signals the sparse result is identical to
+/// [`pf_dsp::conv::correlate1d`] (up to the sign of an all-zero
+/// accumulator).
+#[derive(Debug)]
+struct SparseKernel {
+    kernel_len: usize,
+    signal_len: usize,
+    /// `(offset, non-zero run)` pairs, offsets ascending.
+    segments: Vec<(usize, Vec<f64>)>,
+}
+
+impl SparseKernel {
+    fn new(kernel: &[f64], signal_len: usize) -> Self {
+        let mut segments: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut run: Option<(usize, Vec<f64>)> = None;
+        for (i, &v) in kernel.iter().enumerate() {
+            if v != 0.0 {
+                run.get_or_insert_with(|| (i, Vec::new())).1.push(v);
+            } else if let Some(done) = run.take() {
+                segments.push(done);
+            }
+        }
+        if let Some(done) = run.take() {
+            segments.push(done);
+        }
+        Self {
+            kernel_len: kernel.len(),
+            signal_len,
+            segments,
+        }
+    }
+}
+
+impl PreparedConv1d for SparseKernel {
+    fn signal_len(&self) -> usize {
+        self.signal_len
+    }
+
+    fn correlate_valid(&self, signal: &[f64]) -> Vec<f64> {
+        if self.kernel_len > signal.len() || signal.is_empty() {
+            return Vec::new();
+        }
+        let len = signal.len() - self.kernel_len + 1;
+        let mut out = Vec::with_capacity(len);
+        for p in 0..len {
+            let mut acc = 0.0;
+            for (offset, seg) in &self.segments {
+                let window = &signal[p + offset..p + offset + seg.len()];
+                for (s, k) in window.iter().zip(seg) {
+                    acc += s * k;
+                }
+            }
+            out.push(acc);
+        }
+        out
     }
 }
 
@@ -100,6 +233,10 @@ impl<E: Conv1dEngine + ?Sized> Conv1dEngine for &E {
 
     fn prefers_parallel_tiles(&self) -> bool {
         (**self).prefers_parallel_tiles()
+    }
+
+    fn prepares_kernels(&self) -> bool {
+        (**self).prepares_kernels()
     }
 
     fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
@@ -136,5 +273,40 @@ mod tests {
         let by_ref: &dyn Conv1dEngine = &engine;
         let out = by_ref.correlate_valid(&[1.0, 0.0, 1.0], &[1.0]);
         assert_eq!(out, vec![1.0, 0.0, 1.0]);
+        assert!(by_ref.prepares_kernels());
+    }
+
+    #[test]
+    fn sparse_prepared_digital_matches_dense_bitwise() {
+        // Row-tiled layouts: long zero gaps between kernel rows, plus
+        // interior zeros (pseudo-negative splits), plus degenerate kernels.
+        let kernels: Vec<Vec<f64>> = vec![
+            // tiled 2x3 kernel over 8-column rows
+            vec![0.5, -1.0, 0.25, 0.0, 0.0, 0.0, 0.0, 0.0, 2.0, 0.0, -0.5],
+            // pseudo-negative style: interior zeros
+            vec![0.0, 1.5, 0.0, 0.0, 3.0, 0.25, 0.0],
+            // leading/trailing zeros
+            vec![0.0, 0.0, 1.0, 0.0],
+            // all zeros
+            vec![0.0, 0.0, 0.0],
+            // dense
+            vec![1.0, 2.0, 3.0],
+        ];
+        let signal: Vec<f64> = (0..40).map(|i| ((i as f64) * 0.37).sin() - 0.2).collect();
+        for kernel in &kernels {
+            let prep = DigitalEngine
+                .prepare_kernel(kernel, signal.len())
+                .expect("digital prepares");
+            assert_eq!(prep.signal_len(), signal.len());
+            let sparse = prep.correlate_valid(&signal);
+            let dense = DigitalEngine.correlate_valid(&signal, kernel);
+            assert_eq!(sparse.len(), dense.len());
+            for (a, b) in sparse.iter().zip(&dense) {
+                assert_eq!(a.to_bits(), b.to_bits(), "kernel {kernel:?}");
+            }
+        }
+        // Shape contract: kernel longer than signal degenerates to empty.
+        let prep = DigitalEngine.prepare_kernel(&[1.0; 5], 3).unwrap();
+        assert!(prep.correlate_valid(&[1.0; 3]).is_empty());
     }
 }

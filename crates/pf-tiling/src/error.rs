@@ -27,6 +27,14 @@ pub enum TilingError {
         /// Which operand was empty.
         what: &'static str,
     },
+    /// A multi-kernel call mixed kernels of different shapes (they must
+    /// share one tiling plan and one prepared signal geometry).
+    MismatchedKernels {
+        /// Shape of the first kernel (rows, cols).
+        expected: (usize, usize),
+        /// Shape of the offending kernel (rows, cols).
+        found: (usize, usize),
+    },
 }
 
 impl fmt::Display for TilingError {
@@ -42,6 +50,11 @@ impl fmt::Display for TilingError {
                 "1D convolution capacity {n_conv} is smaller than the minimum required {required}"
             ),
             TilingError::EmptyOperand { what } => write!(f, "{what} must not be empty"),
+            TilingError::MismatchedKernels { expected, found } => write!(
+                f,
+                "multi-kernel convolution mixes kernel shapes: expected {}x{}, found {}x{}",
+                expected.0, expected.1, found.0, found.1
+            ),
         }
     }
 }
@@ -66,6 +79,11 @@ mod tests {
         assert!(e.to_string().contains('2'));
         let e = TilingError::EmptyOperand { what: "input" };
         assert!(e.to_string().contains("input"));
+        let e = TilingError::MismatchedKernels {
+            expected: (3, 3),
+            found: (5, 5),
+        };
+        assert!(e.to_string().contains("3x3") && e.to_string().contains("5x5"));
     }
 
     #[test]

@@ -12,20 +12,42 @@
 //!
 //! # Throughput engineering
 //!
-//! The convolver is built for batch throughput:
+//! The convolver is built for batch throughput, and its loops are grouped
+//! **by input signal** rather than by kernel so that per-signal work is
+//! shared:
 //!
 //! * the tiled kernel is prepared **once** per 2D convolution through
 //!   [`Conv1dEngine::prepare_kernel`] and cached (keyed by the exact kernel
 //!   bits and the tile length) so repeated convolutions with the same
-//!   weights — every image of a batch — skip the per-kernel work entirely;
+//!   weights — every image of a batch — skip the per-kernel work entirely.
+//!   Engines report [`Conv1dEngine::prepares_kernels`] so engines without a
+//!   fast path never pay the cache-key hashing;
+//! * the multi-kernel entry points
+//!   ([`TiledConvolver::correlate2d_valid_multi`] /
+//!   [`TiledConvolver::correlate2d_same_multi`]) correlate **each input
+//!   tile against every kernel before moving to the next tile**: the tile
+//!   is built once, and engines that support signal sharing
+//!   ([`PreparedConv1d::prepare_signal`]) compute the tile's transform
+//!   (for the JTC: its real-input half-spectrum) once and replay it against
+//!   all N prepared kernel spectra — one spectrum-add plus one inverse
+//!   transform per kernel instead of two transforms each. A CNN layer
+//!   correlates each tile against up to `2 × out_channels` kernels, so this
+//!   removes the dominant redundant signal FFTs of batched inference;
+//! * shared signal transforms live in a **per-call scratch cache** (capped
+//!   at 1024 entries with wholesale eviction, the same pattern as the
+//!   prepared-kernel cache); row
+//!   partitioning also reuses one row partition's transform across all
+//!   kernel rows that slide over it. Hits and misses are reported through
+//!   [`ThroughputStats`];
 //! * independent tiles/rows are dispatched across rayon worker threads with
 //!   deterministic ordering (results are collected in tile order, and each
 //!   tile is a pure function of its inputs), so the parallel output is
 //!   bit-identical to the serial output. Engines that report
 //!   [`Conv1dEngine::is_deterministic`] `== false` (optical sensing noise)
 //!   are always driven serially so their noise streams stay reproducible;
-//! * [`ThroughputStats`] (tiles, 1D convolutions, wall time) is exposed via
-//!   the `*_with_stats` variants for the perf harness and the CI bench gate.
+//! * [`ThroughputStats`] (tiles, 1D convolutions, spectrum reuse, wall
+//!   time) is exposed via the `*_with_stats` variants for the perf harness
+//!   and the CI bench gate.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -36,10 +58,10 @@ use pf_dsp::conv::Matrix;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::engine::{Conv1dEngine, PreparedConv1d};
+use crate::engine::{Conv1dEngine, PreparedConv1d, PreparedSignal};
 use crate::error::TilingError;
 use crate::plan::{TilingPlan, TilingVariant};
-use crate::tiler::{tile_input_rows, tile_kernel_rows};
+use crate::tiler::{fill_tile_rows, tile_input_rows, tile_kernel_rows};
 
 /// How `same`-mode horizontal boundaries are handled (Section III-A, "Edge
 /// effect").
@@ -57,13 +79,20 @@ pub enum EdgeHandling {
     ZeroPad,
 }
 
-/// Execution statistics of one tiled 2D convolution.
+/// Execution statistics of one tiled 2D convolution (or one multi-kernel
+/// convolution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ThroughputStats {
     /// Number of tiled 1D input vectors constructed.
     pub tiles: usize,
     /// Number of 1D convolutions executed on the backend.
     pub convs_1d: usize,
+    /// 1D convolutions that consumed an already-computed shared signal
+    /// transform instead of recomputing it. Best-effort under parallel
+    /// dispatch (two workers may compute the same transform concurrently).
+    pub spectrum_hits: usize,
+    /// Shared signal transforms actually computed.
+    pub spectrum_misses: usize,
     /// Wall-clock time of the whole 2D convolution.
     pub elapsed: Duration,
 }
@@ -82,10 +111,13 @@ impl ThroughputStats {
         self.elapsed.as_secs_f64() * 1e6 / self.convs_1d as f64
     }
 
-    /// Accumulates another stats record (summing tiles, convs and time).
+    /// Accumulates another stats record (summing tiles, convs, spectrum
+    /// reuse and time).
     pub fn merge(&mut self, other: &ThroughputStats) {
         self.tiles += other.tiles;
         self.convs_1d += other.convs_1d;
+        self.spectrum_hits += other.spectrum_hits;
+        self.spectrum_misses += other.spectrum_misses;
         self.elapsed += other.elapsed;
     }
 }
@@ -95,6 +127,28 @@ impl ThroughputStats {
 type PrepKey = (usize, Vec<u64>);
 
 type PrepMap = HashMap<PrepKey, Option<Arc<dyn PreparedConv1d>>>;
+
+/// Position of one 1D signal within the current 2D convolution call:
+/// (first input row, start column, end column). Within one call, equal keys
+/// denote bit-identical signal content, so the key doubles as the shared
+/// signal-transform cache key without hashing the samples themselves.
+type SigKey = (isize, usize, usize);
+
+/// The per-call shared signal-transform scratch: transforms keyed by signal
+/// position, plus reuse counters surfaced through [`ThroughputStats`].
+#[derive(Debug, Default)]
+struct SignalScratch {
+    map: HashMap<SigKey, Arc<dyn PreparedSignal>>,
+    hits: usize,
+    misses: usize,
+}
+
+/// One kernel's per-call 1D execution state: the tiled kernel vector and
+/// (on engines with a fast path) its prepared form.
+struct Kernel1d {
+    tiled: Vec<f64>,
+    prep: Option<Arc<dyn PreparedConv1d>>,
+}
 
 /// Executes 2D convolutions on a 1D convolution backend via row tiling.
 #[derive(Debug)]
@@ -216,25 +270,73 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         input: &Matrix,
         kernel: &Matrix,
     ) -> Result<(Matrix, ThroughputStats), TilingError> {
+        let (mut outs, stats) =
+            self.correlate2d_valid_multi_with_stats(input, std::slice::from_ref(kernel))?;
+        Ok((outs.pop().expect("one kernel in, one plane out"), stats))
+    }
+
+    /// Correlates one input against **many kernels of one shape**, grouped
+    /// by input tile: each tile is built (and, on engines with signal
+    /// sharing, transformed) once and applied against every kernel. On
+    /// deterministic engines the k-th output plane is bit-identical to
+    /// `self.correlate2d_valid(input, &kernels[k])`; on stochastic engines
+    /// (sensing noise) the noise stream is consumed tile-by-tile across the
+    /// kernel set rather than kernel-by-kernel, so the planes are drawn
+    /// from the same distribution but are not bitwise equal to sequential
+    /// per-kernel calls (the multi call itself replays deterministically
+    /// under a fixed seed).
+    ///
+    /// An empty kernel slice yields an empty result.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TilingPlan::new`], plus
+    /// [`TilingError::MismatchedKernels`] if the kernels differ in shape.
+    pub fn correlate2d_valid_multi(
+        &self,
+        input: &Matrix,
+        kernels: &[Matrix],
+    ) -> Result<Vec<Matrix>, TilingError> {
+        Ok(self.correlate2d_valid_multi_with_stats(input, kernels)?.0)
+    }
+
+    /// Like [`TiledConvolver::correlate2d_valid_multi`], additionally
+    /// returning the execution statistics of the whole multi-kernel
+    /// convolution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TiledConvolver::correlate2d_valid_multi`].
+    pub fn correlate2d_valid_multi_with_stats(
+        &self,
+        input: &Matrix,
+        kernels: &[Matrix],
+    ) -> Result<(Vec<Matrix>, ThroughputStats), TilingError> {
         let start = Instant::now();
-        let plan = self.plan(input, kernel)?;
-        let out_rows = input.rows() - kernel.rows() + 1;
-        let out_cols = input.cols() - kernel.cols() + 1;
-        let mut out = Matrix::zeros(out_rows, out_cols);
+        let Some(first) = kernels.first() else {
+            return Ok((Vec::new(), ThroughputStats::default()));
+        };
+        check_kernel_shapes(kernels)?;
+        let plan = self.plan(input, first)?;
+        let out_rows = input.rows() - first.rows() + 1;
+        let out_cols = input.cols() - first.cols() + 1;
+        let mut outs: Vec<Matrix> = (0..kernels.len())
+            .map(|_| Matrix::zeros(out_rows, out_cols))
+            .collect();
+        let scratch = Mutex::new(SignalScratch::default());
 
         let (tiles, convs) = match plan.variant {
-            TilingVariant::RowTiling => self.valid_by_row_tiling(input, kernel, &plan, &mut out),
-            TilingVariant::PartialRowTiling => {
-                self.valid_by_partial_tiling(input, kernel, &plan, &mut out)
+            TilingVariant::RowTiling => {
+                self.valid_by_row_tiling(input, kernels, &plan, &scratch, &mut outs)
             }
-            TilingVariant::RowPartitioning => self.valid_by_partitioning(input, kernel, &mut out),
+            TilingVariant::PartialRowTiling => {
+                self.valid_by_partial_tiling(input, kernels, &plan, &scratch, &mut outs)
+            }
+            TilingVariant::RowPartitioning => {
+                self.valid_by_partitioning(input, kernels, &scratch, &mut outs)
+            }
         };
-        let stats = ThroughputStats {
-            tiles,
-            convs_1d: convs,
-            elapsed: start.elapsed(),
-        };
-        Ok((out, stats))
+        Ok((outs, finish_stats(start, tiles, convs, scratch)))
     }
 
     /// 2D `same` cross-correlation (output has the input's shape) computed
@@ -270,39 +372,83 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         kernel: &Matrix,
         edges: EdgeHandling,
     ) -> Result<(Matrix, ThroughputStats), TilingError> {
+        let (mut outs, stats) =
+            self.correlate2d_same_multi_with_stats(input, std::slice::from_ref(kernel), edges)?;
+        Ok((outs.pop().expect("one kernel in, one plane out"), stats))
+    }
+
+    /// `same`-mode counterpart of
+    /// [`TiledConvolver::correlate2d_valid_multi`]: one input against many
+    /// kernels of one shape, grouped by input tile. On deterministic
+    /// engines the k-th output plane is bit-identical to
+    /// `self.correlate2d_same(input, &kernels[k], edges)`; stochastic
+    /// engines consume their noise stream in the tile-grouped order (see
+    /// [`TiledConvolver::correlate2d_valid_multi`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TiledConvolver::correlate2d_same`], plus
+    /// [`TilingError::MismatchedKernels`] if the kernels differ in shape.
+    pub fn correlate2d_same_multi(
+        &self,
+        input: &Matrix,
+        kernels: &[Matrix],
+        edges: EdgeHandling,
+    ) -> Result<Vec<Matrix>, TilingError> {
+        Ok(self
+            .correlate2d_same_multi_with_stats(input, kernels, edges)?
+            .0)
+    }
+
+    /// Like [`TiledConvolver::correlate2d_same_multi`], additionally
+    /// returning the execution statistics of the whole multi-kernel
+    /// convolution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TiledConvolver::correlate2d_same_multi`].
+    pub fn correlate2d_same_multi_with_stats(
+        &self,
+        input: &Matrix,
+        kernels: &[Matrix],
+        edges: EdgeHandling,
+    ) -> Result<(Vec<Matrix>, ThroughputStats), TilingError> {
         let start = Instant::now();
+        let Some(first) = kernels.first() else {
+            return Ok((Vec::new(), ThroughputStats::default()));
+        };
+        check_kernel_shapes(kernels)?;
         let working = match edges {
             EdgeHandling::Wraparound => input.clone(),
-            EdgeHandling::ZeroPad => pad_columns(input, (kernel.cols() - 1) / 2, kernel.cols() / 2),
+            EdgeHandling::ZeroPad => pad_columns(input, (first.cols() - 1) / 2, first.cols() / 2),
         };
         let plan = TilingPlan::new(
             working.rows(),
             working.cols(),
-            kernel.rows(),
-            kernel.cols(),
+            first.rows(),
+            first.cols(),
             self.n_conv,
         )?;
 
-        let pr = (kernel.rows() - 1) / 2;
-        let pc = (kernel.cols() - 1) / 2;
-        let mut out = Matrix::zeros(input.rows(), input.cols());
+        let pr = (first.rows() - 1) / 2;
+        let pc = (first.cols() - 1) / 2;
+        let mut outs: Vec<Matrix> = (0..kernels.len())
+            .map(|_| Matrix::zeros(input.rows(), input.cols()))
+            .collect();
+        let scratch = Mutex::new(SignalScratch::default());
 
         let (tiles, convs) = match plan.variant {
-            TilingVariant::RowTiling => {
-                self.same_by_row_tiling(&working, kernel, &plan, pr, pc, edges, &mut out)
-            }
+            TilingVariant::RowTiling => self
+                .same_by_row_tiling(&working, kernels, &plan, pr, pc, edges, &scratch, &mut outs),
             _ => {
                 // For the partial/partitioned variants the per-row splitting
                 // below is already exact row-by-row, so reuse it.
-                self.same_by_row_accumulation(&working, kernel, &plan, pr, pc, edges, &mut out)
+                self.same_by_row_accumulation(
+                    &working, kernels, &plan, pr, pc, edges, &scratch, &mut outs,
+                )
             }
         };
-        let stats = ThroughputStats {
-            tiles,
-            convs_1d: convs,
-            elapsed: start.elapsed(),
-        };
-        Ok((out, stats))
+        Ok((outs, finish_stats(start, tiles, convs, scratch)))
     }
 
     // ----- shared machinery ------------------------------------------------
@@ -315,9 +461,21 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
     /// redo.
     const PREP_CACHE_CAP: usize = 1024;
 
+    /// Shared signal-transform scratch cap, mirroring
+    /// [`TiledConvolver::PREP_CACHE_CAP`]'s wholesale-eviction pattern. The
+    /// scratch lives for one 2D convolution call; a huge input convolved
+    /// under row partitioning could otherwise accumulate one transform per
+    /// (row, partition) pair for the whole call.
+    const SPECTRUM_CACHE_CAP: usize = 1024;
+
     /// Looks up (or builds) the prepared form of `kernel` for tiles of
     /// `signal_len` samples. `None` means the engine has no fast path.
     fn prepared(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        if !self.engine.prepares_kernels() {
+            // Building and hashing the bit-pattern key costs more than a
+            // short dot product; engines without a fast path skip it.
+            return None;
+        }
         let key: PrepKey = (signal_len, kernel.iter().map(|v| v.to_bits()).collect());
         if let Some(entry) = self.prep_cache.lock().get(&key) {
             return entry.clone();
@@ -330,6 +488,12 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         }
         cache.entry(key).or_insert_with(|| prep.clone());
         prep
+    }
+
+    /// Builds the per-call execution state of one kernel.
+    fn kernel1d(&self, tiled: Vec<f64>, signal_len: usize) -> Kernel1d {
+        let prep = self.prepared(&tiled, signal_len);
+        Kernel1d { tiled, prep }
     }
 
     /// Runs one 1D convolution through the prepared fast path when
@@ -346,6 +510,88 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         }
     }
 
+    /// Correlates one signal against a whole kernel set, sharing the
+    /// signal's transform across every kernel that supports it.
+    ///
+    /// `share` additionally enables the per-call scratch cache lookup; it is
+    /// off for single-kernel row tiling, where tile positions never repeat
+    /// and the shared path would only add copies.
+    fn apply_kernel_set(
+        &self,
+        scratch: &Mutex<SignalScratch>,
+        key: SigKey,
+        signal: &[f64],
+        kernels: &[Kernel1d],
+        share: bool,
+    ) -> Vec<Vec<f64>> {
+        let share_key = if share {
+            kernels
+                .iter()
+                .find_map(|k| k.prep.as_ref().and_then(|p| p.signal_key()))
+        } else {
+            None
+        };
+
+        let mut shared: Option<Arc<dyn PreparedSignal>> = None;
+        let mut computed_here = false;
+        if let Some(sk) = share_key {
+            shared = scratch.lock().map.get(&key).cloned();
+            if shared.is_none() {
+                let producer = kernels
+                    .iter()
+                    .find(|k| k.prep.as_ref().is_some_and(|p| p.signal_key() == Some(sk)))
+                    .and_then(|k| k.prep.as_ref());
+                // Compute outside the lock: this is the signal FFT.
+                if let Some(sig) = producer.and_then(|p| p.prepare_signal(signal)) {
+                    computed_here = true;
+                    let mut guard = scratch.lock();
+                    if guard.map.len() >= Self::SPECTRUM_CACHE_CAP {
+                        guard.map.clear();
+                    }
+                    guard.map.insert(key, Arc::clone(&sig));
+                    shared = Some(sig);
+                }
+            }
+        }
+
+        let mut consumers = 0usize;
+        let out: Vec<Vec<f64>> = kernels
+            .iter()
+            .map(|k| {
+                if let (Some(sig), Some(prep)) = (&shared, k.prep.as_ref()) {
+                    if prep.signal_key() == share_key {
+                        consumers += 1;
+                        return prep.correlate_with_signal(&**sig, signal);
+                    }
+                }
+                self.run1d(k.prep.as_ref(), signal, &k.tiled)
+            })
+            .collect();
+
+        if consumers > 0 {
+            let mut guard = scratch.lock();
+            if computed_here {
+                guard.misses += 1;
+                guard.hits += consumers - 1;
+            } else {
+                guard.hits += consumers;
+            }
+        }
+        out
+    }
+
+    /// Whether this call would actually fan work out across threads.
+    fn parallel_active(&self, items: usize) -> bool {
+        // Three gates: the convolver's own switch, determinism (noise
+        // streams must keep their serial order), and the engine's own cost
+        // hint — the vendored rayon spawns scoped threads per call, so
+        // parallelising memory-bound dot-product tiles would lose outright.
+        self.parallel
+            && items > 1
+            && self.engine.is_deterministic()
+            && self.engine.prefers_parallel_tiles()
+    }
+
     /// Maps `f` over `items`, in parallel when the engine allows it.
     /// Results are always collected in input order, so the parallel path is
     /// indistinguishable from the serial one.
@@ -355,15 +601,7 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        // Three gates: the convolver's own switch, determinism (noise
-        // streams must keep their serial order), and the engine's own cost
-        // hint — the vendored rayon spawns scoped threads per call, so
-        // parallelising memory-bound dot-product tiles would lose outright.
-        if self.parallel
-            && items.len() > 1
-            && self.engine.is_deterministic()
-            && self.engine.prefers_parallel_tiles()
-        {
+        if self.parallel_active(items.len()) {
             items.par_iter().map(f).collect()
         } else {
             items.iter().map(f).collect()
@@ -375,116 +613,194 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
     fn valid_by_row_tiling(
         &self,
         input: &Matrix,
-        kernel: &Matrix,
+        kernels: &[Matrix],
         plan: &TilingPlan,
-        out: &mut Matrix,
+        scratch: &Mutex<SignalScratch>,
+        outs: &mut [Matrix],
     ) -> (usize, usize) {
         let si = input.cols();
         let n_or = plan.valid_output_rows_per_conv;
-        let tiled_kernel = tile_kernel_rows(kernel, 0, kernel.rows(), si, plan.tiled_kernel_len());
         let tile_len = plan.rows_per_tile * si;
-        let prep = self.prepared(&tiled_kernel, tile_len);
+        let ks: Vec<Kernel1d> = kernels
+            .iter()
+            .map(|k| {
+                self.kernel1d(
+                    tile_kernel_rows(k, 0, k.rows(), si, plan.tiled_kernel_len()),
+                    tile_len,
+                )
+            })
+            .collect();
+        // Tile positions never repeat within a call, so the scratch cache
+        // only pays off when several kernels share one tile transform.
+        let share = kernels.len() > 1;
 
-        let starts: Vec<usize> = (0..out.rows()).step_by(n_or).collect();
-        let corrs = self.dispatch(&starts, |&r0| {
-            let tiled_input = tile_input_rows(input, r0 as isize, plan.rows_per_tile, self.n_conv);
-            self.run1d(prep.as_ref(), &tiled_input[..tile_len], &tiled_kernel)
-        });
-        for (corr, &r0) in corrs.iter().zip(&starts) {
+        let starts: Vec<usize> = (0..outs[0].rows()).step_by(n_or).collect();
+        let write = |out: &mut Matrix, r0: usize, corr: &[f64]| {
+            let (rows, cols) = (out.rows(), out.cols());
             for rr in 0..n_or {
                 let out_r = r0 + rr;
-                if out_r >= out.rows() {
+                if out_r >= rows {
                     break;
                 }
-                for c in 0..out.cols() {
-                    out.set(out_r, c, corr[rr * si + c]);
+                out.row_mut(out_r)
+                    .copy_from_slice(&corr[rr * si..rr * si + cols]);
+            }
+        };
+
+        if self.parallel_active(starts.len()) {
+            let corrs = self.dispatch(&starts, |&r0| {
+                let tiled_input =
+                    tile_input_rows(input, r0 as isize, plan.rows_per_tile, self.n_conv);
+                self.apply_kernel_set(
+                    scratch,
+                    (r0 as isize, 0, tile_len),
+                    &tiled_input[..tile_len],
+                    &ks,
+                    share,
+                )
+            });
+            for (per_kernel, &r0) in corrs.iter().zip(&starts) {
+                for (out, corr) in outs.iter_mut().zip(per_kernel) {
+                    write(out, r0, corr);
+                }
+            }
+        } else {
+            // Serial fast path: one tile buffer reused across every tile,
+            // results written back immediately (no intermediate collection;
+            // the single-kernel case additionally skips the per-kernel
+            // result vector entirely).
+            let mut buf = vec![0.0; self.n_conv];
+            for &r0 in &starts {
+                fill_tile_rows(&mut buf, input, r0 as isize, plan.rows_per_tile);
+                let signal = &buf[..tile_len];
+                if ks.len() == 1 && !share {
+                    let corr = self.run1d(ks[0].prep.as_ref(), signal, &ks[0].tiled);
+                    write(&mut outs[0], r0, &corr);
+                } else {
+                    let per_kernel = self.apply_kernel_set(
+                        scratch,
+                        (r0 as isize, 0, tile_len),
+                        signal,
+                        &ks,
+                        share,
+                    );
+                    for (out, corr) in outs.iter_mut().zip(&per_kernel) {
+                        write(out, r0, corr);
+                    }
                 }
             }
         }
-        (starts.len(), starts.len())
+        (starts.len(), starts.len() * kernels.len())
     }
 
     fn valid_by_partial_tiling(
         &self,
         input: &Matrix,
-        kernel: &Matrix,
+        kernels: &[Matrix],
         plan: &TilingPlan,
-        out: &mut Matrix,
+        scratch: &Mutex<SignalScratch>,
+        outs: &mut [Matrix],
     ) -> (usize, usize) {
         // One output row at a time; kernel rows are processed in groups of
-        // `rows_per_tile` and their contributions accumulated (Section III-B).
-        // The per-group tiled kernels are prepared once, up front.
+        // `rows_per_tile` and their contributions accumulated (Section
+        // III-B). The per-group tiled kernels are prepared once, up front;
+        // consecutive output rows revisit the same input-row windows, so
+        // the shared-signal scratch is active even for a single kernel.
         let si = input.cols();
         let n_ir = plan.rows_per_tile.max(1);
-        let mut groups = Vec::new();
+        let mut groups: Vec<(usize, usize, Vec<Kernel1d>)> = Vec::new();
         let mut k_start = 0;
-        while k_start < kernel.rows() {
-            let count = n_ir.min(kernel.rows() - k_start);
-            let tiled_kernel =
-                tile_kernel_rows(kernel, k_start, count, si, (count - 1) * si + kernel.cols());
-            let prep = self.prepared(&tiled_kernel, count * si);
-            groups.push((k_start, count, tiled_kernel, prep));
+        while k_start < kernels[0].rows() {
+            let count = n_ir.min(kernels[0].rows() - k_start);
+            let ks: Vec<Kernel1d> = kernels
+                .iter()
+                .map(|k| {
+                    self.kernel1d(
+                        tile_kernel_rows(k, k_start, count, si, (count - 1) * si + k.cols()),
+                        count * si,
+                    )
+                })
+                .collect();
+            groups.push((k_start, count, ks));
             k_start += count;
         }
 
-        let rows: Vec<usize> = (0..out.rows()).collect();
-        let out_cols = out.cols();
+        let rows: Vec<usize> = (0..outs[0].rows()).collect();
+        let out_cols = outs[0].cols();
         let accs = self.dispatch(&rows, |&out_r| {
-            let mut acc = vec![0.0; out_cols];
-            for (k_start, count, tiled_kernel, prep) in &groups {
+            let mut acc = vec![vec![0.0; out_cols]; kernels.len()];
+            for (k_start, count, ks) in &groups {
                 let tiled_input =
                     tile_input_rows(input, (out_r + k_start) as isize, *count, self.n_conv);
-                let corr = self.run1d(prep.as_ref(), &tiled_input[..count * si], tiled_kernel);
-                for (c, a) in acc.iter_mut().enumerate() {
-                    *a += corr[c];
+                let sig = &tiled_input[..count * si];
+                let key = ((out_r + k_start) as isize, 0, count * si);
+                let per_kernel = self.apply_kernel_set(scratch, key, sig, ks, true);
+                for (acc_k, corr) in acc.iter_mut().zip(&per_kernel) {
+                    for (c, a) in acc_k.iter_mut().enumerate() {
+                        *a += corr[c];
+                    }
                 }
             }
             acc
         });
         for (acc, &out_r) in accs.iter().zip(&rows) {
-            for (c, a) in acc.iter().enumerate() {
-                out.set(out_r, c, *a);
+            for (out, acc_k) in outs.iter_mut().zip(acc) {
+                out.row_mut(out_r).copy_from_slice(acc_k);
             }
         }
         let n = rows.len() * groups.len();
-        (n, n)
+        (n, n * kernels.len())
     }
 
     fn valid_by_partitioning(
         &self,
         input: &Matrix,
-        kernel: &Matrix,
-        out: &mut Matrix,
+        kernels: &[Matrix],
+        scratch: &Mutex<SignalScratch>,
+        outs: &mut [Matrix],
     ) -> (usize, usize) {
         // Overlap-save over columns: each kernel row is correlated with
         // partitions of the matching input row and results accumulated
         // (Section III-C). Every row shares the same column partitioning,
-        // so the partition list and the per-(kernel row, partition) prepared
-        // kernels are hoisted out of the dispatch loop — no per-partition
-        // cache-key allocation or lock traffic on the hot path.
-        let step = self.n_conv - kernel.cols() + 1;
-        let rows: Vec<usize> = (0..out.rows()).collect();
-        let out_cols = out.cols();
+        // so the partition list and the per-(kernel, kernel row, partition)
+        // prepared kernels are hoisted out of the dispatch loop. One input
+        // row partition is slid over by *every* kernel row of *every*
+        // kernel, so its shared transform is computed once and replayed
+        // `kernels × kernel_rows` times through the scratch cache.
+        let kernel_rows = kernels[0].rows();
+        let kernel_cols = kernels[0].cols();
+        let step = self.n_conv - kernel_cols + 1;
+        let rows: Vec<usize> = (0..outs[0].rows()).collect();
+        let out_cols = outs[0].cols();
         let parts = column_partitions(out_cols, input.cols(), self.n_conv, step);
-        let preps: Vec<Vec<Option<Arc<dyn PreparedConv1d>>>> = (0..kernel.rows())
+        // sets[dr][p] is the kernel set correlated against partition p of
+        // input row `out_r + dr`.
+        let sets: Vec<Vec<Vec<Kernel1d>>> = (0..kernel_rows)
             .map(|dr| {
-                let krow = kernel.row(dr);
                 parts
                     .iter()
-                    .map(|&(s, e)| self.prepared(krow, e - s))
+                    .map(|&(s, e)| {
+                        kernels
+                            .iter()
+                            .map(|k| self.kernel1d(k.row(dr).to_vec(), e - s))
+                            .collect()
+                    })
                     .collect()
             })
             .collect();
         let accs = self.dispatch(&rows, |&out_r| {
-            let mut acc = vec![0.0; out_cols];
-            for (dr, row_preps) in preps.iter().enumerate() {
+            let mut acc = vec![vec![0.0; out_cols]; kernels.len()];
+            for (dr, row_sets) in sets.iter().enumerate() {
                 let row = input.row(out_r + dr);
-                let krow = kernel.row(dr);
                 for (p, &(start, end)) in parts.iter().enumerate() {
-                    let corr = self.run1d(row_preps[p].as_ref(), &row[start..end], krow);
-                    for (i, v) in corr.iter().enumerate() {
-                        if start + i < out_cols {
-                            acc[start + i] += v;
+                    let key = ((out_r + dr) as isize, start, end);
+                    let per_kernel =
+                        self.apply_kernel_set(scratch, key, &row[start..end], &row_sets[p], true);
+                    for (acc_k, corr) in acc.iter_mut().zip(&per_kernel) {
+                        for (i, v) in corr.iter().enumerate() {
+                            if start + i < out_cols {
+                                acc_k[start + i] += v;
+                            }
                         }
                     }
                 }
@@ -492,12 +808,12 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
             acc
         });
         for (acc, &out_r) in accs.iter().zip(&rows) {
-            for (c, a) in acc.iter().enumerate() {
-                out.set(out_r, c, *a);
+            for (out, acc_k) in outs.iter_mut().zip(acc) {
+                out.row_mut(out_r).copy_from_slice(acc_k);
             }
         }
         // Row partitioning slices rows in place: no tiled vectors built.
-        (0, rows.len() * kernel.rows() * parts.len())
+        (0, rows.len() * kernel_rows * parts.len() * kernels.len())
     }
 
     // ----- same-mode implementations --------------------------------------
@@ -506,123 +822,179 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
     fn same_by_row_tiling(
         &self,
         working: &Matrix,
-        kernel: &Matrix,
+        kernels: &[Matrix],
         plan: &TilingPlan,
         pr: usize,
         pc: usize,
         edges: EdgeHandling,
-        out: &mut Matrix,
+        scratch: &Mutex<SignalScratch>,
+        outs: &mut [Matrix],
     ) -> (usize, usize) {
         let si = working.cols();
         let n_or = plan.valid_output_rows_per_conv;
-        let tiled_kernel = tile_kernel_rows(kernel, 0, kernel.rows(), si, plan.tiled_kernel_len());
         let tile_len = plan.rows_per_tile * si;
-        let prep = self.prepared(&tiled_kernel, tile_len);
+        let ks: Vec<Kernel1d> = kernels
+            .iter()
+            .map(|k| {
+                self.kernel1d(
+                    tile_kernel_rows(k, 0, k.rows(), si, plan.tiled_kernel_len()),
+                    tile_len,
+                )
+            })
+            .collect();
+        let share = kernels.len() > 1;
 
-        let starts: Vec<usize> = (0..out.rows()).step_by(n_or).collect();
-        let corrs = self.dispatch(&starts, |&r0| {
-            let tile_start = r0 as isize - pr as isize;
-            let tiled_input = tile_input_rows(working, tile_start, plan.rows_per_tile, self.n_conv);
-            self.run1d(prep.as_ref(), &tiled_input[..tile_len], &tiled_kernel)
-        });
-        for (corr, &r0) in corrs.iter().zip(&starts) {
-            for rr in 0..n_or {
-                let out_r = r0 + rr;
-                if out_r >= out.rows() {
-                    break;
-                }
-                for c in 0..out.cols() {
-                    // Window top-left column in `working` coordinates.
-                    let wc = match edges {
-                        EdgeHandling::Wraparound => c as isize - pc as isize,
-                        EdgeHandling::ZeroPad => c as isize, // already padded left by pc
-                    };
-                    let p = rr as isize * si as isize + wc;
-                    let value = if p >= 0 && (p as usize) < corr.len() {
-                        corr[p as usize]
-                    } else {
-                        // The window starts before this tile (left border of
-                        // the tile's first output row) or runs past its end
-                        // (right border of its last output row). In hardware
-                        // these samples come from the neighbouring tile's
-                        // output; reproduce them exactly with a direct dot
-                        // product so the only approximation left is the
-                        // genuine wraparound edge effect.
-                        window_dot(working, kernel, out_r as isize - pr as isize, wc)
-                    };
-                    out.set(out_r, c, value);
+        let starts: Vec<usize> = (0..outs[0].rows()).step_by(n_or).collect();
+        let write = |outs: &mut [Matrix], r0: usize, per_kernel: &[Vec<f64>]| {
+            for ((out, corr), kernel) in outs.iter_mut().zip(per_kernel).zip(kernels) {
+                for rr in 0..n_or {
+                    let out_r = r0 + rr;
+                    if out_r >= out.rows() {
+                        break;
+                    }
+                    for c in 0..out.cols() {
+                        // Window top-left column in `working` coordinates.
+                        let wc = match edges {
+                            EdgeHandling::Wraparound => c as isize - pc as isize,
+                            EdgeHandling::ZeroPad => c as isize, // already padded left by pc
+                        };
+                        let p = rr as isize * si as isize + wc;
+                        let value = if p >= 0 && (p as usize) < corr.len() {
+                            corr[p as usize]
+                        } else {
+                            // The window starts before this tile (left border
+                            // of the tile's first output row) or runs past
+                            // its end (right border of its last output row).
+                            // In hardware these samples come from the
+                            // neighbouring tile's output; reproduce them
+                            // exactly with a direct dot product so the only
+                            // approximation left is the genuine wraparound
+                            // edge effect.
+                            window_dot(working, kernel, out_r as isize - pr as isize, wc)
+                        };
+                        out.set(out_r, c, value);
+                    }
                 }
             }
+        };
+
+        if self.parallel_active(starts.len()) {
+            let corrs = self.dispatch(&starts, |&r0| {
+                let tile_start = r0 as isize - pr as isize;
+                let tiled_input =
+                    tile_input_rows(working, tile_start, plan.rows_per_tile, self.n_conv);
+                self.apply_kernel_set(
+                    scratch,
+                    (tile_start, 0, tile_len),
+                    &tiled_input[..tile_len],
+                    &ks,
+                    share,
+                )
+            });
+            for (per_kernel, &r0) in corrs.iter().zip(&starts) {
+                write(outs, r0, per_kernel);
+            }
+        } else {
+            let mut buf = vec![0.0; self.n_conv];
+            for &r0 in &starts {
+                let tile_start = r0 as isize - pr as isize;
+                fill_tile_rows(&mut buf, working, tile_start, plan.rows_per_tile);
+                let per_kernel = self.apply_kernel_set(
+                    scratch,
+                    (tile_start, 0, tile_len),
+                    &buf[..tile_len],
+                    &ks,
+                    share,
+                );
+                write(outs, r0, &per_kernel);
+            }
         }
-        (starts.len(), starts.len())
+        (starts.len(), starts.len() * kernels.len())
     }
 
     #[allow(clippy::too_many_arguments)]
     fn same_by_row_accumulation(
         &self,
         working: &Matrix,
-        kernel: &Matrix,
+        kernels: &[Matrix],
         plan: &TilingPlan,
         pr: usize,
         pc: usize,
         edges: EdgeHandling,
-        out: &mut Matrix,
+        scratch: &Mutex<SignalScratch>,
+        outs: &mut [Matrix],
     ) -> (usize, usize) {
         // Valid-style execution row by row with vertical zero rows; identical
         // maths to the partial/partitioned valid paths but with offset rows.
         let si = working.cols();
         let n_ir = plan.rows_per_tile.max(1);
-        let rows: Vec<usize> = (0..out.rows()).collect();
-        let out_cols = out.cols();
+        let rows: Vec<usize> = (0..outs[0].rows()).collect();
+        let out_cols = outs[0].cols();
+        let kernel_rows = kernels[0].rows();
 
         let mut tiles = 0usize;
         let mut convs = 0usize;
-        let accs: Vec<Vec<f64>> = if plan.variant == TilingVariant::PartialRowTiling {
+        let accs: Vec<Vec<Vec<f64>>> = if plan.variant == TilingVariant::PartialRowTiling {
             // Prepare the per-group tiled kernels once, like the valid path.
-            let mut groups = Vec::new();
+            let mut groups: Vec<(usize, usize, Vec<Kernel1d>)> = Vec::new();
             let mut k_start = 0;
-            while k_start < kernel.rows() {
-                let count = n_ir.min(kernel.rows() - k_start);
-                let tiled_kernel =
-                    tile_kernel_rows(kernel, k_start, count, si, (count - 1) * si + kernel.cols());
-                let prep = self.prepared(&tiled_kernel, count * si);
-                groups.push((k_start, count, tiled_kernel, prep));
+            while k_start < kernel_rows {
+                let count = n_ir.min(kernel_rows - k_start);
+                let ks: Vec<Kernel1d> = kernels
+                    .iter()
+                    .map(|k| {
+                        self.kernel1d(
+                            tile_kernel_rows(k, k_start, count, si, (count - 1) * si + k.cols()),
+                            count * si,
+                        )
+                    })
+                    .collect();
+                groups.push((k_start, count, ks));
                 k_start += count;
             }
-            convs += rows.len() * groups.len();
+            convs += rows.len() * groups.len() * kernels.len();
             tiles += rows.len() * groups.len();
             self.dispatch(&rows, |&out_r| {
                 let top = out_r as isize - pr as isize;
-                let mut acc = vec![0.0; out_cols];
-                for (k_start, count, tiled_kernel, prep) in &groups {
-                    let tiled_input =
-                        tile_input_rows(working, top + *k_start as isize, *count, self.n_conv);
-                    let corr = self.run1d(prep.as_ref(), &tiled_input[..count * si], tiled_kernel);
-                    for (c, slot) in acc.iter_mut().enumerate() {
-                        let wc = match edges {
-                            EdgeHandling::Wraparound => c as isize - pc as isize,
-                            EdgeHandling::ZeroPad => c as isize,
-                        };
-                        *slot += if wc >= 0 && (wc as usize) < corr.len() {
-                            corr[wc as usize]
-                        } else {
-                            partial_window_dot(working, kernel, top, wc, *k_start, *count)
-                        };
+                let mut acc = vec![vec![0.0; out_cols]; kernels.len()];
+                for (k_start, count, ks) in &groups {
+                    let tile_start = top + *k_start as isize;
+                    let tiled_input = tile_input_rows(working, tile_start, *count, self.n_conv);
+                    let key = (tile_start, 0, count * si);
+                    let per_kernel =
+                        self.apply_kernel_set(scratch, key, &tiled_input[..count * si], ks, true);
+                    for ((acc_k, corr), kernel) in acc.iter_mut().zip(&per_kernel).zip(kernels) {
+                        for (c, slot) in acc_k.iter_mut().enumerate() {
+                            let wc = match edges {
+                                EdgeHandling::Wraparound => c as isize - pc as isize,
+                                EdgeHandling::ZeroPad => c as isize,
+                            };
+                            *slot += if wc >= 0 && (wc as usize) < corr.len() {
+                                corr[wc as usize]
+                            } else {
+                                partial_window_dot(working, kernel, top, wc, *k_start, *count)
+                            };
+                        }
                     }
                 }
                 acc
             })
         } else {
             // Row partitioning, with the same hoisting as the valid path.
-            let step = self.n_conv - kernel.cols() + 1;
-            let corr_len = working.cols().saturating_sub(kernel.cols()) + 1;
+            let kernel_cols = kernels[0].cols();
+            let step = self.n_conv - kernel_cols + 1;
+            let corr_len = working.cols().saturating_sub(kernel_cols) + 1;
             let parts = column_partitions(corr_len, working.cols(), self.n_conv, step);
-            let preps: Vec<Vec<Option<Arc<dyn PreparedConv1d>>>> = (0..kernel.rows())
+            let sets: Vec<Vec<Vec<Kernel1d>>> = (0..kernel_rows)
                 .map(|dr| {
-                    let krow = kernel.row(dr);
                     parts
                         .iter()
-                        .map(|&(s, e)| self.prepared(krow, e - s))
+                        .map(|&(s, e)| {
+                            kernels
+                                .iter()
+                                .map(|k| self.kernel1d(k.row(dr).to_vec(), e - s))
+                                .collect()
+                        })
                         .collect()
                 })
                 .collect();
@@ -630,41 +1002,52 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
             // skip kernel rows that fall outside the input.
             for &out_r in &rows {
                 let top = out_r as isize - pr as isize;
-                for dr in 0..kernel.rows() {
+                for dr in 0..kernel_rows {
                     let r = top + dr as isize;
                     if r >= 0 && r < working.rows() as isize {
-                        convs += parts.len();
+                        convs += parts.len() * kernels.len();
                     }
                 }
             }
             self.dispatch(&rows, |&out_r| {
                 let top = out_r as isize - pr as isize;
-                let mut acc = vec![0.0; out_cols];
-                for (dr, row_preps) in preps.iter().enumerate() {
+                let mut acc = vec![vec![0.0; out_cols]; kernels.len()];
+                for (dr, row_sets) in sets.iter().enumerate() {
                     let r = top + dr as isize;
                     if r < 0 || r >= working.rows() as isize {
                         continue;
                     }
                     let row = working.row(r as usize);
-                    let krow = kernel.row(dr);
-                    let mut corr_row = vec![0.0; corr_len];
+                    let mut corr_rows = vec![vec![0.0; corr_len]; kernels.len()];
                     for (p, &(start, end)) in parts.iter().enumerate() {
-                        let corr = self.run1d(row_preps[p].as_ref(), &row[start..end], krow);
-                        for (i, v) in corr.iter().enumerate() {
-                            if start + i < corr_len {
-                                corr_row[start + i] = *v;
+                        let key = (r, start, end);
+                        let per_kernel = self.apply_kernel_set(
+                            scratch,
+                            key,
+                            &row[start..end],
+                            &row_sets[p],
+                            true,
+                        );
+                        for (corr_row, corr) in corr_rows.iter_mut().zip(&per_kernel) {
+                            for (i, v) in corr.iter().enumerate() {
+                                if start + i < corr_len {
+                                    corr_row[start + i] = *v;
+                                }
                             }
                         }
                     }
-                    for (c, slot) in acc.iter_mut().enumerate() {
-                        let wc = match edges {
-                            EdgeHandling::Wraparound => c as isize - pc as isize,
-                            EdgeHandling::ZeroPad => c as isize,
-                        };
-                        if wc >= 0 && (wc as usize) < corr_row.len() {
-                            *slot += corr_row[wc as usize];
-                        } else {
-                            *slot += row_window_dot(row, krow, wc);
+                    for ((acc_k, corr_row), kernel) in acc.iter_mut().zip(&corr_rows).zip(kernels) {
+                        let krow = kernel.row(dr);
+                        for (c, slot) in acc_k.iter_mut().enumerate() {
+                            let wc = match edges {
+                                EdgeHandling::Wraparound => c as isize - pc as isize,
+                                EdgeHandling::ZeroPad => c as isize,
+                            };
+                            if wc >= 0 && (wc as usize) < corr_row.len() {
+                                *slot += corr_row[wc as usize];
+                            } else {
+                                *slot += row_window_dot(row, krow, wc);
+                            }
                         }
                     }
                 }
@@ -672,11 +1055,41 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
             })
         };
         for (acc, &out_r) in accs.iter().zip(&rows) {
-            for (c, a) in acc.iter().enumerate() {
-                out.set(out_r, c, *a);
+            for (out, acc_k) in outs.iter_mut().zip(acc) {
+                out.row_mut(out_r).copy_from_slice(acc_k);
             }
         }
         (tiles, convs)
+    }
+}
+
+/// Multi-kernel calls require one shared shape (one tiling plan, one
+/// prepared-signal geometry).
+fn check_kernel_shapes(kernels: &[Matrix]) -> Result<(), TilingError> {
+    let expected = (kernels[0].rows(), kernels[0].cols());
+    for k in &kernels[1..] {
+        let found = (k.rows(), k.cols());
+        if found != expected {
+            return Err(TilingError::MismatchedKernels { expected, found });
+        }
+    }
+    Ok(())
+}
+
+/// Folds the per-call signal scratch into the final stats record.
+fn finish_stats(
+    start: Instant,
+    tiles: usize,
+    convs: usize,
+    scratch: Mutex<SignalScratch>,
+) -> ThroughputStats {
+    let scratch = scratch.into_inner();
+    ThroughputStats {
+        tiles,
+        convs_1d: convs,
+        spectrum_hits: scratch.hits,
+        spectrum_misses: scratch.misses,
+        elapsed: start.elapsed(),
     }
 }
 
@@ -760,7 +1173,7 @@ fn row_window_dot(row: &[f64], krow: &[f64], left_col: isize) -> f64 {
 mod tests {
     use super::*;
     use crate::engine::DigitalEngine;
-    use pf_dsp::conv::{correlate2d, PaddingMode};
+    use pf_dsp::conv::{correlate1d, correlate2d, PaddingMode};
     use pf_dsp::util::{max_abs_diff, relative_l2_error};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -977,6 +1390,59 @@ mod tests {
         }
     }
 
+    #[test]
+    fn multi_kernel_matches_per_kernel_calls_bitwise() {
+        // Every variant: the multi path must reproduce the single-kernel
+        // path bit for bit, in both padding modes.
+        for (rows, cols, n_conv, seed) in [
+            (12, 12, 256, 201u64), // row tiling
+            (10, 10, 15, 202),     // partial row tiling
+            (12, 12, 7, 203),      // row partitioning
+        ] {
+            let input = random_matrix(rows, cols, seed);
+            let kernels: Vec<Matrix> = (0..4).map(|i| random_matrix(3, 3, seed + 10 + i)).collect();
+            let c = convolver(n_conv);
+            let multi = c.correlate2d_valid_multi(&input, &kernels).unwrap();
+            assert_eq!(multi.len(), kernels.len());
+            for (kernel, plane) in kernels.iter().zip(&multi) {
+                let single = c.correlate2d_valid(&input, kernel).unwrap();
+                for (a, b) in single.data().iter().zip(plane.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "valid multi divergence");
+                }
+            }
+            for edges in [EdgeHandling::Wraparound, EdgeHandling::ZeroPad] {
+                let multi = c.correlate2d_same_multi(&input, &kernels, edges).unwrap();
+                for (kernel, plane) in kernels.iter().zip(&multi) {
+                    let single = c.correlate2d_same(&input, kernel, edges).unwrap();
+                    for (a, b) in single.data().iter().zip(plane.data()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "same multi divergence");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_kernel_validates_shapes_and_handles_empty() {
+        let input = random_matrix(8, 8, 211);
+        let c = convolver(64);
+        let empty: Vec<Matrix> = Vec::new();
+        let (outs, stats) = c
+            .correlate2d_valid_multi_with_stats(&input, &empty)
+            .unwrap();
+        assert!(outs.is_empty());
+        assert_eq!(stats.convs_1d, 0);
+        let kernels = vec![random_matrix(3, 3, 212), random_matrix(2, 3, 213)];
+        assert!(matches!(
+            c.correlate2d_valid_multi(&input, &kernels),
+            Err(TilingError::MismatchedKernels { .. })
+        ));
+        assert!(matches!(
+            c.correlate2d_same_multi(&input, &kernels, EdgeHandling::Wraparound),
+            Err(TilingError::MismatchedKernels { .. })
+        ));
+    }
+
     /// Digital-reference engine that opts into the prepared fast path and
     /// counts how many kernels it has prepared — the probe for the cache
     /// tests below. Clones share the counter, mirroring how clones of the
@@ -1007,6 +1473,10 @@ mod tests {
             DigitalEngine.correlate_valid(signal, kernel)
         }
 
+        fn prepares_kernels(&self) -> bool {
+            true
+        }
+
         fn prepare_kernel(
             &self,
             kernel: &[f64],
@@ -1019,6 +1489,144 @@ mod tests {
                 signal_len,
             }))
         }
+    }
+
+    /// A prepared digital kernel that also opts into signal sharing: the
+    /// "transform" is just a copy of the signal, so sharing is observable
+    /// through the stats without changing any numerics.
+    #[derive(Debug, Clone, Default)]
+    struct SharingDigital;
+
+    #[derive(Debug)]
+    struct SharedDigitalSignal {
+        signal: Vec<f64>,
+    }
+
+    impl PreparedSignal for SharedDigitalSignal {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[derive(Debug)]
+    struct SharingPreparedDigital {
+        kernel: Vec<f64>,
+        signal_len: usize,
+    }
+
+    impl PreparedConv1d for SharingPreparedDigital {
+        fn signal_len(&self) -> usize {
+            self.signal_len
+        }
+
+        fn correlate_valid(&self, signal: &[f64]) -> Vec<f64> {
+            DigitalEngine.correlate_valid(signal, &self.kernel)
+        }
+
+        fn signal_key(&self) -> Option<u64> {
+            Some(self.signal_len as u64)
+        }
+
+        fn prepare_signal(&self, signal: &[f64]) -> Option<Arc<dyn PreparedSignal>> {
+            Some(Arc::new(SharedDigitalSignal {
+                signal: signal.to_vec(),
+            }))
+        }
+
+        fn correlate_with_signal(&self, prepared: &dyn PreparedSignal, signal: &[f64]) -> Vec<f64> {
+            match prepared.as_any().downcast_ref::<SharedDigitalSignal>() {
+                Some(shared) => DigitalEngine.correlate_valid(&shared.signal, &self.kernel),
+                None => self.correlate_valid(signal),
+            }
+        }
+    }
+
+    impl Conv1dEngine for SharingDigital {
+        fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+            DigitalEngine.correlate_valid(signal, kernel)
+        }
+
+        fn prepares_kernels(&self) -> bool {
+            true
+        }
+
+        fn prepare_kernel(
+            &self,
+            kernel: &[f64],
+            signal_len: usize,
+        ) -> Option<Arc<dyn PreparedConv1d>> {
+            Some(Arc::new(SharingPreparedDigital {
+                kernel: kernel.to_vec(),
+                signal_len,
+            }))
+        }
+    }
+
+    #[test]
+    fn multi_kernel_shares_signal_transforms_and_counts_reuse() {
+        // Row tiling, 4 kernels: each tile's transform is computed once
+        // (miss) and replayed for the other 3 kernels (hits).
+        let input = random_matrix(12, 12, 221);
+        let kernels: Vec<Matrix> = (0..4).map(|i| random_matrix(3, 3, 222 + i)).collect();
+        let c = TiledConvolver::new(SharingDigital, 64).unwrap();
+        let (outs, stats) = c
+            .correlate2d_valid_multi_with_stats(&input, &kernels)
+            .unwrap();
+        // 12 output rows, 5 rows/tile, 3 valid rows per tile -> 4 tiles.
+        assert_eq!(stats.tiles, 4);
+        assert_eq!(stats.convs_1d, 4 * 4);
+        assert_eq!(stats.spectrum_misses, 4, "one transform per tile");
+        assert_eq!(stats.spectrum_hits, 4 * 3, "replayed for 3 more kernels");
+        for (kernel, plane) in kernels.iter().zip(&outs) {
+            let reference = correlate2d(&input, kernel, PaddingMode::Valid);
+            assert!(max_abs_diff(plane.data(), reference.data()) < 1e-10);
+        }
+
+        // Single-kernel row tiling skips the scratch entirely: tile
+        // positions never repeat, so there is nothing to share.
+        let (_, stats) = c.correlate2d_valid_with_stats(&input, &kernels[0]).unwrap();
+        assert_eq!(stats.spectrum_misses, 0);
+        assert_eq!(stats.spectrum_hits, 0);
+    }
+
+    #[test]
+    fn partitioning_reuses_row_transforms_across_kernel_rows() {
+        // n_conv = 7 < si = 12 -> row partitioning. One row partition is
+        // slid over by every kernel row reaching it, so even a single
+        // kernel sees spectrum reuse.
+        let input = random_matrix(12, 12, 231);
+        let kernel = random_matrix(3, 3, 232);
+        let c = TiledConvolver::new(SharingDigital, 7).unwrap();
+        let (out, stats) = c.correlate2d_valid_with_stats(&input, &kernel).unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+        assert!(max_abs_diff(out.data(), reference.data()) < 1e-10);
+        assert!(stats.spectrum_misses > 0);
+        assert!(
+            stats.spectrum_hits > 0,
+            "kernel rows must reuse row-partition transforms"
+        );
+        assert_eq!(
+            stats.spectrum_hits + stats.spectrum_misses,
+            stats.convs_1d,
+            "every 1D convolution went through the shared path"
+        );
+    }
+
+    #[test]
+    fn spectrum_scratch_evicts_at_the_cap() {
+        // A synthetic workload with more distinct signals than the cap:
+        // partitioning a tall input produces one key per (row, partition).
+        let rows = TiledConvolver::<SharingDigital>::SPECTRUM_CACHE_CAP + 40;
+        let input = random_matrix(rows, 12, 241);
+        let kernel = random_matrix(1, 3, 242);
+        let c = TiledConvolver::new(SharingDigital, 7).unwrap();
+        let (out, stats) = c.correlate2d_valid_with_stats(&input, &kernel).unwrap();
+        let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+        assert!(max_abs_diff(out.data(), reference.data()) < 1e-10);
+        // More transforms computed than the cap holds: eviction happened,
+        // results stayed exact, and the counters still balance.
+        assert!(stats.spectrum_misses > TiledConvolver::<SharingDigital>::SPECTRUM_CACHE_CAP);
+        assert_eq!(stats.spectrum_hits + stats.spectrum_misses, stats.convs_1d);
     }
 
     #[test]
@@ -1095,6 +1703,32 @@ mod tests {
         assert!(Arc::ptr_eq(&original.prep_cache, &clone.prep_cache));
     }
 
+    /// A backend with no prepared fast path at all (the trait defaults).
+    #[derive(Debug, Clone, Copy, Default)]
+    struct PlainDigital;
+
+    impl Conv1dEngine for PlainDigital {
+        fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+            correlate1d(signal, kernel, PaddingMode::Valid)
+        }
+    }
+
+    #[test]
+    fn non_preparing_engine_skips_the_prep_cache() {
+        // An engine reporting prepares_kernels() == false must never pay
+        // for a cache key — not even a None marker may appear.
+        let c = TiledConvolver::new(PlainDigital, 20).unwrap();
+        let input = random_matrix(5, 5, 251);
+        let kernel = random_matrix(3, 3, 252);
+        let reference = correlate2d(&input, &kernel, PaddingMode::Valid);
+        let out = c.correlate2d_valid(&input, &kernel).unwrap();
+        assert!(max_abs_diff(out.data(), reference.data()) < 1e-12);
+        assert!(
+            c.prep_cache.lock().is_empty(),
+            "no entries (not even None markers) for a non-preparing engine"
+        );
+    }
+
     #[test]
     fn same_mode_partitioning_stats_count_only_real_convolutions() {
         // 12x12 input, 3x3 kernel, capacity 7 -> row partitioning in same
@@ -1127,5 +1761,9 @@ mod tests {
         merged.merge(&stats);
         merged.merge(&stats);
         assert_eq!(merged.convs_1d, 2 * stats.convs_1d);
+        assert_eq!(
+            merged.spectrum_hits + merged.spectrum_misses,
+            2 * (stats.spectrum_hits + stats.spectrum_misses)
+        );
     }
 }

@@ -47,8 +47,8 @@ pub mod executor;
 pub mod plan;
 pub mod tiler;
 
-pub use engine::{Conv1dEngine, DigitalEngine, PreparedConv1d};
+pub use engine::{Conv1dEngine, DigitalEngine, PreparedConv1d, PreparedSignal};
 pub use error::TilingError;
 pub use executor::{EdgeHandling, ThroughputStats, TiledConvolver};
 pub use plan::{TilingPlan, TilingVariant};
-pub use tiler::{tile_input_rows, tile_kernel};
+pub use tiler::{fill_tile_rows, tile_input_rows, tile_kernel};

@@ -13,22 +13,37 @@ use pf_dsp::conv::Matrix;
 /// Panics if `count == 0` or if the tiled length `count * input.cols()`
 /// exceeds `n_conv`.
 pub fn tile_input_rows(input: &Matrix, start_row: isize, count: usize, n_conv: usize) -> Vec<f64> {
+    let mut out = vec![0.0; n_conv];
+    fill_tile_rows(&mut out, input, start_row, count);
+    out
+}
+
+/// Like [`tile_input_rows`], but writing into a caller-owned buffer (whose
+/// length plays the role of `n_conv`) instead of allocating — the serial
+/// tiling loops reuse one buffer across every tile. The buffer is fully
+/// overwritten: zeroed, then filled with the in-range rows.
+///
+/// # Panics
+///
+/// Panics if `count == 0` or if the tiled length `count * input.cols()`
+/// exceeds `buf.len()`.
+pub fn fill_tile_rows(buf: &mut [f64], input: &Matrix, start_row: isize, count: usize) {
     assert!(count > 0, "must tile at least one row");
     assert!(
-        count * input.cols() <= n_conv,
-        "tiled input ({} elements) exceeds 1D capacity {n_conv}",
-        count * input.cols()
+        count * input.cols() <= buf.len(),
+        "tiled input ({} elements) exceeds 1D capacity {}",
+        count * input.cols(),
+        buf.len()
     );
-    let mut out = vec![0.0; n_conv];
+    buf.fill(0.0);
     for i in 0..count {
         let r = start_row + i as isize;
         if r < 0 || r >= input.rows() as isize {
             continue; // implicit zero row
         }
         let dst = i * input.cols();
-        out[dst..dst + input.cols()].copy_from_slice(input.row(r as usize));
+        buf[dst..dst + input.cols()].copy_from_slice(input.row(r as usize));
     }
-    out
 }
 
 /// Tiles all kernel rows into one 1D vector with `input_cols - kernel_cols`

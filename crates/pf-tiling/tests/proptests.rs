@@ -44,6 +44,10 @@ impl Conv1dEngine for PreparingDigital {
         true
     }
 
+    fn prepares_kernels(&self) -> bool {
+        true
+    }
+
     fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
         Some(Arc::new(PreparedDigital {
             kernel: kernel.to_vec(),
@@ -174,6 +178,51 @@ proptest! {
         // The prepared engine computes the same maths as the plain one.
         for (a, b) in par_prep.data().iter().zip(par.data()) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn multi_kernel_equals_per_kernel_bit_for_bit(
+        rows in 3usize..14,
+        cols in 3usize..14,
+        k in 1usize..3,
+        n_kernels in 1usize..6,
+        n_conv in 3usize..200,
+        seed in 0u64..1000,
+    ) {
+        // The tile-grouped multi-kernel path (including the shared-signal
+        // scratch cache) must reproduce the per-kernel path exactly, for
+        // every tiling variant, with and without kernel preparation, in
+        // both padding modes.
+        let ksize = 2 * k + 1;
+        prop_assume!(ksize <= rows && ksize <= cols && n_conv >= ksize);
+        let input = lcg_matrix(rows, cols, seed);
+        let kernels: Vec<Matrix> = (0..n_kernels)
+            .map(|i| lcg_matrix(ksize, ksize, seed.wrapping_add(23 + i as u64)))
+            .collect();
+
+        let plain = TiledConvolver::new(DigitalEngine, n_conv).unwrap();
+        let preparing = TiledConvolver::new(PreparingDigital, n_conv).unwrap();
+        let multi_plain = plain.correlate2d_valid_multi(&input, &kernels).unwrap();
+        let multi_prep = preparing.correlate2d_valid_multi(&input, &kernels).unwrap();
+        prop_assert_eq!(multi_plain.len(), kernels.len());
+        for ((kernel, a), b) in kernels.iter().zip(&multi_plain).zip(&multi_prep) {
+            let single = plain.correlate2d_valid(&input, kernel).unwrap();
+            for (x, y) in single.data().iter().zip(a.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in single.data().iter().zip(b.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for edges in [EdgeHandling::Wraparound, EdgeHandling::ZeroPad] {
+            let multi = preparing.correlate2d_same_multi(&input, &kernels, edges).unwrap();
+            for (kernel, plane) in kernels.iter().zip(&multi) {
+                let single = preparing.correlate2d_same(&input, kernel, edges).unwrap();
+                for (x, y) in single.data().iter().zip(plane.data()) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
         }
     }
 

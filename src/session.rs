@@ -178,9 +178,14 @@ impl Session {
     /// spectrum preparation (an inference server calls this before
     /// accepting traffic).
     ///
-    /// On stochastic backends this is a no-op: the noisy signal chain
-    /// declines kernel preparation by design, and running a throwaway image
-    /// would needlessly advance the session engine's noise stream.
+    /// On stochastic backends this is a no-op — not because the noisy
+    /// chain can't prepare (since PR 5 it can, against its own seeded
+    /// noise stream), but because stochastic inference always runs on a
+    /// fresh per-request seeded engine ([`Session::run_inference_seeded`])
+    /// whose executor has its own prepared-kernel cache; warming this
+    /// session's cache would not be visible to those requests. Prepared
+    /// kernels embed their engine's noise stream, so the cache cannot be
+    /// shared across seeded engines without cross-contaminating streams.
     ///
     /// # Errors
     ///
@@ -227,6 +232,43 @@ impl Session {
         kernel: &Matrix,
     ) -> Result<(Matrix, ThroughputStats), PfError> {
         Ok(self.convolver.correlate2d_valid_with_stats(input, kernel)?)
+    }
+
+    /// Correlates one input against **many kernels of one shape** through
+    /// row tiling, grouped by input tile: each tile is built once and — on
+    /// backends with signal sharing (the JTC optics) — its Fourier
+    /// transform is computed once and replayed against every prepared
+    /// kernel spectrum. On deterministic backends the k-th result is
+    /// bit-identical to `self.conv2d(input, &kernels[k])`; on the
+    /// stochastic CG backend the sensing-noise stream is consumed
+    /// tile-by-tile across the kernel set, so results are distributed
+    /// identically to — but not bitwise equal to — sequential per-kernel
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::conv2d`], plus a [`PfError::Tiling`]
+    /// error if the kernels differ in shape.
+    pub fn conv2d_multi(&self, input: &Matrix, kernels: &[Matrix]) -> Result<Vec<Matrix>, PfError> {
+        Ok(self.convolver.correlate2d_valid_multi(input, kernels)?)
+    }
+
+    /// Like [`Session::conv2d_multi`], additionally returning the
+    /// [`ThroughputStats`] of the whole multi-kernel convolution —
+    /// including the shared-spectrum `spectrum_hits` / `spectrum_misses`
+    /// counters that show how often a tile's transform was reused.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::conv2d_multi`].
+    pub fn conv2d_multi_with_stats(
+        &self,
+        input: &Matrix,
+        kernels: &[Matrix],
+    ) -> Result<(Vec<Matrix>, ThroughputStats), PfError> {
+        Ok(self
+            .convolver
+            .correlate2d_valid_multi_with_stats(input, kernels)?)
     }
 
     /// Runs one kernel over a batch of inputs through row tiling.
