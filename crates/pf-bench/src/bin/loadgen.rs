@@ -3,31 +3,48 @@
 //! Drives the `pf-serve` micro-batching inference server with closed- and
 //! open-loop traffic (seeded arrival RNG), prints a latency summary table
 //! and writes `BENCH_serving.json` (schema `pf-bench/serving-v1`). In
-//! `--smoke` mode (CI's serve-smoke job) the run also gates: any rejected
+//! `--smoke` mode (CI's route-smoke job) the run also gates: any rejected
 //! or failed request, or any served result that is not bit-identical to
 //! the offline `Session` path, is a non-zero exit.
+//!
+//! With `--route` the generator instead drives the `pf-router`
+//! multi-replica tier with trace-driven arrivals (bursty / diurnal /
+//! heavy-tail, seeded and replayable) and writes `BENCH_routing.json`
+//! (schema `pf-bench/routing-v1`). The route smoke gate distinguishes its
+//! exits: **1** for hard failures (rejections, SLO violations, offline
+//! divergence), **3** when the only finding is *intentional shedding*
+//! outside the overload record — the tier protected itself, which CI may
+//! treat differently from the tier failing.
 //!
 //! Flags:
 //!
 //! * `--smoke`           small fixed request counts + the smoke gate (CI)
-//! * `--rps F`           open-loop target arrival rate (default 200)
+//! * `--route`           drive the multi-replica router instead
+//! * `--rps F`           open-loop / trace mean arrival rate (default 200 serve, 400 route)
 //! * `--concurrency N`   closed-loop submitter threads (default 4)
 //! * `--duration SECS`   full-mode wall-time budget per record (default 2)
-//! * `--backend NAME`    restrict to one backend (repeatable)
+//! * `--requests N`      route mode: arrivals per trace record (default by mode)
+//! * `--backend NAME`    restrict to one backend (repeatable; route mode uses the first)
 //! * `--seed N`          arrival/image RNG seed (default 42)
-//! * `--out PATH`        report path (default `BENCH_serving.json`)
+//! * `--out PATH`        report path (default `BENCH_serving.json` / `BENCH_routing.json`)
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use pf_bench::routing::{check_route_smoke, run_route_suite, RouteOptions, RoutingReport};
 use pf_bench::serving::{check_smoke, run_suite, LoadgenOptions, ServingReport};
 use pf_bench::Table;
 use photofourier::BackendKind;
 
+/// Exit code for a route smoke run whose only finding is intentional
+/// shedding outside the overload record — distinct from rejections and
+/// other hard failures (exit 1).
+const EXIT_SHED: u8 = 3;
+
 fn usage() {
     eprintln!(
-        "usage: loadgen [--smoke] [--rps F] [--concurrency N] [--duration SECS] \
-         [--backend NAME]... [--seed N] [--out PATH]"
+        "usage: loadgen [--smoke] [--route] [--rps F] [--concurrency N] [--duration SECS] \
+         [--requests N] [--backend NAME]... [--seed N] [--out PATH]"
     );
 }
 
@@ -67,17 +84,139 @@ fn print_report(report: &ServingReport) {
     println!("{}", table.render());
 }
 
+fn print_route_report(report: &RoutingReport) {
+    println!(
+        "\n== PhotoFourier routing ({} mode, {} host thread(s)) ==\n",
+        report.mode, report.host_threads
+    );
+    let mut table = Table::new(vec![
+        "trace",
+        "policy",
+        "backend",
+        "submitted",
+        "served",
+        "shed",
+        "rejected",
+        "spills",
+        "p50 ms",
+        "p99 ms",
+        "miss",
+        "cache hit",
+        "offline match",
+    ]);
+    for r in &report.results {
+        let s = &r.stats;
+        table.row(vec![
+            if r.overload {
+                format!("{} (overload)", r.trace)
+            } else {
+                r.trace.clone()
+            },
+            r.policy.clone(),
+            r.backend.clone(),
+            s.submitted.to_string(),
+            s.served().to_string(),
+            s.shed.to_string(),
+            s.rejected.to_string(),
+            s.spills.to_string(),
+            format!("{:.3}", s.latency.p50_ms),
+            format!("{:.3}", s.latency.p99_ms),
+            s.deadline_misses.to_string(),
+            format!("{:.0}%", s.cache().hit_rate() * 100.0),
+            if r.matches_offline { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn write_json<T: serde::Serialize>(report: &T, out: &str) -> Result<(), ExitCode> {
+    let json = match serde_json::to_string_pretty(report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("failed to serialise report: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    if let Err(e) = std::fs::write(out, json + "\n") {
+        eprintln!("failed to write {out}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn run_route(options: &LoadgenOptions, requests: usize, out: Option<String>) -> ExitCode {
+    let route_options = RouteOptions {
+        smoke: options.smoke,
+        backend: options
+            .backends
+            .first()
+            .copied()
+            .unwrap_or(BackendKind::Digital),
+        base_rps: if options.rps > 0.0 {
+            options.rps
+        } else {
+            400.0
+        },
+        requests,
+        seed: options.seed,
+    };
+    let report = match run_route_suite(&route_options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("route loadgen failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_route_report(&report);
+    let out = out.unwrap_or_else(|| "BENCH_routing.json".to_string());
+    if let Err(code) = write_json(&report, &out) {
+        return code;
+    }
+
+    if options.smoke {
+        let gate = check_route_smoke(&report);
+        if gate.passed() {
+            println!("route smoke gate passed");
+        } else if gate.failures.is_empty() {
+            // Intentional shedding only: the tier degraded by policy
+            // rather than failing — its own exit path, distinct from
+            // rejections.
+            eprintln!("route smoke gate: intentional shedding outside the overload record:");
+            for shed in &gate.unexpected_sheds {
+                eprintln!("  - {shed}");
+            }
+            return ExitCode::from(EXIT_SHED);
+        } else {
+            eprintln!("route smoke gate FAILED:");
+            for failure in &gate.failures {
+                eprintln!("  - {failure}");
+            }
+            for shed in &gate.unexpected_sheds {
+                eprintln!("  - (shed) {shed}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut options = LoadgenOptions::default();
-    let mut out = "BENCH_serving.json".to_string();
+    let mut route = false;
+    let mut requests = 0usize;
+    let mut rps_set = false;
+    let mut out: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => options.smoke = true,
             "--full" => options.smoke = false,
-            "--rps" | "--concurrency" | "--duration" | "--backend" | "--seed" | "--out" => {
+            "--route" => route = true,
+            "--rps" | "--concurrency" | "--duration" | "--requests" | "--backend" | "--seed"
+            | "--out" => {
                 let flag = args[i].clone();
                 i += 1;
                 let Some(value) = args.get(i) else {
@@ -87,7 +226,10 @@ fn main() -> ExitCode {
                 };
                 match flag.as_str() {
                     "--rps" => match value.parse::<f64>() {
-                        Ok(rps) if rps > 0.0 => options.rps = rps,
+                        Ok(rps) if rps > 0.0 => {
+                            options.rps = rps;
+                            rps_set = true;
+                        }
                         _ => {
                             eprintln!("--rps needs a positive number");
                             return ExitCode::from(2);
@@ -109,6 +251,13 @@ fn main() -> ExitCode {
                             return ExitCode::from(2);
                         }
                     },
+                    "--requests" => match value.parse::<usize>() {
+                        Ok(n) if n >= 1 => requests = n,
+                        _ => {
+                            eprintln!("--requests needs an integer >= 1");
+                            return ExitCode::from(2);
+                        }
+                    },
                     "--backend" => match BackendKind::from_name(value) {
                         Ok(kind) => options.backends.push(kind),
                         Err(e) => {
@@ -123,7 +272,7 @@ fn main() -> ExitCode {
                             return ExitCode::from(2);
                         }
                     },
-                    _ => out = value.clone(),
+                    _ => out = Some(value.clone()),
                 }
             }
             "--help" | "-h" => {
@@ -139,6 +288,13 @@ fn main() -> ExitCode {
         i += 1;
     }
 
+    if route {
+        if !rps_set {
+            options.rps = 400.0;
+        }
+        return run_route(&options, requests, out);
+    }
+
     let report = match run_suite(&options) {
         Ok(report) => report,
         Err(e) => {
@@ -147,19 +303,10 @@ fn main() -> ExitCode {
         }
     };
     print_report(&report);
-
-    let json = match serde_json::to_string_pretty(&report) {
-        Ok(json) => json,
-        Err(e) => {
-            eprintln!("failed to serialise report: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Err(e) = std::fs::write(&out, json + "\n") {
-        eprintln!("failed to write {out}: {e}");
-        return ExitCode::FAILURE;
+    let out = out.unwrap_or_else(|| "BENCH_serving.json".to_string());
+    if let Err(code) = write_json(&report, &out) {
+        return code;
     }
-    println!("wrote {out}");
 
     if options.smoke {
         let failures = check_smoke(&report);

@@ -10,7 +10,8 @@
 //! sweep` (the declarative design-space sweep runner documented in
 //! `docs/SCENARIOS.md`) and `--bin loadgen` (the serving load generator
 //! driving the `pf-serve` micro-batching server, see [`serving`] and
-//! `docs/SERVING.md`).
+//! `docs/SERVING.md`; its `--route` mode drives the `pf-router`
+//! multi-replica tier with trace-driven arrivals instead, see [`routing`]).
 //!
 //! # Examples
 //!
@@ -32,6 +33,7 @@
 pub mod experiments;
 pub mod perf;
 pub mod report;
+pub mod routing;
 pub mod serving;
 
 pub use experiments::*;

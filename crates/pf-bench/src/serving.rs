@@ -114,6 +114,7 @@ fn serving_spec(smoke: bool) -> ServingSpec {
             batch_timeout_us: 200,
             queue_depth: 256,
             workers: 1,
+            router: None,
         }
     } else {
         ServingSpec {
@@ -121,6 +122,7 @@ fn serving_spec(smoke: bool) -> ServingSpec {
             batch_timeout_us: 1_000,
             queue_depth: 256,
             workers: 1,
+            router: None,
         }
     }
 }
@@ -383,7 +385,8 @@ pub fn run_suite(options: &LoadgenOptions) -> Result<ServingReport, PfError> {
 
 /// The smoke gate CI enforces: no rejections, no failures, every record
 /// bit-identical to the offline path, and the sanity invariants
-/// (`served + rejected + failed == submitted`, monotone percentiles).
+/// (`served + rejected + failed + expired + cancelled == submitted`,
+/// monotone percentiles).
 /// Returns human-readable failure descriptions (empty = gate passes).
 pub fn check_smoke(report: &ServingReport) -> Vec<String> {
     let mut failures = Vec::new();
@@ -401,10 +404,16 @@ pub fn check_smoke(report: &ServingReport) -> Vec<String> {
                 "{tag}: served results diverge from the offline session"
             ));
         }
-        if s.served + s.rejected + s.failed != s.submitted {
+        if s.expired > 0 || s.cancelled > 0 {
             failures.push(format!(
-                "{tag}: accounting broken ({} + {} + {} != {})",
-                s.served, s.rejected, s.failed, s.submitted
+                "{tag}: {} expired / {} cancelled (loadgen sets no deadlines)",
+                s.expired, s.cancelled
+            ));
+        }
+        if s.served + s.rejected + s.failed + s.expired + s.cancelled != s.submitted {
+            failures.push(format!(
+                "{tag}: accounting broken ({} + {} + {} + {} + {} != {})",
+                s.served, s.rejected, s.failed, s.expired, s.cancelled, s.submitted
             ));
         }
         if s.latency.p99_ms < s.latency.p50_ms {

@@ -44,6 +44,25 @@ pub enum PfError {
         /// The configured queue depth.
         limit: usize,
     },
+    /// A request's deadline passed before it could be served: it expired in
+    /// the queue (never dispatched), or the caller abandoned its ticket
+    /// (`Ticket::wait_deadline` timed out).
+    DeadlineExceeded {
+        /// Where in its lifetime the request ran out of time:
+        /// `"queued"` (expired before dispatch) or `"abandoned"` (the
+        /// caller's wait timed out and cancelled it).
+        stage: &'static str,
+    },
+    /// A router intentionally shed this request to protect higher-priority
+    /// traffic under overload (`pf-router`). Distinct from [`Overloaded`]:
+    /// shedding is a policy decision taken while queue capacity remains,
+    /// not an admission-queue rejection.
+    ///
+    /// [`Overloaded`]: PfError::Overloaded
+    Shed {
+        /// Name of the priority class the request belonged to.
+        class: String,
+    },
     /// A scenario file could not be parsed or serialized.
     Format {
         /// The serialization format involved.
@@ -76,6 +95,14 @@ impl fmt::Display for PfError {
                 f,
                 "server overloaded: {queued} request(s) queued at the admission limit of {limit}"
             ),
+            PfError::DeadlineExceeded { stage } => {
+                write!(f, "request deadline exceeded while {stage}")
+            }
+            PfError::Shed { class } => write!(
+                f,
+                "request shed by the router (priority class `{class}`) to protect \
+                 higher-priority traffic"
+            ),
             PfError::Format { format, reason } => write!(f, "{format} error: {reason}"),
         }
     }
@@ -92,6 +119,8 @@ impl Error for PfError {
             PfError::Arch(e) => Some(e),
             PfError::InvalidScenario { .. }
             | PfError::Overloaded { .. }
+            | PfError::DeadlineExceeded { .. }
+            | PfError::Shed { .. }
             | PfError::Format { .. } => None,
         }
     }
@@ -193,6 +222,21 @@ mod tests {
             limit: 64,
         };
         assert!(e.to_string().contains("64"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn serving_tier_errors_are_descriptive() {
+        let e = PfError::DeadlineExceeded { stage: "queued" };
+        assert!(e.to_string().contains("deadline"));
+        assert!(e.to_string().contains("queued"));
+        assert!(Error::source(&e).is_none());
+
+        let e = PfError::Shed {
+            class: "background".into(),
+        };
+        assert!(e.to_string().contains("shed"));
+        assert!(e.to_string().contains("background"));
         assert!(Error::source(&e).is_none());
     }
 

@@ -52,6 +52,7 @@ pub mod sweep;
 pub use backend::{Backend, BackendKind, BackendSpec};
 pub use error::PfError;
 pub use scenario::{
-    network_by_name, ArchPreset, ArchSpec, FunctionalSpec, Scenario, ServingSpec, NETWORK_REGISTRY,
+    network_by_name, ArchPreset, ArchSpec, FunctionalSpec, RouterSpec, Scenario, ServingSpec,
+    NETWORK_REGISTRY, ROUTER_POLICIES,
 };
 pub use sweep::{SweepPlan, SweepPoint, SweepSpec, MAX_SWEEP_POINTS};

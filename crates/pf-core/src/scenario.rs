@@ -157,7 +157,7 @@ impl Default for FunctionalSpec {
 /// `pf_serve::ServeConfig` is built from this spec; the fields mirror its
 /// knobs with serde-friendly types (the batch-formation timeout is in
 /// microseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingSpec {
     /// Largest micro-batch the batcher dispatches in one engine call.
     pub max_batch: usize,
@@ -168,8 +168,15 @@ pub struct ServingSpec {
     /// Bounded queue depth: requests submitted while this many are already
     /// queued are rejected with `PfError::Overloaded`.
     pub queue_depth: usize,
-    /// Number of batcher/dispatch worker threads.
+    /// Number of batcher/dispatch worker threads. `0` auto-sizes the pool
+    /// so that `workers x rayon threads <= host threads` (the worker count
+    /// composes with rayon's per-batch parallelism instead of
+    /// oversubscribing it); any explicit value overrides the cap.
     pub workers: usize,
+    /// Optional front-tier router configuration (the `[serving.router]`
+    /// sub-section); `None` (the key absent from the file) means a single
+    /// server with no routing tier.
+    pub router: Option<RouterSpec>,
 }
 
 impl Default for ServingSpec {
@@ -179,6 +186,7 @@ impl Default for ServingSpec {
             batch_timeout_us: 2_000,
             queue_depth: 64,
             workers: 1,
+            router: None,
         }
     }
 }
@@ -200,12 +208,200 @@ impl ServingSpec {
                 "serving queue_depth must be at least 1",
             ));
         }
-        if self.workers == 0 {
+        // workers == 0 is legal: it selects automatic pool sizing.
+        if let Some(router) = &self.router {
+            router.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Registry of the dispatch policies a `[serving.router]` section can name.
+pub const ROUTER_POLICIES: [&str; 3] = ["round_robin", "least_loaded", "kernel_affinity"];
+
+/// Declarative configuration of the `pf-router` multi-replica serving tier
+/// (the optional `[serving.router]` sub-section of a scenario file).
+///
+/// The router owns `replicas` independent `pf-serve` servers (each with its
+/// own session and warmed prepared-kernel cache), admits requests with
+/// per-request deadlines and priority classes, and dispatches them by
+/// `policy`. Under overload it degrades in stages — shrink the
+/// batch-formation window at `shrink_at` pressure, shed the lowest priority
+/// class at `shed_at`, and rejects only when every replica queue is full.
+/// Every field has a default, so an empty `[serving.router]` table is a
+/// valid two-replica kernel-affinity router (serde impls are hand-written
+/// to fill missing keys from [`RouterSpec::default`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterSpec {
+    /// Number of replica shards (independent servers), at least 1.
+    pub replicas: usize,
+    /// Dispatch policy: one of [`ROUTER_POLICIES`] — `round_robin`
+    /// (rotate over replicas), `least_loaded` (smallest queue), or
+    /// `kernel_affinity` (consistent hashing on the request's model key, so
+    /// one model's prepared-kernel spectra stay resident on one replica).
+    pub policy: String,
+    /// Priority class names, ordered highest to lowest. Requests name their
+    /// class by index; only the last (lowest) class is ever shed.
+    pub priority_classes: Vec<String>,
+    /// The p99 end-to-end latency target (milliseconds) for the highest
+    /// priority class; recorded in reports and asserted by the route-smoke
+    /// CI gate.
+    pub slo_p99_ms: f64,
+    /// Number of model variants the tier serves (each variant re-seeds the
+    /// functional network's weights, so each has its own kernel set).
+    pub models: usize,
+    /// Model-variant sessions kept resident per replica (LRU beyond this).
+    /// Routing policy determines how often a request finds its model's
+    /// prepared-kernel cache already warm.
+    pub replica_cache: usize,
+    /// Queue-pressure fraction (total queued / total capacity) at which the
+    /// router starts shedding the lowest priority class.
+    pub shed_at: f64,
+    /// Queue-pressure fraction at which the router shrinks every replica's
+    /// batch-formation window to zero (dispatch immediately). Must not
+    /// exceed `shed_at`.
+    pub shrink_at: f64,
+}
+
+impl Default for RouterSpec {
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            policy: "kernel_affinity".to_string(),
+            priority_classes: vec![
+                "interactive".to_string(),
+                "standard".to_string(),
+                "background".to_string(),
+            ],
+            slo_p99_ms: 250.0,
+            models: 1,
+            replica_cache: 2,
+            shed_at: 0.75,
+            shrink_at: 0.5,
+        }
+    }
+}
+
+impl RouterSpec {
+    /// Checks the spec's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] describing the first problem.
+    pub fn validate(&self) -> Result<(), PfError> {
+        if self.replicas == 0 {
             return Err(PfError::invalid_scenario(
-                "serving workers must be at least 1",
+                "router replicas must be at least 1",
+            ));
+        }
+        if !ROUTER_POLICIES.contains(&self.policy.as_str()) {
+            return Err(PfError::invalid_scenario(format!(
+                "unknown router policy `{}` (known: {})",
+                self.policy,
+                ROUTER_POLICIES.join(", ")
+            )));
+        }
+        if self.priority_classes.is_empty() || self.priority_classes.len() > 8 {
+            return Err(PfError::invalid_scenario(
+                "router priority_classes must name between 1 and 8 classes",
+            ));
+        }
+        for (i, class) in self.priority_classes.iter().enumerate() {
+            if class.is_empty() {
+                return Err(PfError::invalid_scenario(
+                    "router priority class names must not be empty",
+                ));
+            }
+            if self.priority_classes[..i].contains(class) {
+                return Err(PfError::invalid_scenario(format!(
+                    "router priority class `{class}` is listed twice"
+                )));
+            }
+        }
+        if !(self.slo_p99_ms.is_finite() && self.slo_p99_ms > 0.0) {
+            return Err(PfError::invalid_scenario(
+                "router slo_p99_ms must be positive",
+            ));
+        }
+        if self.models == 0 {
+            return Err(PfError::invalid_scenario(
+                "router models must be at least 1",
+            ));
+        }
+        if self.replica_cache == 0 {
+            return Err(PfError::invalid_scenario(
+                "router replica_cache must be at least 1",
+            ));
+        }
+        if !(self.shrink_at > 0.0
+            && self.shrink_at <= 1.0
+            && self.shed_at > 0.0
+            && self.shed_at <= 1.0)
+        {
+            return Err(PfError::invalid_scenario(
+                "router shed_at and shrink_at must lie in (0, 1]",
+            ));
+        }
+        if self.shrink_at > self.shed_at {
+            return Err(PfError::invalid_scenario(
+                "router shrink_at must not exceed shed_at (the window shrinks before \
+                 shedding starts)",
             ));
         }
         Ok(())
+    }
+}
+
+// Hand-written serde impls (the vendored derive has no `#[serde(default)]`):
+// every missing key falls back to `RouterSpec::default()`, so a bare
+// `[serving.router]` table is a complete router configuration.
+impl Serialize for RouterSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("replicas".to_string(), self.replicas.to_value()),
+            ("policy".to_string(), self.policy.to_value()),
+            (
+                "priority_classes".to_string(),
+                self.priority_classes.to_value(),
+            ),
+            ("slo_p99_ms".to_string(), self.slo_p99_ms.to_value()),
+            ("models".to_string(), self.models.to_value()),
+            ("replica_cache".to_string(), self.replica_cache.to_value()),
+            ("shed_at".to_string(), self.shed_at.to_value()),
+            ("shrink_at".to_string(), self.shrink_at.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RouterSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        fn field_or<T: Deserialize>(
+            value: &serde::Value,
+            name: &str,
+            default: T,
+        ) -> Result<T, serde::DeError> {
+            match value.get(name) {
+                Some(v) => T::from_value(v)
+                    .map_err(|e| serde::DeError::new(format!("router field `{name}`: {e}"))),
+                None => Ok(default),
+            }
+        }
+        if !matches!(value, serde::Value::Map(_)) {
+            return Err(serde::DeError::new(format!(
+                "expected a `[serving.router]` table, found {value:?}"
+            )));
+        }
+        let defaults = RouterSpec::default();
+        Ok(Self {
+            replicas: field_or(value, "replicas", defaults.replicas)?,
+            policy: field_or(value, "policy", defaults.policy)?,
+            priority_classes: field_or(value, "priority_classes", defaults.priority_classes)?,
+            slo_p99_ms: field_or(value, "slo_p99_ms", defaults.slo_p99_ms)?,
+            models: field_or(value, "models", defaults.models)?,
+            replica_cache: field_or(value, "replica_cache", defaults.replica_cache)?,
+            shed_at: field_or(value, "shed_at", defaults.shed_at)?,
+            shrink_at: field_or(value, "shrink_at", defaults.shrink_at)?,
+        })
     }
 }
 
@@ -384,6 +580,12 @@ mod tests {
             batch_timeout_us: 500,
             queue_depth: 32,
             workers: 2,
+            router: Some(RouterSpec {
+                replicas: 3,
+                policy: "least_loaded".to_string(),
+                models: 4,
+                ..RouterSpec::default()
+            }),
         });
         scenario
     }
@@ -440,18 +642,99 @@ mod tests {
         for break_it in [
             (|s: &mut ServingSpec| s.max_batch = 0) as fn(&mut ServingSpec),
             |s| s.queue_depth = 0,
-            |s| s.workers = 0,
         ] {
             let mut s = demo();
             let spec = s.serving.as_mut().unwrap();
             break_it(spec);
             assert!(s.validate().is_err());
         }
+        // workers == 0 selects automatic sizing and is legal.
+        let mut s = demo();
+        s.serving.as_mut().unwrap().workers = 0;
+        assert!(s.validate().is_ok());
         // The whole section is optional.
         let mut s = demo();
         s.serving = None;
         assert!(s.validate().is_ok());
         assert_eq!(ServingSpec::default().max_batch, 8);
+    }
+
+    #[test]
+    fn router_spec_is_validated() {
+        for break_it in [
+            (|r: &mut RouterSpec| r.replicas = 0) as fn(&mut RouterSpec),
+            |r| r.policy = "random".to_string(),
+            |r| r.priority_classes.clear(),
+            |r| r.priority_classes = vec!["a".into(); 9],
+            |r| r.priority_classes = vec!["a".into(), "a".into()],
+            |r| r.priority_classes = vec![String::new()],
+            |r| r.slo_p99_ms = 0.0,
+            |r| r.models = 0,
+            |r| r.replica_cache = 0,
+            |r| r.shed_at = 1.5,
+            |r| r.shrink_at = 0.0,
+            |r| {
+                r.shrink_at = 0.9;
+                r.shed_at = 0.5;
+            },
+        ] {
+            let mut s = demo();
+            let router = s.serving.as_mut().unwrap().router.as_mut().unwrap();
+            break_it(router);
+            assert!(s.validate().is_err());
+        }
+        // Every policy in the registry is accepted.
+        for policy in ROUTER_POLICIES {
+            let mut s = demo();
+            s.serving.as_mut().unwrap().router.as_mut().unwrap().policy = policy.to_string();
+            assert!(s.validate().is_ok(), "{policy}");
+        }
+        assert_eq!(RouterSpec::default().replicas, 2);
+    }
+
+    #[test]
+    fn empty_router_table_uses_defaults() {
+        let text = r#"
+name = "routed"
+network = "resnet18"
+
+[backend]
+kind = "jtc_ideal"
+capacity = 256
+
+[arch]
+preset = "PhotofourierCg"
+
+[pipeline]
+temporal_depth = 16
+pseudo_negative = true
+edge_handling = "Wraparound"
+
+[pipeline.weight_quant]
+bits = 8
+enabled = true
+
+[pipeline.activation_quant]
+bits = 8
+enabled = true
+
+[functional]
+input_channels = 1
+input_size = 16
+weight_seed = 42
+
+[serving]
+max_batch = 8
+batch_timeout_us = 2000
+queue_depth = 64
+workers = 1
+
+[serving.router]
+"#;
+        let scenario = Scenario::from_toml(text).unwrap();
+        let router = scenario.serving.unwrap().router.unwrap();
+        assert_eq!(router, RouterSpec::default());
+        assert_eq!(router.priority_classes.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,506 @@
+//! The front tier: admission, priority shedding, policy dispatch,
+//! graceful degradation, drain.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use pf_core::{PfError, ServingSpec};
+use pf_serve::{InferenceEngine, ServeConfig, Server, Ticket};
+
+use crate::policy::{HashRing, Policy};
+use crate::stats::{secs_between, Outcome, ReplicaRollup, RouterCollector, RouterStats};
+use crate::CacheStats;
+
+/// An [`InferenceEngine`] that can additionally report how often requests
+/// found their model's session (and prepared-kernel cache) already
+/// resident. The router rolls these counters into
+/// [`RouterStats`] so dispatch policies are compared on
+/// *measured* cache locality. Engines without a model cache (mocks, single
+/// -model sessions) keep the default all-zero counters.
+pub trait ReplicaEngine: InferenceEngine {
+    /// Model-session cache counters since construction.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+}
+
+impl<E: ReplicaEngine + ?Sized> ReplicaEngine for Arc<E> {
+    fn cache_stats(&self) -> CacheStats {
+        (**self).cache_stats()
+    }
+}
+
+/// Router configuration: the per-replica server config plus the routing
+/// tier's own knobs. The serde-facing twin is the `[serving.router]`
+/// scenario section ([`pf_core::RouterSpec`]); [`RouterConfig::from_spec`]
+/// converts a full `[serving]` spec. The spec's `models`/`replica_cache`
+/// fields configure the *engines* (how many model variants exist and how
+/// many stay resident per replica) and are consumed by the engine factory,
+/// not by the router core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Configuration every replica's `pf-serve` server runs with.
+    pub serve: ServeConfig,
+    /// Number of replica shards, at least 1.
+    pub replicas: usize,
+    /// Dispatch policy.
+    pub policy: Policy,
+    /// Priority class names, highest first. Requests carry their class as
+    /// an index into this list; only the last class is ever shed.
+    pub priority_classes: Vec<String>,
+    /// The p99 end-to-end latency target (milliseconds) for the highest
+    /// class — recorded in reports and asserted by smoke gates, not
+    /// enforced per-request by the router.
+    pub slo_p99_ms: f64,
+    /// Queue-pressure fraction at which the lowest class is shed.
+    pub shed_at: f64,
+    /// Queue-pressure fraction at which batch-formation windows shrink to
+    /// zero. Restored (with hysteresis, at half this pressure) when load
+    /// subsides.
+    pub shrink_at: f64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self::from_spec(&ServingSpec {
+            router: Some(pf_core::RouterSpec::default()),
+            ..ServingSpec::default()
+        })
+        .expect("default spec is valid")
+    }
+}
+
+impl RouterConfig {
+    /// Builds the config from a validated `[serving]` scenario section; a
+    /// missing `[serving.router]` sub-section means the defaults (two
+    /// replicas, kernel affinity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] if the spec does not validate.
+    pub fn from_spec(spec: &ServingSpec) -> Result<Self, PfError> {
+        spec.validate()?;
+        let router = spec.router.clone().unwrap_or_default();
+        Ok(Self {
+            serve: ServeConfig::from_spec(spec),
+            replicas: router.replicas,
+            policy: Policy::from_name(&router.policy)?,
+            priority_classes: router.priority_classes,
+            slo_p99_ms: router.slo_p99_ms,
+            shed_at: router.shed_at,
+            shrink_at: router.shrink_at,
+        })
+    }
+
+    /// Checks the configuration's internal consistency (delegating the
+    /// replica-server part to [`ServeConfig::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] describing the first problem.
+    pub fn validate(&self) -> Result<(), PfError> {
+        let mut spec = self.serve.to_spec();
+        spec.router = Some(pf_core::RouterSpec {
+            replicas: self.replicas,
+            policy: self.policy.name().to_string(),
+            priority_classes: self.priority_classes.clone(),
+            slo_p99_ms: self.slo_p99_ms,
+            shed_at: self.shed_at,
+            shrink_at: self.shrink_at,
+            ..pf_core::RouterSpec::default()
+        });
+        spec.validate()
+    }
+
+    /// Index of the lowest (only sheddable) priority class.
+    pub fn lowest_class(&self) -> usize {
+        self.priority_classes.len() - 1
+    }
+}
+
+/// One request offered to the router.
+#[derive(Debug, Clone)]
+pub struct RouterRequest<Rq> {
+    /// The payload handed to the replica engine.
+    pub payload: Rq,
+    /// Priority class, as an index into the configured `priority_classes`
+    /// (0 = highest).
+    pub class: usize,
+    /// Affinity key for the `kernel_affinity` policy — the request's model
+    /// identity. Ignored by the other policies.
+    pub affinity: u64,
+    /// Optional absolute deadline, enforced by the replica server (expired
+    /// requests are never dispatched) and accounted as a deadline miss if
+    /// the request completes late.
+    pub deadline: Option<Instant>,
+}
+
+impl<Rq> RouterRequest<Rq> {
+    /// A highest-priority request with no affinity and no deadline.
+    pub fn new(payload: Rq) -> Self {
+        Self {
+            payload,
+            class: 0,
+            affinity: 0,
+            deadline: None,
+        }
+    }
+
+    /// Sets the priority class index.
+    pub fn with_class(mut self, class: usize) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Sets the affinity (model) key.
+    pub fn with_affinity(mut self, affinity: u64) -> Self {
+        self.affinity = affinity;
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Handle to one routed request. Waiting on the ticket records the
+/// request's outcome (latency, deadline miss, failure kind) in the
+/// router's stats; a ticket dropped without waiting leaves its completion
+/// unrecorded at router level (the replica's own [`pf_serve::ServerStats`]
+/// still counts it).
+#[derive(Debug)]
+pub struct RouterTicket<R> {
+    inner: Ticket<R>,
+    class: usize,
+    replica: usize,
+    admitted: Instant,
+    deadline: Option<Instant>,
+    collector: Arc<Mutex<RouterCollector>>,
+}
+
+impl<R> RouterTicket<R> {
+    /// The replica index the request was dispatched to.
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    /// The request's priority class index.
+    pub fn class(&self) -> usize {
+        self.class
+    }
+
+    /// The replica-server sequence number of the request.
+    pub fn seq(&self) -> u64 {
+        self.inner.seq()
+    }
+
+    /// Blocks until the request completes; records the outcome.
+    pub fn wait(self) -> Result<R, PfError> {
+        let (result, completed) = self.inner.wait_timed();
+        record(
+            &self.collector,
+            self.class,
+            &result,
+            Some(completed),
+            self.admitted,
+            self.deadline,
+        );
+        result
+    }
+
+    /// Waits up to `timeout`; on timeout the request is abandoned (its
+    /// queue slot reclaimed, counted as `abandoned`).
+    ///
+    /// # Errors
+    ///
+    /// The request's own error, or [`PfError::DeadlineExceeded`] on
+    /// timeout.
+    pub fn wait_deadline(self, timeout: Duration) -> Result<R, PfError> {
+        let (result, completed) = self.inner.wait_deadline_timed(timeout);
+        record(
+            &self.collector,
+            self.class,
+            &result,
+            completed,
+            self.admitted,
+            self.deadline,
+        );
+        result
+    }
+}
+
+fn record<R>(
+    collector: &Mutex<RouterCollector>,
+    class: usize,
+    result: &Result<R, PfError>,
+    completed: Option<Instant>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+) {
+    let outcome = match (result, completed) {
+        (Ok(_), Some(completed)) => Outcome::Served {
+            latency_secs: secs_between(admitted, completed),
+            missed: deadline.is_some_and(|d| completed > d),
+        },
+        (Ok(_), None) => unreachable!("a served result always has a completion instant"),
+        (Err(PfError::DeadlineExceeded { stage: "queued" }), _) => Outcome::Expired,
+        (Err(PfError::DeadlineExceeded { .. }), _) => Outcome::Abandoned,
+        (Err(_), _) => Outcome::Failed,
+    };
+    collector.lock().record_outcome(class, outcome);
+}
+
+/// A multi-replica SLO-aware serving tier.
+///
+/// The router owns `replicas` independent [`pf_serve::Server`]s and
+/// dispatches [`RouterRequest`]s to them by [`Policy`]. Under overload it
+/// degrades in stages rather than failing abruptly:
+///
+/// 1. **shrink** — at `shrink_at` queue pressure, every replica's
+///    batch-formation window drops to zero (dispatch immediately, smaller
+///    batches, lower latency); restored with hysteresis at half that
+///    pressure;
+/// 2. **shed** — at `shed_at` pressure, requests of the *lowest* priority
+///    class are refused with [`PfError::Shed`] (a policy decision, counted
+///    separately from capacity rejections); higher classes are never shed;
+/// 3. **spill** — an admitted request whose chosen replica is full falls
+///    back down the policy's order before the router gives up;
+/// 4. **reject** — only when every replica's queue is full does the
+///    request fail with [`PfError::Overloaded`].
+///
+/// Queue pressure is total queued requests over total queue capacity
+/// (`replicas x queue_depth`), in `[0, 1]`.
+pub struct Router<E: ReplicaEngine + 'static> {
+    config: RouterConfig,
+    replicas: Vec<Server<E>>,
+    ring: HashRing,
+    next_rr: AtomicUsize,
+    shrunk: AtomicBool,
+    collector: Arc<Mutex<RouterCollector>>,
+}
+
+impl<E: ReplicaEngine + 'static> std::fmt::Debug for Router<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("config", &self.config)
+            .field("replicas", &self.replicas.len())
+            .field("queue_pressure", &self.queue_pressure())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E: ReplicaEngine + 'static> Router<E> {
+    /// Validates `config` and builds the replica shards, calling `factory`
+    /// once per replica index (the factory builds the engine — session,
+    /// model cache, warmup — for that shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] for an inconsistent config, or
+    /// whatever the factory fails with.
+    pub fn new(
+        config: RouterConfig,
+        mut factory: impl FnMut(usize) -> Result<E, PfError>,
+    ) -> Result<Self, PfError> {
+        config.validate()?;
+        let replicas = (0..config.replicas)
+            .map(|i| Server::new(factory(i)?, config.serve))
+            .collect::<Result<Vec<_>, _>>()?;
+        let collector = Arc::new(Mutex::new(RouterCollector::new(
+            config.priority_classes.len(),
+            config.replicas,
+        )));
+        Ok(Self {
+            ring: HashRing::new(config.replicas),
+            next_rr: AtomicUsize::new(0),
+            shrunk: AtomicBool::new(false),
+            collector,
+            config,
+            replicas,
+        })
+    }
+
+    /// The configuration the router runs with.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Number of replica shards.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Total queued requests over total queue capacity, in `[0, 1]`.
+    pub fn queue_pressure(&self) -> f64 {
+        let queued: usize = self.replicas.iter().map(Server::queue_len).sum();
+        let capacity = self.replicas.len() * self.config.serve.queue_depth;
+        queued as f64 / capacity as f64
+    }
+
+    /// Whether the degradation ladder currently has the batch windows
+    /// shrunk to zero.
+    pub fn windows_shrunk(&self) -> bool {
+        self.shrunk.load(Ordering::Relaxed)
+    }
+
+    /// Offers one request to the router.
+    ///
+    /// # Errors
+    ///
+    /// * [`PfError::InvalidScenario`] — `class` out of range (a caller
+    ///   bug; not counted as traffic);
+    /// * [`PfError::Shed`] — lowest-class request refused under overload;
+    /// * [`PfError::Overloaded`] — every replica's queue is full.
+    pub fn submit(
+        &self,
+        request: RouterRequest<E::Request>,
+    ) -> Result<RouterTicket<E::Response>, PfError> {
+        let RouterRequest {
+            payload,
+            class,
+            affinity,
+            deadline,
+        } = request;
+        if class >= self.config.priority_classes.len() {
+            return Err(PfError::invalid_scenario(format!(
+                "priority class index {class} out of range ({} classes configured)",
+                self.config.priority_classes.len()
+            )));
+        }
+
+        let pressure = self.queue_pressure();
+        self.degrade(pressure);
+
+        // Stage 2: shed the lowest class — and only the lowest class —
+        // once pressure crosses `shed_at`. With a single configured class
+        // there is no lower-priority traffic to sacrifice, so shedding is
+        // disabled and admission control alone applies.
+        if pressure >= self.config.shed_at
+            && self.config.priority_classes.len() > 1
+            && class == self.config.lowest_class()
+        {
+            self.collector.lock().record_shed(class);
+            return Err(PfError::Shed {
+                class: self.config.priority_classes[class].clone(),
+            });
+        }
+
+        // Stages 3-4: dispatch in policy order, spilling past full
+        // replicas; reject only when every queue is full.
+        let order = self.dispatch_order(affinity);
+        let admitted = Instant::now();
+        let mut payload = payload;
+        let mut last_overload = None;
+        for (attempt, &replica) in order.iter().enumerate() {
+            match self.replicas[replica].try_submit_with_deadline(payload, deadline) {
+                Ok(ticket) => {
+                    self.collector
+                        .lock()
+                        .record_admitted(class, replica, attempt > 0);
+                    return Ok(RouterTicket {
+                        inner: ticket,
+                        class,
+                        replica,
+                        admitted,
+                        deadline,
+                        collector: Arc::clone(&self.collector),
+                    });
+                }
+                Err((returned, e @ PfError::Overloaded { .. })) => {
+                    payload = returned;
+                    last_overload = Some(e);
+                }
+                Err((_, e)) => return Err(e),
+            }
+        }
+        self.collector.lock().record_rejected(class);
+        Err(last_overload.expect("dispatch order is never empty"))
+    }
+
+    /// Applies degradation stage 1 (window shrink/restore with
+    /// hysteresis).
+    fn degrade(&self, pressure: f64) {
+        if pressure >= self.config.shrink_at {
+            if !self.shrunk.swap(true, Ordering::Relaxed) {
+                self.collector.lock().record_window_shrink();
+                for server in &self.replicas {
+                    server.set_batch_window(Duration::ZERO);
+                }
+            }
+        } else if pressure < self.config.shrink_at * 0.5
+            && self.shrunk.swap(false, Ordering::Relaxed)
+        {
+            for server in &self.replicas {
+                server.set_batch_window(self.config.serve.batch_timeout);
+            }
+        }
+    }
+
+    /// The replica indices to try, best first, per the configured policy.
+    fn dispatch_order(&self, affinity: u64) -> Vec<usize> {
+        let n = self.replicas.len();
+        match self.config.policy {
+            Policy::RoundRobin => {
+                let start = self.next_rr.fetch_add(1, Ordering::Relaxed) % n;
+                (0..n).map(|i| (start + i) % n).collect()
+            }
+            Policy::LeastLoaded => {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&i| (self.replicas[i].queue_len(), i));
+                order
+            }
+            Policy::KernelAffinity => self.ring.order(affinity),
+        }
+    }
+
+    /// A mid-flight snapshot of the router's accounting.
+    pub fn stats(&self) -> RouterStats {
+        let collector = self.collector.lock();
+        let rollups = self
+            .replicas
+            .iter()
+            .enumerate()
+            .map(|(i, server)| ReplicaRollup {
+                replica: i,
+                dispatched: collector.dispatched(i),
+                server: server.stats(),
+                cache: server.engine().cache_stats(),
+            })
+            .collect();
+        collector.snapshot(
+            self.config.policy.name(),
+            &self.config.priority_classes,
+            rollups,
+        )
+    }
+
+    /// Drains every replica (stopping admissions, resolving every
+    /// outstanding ticket) and returns the final stats.
+    pub fn drain(self) -> RouterStats {
+        let mut rollups = Vec::with_capacity(self.replicas.len());
+        for (i, server) in self.replicas.into_iter().enumerate() {
+            let cache = server.engine().cache_stats();
+            let server_stats = server.shutdown();
+            rollups.push((i, server_stats, cache));
+        }
+        let collector = self.collector.lock();
+        let rollups = rollups
+            .into_iter()
+            .map(|(i, server, cache)| ReplicaRollup {
+                replica: i,
+                dispatched: collector.dispatched(i),
+                server,
+                cache,
+            })
+            .collect();
+        collector.snapshot(
+            self.config.policy.name(),
+            &self.config.priority_classes,
+            rollups,
+        )
+    }
+}

@@ -1,0 +1,389 @@
+//! Router accounting: every admission decision and every completion,
+//! rolled up per priority class, per replica, and in aggregate.
+//!
+//! The dispatch policy is judged by *recorded* tail latency and cache
+//! locality, not by construction — so the router counts everything it
+//! does: admissions (and which replica, and whether the first choice
+//! spilled), sheds, rejections, window shrinks, deadline misses, and the
+//! per-class latency distributions.
+
+use std::time::Instant;
+
+use pf_serve::{LatencySummary, ServerStats};
+use serde::{Deserialize, Serialize};
+
+/// Model-session cache counters of one replica's engine (see
+/// `ReplicaEngine::cache_stats`): how often a request found its model's
+/// session — and with it the model's prepared-kernel spectra — already
+/// resident on the replica that served it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests whose model was already resident.
+    pub hits: u64,
+    /// Requests that had to evict/build a model session first.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, `0` before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+
+    /// Element-wise sum.
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+/// Rollup for one priority class.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Class name (from the configured `priority_classes`).
+    pub class: String,
+    /// Requests of this class the router admitted to a replica.
+    pub admitted: u64,
+    /// Requests completed successfully (and waited on).
+    pub served: u64,
+    /// Requests failed by a replica's engine.
+    pub failed: u64,
+    /// Requests whose deadline expired while queued (never dispatched).
+    pub expired: u64,
+    /// Requests abandoned by their caller (`RouterTicket::wait_deadline`
+    /// timed out).
+    pub abandoned: u64,
+    /// Requests shed by the router's overload policy.
+    pub shed: u64,
+    /// Requests rejected because every replica's queue was full.
+    pub rejected: u64,
+    /// Served requests that completed *after* their deadline.
+    pub deadline_misses: u64,
+    /// Router-observed end-to-end latency (admission → completion) of
+    /// served requests.
+    pub latency: LatencySummary,
+}
+
+/// Rollup for one replica shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaRollup {
+    /// Replica index.
+    pub replica: usize,
+    /// Requests the router dispatched to this replica.
+    pub dispatched: u64,
+    /// The replica server's own accounting (queueing, batching,
+    /// percentiles as the server saw them).
+    pub server: ServerStats,
+    /// The replica engine's model-session cache counters.
+    pub cache: CacheStats,
+}
+
+/// Snapshot of a router's accounting, from [`crate::Router::stats`]
+/// (mid-flight) or [`crate::Router::drain`] (final: every ticket resolved).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterStats {
+    /// Dispatch policy name the router ran with.
+    pub policy: String,
+    /// Requests offered to the router (`admitted + shed + rejected`).
+    pub submitted: u64,
+    /// Requests placed on some replica's queue.
+    pub admitted: u64,
+    /// Requests intentionally shed (lowest priority class, under
+    /// overload) — a policy decision, not a capacity failure.
+    pub shed: u64,
+    /// Requests rejected because every replica's queue was full — the
+    /// last-resort stage of the degradation ladder.
+    pub rejected: u64,
+    /// Admissions that landed on a fallback replica after the policy's
+    /// first choice was full.
+    pub spills: u64,
+    /// Times the router shrank the batch-formation windows (transitions
+    /// into the shrunk state, not per-request).
+    pub window_shrinks: u64,
+    /// Served requests (all classes) that completed after their deadline.
+    pub deadline_misses: u64,
+    /// Router-observed end-to-end latency over all served requests.
+    pub latency: LatencySummary,
+    /// Per-class rollups, in configured priority order (highest first).
+    pub classes: Vec<ClassStats>,
+    /// Per-replica rollups, by replica index.
+    pub replicas: Vec<ReplicaRollup>,
+}
+
+impl RouterStats {
+    /// The rollup for the named class, if configured.
+    pub fn class(&self, name: &str) -> Option<&ClassStats> {
+        self.classes.iter().find(|c| c.class == name)
+    }
+
+    /// Aggregate model-cache counters over all replicas.
+    pub fn cache(&self) -> CacheStats {
+        self.replicas
+            .iter()
+            .fold(CacheStats::default(), |acc, r| acc.merged(&r.cache))
+    }
+
+    /// Served requests over all classes.
+    pub fn served(&self) -> u64 {
+        self.classes.iter().map(|c| c.served).sum()
+    }
+
+    /// Deadline misses over served-and-deadlined requests, `0` before the
+    /// first served request.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        let served = self.served();
+        if served == 0 {
+            return 0.0;
+        }
+        self.deadline_misses as f64 / served as f64
+    }
+}
+
+/// How a waited-on router ticket resolved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Outcome {
+    /// Completed successfully; latency in seconds and whether the
+    /// completion violated the request's deadline.
+    Served { latency_secs: f64, missed: bool },
+    /// The replica engine failed the request.
+    Failed,
+    /// Deadline expired while queued; never dispatched.
+    Expired,
+    /// The caller's `wait_deadline` timed out and cancelled the ticket.
+    Abandoned,
+}
+
+#[derive(Debug, Default)]
+struct ClassAcc {
+    admitted: u64,
+    served: u64,
+    failed: u64,
+    expired: u64,
+    abandoned: u64,
+    shed: u64,
+    rejected: u64,
+    deadline_misses: u64,
+    latency_secs: Vec<f64>,
+}
+
+/// Mutable accumulator behind the router's stats mutex. Tickets record
+/// their outcome here when waited on; the router records admission
+/// decisions directly.
+#[derive(Debug)]
+pub(crate) struct RouterCollector {
+    classes: Vec<ClassAcc>,
+    dispatched: Vec<u64>,
+    shed: u64,
+    rejected: u64,
+    spills: u64,
+    window_shrinks: u64,
+}
+
+impl RouterCollector {
+    pub(crate) fn new(classes: usize, replicas: usize) -> Self {
+        Self {
+            classes: (0..classes).map(|_| ClassAcc::default()).collect(),
+            dispatched: vec![0; replicas],
+            shed: 0,
+            rejected: 0,
+            spills: 0,
+            window_shrinks: 0,
+        }
+    }
+
+    pub(crate) fn record_admitted(&mut self, class: usize, replica: usize, spilled: bool) {
+        self.classes[class].admitted += 1;
+        self.dispatched[replica] += 1;
+        if spilled {
+            self.spills += 1;
+        }
+    }
+
+    pub(crate) fn record_shed(&mut self, class: usize) {
+        self.classes[class].shed += 1;
+        self.shed += 1;
+    }
+
+    pub(crate) fn record_rejected(&mut self, class: usize) {
+        self.classes[class].rejected += 1;
+        self.rejected += 1;
+    }
+
+    pub(crate) fn record_window_shrink(&mut self) {
+        self.window_shrinks += 1;
+    }
+
+    pub(crate) fn record_outcome(&mut self, class: usize, outcome: Outcome) {
+        let acc = &mut self.classes[class];
+        match outcome {
+            Outcome::Served {
+                latency_secs,
+                missed,
+            } => {
+                acc.served += 1;
+                acc.latency_secs.push(latency_secs);
+                if missed {
+                    acc.deadline_misses += 1;
+                }
+            }
+            Outcome::Failed => acc.failed += 1,
+            Outcome::Expired => acc.expired += 1,
+            Outcome::Abandoned => acc.abandoned += 1,
+        }
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        policy: &str,
+        class_names: &[String],
+        replicas: Vec<ReplicaRollup>,
+    ) -> RouterStats {
+        let classes: Vec<ClassStats> = class_names
+            .iter()
+            .zip(&self.classes)
+            .map(|(name, acc)| ClassStats {
+                class: name.clone(),
+                admitted: acc.admitted,
+                served: acc.served,
+                failed: acc.failed,
+                expired: acc.expired,
+                abandoned: acc.abandoned,
+                shed: acc.shed,
+                rejected: acc.rejected,
+                deadline_misses: acc.deadline_misses,
+                latency: LatencySummary::from_samples_secs(&acc.latency_secs),
+            })
+            .collect();
+        let all_samples: Vec<f64> = self
+            .classes
+            .iter()
+            .flat_map(|acc| acc.latency_secs.iter().copied())
+            .collect();
+        let admitted: u64 = classes.iter().map(|c| c.admitted).sum();
+        RouterStats {
+            policy: policy.to_string(),
+            submitted: admitted + self.shed + self.rejected,
+            admitted,
+            shed: self.shed,
+            rejected: self.rejected,
+            spills: self.spills,
+            window_shrinks: self.window_shrinks,
+            deadline_misses: classes.iter().map(|c| c.deadline_misses).sum(),
+            latency: LatencySummary::from_samples_secs(&all_samples),
+            classes,
+            replicas,
+        }
+    }
+
+    pub(crate) fn dispatched(&self, replica: usize) -> u64 {
+        self.dispatched[replica]
+    }
+}
+
+/// Elapsed seconds between two instants, `0` if `end` precedes `start`
+/// (instants are monotone, but clones of them can be compared across
+/// threads in either order).
+pub(crate) fn secs_between(start: Instant, end: Instant) -> f64 {
+    end.checked_duration_since(start)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_rolls_up_per_class_and_aggregate() {
+        let mut c = RouterCollector::new(2, 2);
+        c.record_admitted(0, 0, false);
+        c.record_admitted(0, 1, true);
+        c.record_admitted(1, 0, false);
+        c.record_shed(1);
+        c.record_rejected(1);
+        c.record_window_shrink();
+        c.record_outcome(
+            0,
+            Outcome::Served {
+                latency_secs: 0.010,
+                missed: false,
+            },
+        );
+        c.record_outcome(
+            0,
+            Outcome::Served {
+                latency_secs: 0.030,
+                missed: true,
+            },
+        );
+        c.record_outcome(1, Outcome::Failed);
+
+        let names = vec!["interactive".to_string(), "background".to_string()];
+        let stats = c.snapshot("least_loaded", &names, Vec::new());
+        assert_eq!(stats.policy, "least_loaded");
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.spills, 1);
+        assert_eq!(stats.window_shrinks, 1);
+        assert_eq!(stats.served(), 2);
+        assert_eq!(stats.deadline_misses, 1);
+        assert!((stats.deadline_miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(stats.latency.count, 2);
+
+        let interactive = stats.class("interactive").unwrap();
+        assert_eq!(interactive.served, 2);
+        assert_eq!(interactive.deadline_misses, 1);
+        let background = stats.class("background").unwrap();
+        assert_eq!(background.failed, 1);
+        assert_eq!(background.shed, 1);
+        assert_eq!(background.rejected, 1);
+        assert!(stats.class("nope").is_none());
+
+        assert_eq!(c.dispatched(0), 2);
+        assert_eq!(c.dispatched(1), 1);
+    }
+
+    #[test]
+    fn cache_stats_hit_rate_and_merge() {
+        let a = CacheStats { hits: 3, misses: 1 };
+        let b = CacheStats { hits: 1, misses: 3 };
+        assert!((a.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let merged = a.merged(&b);
+        assert_eq!(merged, CacheStats { hits: 4, misses: 4 });
+        assert!((merged.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn secs_between_is_never_negative() {
+        let now = Instant::now();
+        let later = now + std::time::Duration::from_millis(5);
+        assert!(secs_between(now, later) > 0.0);
+        assert_eq!(secs_between(later, now), 0.0);
+    }
+
+    #[test]
+    fn router_stats_serialize() {
+        let stats = RouterCollector::new(1, 1).snapshot(
+            "round_robin",
+            &["only".to_string()],
+            vec![ReplicaRollup {
+                replica: 0,
+                dispatched: 0,
+                server: ServerStats::default(),
+                cache: CacheStats::default(),
+            }],
+        );
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: RouterStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

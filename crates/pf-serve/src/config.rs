@@ -25,6 +25,11 @@ pub struct ServeConfig {
     /// Number of batcher/dispatch worker threads. Each worker forms and
     /// dispatches its own micro-batches; more workers overlap engine calls
     /// at the cost of competing for the engine's internal parallelism.
+    ///
+    /// `0` auto-sizes the pool to compose with rayon's global pool rather
+    /// than oversubscribe it — see [`ServeConfig::effective_workers`]. An
+    /// explicit value is taken as-is (the operator may deliberately
+    /// oversubscribe, e.g. when the engine blocks on I/O).
     pub workers: usize,
 }
 
@@ -35,7 +40,9 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
-    /// Builds the config from its declarative scenario form.
+    /// Builds the config from its declarative scenario form. The
+    /// `[serving.router]` section, if any, belongs to the routing tier and
+    /// is not part of a single server's config.
     pub fn from_spec(spec: &ServingSpec) -> Self {
         Self {
             max_batch: spec.max_batch,
@@ -47,14 +54,35 @@ impl ServeConfig {
 
     /// The declarative scenario form of this config (inverse of
     /// [`ServeConfig::from_spec`], up to sub-microsecond timeout
-    /// truncation).
+    /// truncation), with no router section.
     pub fn to_spec(&self) -> ServingSpec {
         ServingSpec {
             max_batch: self.max_batch,
             batch_timeout_us: self.batch_timeout.as_micros() as u64,
             queue_depth: self.queue_depth,
             workers: self.workers,
+            router: None,
         }
+    }
+
+    /// The worker-thread count a server actually starts.
+    ///
+    /// An explicit `workers` value is returned unchanged. `workers == 0`
+    /// auto-sizes so that the server composes with rayon's global pool
+    /// instead of oversubscribing it: each dispatched batch fans out across
+    /// rayon's threads, so running `host_threads / rayon_threads` workers
+    /// (at least one) keeps `workers x rayon_threads <= host_threads`. With
+    /// rayon at its default width this resolves to one worker; it grows
+    /// when rayon's pool is deliberately narrowed (e.g. pinned to half the
+    /// host) and batch-level parallelism can take up the slack.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        (host / rayon::current_num_threads().max(1)).max(1)
     }
 
     /// Checks the configuration's internal consistency.
@@ -87,7 +115,6 @@ mod tests {
         for break_it in [
             (|c: &mut ServeConfig| c.max_batch = 0) as fn(&mut ServeConfig),
             |c| c.queue_depth = 0,
-            |c| c.workers = 0,
         ] {
             let mut config = ServeConfig::default();
             break_it(&mut config);
@@ -99,5 +126,31 @@ mod tests {
             ..ServeConfig::default()
         };
         config.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_workers_auto_sizes_against_rayon() {
+        let config = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        // Auto-sizing is valid config, resolves to >= 1, and never
+        // oversubscribes: workers x rayon threads <= host threads (unless
+        // rayon alone already exceeds the host).
+        config.validate().unwrap();
+        let workers = config.effective_workers();
+        assert!(workers >= 1);
+        let host = std::thread::available_parallelism().unwrap().get();
+        let rayon_threads = rayon::current_num_threads().max(1);
+        if rayon_threads <= host {
+            assert!(workers * rayon_threads <= host);
+        }
+
+        // An explicit count is never second-guessed.
+        let explicit = ServeConfig {
+            workers: 7,
+            ..ServeConfig::default()
+        };
+        assert_eq!(explicit.effective_workers(), 7);
     }
 }

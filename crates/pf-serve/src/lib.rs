@@ -4,25 +4,34 @@
 //! tiled work — a payoff that only materialises when many concurrent
 //! requests are formed into batches *under load*. This crate supplies that
 //! serving layer: a thread-based server (workers + `parking_lot` condvar
-//! queues, no async runtime) that accepts a stream of single-image
-//! requests, forms micro-batches, dispatches them through any
-//! [`InferenceEngine`], and accounts for every request's latency.
+//! queues, no async runtime) that accepts a stream of requests, forms
+//! micro-batches, dispatches them through any [`InferenceEngine`], and
+//! accounts for every request's latency. The server is generic over the
+//! request/response payload ([`InferenceEngine::Request`] /
+//! [`InferenceEngine::Response`]), so a routing tier can serve richer
+//! payloads than bare tensors.
 //!
 //! * [`ServeConfig`] — batch size, batch-formation timeout, bounded queue
-//!   depth (admission control), worker count;
+//!   depth (admission control), worker count (`0` auto-sizes against
+//!   rayon's global pool);
 //! * [`Server`] — [`Server::submit`] returns a per-request [`Ticket`];
-//!   [`Server::submit_blocking`] waits for the result in place;
+//!   [`Server::submit_with_deadline`] attaches an absolute deadline
+//!   (expired requests are never dispatched); [`Ticket::wait_deadline`]
+//!   lets a caller abandon a request without leaking its queue slot;
 //! * [`ServerStats`] — per-request enqueue/dispatch/complete timestamps
 //!   aggregated into p50/p95/p99 latency, the achieved batch-size
-//!   histogram, throughput, and rejected-request counts;
+//!   histogram, throughput, and rejected / expired / cancelled counts;
 //! * overload is explicit: a full queue rejects the request with
-//!   [`pf_core::PfError::Overloaded`];
+//!   [`pf_core::PfError::Overloaded`]; the batch-formation window is
+//!   adjustable at runtime ([`Server::set_batch_window`]) so a routing
+//!   tier can trade batch size for latency under pressure;
 //! * [`Server::shutdown`] drains deterministically — every accepted
-//!   request is completed before it returns.
+//!   request is resolved before it returns.
 //!
 //! The engine abstraction keeps this crate below the `photofourier` facade:
 //! the facade implements [`InferenceEngine`] for its `Session` and
-//! re-exports everything here as `photofourier::serve`.
+//! re-exports everything here as `photofourier::serve`; `pf-router`
+//! builds its replica shards from these servers.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]

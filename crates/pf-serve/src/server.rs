@@ -1,64 +1,104 @@
 //! The micro-batching server: admission, batch formation, dispatch,
-//! tickets, and deterministic shutdown.
+//! tickets, deadlines and deterministic shutdown.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use pf_core::PfError;
-use pf_nn::Tensor;
 
 use crate::config::ServeConfig;
 use crate::stats::{ServerStats, StatsCollector};
 
 /// The compute side of a [`Server`]: runs one micro-batch of requests.
 ///
+/// The server is generic over the request payload ([`InferenceEngine::Request`])
+/// and result ([`InferenceEngine::Response`]) — the facade serves tensors,
+/// a routing tier serves richer payloads (image + model key + replay seed).
+///
 /// `seqs[i]` is request `i`'s stable sequence number, assigned at admission
 /// in submission order. Deterministic engines may ignore it; engines with
 /// stochastic state (optical sensing noise) must derive each request's
-/// noise stream from its sequence number — **not** from its position in the
-/// batch — so a request's result does not depend on how the batcher happened
-/// to group it.
+/// noise stream from its sequence number (or from a seed carried in the
+/// payload) — **not** from its position in the batch — so a request's
+/// result does not depend on how the batcher happened to group it.
 pub trait InferenceEngine: Send + Sync {
+    /// Per-request input payload.
+    type Request: Send + 'static;
+    /// Per-request result.
+    type Response: Send + 'static;
+
     /// Runs the micro-batch, returning one output per input, in order.
     ///
     /// # Errors
     ///
     /// An error fails every request of the batch (each ticket resolves to a
     /// clone of the error).
-    fn infer_batch(&self, inputs: &[Tensor], seqs: &[u64]) -> Result<Vec<Tensor>, PfError>;
+    fn infer_batch(
+        &self,
+        inputs: &[Self::Request],
+        seqs: &[u64],
+    ) -> Result<Vec<Self::Response>, PfError>;
 }
 
 impl<E: InferenceEngine + ?Sized> InferenceEngine for Arc<E> {
-    fn infer_batch(&self, inputs: &[Tensor], seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
+    type Request = E::Request;
+    type Response = E::Response;
+
+    fn infer_batch(
+        &self,
+        inputs: &[Self::Request],
+        seqs: &[u64],
+    ) -> Result<Vec<Self::Response>, PfError> {
         (**self).infer_batch(inputs, seqs)
     }
 }
 
 /// Result slot shared between a [`Ticket`] and the worker that completes it.
-#[derive(Debug, Default)]
-struct TicketCell {
-    result: Mutex<Option<Result<Tensor, PfError>>>,
+struct TicketCell<R> {
+    /// The result, stamped with its completion instant (so latency can be
+    /// derived later even if the ticket is waited on long after the
+    /// request finished).
+    result: Mutex<Option<(Result<R, PfError>, Instant)>>,
     ready: Condvar,
+    /// Set by [`Ticket::wait_deadline`] on timeout: the batcher drops the
+    /// request at formation time instead of dispatching it.
+    cancelled: AtomicBool,
 }
 
-impl TicketCell {
-    fn fulfill(&self, result: Result<Tensor, PfError>) {
-        *self.result.lock() = Some(result);
+impl<R> Default for TicketCell<R> {
+    fn default() -> Self {
+        Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+}
+
+impl<R> TicketCell<R> {
+    fn fulfill(&self, result: Result<R, PfError>, completed: Instant) {
+        *self.result.lock() = Some((result, completed));
         self.ready.notify_all();
     }
 }
 
 /// Handle to one in-flight request, returned by [`Server::submit`].
-#[derive(Debug)]
-pub struct Ticket {
+pub struct Ticket<R> {
     seq: u64,
-    cell: Arc<TicketCell>,
+    cell: Arc<TicketCell<R>>,
 }
 
-impl Ticket {
+impl<R> std::fmt::Debug for Ticket<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").field("seq", &self.seq).finish()
+    }
+}
+
+impl<R> Ticket<R> {
     /// The request's admission sequence number (submission order). This is
     /// the seed stochastic engines derive the request's noise stream from,
     /// so recording it makes served results exactly reproducible offline.
@@ -67,77 +107,157 @@ impl Ticket {
     }
 
     /// Blocks until the request completes and returns its result.
-    pub fn wait(self) -> Result<Tensor, PfError> {
+    pub fn wait(self) -> Result<R, PfError> {
+        self.wait_timed().0
+    }
+
+    /// Like [`Ticket::wait`], additionally returning the instant the
+    /// request actually completed (not the instant this call observed it) —
+    /// the timestamp a routing tier derives true end-to-end latency and
+    /// deadline misses from.
+    pub fn wait_timed(self) -> (Result<R, PfError>, Instant) {
         let mut slot = self.cell.result.lock();
         loop {
-            if let Some(result) = slot.take() {
-                return result;
+            if let Some(resolved) = slot.take() {
+                return resolved;
             }
             slot = self.cell.ready.wait(slot);
         }
     }
 
+    /// Waits up to `timeout` for the result. On timeout the request is
+    /// **cancelled**: its queue slot is reclaimed at the next batch
+    /// formation (counted as `cancelled` in [`ServerStats`], distinct from
+    /// failures) and this returns [`PfError::DeadlineExceeded`]. If the
+    /// request was already dispatched when the timeout fired, it still
+    /// completes server-side (and counts as served) — the caller has merely
+    /// stopped waiting for it.
+    ///
+    /// # Errors
+    ///
+    /// The request's own error, or [`PfError::DeadlineExceeded`] with stage
+    /// `"abandoned"` on timeout.
+    pub fn wait_deadline(self, timeout: Duration) -> Result<R, PfError> {
+        self.wait_deadline_timed(timeout).0
+    }
+
+    /// Like [`Ticket::wait_deadline`], additionally returning the
+    /// completion instant when the result arrived in time (`None` on
+    /// timeout — there is no completion to stamp for an abandoned
+    /// request).
+    pub fn wait_deadline_timed(self, timeout: Duration) -> (Result<R, PfError>, Option<Instant>) {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.cell.result.lock();
+        loop {
+            if let Some((result, completed)) = slot.take() {
+                return (result, Some(completed));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.cell.cancelled.store(true, Ordering::Release);
+                return (Err(PfError::DeadlineExceeded { stage: "abandoned" }), None);
+            }
+            let (guard, wait) = self.cell.ready.wait_for(slot, deadline - now);
+            slot = guard;
+            if wait.timed_out() {
+                if let Some((result, completed)) = slot.take() {
+                    return (result, Some(completed));
+                }
+                self.cell.cancelled.store(true, Ordering::Release);
+                return (Err(PfError::DeadlineExceeded { stage: "abandoned" }), None);
+            }
+        }
+    }
+
     /// Returns the result if the request already completed, without
     /// blocking. At most one call observes `Some` (the result is moved out).
-    pub fn try_take(&self) -> Option<Result<Tensor, PfError>> {
-        self.cell.result.lock().take()
+    pub fn try_take(&self) -> Option<Result<R, PfError>> {
+        self.cell.result.lock().take().map(|(result, _)| result)
     }
 }
 
 /// One admitted request waiting in the queue.
-#[derive(Debug)]
-struct Request {
+struct Request<Rq, R> {
     seq: u64,
-    input: Tensor,
+    input: Rq,
     enqueued: Instant,
-    cell: Arc<TicketCell>,
+    /// Absolute deadline: once past, the batcher resolves the ticket with
+    /// [`PfError::DeadlineExceeded`] instead of dispatching the request.
+    deadline: Option<Instant>,
+    cell: Arc<TicketCell<R>>,
 }
 
-#[derive(Debug)]
-struct QueueState {
-    pending: VecDeque<Request>,
+struct QueueState<Rq, R> {
+    pending: VecDeque<Request<Rq, R>>,
     /// Cleared by shutdown: no further admissions, workers drain and exit.
     accepting: bool,
     next_seq: u64,
 }
 
-#[derive(Debug)]
-struct Shared<E> {
+struct Shared<E: InferenceEngine> {
     engine: E,
     config: ServeConfig,
-    queue: Mutex<QueueState>,
+    /// The current batch-formation window in microseconds. Initialised from
+    /// [`ServeConfig::batch_timeout`]; a router shrinks it under load
+    /// pressure ([`Server::set_batch_window`]).
+    window_us: AtomicU64,
+    queue: Mutex<QueueState<E::Request, E::Response>>,
     /// Signalled on every admission and on shutdown.
     work: Condvar,
     stats: Mutex<StatsCollector>,
 }
 
+impl<E: InferenceEngine> Shared<E> {
+    fn window(&self) -> Duration {
+        Duration::from_micros(self.window_us.load(Ordering::Relaxed))
+    }
+}
+
 /// A thread-based micro-batching inference server.
 ///
 /// Worker threads drain the bounded request queue into micro-batches (up to
-/// [`ServeConfig::max_batch`] requests, waiting at most
-/// [`ServeConfig::batch_timeout`] for a partial batch to fill) and dispatch
-/// each batch through the [`InferenceEngine`]. Admission control is a
-/// bounded queue: submissions beyond [`ServeConfig::queue_depth`] are
-/// rejected with [`PfError::Overloaded`].
+/// [`ServeConfig::max_batch`] requests, waiting at most the current batch
+/// window — initially [`ServeConfig::batch_timeout`] — for a partial batch
+/// to fill) and dispatch each batch through the [`InferenceEngine`].
+/// Admission control is a bounded queue: submissions beyond
+/// [`ServeConfig::queue_depth`] are rejected with [`PfError::Overloaded`].
+/// Requests may carry a deadline ([`Server::submit_with_deadline`]): a
+/// request whose deadline passes while it is still queued is **never
+/// dispatched** — its ticket resolves to [`PfError::DeadlineExceeded`] and
+/// it is counted as `expired`.
 ///
 /// Dropping the server also shuts it down (draining first), but
 /// [`Server::shutdown`] is preferred: it returns the final [`ServerStats`].
-#[derive(Debug)]
 pub struct Server<E: InferenceEngine + 'static> {
     shared: Arc<Shared<E>>,
     workers: Vec<JoinHandle<()>>,
 }
 
+impl<E: InferenceEngine + 'static> std::fmt::Debug for Server<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("config", &self.shared.config)
+            .field("workers", &self.workers.len())
+            .field("queue_len", &self.queue_len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<E: InferenceEngine + 'static> Server<E> {
     /// Validates `config` and starts the worker threads.
+    ///
+    /// A `workers` value of `0` auto-sizes the pool against rayon's global
+    /// pool (see [`ServeConfig::effective_workers`]).
     ///
     /// # Errors
     ///
     /// Returns [`PfError::InvalidScenario`] for an inconsistent config.
     pub fn new(engine: E, config: ServeConfig) -> Result<Self, PfError> {
         config.validate()?;
+        let worker_count = config.effective_workers();
         let shared = Arc::new(Shared {
             engine,
+            window_us: AtomicU64::new(config.batch_timeout.as_micros() as u64),
             config,
             queue: Mutex::new(QueueState {
                 pending: VecDeque::new(),
@@ -147,7 +267,7 @@ impl<E: InferenceEngine + 'static> Server<E> {
             work: Condvar::new(),
             stats: Mutex::new(StatsCollector::default()),
         });
-        let workers = (0..config.workers)
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -175,6 +295,25 @@ impl<E: InferenceEngine + 'static> Server<E> {
         self.shared.queue.lock().pending.len()
     }
 
+    /// The current batch-formation window (initially
+    /// [`ServeConfig::batch_timeout`]).
+    pub fn batch_window(&self) -> Duration {
+        self.shared.window()
+    }
+
+    /// Replaces the batch-formation window, taking effect from the next
+    /// batch a worker forms. A routing tier shrinks the window towards zero
+    /// under queue pressure — trading batch size for latency — and restores
+    /// it when pressure subsides. The window is capped at the configured
+    /// [`ServeConfig::batch_timeout`] (the window can only shrink relative
+    /// to the scenario's setting, never grow beyond it).
+    pub fn set_batch_window(&self, window: Duration) {
+        let capped = window.min(self.shared.config.batch_timeout);
+        self.shared
+            .window_us
+            .store(capped.as_micros() as u64, Ordering::Relaxed);
+    }
+
     /// Submits one request, returning its [`Ticket`] immediately.
     ///
     /// # Errors
@@ -182,22 +321,64 @@ impl<E: InferenceEngine + 'static> Server<E> {
     /// Returns [`PfError::Overloaded`] when the queue is full (the request
     /// is counted as rejected), or [`PfError::InvalidScenario`] when the
     /// server is shutting down (not counted: shutdown is not load).
-    pub fn submit(&self, input: Tensor) -> Result<Ticket, PfError> {
+    pub fn submit(&self, input: E::Request) -> Result<Ticket<E::Response>, PfError> {
+        self.submit_with_deadline(input, None)
+    }
+
+    /// Submits one request with an optional absolute deadline.
+    ///
+    /// A deadlined request that is still queued when its deadline passes is
+    /// never dispatched: the batcher resolves its ticket with
+    /// [`PfError::DeadlineExceeded`] (stage `"queued"`) and counts it as
+    /// `expired`. A request already dispatched before the deadline runs to
+    /// completion regardless (the engine is not interrupted mid-batch);
+    /// completions after the deadline are the *caller's* deadline misses to
+    /// account, from [`Ticket::wait_timed`].
+    ///
+    /// # Errors
+    ///
+    /// Same admission errors as [`Server::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        input: E::Request,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket<E::Response>, PfError> {
+        self.try_submit_with_deadline(input, deadline)
+            .map_err(|(_, e)| e)
+    }
+
+    /// Like [`Server::submit_with_deadline`], but hands the payload back
+    /// on failure — so a routing tier can spill a rejected request to
+    /// another replica without requiring `Clone` payloads.
+    ///
+    /// # Errors
+    ///
+    /// Same admission errors as [`Server::submit`], paired with the
+    /// unconsumed payload.
+    pub fn try_submit_with_deadline(
+        &self,
+        input: E::Request,
+        deadline: Option<Instant>,
+    ) -> Result<Ticket<E::Response>, (E::Request, PfError)> {
         let enqueued = Instant::now();
         let mut queue = self.shared.queue.lock();
         if !queue.accepting {
-            return Err(PfError::invalid_scenario(
-                "submit on a server that is shutting down",
+            return Err((
+                input,
+                PfError::invalid_scenario("submit on a server that is shutting down"),
             ));
         }
         if queue.pending.len() >= self.shared.config.queue_depth {
             let queued = queue.pending.len();
             drop(queue);
             self.shared.stats.lock().record_rejected();
-            return Err(PfError::Overloaded {
-                queued,
-                limit: self.shared.config.queue_depth,
-            });
+            return Err((
+                input,
+                PfError::Overloaded {
+                    queued,
+                    limit: self.shared.config.queue_depth,
+                },
+            ));
         }
         let seq = queue.next_seq;
         queue.next_seq += 1;
@@ -206,6 +387,7 @@ impl<E: InferenceEngine + 'static> Server<E> {
             seq,
             input,
             enqueued,
+            deadline,
             cell: Arc::clone(&cell),
         });
         drop(queue);
@@ -219,7 +401,7 @@ impl<E: InferenceEngine + 'static> Server<E> {
     /// # Errors
     ///
     /// Same admission errors as [`Server::submit`], plus any engine error.
-    pub fn submit_blocking(&self, input: Tensor) -> Result<Tensor, PfError> {
+    pub fn submit_blocking(&self, input: E::Request) -> Result<E::Response, PfError> {
         self.submit(input)?.wait()
     }
 
@@ -231,9 +413,10 @@ impl<E: InferenceEngine + 'static> Server<E> {
 
     /// Stops admissions, drains every queued request, joins the workers and
     /// returns the final stats. Deterministic: every ticket handed out by
-    /// [`Server::submit`] is resolved by the time this returns. (Engine
-    /// panics are caught per batch — they fail that batch's tickets and
-    /// show up in [`ServerStats::failed`] rather than killing a worker.)
+    /// [`Server::submit`] is resolved by the time this returns — served,
+    /// failed, expired or cancelled. (Engine panics are caught per batch —
+    /// they fail that batch's tickets and show up in [`ServerStats::failed`]
+    /// rather than killing a worker.)
     ///
     /// # Panics
     ///
@@ -265,13 +448,52 @@ impl<E: InferenceEngine + 'static> Drop for Server<E> {
     }
 }
 
-/// Takes requests off the queue into `batch` until it holds `max` requests.
-fn take_into(batch: &mut Vec<Request>, queue: &mut QueueState, max: usize) {
+/// A request the batcher removed from the queue without dispatching, and
+/// why (`"abandoned"` = ticket cancelled, `"queued"` = deadline expired).
+type Dropped<R> = (Arc<TicketCell<R>>, &'static str);
+
+/// Takes requests off the queue into `batch` until it holds `max` requests,
+/// skipping cancelled and deadline-expired requests into `dropped` (their
+/// tickets are resolved by the caller once the queue lock is released —
+/// expired requests are **never dispatched**).
+fn take_into<Rq, R>(
+    batch: &mut Vec<Request<Rq, R>>,
+    dropped: &mut Vec<Dropped<R>>,
+    queue: &mut QueueState<Rq, R>,
+    max: usize,
+) {
     while batch.len() < max {
-        match queue.pending.pop_front() {
-            Some(request) => batch.push(request),
-            None => break,
+        let Some(request) = queue.pending.pop_front() else {
+            break;
+        };
+        if request.cell.cancelled.load(Ordering::Acquire) {
+            dropped.push((request.cell, "abandoned"));
+            continue;
         }
+        if let Some(deadline) = request.deadline {
+            if Instant::now() >= deadline {
+                dropped.push((request.cell, "queued"));
+                continue;
+            }
+        }
+        batch.push(request);
+    }
+}
+
+/// Resolves the tickets of requests dropped at batch formation and records
+/// them (cancelled vs expired) in the stats.
+fn resolve_dropped<E: InferenceEngine>(shared: &Shared<E>, dropped: Vec<Dropped<E::Response>>) {
+    if dropped.is_empty() {
+        return;
+    }
+    let now = Instant::now();
+    let mut stats = shared.stats.lock();
+    for (cell, stage) in dropped {
+        match stage {
+            "abandoned" => stats.record_cancelled(),
+            _ => stats.record_expired(),
+        }
+        cell.fulfill(Err(PfError::DeadlineExceeded { stage }), now);
     }
 }
 
@@ -291,14 +513,17 @@ fn worker_loop<E: InferenceEngine>(shared: &Shared<E>) {
         }
 
         let mut batch = Vec::with_capacity(max_batch);
-        take_into(&mut batch, &mut queue, max_batch);
+        let mut dropped = Vec::new();
+        take_into(&mut batch, &mut dropped, &mut queue, max_batch);
 
-        // Batch formation: wait (bounded) for a partial batch to fill.
-        // Skipped during drain — shutdown flushes at full speed.
-        if batch.len() < max_batch && queue.accepting && !shared.config.batch_timeout.is_zero() {
-            let deadline = Instant::now() + shared.config.batch_timeout;
+        // Batch formation: wait (bounded by the current window) for a
+        // partial batch to fill. Skipped during drain — shutdown flushes at
+        // full speed — and when the window has been shrunk to zero.
+        let window = shared.window();
+        if batch.len() < max_batch && queue.accepting && !window.is_zero() {
+            let deadline = Instant::now() + window;
             loop {
-                take_into(&mut batch, &mut queue, max_batch);
+                take_into(&mut batch, &mut dropped, &mut queue, max_batch);
                 if batch.len() >= max_batch || !queue.accepting {
                     break;
                 }
@@ -309,17 +534,18 @@ fn worker_loop<E: InferenceEngine>(shared: &Shared<E>) {
                 let (guard, wait) = shared.work.wait_for(queue, deadline - now);
                 queue = guard;
                 if wait.timed_out() {
-                    take_into(&mut batch, &mut queue, max_batch);
+                    take_into(&mut batch, &mut dropped, &mut queue, max_batch);
                     break;
                 }
             }
         }
         drop(queue);
+        resolve_dropped(shared, dropped);
         dispatch(shared, batch);
     }
 }
 
-fn dispatch<E: InferenceEngine>(shared: &Shared<E>, batch: Vec<Request>) {
+fn dispatch<E: InferenceEngine>(shared: &Shared<E>, batch: Vec<Request<E::Request, E::Response>>) {
     if batch.is_empty() {
         return;
     }
@@ -364,12 +590,12 @@ fn dispatch<E: InferenceEngine>(shared: &Shared<E>, batch: Vec<Request>) {
     match outcome {
         Ok(outputs) => {
             for (cell, output) in cells.iter().zip(outputs) {
-                cell.fulfill(Ok(output));
+                cell.fulfill(Ok(output), completed);
             }
         }
         Err(e) => {
             for cell in &cells {
-                cell.fulfill(Err(e.clone()));
+                cell.fulfill(Err(e.clone()), completed);
             }
         }
     }

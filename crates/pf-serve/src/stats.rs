@@ -74,9 +74,16 @@ pub struct ServerStats {
     pub served: u64,
     /// Requests rejected by admission control (queue full).
     pub rejected: u64,
-    /// Requests accepted but failed by the engine. `served + rejected +
-    /// failed == submitted` once the server has drained.
+    /// Requests accepted but failed by the engine.
     pub failed: u64,
+    /// Requests whose deadline passed while still queued: dropped at batch
+    /// formation, never dispatched.
+    pub expired: u64,
+    /// Requests whose caller abandoned the ticket (`Ticket::wait_deadline`
+    /// timed out) before dispatch — a client decision, counted distinctly
+    /// from engine failures. `served + rejected + failed + expired +
+    /// cancelled == submitted` once the server has drained.
+    pub cancelled: u64,
     /// End-to-end request latency (enqueue → complete), served requests.
     pub latency: LatencySummary,
     /// Queueing delay (enqueue → dispatch), served requests.
@@ -113,6 +120,8 @@ pub(crate) struct StatsCollector {
     served: u64,
     rejected: u64,
     failed: u64,
+    expired: u64,
+    cancelled: u64,
     latency_secs: Vec<f64>,
     queue_wait_secs: Vec<f64>,
     service_secs: Vec<f64>,
@@ -137,6 +146,14 @@ impl StatsCollector {
     pub(crate) fn record_rejected(&mut self) {
         self.submitted += 1;
         self.rejected += 1;
+    }
+
+    pub(crate) fn record_expired(&mut self) {
+        self.expired += 1;
+    }
+
+    pub(crate) fn record_cancelled(&mut self) {
+        self.cancelled += 1;
     }
 
     /// Records one dispatched micro-batch: its size, outcome, and each
@@ -177,6 +194,8 @@ impl StatsCollector {
             served: self.served,
             rejected: self.rejected,
             failed: self.failed,
+            expired: self.expired,
+            cancelled: self.cancelled,
             latency: LatencySummary::from_samples_secs(&self.latency_secs),
             queue_wait: LatencySummary::from_samples_secs(&self.queue_wait_secs),
             service: LatencySummary::from_samples_secs(&self.service_secs),
@@ -227,6 +246,10 @@ mod tests {
         collector.record_submitted(enqueues[0]);
         collector.record_submitted(enqueues[1]);
         collector.record_rejected();
+        collector.record_submitted(t0 + Duration::from_millis(2));
+        collector.record_expired();
+        collector.record_submitted(t0 + Duration::from_millis(2));
+        collector.record_cancelled();
         collector.record_batch(
             &enqueues,
             t0 + Duration::from_millis(2),
@@ -234,12 +257,14 @@ mod tests {
             true,
         );
         let stats = collector.snapshot();
-        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.submitted, 5);
         assert_eq!(stats.served, 2);
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.failed, 0);
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.cancelled, 1);
         assert_eq!(
-            stats.served + stats.rejected + stats.failed,
+            stats.served + stats.rejected + stats.failed + stats.expired + stats.cancelled,
             stats.submitted
         );
         assert_eq!(

@@ -3,22 +3,18 @@
 //! The mocks make the asynchronous parts deterministic: a *gated* engine
 //! blocks inside `infer_batch` until the test grants it a permit, so the
 //! test controls exactly which requests are queued while a batch is in
-//! flight (overload, batch-formation and histogram assertions all hinge on
-//! that).
+//! flight (overload, batch-formation, deadline-expiry and histogram
+//! assertions all hinge on that). Payloads are plain `f64`s — the server is
+//! generic, and scalar mocks keep the invariants in plain sight.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use pf_core::PfError;
-use pf_nn::Tensor;
 use pf_serve::{InferenceEngine, ServeConfig, Server};
-
-fn scalar(v: f64) -> Tensor {
-    Tensor::new(vec![1], vec![v]).unwrap()
-}
 
 /// Doubles every input; records the seqs it was handed.
 #[derive(Debug, Default)]
@@ -28,10 +24,13 @@ struct EchoEngine {
 }
 
 impl InferenceEngine for EchoEngine {
-    fn infer_batch(&self, inputs: &[Tensor], seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
+    type Request = f64;
+    type Response = f64;
+
+    fn infer_batch(&self, inputs: &[f64], seqs: &[u64]) -> Result<Vec<f64>, PfError> {
         self.calls.fetch_add(1, Ordering::Relaxed);
         self.seen_seqs.lock().extend_from_slice(seqs);
-        Ok(inputs.iter().map(|t| t.map(|x| x * 2.0)).collect())
+        Ok(inputs.iter().map(|x| x * 2.0).collect())
     }
 }
 
@@ -42,6 +41,7 @@ struct GatedEngine {
     entered: Mutex<mpsc::Sender<usize>>,
     permits: Mutex<usize>,
     released: Condvar,
+    seen_seqs: Mutex<Vec<u64>>,
 }
 
 impl GatedEngine {
@@ -52,6 +52,7 @@ impl GatedEngine {
                 entered: Mutex::new(tx),
                 permits: Mutex::new(0),
                 released: Condvar::new(),
+                seen_seqs: Mutex::new(Vec::new()),
             }),
             rx,
         )
@@ -64,7 +65,10 @@ impl GatedEngine {
 }
 
 impl InferenceEngine for GatedEngine {
-    fn infer_batch(&self, inputs: &[Tensor], _seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
+    type Request = f64;
+    type Response = f64;
+
+    fn infer_batch(&self, inputs: &[f64], seqs: &[u64]) -> Result<Vec<f64>, PfError> {
         self.entered.lock().send(inputs.len()).expect("test alive");
         let mut permits = self.permits.lock();
         while *permits == 0 {
@@ -72,6 +76,7 @@ impl InferenceEngine for GatedEngine {
         }
         *permits -= 1;
         drop(permits);
+        self.seen_seqs.lock().extend_from_slice(seqs);
         Ok(inputs.to_vec())
     }
 }
@@ -81,7 +86,10 @@ impl InferenceEngine for GatedEngine {
 struct FailingEngine;
 
 impl InferenceEngine for FailingEngine {
-    fn infer_batch(&self, _inputs: &[Tensor], _seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
+    type Request = f64;
+    type Response = f64;
+
+    fn infer_batch(&self, _inputs: &[f64], _seqs: &[u64]) -> Result<Vec<f64>, PfError> {
         Err(PfError::invalid_scenario("engine down"))
     }
 }
@@ -93,7 +101,10 @@ struct PanicOnceEngine {
 }
 
 impl InferenceEngine for PanicOnceEngine {
-    fn infer_batch(&self, inputs: &[Tensor], _seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
+    type Request = f64;
+    type Response = f64;
+
+    fn infer_batch(&self, inputs: &[f64], _seqs: &[u64]) -> Result<Vec<f64>, PfError> {
         if self.panicked.fetch_add(1, Ordering::Relaxed) == 0 {
             panic!("engine blew up");
         }
@@ -110,11 +121,15 @@ fn quick_config() -> ServeConfig {
     }
 }
 
+fn five_way(stats: &pf_serve::ServerStats) -> u64 {
+    stats.served + stats.rejected + stats.failed + stats.expired + stats.cancelled
+}
+
 #[test]
 fn submit_blocking_round_trips() {
     let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
-    let out = server.submit_blocking(scalar(21.0)).unwrap();
-    assert_eq!(out, scalar(42.0));
+    let out = server.submit_blocking(21.0).unwrap();
+    assert_eq!(out, 42.0);
     let stats = server.shutdown();
     assert_eq!(stats.submitted, 1);
     assert_eq!(stats.served, 1);
@@ -124,30 +139,23 @@ fn submit_blocking_round_trips() {
 #[test]
 fn every_ticket_resolves_and_seqs_are_submission_order() {
     let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
-    let tickets: Vec<_> = (0..20)
-        .map(|i| server.submit(scalar(i as f64)).unwrap())
-        .collect();
+    let tickets: Vec<_> = (0..20).map(|i| server.submit(i as f64).unwrap()).collect();
     for (i, ticket) in tickets.iter().enumerate() {
         assert_eq!(ticket.seq(), i as u64);
     }
     for (i, ticket) in tickets.into_iter().enumerate() {
-        assert_eq!(ticket.wait().unwrap(), scalar(i as f64 * 2.0));
+        assert_eq!(ticket.wait().unwrap(), i as f64 * 2.0);
     }
     let stats = server.shutdown();
     assert_eq!(stats.served, 20);
-    assert_eq!(
-        stats.served + stats.rejected + stats.failed,
-        stats.submitted
-    );
+    assert_eq!(five_way(&stats), stats.submitted);
 }
 
 #[test]
 fn engine_sees_every_seq_exactly_once() {
     let engine = Arc::new(EchoEngine::default());
     let server = Server::new(Arc::clone(&engine), quick_config()).unwrap();
-    let tickets: Vec<_> = (0..16)
-        .map(|i| server.submit(scalar(i as f64)).unwrap())
-        .collect();
+    let tickets: Vec<_> = (0..16).map(|i| server.submit(i as f64).unwrap()).collect();
     for ticket in tickets {
         ticket.wait().unwrap();
     }
@@ -169,14 +177,14 @@ fn overload_is_deterministic_and_explicit() {
     let server = Server::new(Arc::clone(&engine), config).unwrap();
 
     // First request is picked up by the worker and blocks in the engine...
-    let t1 = server.submit(scalar(1.0)).unwrap();
+    let t1 = server.submit(1.0).unwrap();
     assert_eq!(entered.recv().unwrap(), 1);
     // ...so these two fill the queue exactly to its depth...
-    let t2 = server.submit(scalar(2.0)).unwrap();
-    let t3 = server.submit(scalar(3.0)).unwrap();
+    let t2 = server.submit(2.0).unwrap();
+    let t3 = server.submit(3.0).unwrap();
     assert_eq!(server.queue_len(), 2);
     // ...and the next admission must be rejected.
-    match server.submit(scalar(4.0)) {
+    match server.submit(4.0) {
         Err(PfError::Overloaded { queued, limit }) => {
             assert_eq!(queued, 2);
             assert_eq!(limit, 2);
@@ -187,19 +195,16 @@ fn overload_is_deterministic_and_explicit() {
     engine.grant(3);
     assert_eq!(entered.recv().unwrap(), 1);
     assert_eq!(entered.recv().unwrap(), 1);
-    assert_eq!(t1.wait().unwrap(), scalar(1.0));
-    assert_eq!(t2.wait().unwrap(), scalar(2.0));
-    assert_eq!(t3.wait().unwrap(), scalar(3.0));
+    assert_eq!(t1.wait().unwrap(), 1.0);
+    assert_eq!(t2.wait().unwrap(), 2.0);
+    assert_eq!(t3.wait().unwrap(), 3.0);
 
     let stats = server.shutdown();
     assert_eq!(stats.submitted, 4);
     assert_eq!(stats.served, 3);
     assert_eq!(stats.rejected, 1);
     assert_eq!(stats.failed, 0);
-    assert_eq!(
-        stats.served + stats.rejected + stats.failed,
-        stats.submitted
-    );
+    assert_eq!(five_way(&stats), stats.submitted);
 }
 
 #[test]
@@ -215,11 +220,9 @@ fn batcher_forms_micro_batches_up_to_max_batch() {
 
     // Lone request: dispatched as a batch of 1 once its formation window
     // lapses; the engine then blocks, so everything submitted next queues up.
-    let t0 = server.submit(scalar(0.0)).unwrap();
+    let t0 = server.submit(0.0).unwrap();
     assert_eq!(entered.recv().unwrap(), 1);
-    let tickets: Vec<_> = (1..=8)
-        .map(|i| server.submit(scalar(i as f64)).unwrap())
-        .collect();
+    let tickets: Vec<_> = (1..=8).map(|i| server.submit(i as f64).unwrap()).collect();
 
     // Release batch 1, then the two full batches of 4.
     engine.grant(3);
@@ -245,22 +248,20 @@ fn batcher_forms_micro_batches_up_to_max_batch() {
 #[test]
 fn shutdown_drains_every_accepted_request() {
     let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
-    let tickets: Vec<_> = (0..50)
-        .map(|i| server.submit(scalar(i as f64)).unwrap())
-        .collect();
+    let tickets: Vec<_> = (0..50).map(|i| server.submit(i as f64).unwrap()).collect();
     let stats = server.shutdown();
     assert_eq!(stats.served, 50);
     // Every ticket is already resolved — no blocking possible here.
     for (i, ticket) in tickets.into_iter().enumerate() {
         let result = ticket.try_take().expect("resolved by shutdown");
-        assert_eq!(result.unwrap(), scalar(i as f64 * 2.0));
+        assert_eq!(result.unwrap(), i as f64 * 2.0);
     }
 }
 
 #[test]
 fn mid_flight_snapshot_settles_at_shutdown() {
     let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
-    let _ = server.submit_blocking(scalar(1.0)).unwrap();
+    let _ = server.submit_blocking(1.0).unwrap();
     let snapshot = server.stats();
     assert_eq!(snapshot.submitted, 1);
     assert_eq!(snapshot.served, 1);
@@ -271,16 +272,13 @@ fn mid_flight_snapshot_settles_at_shutdown() {
 #[test]
 fn engine_errors_fail_the_batch_but_keep_accounting() {
     let server = Server::new(FailingEngine, quick_config()).unwrap();
-    let t = server.submit(scalar(1.0)).unwrap();
+    let t = server.submit(1.0).unwrap();
     assert!(t.wait().is_err());
     let stats = server.shutdown();
     assert_eq!(stats.submitted, 1);
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.served, 0);
-    assert_eq!(
-        stats.served + stats.rejected + stats.failed,
-        stats.submitted
-    );
+    assert_eq!(five_way(&stats), stats.submitted);
 }
 
 #[test]
@@ -288,17 +286,14 @@ fn engine_panics_fail_the_batch_without_stranding_anyone() {
     let server = Server::new(PanicOnceEngine::default(), quick_config()).unwrap();
     // First request hits the panicking batch: its ticket must still
     // resolve (to an error), not hang.
-    let err = server.submit_blocking(scalar(1.0)).unwrap_err();
+    let err = server.submit_blocking(1.0).unwrap_err();
     assert!(err.to_string().contains("panicked"), "{err}");
     // The worker survived: the server keeps serving.
-    assert_eq!(server.submit_blocking(scalar(2.0)).unwrap(), scalar(2.0));
+    assert_eq!(server.submit_blocking(2.0).unwrap(), 2.0);
     let stats = server.shutdown();
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.served, 1);
-    assert_eq!(
-        stats.served + stats.rejected + stats.failed,
-        stats.submitted
-    );
+    assert_eq!(five_way(&stats), stats.submitted);
 }
 
 #[test]
@@ -315,7 +310,7 @@ fn multiple_workers_serve_concurrently() {
             scope.spawn(move || {
                 for i in 0..10 {
                     let v = (w * 100 + i) as f64;
-                    assert_eq!(server.submit_blocking(scalar(v)).unwrap(), scalar(v * 2.0));
+                    assert_eq!(server.submit_blocking(v).unwrap(), v * 2.0);
                 }
             });
         }
@@ -326,4 +321,157 @@ fn multiple_workers_serve_concurrently() {
     let mut seqs = engine.seen_seqs.lock().clone();
     seqs.sort_unstable();
     assert_eq!(seqs, (0..30).collect::<Vec<u64>>());
+}
+
+#[test]
+fn non_tensor_payloads_are_first_class() {
+    /// The server is generic: a request can carry routing metadata.
+    #[derive(Debug)]
+    struct KeyedEngine;
+    impl InferenceEngine for KeyedEngine {
+        type Request = (u64, String);
+        type Response = String;
+
+        fn infer_batch(
+            &self,
+            inputs: &[(u64, String)],
+            _seqs: &[u64],
+        ) -> Result<Vec<String>, PfError> {
+            Ok(inputs.iter().map(|(k, s)| format!("{k}:{s}")).collect())
+        }
+    }
+
+    let server = Server::new(KeyedEngine, quick_config()).unwrap();
+    let out = server.submit_blocking((7, "img".into())).unwrap();
+    assert_eq!(out, "7:img");
+    server.shutdown();
+}
+
+#[test]
+fn expired_requests_are_never_dispatched() {
+    let (engine, entered) = GatedEngine::new();
+    let config = ServeConfig {
+        max_batch: 1,
+        batch_timeout: Duration::ZERO,
+        queue_depth: 16,
+        workers: 1,
+    };
+    let server = Server::new(Arc::clone(&engine), config).unwrap();
+
+    // Occupy the worker so the deadlined request stays queued...
+    let blocker = server.submit(1.0).unwrap();
+    assert_eq!(entered.recv().unwrap(), 1);
+    // ...with a deadline that is already in the past.
+    let doomed = server
+        .submit_with_deadline(2.0, Some(Instant::now() - Duration::from_millis(1)))
+        .unwrap();
+    let live = server.submit(3.0).unwrap();
+
+    engine.grant(3);
+    match doomed.wait() {
+        Err(PfError::DeadlineExceeded { stage }) => assert_eq!(stage, "queued"),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(blocker.wait().unwrap(), 1.0);
+    assert_eq!(live.wait().unwrap(), 3.0);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(five_way(&stats), stats.submitted);
+    // The engine saw seqs 0 and 2 only — the expired request (seq 1) was
+    // dropped at batch formation, not dispatched.
+    let mut seqs = engine.seen_seqs.lock().clone();
+    seqs.sort_unstable();
+    assert_eq!(seqs, vec![0, 2]);
+}
+
+#[test]
+fn wait_deadline_returns_in_time_when_result_is_ready() {
+    let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
+    let ticket = server.submit(5.0).unwrap();
+    let out = ticket.wait_deadline(Duration::from_secs(10)).unwrap();
+    assert_eq!(out, 10.0);
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.cancelled, 0);
+}
+
+#[test]
+fn abandoned_tickets_are_cancelled_not_failed() {
+    let (engine, entered) = GatedEngine::new();
+    let config = ServeConfig {
+        max_batch: 1,
+        batch_timeout: Duration::ZERO,
+        queue_depth: 16,
+        workers: 1,
+    };
+    let server = Server::new(Arc::clone(&engine), config).unwrap();
+
+    // Occupy the worker, then abandon a queued request.
+    let blocker = server.submit(1.0).unwrap();
+    assert_eq!(entered.recv().unwrap(), 1);
+    let abandoned = server.submit(2.0).unwrap();
+    match abandoned.wait_deadline(Duration::from_millis(5)) {
+        Err(PfError::DeadlineExceeded { stage }) => assert_eq!(stage, "abandoned"),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    engine.grant(2);
+    assert_eq!(blocker.wait().unwrap(), 1.0);
+    let stats = server.shutdown();
+    assert_eq!(stats.cancelled, 1, "slot reclaimed, counted as cancelled");
+    assert_eq!(stats.failed, 0, "a client timeout is not an engine failure");
+    assert_eq!(stats.served, 1);
+    assert_eq!(five_way(&stats), stats.submitted);
+    // The abandoned request (seq 1) never reached the engine.
+    let mut seqs = engine.seen_seqs.lock().clone();
+    seqs.sort_unstable();
+    assert_eq!(seqs, vec![0]);
+}
+
+#[test]
+fn wait_timed_reports_the_completion_instant() {
+    let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
+    let before = Instant::now();
+    let ticket = server.submit(1.0).unwrap();
+    // Give the request time to complete *before* we wait, then check the
+    // stamped instant reflects completion, not observation.
+    std::thread::sleep(Duration::from_millis(20));
+    let observed = Instant::now();
+    let (result, completed) = ticket.wait_timed();
+    assert_eq!(result.unwrap(), 2.0);
+    assert!(completed >= before);
+    assert!(
+        completed <= observed,
+        "completion was stamped when the engine finished, not when wait_timed ran"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn batch_window_is_adjustable_and_capped() {
+    let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
+    assert_eq!(server.batch_window(), quick_config().batch_timeout);
+    server.set_batch_window(Duration::ZERO);
+    assert_eq!(server.batch_window(), Duration::ZERO);
+    // Requests still serve with a zero window (immediate dispatch).
+    assert_eq!(server.submit_blocking(4.0).unwrap(), 8.0);
+    // The window can only shrink relative to the configured timeout.
+    server.set_batch_window(Duration::from_secs(60));
+    assert_eq!(server.batch_window(), quick_config().batch_timeout);
+    server.shutdown();
+}
+
+#[test]
+fn auto_sized_workers_still_serve() {
+    let config = ServeConfig {
+        workers: 0,
+        ..quick_config()
+    };
+    let server = Server::new(EchoEngine::default(), config).unwrap();
+    assert_eq!(server.submit_blocking(3.0).unwrap(), 6.0);
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 1);
 }

@@ -14,7 +14,7 @@ fn main() -> Result<(), PfError> {
     // optics, micro-batches of up to 8 requests, a 2 ms batch-formation
     // window, a 64-request admission queue.
     let scenario = Scenario::from_path("scenarios/serving_resnet18.toml")?;
-    let spec = scenario.serving.unwrap_or_default();
+    let spec = scenario.serving.clone().unwrap_or_default();
     println!(
         "serving `{}` on {} (max_batch {}, batch timeout {} us, queue depth {})",
         scenario.name,

@@ -34,7 +34,12 @@
 //! For live traffic, [`serve::serve_scenario`] wraps a session in the
 //! `pf-serve` micro-batching inference server: concurrent submissions are
 //! formed into micro-batches under load, with explicit overload rejection
-//! and p50/p95/p99 latency accounting (see `docs/SERVING.md`).
+//! and p50/p95/p99 latency accounting (see `docs/SERVING.md`). To scale
+//! out, [`route::route_scenario`] puts a `pf-router` front tier over N
+//! replica shards: per-request deadlines and priority classes, pluggable
+//! dispatch policies (`round_robin`, `least_loaded`, `kernel_affinity`),
+//! and staged degradation under overload (shrink batch windows, shed the
+//! lowest class, reject last).
 //!
 //! # Quickstart
 //!
@@ -87,12 +92,14 @@
 //! | [`arch`] | the architecture simulator: dataflow, power, area, design-space exploration (Sections V & VI) |
 //! | [`baselines`] | prior-accelerator reference models for the Figure 13 comparison |
 //! | [`serve`] | the micro-batching inference server (`pf-serve`) wired to `Session` |
+//! | [`route`] | the multi-replica SLO-aware routing tier (`pf-router`) over model-sharded sessions |
 //!
 //! The per-crate APIs remain available underneath the facade — the
 //! `Session` API composes them and deprecates nothing.
 
 #![deny(missing_docs)]
 
+pub mod route;
 pub mod serve;
 pub mod session;
 pub mod sweep;
@@ -108,8 +115,10 @@ pub use pf_tiling as tiling;
 
 pub use pf_core::{
     network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FunctionalSpec,
-    PfError, Scenario, ServingSpec, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
+    PfError, RouterSpec, Scenario, ServingSpec, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
+    ROUTER_POLICIES,
 };
+pub use route::{ModelRequest, ModelShardEngine, SessionRouter};
 pub use serve::{ServeConfig, Server, ServerStats, SessionServer, Ticket};
 pub use session::{Session, SessionBuilder};
 pub use sweep::{SweepPointResult, SweepReport, SweepRunner, SWEEP_SCHEMA};
@@ -117,13 +126,16 @@ pub use sweep::{SweepPointResult, SweepReport, SweepRunner, SWEEP_SCHEMA};
 /// Commonly used items re-exported in one place.
 pub mod prelude {
     // The unified facade API.
+    pub use crate::route::{ModelRequest, ModelShardEngine, SessionRouter};
     pub use crate::serve::{ServeConfig, Server, ServerStats, SessionServer, Ticket};
     pub use crate::session::{Session, SessionBuilder};
     pub use crate::sweep::{SweepPointResult, SweepReport, SweepRunner};
     pub use pf_core::{
         network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FunctionalSpec,
-        PfError, Scenario, ServingSpec, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
+        PfError, RouterSpec, Scenario, ServingSpec, SweepPlan, SweepPoint, SweepSpec,
+        NETWORK_REGISTRY, ROUTER_POLICIES,
     };
+    pub use pf_router::{Router, RouterConfig, RouterRequest, RouterStats, RouterTicket};
 
     // The per-crate building blocks the facade composes.
     pub use pf_arch::config::ArchConfig;

@@ -36,6 +36,9 @@ use crate::session::Session;
 pub type SessionServer = Server<Session>;
 
 impl InferenceEngine for Session {
+    type Request = Tensor;
+    type Response = Tensor;
+
     /// Runs a micro-batch through the session.
     ///
     /// Deterministic backends go through [`Session::run_batch`], so served

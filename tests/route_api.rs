@@ -1,0 +1,233 @@
+//! Facade-level tests of the routing tier: `photofourier::route` over real
+//! sessions — model-variant shards, policy placement, deadline accounting
+//! and offline bit-identity through the public API. (The router core's
+//! overload/degradation ladder is exercised with gated mock engines in
+//! `crates/pf-router/tests/router.rs`.)
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use photofourier::prelude::*;
+use photofourier::route::{self, model_scenario, ModelRequest};
+
+fn routing_scenario() -> Scenario {
+    Scenario::from_path(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/routing_resnet18.toml"
+    ))
+    .expect("committed routing scenario loads")
+}
+
+fn image(seed: u64) -> Tensor {
+    Tensor::random(vec![1, 16, 16], 0.0, 1.0, seed)
+}
+
+#[test]
+fn committed_scenario_builds_a_two_replica_affinity_router() {
+    let scenario = routing_scenario();
+    let spec = scenario.serving.as_ref().unwrap().router.as_ref().unwrap();
+    assert_eq!(spec.replicas, 2);
+    assert_eq!(spec.policy, "kernel_affinity");
+    assert_eq!(
+        spec.priority_classes,
+        vec!["interactive", "standard", "background"]
+    );
+    let router = route::route_scenario(scenario).unwrap();
+    assert_eq!(router.replica_count(), 2);
+    assert_eq!(router.config().policy.name(), "kernel_affinity");
+    let stats = router.drain();
+    assert_eq!(stats.submitted, 0);
+    assert_eq!(stats.replicas.len(), 2);
+}
+
+#[test]
+fn routed_results_are_bit_identical_to_offline_variant_sessions() {
+    let scenario = routing_scenario();
+    let router = route::route_scenario(scenario.clone()).unwrap();
+
+    // Three models, several requests each, mixed classes.
+    let mut expected = Vec::new();
+    let mut tickets = Vec::new();
+    for k in 0..9u64 {
+        let model = k % 3;
+        let input = image(100 + k);
+        expected.push((model, input.clone()));
+        let ticket = router
+            .submit(
+                RouterRequest::new(ModelRequest::new(input, model).with_seed(k))
+                    .with_class((k % 3) as usize)
+                    .with_affinity(model),
+            )
+            .unwrap();
+        tickets.push(ticket);
+    }
+    let served: Vec<Tensor> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+
+    // Offline: one fresh session per variant, plain inference (digital
+    // backend is deterministic).
+    for ((model, input), routed) in expected.iter().zip(&served) {
+        let offline = Session::from_scenario(model_scenario(&scenario, *model)).unwrap();
+        assert_eq!(
+            &offline.run_inference(input).unwrap(),
+            routed,
+            "model {model} diverged from its offline session"
+        );
+    }
+    // Variants really are different models.
+    assert_ne!(served[0], served[1]);
+
+    let stats = router.drain();
+    assert_eq!(stats.submitted, 9);
+    assert_eq!(stats.served(), 9);
+    assert_eq!(stats.shed + stats.rejected, 0);
+    assert_eq!(stats.deadline_misses, 0);
+    let cache = stats.cache();
+    assert!(cache.hits > 0, "repeat models must hit the shard cache");
+    // Every class saw traffic.
+    for class in &stats.classes {
+        assert_eq!(class.served, 3, "class {}", class.class);
+    }
+}
+
+#[test]
+fn kernel_affinity_pins_a_model_to_one_replica() {
+    let router = route::route_scenario(routing_scenario()).unwrap();
+    let mut homes = Vec::new();
+    for k in 0..6u64 {
+        let model = k % 2;
+        let ticket = router
+            .submit(RouterRequest::new(ModelRequest::new(image(k), model)).with_affinity(model))
+            .unwrap();
+        homes.push((model, ticket.replica()));
+        ticket.wait().unwrap();
+    }
+    for model in 0..2u64 {
+        let replicas: Vec<usize> = homes
+            .iter()
+            .filter(|&&(m, _)| m == model)
+            .map(|&(_, r)| r)
+            .collect();
+        assert!(
+            replicas.windows(2).all(|w| w[0] == w[1]),
+            "model {model} moved between replicas: {replicas:?}"
+        );
+    }
+    router.drain();
+}
+
+#[test]
+fn already_expired_deadlines_are_never_dispatched() {
+    let scenario = routing_scenario();
+    let router = route::route_scenario(scenario).unwrap();
+    let past = Instant::now() - Duration::from_millis(5);
+    let ticket = router
+        .submit(
+            RouterRequest::new(ModelRequest::new(image(1), 0))
+                .with_class(2)
+                .with_deadline(past),
+        )
+        .unwrap();
+    let err = ticket.wait().unwrap_err();
+    assert!(
+        matches!(err, PfError::DeadlineExceeded { stage: "queued" }),
+        "{err:?}"
+    );
+    let stats = router.drain();
+    assert_eq!(stats.class("background").unwrap().expired, 1);
+    assert_eq!(stats.served(), 0);
+    assert_eq!(stats.deadline_misses, 0);
+}
+
+#[test]
+fn generous_deadlines_complete_within_them() {
+    let router = route::route_scenario(routing_scenario()).unwrap();
+    let ticket = router
+        .submit(
+            RouterRequest::new(ModelRequest::new(image(2), 0))
+                .with_deadline(Instant::now() + Duration::from_secs(30)),
+        )
+        .unwrap();
+    ticket.wait_deadline(Duration::from_secs(30)).unwrap();
+    let stats = router.drain();
+    assert_eq!(stats.served(), 1);
+    assert_eq!(stats.deadline_misses, 0);
+    let interactive = stats.class("interactive").unwrap();
+    assert_eq!(interactive.abandoned, 0);
+    assert!(interactive.latency.p99_ms > 0.0);
+}
+
+#[test]
+fn out_of_range_class_is_a_caller_error_not_traffic() {
+    let router = route::route_scenario(routing_scenario()).unwrap();
+    let err = router
+        .submit(RouterRequest::new(ModelRequest::new(image(3), 0)).with_class(7))
+        .unwrap_err();
+    assert!(matches!(err, PfError::InvalidScenario { .. }), "{err:?}");
+    let stats = router.drain();
+    assert_eq!(stats.submitted, 0, "caller bugs are not traffic");
+}
+
+#[test]
+fn stochastic_backend_replays_by_request_seed_through_the_tier() {
+    let mut scenario = routing_scenario();
+    scenario.backend = BackendSpec::photofourier_cg(256);
+    scenario.name = "routing_cg".to_string();
+    let router = route::route_scenario(scenario.clone()).unwrap();
+
+    let inputs: Vec<Tensor> = (0..2).map(|k| image(200 + k)).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(k, input)| {
+            router
+                .submit(
+                    RouterRequest::new(ModelRequest::new(input.clone(), 1).with_seed(k as u64))
+                        .with_affinity(1),
+                )
+                .unwrap()
+        })
+        .collect();
+    let served: Vec<Tensor> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+    router.drain();
+
+    // The routed noise stream is pinned to the request's own seed, so it
+    // replays offline on a fresh session of the same variant.
+    let offline = Session::from_scenario(model_scenario(&scenario, 1)).unwrap();
+    for (k, (input, routed)) in inputs.iter().zip(&served).enumerate() {
+        assert_eq!(
+            &offline.run_inference_seeded(input, k as u64).unwrap(),
+            routed,
+            "request {k} did not replay"
+        );
+    }
+}
+
+#[test]
+fn drain_resolves_every_outstanding_ticket() {
+    let router = Arc::new(route::route_scenario(routing_scenario()).unwrap());
+    // Submit from several threads, wait on none of them before draining.
+    let tickets: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4u64)
+            .map(|k| {
+                let router = Arc::clone(&router);
+                scope.spawn(move || {
+                    router
+                        .submit(
+                            RouterRequest::new(ModelRequest::new(image(300 + k), k % 3))
+                                .with_affinity(k % 3),
+                        )
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Drain stops admissions and resolves everything already admitted.
+    let router = Arc::into_inner(router).expect("all clones dropped");
+    let stats = router.drain();
+    assert_eq!(stats.admitted, 4);
+    // Every ticket resolves (already fulfilled by the drain).
+    for ticket in tickets {
+        ticket.wait().unwrap();
+    }
+}

@@ -103,6 +103,16 @@ fn every_schema_field_is_documented() {
         "batch_timeout_us",
         "queue_depth",
         "workers",
+        // [serving.router]
+        "router",
+        "replicas",
+        "policy",
+        "priority_classes",
+        "slo_p99_ms",
+        "models",
+        "replica_cache",
+        "shed_at",
+        "shrink_at",
         // [sweep]
         "sweep",
         "arch_presets",
@@ -125,6 +135,9 @@ fn every_schema_field_is_documented() {
         "BaselineSinglePfcu",
         "Wraparound",
         "ZeroPad",
+        "round_robin",
+        "least_loaded",
+        "kernel_affinity",
     ] {
         assert!(text.contains(value), "SCENARIOS.md must document `{value}`");
     }

@@ -160,6 +160,9 @@ impl GatedEcho {
 }
 
 impl InferenceEngine for GatedEcho {
+    type Request = Tensor;
+    type Response = Tensor;
+
     fn infer_batch(&self, inputs: &[Tensor], _seqs: &[u64]) -> Result<Vec<Tensor>, PfError> {
         self.entered
             .lock()
