@@ -3,37 +3,52 @@
 //! Measures batched conv2d and batched inference on every backend, writes
 //! `BENCH_throughput.json`, and (with `--check`) gates against the
 //! committed `benches/baseline.json`. See the README "Performance" section
-//! for the schema and the CI wiring.
+//! for the schema and the CI wiring, and `docs/PERFORMANCE.md` ("Reading
+//! the scaling curves") for the `--threads-sweep` output.
 //!
 //! Flags:
 //!
 //! * `--smoke`          small shapes / few reps (the CI bench-smoke job)
 //! * `--out PATH`       report path (default `BENCH_throughput.json`)
 //! * `--check PATH`     compare against a committed baseline; non-zero exit
-//!   on regression
+//!   on regression (throughput floors and, when the sweep ran, the
+//!   core-gated thread-scaling floors)
 //! * `--tolerance F`    allowed fractional regression for `--check`
 //!   (default 0.30 = 30%)
 //! * `--threads N`      size the parallel-dispatch worker pool (default:
-//!   one worker per available core); the report's `host_threads` records
-//!   whichever pool size was actually used
+//!   one worker per available core); the report records both the request
+//!   (`host_threads_configured`) and the pool actually used
+//!   (`host_threads`)
+//! * `--threads-sweep 1,2,4`  measure thread-scaling curves: each listed
+//!   pool width is installed as a scoped pool and every smoke scenario is
+//!   re-timed under it; emitted under the report's `threads` key
+//! * `--grain G`        parallelism grain for the sweep sessions: `auto`
+//!   (default), `image` or `tile`
+//! * `--md-summary PATH`  write the report as a GitHub-flavoured markdown
+//!   table (the CI `$GITHUB_STEP_SUMMARY` payload)
 //! * `--stages`         additionally measure the per-backend stage
 //!   breakdown (signal-FFT / spectrum-apply / inverse / DAC-ADC shares)
 //!   and emit it under the report's `stages` key
 
 use std::process::ExitCode;
 
-use pf_bench::perf::{check_against_baseline, run_suite, Baseline, PerfReport};
+use pf_bench::perf::{
+    check_against_baseline, check_scaling_against_baseline, markdown_summary, run_suite,
+    thread_scaling, Baseline, PerfReport,
+};
+use photofourier::ParallelGrain;
 
 fn usage() {
     eprintln!(
-        "usage: perf [--smoke] [--stages] [--out PATH] [--check BASELINE] [--tolerance FRACTION] [--threads N]"
+        "usage: perf [--smoke] [--stages] [--out PATH] [--check BASELINE] [--tolerance FRACTION] \
+         [--threads N] [--threads-sweep N,N,...] [--grain auto|image|tile] [--md-summary PATH]"
     );
 }
 
 fn print_report(report: &PerfReport) {
     println!(
-        "\n== PhotoFourier throughput ({} mode, {} host thread(s)) ==",
-        report.mode, report.host_threads
+        "\n== PhotoFourier throughput ({} mode, {} host thread(s), {} core(s)) ==",
+        report.mode, report.host_threads, report.host_cores
     );
     println!(
         "{:<22} {:<16} {:>6} {:>12} {:>12} {:>10} {:>14}",
@@ -50,6 +65,28 @@ fn print_report(report: &PerfReport) {
             r.us_per_conv,
             r.speedup_vs_seed
         );
+    }
+    if let Some(threads) = &report.threads {
+        println!(
+            "\n-- thread scaling (requested grain: {}, widths {:?}) --",
+            threads.grain, threads.counts
+        );
+        println!(
+            "{:<22} {:<16} {:>7} {:>8} {:>12} {:>12} {:>11}",
+            "scenario", "backend", "threads", "grain", "imgs/s", "speedup_vs_1", "efficiency"
+        );
+        for r in &threads.curve {
+            println!(
+                "{:<22} {:<16} {:>7} {:>8} {:>12.2} {:>12.2} {:>11.2}",
+                r.scenario,
+                r.backend,
+                r.threads,
+                r.grain,
+                r.images_per_s,
+                r.speedup_vs_1,
+                r.efficiency
+            );
+        }
     }
     if let Some(stages) = &report.stages {
         println!("\n-- stage breakdown (shares of one prepared correlation) --");
@@ -80,6 +117,9 @@ fn main() -> ExitCode {
     let mut check: Option<String> = None;
     let mut tolerance = 0.30f64;
     let mut threads: Option<usize> = None;
+    let mut sweep: Option<Vec<usize>> = None;
+    let mut grain = ParallelGrain::Auto;
+    let mut md_summary: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -87,7 +127,8 @@ fn main() -> ExitCode {
             "--smoke" => smoke = true,
             "--full" => smoke = false,
             "--stages" => stages = true,
-            "--out" | "--check" | "--tolerance" | "--threads" => {
+            "--out" | "--check" | "--tolerance" | "--threads" | "--threads-sweep" | "--grain"
+            | "--md-summary" => {
                 let flag = args[i].clone();
                 i += 1;
                 let Some(value) = args.get(i) else {
@@ -98,10 +139,35 @@ fn main() -> ExitCode {
                 match flag.as_str() {
                     "--out" => out = value.clone(),
                     "--check" => check = Some(value.clone()),
+                    "--md-summary" => md_summary = Some(value.clone()),
                     "--threads" => match value.parse::<usize>() {
                         Ok(n) if n >= 1 => threads = Some(n),
                         _ => {
                             eprintln!("--threads needs an integer >= 1");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--threads-sweep" => {
+                        let counts: Result<Vec<usize>, _> = value
+                            .split(',')
+                            .map(|s| s.trim().parse::<usize>())
+                            .collect();
+                        match counts {
+                            Ok(counts) if counts.iter().all(|&n| n >= 1) && !counts.is_empty() => {
+                                sweep = Some(counts);
+                            }
+                            _ => {
+                                eprintln!(
+                                    "--threads-sweep needs a comma-separated list of integers >= 1"
+                                );
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    "--grain" => match ParallelGrain::from_name(value) {
+                        Some(g) => grain = g,
+                        None => {
+                            eprintln!("--grain needs one of: auto, image, tile");
                             return ExitCode::from(2);
                         }
                     },
@@ -138,13 +204,23 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = match run_suite(smoke, stages) {
+    let mut report = match run_suite(smoke, stages) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("perf suite failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    report.host_threads_configured = threads.unwrap_or(0);
+    if let Some(counts) = &sweep {
+        report.threads = match thread_scaling(smoke, counts, grain) {
+            Ok(scaling) => Some(scaling),
+            Err(e) => {
+                eprintln!("thread-scaling sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     print_report(&report);
 
     let json = match serde_json::to_string_pretty(&report) {
@@ -160,18 +236,37 @@ fn main() -> ExitCode {
     }
     println!("wrote {out}");
 
-    if let Some(baseline_path) = check {
-        let baseline: Baseline = match std::fs::read_to_string(&baseline_path)
-            .map_err(|e| e.to_string())
-            .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
-        {
-            Ok(baseline) => baseline,
-            Err(e) => {
-                eprintln!("failed to read baseline {baseline_path}: {e}");
-                return ExitCode::FAILURE;
+    let baseline: Option<Baseline> = match &check {
+        Some(baseline_path) => {
+            match std::fs::read_to_string(baseline_path)
+                .map_err(|e| e.to_string())
+                .and_then(|s| serde_json::from_str(&s).map_err(|e| e.to_string()))
+            {
+                Ok(baseline) => Some(baseline),
+                Err(e) => {
+                    eprintln!("failed to read baseline {baseline_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-        };
-        let failures = check_against_baseline(&report, &baseline, tolerance);
+        }
+        None => None,
+    };
+
+    if let Some(path) = &md_summary {
+        if let Err(e) = std::fs::write(path, markdown_summary(&report, baseline.as_ref())) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if let (Some(baseline_path), Some(baseline)) = (&check, &baseline) {
+        let mut failures = check_against_baseline(&report, baseline, tolerance);
+        let (scaling_failures, skipped) = check_scaling_against_baseline(&report, baseline);
+        failures.extend(scaling_failures);
+        for note in &skipped {
+            println!("scaling gate skipped: {note}");
+        }
         if failures.is_empty() {
             println!(
                 "bench gate passed against {baseline_path} ({}% tolerance)",

@@ -46,7 +46,11 @@ use photofourier::PfError;
 use serde::{Deserialize, Serialize};
 
 /// Schema identifier written into the report.
-pub const SCHEMA: &str = "pf-bench/throughput-v1";
+///
+/// `throughput-v2` extends v1 with the `threads` scaling-curve section and
+/// the `host_threads_configured` / `host_cores` host metadata (see
+/// [`ThreadScaling`] and [`PerfReport`]).
+pub const SCHEMA: &str = "pf-bench/throughput-v2";
 
 /// One measured scenario/backend combination.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,6 +108,42 @@ pub struct StageRecord {
     pub dac_adc_share: f64,
 }
 
+/// One point of a thread-scaling curve: one scenario/backend pair measured
+/// under a scoped rayon pool of `threads` workers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadScalingRecord {
+    /// Scenario name, e.g. `conv2d_batch` or `resnet18_batch_infer`.
+    pub scenario: String,
+    /// Backend registry name.
+    pub backend: String,
+    /// Scoped pool width this point was measured under.
+    pub threads: usize,
+    /// The parallelism grain the batch actually ran at under this pool
+    /// width (`auto` sessions resolve per point: `image` when the batch
+    /// fills the pool, `tile` otherwise).
+    pub grain: String,
+    /// Measured engine throughput in images per second.
+    pub images_per_s: f64,
+    /// Throughput relative to the 1-thread point of the same curve — the
+    /// cores-vs-throughput metric the scaling gate checks.
+    pub speedup_vs_1: f64,
+    /// `speedup_vs_1 / threads`: 1.0 is perfect linear scaling.
+    pub efficiency: f64,
+}
+
+/// The `threads` section of a throughput-v2 report: scaling curves over a
+/// set of scoped pool widths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadScaling {
+    /// Pool widths swept (always includes 1, the curve's reference point).
+    pub counts: Vec<usize>,
+    /// The session-level grain the sweep was requested with (`auto`,
+    /// `image` or `tile`); per-point resolution is in each record.
+    pub grain: String,
+    /// One record per (scenario, backend, pool width).
+    pub curve: Vec<ThreadScalingRecord>,
+}
+
 /// The full report serialised to `BENCH_throughput.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -115,8 +155,20 @@ pub struct PerfReport {
     /// pool size configured through `--threads` /
     /// `rayon::ThreadPoolBuilder`, or the host's available core count.
     pub host_threads: usize,
+    /// The pool size `--threads` *asked for*; `0` when no override was
+    /// requested. Recording both sides makes a silently-ignored override
+    /// visible: `host_threads` is what dispatch really used.
+    pub host_threads_configured: usize,
+    /// Physical cores available to the process
+    /// (`std::thread::available_parallelism`). Pool widths beyond this are
+    /// concurrency without parallelism — the scaling gate skips floors it
+    /// cannot measure honestly (see [`check_scaling_against_baseline`]).
+    pub host_cores: usize,
     /// Measured records.
     pub results: Vec<PerfRecord>,
+    /// Thread-scaling curves; present when the harness ran with
+    /// `--threads-sweep`.
+    pub threads: Option<ThreadScaling>,
     /// Per-backend stage breakdown; present when the harness ran with
     /// `--stages`.
     pub stages: Option<Vec<StageRecord>>,
@@ -134,11 +186,30 @@ pub struct BaselineEntry {
     pub min_speedup_vs_seed: f64,
 }
 
+/// Committed parallel-efficiency floor for one point of a thread-scaling
+/// curve: at `threads` workers, the scenario/backend pair must reach at
+/// least `min_speedup_vs_1` over its own 1-thread throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingBaselineEntry {
+    /// Scenario name to match.
+    pub scenario: String,
+    /// Backend registry name to match.
+    pub backend: String,
+    /// Pool width the floor applies at.
+    pub threads: usize,
+    /// Committed `speedup_vs_1` floor at that width.
+    pub min_speedup_vs_1: f64,
+}
+
 /// The committed baseline file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Baseline {
     /// Per-scenario floors.
     pub entries: Vec<BaselineEntry>,
+    /// Thread-scaling floors, checked by
+    /// [`check_scaling_against_baseline`] when the report carries a
+    /// `threads` section. Optional so pre-v2 baseline files still load.
+    pub scaling: Option<Vec<ScalingBaselineEntry>>,
 }
 
 /// Compares a report against the committed baseline.
@@ -179,6 +250,67 @@ pub fn check_against_baseline(
         }
     }
     failures
+}
+
+/// Checks a report's thread-scaling curve against the baseline's `scaling`
+/// floors. Returns `(failures, skipped)`:
+///
+/// * a floor whose pool width exceeds the report's `host_cores` is
+///   **skipped**, not failed — a 1-core host can time a 4-wide pool but
+///   cannot honestly measure parallel speedup on it, so the floor belongs
+///   to a wider runner (CI's `scaling-smoke` job);
+/// * a checkable floor with no matching curve record, and a record below
+///   its floor, are **failures**.
+///
+/// Reports without a `threads` section (the sweep did not run) skip every
+/// floor with a single note.
+pub fn check_scaling_against_baseline(
+    report: &PerfReport,
+    baseline: &Baseline,
+) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut skipped = Vec::new();
+    let Some(floors) = &baseline.scaling else {
+        return (failures, skipped);
+    };
+    let Some(threads) = &report.threads else {
+        if !floors.is_empty() {
+            skipped.push(format!(
+                "report has no `threads` section — {} scaling floor(s) unchecked (run with --threads-sweep)",
+                floors.len()
+            ));
+        }
+        return (failures, skipped);
+    };
+    for entry in floors {
+        if entry.threads > report.host_cores {
+            skipped.push(format!(
+                "{}/{} @ {}T: host has {} core(s) — floor needs a wider runner",
+                entry.scenario, entry.backend, entry.threads, report.host_cores
+            ));
+            continue;
+        }
+        let Some(record) = threads.curve.iter().find(|r| {
+            r.scenario == entry.scenario && r.backend == entry.backend && r.threads == entry.threads
+        }) else {
+            failures.push(format!(
+                "scaling floor {}/{} @ {}T has no measured curve point",
+                entry.scenario, entry.backend, entry.threads
+            ));
+            continue;
+        };
+        if record.speedup_vs_1 < entry.min_speedup_vs_1 {
+            failures.push(format!(
+                "{}/{} @ {}T: speedup_vs_1 {:.2} fell below committed floor {:.2}",
+                entry.scenario,
+                entry.backend,
+                entry.threads,
+                record.speedup_vs_1,
+                entry.min_speedup_vs_1
+            ));
+        }
+    }
+    (failures, skipped)
 }
 
 /// Times `f` `reps` times and returns the best (minimum) duration — the
@@ -517,6 +649,257 @@ pub fn inference_scenario(
     })
 }
 
+/// Physical cores available to the process (1 if the host will not say).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builds a scoped rayon pool of exactly `threads` workers (see the
+/// vendored `rayon::ThreadPool`: `install` overrides the advertised pool
+/// width for the closure's dispatch decisions).
+fn scoped_pool(threads: usize) -> Result<rayon::ThreadPool, PfError> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .map_err(|e| PfError::invalid_scenario(format!("scoped thread pool: {e}")))
+}
+
+/// Normalises a requested sweep into the measured pool widths: positive,
+/// sorted, deduplicated, and always containing 1 — the curve's reference
+/// point, without which `speedup_vs_1` has no denominator.
+fn sweep_widths(counts: &[usize]) -> Vec<usize> {
+    let mut widths: Vec<usize> = counts.iter().copied().filter(|&n| n > 0).collect();
+    widths.push(1);
+    widths.sort_unstable();
+    widths.dedup();
+    widths
+}
+
+/// Measures the thread-scaling curves: every smoke scenario/backend pair is
+/// timed under a scoped rayon pool at each requested width, and each
+/// curve's throughput is normalised to its own 1-thread point.
+///
+/// One session per scenario is built up front (prepared-kernel caches warm
+/// once and are shared across the whole curve), so the only thing that
+/// varies between points is the advertised pool width — which is exactly
+/// what the parallel dispatch heuristics key on. The per-point `grain`
+/// field records how the session actually resolved its [`ParallelGrain`]
+/// under that width (stochastic conv2d batches pin to `serial`: determinism
+/// forbids parallel dispatch there regardless of grain).
+///
+/// On a host with fewer cores than a requested width the point is still
+/// measured — the scoped pool advertises the width and dispatch follows it
+/// — but the speedup cannot exceed ~1.0; [`check_scaling_against_baseline`]
+/// core-gates its floors for exactly this reason.
+///
+/// # Errors
+///
+/// Propagates session construction and execution errors.
+pub fn thread_scaling(
+    smoke: bool,
+    counts: &[usize],
+    grain: ParallelGrain,
+) -> Result<ThreadScaling, PfError> {
+    let (conv_batch, conv_reps) = if smoke { (8, 3) } else { (32, 5) };
+    let (infer_batch, infer_reps) = if smoke { (4, 2) } else { (16, 3) };
+    let widths = sweep_widths(counts);
+    let mut curve = Vec::new();
+
+    // conv2d_batch on every backend.
+    for kind in [
+        BackendKind::Digital,
+        BackendKind::JtcIdeal,
+        BackendKind::PhotofourierCg,
+    ] {
+        let session = Session::with_grain(backend_scenario(kind), grain)?;
+        let inputs = conv2d_inputs(conv_batch, 32);
+        let kernel = conv2d_kernel();
+        let _ = session.conv2d(&inputs[0], &kernel)?; // warm the prepared cache
+        let mut base = 0.0;
+        for &threads in &widths {
+            let pool = scoped_pool(threads)?;
+            let elapsed = pool.install(|| {
+                best_of(conv_reps, || {
+                    session
+                        .conv2d_batch(&inputs, &kernel)
+                        .expect("scaling conv2d batch");
+                })
+            });
+            let point_grain = if session.is_stochastic() {
+                "serial".to_string()
+            } else {
+                pool.install(|| session.effective_grain(conv_batch))
+                    .name()
+                    .to_string()
+            };
+            let images_per_s = conv_batch as f64 / elapsed.as_secs_f64().max(1e-12);
+            if threads == 1 {
+                base = images_per_s;
+            }
+            let speedup_vs_1 = images_per_s / base.max(1e-12);
+            curve.push(ThreadScalingRecord {
+                scenario: "conv2d_batch".to_string(),
+                backend: kind.name().to_string(),
+                threads,
+                grain: point_grain,
+                images_per_s,
+                speedup_vs_1,
+                efficiency: speedup_vs_1 / threads as f64,
+            });
+        }
+    }
+
+    // Batched inference on the ideal JTC (the serving-tier hot path).
+    {
+        let scenario = backend_scenario(BackendKind::JtcIdeal);
+        let session = Session::with_grain(scenario.clone(), grain)?;
+        let images: Vec<Tensor> = (0..infer_batch)
+            .map(|i| {
+                Tensor::random(
+                    vec![
+                        scenario.functional.input_channels,
+                        scenario.functional.input_size,
+                        scenario.functional.input_size,
+                    ],
+                    0.0,
+                    1.0,
+                    1000 + i as u64,
+                )
+            })
+            .collect();
+        let _ = session.run_batch(&images[..1])?; // warm the prepared cache
+        let mut base = 0.0;
+        for &threads in &widths {
+            let pool = scoped_pool(threads)?;
+            let elapsed = pool.install(|| {
+                best_of(infer_reps, || {
+                    session.run_batch(&images).expect("scaling batch inference");
+                })
+            });
+            let point_grain = pool
+                .install(|| session.effective_grain(infer_batch))
+                .name()
+                .to_string();
+            let images_per_s = infer_batch as f64 / elapsed.as_secs_f64().max(1e-12);
+            if threads == 1 {
+                base = images_per_s;
+            }
+            let speedup_vs_1 = images_per_s / base.max(1e-12);
+            curve.push(ThreadScalingRecord {
+                scenario: "resnet18_batch_infer".to_string(),
+                backend: BackendKind::JtcIdeal.name().to_string(),
+                threads,
+                grain: point_grain,
+                images_per_s,
+                speedup_vs_1,
+                efficiency: speedup_vs_1 / threads as f64,
+            });
+        }
+    }
+
+    Ok(ThreadScaling {
+        counts: widths,
+        grain: grain.name().to_string(),
+        curve,
+    })
+}
+
+/// Renders the report as a GitHub-flavoured markdown summary (the
+/// `$GITHUB_STEP_SUMMARY` payload of the CI bench jobs): the throughput
+/// table with committed-floor deltas, and the thread-scaling curves when
+/// the sweep ran.
+pub fn markdown_summary(report: &PerfReport, baseline: Option<&Baseline>) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "## pf-bench throughput ({} mode, schema `{}`)\n",
+        report.mode, report.schema
+    );
+    let _ = writeln!(
+        out,
+        "Host: {} core(s); dispatch pool {} thread(s){}.\n",
+        report.host_cores,
+        report.host_threads,
+        if report.host_threads_configured > 0 {
+            format!(" (configured {})", report.host_threads_configured)
+        } else {
+            String::new()
+        }
+    );
+
+    let _ = writeln!(
+        out,
+        "| scenario | backend | batch | images/s | speedup vs seed | committed floor | delta |"
+    );
+    let _ = writeln!(out, "|---|---|--:|--:|--:|--:|--:|");
+    for record in &report.results {
+        let floor = baseline.and_then(|b| {
+            b.entries
+                .iter()
+                .find(|e| e.scenario == record.scenario && e.backend == record.backend)
+                .map(|e| e.min_speedup_vs_seed)
+        });
+        let (floor_cell, delta_cell) = match floor {
+            Some(floor) => (
+                format!("{floor:.2}"),
+                format!("{:+.2}", record.speedup_vs_seed - floor),
+            ),
+            None => ("—".to_string(), "—".to_string()),
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.1} | {:.2} | {} | {} |",
+            record.scenario,
+            record.backend,
+            record.batch,
+            record.images_per_s,
+            record.speedup_vs_seed,
+            floor_cell,
+            delta_cell
+        );
+    }
+
+    if let Some(threads) = &report.threads {
+        let _ = writeln!(
+            out,
+            "\n### Thread scaling (requested grain: `{}`)\n",
+            threads.grain
+        );
+        let _ = writeln!(
+            out,
+            "| scenario | backend | threads | grain | images/s | speedup vs 1T | efficiency |"
+        );
+        let _ = writeln!(out, "|---|---|--:|---|--:|--:|--:|");
+        for record in &threads.curve {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {:.1} | {:.2} | {:.2} |",
+                record.scenario,
+                record.backend,
+                record.threads,
+                record.grain,
+                record.images_per_s,
+                record.speedup_vs_1,
+                record.efficiency
+            );
+        }
+        if let Some(baseline) = baseline {
+            let (failures, skipped) = check_scaling_against_baseline(report, baseline);
+            for note in &skipped {
+                let _ = writeln!(out, "\n> skipped: {note}");
+            }
+            for failure in &failures {
+                let _ = writeln!(out, "\n> **FAIL**: {failure}");
+            }
+        }
+    }
+    out
+}
+
 /// Collects the per-backend stage breakdown over the conv2d scenario's
 /// tile geometry (32×32 input, 3×3 kernel, 256-waveguide backend →
 /// 67-sample tiled kernel against 256-sample tiles).
@@ -637,13 +1020,207 @@ pub fn run_suite(smoke: bool, with_stages: bool) -> Result<PerfReport, PfError> 
         // `ThreadPoolBuilder` override instead of assuming one worker per
         // available core.
         host_threads: rayon::current_num_threads(),
+        // The bin patches in the `--threads` request (0 = no override) and
+        // the `--threads-sweep` curves after the suite runs.
+        host_threads_configured: 0,
+        host_cores: host_cores(),
         results,
+        threads: None,
         stages,
     })
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
+    fn synthetic_report(host_cores: usize, threads: Option<ThreadScaling>) -> PerfReport {
+        PerfReport {
+            schema: SCHEMA.to_string(),
+            mode: "smoke".to_string(),
+            host_threads: host_cores,
+            host_threads_configured: 0,
+            host_cores,
+            results: vec![PerfRecord {
+                scenario: "conv2d_batch".to_string(),
+                backend: "jtc_ideal".to_string(),
+                batch: 8,
+                reps: 3,
+                images_per_s: 100.0,
+                us_per_conv: 10.0,
+                convs_per_image: 64,
+                seed_images_per_s: 40.0,
+                speedup_vs_seed: 2.5,
+            }],
+            threads,
+            stages: None,
+        }
+    }
+
+    fn point(scenario: &str, threads: usize, speedup: f64) -> ThreadScalingRecord {
+        ThreadScalingRecord {
+            scenario: scenario.to_string(),
+            backend: "jtc_ideal".to_string(),
+            threads,
+            grain: "image".to_string(),
+            images_per_s: 100.0 * speedup,
+            speedup_vs_1: speedup,
+            efficiency: speedup / threads as f64,
+        }
+    }
+
+    fn floor(scenario: &str, threads: usize, min: f64) -> ScalingBaselineEntry {
+        ScalingBaselineEntry {
+            scenario: scenario.to_string(),
+            backend: "jtc_ideal".to_string(),
+            threads,
+            min_speedup_vs_1: min,
+        }
+    }
+
+    #[test]
+    fn sweep_widths_are_positive_sorted_deduped_and_contain_one() {
+        assert_eq!(sweep_widths(&[4, 2, 2, 0, 1]), vec![1, 2, 4]);
+        assert_eq!(sweep_widths(&[]), vec![1]);
+        assert_eq!(sweep_widths(&[8]), vec![1, 8]);
+    }
+
+    #[test]
+    fn scaling_gate_fails_below_floor_and_on_missing_points() {
+        let scaling = ThreadScaling {
+            counts: vec![1, 2],
+            grain: "auto".to_string(),
+            curve: vec![
+                point("resnet18_batch_infer", 1, 1.0),
+                point("resnet18_batch_infer", 2, 1.2),
+            ],
+        };
+        let report = synthetic_report(4, Some(scaling));
+        let baseline = Baseline {
+            entries: vec![],
+            scaling: Some(vec![
+                floor("resnet18_batch_infer", 2, 1.6), // measured 1.2: fail
+                floor("conv2d_batch", 2, 1.6),         // never measured: fail
+            ]),
+        };
+        let (failures, skipped) = check_scaling_against_baseline(&report, &baseline);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("fell below"));
+        assert!(failures[1].contains("no measured curve point"));
+        assert!(skipped.is_empty());
+    }
+
+    #[test]
+    fn scaling_gate_is_core_gated_and_passes_honest_curves() {
+        let scaling = ThreadScaling {
+            counts: vec![1, 2, 4],
+            grain: "auto".to_string(),
+            curve: vec![
+                point("resnet18_batch_infer", 1, 1.0),
+                point("resnet18_batch_infer", 2, 1.8),
+                point("resnet18_batch_infer", 4, 3.1),
+            ],
+        };
+        // A 1-core host cannot check any multi-thread floor: all skipped.
+        let narrow = synthetic_report(1, Some(scaling.clone()));
+        let baseline = Baseline {
+            entries: vec![],
+            scaling: Some(vec![
+                floor("resnet18_batch_infer", 2, 1.6),
+                floor("resnet18_batch_infer", 4, 2.5),
+            ]),
+        };
+        let (failures, skipped) = check_scaling_against_baseline(&narrow, &baseline);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(skipped.len(), 2);
+        assert!(skipped[0].contains("wider runner"));
+
+        // A 4-core host checks both floors; this curve clears them.
+        let wide = synthetic_report(4, Some(scaling));
+        let (failures, skipped) = check_scaling_against_baseline(&wide, &baseline);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(skipped.is_empty());
+
+        // No sweep ran: one note, no failures.
+        let no_sweep = synthetic_report(4, None);
+        let (failures, skipped) = check_scaling_against_baseline(&no_sweep, &baseline);
+        assert!(failures.is_empty());
+        assert_eq!(skipped.len(), 1);
+        assert!(skipped[0].contains("--threads-sweep"));
+
+        // A baseline without a scaling section gates nothing.
+        let legacy = Baseline {
+            entries: vec![],
+            scaling: None,
+        };
+        let (failures, skipped) = check_scaling_against_baseline(&no_sweep, &legacy);
+        assert!(failures.is_empty() && skipped.is_empty());
+    }
+
+    #[test]
+    fn legacy_baseline_files_without_scaling_still_load() {
+        let legacy = r#"{"entries":[{"scenario":"conv2d_batch","backend":"jtc_ideal","min_speedup_vs_seed":2.5}]}"#;
+        let baseline: Baseline = serde_json::from_str(legacy).unwrap();
+        assert!(baseline.scaling.is_none());
+        assert_eq!(baseline.entries.len(), 1);
+    }
+
+    #[test]
+    fn markdown_summary_tabulates_throughput_and_scaling() {
+        let scaling = ThreadScaling {
+            counts: vec![1, 2],
+            grain: "auto".to_string(),
+            curve: vec![
+                point("resnet18_batch_infer", 1, 1.0),
+                point("resnet18_batch_infer", 2, 1.7),
+            ],
+        };
+        let report = synthetic_report(1, Some(scaling));
+        let baseline = Baseline {
+            entries: vec![BaselineEntry {
+                scenario: "conv2d_batch".to_string(),
+                backend: "jtc_ideal".to_string(),
+                min_speedup_vs_seed: 2.2,
+            }],
+            scaling: Some(vec![floor("resnet18_batch_infer", 2, 1.6)]),
+        };
+        let summary = markdown_summary(&report, Some(&baseline));
+        // Throughput row with its floor delta (2.5 measured vs 2.2 floor).
+        assert!(summary.contains("| conv2d_batch | jtc_ideal | 8 | 100.0 | 2.50 | 2.20 | +0.30 |"));
+        // Scaling curve section and the core-gated skip note.
+        assert!(summary.contains("### Thread scaling"));
+        assert!(summary
+            .contains("| resnet18_batch_infer | jtc_ideal | 2 | image | 170.0 | 1.70 | 0.85 |"));
+        assert!(summary.contains("skipped:"));
+        assert!(!summary.contains("**FAIL**"));
+    }
+
+    #[test]
+    fn thread_scaling_measures_a_normalised_curve_per_scenario() {
+        let scaling = thread_scaling(true, &[2], ParallelGrain::Auto).unwrap();
+        assert_eq!(scaling.counts, vec![1, 2]);
+        assert_eq!(scaling.grain, "auto");
+        // Four curves (3 conv backends + jtc inference), two points each.
+        assert_eq!(scaling.curve.len(), 8);
+        for record in &scaling.curve {
+            assert!(
+                record.images_per_s.is_finite() && record.images_per_s > 0.0,
+                "{record:?}"
+            );
+            assert!(
+                (record.efficiency - record.speedup_vs_1 / record.threads as f64).abs() < 1e-12,
+                "{record:?}"
+            );
+            if record.threads == 1 {
+                assert!((record.speedup_vs_1 - 1.0).abs() < 1e-12, "{record:?}");
+            }
+            // Stochastic conv2d batches cannot dispatch in parallel.
+            if record.backend == "photofourier_cg" && record.scenario == "conv2d_batch" {
+                assert_eq!(record.grain, "serial");
+            }
+        }
+    }
+
     #[test]
     fn host_threads_reports_the_real_pool_size() {
         // With no override installed, the pool size is the core count...

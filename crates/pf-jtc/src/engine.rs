@@ -69,7 +69,13 @@ impl JtcEngineConfig {
 
 /// A [`Conv1dEngine`] that routes every 1D convolution through the simulated
 /// JTC optics with configurable quantisation and noise.
-#[derive(Debug)]
+///
+/// Cloning is cheap and clones *share* the sensing-noise stream (the `Arc`
+/// below is cloned, not the stream state): interleaved calls across clones
+/// draw from one seeded sequence in call order, exactly as if they had gone
+/// through the original engine. This is what lets callers hold one engine
+/// per parallelism grain without changing stochastic replay semantics.
+#[derive(Debug, Clone)]
 pub struct JtcEngine {
     simulator: JtcSimulator,
     config: JtcEngineConfig,

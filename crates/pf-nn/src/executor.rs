@@ -14,7 +14,7 @@
 
 use pf_dsp::conv::{correlate2d, Matrix, PaddingMode};
 use pf_photonics::adc::Adc;
-use pf_tiling::{Conv1dEngine, EdgeHandling, TiledConvolver};
+use pf_tiling::{Conv1dEngine, EdgeHandling, ParallelGrain, TiledConvolver};
 use serde::{Deserialize, Serialize};
 
 use crate::error::NnError;
@@ -148,6 +148,18 @@ pub struct TiledExecutor<E> {
     config: PipelineConfig,
 }
 
+impl<E: Clone> Clone for TiledExecutor<E> {
+    /// Clones share the prepared-kernel cache of the inner
+    /// [`TiledConvolver`], so a caller can hold one executor per
+    /// [`ParallelGrain`] without preparing every kernel spectrum twice.
+    fn clone(&self) -> Self {
+        Self {
+            convolver: self.convolver.clone(),
+            config: self.config,
+        }
+    }
+}
+
 impl<E: Conv1dEngine> TiledExecutor<E> {
     /// How many output channels are convolved per multi-kernel call. Caps
     /// the buffered partial planes at `OUT_CHANNEL_CHUNK × in_channels`
@@ -168,14 +180,31 @@ impl<E: Conv1dEngine> TiledExecutor<E> {
                 requirement: "must be at least 1".to_string(),
             });
         }
-        // Tile-level parallelism stays off inside the executor: callers
-        // parallelise at the per-image grain (`Session::run_batch`), and the
-        // executor's many small convolutions would only fight that for
-        // threads. Kernel-spectrum preparation is still cached and shared.
+        // Tile-level parallelism stays off inside the executor by default:
+        // callers parallelise at the per-image grain (`Session::run_batch`),
+        // and the executor's many small convolutions would only fight that
+        // for threads. Kernel-spectrum preparation is still cached and
+        // shared. Callers owning the whole pool (small batches on wide
+        // hosts) opt into tile dispatch with [`TiledExecutor::with_grain`].
         Ok(Self {
-            convolver: TiledConvolver::new(engine, n_conv)?.with_parallel(false),
+            convolver: TiledConvolver::new(engine, n_conv)?.with_grain(ParallelGrain::Image),
             config,
         })
+    }
+
+    /// Sets the parallelism grain of the inner convolver —
+    /// [`ParallelGrain::Image`] (the default here) keeps tiles serial for
+    /// callers that parallelise per image; [`ParallelGrain::Tile`] fans
+    /// each layer's tile batch across the pool for callers that drive
+    /// images serially. Bit-identical either way.
+    pub fn with_grain(mut self, grain: ParallelGrain) -> Self {
+        self.convolver = self.convolver.with_grain(grain);
+        self
+    }
+
+    /// The parallelism grain of the inner convolver.
+    pub fn grain(&self) -> ParallelGrain {
+        self.convolver.grain()
     }
 
     /// The pipeline configuration.

@@ -118,6 +118,7 @@ fn quick_config() -> ServeConfig {
         batch_timeout: Duration::from_micros(500),
         queue_depth: 64,
         workers: 1,
+        scaling_hint: None,
     }
 }
 
@@ -173,6 +174,7 @@ fn overload_is_deterministic_and_explicit() {
         batch_timeout: Duration::ZERO,
         queue_depth: 2,
         workers: 1,
+        scaling_hint: None,
     };
     let server = Server::new(Arc::clone(&engine), config).unwrap();
 
@@ -215,6 +217,7 @@ fn batcher_forms_micro_batches_up_to_max_batch() {
         batch_timeout: Duration::from_millis(5),
         queue_depth: 64,
         workers: 1,
+        scaling_hint: None,
     };
     let server = Server::new(Arc::clone(&engine), config).unwrap();
 
@@ -355,6 +358,7 @@ fn expired_requests_are_never_dispatched() {
         batch_timeout: Duration::ZERO,
         queue_depth: 16,
         workers: 1,
+        scaling_hint: None,
     };
     let server = Server::new(Arc::clone(&engine), config).unwrap();
 
@@ -406,6 +410,7 @@ fn abandoned_tickets_are_cancelled_not_failed() {
         batch_timeout: Duration::ZERO,
         queue_depth: 16,
         workers: 1,
+        scaling_hint: None,
     };
     let server = Server::new(Arc::clone(&engine), config).unwrap();
 

@@ -79,6 +79,63 @@ pub enum EdgeHandling {
     ZeroPad,
 }
 
+/// Which grain of parallelism a tiled execution uses.
+///
+/// The tiling layer only ever parallelises over *tiles* — rows of one
+/// image's joint plane. Batch callers (the facade `Session`, `pf-nn`'s
+/// `TiledExecutor`) can instead parallelise over *images* and drive each
+/// convolver serially. The two grains are bit-identical (every tile is a
+/// pure function of its inputs and results are collected in input order);
+/// they differ only in throughput, and the crossover depends on batch size
+/// versus pool width — see `docs/PERFORMANCE.md`, "Reading the scaling
+/// curves".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ParallelGrain {
+    /// Pick per call: batch callers go image-grain when the batch alone can
+    /// fill the pool (`images >= threads`), tile-grain otherwise; a lone
+    /// convolver behaves like [`ParallelGrain::Tile`] gated by the engine's
+    /// cost hint ([`Conv1dEngine::prefers_parallel_tiles`]).
+    #[default]
+    Auto,
+    /// Parallelise across images of a batch; tiles within each image run
+    /// serially. The right grain when the batch is at least as wide as the
+    /// pool — no fork/join inside each image.
+    Image,
+    /// Parallelise across tiles within each image; images of a batch run
+    /// serially. The right grain for small batches of large images, where
+    /// image-grain work would leave most of the pool idle. Overrides the
+    /// engine's cost hint (an explicit request), but never its determinism
+    /// gate — stochastic engines always run serially.
+    Tile,
+}
+
+impl ParallelGrain {
+    /// Stable lower-case name, used in reports and on the `perf` CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ParallelGrain::Auto => "auto",
+            ParallelGrain::Image => "image",
+            ParallelGrain::Tile => "tile",
+        }
+    }
+
+    /// Parses a lower-case name (inverse of [`ParallelGrain::name`]).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "auto" => Some(ParallelGrain::Auto),
+            "image" => Some(ParallelGrain::Image),
+            "tile" => Some(ParallelGrain::Tile),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ParallelGrain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Execution statistics of one tiled 2D convolution (or one multi-kernel
 /// convolution).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -155,7 +212,7 @@ struct Kernel1d {
 pub struct TiledConvolver<E> {
     engine: E,
     n_conv: usize,
-    parallel: bool,
+    grain: ParallelGrain,
     /// Prepared kernels shared across clones (and therefore across a whole
     /// batch): `None` entries record that the engine declined to prepare.
     prep_cache: Arc<Mutex<PrepMap>>,
@@ -166,7 +223,7 @@ impl<E: Clone> Clone for TiledConvolver<E> {
         Self {
             engine: self.engine.clone(),
             n_conv: self.n_conv,
-            parallel: self.parallel,
+            grain: self.grain,
             prep_cache: Arc::clone(&self.prep_cache),
         }
     }
@@ -199,7 +256,7 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         Ok(Self {
             engine,
             n_conv,
-            parallel: true,
+            grain: ParallelGrain::Auto,
             prep_cache: Arc::new(Mutex::new(HashMap::new())),
         })
     }
@@ -207,15 +264,35 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
     /// Enables or disables parallel tile dispatch. The results are
     /// bit-identical either way; disabling is useful to avoid nested
     /// parallelism when the caller already parallelises at a coarser grain
-    /// (e.g. per image of a batch).
-    pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+    /// (e.g. per image of a batch). Sugar for [`TiledConvolver::with_grain`]
+    /// with [`ParallelGrain::Auto`] / [`ParallelGrain::Image`].
+    pub fn with_parallel(self, parallel: bool) -> Self {
+        self.with_grain(if parallel {
+            ParallelGrain::Auto
+        } else {
+            ParallelGrain::Image
+        })
+    }
+
+    /// Sets the parallelism grain. At the convolver level
+    /// [`ParallelGrain::Image`] means "serial tiles — my caller owns the
+    /// threads", [`ParallelGrain::Tile`] forces tile dispatch even on
+    /// engines whose cost hint declines it, and [`ParallelGrain::Auto`]
+    /// (the default) leaves the decision to the engine's hint. All grains
+    /// produce bit-identical results.
+    pub fn with_grain(mut self, grain: ParallelGrain) -> Self {
+        self.grain = grain;
         self
+    }
+
+    /// The configured parallelism grain.
+    pub fn grain(&self) -> ParallelGrain {
+        self.grain
     }
 
     /// Whether parallel tile dispatch is enabled.
     pub fn parallel(&self) -> bool {
-        self.parallel
+        self.grain != ParallelGrain::Image
     }
 
     /// The configured 1D capacity.
@@ -582,14 +659,18 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
 
     /// Whether this call would actually fan work out across threads.
     fn parallel_active(&self, items: usize) -> bool {
-        // Three gates: the convolver's own switch, determinism (noise
-        // streams must keep their serial order), and the engine's own cost
-        // hint — the vendored rayon spawns scoped threads per call, so
-        // parallelising memory-bound dot-product tiles would lose outright.
-        self.parallel
-            && items > 1
-            && self.engine.is_deterministic()
-            && self.engine.prefers_parallel_tiles()
+        // Three gates: the configured grain, determinism (noise streams
+        // must keep their serial order), and — under `Auto` — the engine's
+        // own cost hint: the vendored rayon spawns scoped threads per call,
+        // so parallelising memory-bound dot-product tiles would lose
+        // outright. An explicit `Tile` grain overrides the cost hint (the
+        // caller asked to measure exactly that), never the determinism gate.
+        let grain_allows = match self.grain {
+            ParallelGrain::Image => false,
+            ParallelGrain::Tile => true,
+            ParallelGrain::Auto => self.engine.prefers_parallel_tiles(),
+        };
+        grain_allows && items > 1 && self.engine.is_deterministic()
     }
 
     /// Maps `f` over `items`, in parallel when the engine allows it.
@@ -1356,6 +1437,65 @@ mod tests {
         let input = random_matrix(3, 3, 81);
         let kernel = random_matrix(5, 5, 82);
         assert!(convolver(256).correlate2d_valid(&input, &kernel).is_err());
+    }
+
+    #[test]
+    fn grain_names_round_trip() {
+        for grain in [
+            ParallelGrain::Auto,
+            ParallelGrain::Image,
+            ParallelGrain::Tile,
+        ] {
+            assert_eq!(ParallelGrain::from_name(grain.name()), Some(grain));
+            assert_eq!(format!("{grain}"), grain.name());
+        }
+        assert_eq!(ParallelGrain::from_name("rows"), None);
+        assert_eq!(ParallelGrain::default(), ParallelGrain::Auto);
+    }
+
+    #[test]
+    fn grain_gates_parallel_dispatch() {
+        let c = convolver(256);
+        assert_eq!(c.grain(), ParallelGrain::Auto);
+        // DigitalEngine's cost hint declines tile parallelism, so Auto
+        // stays serial...
+        assert!(!c.parallel_active(8));
+        // ...an explicit Tile grain overrides the hint...
+        let tile = convolver(256).with_grain(ParallelGrain::Tile);
+        assert!(tile.parallel_active(8));
+        assert!(!tile.parallel_active(1)); // but one tile is never fanned out
+                                           // ...and Image keeps tiles serial no matter what.
+        let image = convolver(256).with_grain(ParallelGrain::Image);
+        assert!(!image.parallel_active(8));
+        assert!(!image.parallel());
+        // Clones keep the grain.
+        assert_eq!(tile.clone().grain(), ParallelGrain::Tile);
+    }
+
+    #[test]
+    fn tile_grain_is_bit_identical_to_serial_at_several_pool_widths() {
+        let input = random_matrix(24, 24, 95);
+        let kernel = random_matrix(3, 3, 96);
+        let ser = convolver(64)
+            .with_grain(ParallelGrain::Image)
+            .correlate2d_valid(&input, &kernel)
+            .unwrap();
+        for width in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .unwrap();
+            let par = pool
+                .install(|| {
+                    convolver(64)
+                        .with_grain(ParallelGrain::Tile)
+                        .correlate2d_valid(&input, &kernel)
+                })
+                .unwrap();
+            for (a, b) in par.data().iter().zip(ser.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "divergence at pool width {width}");
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@ use std::sync::Arc;
 use pf_dsp::conv::{correlate1d, correlate2d, Matrix, PaddingMode};
 use pf_dsp::util::max_abs_diff;
 use pf_tiling::{
-    Conv1dEngine, DigitalEngine, EdgeHandling, PreparedConv1d, TiledConvolver, TilingPlan,
+    Conv1dEngine, DigitalEngine, EdgeHandling, ParallelGrain, PreparedConv1d, TiledConvolver,
+    TilingPlan,
 };
 use proptest::prelude::*;
 
@@ -221,6 +222,48 @@ proptest! {
                 let single = preparing.correlate2d_same(&input, kernel, edges).unwrap();
                 for (x, y) in single.data().iter().zip(plane.data()) {
                     prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_grain_is_bit_identical_at_every_pool_width(
+        rows in 3usize..12,
+        cols in 3usize..12,
+        k in 1usize..3,
+        n_conv in 3usize..200,
+        seed in 0u64..1000,
+    ) {
+        // The grain knob steers *where* parallelism happens, never *what*
+        // is computed: every grain, under scoped pools of width 1, 2 and 4,
+        // must reproduce the serial image-grain result bit for bit — with
+        // both a preparation-declining and a kernel-preparing engine.
+        let ksize = 2 * k + 1;
+        prop_assume!(ksize <= rows && ksize <= cols && n_conv >= ksize);
+        let input = lcg_matrix(rows, cols, seed);
+        let kernel = lcg_matrix(ksize, ksize, seed.wrapping_add(31));
+
+        let reference = TiledConvolver::new(PreparingDigital, n_conv).unwrap()
+            .with_grain(ParallelGrain::Image)
+            .correlate2d_valid(&input, &kernel).unwrap();
+        let plain_reference = TiledConvolver::new(DigitalEngine, n_conv).unwrap()
+            .with_grain(ParallelGrain::Image)
+            .correlate2d_valid(&input, &kernel).unwrap();
+        for width in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(width).build().unwrap();
+            for grain in [ParallelGrain::Auto, ParallelGrain::Image, ParallelGrain::Tile] {
+                let prep = TiledConvolver::new(PreparingDigital, n_conv).unwrap()
+                    .with_grain(grain);
+                let out = pool.install(|| prep.correlate2d_valid(&input, &kernel)).unwrap();
+                for (a, b) in out.data().iter().zip(reference.data()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                let plain = TiledConvolver::new(DigitalEngine, n_conv).unwrap()
+                    .with_grain(grain);
+                let out = pool.install(|| plain.correlate2d_valid(&input, &kernel)).unwrap();
+                for (a, b) in out.data().iter().zip(plain_reference.data()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
                 }
             }
         }

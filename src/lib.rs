@@ -122,6 +122,7 @@ pub use route::{ModelRequest, ModelShardEngine, SessionRouter};
 pub use serve::{ServeConfig, Server, ServerStats, SessionServer, Ticket};
 pub use session::{Session, SessionBuilder};
 pub use sweep::{SweepPointResult, SweepReport, SweepRunner, SWEEP_SCHEMA};
+pub use tiling::ParallelGrain;
 
 /// Commonly used items re-exported in one place.
 pub mod prelude {
@@ -153,7 +154,9 @@ pub mod prelude {
     pub use pf_nn::models::NetworkSpec;
     pub use pf_nn::Tensor;
     pub use pf_photonics::params::{ComponentDims, TechConfig};
-    pub use pf_tiling::{DigitalEngine, EdgeHandling, TiledConvolver, TilingPlan, TilingVariant};
+    pub use pf_tiling::{
+        DigitalEngine, EdgeHandling, ParallelGrain, TiledConvolver, TilingPlan, TilingVariant,
+    };
 }
 
 #[cfg(test)]

@@ -27,7 +27,8 @@ use pf_core::{PfError, Scenario};
 use pf_nn::Tensor;
 
 pub use pf_serve::{
-    BatchBucket, InferenceEngine, LatencySummary, ServeConfig, Server, ServerStats, Ticket,
+    BatchBucket, InferenceEngine, LatencySummary, ScalingHint, ServeConfig, Server, ServerStats,
+    Ticket,
 };
 
 use crate::session::Session;
@@ -90,6 +91,68 @@ pub fn serve_session(session: Session, config: ServeConfig) -> Result<SessionSer
     Server::new(session, config)
 }
 
+/// Like [`serve_session`], but when the config auto-sizes its workers
+/// (`workers == 0`) and carries no [`ScalingHint`] yet, a calibration run
+/// measures one first ([`measured_scaling_hint`]), so the worker count is
+/// derived from the engine's *measured* parallel benefit on this host
+/// rather than from the raw core count.
+///
+/// # Errors
+///
+/// Propagates calibration, warm-up and server configuration errors.
+pub fn serve_session_calibrated(
+    session: Session,
+    mut config: ServeConfig,
+) -> Result<SessionServer, PfError> {
+    if config.workers == 0 && config.scaling_hint.is_none() {
+        config = config.with_scaling_hint(measured_scaling_hint(&session, 4)?);
+    }
+    serve_session(session, config)
+}
+
+/// Measures a [`ScalingHint`] for this session's engine on this host: one
+/// `batch`-image [`Session::run_batch`] is timed on a 1-thread scoped rayon
+/// pool and on a host-wide pool (after an untimed warm-up pass that
+/// populates the prepared-kernel cache), and the ratio is the measured
+/// speedup. The images are synthetic (the scenario's functional input
+/// shape); only wall time is observed, so the calibration leaves no trace
+/// in the session beyond a warmed cache.
+///
+/// # Errors
+///
+/// Propagates inference errors from the calibration batches.
+pub fn measured_scaling_hint(session: &Session, batch: usize) -> Result<ScalingHint, PfError> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let shape = vec![
+        session.scenario().functional.input_channels,
+        session.scenario().functional.input_size,
+        session.scenario().functional.input_size,
+    ];
+    let images: Vec<Tensor> = (0..batch.max(1))
+        .map(|i| Tensor::random(shape.clone(), 0.0, 1.0, 1000 + i as u64))
+        .collect();
+    session.warmup()?;
+    let time_at = |width: usize| -> Result<f64, PfError> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(width)
+            .build()
+            .map_err(|e| PfError::invalid_scenario(format!("thread pool: {e}")))?;
+        let start = std::time::Instant::now();
+        pool.install(|| session.run_batch(&images))?;
+        Ok(start.elapsed().as_secs_f64())
+    };
+    let _ = time_at(1)?; // untimed in effect: first pass absorbs cache fills
+    let t1 = time_at(1)?;
+    let tn = time_at(host)?;
+    let speedup = if tn > 0.0 && t1 > 0.0 { t1 / tn } else { 1.0 };
+    Ok(ScalingHint {
+        pool_threads: host,
+        speedup,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +174,31 @@ mod tests {
         assert_eq!(served, session.run_inference(&image).unwrap());
         let stats = server.shutdown();
         assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn calibration_measures_a_usable_hint_and_sizes_workers() {
+        let scenario = Scenario::new("calib", "resnet18", BackendSpec::jtc_ideal(256));
+        let session = Session::from_scenario(scenario.clone()).unwrap();
+        let hint = measured_scaling_hint(&session, 2).unwrap();
+        let host = std::thread::available_parallelism().unwrap().get();
+        assert_eq!(hint.pool_threads, host);
+        assert!(hint.speedup.is_finite() && hint.speedup > 0.0);
+        assert!((1..=host).contains(&hint.effective_width()));
+
+        // The calibrated server comes up, serves, and its worker count came
+        // from the hint-aware auto-sizing.
+        let config = ServeConfig {
+            workers: 0, // auto-size: calibration only applies to this mode
+            ..ServeConfig::default()
+        };
+        let server =
+            serve_session_calibrated(Session::from_scenario(scenario).unwrap(), config).unwrap();
+        let hinted = server.config().scaling_hint.expect("calibration attached");
+        assert!(hinted.speedup > 0.0);
+        let image = Tensor::random(vec![1, 16, 16], 0.0, 1.0, 21);
+        server.submit_blocking(image).unwrap();
+        assert_eq!(server.shutdown().served, 1);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use pf_nn::executor::TiledExecutor;
 use pf_nn::models::small::SmallCnn;
 use pf_nn::models::NetworkSpec;
 use pf_nn::Tensor;
-use pf_tiling::{ThroughputStats, TiledConvolver};
+use pf_tiling::{ParallelGrain, ThroughputStats, TiledConvolver};
 use rayon::prelude::*;
 
 /// Builder for [`Session`].
@@ -46,6 +46,7 @@ pub struct SessionBuilder {
     scenario: Option<Scenario>,
     backend_override: Option<BackendSpec>,
     network_override: Option<String>,
+    grain: ParallelGrain,
 }
 
 impl SessionBuilder {
@@ -79,6 +80,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the session's parallelism grain (default
+    /// [`ParallelGrain::Auto`]): whether batch calls fan out across images
+    /// or across the tiles within each image. All grains are bit-identical;
+    /// see [`Session::effective_grain`] for how `Auto` resolves per call.
+    pub fn parallel_grain(mut self, grain: ParallelGrain) -> Self {
+        self.grain = grain;
+        self
+    }
+
     /// Validates the configuration and instantiates the session.
     ///
     /// # Errors
@@ -96,7 +106,7 @@ impl SessionBuilder {
         if let Some(network) = self.network_override {
             scenario.network = network;
         }
-        Session::from_scenario(scenario)
+        Session::with_grain(scenario, self.grain)
     }
 }
 
@@ -107,8 +117,21 @@ pub struct Session {
     scenario: Scenario,
     network: NetworkSpec,
     backend_id: String,
+    /// The configured parallelism grain ([`ParallelGrain::Auto`] resolves
+    /// per call; see [`Session::effective_grain`]).
+    grain: ParallelGrain,
+    /// Tile-dispatching convolver for `conv2d` paths driven serially over
+    /// images.
     convolver: TiledConvolver<Box<dyn Backend>>,
+    /// Serial-tile clone of `convolver` (same backend, same prepared-kernel
+    /// cache) for image-grain batch paths that own the thread pool.
+    convolver_serial: TiledConvolver<Box<dyn Backend>>,
+    /// Serial-tile executor for image-grain inference (the caller
+    /// parallelises per image).
     executor: TiledExecutor<Box<dyn Backend>>,
+    /// Tile-dispatching clone of `executor` (same backend, same
+    /// prepared-kernel cache) for tile-grain inference over serial images.
+    executor_tiles: TiledExecutor<Box<dyn Backend>>,
     cnn: SmallCnn,
     simulator: Simulator,
 }
@@ -119,12 +142,22 @@ impl Session {
         SessionBuilder::default()
     }
 
-    /// Builds a session directly from a scenario.
+    /// Builds a session directly from a scenario, with the default
+    /// [`ParallelGrain::Auto`].
     ///
     /// # Errors
     ///
     /// Same conditions as [`SessionBuilder::build`].
     pub fn from_scenario(scenario: Scenario) -> Result<Self, PfError> {
+        Self::with_grain(scenario, ParallelGrain::Auto)
+    }
+
+    /// Builds a session from a scenario with an explicit parallelism grain.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionBuilder::build`].
+    pub fn with_grain(scenario: Scenario, grain: ParallelGrain) -> Result<Self, PfError> {
         scenario.validate()?;
         let network = scenario.network_spec()?;
         // Two backend instances: the convolver and the executor each own
@@ -134,8 +167,21 @@ impl Session {
         let exec_backend = scenario.backend.instantiate()?;
         let backend_id = conv_backend.id();
         let capacity = scenario.backend.capacity;
-        let convolver = TiledConvolver::new(conv_backend, capacity)?;
+        // One pair of convolver/executor per grain. The pairs are clones:
+        // they share the backend (clones of a stochastic backend share its
+        // noise stream) and the prepared-kernel cache, so no kernel
+        // spectrum is ever prepared twice and warmup covers both. An
+        // explicit `Tile` grain forces tile dispatch past the engine's cost
+        // hint; `Auto` leaves the hint in charge.
+        let tile_grain = if grain == ParallelGrain::Tile {
+            ParallelGrain::Tile
+        } else {
+            ParallelGrain::Auto
+        };
+        let convolver = TiledConvolver::new(conv_backend, capacity)?.with_grain(tile_grain);
+        let convolver_serial = convolver.clone().with_grain(ParallelGrain::Image);
         let executor = TiledExecutor::new(exec_backend, capacity, scenario.pipeline)?;
+        let executor_tiles = executor.clone().with_grain(tile_grain);
         let cnn = SmallCnn::new(
             scenario.functional.input_channels,
             scenario.functional.input_size,
@@ -146,8 +192,11 @@ impl Session {
             scenario,
             network,
             backend_id,
+            grain,
             convolver,
+            convolver_serial,
             executor,
+            executor_tiles,
             cnn,
             simulator,
         })
@@ -162,6 +211,30 @@ impl Session {
     /// Identity of the instantiated backend, e.g. `jtc_ideal(256)`.
     pub fn backend_id(&self) -> &str {
         &self.backend_id
+    }
+
+    /// The configured parallelism grain.
+    pub fn grain(&self) -> ParallelGrain {
+        self.grain
+    }
+
+    /// The grain a batch of `items` images actually runs at, resolving
+    /// [`ParallelGrain::Auto`] against the current rayon pool width: when
+    /// the batch alone can fill the pool (`items >= threads`) image-grain
+    /// wins (no fork/join inside each image); smaller batches go tile-grain
+    /// so the pool doesn't idle. Explicit grains are returned unchanged.
+    /// The returned value is never `Auto`.
+    pub fn effective_grain(&self, items: usize) -> ParallelGrain {
+        match self.grain {
+            ParallelGrain::Auto => {
+                if items >= rayon::current_num_threads() {
+                    ParallelGrain::Image
+                } else {
+                    ParallelGrain::Tile
+                }
+            }
+            explicit => explicit,
+        }
     }
 
     /// Whether the session backend draws random noise samples
@@ -216,7 +289,7 @@ impl Session {
     /// Returns [`PfError::Tiling`] if the kernel does not fit the input or
     /// the backend capacity.
     pub fn conv2d(&self, input: &Matrix, kernel: &Matrix) -> Result<Matrix, PfError> {
-        Ok(self.convolver.correlate2d_valid(input, kernel)?)
+        Ok(self.pick_convolver(1).correlate2d_valid(input, kernel)?)
     }
 
     /// Like [`Session::conv2d`], additionally returning the tiling
@@ -231,7 +304,9 @@ impl Session {
         input: &Matrix,
         kernel: &Matrix,
     ) -> Result<(Matrix, ThroughputStats), PfError> {
-        Ok(self.convolver.correlate2d_valid_with_stats(input, kernel)?)
+        Ok(self
+            .pick_convolver(1)
+            .correlate2d_valid_with_stats(input, kernel)?)
     }
 
     /// Correlates one input against **many kernels of one shape** through
@@ -250,7 +325,9 @@ impl Session {
     /// Same conditions as [`Session::conv2d`], plus a [`PfError::Tiling`]
     /// error if the kernels differ in shape.
     pub fn conv2d_multi(&self, input: &Matrix, kernels: &[Matrix]) -> Result<Vec<Matrix>, PfError> {
-        Ok(self.convolver.correlate2d_valid_multi(input, kernels)?)
+        Ok(self
+            .pick_convolver(1)
+            .correlate2d_valid_multi(input, kernels)?)
     }
 
     /// Like [`Session::conv2d_multi`], additionally returning the
@@ -267,26 +344,50 @@ impl Session {
         kernels: &[Matrix],
     ) -> Result<(Vec<Matrix>, ThroughputStats), PfError> {
         Ok(self
-            .convolver
+            .pick_convolver(1)
             .correlate2d_valid_multi_with_stats(input, kernels)?)
+    }
+
+    /// The convolver serving a call over `items` images: the serial-tile
+    /// clone when the call runs image-grain (the caller owns the threads),
+    /// the tile-dispatching one otherwise. Both share one backend and one
+    /// prepared-kernel cache, so the choice only moves the parallelism.
+    fn pick_convolver(&self, items: usize) -> &TiledConvolver<Box<dyn Backend>> {
+        if self.effective_grain(items) == ParallelGrain::Image {
+            &self.convolver_serial
+        } else {
+            &self.convolver
+        }
     }
 
     /// Runs one kernel over a batch of inputs through row tiling.
     ///
     /// The kernel's spectrum is prepared once (on backends with a prepared
-    /// fast path) and reused across every tile of every image. Images run
-    /// sequentially while each image's tiles fan out in parallel — one
-    /// level of parallelism, not two: the convolver already spreads tiles
-    /// across the available cores, and nesting an image-level `par_iter`
-    /// on top would oversubscribe them (the vendored rayon spawns scoped
-    /// threads per call rather than pooling). Results are identical to
-    /// calling [`Session::conv2d`] per image, in input order.
+    /// fast path) and reused across every tile of every image. One level of
+    /// parallelism, never two, at the grain picked by
+    /// [`Session::effective_grain`]: image-grain batches fan images across
+    /// the pool and run each image's tiles serially; tile-grain batches run
+    /// images sequentially while each image's tiles fan out. Results are
+    /// bit-identical either way, and identical to calling
+    /// [`Session::conv2d`] per image, in input order. Stochastic backends
+    /// always run serially through the session engine so the shared noise
+    /// stream is consumed in input order.
     ///
     /// # Errors
     ///
     /// Returns the first per-image error in input order, if any.
     pub fn conv2d_batch(&self, inputs: &[Matrix], kernel: &Matrix) -> Result<Vec<Matrix>, PfError> {
-        inputs.iter().map(|m| self.conv2d(m, kernel)).collect()
+        if self.is_stochastic() || self.effective_grain(inputs.len()) != ParallelGrain::Image {
+            return inputs
+                .iter()
+                .map(|m| Ok(self.convolver.correlate2d_valid(m, kernel)?))
+                .collect();
+        }
+        let results: Vec<Result<Matrix, PfError>> = inputs
+            .par_iter()
+            .map(|m| Ok(self.convolver_serial.correlate2d_valid(m, kernel)?))
+            .collect();
+        results.into_iter().collect()
     }
 
     /// Runs one image through the runnable feature-extractor CNN on the
@@ -298,17 +399,38 @@ impl Session {
     /// Returns [`PfError::Nn`] if the image does not match the scenario's
     /// functional input shape.
     pub fn run_inference(&self, image: &Tensor) -> Result<Tensor, PfError> {
-        let features = self.cnn.features(image, &self.executor)?;
+        let executor = if self.effective_grain(1) == ParallelGrain::Tile {
+            &self.executor_tiles
+        } else {
+            &self.executor
+        };
+        self.infer_on(executor, image)
+    }
+
+    /// One image through the CNN on the given executor (the grain decision
+    /// is the caller's).
+    fn infer_on(
+        &self,
+        executor: &TiledExecutor<Box<dyn Backend>>,
+        image: &Tensor,
+    ) -> Result<Tensor, PfError> {
+        let features = self.cnn.features(image, executor)?;
         let len = features.len();
         Ok(Tensor::new(vec![len], features)?)
     }
 
-    /// Runs a batch of images with per-image parallel dispatch.
+    /// Runs a batch of images with parallel dispatch at the grain picked by
+    /// [`Session::effective_grain`]: image-grain batches fan images across
+    /// the pool (each image's tiles serial), tile-grain batches run images
+    /// sequentially with each layer's tiles fanned out. Results are
+    /// bit-identical either way.
     ///
     /// Deterministic regardless of thread scheduling: stochastic backends
     /// (the CG signal chain's sensing noise) get one independently-seeded
     /// engine per image, keyed by `noise_seed = image index`, instead of
-    /// sharing the session engine's single noise stream across threads.
+    /// sharing the session engine's single noise stream across threads
+    /// (always image-grain: per-image engines *are* the image grain, and
+    /// tile dispatch is refused for nondeterministic engines anyway).
     /// For deterministic backends the result equals per-image
     /// [`Session::run_inference`] exactly.
     ///
@@ -327,10 +449,15 @@ impl Session {
                 .par_iter()
                 .map(|&i| self.run_inference_seeded(&images[i], i as u64))
                 .collect()
+        } else if self.effective_grain(images.len()) == ParallelGrain::Tile {
+            return images
+                .iter()
+                .map(|image| self.infer_on(&self.executor_tiles, image))
+                .collect();
         } else {
             images
                 .par_iter()
-                .map(|image| self.run_inference(image))
+                .map(|image| self.infer_on(&self.executor, image))
                 .collect()
         };
         results.into_iter().collect()
@@ -509,6 +636,82 @@ mod tests {
                     let single = session.conv2d(input, &kernel).unwrap();
                     for (a, b) in single.data().iter().zip(out.data()) {
                         assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_grain_resolves_by_batch_size_vs_pool_width() {
+        let session = Session::builder()
+            .scenario(scenario(BackendKind::JtcIdeal))
+            .build()
+            .unwrap();
+        assert_eq!(session.grain(), ParallelGrain::Auto);
+        let wide = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        wide.install(|| {
+            assert_eq!(session.effective_grain(8), ParallelGrain::Image);
+            assert_eq!(session.effective_grain(4), ParallelGrain::Image);
+            assert_eq!(session.effective_grain(2), ParallelGrain::Tile);
+            assert_eq!(session.effective_grain(1), ParallelGrain::Tile);
+        });
+        let narrow = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        narrow.install(|| assert_eq!(session.effective_grain(1), ParallelGrain::Image));
+
+        // Explicit grains never resolve away.
+        let tiled = Session::builder()
+            .scenario(scenario(BackendKind::JtcIdeal))
+            .parallel_grain(ParallelGrain::Tile)
+            .build()
+            .unwrap();
+        wide.install(|| assert_eq!(tiled.effective_grain(64), ParallelGrain::Tile));
+        assert_eq!(tiled.grain(), ParallelGrain::Tile);
+    }
+
+    #[test]
+    fn all_grains_produce_bit_identical_batches() {
+        let images: Vec<Tensor> = (0..3)
+            .map(|i| Tensor::random(vec![1, 16, 16], 0.0, 1.0, 700 + i))
+            .collect();
+        let kernel = Matrix::new(3, 3, (0..9).map(|i| (i as f64 - 4.0) / 9.0).collect()).unwrap();
+        let inputs: Vec<Matrix> = (0..3)
+            .map(|s| {
+                Matrix::new(
+                    12,
+                    12,
+                    (0..144)
+                        .map(|i| ((i + s * 11) as f64 * 0.19).cos())
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        for kind in [BackendKind::Digital, BackendKind::JtcIdeal] {
+            let reference = Session::builder()
+                .scenario(scenario(kind))
+                .parallel_grain(ParallelGrain::Image)
+                .build()
+                .unwrap();
+            let ref_batch = reference.run_batch(&images).unwrap();
+            let ref_conv = reference.conv2d_batch(&inputs, &kernel).unwrap();
+            for grain in [ParallelGrain::Tile, ParallelGrain::Auto] {
+                let session = Session::builder()
+                    .scenario(scenario(kind))
+                    .parallel_grain(grain)
+                    .build()
+                    .unwrap();
+                assert_eq!(session.run_batch(&images).unwrap(), ref_batch, "{grain}");
+                let conv = session.conv2d_batch(&inputs, &kernel).unwrap();
+                for (a, b) in conv.iter().zip(&ref_conv) {
+                    for (x, y) in a.data().iter().zip(b.data()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{kind:?} {grain}");
                     }
                 }
             }

@@ -5,7 +5,16 @@
 //! available core and mapped in parallel, preserving order. There is no work
 //! stealing — good enough for the coarse per-image parallelism the facade
 //! uses it for.
+//!
+//! Besides the process-wide pool width set by
+//! [`ThreadPoolBuilder::build_global`], the shim supports *scoped* pools
+//! ([`ThreadPoolBuilder::build`] + [`ThreadPool::install`]): the pool's
+//! width overrides the global one for the duration of the installed
+//! closure, on the installing thread. That is exactly what a thread-scaling
+//! sweep needs — measure the same workload under pool widths 1, 2, 4, ...
+//! without touching global state.
 
+use std::cell::Cell;
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -21,23 +30,41 @@ pub mod prelude {
 /// available core).
 static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
 
-/// The number of worker threads parallel dispatch uses on this host: the
-/// count configured through [`ThreadPoolBuilder::build_global`], or the
-/// available core count when none was configured. Mirrors
-/// `rayon::current_num_threads`.
-pub fn current_num_threads() -> usize {
-    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
-    if configured > 0 {
-        return configured;
-    }
-    // `available_parallelism` can cost ~10µs per call (it may read cgroup
-    // files); query it once per process, like rayon's global pool does.
+thread_local! {
+    /// Worker-count override installed by [`ThreadPool::install`] on the
+    /// calling thread; `0` means "no scoped pool active". Thread-local
+    /// rather than global so concurrent scoped pools (e.g. two tests, or
+    /// server workers with different widths) do not interfere.
+    static SCOPED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of available cores, queried once per process.
+/// (`available_parallelism` can cost ~10µs per call — it may read cgroup
+/// files — so cache it, like rayon's global pool does.)
+fn host_cores() -> usize {
     static CORES: OnceLock<usize> = OnceLock::new();
     *CORES.get_or_init(|| {
         std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1)
     })
+}
+
+/// The number of worker threads parallel dispatch uses from the calling
+/// thread: the width of the innermost [`ThreadPool::install`] scope if one
+/// is active, else the count configured through
+/// [`ThreadPoolBuilder::build_global`], else the available core count.
+/// Mirrors `rayon::current_num_threads`.
+pub fn current_num_threads() -> usize {
+    let scoped = SCOPED_THREADS.with(Cell::get);
+    if scoped > 0 {
+        return scoped;
+    }
+    let configured = CONFIGURED_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    host_cores()
 }
 
 /// Configures the process-wide worker count, mirroring rayon's
@@ -83,6 +110,62 @@ impl ThreadPoolBuilder {
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
         CONFIGURED_THREADS.store(self.num_threads, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Builds a scoped pool of this width without touching global state.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the shim; the `Result` mirrors the real API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let num_threads = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            host_cores()
+        };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// A scoped thread pool built by [`ThreadPoolBuilder::build`].
+///
+/// Deviation from the real crate: the shim keeps no resident worker
+/// threads. [`ThreadPool::install`] runs the closure on the calling thread
+/// with a thread-local worker-count override, and parallel dispatch inside
+/// it spawns scoped threads up to that width. The override does not
+/// propagate to threads spawned *inside* the closure (the real crate runs
+/// nested work on the same pool); this codebase deliberately avoids nested
+/// parallelism, so the difference is unobservable here.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's configured width. Mirrors
+    /// `rayon::ThreadPool::current_num_threads`.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with this pool's width governing parallel dispatch, then
+    /// restores whatever width was active before (scopes nest correctly).
+    pub fn install<R, F>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let previous = SCOPED_THREADS.with(|cell| cell.replace(self.num_threads));
+        // Restore on unwind too, so a panicking closure does not leak the
+        // override into unrelated code on this thread (tests share threads).
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                SCOPED_THREADS.with(|cell| cell.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        f()
     }
 }
 
@@ -222,6 +305,71 @@ mod tests {
             .build_global()
             .unwrap();
         assert!(crate::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scoped_pool_overrides_and_restores_width() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        let outside = crate::current_num_threads();
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 4);
+        assert_eq!(crate::current_num_threads(), outside);
+
+        // Scopes nest: the innermost width wins, and each level restores.
+        let inner_pool = crate::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let (outer_width, inner_width) = pool.install(|| {
+            let inner = inner_pool.install(crate::current_num_threads);
+            (crate::current_num_threads(), inner)
+        });
+        assert_eq!(outer_width, 4);
+        assert_eq!(inner_width, 2);
+    }
+
+    #[test]
+    fn scoped_pool_width_restored_after_panic() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build()
+            .unwrap();
+        let before = crate::current_num_threads();
+        let caught = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(crate::current_num_threads(), before);
+    }
+
+    #[test]
+    fn zero_width_build_resolves_to_host_cores() {
+        let pool = crate::ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scoped_pool_governs_parallel_dispatch() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // Width 1 must run every element on the calling thread.
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let ids = Mutex::new(HashSet::new());
+        let input: Vec<usize> = (0..16).collect();
+        let _: Vec<()> = pool.install(|| {
+            input
+                .par_iter()
+                .map(|_| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                })
+                .collect()
+        });
+        assert_eq!(ids.lock().unwrap().len(), 1);
     }
 
     #[test]
