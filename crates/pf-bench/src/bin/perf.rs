@@ -26,9 +26,10 @@
 //!   (default), `image` or `tile`
 //! * `--md-summary PATH`  write the report as a GitHub-flavoured markdown
 //!   table (the CI `$GITHUB_STEP_SUMMARY` payload)
-//! * `--stages`         additionally measure the per-backend stage
-//!   breakdown (signal-FFT / spectrum-apply / inverse / DAC-ADC shares)
-//!   and emit it under the report's `stages` key
+//! * `--stages`         additionally measure the per-scenario, per-backend
+//!   stage breakdown (signal-FFT / spectrum-apply / inverse / DAC-ADC
+//!   shares under each scenario's tile geometry) and emit it under the
+//!   report's `stages` key
 
 use std::process::ExitCode;
 
@@ -91,12 +92,13 @@ fn print_report(report: &PerfReport) {
     if let Some(stages) = &report.stages {
         println!("\n-- stage breakdown (shares of one prepared correlation) --");
         println!(
-            "{:<16} {:>12} {:>15} {:>10} {:>10} {:>10}",
-            "backend", "signal_fft", "spectrum_apply", "inverse", "dac_adc", "other_us"
+            "{:<22} {:<16} {:>12} {:>15} {:>10} {:>10} {:>10}",
+            "scenario", "backend", "signal_fft", "spectrum_apply", "inverse", "dac_adc", "other_us"
         );
         for s in stages {
             println!(
-                "{:<16} {:>11.1}% {:>14.1}% {:>9.1}% {:>9.1}% {:>10.1}",
+                "{:<22} {:<16} {:>11.1}% {:>14.1}% {:>9.1}% {:>9.1}% {:>10.1}",
+                s.scenario,
                 s.backend,
                 s.signal_fft_share * 100.0,
                 s.spectrum_apply_share * 100.0,

@@ -28,9 +28,11 @@
 //!   prepared-kernel fast path and without cross-image parallelism (the
 //!   pre-engine execution structure), via a prepare-hiding adapter.
 //!
-//! With `--stages`, the report additionally carries a per-backend
-//! wall-clock breakdown of one prepared correlation (signal FFT, spectrum
-//! apply, inverse lens, DAC/ADC conditioning) under a `stages` key.
+//! With `--stages`, the report additionally carries a per-scenario,
+//! per-backend wall-clock breakdown of one prepared correlation (signal
+//! FFT, spectrum apply, inverse lens, DAC/ADC conditioning) under a
+//! `stages` key — one row per scenario/backend pair, each measured under
+//! that scenario's tile geometry.
 
 pub mod seed;
 
@@ -76,12 +78,15 @@ pub struct PerfRecord {
     pub speedup_vs_seed: f64,
 }
 
-/// Per-backend wall-clock share of one prepared correlation, by pipeline
-/// stage (the `--stages` breakdown). Stages that a backend does not have
-/// (the digital dot product has no optics chain) report zero and the whole
-/// correlation lands in `other_us`.
+/// Wall-clock share of one prepared correlation for one scenario/backend
+/// pair, by pipeline stage (the `--stages` breakdown). Stages that a
+/// backend does not have (the digital dot product has no optics chain)
+/// report zero and the whole correlation lands in `other_us`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StageRecord {
+    /// Scenario whose tile geometry this row was measured under
+    /// (`conv2d_batch` or `resnet18_batch_infer`).
+    pub scenario: String,
     /// Backend registry name.
     pub backend: String,
     /// Accumulated microseconds in the signal's first-lens FFT.
@@ -169,8 +174,8 @@ pub struct PerfReport {
     /// Thread-scaling curves; present when the harness ran with
     /// `--threads-sweep`.
     pub threads: Option<ThreadScaling>,
-    /// Per-backend stage breakdown; present when the harness ran with
-    /// `--stages`.
+    /// Per-scenario, per-backend stage breakdown; present when the harness
+    /// ran with `--stages`.
     pub stages: Option<Vec<StageRecord>>,
 }
 
@@ -863,6 +868,28 @@ pub fn markdown_summary(report: &PerfReport, baseline: Option<&Baseline>) -> Str
         );
     }
 
+    if let Some(stages) = &report.stages {
+        let _ = writeln!(out, "\n### Stage breakdown (per prepared correlation)\n");
+        let _ = writeln!(
+            out,
+            "| scenario | backend | signal FFT | spectrum apply | inverse | DAC/ADC | other µs |"
+        );
+        let _ = writeln!(out, "|---|---|--:|--:|--:|--:|--:|");
+        for s in stages {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1} |",
+                s.scenario,
+                s.backend,
+                s.signal_fft_share * 100.0,
+                s.spectrum_apply_share * 100.0,
+                s.inverse_share * 100.0,
+                s.dac_adc_share * 100.0,
+                s.other_us
+            );
+        }
+    }
+
     if let Some(threads) = &report.threads {
         let _ = writeln!(
             out,
@@ -900,9 +927,14 @@ pub fn markdown_summary(report: &PerfReport, baseline: Option<&Baseline>) -> Str
     out
 }
 
-/// Collects the per-backend stage breakdown over the conv2d scenario's
-/// tile geometry (32×32 input, 3×3 kernel, 256-waveguide backend →
-/// 67-sample tiled kernel against 256-sample tiles).
+/// Collects the stage breakdown per scenario and backend. Each scenario
+/// contributes one row per backend, measured under that scenario's tile
+/// geometry against a full 256-waveguide tile:
+///
+/// * `conv2d_batch` — 32×32 input, 3×3 kernel → 67-sample tiled kernel;
+/// * `resnet18_batch_infer` — the functional scenario's 16×16 feature
+///   maps, 3×3 kernel → 35-sample tiled kernel (a tighter joint plane,
+///   so its FFT sizes differ from the conv2d rows).
 ///
 /// # Errors
 ///
@@ -911,60 +943,65 @@ pub fn stage_breakdown(smoke: bool) -> Result<Vec<StageRecord>, PfError> {
     use pf_jtc::{JtcEngine, JtcEngineConfig, StageTimes};
 
     let iters = if smoke { 64 } else { 512 };
-    let kernel2d = conv2d_kernel();
-    let tiled_kernel = pf_tiling::tile_kernel(&kernel2d, 32, 2 * 32 + 3);
     let signal: Vec<f64> = (0..256).map(|i| (i as f64 * 0.17).sin() + 0.4).collect();
     let us = |d: Duration| d.as_secs_f64() * 1e6;
 
     let mut records = Vec::new();
-    // Digital: no optics chain — the whole prepared (sparse, structural
-    // zeros skipped) convolution is "other", matching what the shipped
-    // digital hot path actually runs.
-    let digital_prep = pf_tiling::DigitalEngine
-        .prepare_kernel(&tiled_kernel, signal.len())
-        .expect("digital engine prepares sparse kernels");
-    let start = Instant::now();
-    for _ in 0..iters {
-        let _ = digital_prep.correlate_valid(&signal);
-    }
-    records.push(StageRecord {
-        backend: BackendKind::Digital.name().to_string(),
-        signal_fft_us: 0.0,
-        spectrum_apply_us: 0.0,
-        inverse_us: 0.0,
-        dac_adc_us: 0.0,
-        other_us: us(start.elapsed()),
-        signal_fft_share: 0.0,
-        spectrum_apply_share: 0.0,
-        inverse_share: 0.0,
-        dac_adc_share: 0.0,
-    });
+    for (scenario, size) in [("conv2d_batch", 32usize), ("resnet18_batch_infer", 16)] {
+        let kernel2d = conv2d_kernel();
+        let tiled_kernel = pf_tiling::tile_kernel(&kernel2d, size, 2 * size + 3);
 
-    for kind in [BackendKind::JtcIdeal, BackendKind::PhotofourierCg] {
-        let config = match kind {
-            BackendKind::JtcIdeal => JtcEngineConfig::ideal(256),
-            BackendKind::PhotofourierCg => JtcEngineConfig::photofourier_cg(256),
-            BackendKind::Digital => unreachable!("digital handled above"),
-        };
-        let engine = JtcEngine::new(config)?;
-        let prep = engine.prepare(&tiled_kernel, 256)?;
-        let mut times = StageTimes::default();
+        // Digital: no optics chain — the whole prepared (sparse,
+        // structural zeros skipped) convolution is "other", matching what
+        // the shipped digital hot path actually runs.
+        let digital_prep = pf_tiling::DigitalEngine
+            .prepare_kernel(&tiled_kernel, signal.len())
+            .expect("digital engine prepares sparse kernels");
+        let start = Instant::now();
         for _ in 0..iters {
-            let _ = prep.correlate_staged(&signal, &mut times)?;
+            let _ = digital_prep.correlate_valid(&signal);
         }
-        let total = times.total().as_secs_f64().max(1e-12);
         records.push(StageRecord {
-            backend: kind.name().to_string(),
-            signal_fft_us: us(times.signal_fft),
-            spectrum_apply_us: us(times.spectrum_apply),
-            inverse_us: us(times.inverse),
-            dac_adc_us: us(times.dac_adc),
-            other_us: 0.0,
-            signal_fft_share: times.signal_fft.as_secs_f64() / total,
-            spectrum_apply_share: times.spectrum_apply.as_secs_f64() / total,
-            inverse_share: times.inverse.as_secs_f64() / total,
-            dac_adc_share: times.dac_adc.as_secs_f64() / total,
+            scenario: scenario.to_string(),
+            backend: BackendKind::Digital.name().to_string(),
+            signal_fft_us: 0.0,
+            spectrum_apply_us: 0.0,
+            inverse_us: 0.0,
+            dac_adc_us: 0.0,
+            other_us: us(start.elapsed()),
+            signal_fft_share: 0.0,
+            spectrum_apply_share: 0.0,
+            inverse_share: 0.0,
+            dac_adc_share: 0.0,
         });
+
+        for kind in [BackendKind::JtcIdeal, BackendKind::PhotofourierCg] {
+            let config = match kind {
+                BackendKind::JtcIdeal => JtcEngineConfig::ideal(256),
+                BackendKind::PhotofourierCg => JtcEngineConfig::photofourier_cg(256),
+                BackendKind::Digital => unreachable!("digital handled above"),
+            };
+            let engine = JtcEngine::new(config)?;
+            let prep = engine.prepare(&tiled_kernel, 256)?;
+            let mut times = StageTimes::default();
+            for _ in 0..iters {
+                let _ = prep.correlate_staged(&signal, &mut times)?;
+            }
+            let total = times.total().as_secs_f64().max(1e-12);
+            records.push(StageRecord {
+                scenario: scenario.to_string(),
+                backend: kind.name().to_string(),
+                signal_fft_us: us(times.signal_fft),
+                spectrum_apply_us: us(times.spectrum_apply),
+                inverse_us: us(times.inverse),
+                dac_adc_us: us(times.dac_adc),
+                other_us: 0.0,
+                signal_fft_share: times.signal_fft.as_secs_f64() / total,
+                spectrum_apply_share: times.spectrum_apply.as_secs_f64() / total,
+                inverse_share: times.inverse.as_secs_f64() / total,
+                dac_adc_share: times.dac_adc.as_secs_f64() / total,
+            });
+        }
     }
     Ok(records)
 }

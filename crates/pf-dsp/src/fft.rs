@@ -3,11 +3,11 @@
 //! The on-chip lens of a JTC performs a continuous 1D Fourier transform; the
 //! discrete simulation of that lens is an FFT. This module provides:
 //!
-//! * [`fft`] / [`ifft`] — in-place-free radix-2 decimation-in-time FFT for
-//!   power-of-two lengths (the PFCU waveguide counts used in the paper are
-//!   256/512, both powers of two);
-//! * [`dft`] / [`idft`] — O(N²) direct transforms valid for any length, used
-//!   as a reference in tests and for odd-sized inputs;
+//! * [`fft`] / [`ifft`] — fast transforms for **any** length, routed
+//!   through the shared [`FftPlan`] registry (radix-2 for powers of two,
+//!   mixed-radix for 5-smooth sizes, Bluestein otherwise);
+//! * [`dft`] / [`idft`] — O(N²) direct transforms for any length, used as
+//!   the reference oracle in tests;
 //! * [`fft_real`] — convenience wrapper transforming a real signal;
 //! * [`fftshift`] — centers the zero-frequency bin, matching how the JTC
 //!   output plane is drawn in the paper (Figure 2).
@@ -15,14 +15,12 @@
 use crate::complex::Complex;
 use crate::error::DspError;
 use crate::plan::FftPlan;
-use crate::util::is_pow2;
 
-/// Computes the forward FFT of `input`.
+/// Computes the forward FFT of `input` (any non-zero length).
 ///
 /// # Errors
 ///
-/// Returns [`DspError::InvalidLength`] if the length is not a power of two,
-/// and [`DspError::EmptyInput`] for an empty input.
+/// Returns [`DspError::EmptyInput`] for an empty input.
 ///
 /// # Examples
 ///
@@ -38,12 +36,12 @@ pub fn fft(input: &[Complex]) -> Result<Vec<Complex>, DspError> {
     fft_dir(input, false)
 }
 
-/// Computes the inverse FFT of `input` (normalized by `1/N`).
+/// Computes the inverse FFT of `input` (normalized by `1/N`; any non-zero
+/// length).
 ///
 /// # Errors
 ///
-/// Returns [`DspError::InvalidLength`] if the length is not a power of two,
-/// and [`DspError::EmptyInput`] for an empty input.
+/// Returns [`DspError::EmptyInput`] for an empty input.
 pub fn ifft(input: &[Complex]) -> Result<Vec<Complex>, DspError> {
     fft_dir(input, true)
 }
@@ -53,12 +51,6 @@ pub fn ifft(input: &[Complex]) -> Result<Vec<Complex>, DspError> {
 fn fft_dir(input: &[Complex], inverse: bool) -> Result<Vec<Complex>, DspError> {
     if input.is_empty() {
         return Err(DspError::EmptyInput { what: "fft input" });
-    }
-    if !is_pow2(input.len()) {
-        return Err(DspError::InvalidLength {
-            len: input.len(),
-            requirement: "radix-2 FFT requires a power-of-two length",
-        });
     }
     let plan = FftPlan::shared(input.len())?;
     let mut data = input.to_vec();
@@ -161,10 +153,20 @@ mod tests {
     }
 
     #[test]
-    fn fft_rejects_bad_lengths() {
+    fn fft_rejects_empty_and_accepts_any_length() {
         assert!(matches!(fft(&[]), Err(DspError::EmptyInput { .. })));
-        let x = vec![Complex::ONE; 3];
-        assert!(matches!(fft(&x), Err(DspError::InvalidLength { .. })));
+        // Non-pow2 lengths route through the mixed-radix/Bluestein plans
+        // and agree with the direct DFT.
+        for n in [3usize, 6, 7, 12, 20] {
+            let x: Vec<Complex> = (0..n)
+                .map(|k| Complex::new((k as f64 * 0.61).sin(), (k as f64 * 0.17).cos()))
+                .collect();
+            let a = fft(&x).unwrap();
+            let b = dft(&x).unwrap();
+            assert_close(&a, &b, 1e-9);
+            let back = ifft(&a).unwrap();
+            assert_close(&back, &x, 1e-9);
+        }
     }
 
     #[test]

@@ -7,10 +7,16 @@
 //! a small, dependency-free DSP toolbox:
 //!
 //! * [`Complex`] — complex arithmetic used by the Fourier transforms.
-//! * [`fft`] — radix-2 FFT/IFFT plus a direct DFT for arbitrary sizes.
-//! * [`plan`] — precomputed FFT plans (bit-reversal + twiddle tables, plus a
-//!   real-input half-spectrum transform) shared through a process-wide
-//!   registry; the hot path of the JTC simulation.
+//! * [`fft`] — FFT/IFFT for any length (radix-2 for powers of two,
+//!   mixed-radix for 5-smooth sizes, Bluestein otherwise) plus a direct
+//!   DFT reference.
+//! * [`plan`] — precomputed FFT plans (radix-2 / mixed-radix / Bluestein
+//!   kernels, plus a real-input half-spectrum transform and a two-for-one
+//!   packed pair transform) shared through a process-wide registry; the
+//!   hot path of the JTC simulation.
+//! * [`batch`] — batched planar/SoA execution of those plans (one twiddle
+//!   sweep over a whole tile batch), bit-identical per row to the serial
+//!   path.
 //! * [`conv`] — reference 1D/2D convolution and cross-correlation kernels in
 //!   `full`/`same`/`valid` modes, and FFT-accelerated 1D convolution.
 //! * [`scratch`] — per-thread reusable working buffers for spectrum
@@ -31,6 +37,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod batch;
 pub mod complex;
 pub mod conv;
 pub mod error;
@@ -39,6 +46,7 @@ pub mod plan;
 pub mod scratch;
 pub mod util;
 
+pub use batch::BatchFftPlan;
 pub use complex::Complex;
 pub use error::DspError;
 pub use plan::{fft_with_plan, ifft_with_plan, FftPlan, RealFftPlan};

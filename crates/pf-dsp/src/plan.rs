@@ -5,23 +5,37 @@
 //! one-off transforms, but the JTC simulation runs *millions* of
 //! fixed-length transforms (two per row tile), so this module provides:
 //!
-//! * [`FftPlan`] — a precomputed bit-reversal table plus twiddle-factor
-//!   table for one power-of-two length, with allocation-free in-place
-//!   execution ([`FftPlan::process`]) and convenience wrappers
-//!   ([`fft_with_plan`] / [`ifft_with_plan`]);
-//! * [`RealFftPlan`] — the classic real-input packing trick: an `n`-point
-//!   transform of real data computed through one `n/2`-point complex FFT
-//!   plus an O(n) unpacking pass, returning the non-redundant half spectrum
-//!   (bins `0..=n/2`). Both lenses of the JTC chain transform real
-//!   sequences, so this roughly halves the simulation's FFT cost;
+//! * [`FftPlan`] — a precomputed transform plan for **any** length, with
+//!   allocation-free in-place execution ([`FftPlan::process`]) and
+//!   convenience wrappers ([`fft_with_plan`] / [`ifft_with_plan`]). Three
+//!   kernels cover every size:
+//!   - power-of-two lengths run the classic radix-2 plan (bit-reversal +
+//!     twiddle tables) — byte-for-byte the historical hot path, so every
+//!     existing pow2 result stays bit-identical;
+//!   - 5-smooth lengths (`2^a·3^b·5^c`) run a mixed-radix
+//!     decimation-in-time recursion with specialised radix-4/2/3/5
+//!     butterflies, so joint-plane geometry can pick tight sizes instead
+//!     of rounding up to the next power of two;
+//!   - every other length runs Bluestein's chirp-z algorithm through a
+//!     padded power-of-two convolution, making the plan API total.
+//! * [`RealFftPlan`] — real-input transforms returning the non-redundant
+//!   half spectrum (bins `0..=n/2`). Even lengths use the classic packing
+//!   trick (one `n/2`-point complex FFT plus an O(n) unpacking pass); odd
+//!   lengths fall back to a full-length complex transform. The
+//!   two-for-one pair API ([`RealFftPlan::forward_real_pair_into`]) packs
+//!   *two* real signals into one full-length complex transform — the win
+//!   for odd lengths, where no half-length trick exists.
 //! * a process-wide plan registry ([`FftPlan::shared`] /
 //!   [`RealFftPlan::shared`]) guarded by a `parking_lot` mutex, so every
 //!   caller transforming the same length shares one set of tables.
 //!
 //! Plans are bit-for-bit deterministic: the free [`crate::fft::fft`] /
 //! [`crate::fft::ifft`] functions are thin wrappers over the shared plans,
-//! so mixing the two APIs can never produce diverging numerics.
+//! so mixing the two APIs can never produce diverging numerics. Batched
+//! (planar/SoA) execution lives in [`crate::batch`] and preserves each
+//! row's exact floating-point op sequence.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
@@ -29,9 +43,44 @@ use parking_lot::Mutex;
 
 use crate::complex::Complex;
 use crate::error::DspError;
-use crate::util::is_pow2;
+use crate::util::{is_pow2, next_pow2};
 
-/// A precomputed radix-2 FFT plan for one power-of-two length.
+/// The execution kernel behind an [`FftPlan`], selected by length.
+#[derive(Debug)]
+pub(crate) enum Kernel {
+    /// Radix-2 decimation-in-time for power-of-two lengths. The historical
+    /// hot path, kept byte-for-byte so pow2 results stay bit-identical.
+    Radix2 {
+        /// `bit_rev[i]` is the bit-reversed image of `i` within `log2(n)`
+        /// bits.
+        bit_rev: Vec<u32>,
+        /// `twiddles[k] = exp(-2πik/n)` for `k in 0..n/2`.
+        twiddles: Vec<Complex>,
+    },
+    /// Mixed-radix decimation-in-time for 5-smooth lengths
+    /// (`2^a·3^b·5^c`), with specialised radix-4/2/3/5 butterflies.
+    MixedRadix {
+        /// Radix of each recursion level, outermost first (4s, then at
+        /// most one 2, then 3s, then 5s).
+        factors: Vec<usize>,
+        /// Full twiddle table `exp(-2πik/n)` for `k in 0..n`.
+        twiddles: Vec<Complex>,
+    },
+    /// Bluestein's chirp-z transform for all remaining lengths: the DFT
+    /// rewritten as a circular convolution executed through a padded
+    /// power-of-two plan.
+    Bluestein {
+        /// `exp(-πi·j²/n)` with the square reduced mod `2n` for precision.
+        chirp: Vec<Complex>,
+        /// Forward FFT (length `pad.len()`) of the chirp filter.
+        filter_spec: Vec<Complex>,
+        /// Power-of-two plan (length `>= 2n-1`) running the convolution.
+        pad: Arc<FftPlan>,
+    },
+}
+
+/// A precomputed FFT plan for one length (any length is supported; see
+/// the module docs for how the kernel is selected).
 ///
 /// # Examples
 ///
@@ -43,58 +92,295 @@ use crate::util::is_pow2;
 /// let x = vec![Complex::ONE; 8];
 /// let y = fft_with_plan(&plan, &x)?;
 /// assert!((y[0].re - 8.0).abs() < 1e-12);
+///
+/// // Non-power-of-two lengths are supported too.
+/// let plan = FftPlan::shared(12)?;
+/// let y = plan.fft(&vec![Complex::ONE; 12])?;
+/// assert!((y[0].re - 12.0).abs() < 1e-12);
 /// # Ok::<(), pf_dsp::DspError>(())
 /// ```
 #[derive(Debug)]
 pub struct FftPlan {
     n: usize,
-    /// `bit_rev[i]` is the bit-reversed image of `i` within `log2(n)` bits.
-    bit_rev: Vec<u32>,
-    /// `twiddles[k] = exp(-2πik/n)` for `k in 0..n/2`.
-    twiddles: Vec<Complex>,
+    pub(crate) kernel: Kernel,
+}
+
+/// Splits `n` into mixed-radix factors (4s first, then at most one 2,
+/// then 3s, then 5s). Returns `None` when `n` has a prime factor larger
+/// than 5.
+fn five_smooth_factors(n: usize) -> Option<Vec<usize>> {
+    let mut rem = n;
+    let mut factors = Vec::new();
+    while rem.is_multiple_of(4) {
+        factors.push(4);
+        rem /= 4;
+    }
+    if rem.is_multiple_of(2) {
+        factors.push(2);
+        rem /= 2;
+    }
+    while rem.is_multiple_of(3) {
+        factors.push(3);
+        rem /= 3;
+    }
+    while rem.is_multiple_of(5) {
+        factors.push(5);
+        rem /= 5;
+    }
+    if rem == 1 {
+        Some(factors)
+    } else {
+        None
+    }
+}
+
+/// Borrows the calling thread's plan-internal scratch buffer for the
+/// duration of `f`. Take/replace (instead of a held `RefMut`) keeps the
+/// cell usable if `f` itself executes another plan on this thread.
+fn with_plan_scratch<R>(f: impl FnOnce(&mut Vec<Complex>) -> R) -> R {
+    thread_local! {
+        static PLAN_SCRATCH: RefCell<Vec<Complex>> = const { RefCell::new(Vec::new()) };
+    }
+    PLAN_SCRATCH.with(|cell| {
+        let mut buf = cell.take();
+        let out = f(&mut buf);
+        cell.replace(buf);
+        out
+    })
+}
+
+/// `i·z` without a full complex multiply.
+#[inline]
+fn mul_i(z: Complex) -> Complex {
+    Complex::new(-z.im, z.re)
+}
+
+/// Shared context of one mixed-radix recursion.
+struct MixedCtx<'a> {
+    /// Full twiddle table of the outermost transform (`big_n` entries).
+    twiddles: &'a [Complex],
+    /// Outermost transform length (twiddle table denominator).
+    big_n: usize,
+    /// Inverse transform: conjugate twiddles (the `1/n` scale is applied
+    /// by the caller).
+    inverse: bool,
+}
+
+impl MixedCtx<'_> {
+    /// Twiddle `W_N^idx`, conjugated for inverse transforms. The `-1·im`
+    /// multiply is bit-identical to `conj()` and lets the loops below stay
+    /// branch-free.
+    #[inline]
+    fn tw(&self, idx: usize, im_sign: f64) -> Complex {
+        let w = self.twiddles[idx];
+        Complex::new(w.re, w.im * im_sign)
+    }
+}
+
+/// Computes the `dst.len()`-point DFT of `src[offset], src[offset+stride],
+/// ...` into `dst` by decimation in time over `factors`.
+fn mixed_rec(
+    ctx: &MixedCtx<'_>,
+    src: &[Complex],
+    offset: usize,
+    stride: usize,
+    dst: &mut [Complex],
+    factors: &[usize],
+) {
+    let n = dst.len();
+    let Some((&r, rest)) = factors.split_first() else {
+        dst[0] = src[offset];
+        return;
+    };
+    let m = n / r;
+    if rest.is_empty() {
+        // Leaf stage: gather the r strided inputs directly instead of
+        // recursing into r single-element sub-transforms.
+        for (q, slot) in dst.iter_mut().enumerate() {
+            *slot = src[offset + q * stride];
+        }
+    } else {
+        for q in 0..r {
+            mixed_rec(
+                ctx,
+                src,
+                offset + q * stride,
+                stride * r,
+                &mut dst[q * m..(q + 1) * m],
+                rest,
+            );
+        }
+    }
+    // Combine: X[k + t·m] = Σ_q (Y_q[k]·W_N^{qk·(N/n)}) · W_r^{qt}, with
+    // the inner r-point DFT unrolled into a specialised butterfly and the
+    // twiddle indices advanced incrementally (q·k·tw_stride stays below
+    // big_n, so no modular reduction is needed).
+    let tw_stride = ctx.big_n / n;
+    let (sign, im_sign) = if ctx.inverse {
+        (1.0, -1.0)
+    } else {
+        (-1.0, 1.0)
+    };
+    match r {
+        2 => {
+            let (d0, d1) = dst.split_at_mut(m);
+            let mut i1 = 0usize;
+            for k in 0..m {
+                let t0 = d0[k];
+                let t1 = d1[k] * ctx.tw(i1, im_sign);
+                d0[k] = t0 + t1;
+                d1[k] = t0 - t1;
+                i1 += tw_stride;
+            }
+        }
+        3 => {
+            let s3 = 3.0f64.sqrt() * 0.5;
+            let (d0, tail) = dst.split_at_mut(m);
+            let (d1, d2) = tail.split_at_mut(m);
+            let (mut i1, mut i2) = (0usize, 0usize);
+            for k in 0..m {
+                let t0 = d0[k];
+                let t1 = d1[k] * ctx.tw(i1, im_sign);
+                let t2 = d2[k] * ctx.tw(i2, im_sign);
+                let sum = t1 + t2;
+                let diff = t1 - t2;
+                let a = t0 + sum.scale(-0.5);
+                let b = mul_i(diff).scale(sign * s3);
+                d0[k] = t0 + sum;
+                d1[k] = a + b;
+                d2[k] = a - b;
+                i1 += tw_stride;
+                i2 += 2 * tw_stride;
+            }
+        }
+        4 => {
+            let (lo, hi) = dst.split_at_mut(2 * m);
+            let (d0, d1) = lo.split_at_mut(m);
+            let (d2, d3) = hi.split_at_mut(m);
+            let (mut i1, mut i2, mut i3) = (0usize, 0usize, 0usize);
+            for k in 0..m {
+                let t0 = d0[k];
+                let t1 = d1[k] * ctx.tw(i1, im_sign);
+                let t2 = d2[k] * ctx.tw(i2, im_sign);
+                let t3 = d3[k] * ctx.tw(i3, im_sign);
+                let s0 = t0 + t2;
+                let s1 = t0 - t2;
+                let s2 = t1 + t3;
+                let j3 = mul_i(t1 - t3).scale(sign);
+                d0[k] = s0 + s2;
+                d1[k] = s1 + j3;
+                d2[k] = s0 - s2;
+                d3[k] = s1 - j3;
+                i1 += tw_stride;
+                i2 += 2 * tw_stride;
+                i3 += 3 * tw_stride;
+            }
+        }
+        5 => {
+            let tau = 2.0 * std::f64::consts::PI / 5.0;
+            let (c1, s1) = (tau.cos(), tau.sin());
+            let (c2, s2) = ((2.0 * tau).cos(), (2.0 * tau).sin());
+            let (lo, hi) = dst.split_at_mut(2 * m);
+            let (d0, d1) = lo.split_at_mut(m);
+            let (mid, d4) = hi.split_at_mut(2 * m);
+            let (d2, d3) = mid.split_at_mut(m);
+            let (mut i1, mut i2, mut i3, mut i4) = (0usize, 0usize, 0usize, 0usize);
+            for k in 0..m {
+                let t0 = d0[k];
+                let t1 = d1[k] * ctx.tw(i1, im_sign);
+                let t2 = d2[k] * ctx.tw(i2, im_sign);
+                let t3 = d3[k] * ctx.tw(i3, im_sign);
+                let t4 = d4[k] * ctx.tw(i4, im_sign);
+                let a1 = t1 + t4;
+                let b1 = t1 - t4;
+                let a2 = t2 + t3;
+                let b2 = t2 - t3;
+                let m1 = t0 + a1.scale(c1) + a2.scale(c2);
+                let v1 = mul_i(b1.scale(s1) + b2.scale(s2)).scale(sign);
+                let m2 = t0 + a1.scale(c2) + a2.scale(c1);
+                let v2 = mul_i(b1.scale(s2) - b2.scale(s1)).scale(sign);
+                d0[k] = t0 + a1 + a2;
+                d1[k] = m1 + v1;
+                d2[k] = m2 + v2;
+                d3[k] = m2 - v2;
+                d4[k] = m1 - v1;
+                i1 += tw_stride;
+                i2 += 2 * tw_stride;
+                i3 += 3 * tw_stride;
+                i4 += 4 * tw_stride;
+            }
+        }
+        _ => unreachable!("factors are drawn from {{2, 3, 4, 5}}"),
+    }
 }
 
 impl FftPlan {
-    /// Builds a plan for transforms of length `n`.
+    /// Builds a plan for transforms of length `n` (any `n >= 1`).
     ///
     /// # Errors
     ///
-    /// Returns [`DspError::EmptyInput`] for `n == 0` and
-    /// [`DspError::InvalidLength`] when `n` is not a power of two.
+    /// Returns [`DspError::EmptyInput`] for `n == 0`.
     pub fn new(n: usize) -> Result<Self, DspError> {
         if n == 0 {
             return Err(DspError::EmptyInput {
                 what: "fft plan length",
             });
         }
-        if !is_pow2(n) {
-            return Err(DspError::InvalidLength {
-                len: n,
-                requirement: "radix-2 FFT plans require a power-of-two length",
-            });
-        }
-        let bits = n.trailing_zeros();
-        let mut bit_rev = vec![0u32; n];
-        for (i, slot) in bit_rev.iter_mut().enumerate() {
-            let mut x = i;
-            let mut r = 0usize;
-            for _ in 0..bits {
-                r = (r << 1) | (x & 1);
-                x >>= 1;
+        let kernel = if is_pow2(n) {
+            let bits = n.trailing_zeros();
+            let mut bit_rev = vec![0u32; n];
+            for (i, slot) in bit_rev.iter_mut().enumerate() {
+                let mut x = i;
+                let mut r = 0usize;
+                for _ in 0..bits {
+                    r = (r << 1) | (x & 1);
+                    x >>= 1;
+                }
+                *slot = r as u32;
             }
-            *slot = r as u32;
-        }
-        let half = n / 2;
-        let mut twiddles = Vec::with_capacity(half);
-        for k in 0..half {
-            let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
-            twiddles.push(Complex::cis(ang));
-        }
-        Ok(Self {
-            n,
-            bit_rev,
-            twiddles,
-        })
+            let half = n / 2;
+            let mut twiddles = Vec::with_capacity(half);
+            for k in 0..half {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                twiddles.push(Complex::cis(ang));
+            }
+            Kernel::Radix2 { bit_rev, twiddles }
+        } else if let Some(factors) = five_smooth_factors(n) {
+            let mut twiddles = Vec::with_capacity(n);
+            for k in 0..n {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                twiddles.push(Complex::cis(ang));
+            }
+            Kernel::MixedRadix { factors, twiddles }
+        } else {
+            // Bluestein: X[k] = chirp[k]·Σ_j (x[j]·chirp[j])·conj(chirp[k-j])
+            // — a circular convolution of length >= 2n-1, run on a padded
+            // power-of-two plan. The chirp squares are reduced mod 2n
+            // before the angle is formed, so precision does not degrade
+            // with n.
+            let m = next_pow2(2 * n - 1);
+            let pad = FftPlan::shared(m)?;
+            let mut chirp = Vec::with_capacity(n);
+            for j in 0..n {
+                let sq = ((j as u128 * j as u128) % (2 * n as u128)) as usize;
+                let ang = -std::f64::consts::PI * sq as f64 / n as f64;
+                chirp.push(Complex::cis(ang));
+            }
+            let mut filter_spec = vec![Complex::ZERO; m];
+            filter_spec[0] = chirp[0].conj();
+            for j in 1..n {
+                let c = chirp[j].conj();
+                filter_spec[j] = c;
+                filter_spec[m - j] = c;
+            }
+            pad.process(&mut filter_spec, false)?;
+            Kernel::Bluestein {
+                chirp,
+                filter_spec,
+                pad,
+            }
+        };
+        Ok(Self { n, kernel })
     }
 
     /// Fetches (building on first use) the process-wide shared plan for
@@ -127,10 +413,12 @@ impl FftPlan {
         self.n == 0
     }
 
-    /// Executes the transform in place, without allocating.
+    /// Executes the transform in place.
     ///
     /// A forward transform computes `X[k] = Σ_j x[j]·exp(-2πijk/n)`; the
-    /// inverse additionally scales by `1/n`.
+    /// inverse additionally scales by `1/n`. The radix-2 path allocates
+    /// nothing; the mixed-radix and Bluestein kernels borrow a per-thread
+    /// scratch buffer that keeps its capacity across calls.
     ///
     /// # Errors
     ///
@@ -144,37 +432,103 @@ impl FftPlan {
             });
         }
         let n = self.n;
-        for i in 0..n {
-            let j = self.bit_rev[i] as usize;
-            if j > i {
-                data.swap(i, j);
-            }
-        }
-        let mut len = 2;
-        while len <= n {
-            let half = len / 2;
-            let stride = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let mut w = self.twiddles[k * stride];
-                    if inverse {
-                        w = w.conj();
+        match &self.kernel {
+            Kernel::Radix2 { bit_rev, twiddles } => {
+                for (i, &rev) in bit_rev.iter().enumerate() {
+                    let j = rev as usize;
+                    if j > i {
+                        data.swap(i, j);
                     }
-                    let u = data[start + k];
-                    let v = data[start + k + half] * w;
-                    data[start + k] = u + v;
-                    data[start + k + half] = u - v;
+                }
+                let mut len = 2;
+                while len <= n {
+                    let half = len / 2;
+                    let stride = n / len;
+                    for start in (0..n).step_by(len) {
+                        for k in 0..half {
+                            let mut w = twiddles[k * stride];
+                            if inverse {
+                                w = w.conj();
+                            }
+                            let u = data[start + k];
+                            let v = data[start + k + half] * w;
+                            data[start + k] = u + v;
+                            data[start + k + half] = u - v;
+                        }
+                    }
+                    len <<= 1;
+                }
+                if inverse {
+                    let scale = 1.0 / n as f64;
+                    for z in data.iter_mut() {
+                        *z = z.scale(scale);
+                    }
                 }
             }
-            len <<= 1;
-        }
-        if inverse {
-            let scale = 1.0 / n as f64;
-            for z in data.iter_mut() {
-                *z = z.scale(scale);
+            Kernel::MixedRadix { factors, twiddles } => {
+                let ctx = MixedCtx {
+                    twiddles,
+                    big_n: n,
+                    inverse,
+                };
+                with_plan_scratch(|src| {
+                    src.clear();
+                    src.extend_from_slice(data);
+                    mixed_rec(&ctx, src, 0, 1, data, factors);
+                });
+                if inverse {
+                    let scale = 1.0 / n as f64;
+                    for z in data.iter_mut() {
+                        *z = z.scale(scale);
+                    }
+                }
+            }
+            Kernel::Bluestein { .. } => {
+                if inverse {
+                    // IDFT(x) = conj(DFT(conj(x)))/n.
+                    for z in data.iter_mut() {
+                        *z = z.conj();
+                    }
+                    self.bluestein_forward(data)?;
+                    let scale = 1.0 / n as f64;
+                    for z in data.iter_mut() {
+                        *z = z.conj().scale(scale);
+                    }
+                } else {
+                    self.bluestein_forward(data)?;
+                }
             }
         }
         Ok(())
+    }
+
+    /// The forward chirp-z pass of a Bluestein plan.
+    fn bluestein_forward(&self, data: &mut [Complex]) -> Result<(), DspError> {
+        let Kernel::Bluestein {
+            chirp,
+            filter_spec,
+            pad,
+        } = &self.kernel
+        else {
+            unreachable!("bluestein_forward is only called on Bluestein kernels");
+        };
+        let n = self.n;
+        with_plan_scratch(|buf| {
+            buf.clear();
+            buf.resize(pad.len(), Complex::ZERO);
+            for j in 0..n {
+                buf[j] = data[j] * chirp[j];
+            }
+            pad.process(buf, false)?;
+            for (z, f) in buf.iter_mut().zip(filter_spec) {
+                *z *= *f;
+            }
+            pad.process(buf, true)?;
+            for k in 0..n {
+                data[k] = buf[k] * chirp[k];
+            }
+            Ok(())
+        })
     }
 
     /// Forward FFT of `input` (must have the plan length).
@@ -229,11 +583,29 @@ pub fn ifft_with_plan(plan: &FftPlan, input: &[Complex]) -> Result<Vec<Complex>,
     plan.ifft(input)
 }
 
-/// A plan computing `n`-point transforms of *real* inputs through one
-/// `n/2`-point complex FFT (the even/odd packing trick).
+/// How a [`RealFftPlan`] executes, selected by length parity.
+#[derive(Debug)]
+pub(crate) enum RealKernel {
+    /// Even lengths: the classic packing trick — one `n/2`-point complex
+    /// FFT of `x[2j] + i·x[2j+1]` plus an O(n) unpacking pass.
+    PackedEven {
+        /// Complex plan of length `n/2` executing the packed transform.
+        half_plan: Arc<FftPlan>,
+    },
+    /// Odd lengths: a full `n`-point complex transform of the
+    /// zero-imaginary input (no half-length trick exists; the two-for-one
+    /// pair API recovers the factor of two when signals come in pairs).
+    OddFull,
+}
+
+/// A plan computing `n`-point transforms of *real* inputs, returning only
+/// the non-redundant bins `0..=n/2`; the remaining bins follow from
+/// conjugate symmetry (`X[n-k] = conj(X[k])`).
 ///
-/// Only the non-redundant bins `0..=n/2` are produced; the remaining bins
-/// follow from conjugate symmetry (`X[n-k] = conj(X[k])`).
+/// Even lengths run through one `n/2`-point complex FFT (the even/odd
+/// packing trick); odd lengths run a full-length complex transform. Both
+/// lenses of the JTC chain transform real sequences, so the even path
+/// roughly halves the simulation's FFT cost.
 ///
 /// # Examples
 ///
@@ -254,34 +626,43 @@ pub fn ifft_with_plan(plan: &FftPlan, input: &[Complex]) -> Result<Vec<Complex>,
 /// ```
 #[derive(Debug)]
 pub struct RealFftPlan {
-    n: usize,
-    /// Complex plan of length `n/2` executing the packed transform.
-    half_plan: Arc<FftPlan>,
+    pub(crate) n: usize,
+    pub(crate) kernel: RealKernel,
+    /// Full-length complex plan, used by the odd path and by the
+    /// two-for-one pair transform.
+    pub(crate) full_plan: Arc<FftPlan>,
     /// `exp(-2πik/n)` for `k in 0..=n/2`, used by the unpacking pass.
     unpack: Vec<Complex>,
 }
 
 impl RealFftPlan {
-    /// Builds a real-input plan for transforms of length `n`
-    /// (`n` must be a power of two and at least 2).
+    /// Builds a real-input plan for transforms of length `n` (any
+    /// `n >= 2`).
     ///
     /// # Errors
     ///
     /// Returns [`DspError::EmptyInput`] for `n == 0` and
-    /// [`DspError::InvalidLength`] when `n` is not a power of two or is 1.
+    /// [`DspError::InvalidLength`] for `n == 1`.
     pub fn new(n: usize) -> Result<Self, DspError> {
         if n == 0 {
             return Err(DspError::EmptyInput {
                 what: "real fft plan length",
             });
         }
-        if !is_pow2(n) || n < 2 {
+        if n < 2 {
             return Err(DspError::InvalidLength {
                 len: n,
-                requirement: "real-input FFT plans require a power-of-two length >= 2",
+                requirement: "real-input FFT plans require a length >= 2",
             });
         }
-        let half_plan = FftPlan::shared(n / 2)?;
+        let kernel = if n.is_multiple_of(2) {
+            RealKernel::PackedEven {
+                half_plan: FftPlan::shared(n / 2)?,
+            }
+        } else {
+            RealKernel::OddFull
+        };
+        let full_plan = FftPlan::shared(n)?;
         let mut unpack = Vec::with_capacity(n / 2 + 1);
         for k in 0..=(n / 2) {
             let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
@@ -289,7 +670,8 @@ impl RealFftPlan {
         }
         Ok(Self {
             n,
-            half_plan,
+            kernel,
+            full_plan,
             unpack,
         })
     }
@@ -349,11 +731,20 @@ impl RealFftPlan {
                 requirement: "real FFT input must not exceed the plan length",
             });
         }
-        let m = self.n / 2;
-        // Pack x[2j] + i·x[2j+1] into a length-m complex sequence; indices
-        // beyond the input read as the implicit zero padding.
-        scratch.clear();
-        scratch.reserve(m);
+        out.clear();
+        out.resize(self.spectrum_len(), Complex::ZERO);
+        self.forward_real_core(input, scratch, out)
+    }
+
+    /// One real forward transform into a pre-sized output slice
+    /// (`spectrum_len()` bins). Shared by the single, batched and
+    /// packed-tail paths so they are bit-identical by construction.
+    pub(crate) fn forward_real_core(
+        &self,
+        input: &[f64],
+        scratch: &mut Vec<Complex>,
+        out: &mut [Complex],
+    ) -> Result<(), DspError> {
         let at = |idx: usize| -> f64 {
             if idx < input.len() {
                 input[idx]
@@ -361,23 +752,130 @@ impl RealFftPlan {
                 0.0
             }
         };
-        for j in 0..m {
-            scratch.push(Complex::new(at(2 * j), at(2 * j + 1)));
+        match &self.kernel {
+            RealKernel::PackedEven { half_plan } => {
+                let m = self.n / 2;
+                // Pack x[2j] + i·x[2j+1] into a length-m complex sequence;
+                // indices beyond the input read as the implicit zero
+                // padding (appended by the trailing resize).
+                scratch.clear();
+                scratch.reserve(m);
+                let mut pairs = input.chunks_exact(2);
+                for pair in &mut pairs {
+                    scratch.push(Complex::new(pair[0], pair[1]));
+                }
+                if let [last] = pairs.remainder() {
+                    scratch.push(Complex::new(*last, 0.0));
+                }
+                scratch.resize(m, Complex::ZERO);
+                half_plan.process(scratch, false)?;
+                self.unpack_half(scratch, out);
+            }
+            RealKernel::OddFull => {
+                scratch.clear();
+                scratch.reserve(self.n);
+                for j in 0..self.n {
+                    scratch.push(Complex::from_real(at(j)));
+                }
+                self.full_plan.process(scratch, false)?;
+                out.copy_from_slice(&scratch[..self.spectrum_len()]);
+            }
         }
-        self.half_plan.process(scratch, false)?;
+        Ok(())
+    }
 
-        // Unpack: X[k] = E[k] + w_n^k · O[k] with E/O the spectra of the
-        // even/odd subsequences recovered from the packed transform.
-        out.clear();
-        out.reserve(m + 1);
-        for k in 0..=m {
-            let zk = scratch[k % m];
-            let zmk = scratch[(m - k) % m].conj();
+    /// Unpacks a packed even transform: `X[k] = E[k] + w_n^k · O[k]` with
+    /// `E`/`O` the spectra of the even/odd subsequences recovered from the
+    /// packed half-length transform.
+    pub(crate) fn unpack_half(&self, packed: &[Complex], out: &mut [Complex]) {
+        let m = self.n / 2;
+        let combine = |zk: Complex, zmk: Complex, w: Complex| {
             let even = (zk + zmk).scale(0.5);
             let odd_times_i = (zk - zmk).scale(0.5);
             // odd = -i · odd_times_i
             let odd = Complex::new(odd_times_i.im, -odd_times_i.re);
-            out.push(even + self.unpack[k] * odd);
+            even + w * odd
+        };
+        // Bins 0 and m both wrap to packed[0]; interior bins pair k with
+        // m - k directly, keeping the hot loop free of modular reductions.
+        out[0] = combine(packed[0], packed[0].conj(), self.unpack[0]);
+        for k in 1..m {
+            out[k] = combine(packed[k], packed[m - k].conj(), self.unpack[k]);
+        }
+        out[m] = combine(packed[0], packed[0].conj(), self.unpack[m]);
+    }
+
+    /// Two-for-one packed transform: computes the half spectra of **two**
+    /// real signals through a single full-length complex FFT of
+    /// `a[j] + i·b[j]`, halving the forward-transform count whenever
+    /// signals come in pairs. Both inputs are zero-padded to the plan
+    /// length.
+    ///
+    /// For even plan lengths this is flop-neutral with two
+    /// [`forward_real_into`](Self::forward_real_into) calls (those already
+    /// run half-length transforms); the win is for odd lengths, where no
+    /// half-length path exists. Results agree with the unpacked path to
+    /// DFT accuracy but are **not** bit-identical to it — the two signals'
+    /// rounding couples inside the shared transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] if either input is longer than
+    /// the plan length.
+    pub fn forward_real_pair_into(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        scratch: &mut Vec<Complex>,
+        out_a: &mut Vec<Complex>,
+        out_b: &mut Vec<Complex>,
+    ) -> Result<(), DspError> {
+        let sl = self.spectrum_len();
+        out_a.clear();
+        out_a.resize(sl, Complex::ZERO);
+        out_b.clear();
+        out_b.resize(sl, Complex::ZERO);
+        self.forward_real_pair_core(a, b, scratch, out_a, out_b)
+    }
+
+    /// Pair transform into pre-sized output slices (`spectrum_len()` bins
+    /// each); the packed batch path reuses this per pair.
+    pub(crate) fn forward_real_pair_core(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        scratch: &mut Vec<Complex>,
+        out_a: &mut [Complex],
+        out_b: &mut [Complex],
+    ) -> Result<(), DspError> {
+        if a.len() > self.n || b.len() > self.n {
+            return Err(DspError::InvalidLength {
+                len: a.len().max(b.len()),
+                requirement: "real FFT input must not exceed the plan length",
+            });
+        }
+        let n = self.n;
+        let pick = |s: &[f64], idx: usize| -> f64 {
+            if idx < s.len() {
+                s[idx]
+            } else {
+                0.0
+            }
+        };
+        scratch.clear();
+        scratch.reserve(n);
+        for j in 0..n {
+            scratch.push(Complex::new(pick(a, j), pick(b, j)));
+        }
+        self.full_plan.process(scratch, false)?;
+        // Z[k] = A[k] + i·B[k] and conj(Z[n-k]) = A[k] - i·B[k] for
+        // real-input spectra, so one transform separates into both.
+        for k in 0..self.spectrum_len() {
+            let zk = scratch[k];
+            let znk = scratch[(n - k) % n].conj();
+            out_a[k] = (zk + znk).scale(0.5);
+            let b_times_i = (zk - znk).scale(0.5);
+            out_b[k] = Complex::new(b_times_i.im, -b_times_i.re);
         }
         Ok(())
     }
@@ -389,12 +887,8 @@ mod tests {
     use crate::fft::{dft, fft, fft_real};
 
     #[test]
-    fn plan_rejects_bad_lengths() {
+    fn plan_rejects_zero_and_accepts_any_positive_length() {
         assert!(matches!(FftPlan::new(0), Err(DspError::EmptyInput { .. })));
-        assert!(matches!(
-            FftPlan::new(12),
-            Err(DspError::InvalidLength { .. })
-        ));
         assert!(matches!(
             RealFftPlan::new(0),
             Err(DspError::EmptyInput { .. })
@@ -403,10 +897,14 @@ mod tests {
             RealFftPlan::new(1),
             Err(DspError::InvalidLength { .. })
         ));
-        assert!(matches!(
-            RealFftPlan::new(6),
-            Err(DspError::InvalidLength { .. })
-        ));
+        // Non-pow2 lengths used to be rejected; the mixed-radix and
+        // Bluestein kernels now make the plan API total.
+        for n in [3usize, 6, 7, 12, 20, 22, 97] {
+            assert_eq!(FftPlan::new(n).unwrap().len(), n);
+        }
+        for n in [6usize, 7, 9, 12, 20, 22] {
+            assert_eq!(RealFftPlan::new(n).unwrap().len(), n);
+        }
     }
 
     #[test]
@@ -442,17 +940,38 @@ mod tests {
     }
 
     #[test]
+    fn mixed_radix_and_bluestein_match_dft() {
+        // 5-smooth sizes exercise every butterfly (4s, a lone 2, 3s, 5s);
+        // the rest exercise the chirp-z path (primes and composites with a
+        // prime factor > 5).
+        for n in [
+            3usize, 5, 6, 10, 12, 15, 20, 24, 45, 60, 90, 135, 7, 11, 13, 14, 22, 97,
+        ] {
+            let x: Vec<Complex> = (0..n)
+                .map(|k| Complex::new((k as f64 * 0.29).sin(), (k as f64 * 0.53).cos()))
+                .collect();
+            let plan = FftPlan::shared(n).unwrap();
+            let a = plan.fft(&x).unwrap();
+            let b = dft(&x).unwrap();
+            for (k, (p, q)) in a.iter().zip(&b).enumerate() {
+                assert!((*p - *q).abs() < 1e-9, "bin {k} of n={n}: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
     fn inverse_roundtrips_in_place() {
-        let n = 32;
-        let x: Vec<Complex> = (0..n)
-            .map(|k| Complex::new(k as f64, -(k as f64) * 0.3))
-            .collect();
-        let plan = FftPlan::new(n).unwrap();
-        let mut data = x.clone();
-        plan.process(&mut data, false).unwrap();
-        plan.process(&mut data, true).unwrap();
-        for (a, b) in x.iter().zip(&data) {
-            assert!((*a - *b).abs() < 1e-10);
+        for n in [32usize, 12, 45, 97] {
+            let x: Vec<Complex> = (0..n)
+                .map(|k| Complex::new(k as f64, -(k as f64) * 0.3))
+                .collect();
+            let plan = FftPlan::new(n).unwrap();
+            let mut data = x.clone();
+            plan.process(&mut data, false).unwrap();
+            plan.process(&mut data, true).unwrap();
+            for (a, b) in x.iter().zip(&data) {
+                assert!((*a - *b).abs() < 1e-9, "roundtrip failed at n={n}");
+            }
         }
     }
 
@@ -481,6 +1000,46 @@ mod tests {
                     (half[k] - full[k]).abs() < 1e-9 * (n as f64),
                     "bin {k} of n={n}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn real_plan_handles_odd_and_non_pow2_lengths() {
+        for n in [6usize, 7, 9, 12, 20, 45, 135, 1350] {
+            let x: Vec<f64> = (0..n).map(|k| (k as f64 * 0.31).cos() - 0.1).collect();
+            let plan = RealFftPlan::shared(n).unwrap();
+            let mut scratch = Vec::new();
+            let mut half = Vec::new();
+            plan.forward_real_into(&x, &mut scratch, &mut half).unwrap();
+            assert_eq!(half.len(), n / 2 + 1);
+            let full: Vec<Complex> = x.iter().map(|&v| Complex::from_real(v)).collect();
+            let reference = dft(&full).unwrap();
+            for k in 0..half.len() {
+                assert!(
+                    (half[k] - reference[k]).abs() < 1e-9 * (n as f64).max(1.0),
+                    "bin {k} of n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_transform_matches_individual_spectra() {
+        for n in [7usize, 16, 20, 45] {
+            let a: Vec<f64> = (0..n).map(|k| (k as f64 * 0.4).sin() + 0.3).collect();
+            let b: Vec<f64> = (0..n).map(|k| (k as f64 * 0.9).cos() - 0.2).collect();
+            let plan = RealFftPlan::shared(n).unwrap();
+            let mut scratch = Vec::new();
+            let (mut pa, mut pb) = (Vec::new(), Vec::new());
+            plan.forward_real_pair_into(&a, &b, &mut scratch, &mut pa, &mut pb)
+                .unwrap();
+            let (mut sa, mut sb) = (Vec::new(), Vec::new());
+            plan.forward_real_into(&a, &mut scratch, &mut sa).unwrap();
+            plan.forward_real_into(&b, &mut scratch, &mut sb).unwrap();
+            for k in 0..plan.spectrum_len() {
+                assert!((pa[k] - sa[k]).abs() < 1e-9, "a bin {k} of n={n}");
+                assert!((pb[k] - sb[k]).abs() < 1e-9, "b bin {k} of n={n}");
             }
         }
     }

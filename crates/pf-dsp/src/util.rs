@@ -19,6 +19,54 @@ pub fn is_pow2(n: usize) -> bool {
     n != 0 && (n & (n - 1)) == 0
 }
 
+/// Returns the smallest **even 5-smooth** number (`2^a·3^b·5^c` with
+/// `a >= 1`) greater than or equal to `n` — the tightest transform length
+/// the mixed-radix FFT kernels execute efficiently. Evenness is required
+/// so the real-input half-spectrum packing applies.
+///
+/// Always at most `next_pow2(n)`, so callers switching from pow2 padding
+/// can only shrink their transforms.
+///
+/// ```
+/// assert_eq!(pf_dsp::util::next_fast_len(0), 2);
+/// assert_eq!(pf_dsp::util::next_fast_len(6), 6);
+/// assert_eq!(pf_dsp::util::next_fast_len(7), 8);
+/// assert_eq!(pf_dsp::util::next_fast_len(97), 100);
+/// assert_eq!(pf_dsp::util::next_fast_len(1025), 1080);
+/// ```
+pub fn next_fast_len(n: usize) -> usize {
+    let target = n.max(2);
+    let mut best = next_pow2(target);
+    // Enumerate odd-part candidates 3^b·5^c below the current best and
+    // pair each with the smallest 2^a (a >= 1) that reaches the target;
+    // every even 5-smooth number is visited this way.
+    let mut p3 = 1usize;
+    while p3 < best {
+        let mut p35 = p3;
+        while p35 < best {
+            let mut m = p35 * 2;
+            while m < target {
+                match m.checked_mul(2) {
+                    Some(next) => m = next,
+                    None => break,
+                }
+            }
+            if m >= target && m < best {
+                best = m;
+            }
+            match p35.checked_mul(5) {
+                Some(next) => p35 = next,
+                None => break,
+            }
+        }
+        match p3.checked_mul(3) {
+            Some(next) => p3 = next,
+            None => break,
+        }
+    }
+    best
+}
+
 /// Zero-pads `data` on the right to length `len`.
 ///
 /// If `data` is already at least `len` elements long, it is returned
@@ -154,6 +202,39 @@ mod tests {
         assert_eq!(next_pow2(3), 4);
         assert_eq!(next_pow2(255), 256);
         assert_eq!(next_pow2(257), 512);
+    }
+
+    #[test]
+    fn next_fast_len_is_tight_even_and_5_smooth() {
+        assert_eq!(next_fast_len(0), 2);
+        assert_eq!(next_fast_len(1), 2);
+        assert_eq!(next_fast_len(2), 2);
+        assert_eq!(next_fast_len(3), 4);
+        assert_eq!(next_fast_len(5), 6);
+        assert_eq!(next_fast_len(11), 12);
+        assert_eq!(next_fast_len(13), 16);
+        assert_eq!(next_fast_len(26), 27 + 3); // 30 = 2·3·5
+        assert_eq!(next_fast_len(2048), 2048);
+        // Exhaustive check against a brute-force search over a range.
+        let is_even_5_smooth = |mut v: usize| {
+            if !v.is_multiple_of(2) {
+                return false;
+            }
+            for p in [2usize, 3, 5] {
+                while v.is_multiple_of(p) {
+                    v /= p;
+                }
+            }
+            v == 1
+        };
+        for n in 2..2200usize {
+            let fast = next_fast_len(n);
+            assert!(fast >= n && is_even_5_smooth(fast), "n={n} fast={fast}");
+            assert!(fast <= next_pow2(n), "n={n} fast={fast}");
+            for candidate in n..fast {
+                assert!(!is_even_5_smooth(candidate), "n={n} missed {candidate}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! DFT-oracle conformance suite for every FFT plan variant.
+//!
+//! The transform layer promises two different strengths of agreement and
+//! this suite checks both against an **independent** naive O(n²) reference
+//! DFT (written here, not the library's own `fft::dft`, so a refactor
+//! cannot silently re-derive a wrong baseline):
+//!
+//! * every plan variant — pow2 radix-2, mixed-radix (radix-4/2/3/5),
+//!   Bluestein, packed-real, two-for-one pair, batched — matches the
+//!   oracle within `1e-9`;
+//! * where the docs claim bit-identity (free fft vs. shared plan, batched
+//!   vs. per-row execution, batched real vs. serial real), results match
+//!   **bit for bit**;
+//! * structural invariants: forward∘inverse round-trips, Parseval.
+
+use pf_dsp::batch::BatchFftPlan;
+use pf_dsp::fft::{fft, ifft};
+use pf_dsp::plan::{fft_with_plan, FftPlan, RealFftPlan};
+use pf_dsp::Complex;
+use proptest::prelude::*;
+
+/// Absolute conformance tolerance. Inputs are bounded to ±1 and lengths to
+/// ≤ 128, so both the oracle's and the plans' rounding stay far below it.
+const TOL: f64 = 1e-9;
+
+/// Naive O(n²) reference DFT, independently coded: accumulates against
+/// freshly evaluated phasors, never a precomputed table.
+fn oracle(x: &[Complex], inverse: bool) -> Vec<Complex> {
+    let n = x.len();
+    let sign = if inverse { 2.0 } else { -2.0 };
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex::ZERO;
+        for (j, &v) in x.iter().enumerate() {
+            let ang = sign * std::f64::consts::PI * (k as f64) * (j as f64) / n as f64;
+            acc += v * Complex::new(ang.cos(), ang.sin());
+        }
+        if inverse {
+            acc = acc.scale(1.0 / n as f64);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Lengths covering every kernel: powers of two (radix-2), 5-smooth
+/// non-pow2 with 4-factors (radix-4 butterflies) and without, and sizes
+/// with prime factors > 5 (Bluestein).
+const LENGTHS: &[usize] = &[
+    1, 2, 4, 8, 32, 128, // radix-2
+    6, 10, 15, 45, // mixed radix without a 4-factor
+    12, 20, 36, 48, 60, 100, // mixed radix exercising radix-4
+    7, 11, 13, 14, 21, 22, 97, // Bluestein
+];
+
+/// Even lengths usable by the packed real path; odd ones take the
+/// full-length real path.
+const REAL_LENGTHS: &[usize] = &[2, 4, 16, 128, 6, 12, 20, 60, 14, 22, 7, 9, 45, 21];
+
+fn complex_signal() -> impl Strategy<Value = Vec<Complex>> {
+    (0usize..LENGTHS.len()).prop_flat_map(|i| {
+        let n = LENGTHS[i];
+        prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n..=n)
+            .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+    })
+}
+
+fn real_signal() -> impl Strategy<Value = Vec<f64>> {
+    (0usize..REAL_LENGTHS.len()).prop_flat_map(|i| {
+        let n = REAL_LENGTHS[i];
+        prop::collection::vec(-1.0f64..1.0, n..=n)
+    })
+}
+
+fn assert_close(a: &[Complex], b: &[Complex], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (k, (p, q)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (*p - *q).abs() < TOL,
+            "{what}: bin {k} of n={} differs: {p} vs {q}",
+            a.len()
+        );
+    }
+}
+
+fn assert_bits(a: &[Complex], b: &[Complex], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (k, (p, q)) in a.iter().zip(b).enumerate() {
+        assert_eq!(p.re.to_bits(), q.re.to_bits(), "{what}: re bin {k}");
+        assert_eq!(p.im.to_bits(), q.im.to_bits(), "{what}: im bin {k}");
+    }
+}
+
+proptest! {
+    /// Every complex plan variant matches the oracle, forward and inverse.
+    #[test]
+    fn every_plan_variant_matches_the_oracle(x in complex_signal()) {
+        let plan = FftPlan::shared(x.len()).unwrap();
+        assert_close(&plan.fft(&x).unwrap(), &oracle(&x, false), "forward");
+        assert_close(&plan.ifft(&x).unwrap(), &oracle(&x, true), "inverse");
+    }
+
+    /// The free functions are documented as thin wrappers over the shared
+    /// plan: bit-identical, now for every length.
+    #[test]
+    fn free_fft_is_bit_identical_to_the_shared_plan(x in complex_signal()) {
+        let plan = FftPlan::shared(x.len()).unwrap();
+        assert_bits(&fft(&x).unwrap(), &fft_with_plan(&plan, &x).unwrap(), "free vs plan");
+    }
+
+    /// forward ∘ inverse is the identity for every kernel.
+    #[test]
+    fn forward_inverse_roundtrips(x in complex_signal()) {
+        let plan = FftPlan::shared(x.len()).unwrap();
+        let mut data = x.clone();
+        plan.process(&mut data, false).unwrap();
+        plan.process(&mut data, true).unwrap();
+        assert_close(&data, &x, "roundtrip");
+    }
+
+    /// Energy is preserved (Parseval) for every kernel.
+    #[test]
+    fn parseval_holds_for_every_kernel(x in complex_signal()) {
+        let y = fft(&x).unwrap();
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((te - fe).abs() <= TOL * te.max(1.0));
+    }
+
+    /// The real-input plan (packed even and full odd paths) matches the
+    /// oracle's non-redundant bins.
+    #[test]
+    fn real_plans_match_the_oracle(x in real_signal()) {
+        let n = x.len();
+        let plan = RealFftPlan::shared(n).unwrap();
+        let mut scratch = Vec::new();
+        let mut half = Vec::new();
+        plan.forward_real_into(&x, &mut scratch, &mut half).unwrap();
+        let as_complex: Vec<Complex> = x.iter().map(|&v| Complex::from_real(v)).collect();
+        let reference = oracle(&as_complex, false);
+        prop_assert_eq!(half.len(), n / 2 + 1);
+        assert_close(&half, &reference[..half.len()], "real plan");
+    }
+
+    /// The two-for-one pair transform separates both spectra to oracle
+    /// accuracy.
+    #[test]
+    fn pair_transform_matches_the_oracle(x in real_signal(), y in real_signal()) {
+        let n = x.len().max(y.len());
+        let plan = RealFftPlan::shared(n).unwrap();
+        let mut scratch = Vec::new();
+        let (mut sa, mut sb) = (Vec::new(), Vec::new());
+        plan.forward_real_pair_into(&x, &y, &mut scratch, &mut sa, &mut sb).unwrap();
+        for (signal, spec, name) in [(&x, &sa, "a"), (&y, &sb, "b")] {
+            let mut padded: Vec<Complex> =
+                signal.iter().map(|&v| Complex::from_real(v)).collect();
+            padded.resize(n, Complex::ZERO);
+            let reference = oracle(&padded, false);
+            assert_close(spec, &reference[..spec.len()], name);
+        }
+    }
+
+    /// Batched complex execution is documented bit-identical to per-row
+    /// plan calls — and therefore oracle-accurate by transitivity.
+    #[test]
+    fn batched_complex_is_bit_identical_to_serial(x in complex_signal(), rows in 1usize..5) {
+        let n = x.len();
+        let batch = BatchFftPlan::shared(n).unwrap();
+        let mut data: Vec<Complex> = (0..rows).flat_map(|r| {
+            x.iter().map(move |z| *z + Complex::from_real(r as f64 * 0.01))
+        }).collect();
+        let mut reference = data.clone();
+        batch.process_batch(&mut data, false).unwrap();
+        for chunk in reference.chunks_exact_mut(n) {
+            batch.plan().process(chunk, false).unwrap();
+        }
+        assert_bits(&data, &reference, "batched complex");
+    }
+
+    /// Batched real execution is documented bit-identical to looping
+    /// `forward_real_into`.
+    #[test]
+    fn batched_real_is_bit_identical_to_serial(x in real_signal(), rows in 1usize..5) {
+        let n = x.len();
+        let plan = RealFftPlan::shared(n).unwrap();
+        let inputs: Vec<f64> = (0..rows).flat_map(|r| {
+            x.iter().map(move |v| v + r as f64 * 0.01)
+        }).collect();
+        let mut scratch = Vec::new();
+        let mut batched = Vec::new();
+        plan.forward_real_batch_into(&inputs, rows, &mut scratch, &mut batched).unwrap();
+        let sl = plan.spectrum_len();
+        for r in 0..rows {
+            let mut single = Vec::new();
+            plan.forward_real_into(&inputs[r * n..(r + 1) * n], &mut scratch, &mut single)
+                .unwrap();
+            assert_bits(&batched[r * sl..(r + 1) * sl], &single, "batched real");
+        }
+    }
+
+    /// The packed (two-for-one) batch matches the oracle for every row —
+    /// even row counts pack fully, odd ones exercise the single-row tail.
+    #[test]
+    fn packed_batch_matches_the_oracle(x in real_signal(), rows in 1usize..6) {
+        let n = x.len();
+        let plan = RealFftPlan::shared(n).unwrap();
+        let inputs: Vec<f64> = (0..rows).flat_map(|r| {
+            x.iter().map(move |v| v * (1.0 + r as f64 * 0.1))
+        }).collect();
+        let mut scratch = Vec::new();
+        let mut packed = Vec::new();
+        plan.forward_real_packed_into(&inputs, rows, &mut scratch, &mut packed).unwrap();
+        let sl = plan.spectrum_len();
+        for r in 0..rows {
+            let as_complex: Vec<Complex> = inputs[r * n..(r + 1) * n]
+                .iter()
+                .map(|&v| Complex::from_real(v))
+                .collect();
+            let reference = oracle(&as_complex, false);
+            assert_close(&packed[r * sl..(r + 1) * sl], &reference[..sl], "packed batch");
+        }
+    }
+
+    /// The free inverse agrees with the inverse oracle for every length.
+    #[test]
+    fn inverse_matches_the_oracle(x in complex_signal()) {
+        assert_close(&ifft(&x).unwrap(), &oracle(&x, true), "free inverse");
+    }
+}

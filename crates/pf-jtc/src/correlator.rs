@@ -20,7 +20,7 @@
 
 use pf_dsp::complex::Complex;
 use pf_dsp::fft::{fft, fftshift};
-use pf_dsp::util::next_pow2;
+use pf_dsp::util::{next_fast_len, next_pow2};
 use serde::{Deserialize, Serialize};
 
 use crate::error::JtcError;
@@ -227,6 +227,23 @@ pub(crate) fn joint_geometry(signal_len: usize, kernel_len: usize, grid: usize) 
     (d, n)
 }
 
+/// Tight input-plane geometry for the prepared path: the same separation
+/// `d` as [`joint_geometry`] (so the output terms never overlap), but the
+/// grid is the smallest **even 5-smooth** size that fits the three terms
+/// plus guard space, instead of the simulator's power-of-two base grid.
+///
+/// `pf_dsp`'s mixed-radix plans run any 5-smooth length directly, so the
+/// prepared transforms no longer pay for next-power-of-two padding — e.g. a
+/// 256-sample signal against a 67-sample tiled kernel runs on a 1350-point
+/// grid instead of 2048. The tight grid is always `<=` the padded one and
+/// always even, so the half-spectrum optics (conjugate symmetry, mirror
+/// bin handling, `d < n/2` lobe extraction) carry over unchanged.
+pub(crate) fn prepared_geometry(signal_len: usize, kernel_len: usize) -> (usize, usize) {
+    let d = 2 * signal_len + kernel_len + 2;
+    let n = next_fast_len(2 * d + 2 * kernel_len + 4);
+    (d, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +364,35 @@ mod tests {
         let side_energy: f64 =
             shifted[..mid - 200].iter().sum::<f64>() + shifted[mid + 200..].iter().sum::<f64>();
         assert!(side_energy > 0.0);
+    }
+
+    #[test]
+    fn prepared_geometry_is_tight_even_and_sufficient() {
+        for s in [1usize, 3, 8, 32, 100, 256] {
+            for k in [1usize, 3, 5, 32, 67, 256] {
+                let (d, n) = prepared_geometry(s, k);
+                let (dj, nj) = joint_geometry(s, k, 0);
+                assert_eq!(d, dj, "separation must match the per-call path");
+                // Enough room for the central term and both lobes.
+                assert!(n >= 2 * d + 2 * k + 4, "s={s} k={k}: n={n} too small");
+                // Even (half-spectrum mirror bin exists) and never worse
+                // than the padded power-of-two grid.
+                assert_eq!(n % 2, 0, "s={s} k={k}: n={n} must be even");
+                assert!(n <= nj, "s={s} k={k}: tight n={n} exceeds padded {nj}");
+                // 5-smooth: the mixed-radix plan handles it without
+                // Bluestein.
+                let mut m = n;
+                for p in [2usize, 3, 5] {
+                    while m % p == 0 {
+                        m /= p;
+                    }
+                }
+                assert_eq!(m, 1, "s={s} k={k}: n={n} is not 5-smooth");
+            }
+        }
+        // The headline case from the resnet18 tile geometry: 1350 < 2048.
+        let (_, n) = prepared_geometry(256, 67);
+        assert_eq!(n, 1350);
     }
 
     #[test]

@@ -274,8 +274,9 @@ impl Conv1dEngine for JtcEngine {
     }
 
     fn prefers_parallel_tiles(&self) -> bool {
-        // Each tile runs two FFTs over a >=2048-sample grid — far above the
-        // cost of a thread spawn, unlike a digital dot product.
+        // Each tile runs two FFTs over a grid of a thousand-plus samples —
+        // far above the cost of a thread spawn, unlike a digital dot
+        // product.
         true
     }
 

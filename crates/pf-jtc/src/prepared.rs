@@ -9,7 +9,10 @@
 //!
 //! * [`PreparedSpectrum`] fixes the input-plane geometry (separation `d`,
 //!   grid size `n`) for one `(kernel, signal_len)` pair and precomputes the
-//!   kernel's padded half-spectrum once;
+//!   kernel's padded half-spectrum once. The prepared grid is **tight**:
+//!   the smallest even 5-smooth size that keeps the output terms separated
+//!   (mixed-radix plans run it directly), not the simulator's
+//!   power-of-two base grid;
 //! * per tile, the first lens is computed as a **real-input half-spectrum
 //!   FFT of the signal alone** (one `n/2`-point complex FFT instead of an
 //!   `n`-point one) and the kernel spectrum is added — the Fourier transform
@@ -25,7 +28,12 @@
 //!   ([`PreparedSpectrum::signal_spectrum`]) and
 //!   [`PreparedSpectrum::correlate_spectrum`] replays it against any
 //!   prepared kernel with the same geometry — one spectrum-add plus one
-//!   inverse-lens transform per kernel instead of two transforms each.
+//!   inverse-lens transform per kernel instead of two transforms each;
+//! * whole tile batches transform at once:
+//!   [`PreparedSpectrum::signal_spectra_batch`] (and the row-tiling hook
+//!   [`PreparedConv1d::prepare_signal_batch`]) run one batched real-input
+//!   plan over N planar rows, bit-identical per row to the one-at-a-time
+//!   path.
 //!
 //! [`PreparedKernel`] layers the engine's DAC/ADC quantisation (and, for
 //! noisy engines, the shared sensing-noise stream) on top and plugs into
@@ -97,20 +105,20 @@ impl SignalSpectrum {
 
 impl PreparedSpectrum {
     /// Builds the prepared state for `kernel` against signals of exactly
-    /// `signal_len` samples, using the same geometry as
-    /// [`JtcSimulator::output_plane`](crate::correlator::JtcSimulator::output_plane).
+    /// `signal_len` samples, using the same signal→kernel separation as
+    /// [`JtcSimulator::output_plane`](crate::correlator::JtcSimulator::output_plane)
+    /// but a **tight grid**: the smallest even 5-smooth size that keeps the
+    /// output terms separated, rather than the simulator's power-of-two
+    /// base grid. The mixed-radix transform plans run any 5-smooth length
+    /// directly, so the prepared path no longer pays for pad-to-pow2
+    /// transforms (the per-call [`JtcSimulator`] path keeps the big grid).
     ///
     /// # Errors
     ///
     /// * [`JtcError::EmptyOperand`] if the kernel is empty or `signal_len`
     ///   is zero.
     /// * [`JtcError::InputTooLarge`] if either operand exceeds `capacity`.
-    pub fn new(
-        kernel: &[f64],
-        signal_len: usize,
-        capacity: usize,
-        grid: usize,
-    ) -> Result<Self, JtcError> {
+    pub fn new(kernel: &[f64], signal_len: usize, capacity: usize) -> Result<Self, JtcError> {
         if signal_len == 0 {
             return Err(JtcError::EmptyOperand { what: "signal" });
         }
@@ -124,9 +132,9 @@ impl PreparedSpectrum {
                 capacity,
             });
         }
-        // Same geometry as the per-call path: signal at the origin, kernel
-        // at offset d, grid grown if the kernel needs more guard space.
-        let (d, n) = crate::correlator::joint_geometry(signal_len, kernel.len(), grid);
+        // Same separation as the per-call path (signal at the origin,
+        // kernel at offset d), tight 5-smooth grid.
+        let (d, n) = crate::correlator::prepared_geometry(signal_len, kernel.len());
         let plan = RealFftPlan::shared(n)?;
 
         // Kernel half-spectrum, computed once: the kernel occupies
@@ -199,6 +207,56 @@ impl PreparedSpectrum {
             n: self.n,
             half_spec,
         })
+    }
+
+    /// Computes the first-lens transforms of `count` signals stored back to
+    /// back in `signals` (planar layout, each row exactly
+    /// [`signal_len`](PreparedSpectrum::signal_len) samples) through **one
+    /// batched real-input transform**: the plan walks its stages once across
+    /// all rows instead of once per row.
+    ///
+    /// Each returned spectrum is bit-identical to what
+    /// [`PreparedSpectrum::signal_spectrum`] produces for the same row — the
+    /// batched kernel replays the per-row floating-point operation sequence
+    /// exactly — so every sharing guarantee downstream carries over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JtcError::EmptyOperand`] for an empty batch and
+    /// [`JtcError::InvalidConfig`] if `signals` does not divide into `count`
+    /// rows of the prepared signal length.
+    pub fn signal_spectra_batch(
+        &self,
+        signals: &[f64],
+        count: usize,
+    ) -> Result<Vec<SignalSpectrum>, JtcError> {
+        if count == 0 || signals.is_empty() {
+            return Err(JtcError::EmptyOperand { what: "signal" });
+        }
+        if !signals.len().is_multiple_of(count) {
+            return Err(JtcError::InvalidConfig {
+                name: "signals",
+                requirement: format!(
+                    "planar batch of {count} equal rows, got {} samples",
+                    signals.len()
+                ),
+            });
+        }
+        self.check_signal_len(signals.len() / count)?;
+        let sl = self.plan.spectrum_len();
+        let mut halves = Vec::new();
+        with_spectrum_scratch(|s| {
+            self.plan
+                .forward_real_batch_into(signals, count, &mut s.fft, &mut halves)
+        })?;
+        Ok(halves
+            .chunks_exact(sl)
+            .map(|half| SignalSpectrum {
+                signal_len: self.signal_len,
+                n: self.n,
+                half_spec: half.to_vec(),
+            })
+            .collect())
     }
 
     /// Runs the optics chain against `signal` and extracts the valid
@@ -313,7 +371,6 @@ impl PreparedSpectrum {
     /// intensity — `F[s+k] = F[s] + F[k]`, and the joint input is real so
     /// its intensity spectrum is symmetric: `I[n-k] = I[k]`.
     fn apply_kernel_spectrum(&self, joint: &mut [Complex], intensity: &mut Vec<f64>) {
-        let m = self.n / 2;
         for (j, k) in joint.iter_mut().zip(&self.kernel_half_spec) {
             *j += *k;
         }
@@ -322,7 +379,9 @@ impl PreparedSpectrum {
         for (k, z) in joint.iter().enumerate() {
             let v = z.norm_sqr();
             intensity[k] = v;
-            if k != 0 && k != m {
+            // Bins 0 and n/2 (when n is even) are their own mirrors; every
+            // other half-spectrum bin also fills its conjugate image.
+            if k != 0 && 2 * k != self.n {
                 intensity[self.n - k] = v;
             }
         }
@@ -361,7 +420,7 @@ impl JtcSimulator {
         kernel: &[f64],
         signal_len: usize,
     ) -> Result<PreparedSpectrum, JtcError> {
-        PreparedSpectrum::new(kernel, signal_len, self.capacity(), self.grid_size())
+        PreparedSpectrum::new(kernel, signal_len, self.capacity())
     }
 
     /// Correlates `signal` against a kernel prepared with
@@ -577,6 +636,37 @@ impl PreparedConv1d for PreparedKernel {
         Some(Arc::new(SharedSignal { spectrum, s_scale }))
     }
 
+    fn prepare_signal_batch(
+        &self,
+        signals: &[f64],
+        count: usize,
+    ) -> Option<Vec<Arc<dyn PreparedSignal>>> {
+        if count == 0 || !signals.len().is_multiple_of(count) {
+            return None;
+        }
+        let row = signals.len() / count;
+        // DAC quantisation normalises each signal against its own peak, so
+        // it stays per-row (bit-identical to `prepare_signal`); only the
+        // transforms are batched.
+        let mut packed = Vec::with_capacity(signals.len());
+        let mut scales = Vec::with_capacity(count);
+        for chunk in signals.chunks_exact(row) {
+            let (q, s_scale) = crate::engine::quantize_through_dac(self.dac.as_ref(), chunk);
+            packed.extend_from_slice(&q);
+            scales.push(s_scale);
+        }
+        let spectra = self.spectrum.signal_spectra_batch(&packed, count).ok()?;
+        Some(
+            spectra
+                .into_iter()
+                .zip(scales)
+                .map(|(spectrum, s_scale)| {
+                    Arc::new(SharedSignal { spectrum, s_scale }) as Arc<dyn PreparedSignal>
+                })
+                .collect(),
+        )
+    }
+
     fn correlate_with_signal(&self, prepared: &dyn PreparedSignal, signal: &[f64]) -> Vec<f64> {
         let Some(shared) = prepared.as_any().downcast_ref::<SharedSignal>() else {
             return self.correlate_valid(signal);
@@ -717,6 +807,98 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn prepared_grid_is_tight_and_still_exact() {
+        let jtc = JtcSimulator::new(256).unwrap();
+        let kernel = vec![0.25, -0.5, 1.0, 0.5, -0.25, 0.1, 0.3];
+        let prep = jtc.prepare_kernel(&kernel, 256).unwrap();
+        // Tight 5-smooth grid, strictly smaller than the 2048-point
+        // simulator grid the per-call path uses.
+        assert!(prep.grid_size() < jtc.grid_size());
+        assert_eq!(prep.grid_size() % 2, 0);
+        let signal: Vec<f64> = (0..256).map(|i| ((i as f64) * 0.13).sin() + 0.4).collect();
+        let fast = prep.correlate(&signal).unwrap();
+        let digital = correlate1d(&signal, &kernel, PaddingMode::Valid);
+        assert!(max_abs_diff(&fast, &digital) < 1e-9);
+    }
+
+    #[test]
+    fn batched_signal_spectra_are_bit_identical_to_serial() {
+        let jtc = JtcSimulator::new(64).unwrap();
+        let prep = jtc.prepare_kernel(&[0.3, -0.2, 0.7], 40).unwrap();
+        for count in [1usize, 2, 3, 5] {
+            let signals: Vec<f64> = (0..40 * count)
+                .map(|i| ((i as f64) * 0.29).sin() + 0.1)
+                .collect();
+            let batch = prep.signal_spectra_batch(&signals, count).unwrap();
+            assert_eq!(batch.len(), count);
+            for (row, spec) in batch.iter().enumerate() {
+                let serial = prep
+                    .signal_spectrum(&signals[row * 40..(row + 1) * 40])
+                    .unwrap();
+                let a = prep.correlate_spectrum(spec).unwrap();
+                let b = prep.correlate_spectrum(&serial).unwrap();
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "count {count} row {row}");
+                }
+            }
+        }
+        // Ragged batches are rejected.
+        assert!(matches!(
+            prep.signal_spectra_batch(&[1.0; 41], 2),
+            Err(JtcError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            prep.signal_spectra_batch(&[], 2),
+            Err(JtcError::EmptyOperand { .. })
+        ));
+        assert!(matches!(
+            prep.signal_spectra_batch(&[1.0; 40], 0),
+            Err(JtcError::EmptyOperand { .. })
+        ));
+    }
+
+    #[test]
+    fn prepare_signal_batch_matches_prepare_signal() {
+        // Through the row-tiling trait, with a DAC in the chain: per-row
+        // quantisation plus batched transforms must reproduce the serial
+        // path bit for bit.
+        let engine = crate::engine::JtcEngine::new(crate::engine::JtcEngineConfig {
+            capacity: 64,
+            dac_bits: Some(8),
+            adc_bits: None,
+            sensing_snr_db: None,
+            noise_seed: 0,
+        })
+        .unwrap();
+        let prep = engine.prepare(&[0.4, -0.1, 0.8], 32).unwrap();
+        for count in [1usize, 2, 4, 5] {
+            let signals: Vec<f64> = (0..32 * count)
+                .map(|i| ((i as f64) * 0.37).cos() * (1.0 + i as f64 / 100.0))
+                .collect();
+            let batch = prep
+                .prepare_signal_batch(&signals, count)
+                .expect("batch preparation succeeds");
+            assert_eq!(batch.len(), count);
+            for (row, shared) in batch.iter().enumerate() {
+                let tile = &signals[row * 32..(row + 1) * 32];
+                let serial = prep.prepare_signal(tile).unwrap();
+                let a = prep.correlate_with_signal(shared.as_ref(), tile);
+                let b = prep.correlate_with_signal(serial.as_ref(), tile);
+                let c = prep.correlate_valid(tile);
+                assert_eq!(a.len(), c.len());
+                for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "count {count} row {row}");
+                    assert_eq!(x.to_bits(), z.to_bits(), "count {count} row {row}");
+                }
+            }
+        }
+        // Ragged batches fall back to None (callers then go one-at-a-time).
+        assert!(prep.prepare_signal_batch(&[1.0; 33], 2).is_none());
+        assert!(prep.prepare_signal_batch(&[1.0; 32], 0).is_none());
     }
 
     #[test]

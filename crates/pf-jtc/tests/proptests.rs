@@ -168,6 +168,51 @@ proptest! {
     }
 
     #[test]
+    fn batched_signal_preparation_is_bit_identical_to_serial(
+        seed in 0u64..1000,
+        count in 1usize..7, // even and odd batch sizes
+        signal_len in 8usize..48,
+        kernel_len in 1usize..6,
+        quantised in 0u8..2, // 1 = DAC in the chain, 0 = ideal
+    ) {
+        // `prepare_signal_batch` runs all rows through one batched planar
+        // transform; the trait contract demands each row be bit-identical
+        // to its one-at-a-time `prepare_signal` counterpart — with and
+        // without a DAC in the chain.
+        use pf_tiling::Conv1dEngine;
+        use rand::{Rng, SeedableRng};
+        let quantised = quantised == 1;
+        prop_assume!(kernel_len <= signal_len);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let kernel: Vec<f64> = (0..kernel_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let engine = JtcEngine::new(JtcEngineConfig {
+            capacity: 64,
+            dac_bits: if quantised { Some(8) } else { None },
+            adc_bits: None,
+            sensing_snr_db: None,
+            noise_seed: 0,
+        }).unwrap();
+        let prep = Conv1dEngine::prepare_kernel(&engine, &kernel, signal_len).unwrap();
+        let signals: Vec<f64> = (0..signal_len * count)
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        let batch = prep
+            .prepare_signal_batch(&signals, count)
+            .expect("equal-length rows batch cleanly");
+        prop_assert_eq!(batch.len(), count);
+        for (row, shared) in batch.iter().enumerate() {
+            let tile = &signals[row * signal_len..(row + 1) * signal_len];
+            let serial = prep.prepare_signal(tile).expect("serial preparation");
+            let a = prep.correlate_with_signal(shared.as_ref(), tile);
+            let b = prep.correlate_with_signal(serial.as_ref(), tile);
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn seeded_noisy_prepared_path_replays_the_unprepared_stream(
         seed in 0u64..1000,
         signal_len in 8usize..40,

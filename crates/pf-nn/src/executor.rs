@@ -246,7 +246,11 @@ impl<E: Conv1dEngine> Conv2dExecutor for TiledExecutor<E> {
         // input channel (two per channel with pseudo-negative splitting)
         // runs through one multi-kernel convolution, so each input tile is
         // built — and, on the JTC backends, Fourier-transformed — once for
-        // the whole kernel stack instead of once per output channel.
+        // the whole kernel stack instead of once per output channel. The
+        // tiling layer additionally sees the channel's whole tile batch at
+        // once, so those signal transforms run through one batched planar
+        // pass (`PreparedConv1d::prepare_signal_batch`) rather than
+        // per-tile FFT calls.
         //
         // Output channels are processed in chunks so the buffered partial
         // planes stay O(chunk × in_channels) instead of O(out × in): the

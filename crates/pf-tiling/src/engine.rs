@@ -116,6 +116,31 @@ pub trait PreparedConv1d: Debug + Send + Sync {
         None
     }
 
+    /// Computes the shareable transforms of `count` equal-length signals
+    /// stored back to back in `signals` (planar layout). Returns one
+    /// transform per row, in order.
+    ///
+    /// Each returned transform must be **bit-identical** to what
+    /// [`PreparedConv1d::prepare_signal`] produces for that row — the
+    /// executor may use either path interchangeably. Engines with a batched
+    /// transform kernel (one stage walk across all rows) override this; the
+    /// default simply loops. Returns `None` if any row fails to prepare or
+    /// the batch does not divide evenly.
+    fn prepare_signal_batch(
+        &self,
+        signals: &[f64],
+        count: usize,
+    ) -> Option<Vec<Arc<dyn PreparedSignal>>> {
+        if count == 0 || !signals.len().is_multiple_of(count) {
+            return None;
+        }
+        let row = signals.len() / count;
+        signals
+            .chunks_exact(row)
+            .map(|chunk| self.prepare_signal(chunk))
+            .collect()
+    }
+
     /// Correlates using a transform produced by a compatible kernel's
     /// [`PreparedConv1d::prepare_signal`]. `signal` is the original signal
     /// the transform was computed from (kept available so implementations

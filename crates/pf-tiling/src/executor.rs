@@ -32,7 +32,12 @@
 //!   all N prepared kernel spectra — one spectrum-add plus one inverse
 //!   transform per kernel instead of two transforms each. A CNN layer
 //!   correlates each tile against up to `2 × out_channels` kernels, so this
-//!   removes the dominant redundant signal FFTs of batched inference;
+//!   removes the dominant redundant signal FFTs of batched inference. On
+//!   serial multi-kernel row tiling the tile transforms are additionally
+//!   computed as **one batched pass**
+//!   ([`PreparedConv1d::prepare_signal_batch`]): every tile of the image is
+//!   packed planar and transformed in a single plan walk before the
+//!   per-tile loop consumes the seeded cache;
 //! * shared signal transforms live in a **per-call scratch cache** (capped
 //!   at 1024 entries with wholesale eviction, the same pattern as the
 //!   prepared-kernel cache); row
@@ -657,6 +662,45 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         out
     }
 
+    /// Seeds the shared-signal scratch from a **batched** transform pass:
+    /// all tile signals are packed planar (`keys.len()` rows, back to back
+    /// in `signals`) and handed to the producing kernel's
+    /// [`PreparedConv1d::prepare_signal_batch`], which engines with a
+    /// batched transform kernel run as one stage walk across every row.
+    /// The per-tile loop that follows then finds each transform already
+    /// cached.
+    ///
+    /// Each seeded transform is bit-identical to what the per-tile path
+    /// would have computed (the trait contract), so consuming code needs no
+    /// changes and results are unchanged bit for bit. Counters: one miss
+    /// per transform seeded here; every consumption downstream is a hit.
+    fn seed_shared_signals(
+        &self,
+        scratch: &Mutex<SignalScratch>,
+        kernels: &[Kernel1d],
+        keys: &[SigKey],
+        signals: &[f64],
+    ) {
+        let Some(producer) = kernels
+            .iter()
+            .find(|k| k.prep.as_ref().is_some_and(|p| p.signal_key().is_some()))
+            .and_then(|k| k.prep.as_ref())
+        else {
+            return;
+        };
+        let Some(transforms) = producer.prepare_signal_batch(signals, keys.len()) else {
+            return;
+        };
+        let mut guard = scratch.lock();
+        for (key, sig) in keys.iter().zip(transforms) {
+            if guard.map.len() >= Self::SPECTRUM_CACHE_CAP {
+                guard.map.clear();
+            }
+            guard.map.insert(*key, sig);
+            guard.misses += 1;
+        }
+    }
+
     /// Whether this call would actually fan work out across threads.
     fn parallel_active(&self, items: usize) -> bool {
         // Three gates: the configured grain, determinism (noise streams
@@ -751,6 +795,21 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
             // the single-kernel case additionally skips the per-kernel
             // result vector entirely).
             let mut buf = vec![0.0; self.n_conv];
+            if share && starts.len() <= Self::SPECTRUM_CACHE_CAP {
+                // Batched pre-pass: pack every tile planar and transform
+                // the whole batch in one plan walk; the loop below hits
+                // the seeded cache tile by tile.
+                let mut signals = Vec::with_capacity(starts.len() * tile_len);
+                let keys: Vec<SigKey> = starts
+                    .iter()
+                    .map(|&r0| {
+                        fill_tile_rows(&mut buf, input, r0 as isize, plan.rows_per_tile);
+                        signals.extend_from_slice(&buf[..tile_len]);
+                        (r0 as isize, 0, tile_len)
+                    })
+                    .collect();
+                self.seed_shared_signals(scratch, &ks, &keys, &signals);
+            }
             for &r0 in &starts {
                 fill_tile_rows(&mut buf, input, r0 as isize, plan.rows_per_tile);
                 let signal = &buf[..tile_len];
@@ -977,6 +1036,20 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
             }
         } else {
             let mut buf = vec![0.0; self.n_conv];
+            if share && starts.len() <= Self::SPECTRUM_CACHE_CAP {
+                // Same batched pre-pass as the valid path.
+                let mut signals = Vec::with_capacity(starts.len() * tile_len);
+                let keys: Vec<SigKey> = starts
+                    .iter()
+                    .map(|&r0| {
+                        let tile_start = r0 as isize - pr as isize;
+                        fill_tile_rows(&mut buf, working, tile_start, plan.rows_per_tile);
+                        signals.extend_from_slice(&buf[..tile_len]);
+                        (tile_start, 0, tile_len)
+                    })
+                    .collect();
+                self.seed_shared_signals(scratch, &ks, &keys, &signals);
+            }
             for &r0 in &starts {
                 let tile_start = r0 as isize - pr as isize;
                 fill_tile_rows(&mut buf, working, tile_start, plan.rows_per_tile);
@@ -1704,8 +1777,9 @@ mod tests {
 
     #[test]
     fn multi_kernel_shares_signal_transforms_and_counts_reuse() {
-        // Row tiling, 4 kernels: each tile's transform is computed once
-        // (miss) and replayed for the other 3 kernels (hits).
+        // Row tiling, 4 kernels: every tile's transform is computed in the
+        // batched pre-pass (one miss per tile) and every per-kernel
+        // correlation then consumes the seeded transform (a hit).
         let input = random_matrix(12, 12, 221);
         let kernels: Vec<Matrix> = (0..4).map(|i| random_matrix(3, 3, 222 + i)).collect();
         let c = TiledConvolver::new(SharingDigital, 64).unwrap();
@@ -1715,8 +1789,8 @@ mod tests {
         // 12 output rows, 5 rows/tile, 3 valid rows per tile -> 4 tiles.
         assert_eq!(stats.tiles, 4);
         assert_eq!(stats.convs_1d, 4 * 4);
-        assert_eq!(stats.spectrum_misses, 4, "one transform per tile");
-        assert_eq!(stats.spectrum_hits, 4 * 3, "replayed for 3 more kernels");
+        assert_eq!(stats.spectrum_misses, 4, "one batched transform per tile");
+        assert_eq!(stats.spectrum_hits, 4 * 4, "every 1D conv consumed a seed");
         for (kernel, plane) in kernels.iter().zip(&outs) {
             let reference = correlate2d(&input, kernel, PaddingMode::Valid);
             assert!(max_abs_diff(plane.data(), reference.data()) < 1e-10);

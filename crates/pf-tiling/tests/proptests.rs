@@ -7,8 +7,8 @@ use std::sync::Arc;
 use pf_dsp::conv::{correlate1d, correlate2d, Matrix, PaddingMode};
 use pf_dsp::util::max_abs_diff;
 use pf_tiling::{
-    Conv1dEngine, DigitalEngine, EdgeHandling, ParallelGrain, PreparedConv1d, TiledConvolver,
-    TilingPlan,
+    Conv1dEngine, DigitalEngine, EdgeHandling, ParallelGrain, PreparedConv1d, PreparedSignal,
+    TiledConvolver, TilingPlan,
 };
 use proptest::prelude::*;
 
@@ -51,6 +51,99 @@ impl Conv1dEngine for PreparingDigital {
 
     fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
         Some(Arc::new(PreparedDigital {
+            kernel: kernel.to_vec(),
+            signal_len,
+        }))
+    }
+}
+
+/// A digital engine whose prepared kernels opt into signal sharing *and*
+/// the batched transform pre-pass: `prepare_signal_batch` walks the whole
+/// planar batch in one pass. The "transform" is a copy, so the executor's
+/// seeded cache is exercised without changing any numerics — exactly the
+/// bit-identity contract the trait documents.
+#[derive(Debug)]
+struct BatchSharingDigital;
+
+#[derive(Debug)]
+struct BatchSharedSignal {
+    signal: Vec<f64>,
+}
+
+impl PreparedSignal for BatchSharedSignal {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[derive(Debug)]
+struct BatchSharingPrepared {
+    kernel: Vec<f64>,
+    signal_len: usize,
+}
+
+impl PreparedConv1d for BatchSharingPrepared {
+    fn signal_len(&self) -> usize {
+        self.signal_len
+    }
+
+    fn correlate_valid(&self, signal: &[f64]) -> Vec<f64> {
+        correlate1d(signal, &self.kernel, PaddingMode::Valid)
+    }
+
+    fn signal_key(&self) -> Option<u64> {
+        Some(self.signal_len as u64)
+    }
+
+    fn prepare_signal(&self, signal: &[f64]) -> Option<Arc<dyn PreparedSignal>> {
+        Some(Arc::new(BatchSharedSignal {
+            signal: signal.to_vec(),
+        }))
+    }
+
+    fn prepare_signal_batch(
+        &self,
+        signals: &[f64],
+        count: usize,
+    ) -> Option<Vec<Arc<dyn PreparedSignal>>> {
+        if count == 0 || !signals.len().is_multiple_of(count) {
+            return None;
+        }
+        let row = signals.len() / count;
+        // One pass over the planar batch, then per-row splits — the batched
+        // shape real transform engines use.
+        let packed: Vec<f64> = signals.to_vec();
+        Some(
+            packed
+                .chunks_exact(row)
+                .map(|chunk| {
+                    Arc::new(BatchSharedSignal {
+                        signal: chunk.to_vec(),
+                    }) as Arc<dyn PreparedSignal>
+                })
+                .collect(),
+        )
+    }
+
+    fn correlate_with_signal(&self, prepared: &dyn PreparedSignal, signal: &[f64]) -> Vec<f64> {
+        match prepared.as_any().downcast_ref::<BatchSharedSignal>() {
+            Some(shared) => correlate1d(&shared.signal, &self.kernel, PaddingMode::Valid),
+            None => self.correlate_valid(signal),
+        }
+    }
+}
+
+impl Conv1dEngine for BatchSharingDigital {
+    fn correlate_valid(&self, signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+        correlate1d(signal, kernel, PaddingMode::Valid)
+    }
+
+    fn prepares_kernels(&self) -> bool {
+        true
+    }
+
+    fn prepare_kernel(&self, kernel: &[f64], signal_len: usize) -> Option<Arc<dyn PreparedConv1d>> {
+        Some(Arc::new(BatchSharingPrepared {
             kernel: kernel.to_vec(),
             signal_len,
         }))
@@ -286,6 +379,68 @@ proptest! {
                 .correlate2d_same(&input, &kernel, edges).unwrap();
             for (a, b) in par.data().iter().zip(ser.data()) {
                 prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_signal_seeding_matches_one_tile_at_a_time(
+        rows in 3usize..14,  // tile batches of both parities, variant-dependent
+        cols in 3usize..14,
+        n_kernels in 2usize..5,  // even and odd kernel counts; > 1 enables sharing
+        n_conv in 15usize..200,
+        seed in 0u64..1000,
+    ) {
+        // The serial multi-kernel path pre-computes every tile's signal
+        // transform with one batched `prepare_signal_batch` call. Whatever
+        // the batch parity, grain or pool width, the result must equal
+        // running each kernel's single-kernel path (which transforms one
+        // tile at a time and never seeds) bit for bit.
+        prop_assume!(rows >= 3 && cols >= 3);
+        let input = lcg_matrix(rows, cols, seed);
+        let kernels: Vec<Matrix> = (0..n_kernels)
+            .map(|i| lcg_matrix(3, 3, seed.wrapping_add(41 + i as u64)))
+            .collect();
+
+        let single = TiledConvolver::new(BatchSharingDigital, n_conv).unwrap();
+        let references: Vec<Matrix> = kernels
+            .iter()
+            .map(|k| single.correlate2d_valid(&input, k).unwrap())
+            .collect();
+
+        // Serial multi-kernel execution takes the seeded branch.
+        let serial = TiledConvolver::new(BatchSharingDigital, n_conv).unwrap()
+            .with_parallel(false);
+        let (outs, stats) = serial
+            .correlate2d_valid_multi_with_stats(&input, &kernels)
+            .unwrap();
+        prop_assert_eq!(outs.len(), references.len());
+        for (a, b) in outs.iter().zip(&references) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // When sharing engaged, seeded transforms were consumed at least
+        // once per kernel beyond the producing pre-pass.
+        if stats.spectrum_misses > 0 {
+            prop_assert!(stats.spectrum_hits >= stats.spectrum_misses);
+        }
+
+        // And the parallel branches (which do not seed) agree too, under
+        // every grain and pool width.
+        for width in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(width).build().unwrap();
+            for grain in [ParallelGrain::Auto, ParallelGrain::Image, ParallelGrain::Tile] {
+                let c = TiledConvolver::new(BatchSharingDigital, n_conv).unwrap()
+                    .with_grain(grain);
+                let outs = pool
+                    .install(|| c.correlate2d_valid_multi(&input, &kernels))
+                    .unwrap();
+                for (a, b) in outs.iter().zip(&references) {
+                    for (x, y) in a.data().iter().zip(b.data()) {
+                        prop_assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
             }
         }
     }

@@ -72,6 +72,61 @@ proptest! {
     }
 
     #[test]
+    fn multi_kernel_batches_match_one_kernel_at_a_time(
+        n_kernels in 1usize..5, // even and odd kernel-batch sizes
+        seed in 0u64..500,
+    ) {
+        // conv2d_multi transforms whole tile batches through the batched
+        // planar FFT pre-pass; the output must equal running each kernel's
+        // conv2d one tile at a time, bit for bit, under every grain and
+        // pool width.
+        let input = Matrix::new(
+            12,
+            12,
+            (0..144)
+                .map(|i| ((i as u64 + 31 * seed) as f64 * 0.11).sin())
+                .collect(),
+        )
+        .unwrap();
+        let kernels: Vec<Matrix> = (0..n_kernels)
+            .map(|k| {
+                Matrix::new(
+                    3,
+                    3,
+                    (0..9).map(|i| ((i + 5 * k) as f64 - 4.0) / 9.0).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let session = Session::from_scenario(scenario(BackendKind::JtcIdeal)).unwrap();
+        let singles: Vec<Matrix> = kernels
+            .iter()
+            .map(|k| session.conv2d(&input, k).unwrap())
+            .collect();
+        for width in POOL_WIDTHS {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(width)
+                .build()
+                .unwrap();
+            for grain in GRAINS {
+                let grained = Session::with_grain(scenario(BackendKind::JtcIdeal), grain).unwrap();
+                let multi = pool
+                    .install(|| grained.conv2d_multi(&input, &kernels))
+                    .unwrap();
+                prop_assert_eq!(multi.len(), singles.len());
+                for (plane, single) in multi.iter().zip(&singles) {
+                    for (x, y) in plane.data().iter().zip(single.data()) {
+                        prop_assert!(
+                            x.to_bits() == y.to_bits(),
+                            "mismatch under grain {} width {}", grain, width
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn prepared_spectrum_cg_batches_are_grain_and_schedule_invariant(
         half in 0usize..3,
         seed in 0u64..500,
