@@ -27,14 +27,26 @@
 //! * `--backend NAME`    restrict to one backend (repeatable; route mode uses the first)
 //! * `--seed N`          arrival/image RNG seed (default 42)
 //! * `--out PATH`        report path (default `BENCH_serving.json` / `BENCH_routing.json`)
+//! * `--trace [PATH]`    run under a live telemetry handle and export the
+//!   span trees as Chrome trace-event JSON (default `TRACE_serving.json` /
+//!   `TRACE_routing.json`; the written file is always validated, invalid
+//!   JSON is a non-zero exit). The summary gains spans recorded / dropped
+//!   (ring drop-oldest losses) and the queue high-water mark.
+//! * `--report-every SECS`  print a periodic metrics-delta snapshot while
+//!   the load runs (implies metrics collection even without `--trace`)
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use pf_bench::routing::{check_route_smoke, run_route_suite, RouteOptions, RoutingReport};
-use pf_bench::serving::{check_smoke, run_suite, LoadgenOptions, ServingReport};
+use pf_bench::routing::{check_route_smoke, run_route_suite_traced, RouteOptions, RoutingReport};
+use pf_bench::serving::{
+    check_smoke, run_suite_traced, LoadgenOptions, ServingReport, TraceSummary,
+};
 use pf_bench::Table;
-use photofourier::BackendKind;
+use photofourier::telemetry::validate_chrome_trace;
+use photofourier::{BackendKind, Telemetry};
 
 /// Exit code for a route smoke run whose only finding is intentional
 /// shedding outside the overload record — distinct from rejections and
@@ -44,8 +56,92 @@ const EXIT_SHED: u8 = 3;
 fn usage() {
     eprintln!(
         "usage: loadgen [--smoke] [--route] [--rps F] [--concurrency N] [--duration SECS] \
-         [--requests N] [--backend NAME]... [--seed N] [--out PATH]"
+         [--requests N] [--backend NAME]... [--seed N] [--out PATH] [--trace [PATH]] \
+         [--report-every SECS]"
     );
+}
+
+/// A background thread printing metrics-delta snapshots every interval
+/// while the load runs. Stops (and joins) on drop.
+struct Reporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Reporter {
+    fn start(tel: &Telemetry, every: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let tel = tel.clone();
+        let handle = std::thread::spawn(move || {
+            let tick = Duration::from_millis(50).min(every);
+            let mut since = Duration::ZERO;
+            let mut elapsed = Duration::ZERO;
+            let mut prev = tel.snapshot();
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                since += tick;
+                elapsed += tick;
+                if since < every {
+                    continue;
+                }
+                since = Duration::ZERO;
+                let now = tel.snapshot();
+                let delta = now.delta_since(&prev);
+                prev = now;
+                let table = delta.format_table();
+                println!(
+                    "-- telemetry delta @ ~{:.0}s --\n{}",
+                    elapsed.as_secs_f64(),
+                    if table.is_empty() { "(idle)\n" } else { &table }
+                );
+            }
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Prints the traced-run summary line: ring losses and the queue
+/// high-water mark.
+fn print_trace_summary(summary: &TraceSummary) {
+    println!(
+        "trace: {} span(s) retained, {} dropped (ring drop-oldest), queue high water {}",
+        summary.spans_recorded, summary.spans_dropped, summary.queue_high_water
+    );
+}
+
+/// Exports the retained spans as Chrome trace-event JSON, validates the
+/// exact bytes written, and reports the span-pair/track counts.
+fn write_trace(tel: &Telemetry, path: &str) -> Result<(), ExitCode> {
+    let json = tel.chrome_trace_json();
+    let stats = match validate_chrome_trace(&json) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("exported trace is not valid Chrome trace JSON: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("failed to write {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    println!(
+        "wrote {path} ({} event(s), {} span pair(s), {} track(s))",
+        stats.events, stats.pairs, stats.tracks
+    );
+    Ok(())
 }
 
 fn print_report(report: &ServingReport) {
@@ -145,7 +241,13 @@ fn write_json<T: serde::Serialize>(report: &T, out: &str) -> Result<(), ExitCode
     Ok(())
 }
 
-fn run_route(options: &LoadgenOptions, requests: usize, out: Option<String>) -> ExitCode {
+fn run_route(
+    options: &LoadgenOptions,
+    requests: usize,
+    out: Option<String>,
+    tel: &Telemetry,
+    trace_out: Option<&str>,
+) -> ExitCode {
     let route_options = RouteOptions {
         smoke: options.smoke,
         backend: options
@@ -161,7 +263,7 @@ fn run_route(options: &LoadgenOptions, requests: usize, out: Option<String>) -> 
         requests,
         seed: options.seed,
     };
-    let report = match run_route_suite(&route_options) {
+    let report = match run_route_suite_traced(&route_options, tel) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("route loadgen failed: {e}");
@@ -169,9 +271,17 @@ fn run_route(options: &LoadgenOptions, requests: usize, out: Option<String>) -> 
         }
     };
     print_route_report(&report);
+    if let Some(summary) = &report.trace {
+        print_trace_summary(summary);
+    }
     let out = out.unwrap_or_else(|| "BENCH_routing.json".to_string());
     if let Err(code) = write_json(&report, &out) {
         return code;
+    }
+    if let Some(path) = trace_out {
+        if let Err(code) = write_trace(tel, path) {
+            return code;
+        }
     }
 
     if options.smoke {
@@ -208,6 +318,9 @@ fn main() -> ExitCode {
     let mut requests = 0usize;
     let mut rps_set = false;
     let mut out: Option<String> = None;
+    let mut trace = false;
+    let mut trace_path: Option<String> = None;
+    let mut report_every: Option<Duration> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -215,8 +328,18 @@ fn main() -> ExitCode {
             "--smoke" => options.smoke = true,
             "--full" => options.smoke = false,
             "--route" => route = true,
+            "--trace" => {
+                trace = true;
+                // Optional path operand: `--trace out.json` or bare `--trace`.
+                if let Some(value) = args.get(i + 1) {
+                    if !value.starts_with("--") {
+                        trace_path = Some(value.clone());
+                        i += 1;
+                    }
+                }
+            }
             "--rps" | "--concurrency" | "--duration" | "--requests" | "--backend" | "--seed"
-            | "--out" => {
+            | "--out" | "--report-every" => {
                 let flag = args[i].clone();
                 i += 1;
                 let Some(value) = args.get(i) else {
@@ -272,6 +395,15 @@ fn main() -> ExitCode {
                             return ExitCode::from(2);
                         }
                     },
+                    "--report-every" => match value.parse::<f64>() {
+                        Ok(secs) if secs > 0.0 => {
+                            report_every = Some(Duration::from_secs_f64(secs));
+                        }
+                        _ => {
+                            eprintln!("--report-every needs a positive number of seconds");
+                            return ExitCode::from(2);
+                        }
+                    },
                     _ => out = Some(value.clone()),
                 }
             }
@@ -288,14 +420,30 @@ fn main() -> ExitCode {
         i += 1;
     }
 
+    // `--trace` records spans + metrics; `--report-every` alone still needs
+    // the metric registry but no span ring.
+    let tel = if trace {
+        Telemetry::enabled()
+    } else if report_every.is_some() {
+        Telemetry::with_span_capacity(0)
+    } else {
+        Telemetry::disabled()
+    };
+    let _reporter = report_every.map(|every| Reporter::start(&tel, every));
+
     if route {
         if !rps_set {
             options.rps = 400.0;
         }
-        return run_route(&options, requests, out);
+        let trace_out = trace.then(|| {
+            trace_path
+                .clone()
+                .unwrap_or_else(|| "TRACE_routing.json".to_string())
+        });
+        return run_route(&options, requests, out, &tel, trace_out.as_deref());
     }
 
-    let report = match run_suite(&options) {
+    let report = match run_suite_traced(&options, &tel) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("loadgen failed: {e}");
@@ -303,9 +451,18 @@ fn main() -> ExitCode {
         }
     };
     print_report(&report);
+    if let Some(summary) = &report.trace {
+        print_trace_summary(summary);
+    }
     let out = out.unwrap_or_else(|| "BENCH_serving.json".to_string());
     if let Err(code) = write_json(&report, &out) {
         return code;
+    }
+    if trace {
+        let path = trace_path.unwrap_or_else(|| "TRACE_serving.json".to_string());
+        if let Err(code) = write_trace(&tel, &path) {
+            return code;
+        }
     }
 
     if options.smoke {

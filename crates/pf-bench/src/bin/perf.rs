@@ -30,19 +30,29 @@
 //!   stage breakdown (signal-FFT / spectrum-apply / inverse / DAC-ADC
 //!   shares under each scenario's tile geometry) and emit it under the
 //!   report's `stages` key
+//! * `--trace PATH`     run one batched inference per backend under a live
+//!   telemetry handle and export the span trees (bench → run_batch →
+//!   per-stage children) as validated Chrome trace-event JSON, printing
+//!   the flamegraph-style text tree alongside
+//! * `--overhead-check` measure the telemetry-enabled inference workload
+//!   against the disabled path (interleaved best-of) and fail if the
+//!   overhead exceeds the budget (default 3%)
+//! * `--overhead-budget F`  override that budget fraction
 
 use std::process::ExitCode;
 
 use pf_bench::perf::{
     check_against_baseline, check_scaling_against_baseline, markdown_summary, run_suite,
-    thread_scaling, Baseline, PerfReport,
+    telemetry_overhead, thread_scaling, traced_run, Baseline, PerfReport, OVERHEAD_BUDGET,
 };
-use photofourier::ParallelGrain;
+use photofourier::telemetry::validate_chrome_trace;
+use photofourier::{ParallelGrain, Telemetry};
 
 fn usage() {
     eprintln!(
         "usage: perf [--smoke] [--stages] [--out PATH] [--check BASELINE] [--tolerance FRACTION] \
-         [--threads N] [--threads-sweep N,N,...] [--grain auto|image|tile] [--md-summary PATH]"
+         [--threads N] [--threads-sweep N,N,...] [--grain auto|image|tile] [--md-summary PATH] \
+         [--trace PATH] [--overhead-check] [--overhead-budget F]"
     );
 }
 
@@ -122,6 +132,9 @@ fn main() -> ExitCode {
     let mut sweep: Option<Vec<usize>> = None;
     let mut grain = ParallelGrain::Auto;
     let mut md_summary: Option<String> = None;
+    let mut trace: Option<String> = None;
+    let mut overhead_check = false;
+    let mut overhead_budget = OVERHEAD_BUDGET;
 
     let mut i = 0;
     while i < args.len() {
@@ -129,8 +142,9 @@ fn main() -> ExitCode {
             "--smoke" => smoke = true,
             "--full" => smoke = false,
             "--stages" => stages = true,
+            "--overhead-check" => overhead_check = true,
             "--out" | "--check" | "--tolerance" | "--threads" | "--threads-sweep" | "--grain"
-            | "--md-summary" => {
+            | "--md-summary" | "--trace" | "--overhead-budget" => {
                 let flag = args[i].clone();
                 i += 1;
                 let Some(value) = args.get(i) else {
@@ -142,6 +156,14 @@ fn main() -> ExitCode {
                     "--out" => out = value.clone(),
                     "--check" => check = Some(value.clone()),
                     "--md-summary" => md_summary = Some(value.clone()),
+                    "--trace" => trace = Some(value.clone()),
+                    "--overhead-budget" => match value.parse::<f64>() {
+                        Ok(f) if (0.0..1.0).contains(&f) => overhead_budget = f,
+                        _ => {
+                            eprintln!("--overhead-budget needs a fraction in [0, 1)");
+                            return ExitCode::from(2);
+                        }
+                    },
                     "--threads" => match value.parse::<usize>() {
                         Ok(n) if n >= 1 => threads = Some(n),
                         _ => {
@@ -260,6 +282,58 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {path}");
+    }
+
+    if let Some(path) = &trace {
+        let tel = Telemetry::enabled();
+        if let Err(e) = traced_run(smoke, &tel) {
+            eprintln!("traced run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let json = tel.chrome_trace_json();
+        let stats = match validate_chrome_trace(&json) {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("exported trace is not valid Chrome trace JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n-- span tree (one batched inference per backend) --");
+        print!("{}", tel.text_tree());
+        println!(
+            "wrote {path} ({} event(s), {} span pair(s), {} track(s))",
+            stats.events, stats.pairs, stats.tracks
+        );
+    }
+
+    if overhead_check {
+        let overhead = match telemetry_overhead(smoke) {
+            Ok(overhead) => overhead,
+            Err(e) => {
+                eprintln!("overhead measurement failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "telemetry overhead: disabled {:.3} ms, enabled {:.3} ms, {:+.2}% (budget {:.0}%)",
+            overhead.disabled_s * 1e3,
+            overhead.enabled_s * 1e3,
+            overhead.overhead_frac * 100.0,
+            overhead_budget * 100.0
+        );
+        if overhead.overhead_frac > overhead_budget {
+            eprintln!(
+                "telemetry overhead gate FAILED: {:.2}% exceeds the {:.0}% budget",
+                overhead.overhead_frac * 100.0,
+                overhead_budget * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("telemetry overhead gate passed");
     }
 
     if let (Some(baseline_path), Some(baseline)) = (&check, &baseline) {

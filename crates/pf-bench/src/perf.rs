@@ -941,6 +941,8 @@ pub fn markdown_summary(report: &PerfReport, baseline: Option<&Baseline>) -> Str
 /// Propagates engine construction and correlation errors.
 pub fn stage_breakdown(smoke: bool) -> Result<Vec<StageRecord>, PfError> {
     use pf_jtc::{JtcEngine, JtcEngineConfig, StageTimes};
+    use pf_telemetry::Telemetry;
+    use pf_tiling::PreparedConv1d;
 
     let iters = if smoke { 64 } else { 512 };
     let signal: Vec<f64> = (0..256).map(|i| (i as f64 * 0.17).sin() + 0.4).collect();
@@ -983,10 +985,15 @@ pub fn stage_breakdown(smoke: bool) -> Result<Vec<StageRecord>, PfError> {
             };
             let engine = JtcEngine::new(config)?;
             let prep = engine.prepare(&tiled_kernel, 256)?;
-            let mut times = StageTimes::default();
+            // Single source of truth: the traced hot path accumulates into
+            // the telemetry stage registry and the breakdown is *derived*
+            // from those totals, so this harness reports exactly what the
+            // serving stack's stage counters see (no second set of books).
+            let tel = Telemetry::with_span_capacity(0);
             for _ in 0..iters {
-                let _ = prep.correlate_staged(&signal, &mut times)?;
+                let _ = prep.correlate_valid_traced(&signal, &tel);
             }
+            let times = StageTimes::from_totals(&tel.stage_totals());
             let total = times.total().as_secs_f64().max(1e-12);
             records.push(StageRecord {
                 scenario: scenario.to_string(),
@@ -1065,6 +1072,118 @@ pub fn run_suite(smoke: bool, with_stages: bool) -> Result<PerfReport, PfError> 
         threads: None,
         stages,
     })
+}
+
+/// The CI telemetry-overhead budget: an enabled handle may cost at most
+/// this fraction of wall time over the disabled path on the smoke
+/// inference workload (`perf --overhead-check` gates on it).
+pub const OVERHEAD_BUDGET: f64 = 0.03;
+
+/// Result of the telemetry-overhead measurement ([`telemetry_overhead`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Best-of wall time of one batched inference, telemetry disabled.
+    pub disabled_s: f64,
+    /// Best-of wall time of the same batch under an enabled handle
+    /// (metrics + stage counters + span ring all live).
+    pub enabled_s: f64,
+    /// `enabled_s / disabled_s - 1` (negative = within noise).
+    pub overhead_frac: f64,
+}
+
+/// Measures the wall-time cost of running the batched JTC-ideal inference
+/// workload under an *enabled* telemetry handle versus a disabled one —
+/// the staged correlation path is where the per-conv stage counters live,
+/// so this is the worst-case hot-loop overhead. The two sessions share the
+/// process and the measurement interleaves their repetitions (disabled,
+/// enabled, disabled, ...), taking best-of on each side, so frequency
+/// drift and cache state hit both paths alike.
+///
+/// # Errors
+///
+/// Propagates session construction and inference errors.
+pub fn telemetry_overhead(smoke: bool) -> Result<OverheadReport, PfError> {
+    let (batch, reps) = if smoke { (4, 24) } else { (8, 48) };
+    let scenario = backend_scenario(BackendKind::JtcIdeal);
+    let plain = Session::from_scenario(scenario.clone())?;
+    let traced = Session::builder()
+        .scenario(scenario.clone())
+        .telemetry(Telemetry::enabled())
+        .build()?;
+    let images: Vec<Tensor> = (0..batch)
+        .map(|i| {
+            Tensor::random(
+                vec![
+                    scenario.functional.input_channels,
+                    scenario.functional.input_size,
+                    scenario.functional.input_size,
+                ],
+                0.0,
+                1.0,
+                2000 + i as u64,
+            )
+        })
+        .collect();
+    // Warm both prepared-kernel caches outside the timed region.
+    let _ = plain.run_batch(&images[..1])?;
+    let _ = traced.run_batch(&images[..1])?;
+
+    let mut disabled_s = f64::INFINITY;
+    let mut enabled_s = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        plain.run_batch(&images)?;
+        disabled_s = disabled_s.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        traced.run_batch(&images)?;
+        enabled_s = enabled_s.min(start.elapsed().as_secs_f64());
+    }
+    Ok(OverheadReport {
+        disabled_s,
+        enabled_s,
+        overhead_frac: enabled_s / disabled_s.max(1e-12) - 1.0,
+    })
+}
+
+/// Runs one batched inference per backend under `tel`, each wrapped in a
+/// `bench` root span with a `run_batch` child whose interval is attributed
+/// across the four JTC stages from the registry's stage-counter deltas
+/// (see [`photofourier::serve::staged_span`]) — the workload behind
+/// `perf --trace`.
+///
+/// # Errors
+///
+/// Propagates session construction and inference errors.
+pub fn traced_run(smoke: bool, tel: &Telemetry) -> Result<(), PfError> {
+    let batch = if smoke { 4 } else { 8 };
+    for kind in BackendKind::ALL {
+        let scenario = backend_scenario(kind);
+        let session = Session::builder()
+            .scenario(scenario.clone())
+            .telemetry(tel.clone())
+            .build()?;
+        let images: Vec<Tensor> = (0..batch)
+            .map(|i| {
+                Tensor::random(
+                    vec![
+                        scenario.functional.input_channels,
+                        scenario.functional.input_size,
+                        scenario.functional.input_size,
+                    ],
+                    0.0,
+                    1.0,
+                    3000 + i as u64,
+                )
+            })
+            .collect();
+        let _ = session.run_batch(&images[..1])?; // warm outside the spans
+        let root = tel.span(kind.name(), "bench");
+        photofourier::serve::staged_span(tel, "run_batch", root.id(), || {
+            session.run_batch(&images)
+        })?;
+    }
+    photofourier::mirror_scratch_gauges(tel);
+    Ok(())
 }
 
 #[cfg(test)]

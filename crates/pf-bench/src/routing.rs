@@ -215,6 +215,9 @@ pub struct RoutingReport {
     pub host_threads: usize,
     /// Measured records.
     pub results: Vec<RoutingRecord>,
+    /// Telemetry accounting when the run was traced (`loadgen --route
+    /// --trace`); see [`crate::serving::TraceSummary`].
+    pub trace: Option<crate::serving::TraceSummary>,
 }
 
 /// Options of [`run_route_suite`], typically parsed from loadgen flags.
@@ -293,10 +296,28 @@ impl RouteRun {
     }
 
     /// Runs the trace through a fresh router and verifies served results
-    /// against offline per-variant sessions.
-    fn record(&self, trace: &Trace, seed: u64) -> Result<RoutingRecord, PfError> {
+    /// against offline per-variant sessions. Under an enabled telemetry
+    /// handle the router also records admission spans, `router.*` counters
+    /// and replica-scoped `serve.*` metrics into `tel`; results are
+    /// bit-identical either way.
+    fn record_traced(
+        &self,
+        trace: &Trace,
+        seed: u64,
+        tel: &Telemetry,
+    ) -> Result<RoutingRecord, PfError> {
         let scenario = self.scenario();
-        let router = route::route_scenario(scenario.clone())?;
+        // Scope this record's counters apart from the suite's other routers
+        // (the registry is shared, so an unscoped second router would
+        // report cumulative counts); spans stay on the shared timeline.
+        let scope = format!(
+            "{}_{}_{}{}",
+            trace.kind.name(),
+            self.policy,
+            self.backend,
+            if self.overload { "_overload" } else { "" }
+        );
+        let router = route::route_scenario_traced(scenario.clone(), tel.with_prefix(&scope))?;
 
         let start = Instant::now();
         // (trace index, model, input, ticket) of every admitted request.
@@ -415,6 +436,21 @@ fn verify_offline(
 ///
 /// Propagates the first record's construction error.
 pub fn run_route_suite(options: &RouteOptions) -> Result<RoutingReport, PfError> {
+    run_route_suite_traced(options, &Telemetry::disabled())
+}
+
+/// [`run_route_suite`] under a telemetry handle: every record's router
+/// shares `tel`, and the report carries a
+/// [`TraceSummary`](crate::serving::TraceSummary) (`None` when `tel` is
+/// disabled, making this identical to [`run_route_suite`]).
+///
+/// # Errors
+///
+/// Same conditions as [`run_route_suite`].
+pub fn run_route_suite_traced(
+    options: &RouteOptions,
+    tel: &Telemetry,
+) -> Result<RoutingReport, PfError> {
     let requests = match options.requests {
         0 if options.smoke => 48,
         0 => 192,
@@ -446,13 +482,13 @@ pub fn run_route_suite(options: &RouteOptions) -> Result<RoutingReport, PfError>
             models,
             options.seed,
         );
-        results.push(policy_run(policy).record(&trace, options.seed)?);
+        results.push(policy_run(policy).record_traced(&trace, options.seed, tel)?);
     }
 
     if !options.smoke {
         for kind in [TraceKind::Diurnal, TraceKind::HeavyTail] {
             let trace = Trace::generate(kind, requests, options.base_rps, models, options.seed);
-            results.push(policy_run("kernel_affinity").record(&trace, options.seed)?);
+            results.push(policy_run("kernel_affinity").record_traced(&trace, options.seed, tel)?);
         }
         // Seeded replay through the tier on the stochastic CG chain.
         let trace = Trace::generate(
@@ -464,7 +500,7 @@ pub fn run_route_suite(options: &RouteOptions) -> Result<RoutingReport, PfError>
         );
         let mut run = policy_run("kernel_affinity");
         run.backend = BackendKind::PhotofourierCg;
-        results.push(run.record(&trace, options.seed)?);
+        results.push(run.record_traced(&trace, options.seed, tel)?);
     }
 
     // The overload record: tiny queues and unpaced arrivals force the
@@ -491,7 +527,7 @@ pub fn run_route_suite(options: &RouteOptions) -> Result<RoutingReport, PfError>
             deadline: None,
             overload: true,
         }
-        .record(&overload_trace, options.seed)?,
+        .record_traced(&overload_trace, options.seed, tel)?,
     );
 
     Ok(RoutingReport {
@@ -499,6 +535,7 @@ pub fn run_route_suite(options: &RouteOptions) -> Result<RoutingReport, PfError>
         mode: if options.smoke { "smoke" } else { "full" }.to_string(),
         host_threads: rayon::current_num_threads(),
         results,
+        trace: crate::serving::TraceSummary::from_telemetry(tel),
     })
 }
 

@@ -60,6 +60,47 @@ pub struct ServingRecord {
     pub stats: ServerStats,
 }
 
+/// Telemetry accounting for a traced run, embedded in the report when the
+/// load was generated under a live [`Telemetry`] handle (absent otherwise,
+/// so untraced reports round-trip unchanged).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Spans the bounded ring buffer retained.
+    pub spans_recorded: u64,
+    /// Spans the ring discarded once full (drop-oldest losses; non-zero
+    /// means the start of the trace is missing, not that data is wrong).
+    pub spans_dropped: u64,
+    /// Deepest queue occupancy any server in the run saw — the max over
+    /// every `serve.queue_high_water` gauge (replica-prefixed ones
+    /// included, so routed runs report the worst shard).
+    pub queue_high_water: u64,
+}
+
+impl TraceSummary {
+    /// Reads the summary out of a telemetry handle, first mirroring the
+    /// process-wide scratch-arena counters so the snapshot is complete.
+    /// `None` when the handle is disabled.
+    pub fn from_telemetry(tel: &Telemetry) -> Option<Self> {
+        if !tel.is_enabled() {
+            return None;
+        }
+        photofourier::mirror_scratch_gauges(tel);
+        let snapshot = tel.snapshot();
+        let queue_high_water = snapshot
+            .gauges
+            .iter()
+            .filter(|(name, _)| name.ends_with("serve.queue_high_water"))
+            .map(|&(_, v)| v)
+            .max()
+            .unwrap_or(0);
+        Some(Self {
+            spans_recorded: snapshot.spans_recorded,
+            spans_dropped: snapshot.spans_dropped,
+            queue_high_water,
+        })
+    }
+}
+
 /// The full report serialised to `BENCH_serving.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServingReport {
@@ -72,6 +113,8 @@ pub struct ServingReport {
     pub host_threads: usize,
     /// Measured records.
     pub results: Vec<ServingRecord>,
+    /// Telemetry accounting when the run was traced (`loadgen --trace`).
+    pub trace: Option<TraceSummary>,
 }
 
 /// Options of [`run_suite`], typically parsed from loadgen flags.
@@ -206,9 +249,38 @@ pub fn run_closed_loop(
     seed: u64,
     smoke: bool,
 ) -> Result<ServingRecord, PfError> {
+    run_closed_loop_traced(
+        kind,
+        concurrency,
+        budget,
+        seed,
+        smoke,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_closed_loop`] under a telemetry handle: the server records
+/// `serve.*` counters and per-request span trees into `tel`. Results are
+/// bit-identical to the untraced run.
+///
+/// # Errors
+///
+/// Same conditions as [`run_closed_loop`].
+pub fn run_closed_loop_traced(
+    kind: BackendKind,
+    concurrency: usize,
+    budget: Budget,
+    seed: u64,
+    smoke: bool,
+    tel: &Telemetry,
+) -> Result<ServingRecord, PfError> {
     let scenario = backend_scenario(kind, smoke);
     let offline = Session::from_scenario(scenario.clone())?;
-    let server = serve::serve_scenario(scenario)?;
+    // Scope this record's counters apart from the suite's other servers
+    // (the registry is shared, so an unscoped second server would report
+    // cumulative counts); spans stay on the shared unscoped timeline.
+    let server =
+        serve::serve_scenario_traced(scenario, tel.with_prefix(&format!("closed_{kind}")))?;
 
     let outcomes: Mutex<Vec<Outcome>> = Mutex::new(Vec::new());
     let deadline = match budget {
@@ -276,10 +348,28 @@ pub fn run_open_loop(
     seed: u64,
     smoke: bool,
 ) -> Result<ServingRecord, PfError> {
+    run_open_loop_traced(kind, rps, requests, seed, smoke, &Telemetry::disabled())
+}
+
+/// [`run_open_loop`] under a telemetry handle (see
+/// [`run_closed_loop_traced`]).
+///
+/// # Errors
+///
+/// Same conditions as [`run_open_loop`].
+pub fn run_open_loop_traced(
+    kind: BackendKind,
+    rps: f64,
+    requests: usize,
+    seed: u64,
+    smoke: bool,
+    tel: &Telemetry,
+) -> Result<ServingRecord, PfError> {
     assert!(rps > 0.0, "open loop needs a positive arrival rate");
     let scenario = backend_scenario(kind, smoke);
     let offline = Session::from_scenario(scenario.clone())?;
-    let server = serve::serve_scenario(scenario)?;
+    // See run_closed_loop_traced: per-record metric scope, shared spans.
+    let server = serve::serve_scenario_traced(scenario, tel.with_prefix(&format!("open_{kind}")))?;
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tickets = Vec::with_capacity(requests);
@@ -330,6 +420,20 @@ pub fn run_open_loop(
 ///
 /// Propagates the first record's error.
 pub fn run_suite(options: &LoadgenOptions) -> Result<ServingReport, PfError> {
+    run_suite_traced(options, &Telemetry::disabled())
+}
+
+/// [`run_suite`] under a telemetry handle: every record's server shares
+/// `tel`, and the report carries a [`TraceSummary`] (`None` when `tel` is
+/// disabled, making this identical to [`run_suite`]).
+///
+/// # Errors
+///
+/// Same conditions as [`run_suite`].
+pub fn run_suite_traced(
+    options: &LoadgenOptions,
+    tel: &Telemetry,
+) -> Result<ServingReport, PfError> {
     let backends: Vec<BackendKind> = if options.backends.is_empty() {
         if options.smoke {
             vec![BackendKind::Digital, BackendKind::JtcIdeal]
@@ -347,12 +451,13 @@ pub fn run_suite(options: &LoadgenOptions) -> Result<ServingReport, PfError> {
         } else {
             Budget::Wall(options.duration)
         };
-        results.push(run_closed_loop(
+        results.push(run_closed_loop_traced(
             kind,
             options.concurrency,
             budget,
             options.seed,
             options.smoke,
+            tel,
         )?);
     }
     let open_backends: &[BackendKind] = if options.smoke {
@@ -366,12 +471,13 @@ pub fn run_suite(options: &LoadgenOptions) -> Result<ServingReport, PfError> {
         } else {
             ((options.rps * options.duration.as_secs_f64()).ceil() as usize).max(1)
         };
-        results.push(run_open_loop(
+        results.push(run_open_loop_traced(
             kind,
             options.rps,
             requests,
             options.seed,
             options.smoke,
+            tel,
         )?);
     }
 
@@ -380,6 +486,7 @@ pub fn run_suite(options: &LoadgenOptions) -> Result<ServingReport, PfError> {
         mode: if options.smoke { "smoke" } else { "full" }.to_string(),
         host_threads: rayon::current_num_threads(),
         results,
+        trace: TraceSummary::from_telemetry(tel),
     })
 }
 
@@ -488,6 +595,7 @@ mod tests {
             mode: "smoke".to_string(),
             host_threads: 1,
             results: vec![good],
+            trace: None,
         };
         assert!(check_smoke(&report).is_empty());
         report.results[0].matches_offline = false;
@@ -505,6 +613,7 @@ mod tests {
             mode: "smoke".to_string(),
             host_threads: 4,
             results: vec![record],
+            trace: None,
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         let back: ServingReport = serde_json::from_str(&json).unwrap();

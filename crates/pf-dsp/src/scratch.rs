@@ -18,8 +18,35 @@
 //! correlations.
 
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::complex::Complex;
+
+/// How often the scratch arena has (re)allocated: `grows` counts borrows
+/// in which any of the four buffers grew its capacity inside the closure —
+/// i.e. the steady state was *not* allocation-free — and `borrows` counts
+/// every [`with_spectrum_scratch`] call. A warmed-up pipeline should hold
+/// `grows` flat while `borrows` climbs; the serving stack surfaces both as
+/// telemetry gauges (`dsp.scratch_grows` / `dsp.scratch_borrows`), the
+/// instrumentation prerequisite for the zero-allocation steady-state work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Borrows in which at least one scratch buffer grew its capacity.
+    pub grows: u64,
+    /// Total scratch borrows.
+    pub borrows: u64,
+}
+
+static SCRATCH_GROWS: AtomicU64 = AtomicU64::new(0);
+static SCRATCH_BORROWS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide scratch allocation counters (see [`ScratchStats`]).
+pub fn scratch_stats() -> ScratchStats {
+    ScratchStats {
+        grows: SCRATCH_GROWS.load(Ordering::Relaxed),
+        borrows: SCRATCH_BORROWS.load(Ordering::Relaxed),
+    }
+}
 
 /// Reusable working buffers for one spectrum computation: two complex
 /// vectors (FFT packing scratch and a half spectrum) and one real vector
@@ -64,7 +91,22 @@ pub fn with_spectrum_scratch<R>(f: impl FnOnce(&mut SpectrumScratch) -> R) -> R 
         let mut scratch = cell
             .try_borrow_mut()
             .expect("with_spectrum_scratch must not be re-entered on one thread");
-        f(&mut scratch)
+        SCRATCH_BORROWS.fetch_add(1, Ordering::Relaxed);
+        let before = (
+            scratch.fft.capacity(),
+            scratch.half_a.capacity(),
+            scratch.half_b.capacity(),
+            scratch.real.capacity(),
+        );
+        let out = f(&mut scratch);
+        let grew = scratch.fft.capacity() > before.0
+            || scratch.half_a.capacity() > before.1
+            || scratch.half_b.capacity() > before.2
+            || scratch.real.capacity() > before.3;
+        if grew {
+            SCRATCH_GROWS.fetch_add(1, Ordering::Relaxed);
+        }
+        out
     })
 }
 
@@ -92,6 +134,26 @@ mod tests {
             with_spectrum_scratch(|_| with_spectrum_scratch(|_| ()));
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn growth_counter_sees_first_allocation() {
+        // The counters are process-wide and other tests borrow scratch
+        // concurrently, so assert the monotone facts only: a fresh
+        // thread's first over-sized borrow registers a growth, and every
+        // borrow registers a borrow.
+        let before = scratch_stats();
+        std::thread::spawn(|| {
+            with_spectrum_scratch(|s| {
+                s.real.clear();
+                s.real.resize(1 << 16, 0.0);
+            });
+        })
+        .join()
+        .unwrap();
+        let after = scratch_stats();
+        assert!(after.grows > before.grows, "fresh arena growth is counted");
+        assert!(after.borrows > before.borrows);
     }
 
     #[test]

@@ -46,7 +46,7 @@
 //! sequence does not change.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use pf_dsp::complex::Complex;
@@ -55,6 +55,7 @@ use pf_dsp::scratch::{with_spectrum_scratch, SpectrumScratch};
 use pf_photonics::adc::Adc;
 use pf_photonics::dac::Dac;
 use pf_photonics::detector::SensingNoise;
+use pf_telemetry::{Stage, StageAcc, StageTotals};
 use pf_tiling::{PreparedConv1d, PreparedSignal};
 
 use crate::correlator::JtcSimulator;
@@ -320,13 +321,22 @@ impl PreparedSpectrum {
         spectrum: &SignalSpectrum,
         times: &mut StageTimes,
     ) -> Result<Vec<f64>, JtcError> {
-        self.correlate_spectrum_impl(spectrum, Some(times))
+        let mut acc = StageAcc::start();
+        let out = self.correlate_spectrum_impl(spectrum, Some(&mut acc));
+        times.add_ns(acc.ns());
+        out
     }
 
+    /// Shared body of the fused and staged spectrum paths. `acc` chains
+    /// stage boundaries on the caller's accumulator, so a caller that
+    /// already marked earlier stages (e.g. the signal FFT in
+    /// [`PreparedKernel::correlate_staged`]) pays no extra clock reads at
+    /// the hand-off boundary. Entry checks and the spectrum byte-copy fall
+    /// into `spectrum_apply`.
     fn correlate_spectrum_impl(
         &self,
         spectrum: &SignalSpectrum,
-        mut times: Option<&mut StageTimes>,
+        mut acc: Option<&mut StageAcc>,
     ) -> Result<Vec<f64>, JtcError> {
         self.check_signal_len(spectrum.signal_len)?;
         if spectrum.n != self.n {
@@ -352,15 +362,13 @@ impl PreparedSpectrum {
             // the bits the unshared path's signal FFT would produce.
             half_a.clear();
             half_a.extend_from_slice(&spectrum.half_spec);
-            let t0 = times.as_ref().map(|_| Instant::now());
             self.apply_kernel_spectrum(half_a, real);
-            if let (Some(times), Some(t0)) = (times.as_deref_mut(), t0) {
-                times.spectrum_apply += t0.elapsed();
+            if let Some(acc) = &mut acc {
+                acc.mark(Stage::SpectrumApply);
             }
-            let t1 = times.as_ref().map(|_| Instant::now());
             let out = self.second_lens(real, fft, half_b)?;
-            if let (Some(times), Some(t1)) = (times, t1) {
-                times.inverse += t1.elapsed();
+            if let Some(acc) = &mut acc {
+                acc.mark(Stage::Inverse);
             }
             Ok(out)
         })
@@ -465,6 +473,30 @@ impl StageTimes {
     /// Sum of all stages.
     pub fn total(&self) -> Duration {
         self.signal_fft + self.spectrum_apply + self.inverse + self.dac_adc
+    }
+
+    /// View over a telemetry [`StageTotals`] record: the per-stage
+    /// nanosecond counters converted back to [`Duration`]s. This is the
+    /// single source of truth for stage shares when execution runs through
+    /// the telemetry registry — the perf harness's `--stages` report and
+    /// the staged execution paths both read from it, so the two can no
+    /// longer drift apart.
+    pub fn from_totals(totals: &StageTotals) -> Self {
+        Self {
+            signal_fft: Duration::from_nanos(totals.stage_ns(Stage::SignalFft)),
+            spectrum_apply: Duration::from_nanos(totals.stage_ns(Stage::SpectrumApply)),
+            inverse: Duration::from_nanos(totals.stage_ns(Stage::Inverse)),
+            dac_adc: Duration::from_nanos(totals.stage_ns(Stage::DacAdc)),
+        }
+    }
+
+    /// Adds a nanosecond split indexed by [`Stage::index`] (the shape a
+    /// [`StageAcc`] accumulates) into these durations.
+    pub fn add_ns(&mut self, ns: [u64; Stage::COUNT]) {
+        self.signal_fft += Duration::from_nanos(ns[Stage::SignalFft.index()]);
+        self.spectrum_apply += Duration::from_nanos(ns[Stage::SpectrumApply.index()]);
+        self.inverse += Duration::from_nanos(ns[Stage::Inverse.index()]);
+        self.dac_adc += Duration::from_nanos(ns[Stage::DacAdc.index()]);
     }
 }
 
@@ -578,19 +610,32 @@ impl PreparedKernel {
         signal: &[f64],
         times: &mut StageTimes,
     ) -> Result<Vec<f64>, JtcError> {
-        let t0 = Instant::now();
+        let mut acc = StageAcc::start();
+        let out = self.correlate_staged_acc(signal, &mut acc);
+        times.add_ns(acc.ns());
+        out
+    }
+
+    /// The staged chain marking boundaries on a caller-held [`StageAcc`]
+    /// (one clock read per boundary; see the accumulator's docs for why
+    /// loops hold one). Bit-identical to [`PreparedKernel::correlate`].
+    fn correlate_staged_acc(
+        &self,
+        signal: &[f64],
+        acc: &mut StageAcc,
+    ) -> Result<Vec<f64>, JtcError> {
         let (signal_q, s_scale) = crate::engine::quantize_through_dac(self.dac.as_ref(), signal);
-        times.dac_adc += t0.elapsed();
+        acc.mark(Stage::DacAdc);
 
-        let t1 = Instant::now();
         let spectrum = self.spectrum.signal_spectrum(&signal_q)?;
-        times.signal_fft += t1.elapsed();
+        acc.mark(Stage::SignalFft);
 
-        let mut out = self.spectrum.correlate_spectrum_staged(&spectrum, times)?;
+        let mut out = self
+            .spectrum
+            .correlate_spectrum_impl(&spectrum, Some(acc))?;
 
-        let t2 = Instant::now();
         self.condition(&mut out, s_scale, self.noise.as_deref());
-        times.dac_adc += t2.elapsed();
+        acc.mark(Stage::DacAdc);
         Ok(out)
     }
 
@@ -680,6 +725,37 @@ impl PreparedConv1d for PreparedKernel {
             Err(_) => self.correlate_valid(signal),
         }
     }
+
+    fn correlate_valid_acc(&self, signal: &[f64], acc: &mut StageAcc) -> Vec<f64> {
+        // The staged path is bit-identical to the fused one (see
+        // `correlate_staged`), so tracing never perturbs results.
+        self.correlate_staged_acc(signal, acc).unwrap_or_default()
+    }
+
+    fn correlate_with_signal_acc(
+        &self,
+        prepared: &dyn PreparedSignal,
+        signal: &[f64],
+        acc: &mut StageAcc,
+    ) -> Vec<f64> {
+        let Some(shared) = prepared.as_any().downcast_ref::<SharedSignal>() else {
+            return self.correlate_valid_acc(signal, acc);
+        };
+        // No signal-FFT stage here: the shared transform was computed (and
+        // attributed to signal_fft) where it was prepared — the executor's
+        // prepare_signal / prepare_signal_batch call sites.
+        match self
+            .spectrum
+            .correlate_spectrum_impl(&shared.spectrum, Some(acc))
+        {
+            Ok(mut out) => {
+                self.condition(&mut out, shared.s_scale, self.noise.as_deref());
+                acc.mark(Stage::DacAdc);
+                out
+            }
+            Err(_) => self.correlate_valid_acc(signal, acc),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -687,6 +763,7 @@ mod tests {
     use super::*;
     use pf_dsp::conv::{correlate1d, PaddingMode};
     use pf_dsp::util::max_abs_diff;
+    use pf_telemetry::Telemetry;
 
     #[test]
     fn prepared_matches_per_call_optics() {
@@ -934,5 +1011,52 @@ mod tests {
         }
         assert!(times.total() > Duration::ZERO);
         assert!(times.inverse > Duration::ZERO);
+    }
+
+    #[test]
+    fn traced_paths_are_bit_identical_and_attribute_stages() {
+        let jtc = JtcSimulator::new(64).unwrap();
+        let prep = PreparedKernel::new(
+            jtc.prepare_kernel(&[0.3, -0.2, 0.7], 48).unwrap(),
+            1.0,
+            None,
+            None,
+            None,
+        );
+        let signal: Vec<f64> = (0..48).map(|i| (i as f64 * 0.13).sin()).collect();
+        let tel = Telemetry::enabled();
+
+        let plain = prep.correlate_valid(&signal);
+        let traced = prep.correlate_valid_traced(&signal, &tel);
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let totals = tel.stage_totals();
+        for stage in Stage::ALL {
+            assert_eq!(totals.stage_calls(stage), 1, "{}", stage.name());
+        }
+
+        // Shared-signal path: spectrum stages only, no signal-FFT stage.
+        let shared = prep.prepare_signal(&signal).unwrap();
+        let plain = prep.correlate_with_signal(&*shared, &signal);
+        let before = tel.stage_totals();
+        let traced = prep.correlate_with_signal_traced(&*shared, &signal, &tel);
+        for (a, b) in plain.iter().zip(&traced) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let delta = tel.stage_totals().delta_since(&before);
+        assert_eq!(delta.stage_calls(Stage::SignalFft), 0);
+        assert_eq!(delta.stage_calls(Stage::SpectrumApply), 1);
+        assert_eq!(delta.stage_calls(Stage::Inverse), 1);
+        assert_eq!(delta.stage_calls(Stage::DacAdc), 1);
+
+        // Round trip through the from-totals view preserves every stage.
+        let times = StageTimes::from_totals(&delta);
+        assert_eq!(times.signal_fft, Duration::ZERO);
+        assert_eq!(
+            times.total().as_nanos() as u64,
+            delta.total_ns(),
+            "view must cover all stages"
+        );
     }
 }

@@ -207,6 +207,25 @@ impl<E: Conv1dEngine> TiledExecutor<E> {
         self.convolver.grain()
     }
 
+    /// Attaches a telemetry handle to the inner convolver, so every
+    /// convolution this executor drives records stage timings and tiling
+    /// counters into that registry. A disabled handle (the default) keeps
+    /// the untraced hot path.
+    pub fn with_telemetry(mut self, telemetry: pf_telemetry::Telemetry) -> Self {
+        self.convolver.set_telemetry(telemetry);
+        self
+    }
+
+    /// In-place form of [`TiledExecutor::with_telemetry`].
+    pub fn set_telemetry(&mut self, telemetry: pf_telemetry::Telemetry) {
+        self.convolver.set_telemetry(telemetry);
+    }
+
+    /// The attached telemetry handle.
+    pub fn telemetry(&self) -> &pf_telemetry::Telemetry {
+        self.convolver.telemetry()
+    }
+
     /// The pipeline configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.config

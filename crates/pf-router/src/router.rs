@@ -7,7 +7,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use pf_core::{PfError, ServingSpec};
-use pf_serve::{InferenceEngine, ServeConfig, Server, Ticket};
+use pf_serve::{InferenceEngine, RequestTrace, ServeConfig, Server, Ticket};
+use pf_telemetry::Telemetry;
 
 use crate::policy::{HashRing, Policy};
 use crate::stats::{secs_between, Outcome, ReplicaRollup, RouterCollector, RouterStats};
@@ -281,6 +282,7 @@ pub struct Router<E: ReplicaEngine + 'static> {
     next_rr: AtomicUsize,
     shrunk: AtomicBool,
     collector: Arc<Mutex<RouterCollector>>,
+    telemetry: Telemetry,
 }
 
 impl<E: ReplicaEngine + 'static> std::fmt::Debug for Router<E> {
@@ -304,15 +306,40 @@ impl<E: ReplicaEngine + 'static> Router<E> {
     /// whatever the factory fails with.
     pub fn new(
         config: RouterConfig,
+        factory: impl FnMut(usize) -> Result<E, PfError>,
+    ) -> Result<Self, PfError> {
+        Self::with_telemetry(config, Telemetry::disabled(), factory)
+    }
+
+    /// Like [`Router::new`] with an observability handle. The request id
+    /// is minted here, at router admission, and carried down through the
+    /// chosen replica so one routed request yields one span tree
+    /// (admission → queue → batch → per-stage execution). Each replica's
+    /// `serve.*` counters are scoped under a `replicaN.` prefix; spans and
+    /// stage slots stay shared (one trace, one stage breakdown).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Router::new`].
+    pub fn with_telemetry(
+        config: RouterConfig,
+        telemetry: Telemetry,
         mut factory: impl FnMut(usize) -> Result<E, PfError>,
     ) -> Result<Self, PfError> {
         config.validate()?;
         let replicas = (0..config.replicas)
-            .map(|i| Server::new(factory(i)?, config.serve))
+            .map(|i| {
+                Server::with_telemetry(
+                    factory(i)?,
+                    config.serve,
+                    telemetry.with_prefix(&format!("replica{i}")),
+                )
+            })
             .collect::<Result<Vec<_>, _>>()?;
         let collector = Arc::new(Mutex::new(RouterCollector::new(
             config.priority_classes.len(),
             config.replicas,
+            &telemetry,
         )));
         Ok(Self {
             ring: HashRing::new(config.replicas),
@@ -321,7 +348,14 @@ impl<E: ReplicaEngine + 'static> Router<E> {
             collector,
             config,
             replicas,
+            telemetry,
         })
+    }
+
+    /// The observability handle (disabled unless the router was built with
+    /// [`Router::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration the router runs with.
@@ -393,10 +427,26 @@ impl<E: ReplicaEngine + 'static> Router<E> {
         // replicas; reject only when every queue is full.
         let order = self.dispatch_order(affinity);
         let admitted = Instant::now();
+        // Mint the request's tracing identity here — router admission is
+        // where the request enters the serving stack. The admission span
+        // covers policy dispatch and any spill attempts; the request's
+        // root span (recorded by the replica at fulfilment) hangs from it.
+        let (trace, _admit_span) = if self.telemetry.is_enabled() {
+            let req = self.telemetry.next_request_id();
+            let span = self.telemetry.span_with_parent("admit", "router", 0, req);
+            let trace = RequestTrace {
+                req,
+                parent: span.id(),
+                admitted,
+            };
+            (Some(trace), Some(span))
+        } else {
+            (None, None)
+        };
         let mut payload = payload;
         let mut last_overload = None;
         for (attempt, &replica) in order.iter().enumerate() {
-            match self.replicas[replica].try_submit_with_deadline(payload, deadline) {
+            match self.replicas[replica].try_submit_traced(payload, deadline, trace) {
                 Ok(ticket) => {
                     self.collector
                         .lock()

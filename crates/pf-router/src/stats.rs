@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use pf_serve::{LatencySummary, ServerStats};
+use pf_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Model-session cache counters of one replica's engine (see
@@ -175,48 +176,58 @@ struct ClassAcc {
 /// Mutable accumulator behind the router's stats mutex. Tickets record
 /// their outcome here when waited on; the router records admission
 /// decisions directly.
+///
+/// Like the replica servers' collector, the tier-level monotone counts
+/// (admitted / shed / rejected / spills / window shrinks) live in the
+/// telemetry registry as `router.*` counters so metric snapshots and the
+/// [`RouterStats`] view read the same numbers; the per-class accumulators
+/// (exact latency samples) stay local.
 #[derive(Debug)]
 pub(crate) struct RouterCollector {
     classes: Vec<ClassAcc>,
     dispatched: Vec<u64>,
-    shed: u64,
-    rejected: u64,
-    spills: u64,
-    window_shrinks: u64,
+    admitted: Counter,
+    shed: Counter,
+    rejected: Counter,
+    spills: Counter,
+    window_shrinks: Counter,
 }
 
 impl RouterCollector {
-    pub(crate) fn new(classes: usize, replicas: usize) -> Self {
+    pub(crate) fn new(classes: usize, replicas: usize, tel: &Telemetry) -> Self {
+        let tel = tel.or_private();
         Self {
             classes: (0..classes).map(|_| ClassAcc::default()).collect(),
             dispatched: vec![0; replicas],
-            shed: 0,
-            rejected: 0,
-            spills: 0,
-            window_shrinks: 0,
+            admitted: tel.counter("router.admitted"),
+            shed: tel.counter("router.shed"),
+            rejected: tel.counter("router.rejected"),
+            spills: tel.counter("router.spills"),
+            window_shrinks: tel.counter("router.window_shrinks"),
         }
     }
 
     pub(crate) fn record_admitted(&mut self, class: usize, replica: usize, spilled: bool) {
         self.classes[class].admitted += 1;
         self.dispatched[replica] += 1;
+        self.admitted.inc();
         if spilled {
-            self.spills += 1;
+            self.spills.inc();
         }
     }
 
     pub(crate) fn record_shed(&mut self, class: usize) {
         self.classes[class].shed += 1;
-        self.shed += 1;
+        self.shed.inc();
     }
 
     pub(crate) fn record_rejected(&mut self, class: usize) {
         self.classes[class].rejected += 1;
-        self.rejected += 1;
+        self.rejected.inc();
     }
 
     pub(crate) fn record_window_shrink(&mut self) {
-        self.window_shrinks += 1;
+        self.window_shrinks.inc();
     }
 
     pub(crate) fn record_outcome(&mut self, class: usize, outcome: Outcome) {
@@ -266,14 +277,15 @@ impl RouterCollector {
             .flat_map(|acc| acc.latency_secs.iter().copied())
             .collect();
         let admitted: u64 = classes.iter().map(|c| c.admitted).sum();
+        let (shed, rejected) = (self.shed.value(), self.rejected.value());
         RouterStats {
             policy: policy.to_string(),
-            submitted: admitted + self.shed + self.rejected,
+            submitted: admitted + shed + rejected,
             admitted,
-            shed: self.shed,
-            rejected: self.rejected,
-            spills: self.spills,
-            window_shrinks: self.window_shrinks,
+            shed,
+            rejected,
+            spills: self.spills.value(),
+            window_shrinks: self.window_shrinks.value(),
             deadline_misses: classes.iter().map(|c| c.deadline_misses).sum(),
             latency: LatencySummary::from_samples_secs(&all_samples),
             classes,
@@ -301,7 +313,8 @@ mod tests {
 
     #[test]
     fn collector_rolls_up_per_class_and_aggregate() {
-        let mut c = RouterCollector::new(2, 2);
+        let tel = Telemetry::enabled();
+        let mut c = RouterCollector::new(2, 2, &tel);
         c.record_admitted(0, 0, false);
         c.record_admitted(0, 1, true);
         c.record_admitted(1, 0, false);
@@ -349,6 +362,14 @@ mod tests {
 
         assert_eq!(c.dispatched(0), 2);
         assert_eq!(c.dispatched(1), 1);
+
+        // The aggregates are the same counters a metrics snapshot reads.
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("router.admitted"), 3);
+        assert_eq!(snap.counter("router.shed"), 1);
+        assert_eq!(snap.counter("router.rejected"), 1);
+        assert_eq!(snap.counter("router.spills"), 1);
+        assert_eq!(snap.counter("router.window_shrinks"), 1);
     }
 
     #[test]
@@ -372,7 +393,7 @@ mod tests {
 
     #[test]
     fn router_stats_serialize() {
-        let stats = RouterCollector::new(1, 1).snapshot(
+        let stats = RouterCollector::new(1, 1, &Telemetry::disabled()).snapshot(
             "round_robin",
             &["only".to_string()],
             vec![ReplicaRollup {

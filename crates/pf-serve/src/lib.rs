@@ -41,5 +41,5 @@ pub mod server;
 pub mod stats;
 
 pub use config::{ScalingHint, ServeConfig};
-pub use server::{InferenceEngine, Server, Ticket};
+pub use server::{InferenceEngine, RequestTrace, Server, Ticket};
 pub use stats::{BatchBucket, LatencySummary, ServerStats};

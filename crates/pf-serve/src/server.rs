@@ -9,9 +9,39 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use pf_core::PfError;
+use pf_telemetry::{request_track, Telemetry};
 
 use crate::config::ServeConfig;
 use crate::stats::{ServerStats, StatsCollector};
+
+/// Tracing identity of one admitted request, minted where the request
+/// enters the serving stack (router admission, or server admission for
+/// directly-submitted requests) and carried through the queue so dispatch
+/// can stitch one coherent span tree per request.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestTrace {
+    /// Request id ([`Telemetry::next_request_id`]); names the request's
+    /// own track in the exported trace.
+    pub req: u64,
+    /// Span id the request's root span hangs from (e.g. the router's
+    /// admission span), or 0 for a root of its own.
+    pub parent: u64,
+    /// When the request entered the stack (start of its root span — for a
+    /// routed request this predates the replica's own enqueue).
+    pub admitted: Instant,
+}
+
+impl RequestTrace {
+    /// Mints a fresh trace rooted at `admitted` (no parent span). Returns
+    /// `None` on a disabled handle, so untraced serving carries no baggage.
+    pub fn mint(tel: &Telemetry, admitted: Instant) -> Option<Self> {
+        tel.is_enabled().then(|| Self {
+            req: tel.next_request_id(),
+            parent: 0,
+            admitted,
+        })
+    }
+}
 
 /// The compute side of a [`Server`]: runs one micro-batch of requests.
 ///
@@ -42,6 +72,23 @@ pub trait InferenceEngine: Send + Sync {
         inputs: &[Self::Request],
         seqs: &[u64],
     ) -> Result<Vec<Self::Response>, PfError>;
+
+    /// [`InferenceEngine::infer_batch`] with span attribution: `parent` is
+    /// the dispatching worker's batch-span id, for engines that emit their
+    /// own child spans (per-stage convolution work). Must return results
+    /// **bit-identical** to `infer_batch` — tracing observes, never
+    /// perturbs. The default ignores the telemetry arguments; the server
+    /// only calls this when tracing is enabled.
+    fn infer_batch_traced(
+        &self,
+        inputs: &[Self::Request],
+        seqs: &[u64],
+        tel: &Telemetry,
+        parent: u64,
+    ) -> Result<Vec<Self::Response>, PfError> {
+        let _ = (tel, parent);
+        self.infer_batch(inputs, seqs)
+    }
 }
 
 impl<E: InferenceEngine + ?Sized> InferenceEngine for Arc<E> {
@@ -54,6 +101,16 @@ impl<E: InferenceEngine + ?Sized> InferenceEngine for Arc<E> {
         seqs: &[u64],
     ) -> Result<Vec<Self::Response>, PfError> {
         (**self).infer_batch(inputs, seqs)
+    }
+
+    fn infer_batch_traced(
+        &self,
+        inputs: &[Self::Request],
+        seqs: &[u64],
+        tel: &Telemetry,
+        parent: u64,
+    ) -> Result<Vec<Self::Response>, PfError> {
+        (**self).infer_batch_traced(inputs, seqs, tel, parent)
     }
 }
 
@@ -184,6 +241,8 @@ struct Request<Rq, R> {
     /// Absolute deadline: once past, the batcher resolves the ticket with
     /// [`PfError::DeadlineExceeded`] instead of dispatching the request.
     deadline: Option<Instant>,
+    /// Tracing identity (None whenever telemetry is disabled).
+    trace: Option<RequestTrace>,
     cell: Arc<TicketCell<R>>,
 }
 
@@ -197,6 +256,7 @@ struct QueueState<Rq, R> {
 struct Shared<E: InferenceEngine> {
     engine: E,
     config: ServeConfig,
+    telemetry: Telemetry,
     /// The current batch-formation window in microseconds. Initialised from
     /// [`ServeConfig::batch_timeout`]; a router shrinks it under load
     /// pressure ([`Server::set_batch_window`]).
@@ -253,19 +313,37 @@ impl<E: InferenceEngine + 'static> Server<E> {
     ///
     /// Returns [`PfError::InvalidScenario`] for an inconsistent config.
     pub fn new(engine: E, config: ServeConfig) -> Result<Self, PfError> {
+        Self::with_telemetry(engine, config, Telemetry::disabled())
+    }
+
+    /// Like [`Server::new`] with an observability handle: request/batch
+    /// spans are recorded into `telemetry`'s ring and the `serve.*`
+    /// counters land in its registry. With a disabled handle this is
+    /// exactly [`Server::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] for an inconsistent config.
+    pub fn with_telemetry(
+        engine: E,
+        config: ServeConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self, PfError> {
         config.validate()?;
         let worker_count = config.effective_workers();
+        let stats = StatsCollector::new(&telemetry);
         let shared = Arc::new(Shared {
             engine,
             window_us: AtomicU64::new(config.batch_timeout.as_micros() as u64),
             config,
+            telemetry,
             queue: Mutex::new(QueueState {
                 pending: VecDeque::new(),
                 accepting: true,
                 next_seq: 0,
             }),
             work: Condvar::new(),
-            stats: Mutex::new(StatsCollector::default()),
+            stats: Mutex::new(stats),
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -282,6 +360,12 @@ impl<E: InferenceEngine + 'static> Server<E> {
     /// The configuration the server runs with.
     pub fn config(&self) -> &ServeConfig {
         &self.shared.config
+    }
+
+    /// The observability handle (disabled unless the server was built with
+    /// [`Server::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// A reference to the engine.
@@ -360,7 +444,27 @@ impl<E: InferenceEngine + 'static> Server<E> {
         input: E::Request,
         deadline: Option<Instant>,
     ) -> Result<Ticket<E::Response>, (E::Request, PfError)> {
+        self.try_submit_traced(input, deadline, None)
+    }
+
+    /// Like [`Server::try_submit_with_deadline`], carrying an explicit
+    /// [`RequestTrace`] — the routing tier mints the request id at *its*
+    /// admission and passes it down so one routed request yields one span
+    /// tree across both tiers. With `trace: None` the server mints a trace
+    /// of its own (when telemetry is enabled).
+    ///
+    /// # Errors
+    ///
+    /// Same admission errors as [`Server::submit`], paired with the
+    /// unconsumed payload.
+    pub fn try_submit_traced(
+        &self,
+        input: E::Request,
+        deadline: Option<Instant>,
+        trace: Option<RequestTrace>,
+    ) -> Result<Ticket<E::Response>, (E::Request, PfError)> {
         let enqueued = Instant::now();
+        let trace = trace.or_else(|| RequestTrace::mint(&self.shared.telemetry, enqueued));
         let mut queue = self.shared.queue.lock();
         if !queue.accepting {
             return Err((
@@ -388,10 +492,12 @@ impl<E: InferenceEngine + 'static> Server<E> {
             input,
             enqueued,
             deadline,
+            trace,
             cell: Arc::clone(&cell),
         });
+        let depth = queue.pending.len();
         drop(queue);
-        self.shared.stats.lock().record_submitted(enqueued);
+        self.shared.stats.lock().record_submitted(enqueued, depth);
         self.shared.work.notify_one();
         Ok(Ticket { seq, cell })
     }
@@ -554,12 +660,24 @@ fn dispatch<E: InferenceEngine>(shared: &Shared<E>, batch: Vec<Request<E::Reques
     let mut seqs = Vec::with_capacity(batch.len());
     let mut enqueues = Vec::with_capacity(batch.len());
     let mut cells = Vec::with_capacity(batch.len());
+    let mut traces = Vec::with_capacity(batch.len());
     for request in batch {
         inputs.push(request.input);
         seqs.push(request.seq);
         enqueues.push(request.enqueued);
+        traces.push(request.trace);
         cells.push(request.cell);
     }
+
+    let tel = &shared.telemetry;
+    // Root-span ids are allocated up front so the batch span (and the
+    // engine's child spans under it) can reference the first request's
+    // tree; the root spans themselves are recorded after completion, once
+    // their end instant is known.
+    let roots: Vec<u64> = traces
+        .iter()
+        .map(|t| if t.is_some() { tel.alloc_span_id() } else { 0 })
+        .collect();
 
     // A panicking engine must not strand the batch's tickets (clients
     // blocked in `Ticket::wait` would sleep forever) nor kill the worker
@@ -567,9 +685,42 @@ fn dispatch<E: InferenceEngine>(shared: &Shared<E>, batch: Vec<Request<E::Reques
     // fail the batch; the `failed` counter — which the loadgen smoke gate
     // checks — is the panic's visible trace.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        shared.engine.infer_batch(&inputs, &seqs)
+        if tel.is_enabled() {
+            let first = traces
+                .iter()
+                .zip(&roots)
+                .find_map(|(t, &root)| t.map(|t| (root, t.req)));
+            let batch_span = match first {
+                Some((root, req)) => tel.span_with_parent("batch", "serve", root, req),
+                None => tel.span("batch", "serve"),
+            };
+            let parent = batch_span.id();
+            shared
+                .engine
+                .infer_batch_traced(&inputs, &seqs, tel, parent)
+        } else {
+            shared.engine.infer_batch(&inputs, &seqs)
+        }
     }));
     let completed = Instant::now();
+
+    if tel.is_enabled() {
+        for ((trace, &root), &enqueued) in traces.iter().zip(&roots).zip(&enqueues) {
+            let Some(t) = trace else { continue };
+            let track = request_track(t.req);
+            tel.record_span(
+                root, "request", "serve", track, t.admitted, completed, t.parent, t.req,
+            );
+            let queue_id = tel.alloc_span_id();
+            tel.record_span(
+                queue_id, "queue", "serve", track, enqueued, dispatched, root, t.req,
+            );
+            let exec_id = tel.alloc_span_id();
+            tel.record_span(
+                exec_id, "exec", "serve", track, dispatched, completed, root, t.req,
+            );
+        }
+    }
 
     let outcome = match result {
         Ok(Ok(outputs)) if outputs.len() == cells.len() => Ok(outputs),

@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+use pf_telemetry::{Counter, Gauge, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Aggregate of one per-request duration (milliseconds).
@@ -95,6 +96,9 @@ pub struct ServerStats {
     /// Served requests divided by the wall time from the first enqueue to
     /// the last completion. `0` until something completes.
     pub throughput_rps: f64,
+    /// Deepest the pending queue ever got (measured at admission, request
+    /// included) — how close the server came to its admission limit.
+    pub queue_high_water: u64,
 }
 
 impl ServerStats {
@@ -114,14 +118,22 @@ impl ServerStats {
 }
 
 /// Mutable accumulator behind the server's stats mutex.
-#[derive(Debug, Default)]
+///
+/// The monotone counts (submitted / served / rejected / …) live in the
+/// telemetry registry as `serve.*` counters, so one serving run surfaces
+/// them both here (as the [`ServerStats`] view) and in metric snapshots.
+/// The latency sample vectors stay local: [`LatencySummary`] is defined by
+/// **exact** nearest-rank percentiles over the raw samples, which a
+/// fixed-bucket histogram cannot provide.
+#[derive(Debug)]
 pub(crate) struct StatsCollector {
-    submitted: u64,
-    served: u64,
-    rejected: u64,
-    failed: u64,
-    expired: u64,
-    cancelled: u64,
+    submitted: Counter,
+    served: Counter,
+    rejected: Counter,
+    failed: Counter,
+    expired: Counter,
+    cancelled: Counter,
+    queue_high_water: Gauge,
     latency_secs: Vec<f64>,
     queue_wait_secs: Vec<f64>,
     service_secs: Vec<f64>,
@@ -130,9 +142,41 @@ pub(crate) struct StatsCollector {
     last_complete: Option<Instant>,
 }
 
+impl Default for StatsCollector {
+    fn default() -> Self {
+        Self::new(&Telemetry::disabled())
+    }
+}
+
 impl StatsCollector {
-    pub(crate) fn record_submitted(&mut self, enqueued: Instant) {
-        self.submitted += 1;
+    /// Builds a collector whose counters live in `tel`'s registry — or, on
+    /// a disabled handle, in a private registry of their own
+    /// ([`Telemetry::or_private`]), so the [`ServerStats`] view works
+    /// identically either way.
+    pub(crate) fn new(tel: &Telemetry) -> Self {
+        let tel = tel.or_private();
+        Self {
+            submitted: tel.counter("serve.submitted"),
+            served: tel.counter("serve.served"),
+            rejected: tel.counter("serve.rejected"),
+            failed: tel.counter("serve.failed"),
+            expired: tel.counter("serve.expired"),
+            cancelled: tel.counter("serve.cancelled"),
+            queue_high_water: tel.gauge("serve.queue_high_water"),
+            latency_secs: Vec::new(),
+            queue_wait_secs: Vec::new(),
+            service_secs: Vec::new(),
+            batch_sizes: BTreeMap::new(),
+            first_enqueue: None,
+            last_complete: None,
+        }
+    }
+
+    /// Records one admission. `depth` is the pending-queue length with this
+    /// request included, feeding the high-water gauge.
+    pub(crate) fn record_submitted(&mut self, enqueued: Instant, depth: usize) {
+        self.submitted.inc();
+        self.queue_high_water.set_max(depth as u64);
         // Min, not first-recorded: concurrent submitters stamp `enqueued`
         // before racing for this lock, so arrival order here can invert
         // timestamp order — and an inflated window start would overstate
@@ -144,16 +188,16 @@ impl StatsCollector {
     }
 
     pub(crate) fn record_rejected(&mut self) {
-        self.submitted += 1;
-        self.rejected += 1;
+        self.submitted.inc();
+        self.rejected.inc();
     }
 
     pub(crate) fn record_expired(&mut self) {
-        self.expired += 1;
+        self.expired.inc();
     }
 
     pub(crate) fn record_cancelled(&mut self) {
-        self.cancelled += 1;
+        self.cancelled.inc();
     }
 
     /// Records one dispatched micro-batch: its size, outcome, and each
@@ -167,10 +211,10 @@ impl StatsCollector {
     ) {
         *self.batch_sizes.entry(enqueues.len()).or_insert(0) += 1;
         if !succeeded {
-            self.failed += enqueues.len() as u64;
+            self.failed.add(enqueues.len() as u64);
             return;
         }
-        self.served += enqueues.len() as u64;
+        self.served.add(enqueues.len() as u64);
         for &enqueued in enqueues {
             self.latency_secs.push((completed - enqueued).as_secs_f64());
             self.queue_wait_secs
@@ -189,13 +233,14 @@ impl StatsCollector {
             (Some(first), Some(last)) => (last - first).as_secs_f64(),
             _ => 0.0,
         };
+        let served = self.served.value();
         ServerStats {
-            submitted: self.submitted,
-            served: self.served,
-            rejected: self.rejected,
-            failed: self.failed,
-            expired: self.expired,
-            cancelled: self.cancelled,
+            submitted: self.submitted.value(),
+            served,
+            rejected: self.rejected.value(),
+            failed: self.failed.value(),
+            expired: self.expired.value(),
+            cancelled: self.cancelled.value(),
             latency: LatencySummary::from_samples_secs(&self.latency_secs),
             queue_wait: LatencySummary::from_samples_secs(&self.queue_wait_secs),
             service: LatencySummary::from_samples_secs(&self.service_secs),
@@ -205,10 +250,11 @@ impl StatsCollector {
                 .map(|(&size, &count)| BatchBucket { size, count })
                 .collect(),
             throughput_rps: if wall > 0.0 {
-                self.served as f64 / wall
+                served as f64 / wall
             } else {
                 0.0
             },
+            queue_high_water: self.queue_high_water.value(),
         }
     }
 }
@@ -243,12 +289,12 @@ mod tests {
         let mut collector = StatsCollector::default();
         let t0 = Instant::now();
         let enqueues = vec![t0, t0 + Duration::from_millis(1)];
-        collector.record_submitted(enqueues[0]);
-        collector.record_submitted(enqueues[1]);
+        collector.record_submitted(enqueues[0], 1);
+        collector.record_submitted(enqueues[1], 2);
         collector.record_rejected();
-        collector.record_submitted(t0 + Duration::from_millis(2));
+        collector.record_submitted(t0 + Duration::from_millis(2), 1);
         collector.record_expired();
-        collector.record_submitted(t0 + Duration::from_millis(2));
+        collector.record_submitted(t0 + Duration::from_millis(2), 1);
         collector.record_cancelled();
         collector.record_batch(
             &enqueues,
@@ -275,13 +321,33 @@ mod tests {
         assert!(stats.throughput_rps > 0.0);
         assert!(stats.latency.p99_ms >= stats.latency.p50_ms);
         assert!(stats.latency.max_ms >= stats.queue_wait.max_ms);
+        assert_eq!(stats.queue_high_water, 2);
+    }
+
+    #[test]
+    fn collector_counters_surface_in_a_shared_registry() {
+        let tel = Telemetry::enabled();
+        let mut collector = StatsCollector::new(&tel);
+        let t0 = Instant::now();
+        collector.record_submitted(t0, 3);
+        collector.record_rejected();
+        collector.record_batch(&[t0], t0, t0 + Duration::from_millis(1), true);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("serve.submitted"), 2);
+        assert_eq!(snap.counter("serve.served"), 1);
+        assert_eq!(snap.counter("serve.rejected"), 1);
+        assert_eq!(snap.gauge("serve.queue_high_water"), 3);
+        // The ServerStats view reads from the same counters.
+        let stats = collector.snapshot();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.queue_high_water, 3);
     }
 
     #[test]
     fn failed_batches_count_as_failed_not_served() {
         let mut collector = StatsCollector::default();
         let t0 = Instant::now();
-        collector.record_submitted(t0);
+        collector.record_submitted(t0, 1);
         collector.record_batch(&[t0], t0, t0, false);
         let stats = collector.snapshot();
         assert_eq!(stats.failed, 1);

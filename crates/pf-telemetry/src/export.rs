@@ -1,0 +1,333 @@
+//! Trace exporters: Chrome trace-event JSON (openable in
+//! `chrome://tracing` or Perfetto) and a flamegraph-style text tree, plus
+//! the validator the CI gate and tests share.
+
+use std::collections::HashMap;
+
+use serde::Value;
+
+use crate::spans::{SpanEvent, REQ_TRACK_BASE};
+
+/// Renders spans as Chrome trace-event JSON with matched `B`/`E` pairs.
+///
+/// Guarantees the properties [`validate_chrome_trace`] checks: every event
+/// carries `name`/`ph`/`ts`/`pid`/`tid`, timestamps are globally
+/// non-decreasing, and each track's `B`/`E` events nest (children are
+/// clamped into their enclosing span's bounds, so slightly-overlapping
+/// measurements cannot produce a malformed trace). Tracks are numbered
+/// compactly: worker threads first, then per-request virtual lanes.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    // Compact tid assignment, worker tracks before request lanes.
+    let mut tracks: Vec<u64> = events.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    let tid_of = |track: u64| -> usize { tracks.binary_search(&track).unwrap_or(0) + 1 };
+
+    // Per track: sort by (start, widest-first) and emit nested B/E pairs
+    // via a containment stack.
+    let mut by_track: HashMap<u64, Vec<SpanEvent>> = HashMap::new();
+    for event in events {
+        by_track.entry(event.track).or_default().push(*event);
+    }
+    // (ts_ns, is_end, event): one flat list, stable-sorted by time at the
+    // end so the whole file is monotone while each track's B/E order is
+    // preserved.
+    let mut emitted: Vec<(u64, bool, SpanEvent)> = Vec::with_capacity(events.len() * 2);
+    for track in &tracks {
+        let mut spans = by_track.remove(track).unwrap_or_default();
+        spans.sort_by(|a, b| {
+            a.start_ns
+                .cmp(&b.start_ns)
+                .then(b.dur_ns.cmp(&a.dur_ns))
+                .then(a.id.cmp(&b.id))
+        });
+        // Stack of (clamped end, event) still open on this track.
+        let mut open: Vec<(u64, SpanEvent)> = Vec::new();
+        for span in spans {
+            let mut start = span.start_ns;
+            let mut end = span.start_ns.saturating_add(span.dur_ns);
+            while let Some(&(top_end, top)) = open.last() {
+                if start >= top_end {
+                    emitted.push((top_end, true, top));
+                    open.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(top_end, _)) = open.last() {
+                // Clamp into the enclosing span so pairs always nest.
+                end = end.min(top_end);
+            }
+            end = end.max(start);
+            start = start.min(end);
+            emitted.push((start, false, span));
+            open.push((end, span));
+        }
+        while let Some((top_end, top)) = open.pop() {
+            emitted.push((top_end, true, top));
+        }
+    }
+    emitted.sort_by_key(|&(ts, _, _)| ts);
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"photofourier\"}}",
+    );
+    for track in &tracks {
+        let label = if *track >= REQ_TRACK_BASE {
+            format!("request {}", track - REQ_TRACK_BASE)
+        } else {
+            format!("worker-{track}")
+        };
+        out.push_str(&format!(
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{label}\"}}}}",
+            tid_of(*track)
+        ));
+    }
+    for (ts_ns, is_end, event) in &emitted {
+        let ph = if *is_end { "E" } else { "B" };
+        out.push_str(&format!(
+            ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"ts\":{}.{:03},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{},\"req\":{}}}}}",
+            event.name,
+            event.cat,
+            ts_ns / 1000,
+            ts_ns % 1000,
+            tid_of(event.track),
+            event.id,
+            event.parent,
+            event.req
+        ));
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Counts from a validated trace (see [`validate_chrome_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total events, metadata included.
+    pub events: usize,
+    /// Matched begin/end span pairs.
+    pub pairs: usize,
+    /// Distinct `(pid, tid)` tracks carrying spans.
+    pub tracks: usize,
+}
+
+/// Validates Chrome trace-event JSON: well-formed, every event carries the
+/// required fields, timestamps are globally non-decreasing, and every
+/// track's `B`/`E` events pair up with matching names. Returns counts on
+/// success and the first problem found otherwise.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed event, timestamp
+/// regression, or unbalanced begin/end pair.
+pub fn validate_chrome_trace(json: &str) -> Result<TraceStats, String> {
+    let root = serde_json::parse_value(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Some(Value::Seq(events)) = root.get("traceEvents") else {
+        return Err("missing traceEvents array".into());
+    };
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut stacks: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    let mut pairs = 0usize;
+    for (i, event) in events.iter().enumerate() {
+        let name = event
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+        let ph = event
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = event
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let tid = event
+            .get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        let ts = event
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        if ph == "M" {
+            continue;
+        }
+        if ts < last_ts {
+            return Err(format!(
+                "event {i} ({name}): ts {ts} regresses below {last_ts}"
+            ));
+        }
+        last_ts = ts;
+        let stack = stacks.entry((pid, tid)).or_default();
+        match ph {
+            "B" => stack.push(name.to_string()),
+            "E" => match stack.pop() {
+                Some(open) if open == name => pairs += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: E '{name}' closes B '{open}' on track {pid}/{tid}"
+                    ))
+                }
+                None => return Err(format!("event {i}: E '{name}' with no open B")),
+            },
+            other => return Err(format!("event {i}: unsupported phase '{other}'")),
+        }
+    }
+    for ((pid, tid), stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("unclosed B '{open}' on track {pid}/{tid}"));
+        }
+    }
+    Ok(TraceStats {
+        events: events.len(),
+        pairs,
+        tracks: stacks.len(),
+    })
+}
+
+/// Renders spans as an indented flamegraph-style text tree, roots sorted by
+/// start time, one line per span with its duration and request id.
+pub fn text_tree(events: &[SpanEvent]) -> String {
+    let mut children: HashMap<u64, Vec<usize>> = HashMap::new();
+    let ids: HashMap<u64, usize> = events.iter().enumerate().map(|(i, e)| (e.id, i)).collect();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        if event.parent != 0 && ids.contains_key(&event.parent) && event.parent != event.id {
+            children.entry(event.parent).or_default().push(i);
+        } else {
+            roots.push(i);
+        }
+    }
+    let by_start = |list: &mut Vec<usize>| {
+        list.sort_by_key(|&i| (events[i].start_ns, events[i].id));
+    };
+    by_start(&mut roots);
+    for list in children.values_mut() {
+        by_start(list);
+    }
+
+    let mut out = String::new();
+    // Iterative DFS: (index, depth), children pushed in reverse start
+    // order so the earliest child prints first.
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&i| (i, 0)).collect();
+    while let Some((i, depth)) = stack.pop() {
+        let event = &events[i];
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&format!(
+            "{} [{}] {:.3}ms",
+            event.name,
+            event.cat,
+            event.dur_ns as f64 / 1e6
+        ));
+        if event.req != 0 {
+            out.push_str(&format!(" req={}", event.req));
+        }
+        out.push('\n');
+        if let Some(kids) = children.get(&event.id) {
+            for &kid in kids.iter().rev() {
+                stack.push((kid, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::request_track;
+
+    fn span(id: u64, parent: u64, track: u64, start_ns: u64, dur_ns: u64) -> SpanEvent {
+        SpanEvent {
+            name: match id {
+                1 => "request",
+                2 => "queue_wait",
+                3 => "exec",
+                _ => "stage",
+            },
+            cat: "test",
+            track,
+            start_ns,
+            dur_ns,
+            id,
+            parent,
+            req: 7,
+        }
+    }
+
+    #[test]
+    fn export_validates_and_nests() {
+        let track = request_track(7);
+        let events = vec![
+            span(1, 0, track, 0, 1000),
+            span(2, 1, track, 10, 200),
+            span(3, 1, track, 300, 600),
+            span(4, 3, 2, 350, 100),
+        ];
+        let json = chrome_trace(&events);
+        let stats = validate_chrome_trace(&json).unwrap();
+        assert_eq!(stats.pairs, 4);
+        assert_eq!(stats.tracks, 2, "request lane + worker track");
+        // The request lane is labelled by its request id.
+        assert!(json.contains("request 7"));
+        assert!(json.contains("worker-2"));
+    }
+
+    #[test]
+    fn overlapping_spans_are_clamped_into_their_parent() {
+        // Child claims to outlive its parent by 50ns: the exporter clamps
+        // instead of emitting crossed B/E pairs.
+        let events = vec![span(1, 0, 3, 0, 100), span(2, 1, 3, 60, 90)];
+        let json = chrome_trace(&events);
+        validate_chrome_trace(&json).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_bad_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        // Regressing timestamps.
+        let bad_ts = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":5,"pid":1,"tid":1},
+            {"name":"a","ph":"E","ts":4,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(bad_ts)
+            .unwrap_err()
+            .contains("regresses"));
+        // Unbalanced pair.
+        let unclosed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(unclosed)
+            .unwrap_err()
+            .contains("unclosed"));
+        // Mismatched close.
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+            {"name":"b","ph":"E","ts":2,"pid":1,"tid":1}]}"#;
+        assert!(validate_chrome_trace(crossed)
+            .unwrap_err()
+            .contains("closes"));
+    }
+
+    #[test]
+    fn text_tree_indents_children() {
+        let events = vec![
+            span(1, 0, 1, 0, 1000),
+            span(2, 1, 1, 10, 200),
+            span(4, 2, 1, 20, 50),
+            span(3, 1, 1, 300, 600),
+        ];
+        let tree = text_tree(&events);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("request "));
+        assert!(lines[1].starts_with("  queue_wait "));
+        assert!(lines[2].starts_with("    stage "));
+        assert!(lines[3].starts_with("  exec "));
+        assert!(lines[0].contains("req=7"));
+    }
+}

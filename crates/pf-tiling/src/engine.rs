@@ -10,6 +10,7 @@ use std::fmt::Debug;
 use std::sync::Arc;
 
 use pf_dsp::conv::{correlate1d, PaddingMode};
+use pf_telemetry::{StageAcc, Telemetry};
 
 /// A backend that computes 1D *valid* cross-correlation:
 /// `out[p] = Σ_j signal[p + j] · kernel[j]` for
@@ -153,6 +154,59 @@ pub trait PreparedConv1d: Debug + Send + Sync {
     fn correlate_with_signal(&self, prepared: &dyn PreparedSignal, signal: &[f64]) -> Vec<f64> {
         let _ = prepared;
         self.correlate_valid(signal)
+    }
+
+    /// [`PreparedConv1d::correlate_valid`] with per-stage time marked on
+    /// `acc` — the hot traced path. The executor holds one [`StageAcc`]
+    /// across a whole tile or kernel-set loop and flushes it to the
+    /// registry once, so per-convolution tracing cost is just the stage
+    /// boundary clock reads.
+    ///
+    /// Must return **bit-identical** output to `correlate_valid(signal)` —
+    /// tracing observes, never perturbs. The default marks nothing;
+    /// engines with a staged path (the JTC) override it.
+    fn correlate_valid_acc(&self, signal: &[f64], acc: &mut StageAcc) -> Vec<f64> {
+        let _ = acc;
+        self.correlate_valid(signal)
+    }
+
+    /// [`PreparedConv1d::correlate_with_signal`] with per-stage time
+    /// marked on `acc`. Same bit-identity contract as
+    /// [`PreparedConv1d::correlate_valid_acc`].
+    fn correlate_with_signal_acc(
+        &self,
+        prepared: &dyn PreparedSignal,
+        signal: &[f64],
+        acc: &mut StageAcc,
+    ) -> Vec<f64> {
+        let _ = acc;
+        self.correlate_with_signal(prepared, signal)
+    }
+
+    /// [`PreparedConv1d::correlate_valid_acc`] for a one-off call: starts
+    /// a fresh [`StageAcc`] and flushes it straight into `tel`'s stage
+    /// slots. Loops should hold their own accumulator and call
+    /// [`PreparedConv1d::correlate_valid_acc`] instead.
+    fn correlate_valid_traced(&self, signal: &[f64], tel: &Telemetry) -> Vec<f64> {
+        let mut acc = StageAcc::start();
+        let out = self.correlate_valid_acc(signal, &mut acc);
+        acc.flush(tel);
+        out
+    }
+
+    /// [`PreparedConv1d::correlate_with_signal_acc`] for a one-off call,
+    /// flushing straight into `tel` like
+    /// [`PreparedConv1d::correlate_valid_traced`].
+    fn correlate_with_signal_traced(
+        &self,
+        prepared: &dyn PreparedSignal,
+        signal: &[f64],
+        tel: &Telemetry,
+    ) -> Vec<f64> {
+        let mut acc = StageAcc::start();
+        let out = self.correlate_with_signal_acc(prepared, signal, &mut acc);
+        acc.flush(tel);
+        out
     }
 }
 

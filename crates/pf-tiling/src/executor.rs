@@ -60,6 +60,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use pf_dsp::conv::Matrix;
+use pf_telemetry::{Counter, Stage, StageAcc, Stopwatch, Telemetry};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -221,6 +222,38 @@ pub struct TiledConvolver<E> {
     /// Prepared kernels shared across clones (and therefore across a whole
     /// batch): `None` entries record that the engine declined to prepare.
     prep_cache: Arc<Mutex<PrepMap>>,
+    /// Observability handle: disabled by default (zero-cost no-op path).
+    /// When enabled, 1D convolutions run through the traced engine variants
+    /// (which attribute per-stage time) and each 2D call flushes its
+    /// [`ThroughputStats`] into `tiling.*` counters.
+    telemetry: Telemetry,
+    /// The `tiling.*` counter handles, resolved once when the telemetry
+    /// handle is attached: the per-2D-call flush must not pay five
+    /// name-lookup allocations.
+    counters: TilingCounters,
+}
+
+/// Cached handles for the `tiling.*` counters (all no-ops when built from
+/// a disabled handle).
+#[derive(Clone, Debug, Default)]
+struct TilingCounters {
+    tiles: Counter,
+    convs_1d: Counter,
+    spectrum_hits: Counter,
+    spectrum_misses: Counter,
+    conv2d_calls: Counter,
+}
+
+impl TilingCounters {
+    fn new(tel: &Telemetry) -> Self {
+        Self {
+            tiles: tel.counter("tiling.tiles"),
+            convs_1d: tel.counter("tiling.convs_1d"),
+            spectrum_hits: tel.counter("tiling.spectrum_hits"),
+            spectrum_misses: tel.counter("tiling.spectrum_misses"),
+            conv2d_calls: tel.counter("tiling.conv2d_calls"),
+        }
+    }
 }
 
 impl<E: Clone> Clone for TiledConvolver<E> {
@@ -230,6 +263,8 @@ impl<E: Clone> Clone for TiledConvolver<E> {
             n_conv: self.n_conv,
             grain: self.grain,
             prep_cache: Arc::clone(&self.prep_cache),
+            telemetry: self.telemetry.clone(),
+            counters: self.counters.clone(),
         }
     }
 }
@@ -263,7 +298,30 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
             n_conv,
             grain: ParallelGrain::Auto,
             prep_cache: Arc::new(Mutex::new(HashMap::new())),
+            telemetry: Telemetry::disabled(),
+            counters: TilingCounters::default(),
         })
+    }
+
+    /// Attaches a telemetry handle. With a disabled handle (the default)
+    /// execution is byte-for-byte the untraced path; with an enabled handle
+    /// 1D convolutions report per-stage time and each 2D call flushes its
+    /// [`ThroughputStats`] into the `tiling.*` counters. Results are
+    /// bit-identical either way — tracing observes, never perturbs.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.set_telemetry(telemetry);
+        self
+    }
+
+    /// Replaces the telemetry handle in place (for already-built convolvers).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.counters = TilingCounters::new(&telemetry);
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled unless configured).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Enables or disables parallel tile dispatch. The results are
@@ -418,7 +476,9 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                 self.valid_by_partitioning(input, kernels, &scratch, &mut outs)
             }
         };
-        Ok((outs, finish_stats(start, tiles, convs, scratch)))
+        let stats = finish_stats(start, tiles, convs, scratch);
+        self.record_throughput(&stats);
+        Ok((outs, stats))
     }
 
     /// 2D `same` cross-correlation (output has the input's shape) computed
@@ -530,7 +590,25 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                 )
             }
         };
-        Ok((outs, finish_stats(start, tiles, convs, scratch)))
+        let stats = finish_stats(start, tiles, convs, scratch);
+        self.record_throughput(&stats);
+        Ok((outs, stats))
+    }
+
+    /// Flushes one 2D call's [`ThroughputStats`] into the `tiling.*`
+    /// counters. Batched per call (not per tile) so the hot loop stays
+    /// untouched; a no-op when telemetry is disabled.
+    fn record_throughput(&self, stats: &ThroughputStats) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.counters.tiles.add(stats.tiles as u64);
+        self.counters.convs_1d.add(stats.convs_1d as u64);
+        self.counters.spectrum_hits.add(stats.spectrum_hits as u64);
+        self.counters
+            .spectrum_misses
+            .add(stats.spectrum_misses as u64);
+        self.counters.conv2d_calls.inc();
     }
 
     // ----- shared machinery ------------------------------------------------
@@ -549,6 +627,22 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
     /// under row partitioning could otherwise accumulate one transform per
     /// (row, partition) pair for the whole call.
     const SPECTRUM_CACHE_CAP: usize = 1024;
+
+    /// Stage attribution measures one convolution in this many (scaled
+    /// back up at flush; see `extrapolate_ns`). Within one tile or kernel
+    /// set every convolution runs the identical stage sequence on
+    /// identical geometry, so a strided sample reconstructs the split at a
+    /// quarter of the clock-read cost — what keeps traced runs inside the
+    /// CI overhead budget.
+    const STAGE_SAMPLE_STRIDE: usize = 4;
+
+    /// Scales a sampled per-stage split up to `total` convolutions.
+    fn extrapolate_ns(ns: [u64; Stage::COUNT], total: u64, sampled: u64) -> [u64; Stage::COUNT] {
+        if sampled == 0 || sampled >= total {
+            return ns;
+        }
+        ns.map(|v| ((v as u128 * total as u128) / sampled as u128) as u64)
+    }
 
     /// Looks up (or builds) the prepared form of `kernel` for tiles of
     /// `signal_len` samples. `None` means the engine has no fast path.
@@ -578,17 +672,41 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         Kernel1d { tiled, prep }
     }
 
+    /// Runs `f` — a batched shared-transform preparation — attributing its
+    /// wall time to the `signal_fft` stage when telemetry is enabled.
+    /// Without this (and the equivalent mark in `apply_kernel_set`) a
+    /// traced shared run would show no signal-FFT time at all: the shared
+    /// path computes its transforms only at the prepare sites. The
+    /// preparation also includes the input-DAC quantisation of the
+    /// signals; that sliver rides along into `signal_fft` rather than
+    /// `dac_adc` (the transform dominates).
+    fn attribute_signal_fft<T>(&self, f: impl FnOnce() -> T) -> T {
+        if !self.telemetry.is_enabled() {
+            return f();
+        }
+        let mut sw = Stopwatch::start();
+        let out = f();
+        let mut ns = [0u64; Stage::COUNT];
+        ns[Stage::SignalFft.index()] = sw.lap_ns();
+        self.telemetry.stage_add_ns(ns);
+        out
+    }
+
     /// Runs one 1D convolution through the prepared fast path when
-    /// available, falling back to the engine.
+    /// available, falling back to the engine. `acc` (present exactly when
+    /// telemetry is enabled) collects the per-stage split; the caller owns
+    /// it across its tile loop and flushes once.
     fn run1d(
         &self,
         prep: Option<&Arc<dyn PreparedConv1d>>,
         signal: &[f64],
         kernel: &[f64],
+        acc: Option<&mut StageAcc>,
     ) -> Vec<f64> {
-        match prep {
-            Some(p) => p.correlate_valid(signal),
-            None => self.engine.correlate_valid(signal, kernel),
+        match (prep, acc) {
+            (Some(p), Some(acc)) => p.correlate_valid_acc(signal, acc),
+            (Some(p), None) => p.correlate_valid(signal),
+            (None, _) => self.engine.correlate_valid(signal, kernel),
         }
     }
 
@@ -614,6 +732,14 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
             None
         };
 
+        // Two set-local accumulators, one registry flush at the end: `acc`
+        // collects exact marks (the shared-transform preparation, fallback
+        // convolutions), `conv_acc` collects the strided consumer-conv
+        // sample that `extrapolate_ns` scales back up to the full set.
+        let enabled = self.telemetry.is_enabled();
+        let mut acc = enabled.then(StageAcc::start);
+        let mut conv_acc = enabled.then(StageAcc::start);
+
         let mut shared: Option<Arc<dyn PreparedSignal>> = None;
         let mut computed_here = false;
         if let Some(sk) = share_key {
@@ -623,8 +749,15 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                     .iter()
                     .find(|k| k.prep.as_ref().is_some_and(|p| p.signal_key() == Some(sk)))
                     .and_then(|k| k.prep.as_ref());
-                // Compute outside the lock: this is the signal FFT.
+                // Compute outside the lock: this is the signal FFT. The
+                // preparation includes the input-DAC quantisation of the
+                // signal; that sliver rides into `signal_fft` (the
+                // transform dominates, and splitting it out would cost an
+                // extra clock read per tile).
                 if let Some(sig) = producer.and_then(|p| p.prepare_signal(signal)) {
+                    if let Some(acc) = acc.as_mut() {
+                        acc.mark(Stage::SignalFft);
+                    }
                     computed_here = true;
                     let mut guard = scratch.lock();
                     if guard.map.len() >= Self::SPECTRUM_CACHE_CAP {
@@ -637,18 +770,40 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         }
 
         let mut consumers = 0usize;
-        let out: Vec<Vec<f64>> = kernels
-            .iter()
-            .map(|k| {
-                if let (Some(sig), Some(prep)) = (&shared, k.prep.as_ref()) {
-                    if prep.signal_key() == share_key {
-                        consumers += 1;
-                        return prep.correlate_with_signal(&**sig, signal);
-                    }
+        let mut sampled = 0u64;
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(kernels.len());
+        for k in kernels {
+            if let (Some(sig), Some(prep)) = (&shared, k.prep.as_ref()) {
+                if prep.signal_key() == share_key {
+                    let measure = consumers.is_multiple_of(Self::STAGE_SAMPLE_STRIDE);
+                    consumers += 1;
+                    out.push(match conv_acc.as_mut() {
+                        Some(conv) if measure => {
+                            sampled += 1;
+                            conv.skip();
+                            prep.correlate_with_signal_acc(&**sig, signal, conv)
+                        }
+                        _ => prep.correlate_with_signal(&**sig, signal),
+                    });
+                    continue;
                 }
-                self.run1d(k.prep.as_ref(), signal, &k.tiled)
-            })
-            .collect();
+            }
+            out.push(match acc.as_mut() {
+                Some(acc) => {
+                    acc.skip();
+                    self.run1d(k.prep.as_ref(), signal, &k.tiled, Some(acc))
+                }
+                None => self.run1d(k.prep.as_ref(), signal, &k.tiled, None),
+            });
+        }
+        if let (Some(acc), Some(conv)) = (acc.as_mut(), conv_acc.as_mut()) {
+            let mut ns = acc.ns();
+            let scaled = Self::extrapolate_ns(conv.ns(), consumers as u64, sampled);
+            for (n, s) in ns.iter_mut().zip(scaled) {
+                *n += s;
+            }
+            self.telemetry.stage_add_ns(ns);
+        }
 
         if consumers > 0 {
             let mut guard = scratch.lock();
@@ -688,7 +843,9 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
         else {
             return;
         };
-        let Some(transforms) = producer.prepare_signal_batch(signals, keys.len()) else {
+        let Some(transforms) =
+            self.attribute_signal_fft(|| producer.prepare_signal_batch(signals, keys.len()))
+        else {
             return;
         };
         let mut guard = scratch.lock();
@@ -810,11 +967,25 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                     .collect();
                 self.seed_shared_signals(scratch, &ks, &keys, &signals);
             }
-            for &r0 in &starts {
+            // Single accumulator across the tile loop with the same
+            // strided sampling as the kernel-set path (which flushes
+            // inside `apply_kernel_set`); the `skip` drops tile refills
+            // and result write-back from the next mark.
+            let mut acc = self.telemetry.is_enabled().then(StageAcc::start);
+            let (mut tiles, mut sampled) = (0u64, 0u64);
+            for (i, &r0) in starts.iter().enumerate() {
                 fill_tile_rows(&mut buf, input, r0 as isize, plan.rows_per_tile);
                 let signal = &buf[..tile_len];
                 if ks.len() == 1 && !share {
-                    let corr = self.run1d(ks[0].prep.as_ref(), signal, &ks[0].tiled);
+                    tiles += 1;
+                    let corr = match acc.as_mut() {
+                        Some(acc) if i.is_multiple_of(Self::STAGE_SAMPLE_STRIDE) => {
+                            sampled += 1;
+                            acc.skip();
+                            self.run1d(ks[0].prep.as_ref(), signal, &ks[0].tiled, Some(acc))
+                        }
+                        _ => self.run1d(ks[0].prep.as_ref(), signal, &ks[0].tiled, None),
+                    };
                     write(&mut outs[0], r0, &corr);
                 } else {
                     let per_kernel = self.apply_kernel_set(
@@ -828,6 +999,10 @@ impl<E: Conv1dEngine> TiledConvolver<E> {
                         write(out, r0, corr);
                     }
                 }
+            }
+            if let Some(acc) = acc.as_mut() {
+                self.telemetry
+                    .stage_add_ns(Self::extrapolate_ns(acc.ns(), tiles, sampled));
             }
         }
         (starts.len(), starts.len() * kernels.len())
@@ -1344,6 +1519,23 @@ mod tests {
 
     fn convolver(n_conv: usize) -> TiledConvolver<DigitalEngine> {
         TiledConvolver::new(DigitalEngine, n_conv).unwrap()
+    }
+
+    #[test]
+    fn telemetry_counters_flow_and_results_match_disabled() {
+        let input = random_matrix(8, 8, 900);
+        let kernel = random_matrix(3, 3, 901);
+        let tel = Telemetry::enabled();
+        let plain = convolver(20).correlate2d_valid(&input, &kernel).unwrap();
+        let traced = convolver(20)
+            .with_telemetry(tel.clone())
+            .correlate2d_valid(&input, &kernel)
+            .unwrap();
+        assert_eq!(plain.data(), traced.data(), "tracing must not perturb");
+        let snap = tel.snapshot();
+        assert!(snap.counter("tiling.convs_1d") > 0);
+        assert!(snap.counter("tiling.tiles") > 0);
+        assert_eq!(snap.counter("tiling.conv2d_calls"), 1);
     }
 
     #[test]

@@ -93,6 +93,7 @@
 //! | [`baselines`] | prior-accelerator reference models for the Figure 13 comparison |
 //! | [`serve`] | the micro-batching inference server (`pf-serve`) wired to `Session` |
 //! | [`route`] | the multi-replica SLO-aware routing tier (`pf-router`) over model-sharded sessions |
+//! | [`telemetry`] | metrics registry + span tracing (`pf-telemetry`): attach a [`Telemetry`] handle via [`SessionBuilder::telemetry`](session::SessionBuilder::telemetry) / `serve_scenario_traced` / `route_scenario_traced` for per-request span trees and Chrome-trace export (see `docs/OBSERVABILITY.md`) |
 //!
 //! The per-crate APIs remain available underneath the facade — the
 //! `Session` API composes them and deprecates nothing.
@@ -111,6 +112,7 @@ pub use pf_dsp as dsp;
 pub use pf_jtc as jtc;
 pub use pf_nn as nn;
 pub use pf_photonics as photonics;
+pub use pf_telemetry as telemetry;
 pub use pf_tiling as tiling;
 
 pub use pf_core::{
@@ -118,11 +120,27 @@ pub use pf_core::{
     PfError, RouterSpec, Scenario, ServingSpec, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
     ROUTER_POLICIES,
 };
+pub use pf_telemetry::{MetricsSnapshot, Stage, StageTotals, Telemetry};
 pub use route::{ModelRequest, ModelShardEngine, SessionRouter};
 pub use serve::{ServeConfig, Server, ServerStats, SessionServer, Ticket};
 pub use session::{Session, SessionBuilder};
 pub use sweep::{SweepPointResult, SweepReport, SweepRunner, SWEEP_SCHEMA};
 pub use tiling::ParallelGrain;
+
+/// Mirrors the process-wide `pf-dsp` scratch-arena counters into `tel` as
+/// the gauges `dsp.scratch_grows` (borrows that had to allocate) and
+/// `dsp.scratch_borrows` (all borrows). Call this right before taking a
+/// [`MetricsSnapshot`] so the allocation-behaviour gauges are current: a
+/// healthy steady state shows `scratch_grows` flat while `scratch_borrows`
+/// climbs. No-op when `tel` is disabled.
+pub fn mirror_scratch_gauges(tel: &Telemetry) {
+    if !tel.is_enabled() {
+        return;
+    }
+    let stats = pf_dsp::scratch::scratch_stats();
+    tel.gauge("dsp.scratch_grows").set(stats.grows);
+    tel.gauge("dsp.scratch_borrows").set(stats.borrows);
+}
 
 /// Commonly used items re-exported in one place.
 pub mod prelude {
@@ -137,6 +155,7 @@ pub mod prelude {
         NETWORK_REGISTRY, ROUTER_POLICIES,
     };
     pub use pf_router::{Router, RouterConfig, RouterRequest, RouterStats, RouterTicket};
+    pub use pf_telemetry::{MetricsSnapshot, SpanEvent, Stage, StageTotals, Telemetry};
 
     // The per-crate building blocks the facade composes.
     pub use pf_arch::config::ArchConfig;

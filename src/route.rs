@@ -36,6 +36,7 @@ use parking_lot::Mutex;
 use pf_core::{PfError, RouterSpec, Scenario, ServingSpec};
 use pf_nn::Tensor;
 use pf_serve::InferenceEngine;
+use pf_telemetry::Telemetry;
 
 pub use pf_router::{
     CacheStats, Policy, ReplicaEngine, Router, RouterConfig, RouterRequest, RouterStats,
@@ -111,6 +112,9 @@ pub struct ModelShardEngine {
     resident: Mutex<Vec<(u64, Arc<Session>)>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Handed to every variant session this shard builds, so stage
+    /// timings from all variants land in one registry.
+    telemetry: Telemetry,
 }
 
 impl ModelShardEngine {
@@ -124,6 +128,20 @@ impl ModelShardEngine {
     /// Returns [`PfError::InvalidScenario`] for a zero capacity, or
     /// session construction/warm-up errors.
     pub fn new(base: Arc<Scenario>, capacity: usize) -> Result<Self, PfError> {
+        Self::with_telemetry(base, capacity, Telemetry::disabled())
+    }
+
+    /// Like [`ModelShardEngine::new`] with an observability handle shared
+    /// by every variant session the shard builds.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ModelShardEngine::new`].
+    pub fn with_telemetry(
+        base: Arc<Scenario>,
+        capacity: usize,
+        telemetry: Telemetry,
+    ) -> Result<Self, PfError> {
         if capacity == 0 {
             return Err(PfError::invalid_scenario(
                 "model shard capacity must be at least 1",
@@ -135,6 +153,7 @@ impl ModelShardEngine {
             resident: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            telemetry,
         };
         let warm = shard.build_session(0)?;
         shard.resident.lock().push((0, warm));
@@ -147,7 +166,10 @@ impl ModelShardEngine {
     }
 
     fn build_session(&self, model: u64) -> Result<Arc<Session>, PfError> {
-        let session = Session::from_scenario(model_scenario(&self.base, model))?;
+        let session = Session::builder()
+            .scenario(model_scenario(&self.base, model))
+            .telemetry(self.telemetry.clone())
+            .build()?;
         session.warmup()?;
         Ok(Arc::new(session))
     }
@@ -194,6 +216,19 @@ impl InferenceEngine for ModelShardEngine {
             })
             .collect()
     }
+
+    /// [`InferenceEngine::infer_batch`] under an `infer` span with
+    /// synthesized per-stage child spans (see [`crate::serve`]). Results
+    /// are bit-identical to the untraced path.
+    fn infer_batch_traced(
+        &self,
+        inputs: &[ModelRequest],
+        seqs: &[u64],
+        tel: &Telemetry,
+        parent: u64,
+    ) -> Result<Vec<Tensor>, PfError> {
+        crate::serve::staged_span(tel, "infer", parent, || self.infer_batch(inputs, seqs))
+    }
 }
 
 impl ReplicaEngine for ModelShardEngine {
@@ -214,13 +249,29 @@ impl ReplicaEngine for ModelShardEngine {
 ///
 /// Propagates configuration validation and session construction errors.
 pub fn route_scenario(scenario: Scenario) -> Result<SessionRouter, PfError> {
+    route_scenario_traced(scenario, Telemetry::disabled())
+}
+
+/// Like [`route_scenario`] with an observability handle: request ids are
+/// minted at router admission and carried down through the chosen replica,
+/// so one routed request yields one span tree (admission → queue → batch →
+/// per-stage execution) and each replica's counters are scoped under a
+/// `replicaN.` prefix.
+///
+/// # Errors
+///
+/// Same conditions as [`route_scenario`].
+pub fn route_scenario_traced(
+    scenario: Scenario,
+    telemetry: Telemetry,
+) -> Result<SessionRouter, PfError> {
     let serving = scenario.serving.clone().unwrap_or_default();
     let router_spec = serving.router.clone().unwrap_or_default();
     let config = RouterConfig::from_spec(&ServingSpec {
         router: Some(router_spec.clone()),
         ..serving
     })?;
-    route_session(Arc::new(scenario), config, &router_spec)
+    route_session_traced(Arc::new(scenario), config, &router_spec, telemetry)
 }
 
 /// Like [`route_scenario`] with an explicit router configuration; the
@@ -234,9 +285,25 @@ pub fn route_session(
     config: RouterConfig,
     spec: &RouterSpec,
 ) -> Result<SessionRouter, PfError> {
+    route_session_traced(base, config, spec, Telemetry::disabled())
+}
+
+/// [`route_session`] with an observability handle (see
+/// [`route_scenario_traced`]).
+///
+/// # Errors
+///
+/// Same conditions as [`route_session`].
+pub fn route_session_traced(
+    base: Arc<Scenario>,
+    config: RouterConfig,
+    spec: &RouterSpec,
+    telemetry: Telemetry,
+) -> Result<SessionRouter, PfError> {
     spec.validate()?;
-    Router::new(config, |_replica| {
-        ModelShardEngine::new(Arc::clone(&base), spec.replica_cache)
+    let shard_tel = telemetry.clone();
+    Router::with_telemetry(config, telemetry, |_replica| {
+        ModelShardEngine::with_telemetry(Arc::clone(&base), spec.replica_cache, shard_tel.clone())
     })
 }
 

@@ -23,15 +23,81 @@
 //! # Ok::<(), photofourier::PfError>(())
 //! ```
 
+use std::time::Instant;
+
 use pf_core::{PfError, Scenario};
 use pf_nn::Tensor;
+use pf_telemetry::{thread_track, Stage, Telemetry};
 
 pub use pf_serve::{
-    BatchBucket, InferenceEngine, LatencySummary, ScalingHint, ServeConfig, Server, ServerStats,
-    Ticket,
+    BatchBucket, InferenceEngine, LatencySummary, RequestTrace, ScalingHint, ServeConfig, Server,
+    ServerStats, Ticket,
 };
 
 use crate::session::Session;
+
+/// Runs `f` under a synthesized `name` span parented at `parent` (for the
+/// serving path: the dispatching worker's batch span), then attributes the
+/// interval across the four JTC stages from the registry's stage-counter
+/// deltas: each stage that ran gets a child span laid out sequentially in
+/// pipeline order with its measured duration (scaled down proportionally
+/// if concurrent work inflated the deltas past the wall interval).
+///
+/// The attribution is synthesized, not measured per-span — the per-conv
+/// hot path records only two striped counter adds — so overlapping
+/// batches on other workers can bleed into each other's stage shares;
+/// totals across the whole trace remain exact.
+///
+/// # Errors
+///
+/// Whatever `f` returns; the spans are recorded either way.
+pub fn staged_span<T>(
+    tel: &Telemetry,
+    name: &'static str,
+    parent: u64,
+    f: impl FnOnce() -> Result<T, PfError>,
+) -> Result<T, PfError> {
+    if !tel.is_enabled() {
+        return f();
+    }
+    let before = tel.stage_totals();
+    let start = Instant::now();
+    let out = f();
+    let end = Instant::now();
+    let delta = tel.stage_totals().delta_since(&before);
+    let infer_id = tel.alloc_span_id();
+    let track = thread_track();
+    tel.record_span(infer_id, name, "session", track, start, end, parent, 0);
+    let wall_ns = end.saturating_duration_since(start).as_nanos() as u64;
+    let total_ns = delta.total_ns();
+    if total_ns > 0 && wall_ns > 0 {
+        let scale = if total_ns > wall_ns {
+            wall_ns as f64 / total_ns as f64
+        } else {
+            1.0
+        };
+        let mut cursor = start;
+        for stage in Stage::ALL {
+            let ns = (delta.stage_ns(stage) as f64 * scale) as u64;
+            if ns == 0 {
+                continue;
+            }
+            let stage_end = cursor + std::time::Duration::from_nanos(ns);
+            tel.record_span(
+                tel.alloc_span_id(),
+                stage.name(),
+                "stage",
+                track,
+                cursor,
+                stage_end,
+                infer_id,
+                0,
+            );
+            cursor = stage_end;
+        }
+    }
+    out
+}
 
 /// A [`pf_serve::Server`] whose engine is a facade [`Session`].
 pub type SessionServer = Server<Session>;
@@ -60,6 +126,19 @@ impl InferenceEngine for Session {
             self.run_batch(inputs)
         }
     }
+
+    /// [`InferenceEngine::infer_batch`] under an `infer` span with
+    /// synthesized per-stage child spans (see the module docs). Results
+    /// are bit-identical to the untraced path.
+    fn infer_batch_traced(
+        &self,
+        inputs: &[Tensor],
+        seqs: &[u64],
+        tel: &Telemetry,
+        parent: u64,
+    ) -> Result<Vec<Tensor>, PfError> {
+        staged_span(tel, "infer", parent, || self.infer_batch(inputs, seqs))
+    }
 }
 
 /// Builds a warmed-up serving session from a scenario: the session is
@@ -72,12 +151,32 @@ impl InferenceEngine for Session {
 /// Propagates session construction, warm-up and server configuration
 /// errors.
 pub fn serve_scenario(scenario: Scenario) -> Result<SessionServer, PfError> {
+    serve_scenario_traced(scenario, Telemetry::disabled())
+}
+
+/// Like [`serve_scenario`] with an observability handle: the session
+/// records stage timings and tiling counters into it, and the server adds
+/// `serve.*` counters plus per-request span trees (request → queue / exec,
+/// batch → infer → stages). Pass [`Telemetry::disabled`] for the untraced
+/// path.
+///
+/// # Errors
+///
+/// Same conditions as [`serve_scenario`].
+pub fn serve_scenario_traced(
+    scenario: Scenario,
+    telemetry: Telemetry,
+) -> Result<SessionServer, PfError> {
     let config = scenario
         .serving
         .as_ref()
         .map(ServeConfig::from_spec)
         .unwrap_or_default();
-    serve_session(Session::from_scenario(scenario)?, config)
+    let session = Session::builder()
+        .scenario(scenario)
+        .telemetry(telemetry)
+        .build()?;
+    serve_session(session, config)
 }
 
 /// Like [`serve_scenario`] but over an already-built session and an
@@ -88,7 +187,8 @@ pub fn serve_scenario(scenario: Scenario) -> Result<SessionServer, PfError> {
 /// Propagates warm-up and server configuration errors.
 pub fn serve_session(session: Session, config: ServeConfig) -> Result<SessionServer, PfError> {
     session.warmup()?;
-    Server::new(session, config)
+    let telemetry = session.telemetry().clone();
+    Server::with_telemetry(session, config, telemetry)
 }
 
 /// Like [`serve_session`], but when the config auto-sizes its workers

@@ -37,6 +37,7 @@ use pf_nn::executor::TiledExecutor;
 use pf_nn::models::small::SmallCnn;
 use pf_nn::models::NetworkSpec;
 use pf_nn::Tensor;
+use pf_telemetry::Telemetry;
 use pf_tiling::{ParallelGrain, ThroughputStats, TiledConvolver};
 use rayon::prelude::*;
 
@@ -47,6 +48,7 @@ pub struct SessionBuilder {
     backend_override: Option<BackendSpec>,
     network_override: Option<String>,
     grain: ParallelGrain,
+    telemetry: Telemetry,
 }
 
 impl SessionBuilder {
@@ -89,6 +91,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches an observability handle (default
+    /// [`Telemetry::disabled`]): every convolution the session drives
+    /// records its four JTC stage timings and tiling counters into the
+    /// handle's registry, and the serving layers re-use the same handle to
+    /// build per-request span trees. Tracing observes and never perturbs —
+    /// results are bit-identical with telemetry enabled or disabled.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Validates the configuration and instantiates the session.
     ///
     /// # Errors
@@ -106,7 +119,7 @@ impl SessionBuilder {
         if let Some(network) = self.network_override {
             scenario.network = network;
         }
-        Session::with_grain(scenario, self.grain)
+        Session::with_telemetry(scenario, self.grain, self.telemetry)
     }
 }
 
@@ -134,6 +147,9 @@ pub struct Session {
     executor_tiles: TiledExecutor<Box<dyn Backend>>,
     cnn: SmallCnn,
     simulator: Simulator,
+    /// Observability handle shared by every convolver/executor pair (and
+    /// per-request seeded executors). Disabled by default.
+    telemetry: Telemetry,
 }
 
 impl Session {
@@ -158,6 +174,22 @@ impl Session {
     ///
     /// Same conditions as [`SessionBuilder::build`].
     pub fn with_grain(scenario: Scenario, grain: ParallelGrain) -> Result<Self, PfError> {
+        Self::with_telemetry(scenario, grain, Telemetry::disabled())
+    }
+
+    /// Builds a session with an explicit grain and observability handle
+    /// (see [`SessionBuilder::telemetry`]). Every convolver and executor
+    /// the session owns shares the handle, so one registry collects the
+    /// whole session's stage timings and tiling counters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SessionBuilder::build`].
+    pub fn with_telemetry(
+        scenario: Scenario,
+        grain: ParallelGrain,
+        telemetry: Telemetry,
+    ) -> Result<Self, PfError> {
         scenario.validate()?;
         let network = scenario.network_spec()?;
         // Two backend instances: the convolver and the executor each own
@@ -178,9 +210,12 @@ impl Session {
         } else {
             ParallelGrain::Auto
         };
-        let convolver = TiledConvolver::new(conv_backend, capacity)?.with_grain(tile_grain);
+        let convolver = TiledConvolver::new(conv_backend, capacity)?
+            .with_grain(tile_grain)
+            .with_telemetry(telemetry.clone());
         let convolver_serial = convolver.clone().with_grain(ParallelGrain::Image);
-        let executor = TiledExecutor::new(exec_backend, capacity, scenario.pipeline)?;
+        let executor = TiledExecutor::new(exec_backend, capacity, scenario.pipeline)?
+            .with_telemetry(telemetry.clone());
         let executor_tiles = executor.clone().with_grain(tile_grain);
         let cnn = SmallCnn::new(
             scenario.functional.input_channels,
@@ -199,7 +234,14 @@ impl Session {
             executor_tiles,
             cnn,
             simulator,
+            telemetry,
         })
+    }
+
+    /// The session's observability handle (disabled unless one was
+    /// attached at build time).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The scenario this session was built from (including any builder
@@ -484,7 +526,8 @@ impl Session {
             backend,
             self.scenario.backend.capacity,
             self.scenario.pipeline,
-        )?;
+        )?
+        .with_telemetry(self.telemetry.clone());
         let features = self.cnn.features(image, &executor)?;
         let len = features.len();
         Ok(Tensor::new(vec![len], features)?)
