@@ -10,28 +10,39 @@
 //! With `--route` the generator instead drives the `pf-router`
 //! multi-replica tier with trace-driven arrivals (bursty / diurnal /
 //! heavy-tail, seeded and replayable) and writes `BENCH_routing.json`
-//! (schema `pf-bench/routing-v1`). The route smoke gate distinguishes its
-//! exits: **1** for hard failures (rejections, SLO violations, offline
-//! divergence), **3** when the only finding is *intentional shedding*
-//! outside the overload record — the tier protected itself, which CI may
-//! treat differently from the tier failing.
+//! (schema `pf-bench/routing-v1`). With `--chaos` it drives the tier with
+//! the scenario's deterministic `[faults]` plan installed (default
+//! `scenarios/chaos_resnet18.toml`, override with `--scenario`) through
+//! the retrying submission path, and writes `BENCH_chaos.json` (schema
+//! `pf-bench/chaos-v1`).
+//!
+//! Exit codes (see [`pf_bench::exitcode`]): **0** pass, **1** hard
+//! failure (rejections, SLO violations, offline divergence, I/O), **2**
+//! bad command line, **3** route smoke gate found only *intentional
+//! shedding* outside the overload record, **4** chaos gate breach (hung
+//! tickets, a replica never re-admitted, or a healthy-class SLO miss
+//! under faults). The smoke-gating CI jobs assert this taxonomy.
 //!
 //! Flags:
 //!
 //! * `--smoke`           small fixed request counts + the smoke gate (CI)
 //! * `--route`           drive the multi-replica router instead
-//! * `--rps F`           open-loop / trace mean arrival rate (default 200 serve, 400 route)
+//! * `--chaos`           drive the router under the scenario's `[faults]` plan
+//! * `--scenario PATH`   chaos mode: scenario file (default `scenarios/chaos_resnet18.toml`)
+//! * `--rps F`           open-loop / trace mean arrival rate (default 200 serve, 400 route/chaos)
 //! * `--concurrency N`   closed-loop submitter threads (default 4)
 //! * `--duration SECS`   full-mode wall-time budget per record (default 2)
-//! * `--requests N`      route mode: arrivals per trace record (default by mode)
+//! * `--requests N`      route/chaos mode: arrivals per trace record (default by mode)
 //! * `--backend NAME`    restrict to one backend (repeatable; route mode uses the first)
 //! * `--seed N`          arrival/image RNG seed (default 42)
-//! * `--out PATH`        report path (default `BENCH_serving.json` / `BENCH_routing.json`)
+//! * `--out PATH`        report path (default `BENCH_serving.json` /
+//!   `BENCH_routing.json` / `BENCH_chaos.json`)
 //! * `--trace [PATH]`    run under a live telemetry handle and export the
 //!   span trees as Chrome trace-event JSON (default `TRACE_serving.json` /
-//!   `TRACE_routing.json`; the written file is always validated, invalid
-//!   JSON is a non-zero exit). The summary gains spans recorded / dropped
-//!   (ring drop-oldest losses) and the queue high-water mark.
+//!   `TRACE_routing.json` / `TRACE_chaos.json`; the written file is always
+//!   validated, invalid JSON is a non-zero exit). The summary gains spans
+//!   recorded / dropped (ring drop-oldest losses) and the queue high-water
+//!   mark.
 //! * `--report-every SECS`  print a periodic metrics-delta snapshot while
 //!   the load runs (implies metrics collection even without `--trace`)
 
@@ -40,6 +51,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use pf_bench::chaos::{check_chaos_smoke, run_chaos_suite_traced, ChaosOptions, ChaosReport};
+use pf_bench::exitcode;
 use pf_bench::routing::{check_route_smoke, run_route_suite_traced, RouteOptions, RoutingReport};
 use pf_bench::serving::{
     check_smoke, run_suite_traced, LoadgenOptions, ServingReport, TraceSummary,
@@ -48,16 +61,11 @@ use pf_bench::Table;
 use photofourier::telemetry::validate_chrome_trace;
 use photofourier::{BackendKind, Telemetry};
 
-/// Exit code for a route smoke run whose only finding is intentional
-/// shedding outside the overload record — distinct from rejections and
-/// other hard failures (exit 1).
-const EXIT_SHED: u8 = 3;
-
 fn usage() {
     eprintln!(
-        "usage: loadgen [--smoke] [--route] [--rps F] [--concurrency N] [--duration SECS] \
-         [--requests N] [--backend NAME]... [--seed N] [--out PATH] [--trace [PATH]] \
-         [--report-every SECS]"
+        "usage: loadgen [--smoke] [--route | --chaos] [--scenario PATH] [--rps F] \
+         [--concurrency N] [--duration SECS] [--requests N] [--backend NAME]... [--seed N] \
+         [--out PATH] [--trace [PATH]] [--report-every SECS]"
     );
 }
 
@@ -130,12 +138,12 @@ fn write_trace(tel: &Telemetry, path: &str) -> Result<(), ExitCode> {
         Ok(stats) => stats,
         Err(e) => {
             eprintln!("exported trace is not valid Chrome trace JSON: {e}");
-            return Err(ExitCode::FAILURE);
+            return Err(ExitCode::from(exitcode::FAILURE));
         }
     };
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("failed to write {path}: {e}");
-        return Err(ExitCode::FAILURE);
+        return Err(ExitCode::from(exitcode::FAILURE));
     }
     println!(
         "wrote {path} ({} event(s), {} span pair(s), {} track(s))",
@@ -225,17 +233,127 @@ fn print_route_report(report: &RoutingReport) {
     println!("{}", table.render());
 }
 
+fn print_chaos_report(report: &ChaosReport) {
+    println!(
+        "\n== PhotoFourier chaos ({} mode, scenario {}) ==\n",
+        report.mode, report.scenario
+    );
+    println!(
+        "offered {} | resolved {} | failed {} | shed {} | rejected {}",
+        report.requests, report.resolved, report.failed, report.shed, report.rejected
+    );
+    let c = &report.counts;
+    let injected: Vec<String> = c.faults.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    println!(
+        "injected: {} | retries {} | breaker transitions {} | quarantined {} | integrity rejects {}",
+        if injected.is_empty() {
+            "(none)".to_string()
+        } else {
+            injected.join(" ")
+        },
+        c.retries,
+        c.breaker_transitions,
+        c.quarantined,
+        c.integrity_rejects
+    );
+    let mut table = Table::new(vec![
+        "replica",
+        "state",
+        "ewma ms",
+        "err rate",
+        "transitions",
+        "quarantines",
+        "dispatched",
+    ]);
+    for r in &report.stats.replicas {
+        table.row(vec![
+            r.replica.to_string(),
+            r.health.state.clone(),
+            format!("{:.3}", r.health.ewma_latency_ms),
+            format!("{:.3}", r.health.ewma_error_rate),
+            r.health.transitions.to_string(),
+            r.health.quarantines.to_string(),
+            r.dispatched.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(highest) = report.stats.classes.first() {
+        println!(
+            "highest-class p99 {:.3} ms (SLO {:.0} ms)",
+            highest.latency.p99_ms, report.slo_p99_ms
+        );
+    }
+}
+
+fn run_chaos(
+    options: &LoadgenOptions,
+    scenario: Option<String>,
+    requests: usize,
+    out: Option<String>,
+    tel: &Telemetry,
+    trace_out: Option<&str>,
+) -> ExitCode {
+    let mut chaos_options = ChaosOptions {
+        smoke: options.smoke,
+        requests,
+        base_rps: if options.rps > 0.0 {
+            options.rps
+        } else {
+            400.0
+        },
+        seed: options.seed,
+        ..ChaosOptions::default()
+    };
+    if let Some(path) = scenario {
+        chaos_options.scenario = path;
+    }
+    let report = match run_chaos_suite_traced(&chaos_options, tel) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("chaos loadgen failed: {e}");
+            return ExitCode::from(exitcode::FAILURE);
+        }
+    };
+    print_chaos_report(&report);
+    if let Some(summary) = &report.trace {
+        print_trace_summary(summary);
+    }
+    let out = out.unwrap_or_else(|| "BENCH_chaos.json".to_string());
+    if let Err(code) = write_json(&report, &out) {
+        return code;
+    }
+    if let Some(path) = trace_out {
+        if let Err(code) = write_trace(tel, path) {
+            return code;
+        }
+    }
+
+    if options.smoke {
+        let failures = check_chaos_smoke(&report);
+        if failures.is_empty() {
+            println!("chaos smoke gate passed");
+        } else {
+            eprintln!("chaos smoke gate BREACHED:");
+            for failure in &failures {
+                eprintln!("  - {failure}");
+            }
+            return ExitCode::from(exitcode::CHAOS);
+        }
+    }
+    ExitCode::from(exitcode::OK)
+}
+
 fn write_json<T: serde::Serialize>(report: &T, out: &str) -> Result<(), ExitCode> {
     let json = match serde_json::to_string_pretty(report) {
         Ok(json) => json,
         Err(e) => {
             eprintln!("failed to serialise report: {e}");
-            return Err(ExitCode::FAILURE);
+            return Err(ExitCode::from(exitcode::FAILURE));
         }
     };
     if let Err(e) = std::fs::write(out, json + "\n") {
         eprintln!("failed to write {out}: {e}");
-        return Err(ExitCode::FAILURE);
+        return Err(ExitCode::from(exitcode::FAILURE));
     }
     println!("wrote {out}");
     Ok(())
@@ -267,7 +385,7 @@ fn run_route(
         Ok(report) => report,
         Err(e) => {
             eprintln!("route loadgen failed: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exitcode::FAILURE);
         }
     };
     print_route_report(&report);
@@ -296,7 +414,7 @@ fn run_route(
             for shed in &gate.unexpected_sheds {
                 eprintln!("  - {shed}");
             }
-            return ExitCode::from(EXIT_SHED);
+            return ExitCode::from(exitcode::SHED);
         } else {
             eprintln!("route smoke gate FAILED:");
             for failure in &gate.failures {
@@ -305,16 +423,18 @@ fn run_route(
             for shed in &gate.unexpected_sheds {
                 eprintln!("  - (shed) {shed}");
             }
-            return ExitCode::FAILURE;
+            return ExitCode::from(exitcode::FAILURE);
         }
     }
-    ExitCode::SUCCESS
+    ExitCode::from(exitcode::OK)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut options = LoadgenOptions::default();
     let mut route = false;
+    let mut chaos = false;
+    let mut scenario: Option<String> = None;
     let mut requests = 0usize;
     let mut rps_set = false;
     let mut out: Option<String> = None;
@@ -328,6 +448,7 @@ fn main() -> ExitCode {
             "--smoke" => options.smoke = true,
             "--full" => options.smoke = false,
             "--route" => route = true,
+            "--chaos" => chaos = true,
             "--trace" => {
                 trace = true;
                 // Optional path operand: `--trace out.json` or bare `--trace`.
@@ -339,13 +460,13 @@ fn main() -> ExitCode {
                 }
             }
             "--rps" | "--concurrency" | "--duration" | "--requests" | "--backend" | "--seed"
-            | "--out" | "--report-every" => {
+            | "--out" | "--scenario" | "--report-every" => {
                 let flag = args[i].clone();
                 i += 1;
                 let Some(value) = args.get(i) else {
                     eprintln!("{flag} needs a value");
                     usage();
-                    return ExitCode::from(2);
+                    return ExitCode::from(exitcode::USAGE);
                 };
                 match flag.as_str() {
                     "--rps" => match value.parse::<f64>() {
@@ -355,14 +476,14 @@ fn main() -> ExitCode {
                         }
                         _ => {
                             eprintln!("--rps needs a positive number");
-                            return ExitCode::from(2);
+                            return ExitCode::from(exitcode::USAGE);
                         }
                     },
                     "--concurrency" => match value.parse::<usize>() {
                         Ok(n) if n >= 1 => options.concurrency = n,
                         _ => {
                             eprintln!("--concurrency needs an integer >= 1");
-                            return ExitCode::from(2);
+                            return ExitCode::from(exitcode::USAGE);
                         }
                     },
                     "--duration" => match value.parse::<f64>() {
@@ -371,28 +492,28 @@ fn main() -> ExitCode {
                         }
                         _ => {
                             eprintln!("--duration needs a positive number of seconds");
-                            return ExitCode::from(2);
+                            return ExitCode::from(exitcode::USAGE);
                         }
                     },
                     "--requests" => match value.parse::<usize>() {
                         Ok(n) if n >= 1 => requests = n,
                         _ => {
                             eprintln!("--requests needs an integer >= 1");
-                            return ExitCode::from(2);
+                            return ExitCode::from(exitcode::USAGE);
                         }
                     },
                     "--backend" => match BackendKind::from_name(value) {
                         Ok(kind) => options.backends.push(kind),
                         Err(e) => {
                             eprintln!("{e}");
-                            return ExitCode::from(2);
+                            return ExitCode::from(exitcode::USAGE);
                         }
                     },
                     "--seed" => match value.parse::<u64>() {
                         Ok(seed) => options.seed = seed,
                         Err(_) => {
                             eprintln!("--seed needs an integer");
-                            return ExitCode::from(2);
+                            return ExitCode::from(exitcode::USAGE);
                         }
                     },
                     "--report-every" => match value.parse::<f64>() {
@@ -401,20 +522,21 @@ fn main() -> ExitCode {
                         }
                         _ => {
                             eprintln!("--report-every needs a positive number of seconds");
-                            return ExitCode::from(2);
+                            return ExitCode::from(exitcode::USAGE);
                         }
                     },
+                    "--scenario" => scenario = Some(value.clone()),
                     _ => out = Some(value.clone()),
                 }
             }
             "--help" | "-h" => {
                 usage();
-                return ExitCode::SUCCESS;
+                return ExitCode::from(exitcode::OK);
             }
             other => {
                 eprintln!("unknown flag {other}");
                 usage();
-                return ExitCode::from(2);
+                return ExitCode::from(exitcode::USAGE);
             }
         }
         i += 1;
@@ -431,6 +553,29 @@ fn main() -> ExitCode {
     };
     let _reporter = report_every.map(|every| Reporter::start(&tel, every));
 
+    if route && chaos {
+        eprintln!("--route and --chaos are mutually exclusive");
+        usage();
+        return ExitCode::from(exitcode::USAGE);
+    }
+    if chaos {
+        if !rps_set {
+            options.rps = 400.0;
+        }
+        let trace_out = trace.then(|| {
+            trace_path
+                .clone()
+                .unwrap_or_else(|| "TRACE_chaos.json".to_string())
+        });
+        return run_chaos(
+            &options,
+            scenario,
+            requests,
+            out,
+            &tel,
+            trace_out.as_deref(),
+        );
+    }
     if route {
         if !rps_set {
             options.rps = 400.0;
@@ -447,7 +592,7 @@ fn main() -> ExitCode {
         Ok(report) => report,
         Err(e) => {
             eprintln!("loadgen failed: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exitcode::FAILURE);
         }
     };
     print_report(&report);
@@ -474,8 +619,8 @@ fn main() -> ExitCode {
             for failure in &failures {
                 eprintln!("  - {failure}");
             }
-            return ExitCode::FAILURE;
+            return ExitCode::from(exitcode::FAILURE);
         }
     }
-    ExitCode::SUCCESS
+    ExitCode::from(exitcode::OK)
 }

@@ -1,0 +1,48 @@
+//! The `loadgen` exit-code taxonomy, in one place so the CI jobs, the
+//! docs and the binary cannot drift apart.
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | [`OK`] | run (and any gate) passed |
+//! | [`FAILURE`] | hard failure: broken accounting, SLO violation, offline divergence, I/O error |
+//! | [`USAGE`] | bad command line |
+//! | [`SHED`] | route smoke gate: the only finding is *intentional shedding* outside the overload record — the tier protected itself |
+//! | [`CHAOS`] | chaos gate breach: a hung ticket, a replica never re-admitted, or a healthy-class SLO miss under injected faults |
+//!
+//! `SHED` and `CHAOS` are deliberately distinct from `FAILURE`: CI can
+//! treat "the tier degraded by policy" and "the tier failed to self-heal"
+//! differently from "the tier is broken".
+
+/// The run — and any gate it ran under — passed.
+pub const OK: u8 = 0;
+
+/// Hard failure (rejections, SLO violations, offline divergence, I/O).
+pub const FAILURE: u8 = 1;
+
+/// Bad command line.
+pub const USAGE: u8 = 2;
+
+/// Route smoke gate: intentional shedding outside the overload record was
+/// the only finding.
+pub const SHED: u8 = 3;
+
+/// Chaos gate breach (see [`crate::chaos::check_chaos_smoke`]).
+pub const CHAOS: u8 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        let codes = [OK, FAILURE, USAGE, SHED, CHAOS];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // The taxonomy is part of the CI contract: renumbering breaks the
+        // workflow gates, so pin the values.
+        assert_eq!(codes, [0, 1, 2, 3, 4]);
+    }
+}

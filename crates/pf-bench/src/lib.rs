@@ -11,7 +11,9 @@
 //! `docs/SCENARIOS.md`) and `--bin loadgen` (the serving load generator
 //! driving the `pf-serve` micro-batching server, see [`serving`] and
 //! `docs/SERVING.md`; its `--route` mode drives the `pf-router`
-//! multi-replica tier with trace-driven arrivals instead, see [`routing`]).
+//! multi-replica tier with trace-driven arrivals instead, see [`routing`],
+//! and its `--chaos` mode drives the fault-injected tier and gates on
+//! self-healing, see [`chaos`] and [`exitcode`] for the exit taxonomy).
 //!
 //! # Examples
 //!
@@ -30,6 +32,8 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod chaos;
+pub mod exitcode;
 pub mod experiments;
 pub mod perf;
 pub mod report;

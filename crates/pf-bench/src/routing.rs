@@ -356,7 +356,7 @@ impl RouteRun {
                 outcomes.push((k, model, input, output));
             }
         }
-        let stats = router.drain();
+        let stats = router.drain()?;
         let matches_offline = verify_offline(&scenario, &outcomes)?;
         Ok(RoutingRecord {
             backend: self.backend.name().to_string(),

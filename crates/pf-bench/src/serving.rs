@@ -321,7 +321,7 @@ pub fn run_closed_loop_traced(
         }
     });
 
-    let stats = server.shutdown();
+    let stats = server.shutdown()?;
     let matches_offline = verify_offline(&offline, &outcomes.into_inner());
     Ok(ServingRecord {
         backend: kind.name().to_string(),
@@ -397,7 +397,7 @@ pub fn run_open_loop_traced(
         }
     }
 
-    let stats = server.shutdown();
+    let stats = server.shutdown()?;
     let matches_offline = verify_offline(&offline, &outcomes);
     Ok(ServingRecord {
         backend: kind.name().to_string(),

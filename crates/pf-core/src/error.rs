@@ -70,6 +70,29 @@ pub enum PfError {
         /// Parser / serializer message.
         reason: String,
     },
+    /// One or more server worker threads panicked and died before shutdown
+    /// could join them cleanly. Any requests those workers held were still
+    /// resolved (the batch dispatch path catches engine panics), but the
+    /// server itself is compromised and its statistics may be incomplete.
+    WorkerPanicked {
+        /// How many worker threads panicked.
+        workers: usize,
+    },
+    /// A deterministic fault plan injected a transient failure into this
+    /// request (`pf-faults`). Requests failing with this error are safe to
+    /// retry: the fault is scheduled by request sequence number, not by
+    /// payload.
+    FaultInjected {
+        /// The injected fault kind, e.g. `"transient_error"`.
+        kind: &'static str,
+    },
+    /// A served payload failed the router's NaN/Inf integrity screen: the
+    /// replica produced a response containing non-finite values. The
+    /// response was discarded rather than handed to the caller.
+    IntegrityViolation {
+        /// Index of the replica that produced the corrupt payload.
+        replica: usize,
+    },
 }
 
 impl PfError {
@@ -104,6 +127,16 @@ impl fmt::Display for PfError {
                  higher-priority traffic"
             ),
             PfError::Format { format, reason } => write!(f, "{format} error: {reason}"),
+            PfError::WorkerPanicked { workers } => {
+                write!(f, "{workers} server worker thread(s) panicked")
+            }
+            PfError::FaultInjected { kind } => {
+                write!(f, "injected fault: {kind}")
+            }
+            PfError::IntegrityViolation { replica } => write!(
+                f,
+                "integrity screen rejected a non-finite payload from replica {replica}"
+            ),
         }
     }
 }
@@ -121,7 +154,10 @@ impl Error for PfError {
             | PfError::Overloaded { .. }
             | PfError::DeadlineExceeded { .. }
             | PfError::Shed { .. }
-            | PfError::Format { .. } => None,
+            | PfError::Format { .. }
+            | PfError::WorkerPanicked { .. }
+            | PfError::FaultInjected { .. }
+            | PfError::IntegrityViolation { .. } => None,
         }
     }
 }
@@ -237,6 +273,25 @@ mod tests {
         };
         assert!(e.to_string().contains("shed"));
         assert!(e.to_string().contains("background"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn fault_tolerance_errors_are_descriptive() {
+        let e = PfError::WorkerPanicked { workers: 2 };
+        assert!(e.to_string().contains("2 server worker thread(s) panicked"));
+        assert!(Error::source(&e).is_none());
+
+        let e = PfError::FaultInjected {
+            kind: "transient_error",
+        };
+        assert!(e.to_string().contains("injected fault"));
+        assert!(e.to_string().contains("transient_error"));
+        assert!(Error::source(&e).is_none());
+
+        let e = PfError::IntegrityViolation { replica: 1 };
+        assert!(e.to_string().contains("integrity"));
+        assert!(e.to_string().contains("replica 1"));
         assert!(Error::source(&e).is_none());
     }
 

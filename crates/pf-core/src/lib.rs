@@ -52,7 +52,7 @@ pub mod sweep;
 pub use backend::{Backend, BackendKind, BackendSpec};
 pub use error::PfError;
 pub use scenario::{
-    network_by_name, ArchPreset, ArchSpec, FunctionalSpec, RouterSpec, Scenario, ServingSpec,
-    NETWORK_REGISTRY, ROUTER_POLICIES,
+    network_by_name, ArchPreset, ArchSpec, FaultWindowSpec, FaultsSpec, FunctionalSpec, RouterSpec,
+    Scenario, ServingSpec, FAULT_KINDS, NETWORK_REGISTRY, ROUTER_POLICIES,
 };
 pub use sweep::{SweepPlan, SweepPoint, SweepSpec, MAX_SWEEP_POINTS};

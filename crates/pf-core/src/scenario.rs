@@ -405,6 +405,182 @@ impl Deserialize for RouterSpec {
     }
 }
 
+/// Registry of the fault kinds a `[[faults.windows]]` entry can name.
+pub const FAULT_KINDS: [&str; 7] = [
+    "latency_spike",
+    "stall",
+    "panic",
+    "transient_error",
+    "corrupt_nan",
+    "corrupt_inf",
+    "calibration_drift",
+];
+
+/// Declarative configuration of deterministic fault injection (the optional
+/// top-level `[faults]` section of a scenario file).
+///
+/// `pf-faults` compiles this spec into a `FaultPlan` that wraps one
+/// replica's inference engine; every fault fires on that replica's own
+/// request sequence numbers, so a chaos run replays bit-identically given
+/// the same seed. Every field has a default, so a bare `[faults]` table is
+/// a valid (empty, fault-free) plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultsSpec {
+    /// Seed for per-request fault magnitudes (jitter on spike durations,
+    /// calibration-drift draws). The schedule itself — which seqs fault —
+    /// is fixed by the windows, not the seed.
+    pub seed: u64,
+    /// Index of the replica the fault plan wraps. Faults flap exactly one
+    /// replica so recovery (quarantine then re-admission) is observable.
+    pub replica: usize,
+    /// The fault schedule: each window injects one fault kind over a
+    /// half-open range of the wrapped replica's request sequence numbers
+    /// (the `[[faults.windows]]` array of tables).
+    pub windows: Vec<FaultWindowSpec>,
+}
+
+/// One entry of the `[[faults.windows]]` array: a fault kind scheduled over
+/// a half-open request-sequence range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultWindowSpec {
+    /// Fault kind: one of [`FAULT_KINDS`] — `latency_spike` (sleep before
+    /// serving), `stall` (a longer sleep, same mechanism), `panic` (the
+    /// engine panics mid-batch), `transient_error` (a typed retryable
+    /// error), `corrupt_nan` / `corrupt_inf` (non-finite values written
+    /// into the response payload), or `calibration_drift` (a seeded
+    /// multiplicative gain error on the response, reusing the pf-photonics
+    /// sensing-noise machinery).
+    pub kind: String,
+    /// First request sequence number (inclusive) the window covers.
+    pub from_seq: u64,
+    /// End of the window (exclusive).
+    pub until_seq: u64,
+    /// Inject on every n-th sequence number inside the window (1 = all).
+    pub every: u64,
+    /// Fault magnitude: microseconds for `latency_spike`/`stall`, the gain
+    /// sigma for `calibration_drift`; ignored by the other kinds.
+    pub magnitude: f64,
+}
+
+impl Default for FaultWindowSpec {
+    fn default() -> Self {
+        Self {
+            kind: "transient_error".to_string(),
+            from_seq: 0,
+            until_seq: u64::MAX,
+            every: 1,
+            magnitude: 0.0,
+        }
+    }
+}
+
+impl FaultsSpec {
+    /// Checks the spec's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] describing the first problem.
+    pub fn validate(&self) -> Result<(), PfError> {
+        for window in &self.windows {
+            if !FAULT_KINDS.contains(&window.kind.as_str()) {
+                return Err(PfError::invalid_scenario(format!(
+                    "unknown fault kind `{}` (known: {})",
+                    window.kind,
+                    FAULT_KINDS.join(", ")
+                )));
+            }
+            if window.until_seq <= window.from_seq {
+                return Err(PfError::invalid_scenario(
+                    "fault window until_seq must exceed from_seq (half-open range)",
+                ));
+            }
+            if window.every == 0 {
+                return Err(PfError::invalid_scenario(
+                    "fault window every must be at least 1",
+                ));
+            }
+            if !(window.magnitude.is_finite() && window.magnitude >= 0.0) {
+                return Err(PfError::invalid_scenario(
+                    "fault window magnitude must be finite and non-negative",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// Hand-written serde, like RouterSpec: missing keys fall back to defaults,
+// so `[faults]` plus a list of `[[faults.windows]]` entries each naming only
+// a `kind` is already a complete plan.
+impl Serialize for FaultsSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("seed".to_string(), self.seed.to_value()),
+            ("replica".to_string(), self.replica.to_value()),
+            ("windows".to_string(), self.windows.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultsSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        if !matches!(value, serde::Value::Map(_)) {
+            return Err(serde::DeError::new(format!(
+                "expected a `[faults]` table, found {value:?}"
+            )));
+        }
+        let defaults = FaultsSpec::default();
+        Ok(Self {
+            seed: faults_field_or(value, "seed", defaults.seed)?,
+            replica: faults_field_or(value, "replica", defaults.replica)?,
+            windows: faults_field_or(value, "windows", defaults.windows)?,
+        })
+    }
+}
+
+impl Serialize for FaultWindowSpec {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("kind".to_string(), self.kind.to_value()),
+            ("from_seq".to_string(), self.from_seq.to_value()),
+            ("until_seq".to_string(), self.until_seq.to_value()),
+            ("every".to_string(), self.every.to_value()),
+            ("magnitude".to_string(), self.magnitude.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for FaultWindowSpec {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        if !matches!(value, serde::Value::Map(_)) {
+            return Err(serde::DeError::new(format!(
+                "expected a `[[faults.windows]]` table, found {value:?}"
+            )));
+        }
+        let defaults = FaultWindowSpec::default();
+        Ok(Self {
+            kind: faults_field_or(value, "kind", defaults.kind)?,
+            from_seq: faults_field_or(value, "from_seq", defaults.from_seq)?,
+            until_seq: faults_field_or(value, "until_seq", defaults.until_seq)?,
+            every: faults_field_or(value, "every", defaults.every)?,
+            magnitude: faults_field_or(value, "magnitude", defaults.magnitude)?,
+        })
+    }
+}
+
+fn faults_field_or<T: Deserialize>(
+    value: &serde::Value,
+    name: &str,
+    default: T,
+) -> Result<T, serde::DeError> {
+    match value.get(name) {
+        Some(v) => {
+            T::from_value(v).map_err(|e| serde::DeError::new(format!("faults field `{name}`: {e}")))
+        }
+        None => Ok(default),
+    }
+}
+
 /// A complete, declarative experiment description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -427,6 +603,9 @@ pub struct Scenario {
     /// Optional inference-server configuration; `None` (the key absent from
     /// the file) means the `pf-serve` defaults.
     pub serving: Option<ServingSpec>,
+    /// Optional deterministic fault-injection plan; `None` (the key absent
+    /// from the file) means no faults. See [`FaultsSpec`].
+    pub faults: Option<FaultsSpec>,
 }
 
 impl Scenario {
@@ -442,6 +621,7 @@ impl Scenario {
             functional: FunctionalSpec::default(),
             sweep: None,
             serving: None,
+            faults: None,
         }
     }
 
@@ -482,6 +662,20 @@ impl Scenario {
         }
         if let Some(serving) = &self.serving {
             serving.validate()?;
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+            let replicas = self
+                .serving
+                .as_ref()
+                .and_then(|s| s.router.as_ref())
+                .map_or(1, |r| r.replicas);
+            if faults.replica >= replicas {
+                return Err(PfError::invalid_scenario(format!(
+                    "faults replica {} is out of range for a {replicas}-replica tier",
+                    faults.replica
+                )));
+            }
         }
         Ok(())
     }
@@ -587,6 +781,26 @@ mod tests {
                 ..RouterSpec::default()
             }),
         });
+        scenario.faults = Some(FaultsSpec {
+            seed: 7,
+            replica: 1,
+            windows: vec![
+                FaultWindowSpec {
+                    kind: "transient_error".to_string(),
+                    from_seq: 4,
+                    until_seq: 10,
+                    every: 1,
+                    magnitude: 0.0,
+                },
+                FaultWindowSpec {
+                    kind: "latency_spike".to_string(),
+                    from_seq: 16,
+                    until_seq: 20,
+                    every: 2,
+                    magnitude: 250.0,
+                },
+            ],
+        });
         scenario
     }
 
@@ -652,9 +866,11 @@ mod tests {
         let mut s = demo();
         s.serving.as_mut().unwrap().workers = 0;
         assert!(s.validate().is_ok());
-        // The whole section is optional.
+        // The whole section is optional (the demo fault plan targets
+        // replica 1, which only exists while the router does).
         let mut s = demo();
         s.serving = None;
+        s.faults = None;
         assert!(s.validate().is_ok());
         assert_eq!(ServingSpec::default().max_batch, 8);
     }
@@ -690,6 +906,38 @@ mod tests {
             assert!(s.validate().is_ok(), "{policy}");
         }
         assert_eq!(RouterSpec::default().replicas, 2);
+    }
+
+    #[test]
+    fn faults_spec_is_validated() {
+        for break_it in [
+            (|f: &mut FaultsSpec| f.windows[0].kind = "gremlin".to_string()) as fn(&mut FaultsSpec),
+            |f| f.windows[0].until_seq = f.windows[0].from_seq,
+            |f| f.windows[0].every = 0,
+            |f| f.windows[0].magnitude = f64::NAN,
+            |f| f.windows[0].magnitude = -1.0,
+            |f| f.replica = 3, // demo router has 3 replicas: 0..=2
+        ] {
+            let mut s = demo();
+            break_it(s.faults.as_mut().unwrap());
+            assert!(s.validate().is_err());
+        }
+        // Every registered kind is accepted.
+        for kind in FAULT_KINDS {
+            let mut s = demo();
+            s.faults.as_mut().unwrap().windows[0].kind = kind.to_string();
+            assert!(s.validate().is_ok(), "{kind}");
+        }
+        // Without a router, only replica 0 exists.
+        let mut s = demo();
+        s.serving = None;
+        s.faults.as_mut().unwrap().replica = 1;
+        assert!(s.validate().is_err());
+        // The whole section is optional, and a bare table is a no-op plan.
+        let mut s = demo();
+        s.faults = None;
+        assert!(s.validate().is_ok());
+        assert!(FaultsSpec::default().windows.is_empty());
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! Per-replica health: EWMA scoring and a deterministic circuit breaker.
+//!
+//! Every dispatch attempt's outcome feeds a per-replica health
+//! record: an EWMA of observed latency and error rate, a consecutive-
+//! failure counter, and a closed → open → half-open breaker. The breaker
+//! is driven entirely by *counts* (consecutive failures, skipped
+//! submissions, probe successes), never by wall-clock time, so a seeded
+//! chaos run trips, quarantines and re-admits replicas at exactly the same
+//! points every run.
+//!
+//! State machine:
+//!
+//! - **Closed** — healthy; requests flow normally. `trip_after`
+//!   consecutive failures opens the breaker.
+//! - **Open** — quarantined; the dispatch order skips the replica. After
+//!   `probe_after` submissions have passed it over, it moves to half-open.
+//! - **HalfOpen** — re-admission probing; up to `probes_to_close`
+//!   concurrent requests are routed to the replica (ahead of the policy
+//!   order, so probes actually happen on a lightly-loaded tier). One probe
+//!   failure reopens; `probes_to_close` consecutive successes close.
+
+use pf_core::PfError;
+
+/// Knobs of the router's self-healing layer: health scoring, circuit
+/// breaking, retry/backoff and the payload integrity screen. Not part of
+/// the scenario schema — scenarios opt into fault *injection* via
+/// `[faults]`; the healing side runs with these defaults unless configured
+/// in code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// EWMA smoothing factor in `(0, 1]` for per-replica latency and
+    /// error-rate scores (1 = latest sample only).
+    pub ewma_alpha: f64,
+    /// Consecutive dispatch failures that trip a closed breaker open.
+    pub trip_after: u32,
+    /// Submissions that must pass over an open (quarantined) replica
+    /// before it is offered a half-open re-admission probe.
+    pub probe_after: u64,
+    /// Consecutive successful probes required to close a half-open
+    /// breaker; also the cap on concurrent half-open probe traffic.
+    pub probes_to_close: u32,
+    /// Retry attempts per request submitted via
+    /// [`Router::submit_with_retry`] (0 disables retries).
+    ///
+    /// [`Router::submit_with_retry`]: crate::Router::submit_with_retry
+    pub max_retries: u32,
+    /// Base of the jittered exponential retry backoff, microseconds.
+    pub backoff_base_us: u64,
+    /// Upper bound on one backoff sleep, microseconds.
+    pub backoff_cap_us: u64,
+    /// Whether served payloads are run through the replica engine's
+    /// integrity screen (`ReplicaEngine::screen`); failures are discarded,
+    /// counted as integrity rejects, and retried like engine errors.
+    pub integrity_screen: bool,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            ewma_alpha: 0.2,
+            trip_after: 3,
+            probe_after: 8,
+            probes_to_close: 2,
+            max_retries: 2,
+            backoff_base_us: 200,
+            backoff_cap_us: 5_000,
+            integrity_screen: true,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Checks the configuration's internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PfError::InvalidScenario`] describing the first problem.
+    pub fn validate(&self) -> Result<(), PfError> {
+        if !(self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0) {
+            return Err(PfError::invalid_scenario(
+                "health ewma_alpha must lie in (0, 1]",
+            ));
+        }
+        if self.trip_after == 0 {
+            return Err(PfError::invalid_scenario(
+                "health trip_after must be at least 1",
+            ));
+        }
+        if self.probes_to_close == 0 {
+            return Err(PfError::invalid_scenario(
+                "health probes_to_close must be at least 1",
+            ));
+        }
+        if self.backoff_cap_us < self.backoff_base_us {
+            return Err(PfError::invalid_scenario(
+                "health backoff_cap_us must be at least backoff_base_us",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Circuit-breaker state of one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow normally.
+    Closed,
+    /// Quarantined: skipped by dispatch until a probe is due.
+    Open,
+    /// Probing for re-admission: bounded probe traffic only.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lower-snake name, used in serialized reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// What one health-state update did, so the collector can bump the
+/// tier-level counters exactly once per event.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct HealthEvents {
+    /// Breaker state changes made by this update.
+    pub(crate) transitions: u64,
+    /// Transitions into `Open` (quarantine events) among them.
+    pub(crate) quarantines: u64,
+}
+
+/// Mutable health record of one replica (lives inside the router's stats
+/// mutex alongside the rest of the accounting).
+#[derive(Debug)]
+pub(crate) struct ReplicaHealth {
+    pub(crate) state: BreakerState,
+    consecutive_failures: u32,
+    skipped_while_open: u64,
+    probe_successes: u32,
+    probes_outstanding: u32,
+    ewma_latency_ms: f64,
+    ewma_error_rate: f64,
+    ewma_primed: bool,
+    transitions: u64,
+    quarantines: u64,
+}
+
+impl ReplicaHealth {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            skipped_while_open: 0,
+            probe_successes: 0,
+            probes_outstanding: 0,
+            ewma_latency_ms: 0.0,
+            ewma_error_rate: 0.0,
+            ewma_primed: false,
+            transitions: 0,
+            quarantines: 0,
+        }
+    }
+
+    fn ewma(&mut self, latency_ms: Option<f64>, error: f64, alpha: f64) {
+        if !self.ewma_primed {
+            self.ewma_latency_ms = latency_ms.unwrap_or(0.0);
+            self.ewma_error_rate = error;
+            self.ewma_primed = true;
+            return;
+        }
+        if let Some(latency_ms) = latency_ms {
+            self.ewma_latency_ms = alpha * latency_ms + (1.0 - alpha) * self.ewma_latency_ms;
+        }
+        self.ewma_error_rate = alpha * error + (1.0 - alpha) * self.ewma_error_rate;
+    }
+
+    /// A dispatch attempt on this replica succeeded.
+    pub(crate) fn on_success(&mut self, cfg: &HealthConfig, latency_ms: f64) -> HealthEvents {
+        self.ewma(Some(latency_ms), 0.0, cfg.ewma_alpha);
+        self.consecutive_failures = 0;
+        self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+        let mut events = HealthEvents::default();
+        if self.state == BreakerState::HalfOpen {
+            self.probe_successes += 1;
+            if self.probe_successes >= cfg.probes_to_close {
+                self.state = BreakerState::Closed;
+                self.transitions += 1;
+                events.transitions += 1;
+            }
+        }
+        events
+    }
+
+    /// A dispatch attempt on this replica failed (engine error or
+    /// integrity reject).
+    pub(crate) fn on_failure(&mut self, cfg: &HealthConfig) -> HealthEvents {
+        self.ewma(None, 1.0, cfg.ewma_alpha);
+        self.consecutive_failures += 1;
+        self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+        let mut events = HealthEvents::default();
+        let trip = match self.state {
+            BreakerState::Closed => self.consecutive_failures >= cfg.trip_after,
+            // One failed probe is enough evidence: back to quarantine.
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.state = BreakerState::Open;
+            self.skipped_while_open = 0;
+            self.probe_successes = 0;
+            self.transitions += 1;
+            self.quarantines += 1;
+            events.transitions += 1;
+            events.quarantines += 1;
+        }
+        events
+    }
+
+    /// A request admitted to this replica resolved without the replica ever
+    /// serving or failing it (expired in queue, abandoned by the caller):
+    /// release any probe slot it held, with no health signal either way.
+    pub(crate) fn on_unjudged(&mut self) {
+        self.probes_outstanding = self.probes_outstanding.saturating_sub(1);
+    }
+
+    /// Gate for one submission: may this replica receive the next request?
+    /// Mutates the open-state skip counter and performs the open →
+    /// half-open transition when a probe is due. Returns the admission
+    /// class for ordering (see [`gate_order`]).
+    pub(crate) fn gate(&mut self, cfg: &HealthConfig) -> (Admission, HealthEvents) {
+        let mut events = HealthEvents::default();
+        let admission = match self.state {
+            BreakerState::Closed => Admission::Normal,
+            BreakerState::Open => {
+                if self.skipped_while_open >= cfg.probe_after {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    self.probes_outstanding = 0;
+                    self.transitions += 1;
+                    events.transitions += 1;
+                    Admission::Probe
+                } else {
+                    self.skipped_while_open += 1;
+                    Admission::Quarantined
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probes_outstanding < cfg.probes_to_close {
+                    Admission::Probe
+                } else {
+                    Admission::Quarantined
+                }
+            }
+        };
+        (admission, events)
+    }
+
+    /// An admission landed on this replica while it was half-open: one
+    /// probe slot is now in flight.
+    pub(crate) fn note_admission(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.probes_outstanding += 1;
+        }
+    }
+
+    pub(crate) fn report(&self) -> ReplicaHealthReport {
+        ReplicaHealthReport {
+            state: self.state.name().to_string(),
+            ewma_latency_ms: self.ewma_latency_ms,
+            ewma_error_rate: self.ewma_error_rate,
+            consecutive_failures: self.consecutive_failures,
+            transitions: self.transitions,
+            quarantines: self.quarantines,
+        }
+    }
+}
+
+/// How the breaker gate classified a replica for one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Closed breaker: dispatch in policy order.
+    Normal,
+    /// Half-open probe slot: dispatch *ahead* of the policy order so
+    /// re-admission probes actually receive traffic.
+    Probe,
+    /// Open breaker (or half-open with all probe slots busy): skip.
+    Quarantined,
+}
+
+/// Health snapshot of one replica, embedded in
+/// [`ReplicaRollup`](crate::ReplicaRollup).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplicaHealthReport {
+    /// Breaker state name: `"closed"`, `"open"` or `"half_open"`.
+    pub state: String,
+    /// EWMA of served-request latency observed by the router, ms.
+    pub ewma_latency_ms: f64,
+    /// EWMA error rate over dispatch attempts, in `[0, 1]`.
+    pub ewma_error_rate: f64,
+    /// Current consecutive-failure streak.
+    pub consecutive_failures: u32,
+    /// Total breaker state changes.
+    pub transitions: u64,
+    /// Transitions into `open` (quarantine events).
+    pub quarantines: u64,
+}
+
+impl Default for ReplicaHealthReport {
+    fn default() -> Self {
+        ReplicaHealth::new().report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            trip_after: 2,
+            probe_after: 3,
+            probes_to_close: 2,
+            ..HealthConfig::default()
+        }
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let cfg = cfg();
+        let mut h = ReplicaHealth::new();
+        assert_eq!(h.state, BreakerState::Closed);
+
+        // Two consecutive failures trip it open.
+        assert_eq!(h.on_failure(&cfg), HealthEvents::default());
+        let events = h.on_failure(&cfg);
+        assert_eq!(events.transitions, 1);
+        assert_eq!(events.quarantines, 1);
+        assert_eq!(h.state, BreakerState::Open);
+
+        // Quarantined until probe_after submissions have passed it over.
+        for _ in 0..3 {
+            let (admission, events) = h.gate(&cfg);
+            assert_eq!(admission, Admission::Quarantined);
+            assert_eq!(events, HealthEvents::default());
+        }
+        let (admission, events) = h.gate(&cfg);
+        assert_eq!(admission, Admission::Probe);
+        assert_eq!(events.transitions, 1);
+        assert_eq!(h.state, BreakerState::HalfOpen);
+
+        // Probe traffic is capped at probes_to_close in flight.
+        h.note_admission();
+        h.note_admission();
+        assert_eq!(h.gate(&cfg).0, Admission::Quarantined);
+
+        // Two probe successes close it.
+        assert_eq!(h.on_success(&cfg, 1.0), HealthEvents::default());
+        assert_eq!(h.gate(&cfg).0, Admission::Probe);
+        let events = h.on_success(&cfg, 1.0);
+        assert_eq!(events.transitions, 1);
+        assert_eq!(events.quarantines, 0);
+        assert_eq!(h.state, BreakerState::Closed);
+        assert_eq!(h.report().transitions, 3);
+        assert_eq!(h.report().quarantines, 1);
+    }
+
+    #[test]
+    fn a_failed_probe_reopens() {
+        let cfg = cfg();
+        let mut h = ReplicaHealth::new();
+        h.on_failure(&cfg);
+        h.on_failure(&cfg);
+        for _ in 0..4 {
+            h.gate(&cfg);
+        }
+        assert_eq!(h.state, BreakerState::HalfOpen);
+        let events = h.on_failure(&cfg);
+        assert_eq!(events.quarantines, 1);
+        assert_eq!(h.state, BreakerState::Open);
+    }
+
+    #[test]
+    fn successes_reset_the_failure_streak() {
+        let cfg = cfg();
+        let mut h = ReplicaHealth::new();
+        h.on_failure(&cfg);
+        h.on_success(&cfg, 2.0);
+        h.on_failure(&cfg);
+        assert_eq!(h.state, BreakerState::Closed, "streak broken by success");
+        let report = h.report();
+        assert_eq!(report.consecutive_failures, 1);
+        assert!(report.ewma_error_rate > 0.0 && report.ewma_error_rate < 1.0);
+    }
+
+    #[test]
+    fn ewma_tracks_latency() {
+        let cfg = HealthConfig {
+            ewma_alpha: 0.5,
+            ..HealthConfig::default()
+        };
+        let mut h = ReplicaHealth::new();
+        h.on_success(&cfg, 10.0);
+        assert!((h.report().ewma_latency_ms - 10.0).abs() < 1e-12);
+        h.on_success(&cfg, 20.0);
+        assert!((h.report().ewma_latency_ms - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_is_validated() {
+        assert!(HealthConfig::default().validate().is_ok());
+        for break_it in [
+            (|c: &mut HealthConfig| c.ewma_alpha = 0.0) as fn(&mut HealthConfig),
+            |c| c.ewma_alpha = 1.5,
+            |c| c.trip_after = 0,
+            |c| c.probes_to_close = 0,
+            |c| c.backoff_cap_us = c.backoff_base_us - 1,
+        ] {
+            let mut c = HealthConfig::default();
+            break_it(&mut c);
+            assert!(c.validate().is_err());
+        }
+    }
+}

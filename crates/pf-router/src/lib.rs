@@ -21,7 +21,13 @@
 //!   deadline-miss rate, shed/reject/spill counts, model-cache hit rates
 //!   via [`ReplicaEngine::cache_stats`]);
 //! * [`Router::drain`] resolves every outstanding ticket deterministically
-//!   before returning the final stats.
+//!   before returning the final stats;
+//! * self-healing: per-replica health scoring (EWMA latency + error
+//!   rate), a closed → open → half-open circuit breaker with quarantine
+//!   and re-admission probes ([`HealthConfig`], [`BreakerState`]),
+//!   deadline-aware retry with jittered exponential backoff for
+//!   idempotent requests ([`Router::submit_with_retry`]), and a NaN/Inf
+//!   integrity screen ([`ReplicaEngine::screen`]).
 //!
 //! The crate is payload-generic (it inherits `pf-serve`'s engine
 //! abstraction); the `photofourier` facade supplies the model-shard engine
@@ -31,10 +37,12 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod health;
 pub mod policy;
 pub mod router;
 pub mod stats;
 
+pub use health::{BreakerState, HealthConfig, ReplicaHealthReport};
 pub use policy::Policy;
 pub use router::{ReplicaEngine, Router, RouterConfig, RouterRequest, RouterTicket};
 pub use stats::{CacheStats, ClassStats, ReplicaRollup, RouterStats};

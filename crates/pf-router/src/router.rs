@@ -10,6 +10,7 @@ use pf_core::{PfError, ServingSpec};
 use pf_serve::{InferenceEngine, RequestTrace, ServeConfig, Server, Ticket};
 use pf_telemetry::Telemetry;
 
+use crate::health::HealthConfig;
 use crate::policy::{HashRing, Policy};
 use crate::stats::{secs_between, Outcome, ReplicaRollup, RouterCollector, RouterStats};
 use crate::CacheStats;
@@ -25,11 +26,27 @@ pub trait ReplicaEngine: InferenceEngine {
     fn cache_stats(&self) -> CacheStats {
         CacheStats::default()
     }
+
+    /// Cheap integrity screen over a served payload: `false` means the
+    /// response is corrupt (e.g. contains NaN/Inf) and must not reach the
+    /// caller. The router runs this on every successful result when
+    /// [`HealthConfig::integrity_screen`] is on, discards failures, and
+    /// counts them as integrity rejects. The default accepts everything.
+    ///
+    /// [`HealthConfig::integrity_screen`]: crate::HealthConfig::integrity_screen
+    fn screen(&self, response: &Self::Response) -> bool {
+        let _ = response;
+        true
+    }
 }
 
 impl<E: ReplicaEngine + ?Sized> ReplicaEngine for Arc<E> {
     fn cache_stats(&self) -> CacheStats {
         (**self).cache_stats()
+    }
+
+    fn screen(&self, response: &Self::Response) -> bool {
+        (**self).screen(response)
     }
 }
 
@@ -61,6 +78,11 @@ pub struct RouterConfig {
     /// zero. Restored (with hysteresis, at half this pressure) when load
     /// subsides.
     pub shrink_at: f64,
+    /// Self-healing knobs: per-replica health scoring, circuit breaker,
+    /// retry/backoff, integrity screen. Defaults apply unless configured in
+    /// code (the scenario schema configures fault *injection*, not
+    /// healing).
+    pub health: HealthConfig,
 }
 
 impl Default for RouterConfig {
@@ -92,6 +114,7 @@ impl RouterConfig {
             slo_p99_ms: router.slo_p99_ms,
             shed_at: router.shed_at,
             shrink_at: router.shrink_at,
+            health: HealthConfig::default(),
         })
     }
 
@@ -112,7 +135,8 @@ impl RouterConfig {
             shrink_at: self.shrink_at,
             ..pf_core::RouterSpec::default()
         });
-        spec.validate()
+        spec.validate()?;
+        self.health.validate()
     }
 
     /// Index of the lowest (only sheddable) priority class.
@@ -168,23 +192,58 @@ impl<Rq> RouterRequest<Rq> {
     }
 }
 
+/// A boxed payload factory, so retries can resubmit without putting a
+/// `Clone` bound on every ticket (only [`Router::submit_with_retry`]
+/// requires `E::Request: Clone`).
+type Replay<Rq> = Box<dyn Fn() -> Rq + Send>;
+
 /// Handle to one routed request. Waiting on the ticket records the
 /// request's outcome (latency, deadline miss, failure kind) in the
-/// router's stats; a ticket dropped without waiting leaves its completion
-/// unrecorded at router level (the replica's own [`pf_serve::ServerStats`]
-/// still counts it).
-#[derive(Debug)]
-pub struct RouterTicket<R> {
-    inner: Ticket<R>,
+/// router's stats — and, for requests submitted via
+/// [`Router::submit_with_retry`], transparently retries failed attempts on
+/// another replica with deadline-aware jittered exponential backoff. A
+/// ticket dropped without waiting leaves its completion unrecorded at
+/// router level (the replica's own [`pf_serve::ServerStats`] still counts
+/// it).
+///
+/// The ticket borrows its router: all tickets must be resolved (or
+/// dropped) before [`Router::drain`] can consume the router.
+pub struct RouterTicket<'r, E: ReplicaEngine + 'static> {
+    router: &'r Router<E>,
+    inner: Option<Ticket<E::Response>>,
     class: usize,
     replica: usize,
+    affinity: u64,
     admitted: Instant,
     deadline: Option<Instant>,
-    collector: Arc<Mutex<RouterCollector>>,
+    replay: Option<Replay<E::Request>>,
+    attempts: u32,
+    backoff_seed: u64,
 }
 
-impl<R> RouterTicket<R> {
-    /// The replica index the request was dispatched to.
+impl<E: ReplicaEngine + 'static> std::fmt::Debug for RouterTicket<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterTicket")
+            .field("seq", &self.seq())
+            .field("class", &self.class)
+            .field("replica", &self.replica)
+            .field("attempts", &self.attempts)
+            .field("retryable", &self.replay.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What one dispatch attempt's resolution decided.
+enum Resolution<R> {
+    /// The request is finished (outcome recorded).
+    Done(Result<R, PfError>),
+    /// The attempt failed but was resubmitted; wait again.
+    Retry,
+}
+
+impl<'r, E: ReplicaEngine + 'static> RouterTicket<'r, E> {
+    /// The replica index the request is currently dispatched to (after a
+    /// retry, the replica of the live attempt).
     pub fn replica(&self) -> usize {
         self.replica
     }
@@ -194,65 +253,197 @@ impl<R> RouterTicket<R> {
         self.class
     }
 
-    /// The replica-server sequence number of the request.
+    /// How many times the request has been retried so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// The replica-server sequence number of the live attempt.
     pub fn seq(&self) -> u64 {
-        self.inner.seq()
+        self.inner.as_ref().map_or(0, Ticket::seq)
     }
 
-    /// Blocks until the request completes; records the outcome.
-    pub fn wait(self) -> Result<R, PfError> {
-        let (result, completed) = self.inner.wait_timed();
-        record(
-            &self.collector,
-            self.class,
-            &result,
-            Some(completed),
-            self.admitted,
-            self.deadline,
-        );
-        result
+    /// Relinquishes the router-side machinery — retries, health scoring
+    /// and per-class outcome recording — and returns the raw
+    /// replica-server [`Ticket`]. The detached handle no longer borrows
+    /// the router, so it can outlive it and be resolved after
+    /// [`Router::drain`]; the dispatch stays counted, but its outcome is
+    /// no longer attributed to a class.
+    pub fn detach(mut self) -> Ticket<E::Response> {
+        self.inner.take().expect("ticket waited once")
     }
 
-    /// Waits up to `timeout`; on timeout the request is abandoned (its
-    /// queue slot reclaimed, counted as `abandoned`).
+    /// Blocks until the request completes (retrying failed attempts if
+    /// submitted via [`Router::submit_with_retry`]); records the outcome.
+    pub fn wait(mut self) -> Result<E::Response, PfError> {
+        loop {
+            let ticket = self.inner.take().expect("ticket waited once");
+            let (result, completed) = ticket.wait_timed();
+            match self.resolve(result, Some(completed), None) {
+                Resolution::Done(result) => return result,
+                Resolution::Retry => {}
+            }
+        }
+    }
+
+    /// Waits up to `timeout` in total (across retries); on timeout the
+    /// live attempt is abandoned (its queue slot reclaimed, counted as
+    /// `abandoned`).
     ///
     /// # Errors
     ///
     /// The request's own error, or [`PfError::DeadlineExceeded`] on
     /// timeout.
-    pub fn wait_deadline(self, timeout: Duration) -> Result<R, PfError> {
-        let (result, completed) = self.inner.wait_deadline_timed(timeout);
-        record(
-            &self.collector,
-            self.class,
-            &result,
-            completed,
-            self.admitted,
-            self.deadline,
-        );
-        result
+    pub fn wait_deadline(mut self, timeout: Duration) -> Result<E::Response, PfError> {
+        let budget = Instant::now() + timeout;
+        loop {
+            let ticket = self.inner.take().expect("ticket waited once");
+            let remaining = budget.saturating_duration_since(Instant::now());
+            let (result, completed) = ticket.wait_deadline_timed(remaining);
+            match self.resolve(result, completed, Some(budget)) {
+                Resolution::Done(result) => return result,
+                Resolution::Retry => {}
+            }
+        }
+    }
+
+    /// Records one attempt's result against replica health and either
+    /// finishes the request (recording its class outcome) or retries it.
+    fn resolve(
+        &mut self,
+        result: Result<E::Response, PfError>,
+        completed: Option<Instant>,
+        budget: Option<Instant>,
+    ) -> Resolution<E::Response> {
+        let health = &self.router.config.health;
+        match (result, completed) {
+            (Ok(response), Some(completed)) => {
+                if health.integrity_screen
+                    && !self.router.replicas[self.replica]
+                        .engine()
+                        .screen(&response)
+                {
+                    let mut collector = self.router.collector.lock();
+                    collector.record_integrity_reject(self.replica);
+                    collector.record_attempt_failure(self.replica);
+                    drop(collector);
+                    let err = PfError::IntegrityViolation {
+                        replica: self.replica,
+                    };
+                    return self.fail_or_retry(err, budget);
+                }
+                let latency_secs = secs_between(self.admitted, completed);
+                let mut collector = self.router.collector.lock();
+                collector.record_attempt_success(self.replica, latency_secs * 1e3);
+                collector.record_outcome(
+                    self.class,
+                    Outcome::Served {
+                        latency_secs,
+                        missed: self.deadline.is_some_and(|d| completed > d),
+                    },
+                );
+                Resolution::Done(Ok(response))
+            }
+            (Ok(_), None) => unreachable!("a served result always has a completion instant"),
+            (Err(e @ PfError::DeadlineExceeded { stage: "queued" }), _) => {
+                let mut collector = self.router.collector.lock();
+                collector.release_probe(self.replica);
+                collector.record_outcome(self.class, Outcome::Expired);
+                Resolution::Done(Err(e))
+            }
+            (Err(e @ PfError::DeadlineExceeded { .. }), _) => {
+                let mut collector = self.router.collector.lock();
+                collector.release_probe(self.replica);
+                collector.record_outcome(self.class, Outcome::Abandoned);
+                Resolution::Done(Err(e))
+            }
+            (Err(e), _) => {
+                self.router
+                    .collector
+                    .lock()
+                    .record_attempt_failure(self.replica);
+                self.fail_or_retry(e, budget)
+            }
+        }
+    }
+
+    /// After a failed attempt (health already updated): retry if the
+    /// request is retryable and time allows, else record the final failure.
+    fn fail_or_retry(&mut self, err: PfError, budget: Option<Instant>) -> Resolution<E::Response> {
+        if self.try_retry(budget) {
+            return Resolution::Retry;
+        }
+        self.router
+            .collector
+            .lock()
+            .record_outcome(self.class, Outcome::Failed);
+        Resolution::Done(Err(err))
+    }
+
+    /// Attempts to resubmit the request: backs off (jittered exponential,
+    /// abandoned if the deadline or wait budget would pass), then offers
+    /// the payload to the breaker-gated dispatch order, preferring any
+    /// replica other than the one that just failed. Returns `false` if the
+    /// request is not retryable, out of attempts, out of time, or no
+    /// replica admits it.
+    fn try_retry(&mut self, budget: Option<Instant>) -> bool {
+        let health = &self.router.config.health;
+        let Some(replay) = &self.replay else {
+            return false;
+        };
+        if self.attempts >= health.max_retries {
+            return false;
+        }
+        let exp = health
+            .backoff_base_us
+            .saturating_mul(1u64 << self.attempts.min(20));
+        let jitter = 0.5
+            + 0.5 * unit_from_bits(splitmix64(self.backoff_seed ^ u64::from(self.attempts + 1)));
+        let delay = Duration::from_micros((exp.min(health.backoff_cap_us) as f64 * jitter) as u64);
+        let now = Instant::now();
+        // Deadline-aware: a retry that cannot complete in time is pointless.
+        if [self.deadline, budget]
+            .into_iter()
+            .flatten()
+            .any(|limit| now + delay >= limit)
+        {
+            return false;
+        }
+        std::thread::sleep(delay);
+
+        let mut order = self.router.gated_order(self.affinity);
+        if order.len() > 1 {
+            order.retain(|&r| r != self.replica);
+        }
+        let mut payload = replay();
+        for &replica in &order {
+            match self.router.replicas[replica].try_submit_traced(payload, self.deadline, None) {
+                Ok(ticket) => {
+                    self.router.collector.lock().record_retry(replica);
+                    self.attempts += 1;
+                    self.replica = replica;
+                    self.inner = Some(ticket);
+                    return true;
+                }
+                Err((returned, PfError::Overloaded { .. })) => payload = returned,
+                Err(_) => return false,
+            }
+        }
+        false
     }
 }
 
-fn record<R>(
-    collector: &Mutex<RouterCollector>,
-    class: usize,
-    result: &Result<R, PfError>,
-    completed: Option<Instant>,
-    admitted: Instant,
-    deadline: Option<Instant>,
-) {
-    let outcome = match (result, completed) {
-        (Ok(_), Some(completed)) => Outcome::Served {
-            latency_secs: secs_between(admitted, completed),
-            missed: deadline.is_some_and(|d| completed > d),
-        },
-        (Ok(_), None) => unreachable!("a served result always has a completion instant"),
-        (Err(PfError::DeadlineExceeded { stage: "queued" }), _) => Outcome::Expired,
-        (Err(PfError::DeadlineExceeded { .. }), _) => Outcome::Abandoned,
-        (Err(_), _) => Outcome::Failed,
-    };
-    collector.lock().record_outcome(class, outcome);
+/// SplitMix64, for deterministic backoff jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps 64 random bits onto `[0, 1)`.
+fn unit_from_bits(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// A multi-replica SLO-aware serving tier.
@@ -339,6 +530,7 @@ impl<E: ReplicaEngine + 'static> Router<E> {
         let collector = Arc::new(Mutex::new(RouterCollector::new(
             config.priority_classes.len(),
             config.replicas,
+            config.health,
             &telemetry,
         )));
         Ok(Self {
@@ -392,7 +584,39 @@ impl<E: ReplicaEngine + 'static> Router<E> {
     pub fn submit(
         &self,
         request: RouterRequest<E::Request>,
-    ) -> Result<RouterTicket<E::Response>, PfError> {
+    ) -> Result<RouterTicket<'_, E>, PfError> {
+        self.submit_inner(request, None)
+    }
+
+    /// Like [`Router::submit`], but the request is marked **idempotent**:
+    /// if an attempt fails (engine error, injected fault, integrity
+    /// rejection), waiting on the ticket transparently resubmits the
+    /// payload — preferring a different replica — with deadline-aware
+    /// jittered exponential backoff, up to
+    /// [`crate::HealthConfig::max_retries`] times. Only side-effect-free
+    /// requests should use this path; the router cannot tell whether a
+    /// failed attempt partially executed.
+    ///
+    /// # Errors
+    ///
+    /// Same admission-time conditions as [`Router::submit`] (retry only
+    /// covers failures *after* admission).
+    pub fn submit_with_retry(
+        &self,
+        request: RouterRequest<E::Request>,
+    ) -> Result<RouterTicket<'_, E>, PfError>
+    where
+        E::Request: Clone,
+    {
+        let template = request.payload.clone();
+        self.submit_inner(request, Some(Box::new(move || template.clone())))
+    }
+
+    fn submit_inner(
+        &self,
+        request: RouterRequest<E::Request>,
+        replay: Option<Replay<E::Request>>,
+    ) -> Result<RouterTicket<'_, E>, PfError> {
         let RouterRequest {
             payload,
             class,
@@ -423,9 +647,9 @@ impl<E: ReplicaEngine + 'static> Router<E> {
             });
         }
 
-        // Stages 3-4: dispatch in policy order, spilling past full
-        // replicas; reject only when every queue is full.
-        let order = self.dispatch_order(affinity);
+        // Stages 3-4: dispatch in breaker-gated policy order, spilling
+        // past full replicas; reject only when every queue is full.
+        let order = self.gated_order(affinity);
         let admitted = Instant::now();
         // Mint the request's tracing identity here — router admission is
         // where the request enters the serving stack. The admission span
@@ -451,13 +675,18 @@ impl<E: ReplicaEngine + 'static> Router<E> {
                     self.collector
                         .lock()
                         .record_admitted(class, replica, attempt > 0);
+                    let backoff_seed = ticket.seq();
                     return Ok(RouterTicket {
-                        inner: ticket,
+                        router: self,
+                        inner: Some(ticket),
                         class,
                         replica,
+                        affinity,
                         admitted,
                         deadline,
-                        collector: Arc::clone(&self.collector),
+                        replay,
+                        attempts: 0,
+                        backoff_seed,
                     });
                 }
                 Err((returned, e @ PfError::Overloaded { .. })) => {
@@ -507,6 +736,19 @@ impl<E: ReplicaEngine + 'static> Router<E> {
         }
     }
 
+    /// The policy's dispatch order filtered through each replica's circuit
+    /// breaker: quarantined (open) replicas are skipped, half-open
+    /// replicas admit a limited number of probe requests (moved to the
+    /// front so probes are not starved by healthy replicas). If the
+    /// breakers would leave nothing to dispatch to, the raw policy order
+    /// is used instead — total unavailability degrades to normal spill
+    /// behaviour rather than an artificial reject.
+    fn gated_order(&self, affinity: u64) -> Vec<usize> {
+        self.collector
+            .lock()
+            .gate_order(self.dispatch_order(affinity))
+    }
+
     /// A mid-flight snapshot of the router's accounting.
     pub fn stats(&self) -> RouterStats {
         let collector = self.collector.lock();
@@ -517,6 +759,7 @@ impl<E: ReplicaEngine + 'static> Router<E> {
             .map(|(i, server)| ReplicaRollup {
                 replica: i,
                 dispatched: collector.dispatched(i),
+                health: collector.health_report(i),
                 server: server.stats(),
                 cache: server.engine().cache_stats(),
             })
@@ -530,12 +773,25 @@ impl<E: ReplicaEngine + 'static> Router<E> {
 
     /// Drains every replica (stopping admissions, resolving every
     /// outstanding ticket) and returns the final stats.
-    pub fn drain(self) -> RouterStats {
+    ///
+    /// # Errors
+    ///
+    /// [`PfError::WorkerPanicked`] if any replica's worker thread
+    /// panicked (every replica is still joined first, so no thread is
+    /// leaked).
+    pub fn drain(self) -> Result<RouterStats, PfError> {
         let mut rollups = Vec::with_capacity(self.replicas.len());
+        let mut panicked = 0usize;
         for (i, server) in self.replicas.into_iter().enumerate() {
             let cache = server.engine().cache_stats();
-            let server_stats = server.shutdown();
-            rollups.push((i, server_stats, cache));
+            match server.shutdown() {
+                Ok(server_stats) => rollups.push((i, server_stats, cache)),
+                Err(PfError::WorkerPanicked { workers }) => panicked += workers,
+                Err(e) => return Err(e),
+            }
+        }
+        if panicked > 0 {
+            return Err(PfError::WorkerPanicked { workers: panicked });
         }
         let collector = self.collector.lock();
         let rollups = rollups
@@ -543,14 +799,15 @@ impl<E: ReplicaEngine + 'static> Router<E> {
             .map(|(i, server, cache)| ReplicaRollup {
                 replica: i,
                 dispatched: collector.dispatched(i),
+                health: collector.health_report(i),
                 server,
                 cache,
             })
             .collect();
-        collector.snapshot(
+        Ok(collector.snapshot(
             self.config.policy.name(),
             &self.config.priority_classes,
             rollups,
-        )
+        ))
     }
 }

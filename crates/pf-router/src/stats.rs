@@ -13,6 +13,8 @@ use pf_serve::{LatencySummary, ServerStats};
 use pf_telemetry::{Counter, Telemetry};
 use serde::{Deserialize, Serialize};
 
+use crate::health::{Admission, HealthConfig, HealthEvents, ReplicaHealth, ReplicaHealthReport};
+
 /// Model-session cache counters of one replica's engine (see
 /// `ReplicaEngine::cache_stats`): how often a request found its model's
 /// session — and with it the model's prepared-kernel spectra — already
@@ -83,6 +85,9 @@ pub struct ReplicaRollup {
     pub server: ServerStats,
     /// The replica engine's model-session cache counters.
     pub cache: CacheStats,
+    /// The replica's health record: breaker state, EWMA latency/error
+    /// scores, quarantine history.
+    pub health: ReplicaHealthReport,
 }
 
 /// Snapshot of a router's accounting, from [`crate::Router::stats`]
@@ -109,6 +114,19 @@ pub struct RouterStats {
     pub window_shrinks: u64,
     /// Served requests (all classes) that completed after their deadline.
     pub deadline_misses: u64,
+    /// Failed dispatch attempts that were resubmitted to another replica
+    /// (`Router::submit_with_retry` traffic only). A retry re-dispatches an
+    /// already-admitted request, so retries do **not** count into
+    /// `admitted` — the `submitted == admitted + shed + rejected` invariant
+    /// is unchanged.
+    pub retries: u64,
+    /// Circuit-breaker state changes across all replicas (closed → open,
+    /// open → half-open, half-open → closed/open).
+    pub breaker_transitions: u64,
+    /// Transitions into the open state (replica quarantine events).
+    pub quarantined: u64,
+    /// Served payloads discarded by the NaN/Inf integrity screen.
+    pub integrity_rejects: u64,
     /// Router-observed end-to-end latency over all served requests.
     pub latency: LatencySummary,
     /// Per-class rollups, in configured priority order (highest first).
@@ -186,34 +204,120 @@ struct ClassAcc {
 pub(crate) struct RouterCollector {
     classes: Vec<ClassAcc>,
     dispatched: Vec<u64>,
+    health_config: HealthConfig,
+    health: Vec<ReplicaHealth>,
     admitted: Counter,
     shed: Counter,
     rejected: Counter,
     spills: Counter,
     window_shrinks: Counter,
+    retries: Counter,
+    breaker_transitions: Counter,
+    quarantined: Counter,
+    integrity_rejects: Counter,
 }
 
 impl RouterCollector {
-    pub(crate) fn new(classes: usize, replicas: usize, tel: &Telemetry) -> Self {
+    pub(crate) fn new(
+        classes: usize,
+        replicas: usize,
+        health_config: HealthConfig,
+        tel: &Telemetry,
+    ) -> Self {
         let tel = tel.or_private();
         Self {
             classes: (0..classes).map(|_| ClassAcc::default()).collect(),
             dispatched: vec![0; replicas],
+            health_config,
+            health: (0..replicas).map(|_| ReplicaHealth::new()).collect(),
             admitted: tel.counter("router.admitted"),
             shed: tel.counter("router.shed"),
             rejected: tel.counter("router.rejected"),
             spills: tel.counter("router.spills"),
             window_shrinks: tel.counter("router.window_shrinks"),
+            retries: tel.counter("router.retries"),
+            breaker_transitions: tel.counter("router.breaker_transitions"),
+            quarantined: tel.counter("router.quarantined"),
+            integrity_rejects: tel.counter("router.integrity_rejects"),
         }
+    }
+
+    fn bump(&self, events: HealthEvents) {
+        self.breaker_transitions.add(events.transitions);
+        self.quarantined.add(events.quarantines);
     }
 
     pub(crate) fn record_admitted(&mut self, class: usize, replica: usize, spilled: bool) {
         self.classes[class].admitted += 1;
         self.dispatched[replica] += 1;
+        self.health[replica].note_admission();
         self.admitted.inc();
         if spilled {
             self.spills.inc();
         }
+    }
+
+    /// A failed attempt of an already-admitted request was resubmitted and
+    /// landed on `replica`. Counts into `dispatched` (the replica will do
+    /// the work) but not into `admitted`.
+    pub(crate) fn record_retry(&mut self, replica: usize) {
+        self.dispatched[replica] += 1;
+        self.health[replica].note_admission();
+        self.retries.inc();
+    }
+
+    /// One dispatch attempt on `replica` served successfully.
+    pub(crate) fn record_attempt_success(&mut self, replica: usize, latency_ms: f64) {
+        let events = self.health[replica].on_success(&self.health_config, latency_ms);
+        self.bump(events);
+    }
+
+    /// One dispatch attempt on `replica` failed (engine error or integrity
+    /// reject) — whether or not the request will be retried.
+    pub(crate) fn record_attempt_failure(&mut self, replica: usize) {
+        let events = self.health[replica].on_failure(&self.health_config);
+        self.bump(events);
+    }
+
+    /// A served payload from `replica` failed the integrity screen.
+    pub(crate) fn record_integrity_reject(&mut self, replica: usize) {
+        let _ = replica;
+        self.integrity_rejects.inc();
+    }
+
+    /// A request admitted to `replica` resolved with no verdict on the
+    /// replica itself (expired in queue / abandoned by caller).
+    pub(crate) fn release_probe(&mut self, replica: usize) {
+        self.health[replica].on_unjudged();
+    }
+
+    /// Applies the circuit breaker to one submission's policy order:
+    /// half-open probes first (bounded), then closed replicas in policy
+    /// order; open replicas are skipped (and their probe countdown
+    /// advanced). Falls back to the unfiltered order if quarantine would
+    /// leave nothing — a fully-quarantined tier still serves rather than
+    /// failing every request outright.
+    pub(crate) fn gate_order(&mut self, order: Vec<usize>) -> Vec<usize> {
+        let mut probes = Vec::new();
+        let mut normal = Vec::new();
+        for &replica in &order {
+            let (admission, events) = self.health[replica].gate(&self.health_config);
+            self.bump(events);
+            match admission {
+                Admission::Normal => normal.push(replica),
+                Admission::Probe => probes.push(replica),
+                Admission::Quarantined => {}
+            }
+        }
+        if probes.is_empty() && normal.is_empty() {
+            return order;
+        }
+        probes.extend(normal);
+        probes
+    }
+
+    pub(crate) fn health_report(&self, replica: usize) -> ReplicaHealthReport {
+        self.health[replica].report()
     }
 
     pub(crate) fn record_shed(&mut self, class: usize) {
@@ -287,6 +391,10 @@ impl RouterCollector {
             spills: self.spills.value(),
             window_shrinks: self.window_shrinks.value(),
             deadline_misses: classes.iter().map(|c| c.deadline_misses).sum(),
+            retries: self.retries.value(),
+            breaker_transitions: self.breaker_transitions.value(),
+            quarantined: self.quarantined.value(),
+            integrity_rejects: self.integrity_rejects.value(),
             latency: LatencySummary::from_samples_secs(&all_samples),
             classes,
             replicas,
@@ -314,7 +422,7 @@ mod tests {
     #[test]
     fn collector_rolls_up_per_class_and_aggregate() {
         let tel = Telemetry::enabled();
-        let mut c = RouterCollector::new(2, 2, &tel);
+        let mut c = RouterCollector::new(2, 2, HealthConfig::default(), &tel);
         c.record_admitted(0, 0, false);
         c.record_admitted(0, 1, true);
         c.record_admitted(1, 0, false);
@@ -393,18 +501,67 @@ mod tests {
 
     #[test]
     fn router_stats_serialize() {
-        let stats = RouterCollector::new(1, 1, &Telemetry::disabled()).snapshot(
-            "round_robin",
-            &["only".to_string()],
-            vec![ReplicaRollup {
-                replica: 0,
-                dispatched: 0,
-                server: ServerStats::default(),
-                cache: CacheStats::default(),
-            }],
-        );
+        let stats = RouterCollector::new(1, 1, HealthConfig::default(), &Telemetry::disabled())
+            .snapshot(
+                "round_robin",
+                &["only".to_string()],
+                vec![ReplicaRollup {
+                    replica: 0,
+                    dispatched: 0,
+                    server: ServerStats::default(),
+                    cache: CacheStats::default(),
+                    health: ReplicaHealthReport::default(),
+                }],
+            );
         let json = serde_json::to_string(&stats).unwrap();
         let back: RouterStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn attempt_accounting_drives_breaker_and_counters() {
+        let tel = Telemetry::enabled();
+        let health = HealthConfig {
+            trip_after: 2,
+            probe_after: 1,
+            probes_to_close: 1,
+            ..HealthConfig::default()
+        };
+        let mut c = RouterCollector::new(1, 2, health, &tel);
+        // Two failures on replica 0 trip its breaker; replica 1 untouched.
+        c.record_attempt_failure(0);
+        c.record_attempt_failure(0);
+        assert_eq!(c.health_report(0).state, "open");
+        assert_eq!(c.health_report(1).state, "closed");
+        // The gate skips replica 0 on the first pass (probe countdown), then
+        // offers it a probe — ahead of the policy order.
+        assert_eq!(c.gate_order(vec![0, 1]), vec![1]);
+        assert_eq!(c.gate_order(vec![0, 1]), vec![0, 1]);
+        assert_eq!(c.health_report(0).state, "half_open");
+        // A retry dispatch lands the probe; success closes the breaker.
+        c.record_retry(0);
+        c.record_attempt_success(0, 5.0);
+        assert_eq!(c.health_report(0).state, "closed");
+        c.record_integrity_reject(1);
+
+        let names = vec!["only".to_string()];
+        let stats = c.snapshot("round_robin", &names, Vec::new());
+        assert_eq!(stats.retries, 1);
+        // closed->open, open->half_open, half_open->closed.
+        assert_eq!(stats.breaker_transitions, 3);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.integrity_rejects, 1);
+        assert_eq!(c.dispatched(0), 1, "retry dispatch counts as work");
+        // Retries never inflate the admission invariant.
+        assert_eq!(
+            stats.submitted,
+            stats.admitted + stats.shed + stats.rejected
+        );
+
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("router.retries"), 1);
+        assert_eq!(snap.counter("router.breaker_transitions"), 3);
+        assert_eq!(snap.counter("router.quarantined"), 1);
+        assert_eq!(snap.counter("router.integrity_rejects"), 1);
     }
 }

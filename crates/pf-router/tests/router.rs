@@ -10,7 +10,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 use pf_core::PfError;
-use pf_router::{CacheStats, Policy, ReplicaEngine, Router, RouterConfig, RouterRequest};
+use pf_router::{
+    CacheStats, HealthConfig, Policy, ReplicaEngine, Router, RouterConfig, RouterRequest,
+};
 use pf_serve::{InferenceEngine, ServeConfig};
 
 /// Echo engine that remembers which replica it is and which affinity keys
@@ -156,6 +158,7 @@ fn config(policy: Policy, replicas: usize, queue_depth: usize) -> RouterConfig {
         slo_p99_ms: 250.0,
         shed_at: 0.75,
         shrink_at: 0.5,
+        health: HealthConfig::default(),
     }
 }
 
@@ -176,7 +179,7 @@ fn round_trip_over_replicas_and_drain_resolves_everything() {
         let (_, doubled) = ticket.wait().unwrap();
         assert_eq!(doubled, i as f64 * 2.0);
     }
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.admitted, 30);
     assert_eq!(stats.served(), 30);
     assert_eq!(stats.shed, 0);
@@ -217,7 +220,7 @@ fn kernel_affinity_beats_round_robin_on_cache_hits() {
         for t in tickets {
             t.wait().unwrap();
         }
-        router.drain()
+        router.drain().unwrap()
     };
 
     let affinity = run(Policy::KernelAffinity);
@@ -263,7 +266,7 @@ fn least_loaded_prefers_the_empty_replica() {
     t0.wait().unwrap();
     q1.wait().unwrap();
     q2.wait().unwrap();
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.replicas[0].dispatched, 2);
     assert_eq!(stats.replicas[1].dispatched, 1);
 }
@@ -307,7 +310,7 @@ fn affinity_spills_past_a_full_home_replica() {
     for t in [t1, t2, t3, t4] {
         t.wait().unwrap();
     }
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.spills, 1);
     assert_eq!(stats.rejected, 0);
     assert_eq!(stats.replicas[home].dispatched, 3);
@@ -380,7 +383,7 @@ fn shed_hits_only_the_lowest_class_and_spill_precedes_reject() {
     high1.wait().unwrap();
     high2.wait().unwrap();
 
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.shed, 1);
     assert_eq!(stats.rejected, 1);
     assert_eq!(stats.window_shrinks, 1);
@@ -427,7 +430,7 @@ fn expired_requests_are_never_dispatched_and_counted_per_class() {
     for t in blockers {
         t.wait().unwrap();
     }
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.class("standard").unwrap().expired, 1);
     assert_eq!(stats.served(), 2);
     assert_eq!(
@@ -482,7 +485,7 @@ fn abandoned_tickets_and_deadline_misses_are_distinct() {
     gate.open();
     late.wait().unwrap();
 
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     let interactive = stats.class("interactive").unwrap();
     assert_eq!(interactive.abandoned, 1);
     assert_eq!(interactive.served, 2);
@@ -524,7 +527,7 @@ fn windows_restore_when_pressure_subsides() {
     let last = router.submit(RouterRequest::new((0, 9.0))).unwrap();
     assert!(!router.windows_shrunk());
     last.wait().unwrap();
-    router.drain();
+    router.drain().unwrap();
 }
 
 #[test]
@@ -537,7 +540,7 @@ fn invalid_class_is_an_error_not_traffic() {
         Err(PfError::InvalidScenario { reason }) => assert!(reason.contains("class")),
         other => panic!("expected InvalidScenario, got {other:?}"),
     }
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.submitted, 0);
 }
 

@@ -524,18 +524,22 @@ impl<E: InferenceEngine + 'static> Server<E> {
     /// they fail that batch's tickets and show up in [`ServerStats::failed`]
     /// rather than killing a worker.)
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a worker thread itself panicked (a server bug, not an
-    /// engine failure).
-    pub fn shutdown(mut self) -> ServerStats {
+    /// Returns [`PfError::WorkerPanicked`] if a worker thread itself
+    /// panicked (a server bug, not an engine failure). All workers are
+    /// still joined first, so no thread is leaked; the final stats are
+    /// unavailable because a dead worker's accounting may be incomplete.
+    pub fn shutdown(mut self) -> Result<ServerStats, PfError> {
         self.begin_shutdown();
-        let mut worker_panicked = false;
+        let mut panicked = 0usize;
         for handle in self.workers.drain(..) {
-            worker_panicked |= handle.join().is_err();
+            panicked += usize::from(handle.join().is_err());
         }
-        assert!(!worker_panicked, "a pf-serve worker thread panicked");
-        self.stats()
+        if panicked > 0 {
+            return Err(PfError::WorkerPanicked { workers: panicked });
+        }
+        Ok(self.stats())
     }
 
     fn begin_shutdown(&self) {

@@ -131,7 +131,7 @@ fn submit_blocking_round_trips() {
     let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
     let out = server.submit_blocking(21.0).unwrap();
     assert_eq!(out, 42.0);
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.submitted, 1);
     assert_eq!(stats.served, 1);
     assert_eq!(stats.rejected, 0);
@@ -147,7 +147,7 @@ fn every_ticket_resolves_and_seqs_are_submission_order() {
     for (i, ticket) in tickets.into_iter().enumerate() {
         assert_eq!(ticket.wait().unwrap(), i as f64 * 2.0);
     }
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.served, 20);
     assert_eq!(five_way(&stats), stats.submitted);
 }
@@ -160,7 +160,7 @@ fn engine_sees_every_seq_exactly_once() {
     for ticket in tickets {
         ticket.wait().unwrap();
     }
-    server.shutdown();
+    server.shutdown().unwrap();
     let mut seqs = engine.seen_seqs.lock().clone();
     seqs.sort_unstable();
     assert_eq!(seqs, (0..16).collect::<Vec<u64>>());
@@ -201,7 +201,7 @@ fn overload_is_deterministic_and_explicit() {
     assert_eq!(t2.wait().unwrap(), 2.0);
     assert_eq!(t3.wait().unwrap(), 3.0);
 
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.submitted, 4);
     assert_eq!(stats.served, 3);
     assert_eq!(stats.rejected, 1);
@@ -236,7 +236,7 @@ fn batcher_forms_micro_batches_up_to_max_batch() {
         ticket.wait().unwrap();
     }
 
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.served, 9);
     let histogram: Vec<(usize, u64)> = stats
         .batch_histogram
@@ -252,7 +252,7 @@ fn batcher_forms_micro_batches_up_to_max_batch() {
 fn shutdown_drains_every_accepted_request() {
     let server = Server::new(EchoEngine::default(), quick_config()).unwrap();
     let tickets: Vec<_> = (0..50).map(|i| server.submit(i as f64).unwrap()).collect();
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.served, 50);
     // Every ticket is already resolved — no blocking possible here.
     for (i, ticket) in tickets.into_iter().enumerate() {
@@ -268,7 +268,7 @@ fn mid_flight_snapshot_settles_at_shutdown() {
     let snapshot = server.stats();
     assert_eq!(snapshot.submitted, 1);
     assert_eq!(snapshot.served, 1);
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats, snapshot, "nothing submitted in between");
 }
 
@@ -277,7 +277,7 @@ fn engine_errors_fail_the_batch_but_keep_accounting() {
     let server = Server::new(FailingEngine, quick_config()).unwrap();
     let t = server.submit(1.0).unwrap();
     assert!(t.wait().is_err());
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.submitted, 1);
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.served, 0);
@@ -293,7 +293,7 @@ fn engine_panics_fail_the_batch_without_stranding_anyone() {
     assert!(err.to_string().contains("panicked"), "{err}");
     // The worker survived: the server keeps serving.
     assert_eq!(server.submit_blocking(2.0).unwrap(), 2.0);
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.served, 1);
     assert_eq!(five_way(&stats), stats.submitted);
@@ -318,7 +318,7 @@ fn multiple_workers_serve_concurrently() {
             });
         }
     });
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.served, 30);
     assert_eq!(stats.rejected, 0);
     let mut seqs = engine.seen_seqs.lock().clone();
@@ -347,7 +347,7 @@ fn non_tensor_payloads_are_first_class() {
     let server = Server::new(KeyedEngine, quick_config()).unwrap();
     let out = server.submit_blocking((7, "img".into())).unwrap();
     assert_eq!(out, "7:img");
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 #[test]
@@ -379,7 +379,7 @@ fn expired_requests_are_never_dispatched() {
     assert_eq!(blocker.wait().unwrap(), 1.0);
     assert_eq!(live.wait().unwrap(), 3.0);
 
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.expired, 1);
     assert_eq!(stats.served, 2);
     assert_eq!(stats.failed, 0);
@@ -397,7 +397,7 @@ fn wait_deadline_returns_in_time_when_result_is_ready() {
     let ticket = server.submit(5.0).unwrap();
     let out = ticket.wait_deadline(Duration::from_secs(10)).unwrap();
     assert_eq!(out, 10.0);
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.served, 1);
     assert_eq!(stats.cancelled, 0);
 }
@@ -425,7 +425,7 @@ fn abandoned_tickets_are_cancelled_not_failed() {
 
     engine.grant(2);
     assert_eq!(blocker.wait().unwrap(), 1.0);
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.cancelled, 1, "slot reclaimed, counted as cancelled");
     assert_eq!(stats.failed, 0, "a client timeout is not an engine failure");
     assert_eq!(stats.served, 1);
@@ -452,7 +452,7 @@ fn wait_timed_reports_the_completion_instant() {
         completed <= observed,
         "completion was stamped when the engine finished, not when wait_timed ran"
     );
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 #[test]
@@ -466,7 +466,7 @@ fn batch_window_is_adjustable_and_capped() {
     // The window can only shrink relative to the configured timeout.
     server.set_batch_window(Duration::from_secs(60));
     assert_eq!(server.batch_window(), quick_config().batch_timeout);
-    server.shutdown();
+    server.shutdown().unwrap();
 }
 
 #[test]
@@ -477,6 +477,6 @@ fn auto_sized_workers_still_serve() {
     };
     let server = Server::new(EchoEngine::default(), config).unwrap();
     assert_eq!(server.submit_blocking(3.0).unwrap(), 6.0);
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.served, 1);
 }

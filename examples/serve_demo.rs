@@ -55,7 +55,7 @@ fn main() -> Result<(), PfError> {
     });
 
     // Shutdown drains deterministically and settles the accounting.
-    let stats = server.shutdown();
+    let stats = server.shutdown()?;
     println!();
     println!(
         "submitted {}  served {}  rejected {}",

@@ -116,9 +116,9 @@ pub use pf_telemetry as telemetry;
 pub use pf_tiling as tiling;
 
 pub use pf_core::{
-    network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FunctionalSpec,
-    PfError, RouterSpec, Scenario, ServingSpec, SweepPlan, SweepPoint, SweepSpec, NETWORK_REGISTRY,
-    ROUTER_POLICIES,
+    network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FaultWindowSpec,
+    FaultsSpec, FunctionalSpec, PfError, RouterSpec, Scenario, ServingSpec, SweepPlan, SweepPoint,
+    SweepSpec, FAULT_KINDS, NETWORK_REGISTRY, ROUTER_POLICIES,
 };
 pub use pf_telemetry::{MetricsSnapshot, Stage, StageTotals, Telemetry};
 pub use route::{ModelRequest, ModelShardEngine, SessionRouter};
@@ -150,9 +150,9 @@ pub mod prelude {
     pub use crate::session::{Session, SessionBuilder};
     pub use crate::sweep::{SweepPointResult, SweepReport, SweepRunner};
     pub use pf_core::{
-        network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FunctionalSpec,
-        PfError, RouterSpec, Scenario, ServingSpec, SweepPlan, SweepPoint, SweepSpec,
-        NETWORK_REGISTRY, ROUTER_POLICIES,
+        network_by_name, ArchPreset, ArchSpec, Backend, BackendKind, BackendSpec, FaultWindowSpec,
+        FaultsSpec, FunctionalSpec, PfError, RouterSpec, Scenario, ServingSpec, SweepPlan,
+        SweepPoint, SweepSpec, FAULT_KINDS, NETWORK_REGISTRY, ROUTER_POLICIES,
     };
     pub use pf_router::{Router, RouterConfig, RouterRequest, RouterStats, RouterTicket};
     pub use pf_telemetry::{MetricsSnapshot, SpanEvent, Stage, StageTotals, Telemetry};

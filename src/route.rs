@@ -23,7 +23,7 @@
 //! let ticket = router.submit(RouterRequest::new(request).with_affinity(2))?;
 //! let features = ticket.wait()?;
 //!
-//! let stats = router.drain();
+//! let stats = router.drain()?;
 //! println!("p99: {:.2} ms, cache hit rate: {:.0}%",
 //!     stats.latency.p99_ms, stats.cache().hit_rate() * 100.0);
 //! # Ok::<(), photofourier::PfError>(())
@@ -38,9 +38,10 @@ use pf_nn::Tensor;
 use pf_serve::InferenceEngine;
 use pf_telemetry::Telemetry;
 
+pub use pf_faults::{Corruption, FaultCounts, FaultPlan, FaultyEngine};
 pub use pf_router::{
-    CacheStats, Policy, ReplicaEngine, Router, RouterConfig, RouterRequest, RouterStats,
-    RouterTicket,
+    BreakerState, CacheStats, HealthConfig, Policy, ReplicaEngine, ReplicaHealthReport, Router,
+    RouterConfig, RouterRequest, RouterStats, RouterTicket,
 };
 
 use crate::session::Session;
@@ -238,6 +239,14 @@ impl ReplicaEngine for ModelShardEngine {
             misses: self.misses.load(Ordering::Relaxed),
         }
     }
+
+    /// A served feature tensor is sane only if every element is finite:
+    /// one NaN or Inf (e.g. injected detector corruption) taints any
+    /// downstream computation silently, so the router discards the
+    /// response and retries instead of delivering it.
+    fn screen(&self, response: &Tensor) -> bool {
+        response.data().iter().all(|v| v.is_finite())
+    }
 }
 
 /// Builds a routing tier from a scenario: replica count, policy, priority
@@ -305,6 +314,97 @@ pub fn route_session_traced(
     Router::with_telemetry(config, telemetry, |_replica| {
         ModelShardEngine::with_telemetry(Arc::clone(&base), spec.replica_cache, shard_tel.clone())
     })
+}
+
+/// One chaos replica: a [`ModelShardEngine`] wrapped in a deterministic
+/// fault injector. The `Arc` is shared between the router (which serves
+/// through it) and the chaos harness (which reads
+/// [`FaultyEngine::counts`] for the determinism gate).
+pub type ChaosShard = Arc<FaultyEngine<ModelShardEngine>>;
+
+/// A routing tier whose replicas inject faults per the scenario's
+/// `[faults]` plan.
+pub type ChaosRouter = Router<ChaosShard>;
+
+/// Like [`route_scenario`], but every replica is wrapped in a
+/// [`FaultyEngine`]: the scenario's `[faults]` plan is installed on its
+/// target replica (an empty plan elsewhere), with a [`Tensor`] corruptor
+/// that writes NaN/Inf into the first element or scales the payload by the
+/// drift gain. Returns the router plus one [`ChaosShard`] handle per
+/// replica, in replica order, so the harness can read injected-fault
+/// counts without tearing the router down.
+///
+/// A scenario without a `[faults]` section yields pure passthrough
+/// wrappers — useful as the control arm of a chaos experiment.
+///
+/// # Errors
+///
+/// Propagates configuration validation and session construction errors.
+pub fn chaos_scenario(scenario: Scenario) -> Result<(ChaosRouter, Vec<ChaosShard>), PfError> {
+    chaos_scenario_traced(scenario, Telemetry::disabled())
+}
+
+/// [`chaos_scenario`] with an observability handle (see
+/// [`route_scenario_traced`]).
+///
+/// # Errors
+///
+/// Same conditions as [`chaos_scenario`].
+pub fn chaos_scenario_traced(
+    scenario: Scenario,
+    telemetry: Telemetry,
+) -> Result<(ChaosRouter, Vec<ChaosShard>), PfError> {
+    let serving = scenario.serving.clone().unwrap_or_default();
+    let router_spec = serving.router.clone().unwrap_or_default();
+    let config = RouterConfig::from_spec(&ServingSpec {
+        router: Some(router_spec.clone()),
+        ..serving
+    })?;
+    router_spec.validate()?;
+    let faults = scenario.faults.clone().unwrap_or_default();
+    let plan = FaultPlan::from_spec(&faults)?;
+    let base = Arc::new(scenario);
+    let shard_tel = telemetry.clone();
+    let mut shards: Vec<ChaosShard> = Vec::new();
+    let router = Router::with_telemetry(config, telemetry, |replica| {
+        let inner = ModelShardEngine::with_telemetry(
+            Arc::clone(&base),
+            router_spec.replica_cache,
+            shard_tel.clone(),
+        )?;
+        let plan = if replica == faults.replica {
+            plan.clone()
+        } else {
+            FaultPlan::none()
+        };
+        let shard = Arc::new(FaultyEngine::new(inner, plan).with_corruptor(corrupt_tensor));
+        shards.push(Arc::clone(&shard));
+        Ok(shard)
+    })?;
+    Ok((router, shards))
+}
+
+/// Applies a [`Corruption`] to a served feature tensor: NaN/Inf poison the
+/// first element (enough for any all-finite screen to reject the payload),
+/// drift scales every element by the gain.
+fn corrupt_tensor(tensor: &mut Tensor, corruption: Corruption) {
+    match corruption {
+        Corruption::Nan => {
+            if let Some(v) = tensor.data_mut().first_mut() {
+                *v = f64::NAN;
+            }
+        }
+        Corruption::Inf => {
+            if let Some(v) = tensor.data_mut().first_mut() {
+                *v = f64::INFINITY;
+            }
+        }
+        Corruption::Gain(gain) => {
+            for v in tensor.data_mut() {
+                *v *= gain;
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 //! let image = Tensor::random(vec![1, 16, 16], 0.0, 1.0, 1);
 //! let features = server.submit_blocking(image)?;   // or submit() -> Ticket
 //!
-//! let stats = server.shutdown();
+//! let stats = server.shutdown()?;
 //! println!("p99 latency: {:.2} ms", stats.latency.p99_ms);
 //! # Ok::<(), photofourier::PfError>(())
 //! ```
@@ -272,7 +272,7 @@ mod tests {
         let image = Tensor::random(vec![1, 16, 16], 0.0, 1.0, 11);
         let served = server.submit_blocking(image.clone()).unwrap();
         assert_eq!(served, session.run_inference(&image).unwrap());
-        let stats = server.shutdown();
+        let stats = server.shutdown().unwrap();
         assert_eq!(stats.served, 1);
     }
 
@@ -298,7 +298,7 @@ mod tests {
         assert!(hinted.speedup > 0.0);
         let image = Tensor::random(vec![1, 16, 16], 0.0, 1.0, 21);
         server.submit_blocking(image).unwrap();
-        assert_eq!(server.shutdown().served, 1);
+        assert_eq!(server.shutdown().unwrap().served, 1);
     }
 
     #[test]
@@ -315,7 +315,7 @@ mod tests {
             let offline = session.run_inference_seeded(image, i as u64).unwrap();
             assert_eq!(served, offline, "request {i}");
         }
-        assert_eq!(server.shutdown().served, 3);
+        assert_eq!(server.shutdown().unwrap().served, 3);
         assert_eq!(BackendKind::PhotofourierCg.name(), "photofourier_cg");
     }
 }

@@ -4,7 +4,6 @@
 //! overload/degradation ladder is exercised with gated mock engines in
 //! `crates/pf-router/tests/router.rs`.)
 
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use photofourier::prelude::*;
@@ -35,7 +34,7 @@ fn committed_scenario_builds_a_two_replica_affinity_router() {
     let router = route::route_scenario(scenario).unwrap();
     assert_eq!(router.replica_count(), 2);
     assert_eq!(router.config().policy.name(), "kernel_affinity");
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.submitted, 0);
     assert_eq!(stats.replicas.len(), 2);
 }
@@ -76,7 +75,7 @@ fn routed_results_are_bit_identical_to_offline_variant_sessions() {
     // Variants really are different models.
     assert_ne!(served[0], served[1]);
 
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.submitted, 9);
     assert_eq!(stats.served(), 9);
     assert_eq!(stats.shed + stats.rejected, 0);
@@ -112,7 +111,7 @@ fn kernel_affinity_pins_a_model_to_one_replica() {
             "model {model} moved between replicas: {replicas:?}"
         );
     }
-    router.drain();
+    router.drain().unwrap();
 }
 
 #[test]
@@ -132,7 +131,7 @@ fn already_expired_deadlines_are_never_dispatched() {
         matches!(err, PfError::DeadlineExceeded { stage: "queued" }),
         "{err:?}"
     );
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.class("background").unwrap().expired, 1);
     assert_eq!(stats.served(), 0);
     assert_eq!(stats.deadline_misses, 0);
@@ -148,7 +147,7 @@ fn generous_deadlines_complete_within_them() {
         )
         .unwrap();
     ticket.wait_deadline(Duration::from_secs(30)).unwrap();
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.served(), 1);
     assert_eq!(stats.deadline_misses, 0);
     let interactive = stats.class("interactive").unwrap();
@@ -163,7 +162,7 @@ fn out_of_range_class_is_a_caller_error_not_traffic() {
         .submit(RouterRequest::new(ModelRequest::new(image(3), 0)).with_class(7))
         .unwrap_err();
     assert!(matches!(err, PfError::InvalidScenario { .. }), "{err:?}");
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.submitted, 0, "caller bugs are not traffic");
 }
 
@@ -188,7 +187,7 @@ fn stochastic_backend_replays_by_request_seed_through_the_tier() {
         })
         .collect();
     let served: Vec<Tensor> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
-    router.drain();
+    router.drain().unwrap();
 
     // The routed noise stream is pinned to the request's own seed, so it
     // replays offline on a fresh session of the same variant.
@@ -203,13 +202,71 @@ fn stochastic_backend_replays_by_request_seed_through_the_tier() {
 }
 
 #[test]
+fn retried_requests_replay_bit_identically_through_the_chaos_tier() {
+    // A seeded CG backend behind a chaos tier: replica 0 rejects its first
+    // four requests with injected transient errors, forcing retries onto
+    // the healthy replica. The retried results must still be bit-identical
+    // to a fresh offline session, because the replay resubmits the same
+    // payload and the noise stream is pinned to the request seed — not to
+    // the replica, the attempt count or the wall clock.
+    let mut scenario = routing_scenario();
+    scenario.backend = BackendSpec::photofourier_cg(256);
+    scenario.name = "routing_cg_chaos".to_string();
+    scenario.faults = Some(FaultsSpec {
+        seed: 11,
+        replica: 0,
+        windows: vec![FaultWindowSpec {
+            kind: "transient_error".to_string(),
+            from_seq: 0,
+            until_seq: 4,
+            every: 1,
+            magnitude: 0.0,
+        }],
+    });
+    let (router, shards) = route::chaos_scenario(scenario.clone()).unwrap();
+
+    let inputs: Vec<Tensor> = (0..6u64).map(|k| image(400 + k)).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(k, input)| {
+            router
+                .submit_with_retry(
+                    RouterRequest::new(ModelRequest::new(input.clone(), 1).with_seed(k as u64))
+                        .with_affinity(k as u64 % 2),
+                )
+                .unwrap()
+        })
+        .collect();
+    let served: Vec<Tensor> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+    let stats = router.drain().unwrap();
+
+    // Both affinity groups saw traffic, so replica 0 faulted and at least
+    // one request was actually re-dispatched before being served.
+    assert!(shards[0].counts().errors >= 1, "no fault ever fired");
+    assert!(stats.retries >= 1, "faults on replica 0 must force retries");
+    assert_eq!(stats.served(), 6);
+
+    let offline = Session::from_scenario(model_scenario(&scenario, 1)).unwrap();
+    for (k, (input, routed)) in inputs.iter().zip(&served).enumerate() {
+        assert_eq!(
+            &offline.run_inference_seeded(input, k as u64).unwrap(),
+            routed,
+            "request {k} did not replay bit-identically after retry"
+        );
+    }
+}
+
+#[test]
 fn drain_resolves_every_outstanding_ticket() {
-    let router = Arc::new(route::route_scenario(routing_scenario()).unwrap());
+    let router = route::route_scenario(routing_scenario()).unwrap();
     // Submit from several threads, wait on none of them before draining.
+    // Detaching trades the retry/health machinery (which borrows the
+    // router) for a raw replica ticket that can outlive the drain.
     let tickets: Vec<_> = std::thread::scope(|scope| {
+        let router = &router;
         let handles: Vec<_> = (0..4u64)
             .map(|k| {
-                let router = Arc::clone(&router);
                 scope.spawn(move || {
                     router
                         .submit(
@@ -217,14 +274,14 @@ fn drain_resolves_every_outstanding_ticket() {
                                 .with_affinity(k % 3),
                         )
                         .unwrap()
+                        .detach()
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     // Drain stops admissions and resolves everything already admitted.
-    let router = Arc::into_inner(router).expect("all clones dropped");
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.admitted, 4);
     // Every ticket resolves (already fulfilled by the drain).
     for ticket in tickets {

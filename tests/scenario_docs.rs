@@ -113,6 +113,15 @@ fn every_schema_field_is_documented() {
         "replica_cache",
         "shed_at",
         "shrink_at",
+        // [faults]
+        "faults",
+        "seed",
+        "replica",
+        "windows",
+        "from_seq",
+        "until_seq",
+        "every",
+        "magnitude",
         // [sweep]
         "sweep",
         "arch_presets",
@@ -140,6 +149,13 @@ fn every_schema_field_is_documented() {
         "kernel_affinity",
     ] {
         assert!(text.contains(value), "SCENARIOS.md must document `{value}`");
+    }
+    // Every fault kind the `[[faults.windows]]` parser accepts.
+    for kind in FAULT_KINDS {
+        assert!(
+            text.contains(kind),
+            "SCENARIOS.md must document fault kind `{kind}`"
+        );
     }
     for network in NETWORK_REGISTRY {
         assert!(

@@ -67,7 +67,7 @@ fn served_results_are_bit_identical_to_offline_run_batch() {
                 "{kind:?}: served result {i} diverged from offline run_batch"
             );
         }
-        let stats = server.shutdown();
+        let stats = server.shutdown().unwrap();
         assert_eq!(stats.served, 12);
         assert_eq!(stats.rejected, 0);
     }
@@ -93,7 +93,7 @@ fn stochastic_serving_replays_from_ticket_seqs() {
             "request {seq}: CG result must replay from its admission seq"
         );
     }
-    assert_eq!(server.shutdown().served, 6);
+    assert_eq!(server.shutdown().unwrap().served, 6);
 }
 
 #[test]
@@ -109,7 +109,7 @@ fn stats_sanity_under_load() {
             });
         }
     });
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.submitted, 32);
     assert_eq!(
         stats.served + stats.rejected + stats.failed,
@@ -204,7 +204,7 @@ fn overload_rejects_with_the_typed_error() {
     engine.grant(2);
     t1.wait().unwrap();
     t2.wait().unwrap();
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.submitted, 3);
     assert_eq!(stats.served, 2);
     assert_eq!(stats.rejected, 1);
@@ -214,7 +214,7 @@ fn overload_rejects_with_the_typed_error() {
 fn shutdown_resolves_every_ticket() {
     let server = serve::serve_scenario(serving_scenario(BackendKind::Digital)).unwrap();
     let tickets: Vec<_> = (0..10).map(|i| server.submit(image(i)).unwrap()).collect();
-    let stats = server.shutdown();
+    let stats = server.shutdown().unwrap();
     assert_eq!(stats.served, 10);
     for ticket in tickets {
         // No blocking possible: shutdown drained everything.

@@ -193,7 +193,7 @@ fn routed_serving_yields_one_validated_span_tree_per_request() {
     for ticket in tickets {
         ticket.wait().expect("request served");
     }
-    let stats = router.drain();
+    let stats = router.drain().unwrap();
     assert_eq!(stats.admitted, submitted);
     assert_eq!(
         tel.dropped_spans(),
